@@ -1,0 +1,174 @@
+//! Criterion benches over the group-primitive data paths (simulator
+//! wall-clock per simulated operation). One group per evaluation artifact:
+//! Fig. 8 (gWRITE / gMEMCPY), Table 2 (gCAS), Fig. 9 (pipelined gWRITE
+//! throughput), plus the fan-out ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperloop::fanout::FanoutGroup;
+use hyperloop::harness::{drive, fabric_sim};
+use hyperloop::{ExecuteMap, GroupConfig, GroupOp, HyperLoopGroup};
+use netsim::{FabricConfig, NodeId};
+use rnicsim::NicConfig;
+
+fn hl_chain_ops(op_of: impl Fn(u64) -> GroupOp, n_ops: u64) {
+    let mut sim = fabric_sim(
+        4,
+        64 << 20,
+        NicConfig::default(),
+        FabricConfig::default(),
+        1,
+    );
+    let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+    let mut group = drive(&mut sim, |fab, now, out| {
+        HyperLoopGroup::setup(
+            fab,
+            NodeId(0),
+            &nodes,
+            GroupConfig {
+                prepost_depth: 1024,
+                ..GroupConfig::default()
+            },
+            now,
+            out,
+        )
+    });
+    sim.run();
+    let mut done = 0u64;
+    let mut next = 0u64;
+    while done < n_ops {
+        drive(&mut sim, |fab, now, out| {
+            while group.client.can_issue() && next < n_ops {
+                group
+                    .client
+                    .issue(fab, now, out, op_of(next))
+                    .expect("window checked");
+                next += 1;
+            }
+        });
+        sim.run();
+        done += drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out)).len() as u64;
+    }
+    assert_eq!(sim.model.fab.stats().errors, 0);
+}
+
+fn bench_fig8_gwrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8a_gwrite_chain");
+    g.sample_size(10);
+    for size in [128u64, 1024, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                hl_chain_ops(
+                    |i| GroupOp::Write {
+                        offset: (i % 16) * 8192,
+                        data: vec![7; size as usize],
+                        flush: true,
+                    },
+                    200,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_gmemcpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8b_gmemcpy_chain");
+    g.sample_size(10);
+    for size in [128u64, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                hl_chain_ops(
+                    |i| GroupOp::Memcpy {
+                        src: (i % 16) * 8192,
+                        dst: (2 << 20) + (i % 16) * 8192,
+                        len: size,
+                        flush: true,
+                    },
+                    200,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_table2_gcas(c: &mut Criterion) {
+    c.bench_function("table2_gcas_chain", |b| {
+        b.iter(|| {
+            hl_chain_ops(
+                |i| GroupOp::Cas {
+                    offset: 0,
+                    compare: i,
+                    swap: i + 1,
+                    execute: ExecuteMap::all(3),
+                },
+                200,
+            )
+        });
+    });
+}
+
+fn bench_fig9_pipeline(c: &mut Criterion) {
+    c.bench_function("fig9_gwrite_pipelined_64k", |b| {
+        b.iter(|| {
+            hl_chain_ops(
+                |i| GroupOp::Write {
+                    offset: (i % 16) * 65536,
+                    data: vec![1; 65536],
+                    flush: false,
+                },
+                100,
+            )
+        });
+    });
+}
+
+fn bench_fanout_ablation(c: &mut Criterion) {
+    c.bench_function("ablation_fanout_writes", |b| {
+        b.iter(|| {
+            let mut sim = fabric_sim(
+                5,
+                64 << 20,
+                NicConfig::default(),
+                FabricConfig::default(),
+                2,
+            );
+            let backups = [NodeId(2), NodeId(3), NodeId(4)];
+            let mut group = drive(&mut sim, |fab, now, out| {
+                FanoutGroup::setup(
+                    fab,
+                    NodeId(0),
+                    NodeId(1),
+                    &backups,
+                    GroupConfig::default(),
+                    now,
+                    out,
+                )
+            });
+            sim.run();
+            let mut done = 0;
+            while done < 100 {
+                drive(&mut sim, |fab, now, out| {
+                    while group.client.can_issue() {
+                        group.client.write(fab, now, out, 0, &[5; 1024], true);
+                    }
+                });
+                sim.run();
+                done += drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out)).len();
+                drive(&mut sim, |fab, now, out| {
+                    group.primary.replenish(fab, 16, now, out);
+                });
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig8_gwrite,
+    bench_fig8_gmemcpy,
+    bench_table2_gcas,
+    bench_fig9_pipeline,
+    bench_fanout_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion benches over the substrate building blocks: event queue,
+//! histogram, PRNG/zipfian, WQE codec, WAL record codec, CPU scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpusched::{CpuEffect, CpuScheduler, ProcKind, SchedConfig, TaskId};
+use rnicsim::{Opcode, Wqe};
+use simcore::dist::{KeyChooser, ScrambledZipfian};
+use simcore::{EventQueue, Histogram, Outbox, SimDuration, SimRng, SimTime};
+use walog::LogRecord;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos(i * 37 % 50_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_10k", |b| {
+        let mut rng = SimRng::new(5);
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for _ in 0..10_000 {
+                h.record(SimDuration::from_nanos(rng.gen_range(100..10_000_000)));
+            }
+            h.p99()
+        });
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    c.bench_function("scrambled_zipfian_10k", |b| {
+        let mut z = ScrambledZipfian::new(1_000_000);
+        let mut rng = SimRng::new(9);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(z.next_key(&mut rng));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_wqe_codec(c: &mut Criterion) {
+    let w = Wqe {
+        opcode: Opcode::Write,
+        local_addr: 0xAAAA,
+        len: 4096,
+        remote_addr: 0xBBBB,
+        ..Wqe::default()
+    };
+    c.bench_function("wqe_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = w.encode();
+            Wqe::decode(&bytes).unwrap()
+        });
+    });
+}
+
+fn bench_wal_codec(c: &mut Criterion) {
+    let rec = LogRecord::single(7, 4096, vec![3; 1024]);
+    c.bench_function("wal_record_encode_decode_1k", |b| {
+        b.iter(|| {
+            let bytes = rec.encode();
+            LogRecord::decode(&bytes).unwrap()
+        });
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("cpusched_1k_tasks", |b| {
+        b.iter(|| {
+            let mut sched = CpuScheduler::new(4, SchedConfig::default(), SimRng::new(1));
+            let mut out = Outbox::new();
+            let p = sched.spawn(ProcKind::EventDriven, SimTime::ZERO, &mut out);
+            let mut q: EventQueue<cpusched::CpuEvent> = EventQueue::new();
+            for i in 0..1000 {
+                sched.submit(p, TaskId(i), SimDuration::from_micros(2), q.now(), &mut out);
+                for (d, eff) in out.drain() {
+                    if let CpuEffect::Internal(ev) = eff {
+                        q.push_after(d, ev);
+                    }
+                }
+                while let Some((now, ev)) = q.pop() {
+                    sched.handle(now, ev, &mut out);
+                    for (d, eff) in out.drain() {
+                        if let CpuEffect::Internal(ev) = eff {
+                            q.push(now + d, ev);
+                        }
+                    }
+                }
+            }
+            sched.stats().tasks_completed
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_histogram,
+    bench_zipfian,
+    bench_wqe_codec,
+    bench_wal_codec,
+    bench_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,330 @@
+//! Application benchmarks: the paper's §6.2 (Figures 11 and 12) plus the
+//! design-choice ablations DESIGN.md calls out.
+
+use crate::driver::{DocDriver, KvDriver};
+use crate::micro::{
+    bench_group_config, gwrite_plan, gwrite_plan_flush, run_primitive, MicroOpts, SystemKind,
+};
+use crate::report::{banner, latency_header, latency_row, ratio, us};
+use baseline::{NaiveChain, NaiveClient, NaiveConfig};
+use cpusched::{HogProfile, ProcKind, SchedConfig};
+use docstore::{DocConfig, ReplicatedDocStore};
+use hyperloop::apps::install_group_maintenance;
+use hyperloop::{GroupClient, HyperLoopGroup};
+use kvstore::{KvConfig, ReplicatedKv};
+use netsim::NodeId;
+use simcore::{Histogram, LatencySummary, SimDuration, SimTime};
+use testbed::{Cluster, ClusterConfig, ProcRef};
+use ycsb::{Generator, Workload};
+
+/// The multi-tenant application environment: client node 0, replicas 1..=3,
+/// background tenants and a 6 ms effective slice (see `MicroOpts`).
+fn app_cluster(seed: u64, hogs: u32) -> Cluster {
+    let mut cluster = Cluster::new(
+        4,
+        16,
+        256 << 20,
+        ClusterConfig {
+            seed,
+            sched: SchedConfig {
+                time_slice: SimDuration::from_millis(6),
+                ..SchedConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    );
+    for n in 1..=3u32 {
+        cluster.add_background_load(
+            NodeId(n),
+            hogs,
+            HogProfile {
+                busy_mean: SimDuration::from_millis(25),
+                idle_mean: SimDuration::from_millis(150),
+            },
+        );
+    }
+    cluster
+}
+
+fn replica_nodes() -> Vec<NodeId> {
+    vec![NodeId(1), NodeId(2), NodeId(3)]
+}
+
+fn run_cluster_until_done(
+    sim: &mut simcore::Simulation<Cluster>,
+    driver: ProcRef,
+    is_hl: bool,
+    kv: bool,
+) -> Histogram {
+    let cap = SimTime::from_secs(1200);
+    loop {
+        let next = sim.now() + SimDuration::from_millis(20);
+        sim.run_until(next);
+        let done = match (kv, is_hl) {
+            (true, true) => sim.model.app_mut::<KvDriver<GroupClient>>(driver).is_done(),
+            (true, false) => sim.model.app_mut::<KvDriver<NaiveClient>>(driver).is_done(),
+            (false, true) => sim.model.app_mut::<DocDriver<GroupClient>>(driver).is_done(),
+            (false, false) => sim.model.app_mut::<DocDriver<NaiveClient>>(driver).is_done(),
+        };
+        if done {
+            break;
+        }
+        assert!(sim.now() < cap, "application run stalled");
+    }
+    assert_eq!(sim.model.fab.stats().errors, 0);
+    match (kv, is_hl) {
+        (true, true) => sim.model.app_mut::<KvDriver<GroupClient>>(driver).hist.clone(),
+        (true, false) => sim.model.app_mut::<KvDriver<NaiveClient>>(driver).hist.clone(),
+        (false, true) => sim.model.app_mut::<DocDriver<GroupClient>>(driver).hist.clone(),
+        (false, false) => sim.model.app_mut::<DocDriver<NaiveClient>>(driver).hist.clone(),
+    }
+}
+
+fn kv_config() -> KvConfig {
+    KvConfig {
+        capacity: 4096,
+        max_value: 1024,
+        log_size: 8 << 20,
+        control_size: 4096,
+        durable: true,
+    }
+}
+
+/// One Fig. 11 arm: replicated RocksDB (kvstore) update latency under
+/// YCSB-A with co-located tenants.
+pub fn run_fig11_arm(kind: SystemKind, writes: u64, seed: u64) -> LatencySummary {
+    let mut cluster = app_cluster(seed, 96);
+    let client_node = NodeId(0);
+    let pace = SimDuration::from_micros(300);
+    let gen = Generator::with_value_len(Workload::A, 4096, seed ^ 0xA5, 1024);
+    let (driver, is_hl) = match kind {
+        SystemKind::HyperLoop => {
+            let group = cluster.setup_fabric(|fab, out| {
+                HyperLoopGroup::setup(
+                    fab,
+                    client_node,
+                    &replica_nodes(),
+                    hyperloop::GroupConfig {
+                        shared_size: 16 << 20,
+                        ..bench_group_config(16)
+                    },
+                    SimTime::ZERO,
+                    out,
+                )
+            });
+            install_group_maintenance(&mut cluster, group.replicas, SimDuration::from_nanos(400));
+            let ack_cq = group.client.ack_cq();
+            let store = ReplicatedKv::new(group.client, kv_config());
+            let d = KvDriver::new(store, gen, writes, 50, pace);
+            let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
+            cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
+            (p, true)
+        }
+        SystemKind::NaiveEvent | SystemKind::NaivePolling => {
+            let chain = NaiveChain::setup(
+                &mut cluster,
+                client_node,
+                &replica_nodes(),
+                NaiveConfig {
+                    shared_size: 16 << 20,
+                    window: 16,
+                    prepost_depth: 768,
+                    replica_kind: if kind == SystemKind::NaivePolling {
+                        ProcKind::Polling
+                    } else {
+                        ProcKind::EventDriven
+                    },
+                    ..NaiveConfig::default()
+                },
+            );
+            let ack_cq = chain.client.ack_cq();
+            let store = ReplicatedKv::new(chain.client, kv_config());
+            let d = KvDriver::new(store, gen, writes, 50, pace);
+            let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
+            cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
+            (p, false)
+        }
+    };
+    let mut sim = cluster.into_sim();
+    run_cluster_until_done(&mut sim, driver, is_hl, true).summary()
+}
+
+/// Figure 11: replicated RocksDB update latency, three systems.
+pub fn fig11(quick: bool) {
+    banner("Figure 11: replicated RocksDB (kvstore), YCSB-A updates, loaded replicas");
+    let writes = if quick { 800 } else { 4000 };
+    println!("{}", latency_header("system"));
+    let mut p99s = Vec::new();
+    for kind in [
+        SystemKind::NaiveEvent,
+        SystemKind::NaivePolling,
+        SystemKind::HyperLoop,
+    ] {
+        let s = run_fig11_arm(kind, writes, 0xF11);
+        println!("{}", latency_row(kind.label(), &s));
+        p99s.push((kind, s.p99));
+    }
+    let hl = p99s[2].1;
+    println!(
+        "p99 gains over HyperLoop: Naive-Event {} Naive-Polling {}",
+        ratio(p99s[0].1, hl),
+        ratio(p99s[1].1, hl),
+    );
+}
+
+fn doc_config() -> DocConfig {
+    DocConfig {
+        capacity: 4096,
+        max_doc: 1536,
+        log_size: 8 << 20,
+        n_locks: 64,
+    }
+}
+
+/// One Fig. 12 arm: replicated MongoDB (docstore) latency for a YCSB
+/// workload, native (polling CPU replication) vs HyperLoop.
+pub fn run_fig12_arm(hl: bool, workload: Workload, ops: u64, seed: u64) -> LatencySummary {
+    let mut cluster = app_cluster(seed, 96);
+    let client_node = NodeId(0);
+    let stack = SimDuration::from_micros(150);
+    let pace = SimDuration::from_micros(200);
+    let gen = Generator::with_value_len(workload, 4096, seed ^ 0x12, 1024);
+    let (driver, is_hl) = if hl {
+        let group = cluster.setup_fabric(|fab, out| {
+            HyperLoopGroup::setup(
+                fab,
+                client_node,
+                &replica_nodes(),
+                hyperloop::GroupConfig {
+                    shared_size: 16 << 20,
+                    ..bench_group_config(16)
+                },
+                SimTime::ZERO,
+                out,
+            )
+        });
+        install_group_maintenance(&mut cluster, group.replicas, SimDuration::from_nanos(400));
+        let ack_cq = group.client.ack_cq();
+        let store = ReplicatedDocStore::new(group.client, doc_config(), 1);
+        let d = DocDriver::new(store, gen, ops, 50, stack, pace);
+        let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
+        cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
+        (p, true)
+    } else {
+        let chain = NaiveChain::setup(
+            &mut cluster,
+            client_node,
+            &replica_nodes(),
+            NaiveConfig {
+                shared_size: 16 << 20,
+                window: 16,
+                prepost_depth: 768,
+                replica_kind: ProcKind::EventDriven,
+                ..NaiveConfig::default()
+            },
+        );
+        let ack_cq = chain.client.ack_cq();
+        let mut store = ReplicatedDocStore::new(chain.client, doc_config(), 1);
+        // Native MongoDB: journal replication is the critical path; log
+        // application is asynchronous (paper §5.2 description of vanilla
+        // replication).
+        store.set_mode(docstore::WriteMode::AppendOnly);
+        let d = DocDriver::new(store, gen, ops, 50, stack, pace);
+        let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
+        cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
+        (p, false)
+    };
+    let mut sim = cluster.into_sim();
+    run_cluster_until_done(&mut sim, driver, is_hl, false).summary()
+}
+
+/// Figure 12: replicated MongoDB latency across YCSB workloads.
+pub fn fig12(quick: bool) {
+    banner("Figure 12: replicated MongoDB (docstore), YCSB A/B/D/E/F, loaded replicas");
+    let ops = if quick { 1500 } else { 8000 };
+    println!(
+        "{:<10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "workload", "nat mean", "nat p95", "nat p99", "HL mean", "HL p95", "HL p99", "mean cut", "gap cut"
+    );
+    for (wi, w) in Workload::PAPER_SET.into_iter().enumerate() {
+        let seed = 0xF12 + 101 * wi as u64;
+        let nat = run_fig12_arm(false, w, ops, seed);
+        let hl = run_fig12_arm(true, w, ops, seed);
+        let mean_cut = 100.0 * (1.0 - hl.mean.as_micros_f64() / nat.mean.as_micros_f64().max(1e-9));
+        let gap_nat = nat.p99.as_micros_f64() - nat.mean.as_micros_f64();
+        let gap_hl = hl.p99.as_micros_f64() - hl.mean.as_micros_f64();
+        let gap_cut = 100.0 * (1.0 - gap_hl / gap_nat.max(1e-9));
+        println!(
+            "{:<10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8.0}% {:>8.0}%",
+            w.to_string(),
+            us(nat.mean),
+            us(nat.p95),
+            us(nat.p99),
+            us(hl.mean),
+            us(hl.p95),
+            us(hl.p99),
+            mean_cut,
+            gap_cut,
+        );
+    }
+}
+
+/// Design-choice ablations (DESIGN.md):
+/// flush cost, polling crossover, fan-out vs chain.
+pub fn ablations(quick: bool) {
+    banner("Ablation: interleaved gFLUSH cost (HyperLoop gWRITE, unloaded)");
+    let opts = MicroOpts {
+        ops: if quick { 500 } else { 3000 },
+        hogs_per_node: 0,
+        pace: SimDuration::ZERO,
+        ..MicroOpts::default()
+    };
+    for (label, flush) in [("gWRITE only", false), ("gWRITE + gFLUSH", true)] {
+        let r = run_primitive(SystemKind::HyperLoop, gwrite_plan_flush(1024, flush), opts);
+        println!("{:<18} mean={} p99={}", label, us(r.latency.mean), us(r.latency.p99));
+    }
+
+    banner("Ablation: chain vs NIC-coordinated fan-out (unloaded, 1 KB durable writes)");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "replicas", "chain p50", "fan-out p50"
+    );
+    for gs in [3u32, 5, 7] {
+        let chain = crate::fanout_ablation::chain_write_latency(gs, if quick { 200 } else { 800 });
+        let fan = crate::fanout_ablation::fanout_write_latency(gs, if quick { 200 } else { 800 });
+        println!("{:<8} {:>14} {:>14}", gs, us(chain), us(fan));
+    }
+
+    banner("Ablation: consistent-read scaling across serving replicas (beyond the paper)");
+    println!("{:<18} {:>12} {:>10}", "serving replicas", "8KB reads/s", "aggregate");
+    for n in [1u32, 2, 3] {
+        let rps = crate::fanout_ablation::read_scaling(n, if quick { 1000 } else { 4000 });
+        println!(
+            "{:<18} {:>12.0} {:>7.1} Gbps",
+            n,
+            rps,
+            rps * 8192.0 * 8.0 / 1e9
+        );
+    }
+
+    banner("Ablation: polling vs event-driven replicas vs co-location");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "tenants", "Naive-Event p99", "Naive-Polling p99"
+    );
+    for hogs in [0u32, 32, 96] {
+        let opts = MicroOpts {
+            ops: if quick { 600 } else { 2500 },
+            hogs_per_node: hogs,
+            ..MicroOpts::default()
+        };
+        let ev = run_primitive(SystemKind::NaiveEvent, gwrite_plan(1024), opts);
+        let po = run_primitive(SystemKind::NaivePolling, gwrite_plan(1024), opts);
+        println!(
+            "{:<10} {:>16} {:>16}",
+            hogs,
+            us(ev.latency.p99),
+            us(po.latency.p99)
+        );
+    }
+}

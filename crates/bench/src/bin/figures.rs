@@ -1,0 +1,54 @@
+//! Regenerates the HyperLoop paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p hyperloop-bench --bin figures -- all [--quick]
+//! cargo run --release -p hyperloop-bench --bin figures -- fig8a table2 ...
+//! ```
+
+use hyperloop_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let has = |name: &str| all || wanted.contains(&name);
+
+    if quick {
+        println!("(quick mode: reduced op counts; tails are noisier)");
+    }
+    if has("fig2a") {
+        hyperloop_bench::mongo2::fig2a(quick);
+    }
+    if has("fig2b") {
+        hyperloop_bench::mongo2::fig2b(quick);
+    }
+    if has("fig8a") {
+        figures::fig8a(quick);
+    }
+    if has("fig8b") {
+        figures::fig8b(quick);
+    }
+    if has("table2") {
+        figures::table2(quick);
+    }
+    if has("fig9") {
+        figures::fig9(quick);
+    }
+    if has("fig10") {
+        figures::fig10(quick);
+    }
+    if has("fig11") {
+        hyperloop_bench::appbench::fig11(quick);
+    }
+    if has("fig12") {
+        hyperloop_bench::appbench::fig12(quick);
+    }
+    if has("ablations") || wanted.contains(&"ablations") {
+        hyperloop_bench::appbench::ablations(quick);
+    }
+}

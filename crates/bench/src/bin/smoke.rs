@@ -1,0 +1,35 @@
+//! A fast sanity pass over the three headline comparisons — useful while
+//! tuning simulation parameters. Not a paper figure; see `figures` for the
+//! full evaluation.
+
+use hyperloop_bench::fanout_ablation::read_scaling;
+use hyperloop_bench::micro::{gwrite_plan, run_primitive, MicroOpts, SystemKind};
+
+fn main() {
+    let opts = MicroOpts {
+        ops: 800,
+        warmup: 50,
+        ..MicroOpts::default()
+    };
+    println!("1 KB durable gWRITE, 3 replicas, 96 tenants/node:");
+    for kind in [SystemKind::NaiveEvent, SystemKind::HyperLoop] {
+        let r = run_primitive(kind, gwrite_plan(1024), opts);
+        println!(
+            "  {:<13} mean={} p99={} replica-cpu={:.1}%",
+            kind.label(),
+            r.latency.mean,
+            r.latency.p99,
+            r.replica_cpu * 100.0
+        );
+    }
+    println!("8 KB read scaling:");
+    for n in [1u32, 3] {
+        let rps = read_scaling(n, 1500);
+        println!(
+            "  {} serving replica(s): {:.0} reads/s ({:.1} Gbps)",
+            n,
+            rps,
+            rps * 8192.0 * 8.0 / 1e9
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Runners printing the paper's figures and tables.
+
+use crate::micro::{
+    gcas_plan, gmemcpy_plan, gwrite_plan_flush, run_primitive, MicroOpts, SystemKind,
+};
+use crate::report::{banner, latency_header, latency_row, ratio, us};
+use simcore::SimDuration;
+
+/// Message sizes of Figure 8.
+pub const FIG8_SIZES: [u64; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Message sizes of Figure 9.
+pub const FIG9_SIZES: [u64; 7] = [1024, 2048, 4096, 8192, 16384, 32768, 65536];
+
+fn scaled(ops: u64, quick: bool) -> u64 {
+    if quick {
+        (ops / 8).max(400)
+    } else {
+        ops
+    }
+}
+
+/// Figure 8(a): gWRITE latency vs message size, Naïve vs HyperLoop.
+pub fn fig8a(quick: bool) {
+    banner("Figure 8(a): gWRITE latency vs message size (group=3, loaded replicas)");
+    fig8_inner(quick, "gWRITE", |size| gwrite_plan_flush(size, false));
+}
+
+/// Figure 8(b): gMEMCPY latency vs message size.
+pub fn fig8b(quick: bool) {
+    banner("Figure 8(b): gMEMCPY latency vs message size (group=3, loaded replicas)");
+    fig8_inner(quick, "gMEMCPY", |size| gmemcpy_plan(size));
+}
+
+fn fig8_inner(quick: bool, name: &str, plan_of: impl Fn(u64) -> crate::driver::OpPlan) {
+    let opts = MicroOpts {
+        ops: scaled(4000, quick),
+        ..MicroOpts::default()
+    };
+    println!(
+        "{:<8} {:<14} {:>10} {:>10} | {:<14} {:>10} {:>10} | p99 gain",
+        "size", "Naive", "mean", "p99", "HyperLoop", "mean", "p99"
+    );
+    for size in FIG8_SIZES {
+        let naive = run_primitive(SystemKind::NaiveEvent, plan_of(size), opts);
+        let hl = run_primitive(SystemKind::HyperLoop, plan_of(size), opts);
+        println!(
+            "{:<8} {:<14} {:>10} {:>10} | {:<14} {:>10} {:>10} | {:>8}",
+            format!("{size}B"),
+            name,
+            us(naive.latency.mean),
+            us(naive.latency.p99),
+            name,
+            us(hl.latency.mean),
+            us(hl.latency.p99),
+            ratio(naive.latency.p99, hl.latency.p99),
+        );
+    }
+}
+
+/// Table 2: gCAS latency statistics.
+pub fn table2(quick: bool) {
+    banner("Table 2: gCAS latency, Naïve vs HyperLoop (group=3, loaded replicas)");
+    let opts = MicroOpts {
+        ops: scaled(8000, quick),
+        ..MicroOpts::default()
+    };
+    println!("{}", latency_header("system"));
+    let naive = run_primitive(SystemKind::NaiveEvent, gcas_plan(3), opts);
+    println!("{}", latency_row("Naive-RDMA gCAS", &naive.latency));
+    let hl = run_primitive(SystemKind::HyperLoop, gcas_plan(3), opts);
+    println!("{}", latency_row("HyperLoop gCAS", &hl.latency));
+    println!(
+        "gains: mean {} p95 {} p99 {}",
+        ratio(naive.latency.mean, hl.latency.mean),
+        ratio(naive.latency.p95, hl.latency.p95),
+        ratio(naive.latency.p99, hl.latency.p99),
+    );
+}
+
+/// Figure 9: gWRITE throughput and replica CPU vs message size (unloaded
+/// best case, pinned polling Naïve replicas — the paper's setup).
+pub fn fig9(quick: bool) {
+    banner("Figure 9: gWRITE throughput + replica CPU (group=3, unloaded)");
+    let total_bytes: u64 = if quick { 32 << 20 } else { 256 << 20 };
+    println!(
+        "{:<8} {:>14} {:>10} | {:>14} {:>10}",
+        "size", "Naive Kops/s", "CPU", "HL Kops/s", "CPU"
+    );
+    for size in FIG9_SIZES {
+        let ops = (total_bytes / size).max(200);
+        let opts = MicroOpts {
+            ops,
+            warmup: 50,
+            window: 16,
+            hogs_per_node: 0,
+            pace: SimDuration::ZERO,
+            ..MicroOpts::default()
+        };
+        let naive = run_primitive(SystemKind::NaivePolling, gwrite_plan_flush(size, false), opts);
+        let hl = run_primitive(SystemKind::HyperLoop, gwrite_plan_flush(size, false), opts);
+        println!(
+            "{:<8} {:>14.0} {:>9.0}% | {:>14.0} {:>9.1}%",
+            format!("{size}B"),
+            naive.ops_per_sec() / 1e3,
+            naive.replica_cpu * 100.0,
+            hl.ops_per_sec() / 1e3,
+            hl.replica_cpu * 100.0,
+        );
+    }
+}
+
+/// Figure 10: p99 gWRITE latency vs group size (3/5/7), Naïve vs HyperLoop.
+pub fn fig10(quick: bool) {
+    banner("Figure 10: 99th-percentile gWRITE latency vs group size (loaded)");
+    let sizes: [u64; 4] = [128, 512, 2048, 8192];
+    println!(
+        "{:<8} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+        "size", "Naive g=3", "g=5", "g=7", "HL g=3", "g=5", "g=7"
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for size in sizes {
+        let mut row = vec![format!("{size}B")];
+        for kind in [SystemKind::NaiveEvent, SystemKind::HyperLoop] {
+            for gs in [3u32, 5, 7] {
+                let opts = MicroOpts {
+                    ops: scaled(2500, quick),
+                    group_size: gs,
+                    ..MicroOpts::default()
+                };
+                let r = run_primitive(kind, gwrite_plan_flush(size, false), opts);
+                row.push(us(r.latency.p99));
+            }
+        }
+        rows.push(row);
+    }
+    for row in rows {
+        println!(
+            "{:<8} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+            row[0], row[1], row[2], row[3], row[4], row[5], row[6]
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # hyperloop-bench — the paper's evaluation, regenerated
+//!
+//! Every table and figure of HyperLoop's §6 has a runner here; the
+//! `figures` binary prints them:
+//!
+//! ```text
+//! cargo run --release -p hyperloop-bench --bin figures -- all [--quick]
+//! ```
+//!
+//! | id | paper content | module |
+//! |---|---|---|
+//! | fig2a / fig2b | MongoDB latency & context switches vs tenancy / cores | [`mongo2`] |
+//! | fig8a / fig8b | gWRITE / gMEMCPY latency vs message size | [`micro`] |
+//! | table2 | gCAS latency statistics | [`micro`] |
+//! | fig9 | gWRITE throughput + replica CPU | [`micro`] |
+//! | fig10 | tail latency vs group size | [`micro`] |
+//! | fig11 | replicated RocksDB (kvstore) under YCSB-A | [`appbench`] |
+//! | fig12 | replicated MongoDB (docstore) under YCSB A/B/D/E/F | [`appbench`] |
+//!
+//! Plus ablations (`ablation_*`): polling crossover, flush cost, fan-out vs
+//! chain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appbench;
+pub mod driver;
+pub mod fanout_ablation;
+pub mod figures;
+pub mod micro;
+pub mod mongo2;
+pub mod report;
+
+pub use driver::{OpPlan, PrimitiveDriver};
+pub use micro::{MicroOpts, MicroResult, SystemKind};

@@ -1,0 +1,299 @@
+//! Microbenchmark environments: the paper's §6.1 setup.
+//!
+//! One dedicated client machine drives a chain of `group_size` replica
+//! machines (two 8-core CPUs each in the paper; 16 cores here). For the
+//! latency experiments the replica machines also host bursty background
+//! tenants (the paper's co-located instances / `stress-ng`); the throughput
+//! experiment (Fig. 9) runs the paper's best case — pinned, unloaded
+//! replicas — because that is where Naïve-RDMA can still keep up on
+//! throughput while burning a core.
+
+use crate::driver::{OpPlan, PrimitiveDriver};
+use baseline::{NaiveChain, NaiveClient, NaiveConfig};
+use cpusched::{HogProfile, ProcKind, SchedConfig};
+use hyperloop::apps::install_group_maintenance;
+use hyperloop::{GroupClient, GroupConfig, GroupOp, HyperLoopGroup};
+use netsim::NodeId;
+use simcore::{LatencySummary, SimDuration, SimTime};
+use testbed::{Cluster, ClusterConfig, ProcRef};
+
+/// Which system runs the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// NIC-offloaded group primitives; replica CPUs off the critical path.
+    HyperLoop,
+    /// Replica CPUs forward every hop, event-driven (wake per op).
+    NaiveEvent,
+    /// Replica CPUs forward every hop, spinning on their CQs.
+    NaivePolling,
+}
+
+impl SystemKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::HyperLoop => "HyperLoop",
+            SystemKind::NaiveEvent => "Naive-Event",
+            SystemKind::NaivePolling => "Naive-Polling",
+        }
+    }
+}
+
+/// Microbenchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroOpts {
+    /// Replication group size.
+    pub group_size: u32,
+    /// Cores per machine.
+    pub cores: u32,
+    /// Background tenant processes per replica machine.
+    pub hogs_per_node: u32,
+    /// Operations measured (after warm-up).
+    pub ops: u64,
+    /// Warm-up operations discarded from statistics.
+    pub warmup: u64,
+    /// Operations kept in flight (1 = closed-loop latency).
+    pub window: u32,
+    /// Think time between completion and next issue (ZERO = closed loop).
+    pub pace: SimDuration,
+    /// Scheduler parameters. The default uses a 3 ms effective time slice —
+    /// what a CFS box running hundreds of processes converges to
+    /// (sched_min_granularity dominates) — which is what bounds a woken
+    /// process's queueing delay on the paper's loaded servers.
+    pub sched: SchedConfig,
+    /// Background tenant burst profile.
+    pub hog_profile: HogProfile,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for MicroOpts {
+    fn default() -> Self {
+        MicroOpts {
+            group_size: 3,
+            cores: 16,
+            hogs_per_node: 96,
+            ops: 10_000,
+            warmup: 100,
+            window: 1,
+            pace: SimDuration::from_micros(300),
+            sched: SchedConfig {
+                time_slice: SimDuration::from_millis(6),
+                ..SchedConfig::default()
+            },
+            hog_profile: HogProfile {
+                busy_mean: SimDuration::from_millis(25),
+                idle_mean: SimDuration::from_millis(150),
+            },
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Result of one microbenchmark run.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Per-op latency distribution.
+    pub latency: LatencySummary,
+    /// Wall time from first issue to last completion.
+    pub elapsed: SimDuration,
+    /// Operations completed.
+    pub ops: u64,
+    /// Peak replica data-path process CPU, as a fraction of the run (1.0 =
+    /// one fully-burnt core).
+    pub replica_cpu: f64,
+}
+
+impl MicroResult {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+fn replica_nodes(gs: u32) -> Vec<NodeId> {
+    (1..=gs).map(NodeId).collect()
+}
+
+/// Group config sized for long microbenchmark runs: deep pre-posting keeps
+/// the data path independent of maintenance wake-ups under load.
+pub fn bench_group_config(window: u32) -> GroupConfig {
+    GroupConfig {
+        shared_size: 4 << 20,
+        meta_slots: 64,
+        prepost_depth: 768,
+        window,
+    }
+}
+
+/// Runs `ops` operations from `plan` through the chosen system and options.
+///
+/// # Panics
+///
+/// Panics if the run does not complete within the simulation watchdog.
+pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroResult {
+    let nodes = opts.group_size + 1;
+    let mut cluster = Cluster::new(
+        nodes,
+        opts.cores,
+        256 << 20,
+        ClusterConfig {
+            seed: opts.seed,
+            sched: opts.sched,
+            ..ClusterConfig::default()
+        },
+    );
+    let client_node = NodeId(0);
+    let replicas = replica_nodes(opts.group_size);
+    for &rn in &replicas {
+        cluster.add_background_load(rn, opts.hogs_per_node, opts.hog_profile);
+    }
+
+    let total = opts.ops + opts.warmup;
+    let (driver_proc, data_procs, is_hl): (ProcRef, Vec<ProcRef>, bool) = match kind {
+        SystemKind::HyperLoop => {
+            let group = cluster.setup_fabric(|fab, out| {
+                HyperLoopGroup::setup(
+                    fab,
+                    client_node,
+                    &replicas,
+                    bench_group_config(opts.window),
+                    SimTime::ZERO,
+                    out,
+                )
+            });
+            let maint = install_group_maintenance(
+                &mut cluster,
+                group.replicas,
+                SimDuration::from_nanos(400),
+            );
+            let ack_cq = group.client.ack_cq();
+            let driver = PrimitiveDriver::with_pace(group.client, plan, total, opts.window, opts.warmup, opts.pace);
+            let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(driver));
+            cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
+            (p, maint, true)
+        }
+        SystemKind::NaiveEvent | SystemKind::NaivePolling => {
+            let chain = NaiveChain::setup(
+                &mut cluster,
+                client_node,
+                &replicas,
+                NaiveConfig {
+                    window: opts.window,
+                    prepost_depth: 768,
+                    cmd_slots: 64,
+                    replica_kind: if kind == SystemKind::NaivePolling {
+                        ProcKind::Polling
+                    } else {
+                        ProcKind::EventDriven
+                    },
+                    ..NaiveConfig::default()
+                },
+            );
+            let ack_cq = chain.client.ack_cq();
+            let driver = PrimitiveDriver::with_pace(chain.client, plan, total, opts.window, opts.warmup, opts.pace);
+            let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(driver));
+            cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
+            (p, chain.replica_procs, false)
+        }
+    };
+
+    let mut sim = cluster.into_sim();
+    // Watchdog: generous cap so pathological stalls fail loudly.
+    let cap = SimTime::from_secs(600);
+    loop {
+        let next = sim.now() + SimDuration::from_millis(20);
+        sim.run_until(next);
+        let done = if is_hl {
+            sim.model
+                .app_mut::<PrimitiveDriver<GroupClient>>(driver_proc)
+                .is_done()
+        } else {
+            sim.model
+                .app_mut::<PrimitiveDriver<NaiveClient>>(driver_proc)
+                .is_done()
+        };
+        if done {
+            break;
+        }
+        assert!(
+            sim.now() < cap,
+            "{} run stalled: completed {} of {total}",
+            kind.label(),
+            if is_hl {
+                sim.model
+                    .app_mut::<PrimitiveDriver<GroupClient>>(driver_proc)
+                    .completed()
+            } else {
+                sim.model
+                    .app_mut::<PrimitiveDriver<NaiveClient>>(driver_proc)
+                    .completed()
+            }
+        );
+    }
+
+    let (hist, started, done_at) = if is_hl {
+        let d = sim.model.app_mut::<PrimitiveDriver<GroupClient>>(driver_proc);
+        (d.hist.clone(), d.started_at, d.done_at)
+    } else {
+        let d = sim.model.app_mut::<PrimitiveDriver<NaiveClient>>(driver_proc);
+        (d.hist.clone(), d.started_at, d.done_at)
+    };
+    let elapsed = done_at
+        .expect("done")
+        .since(started.expect("started"));
+    // Normalize CPU by the whole run (processes are busy from time zero,
+    // including the warm-up ramp), capping at one core.
+    let sim_total = sim.now().since(simcore::SimTime::ZERO);
+    let replica_cpu = data_procs
+        .iter()
+        .map(|&p| {
+            let (busy, _) = sim.model.proc_cpu(p);
+            (busy.as_secs_f64() / sim_total.as_secs_f64().max(1e-12)).min(1.0)
+        })
+        .fold(0.0f64, f64::max);
+    assert_eq!(sim.model.fab.stats().errors, 0, "data-path errors");
+
+    MicroResult {
+        latency: hist.summary(),
+        elapsed,
+        ops: opts.ops,
+        replica_cpu,
+    }
+}
+
+/// A gWRITE plan: replicate `size` bytes at a rotating offset. `flush`
+/// interleaves a gFLUSH (durable at every hop before forwarding).
+pub fn gwrite_plan_flush(size: u64, flush: bool) -> OpPlan {
+    Box::new(move |i| GroupOp::Write {
+        offset: (i % 64) * 8192,
+        data: vec![(i & 0xFF) as u8; size as usize],
+        flush,
+    })
+}
+
+/// A durably-flushed gWRITE plan (see [`gwrite_plan_flush`]).
+pub fn gwrite_plan(size: u64) -> OpPlan {
+    gwrite_plan_flush(size, true)
+}
+
+/// A gMEMCPY plan: every replica copies `size` bytes log→db.
+pub fn gmemcpy_plan(size: u64) -> OpPlan {
+    Box::new(move |i| GroupOp::Memcpy {
+        src: (i % 16) * 65536,
+        dst: 2 << 20 | ((i % 16) * 65536),
+        len: size,
+        flush: true,
+    })
+}
+
+/// A gCAS plan: sequential compare-and-swap on one lock word (always
+/// matching, as a lock handover would).
+pub fn gcas_plan(group_size: u32) -> OpPlan {
+    Box::new(move |i| GroupOp::Cas {
+        offset: 0,
+        compare: i,
+        swap: i + 1,
+        execute: hyperloop::ExecuteMap::all(group_size),
+    })
+}

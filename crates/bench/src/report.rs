@@ -1,0 +1,46 @@
+//! Plain-text tables in the shape of the paper's figures.
+
+use simcore::{LatencySummary, SimDuration};
+
+/// Formats a duration in microseconds with sensible precision.
+pub fn us(d: SimDuration) -> String {
+    let v = d.as_micros_f64();
+    if v >= 100.0 {
+        format!("{v:.0}us")
+    } else {
+        format!("{v:.1}us")
+    }
+}
+
+/// One row of a latency table.
+pub fn latency_row(label: &str, s: &LatencySummary) -> String {
+    format!(
+        "{label:<28} {:>10} {:>10} {:>10} {:>10}  (n={})",
+        us(s.mean),
+        us(s.p50),
+        us(s.p95),
+        us(s.p99),
+        s.count
+    )
+}
+
+/// Header matching [`latency_row`].
+pub fn latency_header(first_col: &str) -> String {
+    format!(
+        "{first_col:<28} {:>10} {:>10} {:>10} {:>10}",
+        "mean", "p50", "p95", "p99"
+    )
+}
+
+/// A section banner.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// A ratio annotation like "801.8x".
+pub fn ratio(a: SimDuration, b: SimDuration) -> String {
+    if b.is_zero() {
+        return "inf".into();
+    }
+    format!("{:.1}x", a.as_micros_f64() / b.as_micros_f64())
+}

@@ -1,0 +1,577 @@
+//! Group setup and the client/replica runtime state.
+//!
+//! [`HyperLoopGroup::setup`] wires a chain — client → R0 → R1 → … → R(n-1)
+//! → client — and pre-posts the WAIT/INDIRECT descriptor chains on every
+//! replica. After setup the data path never touches a replica CPU:
+//!
+//! * the client issues ops with [`GroupClient::issue`] (plain verbs on its
+//!   own NIC);
+//! * each replica's NIC reacts to the incoming metadata SEND (WAIT →
+//!   loopback op → WAIT → forward);
+//! * the last hop's NIC writes the ack (with the gCAS result map) straight
+//!   into the client's memory.
+//!
+//! The only replica-side software is the off-critical-path maintenance that
+//! replaces consumed descriptors ([`ReplicaHandle::replenish`]).
+
+use crate::config::{GroupConfig, SharedLayout};
+use crate::meta::{build_payload, payload_len};
+use crate::ops::{GroupAck, GroupOp};
+use netsim::NodeId;
+use rnicsim::{wqe_flags, CqId, NicEffect, Opcode, QpId, RdmaFabric, RecvWqe, Wqe};
+use simcore::{Outbox, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors surfaced by the client data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// The in-flight window is full; poll for acks first.
+    WindowFull,
+    /// The op touches bytes outside the shared region.
+    OutOfRange,
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::WindowFull => f.write_str("in-flight window full"),
+            GroupError::OutOfRange => f.write_str("offset outside shared region"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// A fully wired group: the client handle plus one handle per replica.
+#[derive(Debug)]
+pub struct HyperLoopGroup {
+    /// The client (transaction coordinator) side.
+    pub client: GroupClient,
+    /// Per-replica maintenance handles, in chain order.
+    pub replicas: Vec<ReplicaHandle>,
+}
+
+/// Client-side state: issues group ops and collects acks.
+#[derive(Debug)]
+pub struct GroupClient {
+    node: NodeId,
+    layout: SharedLayout,
+    cfg: GroupConfig,
+    qp_down: QpId,
+    cq_ack: CqId,
+    qp_ack: QpId,
+    mirror_base: u64,
+    staging_base: u64,
+    ack_base: u64,
+    ack_slot_size: u64,
+    next_gen: u64,
+    completed: u64,
+    pending: VecDeque<u64>,
+}
+
+/// Replica-side state: owns the pre-post cursors for one chain position.
+#[derive(Debug)]
+pub struct ReplicaHandle {
+    node: NodeId,
+    idx: u32,
+    layout: SharedLayout,
+    qp_up: QpId,
+    recv_cq_up: CqId,
+    qp_loop_a: QpId,
+    cq_loop: CqId,
+    qp_down: QpId,
+    next_prepost: u64,
+}
+
+impl HyperLoopGroup {
+    /// Wires the chain and pre-posts every descriptor. `replica_nodes` is
+    /// the chain order; the client node must not appear in it.
+    ///
+    /// Replica nodes must have symmetric allocation state (fresh nodes or
+    /// nodes that have only ever run symmetric setups); setup asserts that
+    /// the resulting offsets match.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain, asymmetric replica layouts, or exhausted
+    /// device memory.
+    pub fn setup(
+        fab: &mut RdmaFabric,
+        client_node: NodeId,
+        replica_nodes: &[NodeId],
+        cfg: GroupConfig,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+    ) -> HyperLoopGroup {
+        cfg.validate();
+        let gs = replica_nodes.len() as u32;
+        assert!(gs >= 1, "need at least one replica");
+        assert!(
+            !replica_nodes.contains(&client_node),
+            "client must not be a replica"
+        );
+
+        // Symmetric allocation on every replica.
+        let slot_size = SharedLayout::slot_size_for(gs);
+        let mut shared_base = None;
+        let mut meta_base = None;
+        for &rn in replica_nodes {
+            let sb = fab.alloc(rn, cfg.shared_size);
+            let mb = fab.alloc(rn, slot_size * cfg.meta_slots as u64);
+            match (shared_base, meta_base) {
+                (None, None) => {
+                    shared_base = Some(sb);
+                    meta_base = Some(mb);
+                }
+                (Some(s), Some(m)) => {
+                    assert_eq!((s, m), (sb, mb), "replica {rn} layout asymmetric");
+                }
+                _ => unreachable!(),
+            }
+            fab.reg_mr(rn, sb, cfg.shared_size);
+            fab.reg_mr(rn, mb, slot_size * cfg.meta_slots as u64);
+        }
+        let layout = SharedLayout {
+            shared_base: shared_base.expect("at least one replica"),
+            shared_size: cfg.shared_size,
+            meta_base: meta_base.expect("at least one replica"),
+            meta_slot_size: slot_size,
+            meta_slots: cfg.meta_slots,
+            group_size: gs,
+        };
+
+        // Client-side buffers.
+        let mirror_base = fab.alloc(client_node, cfg.shared_size);
+        let staging_base = fab.alloc(client_node, slot_size * cfg.meta_slots as u64);
+        let ack_slot_size = (layout.result_map_len() + 63) & !63;
+        let ack_base = fab.alloc(client_node, ack_slot_size * cfg.meta_slots as u64);
+        fab.reg_mr(client_node, ack_base, ack_slot_size * cfg.meta_slots as u64);
+
+        // Queues: client down + ack.
+        let cq_down = fab.create_cq(client_node);
+        let qp_down = fab.create_qp(client_node, cq_down, cq_down);
+        let cq_ack = fab.create_cq(client_node);
+        let qp_ack = fab.create_qp(client_node, cq_ack, cq_ack);
+
+        // Replica queues.
+        let mut replicas = Vec::with_capacity(gs as usize);
+        for (i, &rn) in replica_nodes.iter().enumerate() {
+            let recv_cq_up = fab.create_cq(rn);
+            let qp_up = fab.create_qp(rn, recv_cq_up, recv_cq_up);
+            let cq_loop = fab.create_cq(rn);
+            let qp_loop_a = fab.create_qp(rn, cq_loop, cq_loop);
+            let qp_loop_b = fab.create_qp(rn, cq_loop, cq_loop);
+            fab.connect(rn, qp_loop_a, rn, qp_loop_b);
+            let cq_down = fab.create_cq(rn);
+            let qp_down = fab.create_qp(rn, cq_down, cq_down);
+            replicas.push(ReplicaHandle {
+                node: rn,
+                idx: i as u32,
+                layout,
+                qp_up,
+                recv_cq_up,
+                qp_loop_a,
+                cq_loop,
+                qp_down,
+                next_prepost: 0,
+            });
+        }
+
+        // Chain wiring.
+        fab.connect(client_node, qp_down, replicas[0].node, replicas[0].qp_up);
+        for i in 0..replicas.len() - 1 {
+            let (a, b) = (i, i + 1);
+            fab.connect(
+                replicas[a].node,
+                replicas[a].qp_down,
+                replicas[b].node,
+                replicas[b].qp_up,
+            );
+        }
+        let last = replicas.len() - 1;
+        fab.connect(replicas[last].node, replicas[last].qp_down, client_node, qp_ack);
+
+        // Pre-post descriptor chains and ack receives.
+        for r in &mut replicas {
+            r.replenish(fab, cfg.prepost_depth, now, out);
+        }
+        for _ in 0..cfg.window * 2 {
+            fab.post_recv(
+                now,
+                client_node,
+                qp_ack,
+                RecvWqe {
+                    wr_id: 0,
+                    sges: vec![],
+                },
+                out,
+            );
+        }
+
+        HyperLoopGroup {
+            client: GroupClient {
+                node: client_node,
+                layout,
+                cfg,
+                qp_down,
+                cq_ack,
+                qp_ack,
+                mirror_base,
+                staging_base,
+                ack_base,
+                ack_slot_size,
+                next_gen: 0,
+                completed: 0,
+                pending: VecDeque::new(),
+            },
+            replicas,
+        }
+    }
+}
+
+impl GroupClient {
+    /// The replica-space layout (shared by all group members).
+    pub fn layout(&self) -> &SharedLayout {
+        &self.layout
+    }
+
+    /// The client node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The CQ on which chain acks (the last replica's WRITE_IMM) arrive.
+    pub fn ack_cq(&self) -> CqId {
+        self.cq_ack
+    }
+
+    /// Base of the client's local mirror of the shared region.
+    pub fn mirror_base(&self) -> u64 {
+        self.mirror_base
+    }
+
+    /// Operations issued but not yet acked.
+    pub fn in_flight(&self) -> u64 {
+        self.next_gen - self.completed
+    }
+
+    /// Total operations acknowledged.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// True if another op can be issued right now.
+    pub fn can_issue(&self) -> bool {
+        self.in_flight() < self.cfg.window as u64
+    }
+
+    /// The configured in-flight window.
+    pub fn window(&self) -> u32 {
+        self.cfg.window
+    }
+
+    fn check_range(&self, offset: u64, len: u64) -> Result<(), GroupError> {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.layout.shared_size)
+        {
+            return Err(GroupError::OutOfRange);
+        }
+        Ok(())
+    }
+
+    /// Issues a group operation down the chain, returning its generation.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::WindowFull`] when too many ops are outstanding;
+    /// [`GroupError::OutOfRange`] for offsets beyond the shared region.
+    pub fn issue(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        op: GroupOp,
+    ) -> Result<u64, GroupError> {
+        if !self.can_issue() {
+            return Err(GroupError::WindowFull);
+        }
+        match &op {
+            GroupOp::Write { offset, data, .. } => {
+                self.check_range(*offset, data.len() as u64)?
+            }
+            GroupOp::Cas { offset, .. } => self.check_range(*offset, 8)?,
+            GroupOp::Memcpy { src, dst, len, .. } => {
+                self.check_range(*src, *len)?;
+                self.check_range(*dst, *len)?;
+            }
+            GroupOp::Flush { offset } => self.check_range(*offset, 1)?,
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+
+        // Stage the metadata payload in client memory.
+        let ack_addr = self.ack_base + (gen % self.cfg.meta_slots as u64) * self.ack_slot_size;
+        let payload = build_payload(&op, &self.layout, gen, ack_addr);
+        let staging =
+            self.staging_base + (gen % self.cfg.meta_slots as u64) * self.layout.meta_slot_size;
+        fab.mem(self.node)
+            .write_durable(staging, &payload)
+            .expect("staging slot in bounds");
+
+        // Maintain the client's local mirror (it is chain member zero in
+        // spirit: the op's effects apply to its copy too).
+        let mut needs_flush_fence = false;
+        match &op {
+            GroupOp::Write {
+                offset,
+                data,
+                flush,
+            } => {
+                fab.mem(self.node)
+                    .write_durable(self.mirror_base + offset, data)
+                    .expect("mirror write in bounds");
+                // Data WRITE to the first replica.
+                fab.post_send(
+                    now,
+                    self.node,
+                    self.qp_down,
+                    Wqe {
+                        opcode: Opcode::Write,
+                        flags: wqe_flags::HW_OWNED,
+                        local_addr: self.mirror_base + offset,
+                        len: data.len() as u64,
+                        remote_addr: self.layout.shared_base + offset,
+                        wr_id: gen,
+                        ..Wqe::default()
+                    },
+                    out,
+                );
+                if *flush {
+                    self.post_flush_read(fab, now, out, *offset, gen);
+                    needs_flush_fence = true;
+                }
+            }
+            GroupOp::Memcpy { src, dst, len, .. } => {
+                // Apply to the local mirror (host-side copy).
+                let bytes = fab
+                    .mem(self.node)
+                    .read_vec(self.mirror_base + src, *len)
+                    .expect("mirror read in bounds");
+                fab.mem(self.node)
+                    .write_durable(self.mirror_base + dst, &bytes)
+                    .expect("mirror write in bounds");
+            }
+            GroupOp::Flush { offset } => {
+                self.post_flush_read(fab, now, out, *offset, gen);
+                needs_flush_fence = true;
+            }
+            GroupOp::Cas { .. } => {}
+        }
+
+        // The metadata SEND that triggers the first replica's chain.
+        fab.post_send(
+            now,
+            self.node,
+            self.qp_down,
+            Wqe {
+                opcode: Opcode::Send,
+                flags: if needs_flush_fence {
+                    wqe_flags::HW_OWNED | wqe_flags::FENCE
+                } else {
+                    wqe_flags::HW_OWNED
+                },
+                local_addr: staging,
+                len: payload_len(&self.layout),
+                wr_id: gen,
+                ..Wqe::default()
+            },
+            out,
+        );
+        self.pending.push_back(gen);
+        Ok(gen)
+    }
+
+    fn post_flush_read(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        offset: u64,
+        gen: u64,
+    ) {
+        fab.post_send(
+            now,
+            self.node,
+            self.qp_down,
+            Wqe {
+                opcode: Opcode::Read,
+                flags: wqe_flags::HW_OWNED,
+                local_addr: self.mirror_base,
+                len: 0,
+                remote_addr: self.layout.shared_base + offset,
+                wr_id: gen,
+                ..Wqe::default()
+            },
+            out,
+        );
+    }
+
+    /// Collects completed operations (chain acks), re-posting ack receives.
+    pub fn poll(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+    ) -> Vec<GroupAck> {
+        let cqes = fab.poll_cq(self.node, self.cq_ack, 64);
+        let mut acks = Vec::with_capacity(cqes.len());
+        for cqe in cqes {
+            assert_eq!(
+                cqe.status,
+                rnicsim::CqeStatus::Success,
+                "chain ack failed: {cqe:?}"
+            );
+            let gen = cqe.imm.expect("ack carries the generation");
+            let expected = self.pending.pop_front();
+            debug_assert_eq!(expected, Some(gen), "acks must arrive in issue order");
+            let slot = self.ack_base + (gen % self.cfg.meta_slots as u64) * self.ack_slot_size;
+            let raw = fab
+                .mem(self.node)
+                .read_vec(slot, self.layout.result_map_len())
+                .expect("ack slot in bounds");
+            let result_map = raw
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            self.completed += 1;
+            fab.post_recv(
+                now,
+                self.node,
+                self.qp_ack,
+                RecvWqe {
+                    wr_id: 0,
+                    sges: vec![],
+                },
+                out,
+            );
+            acks.push(GroupAck { gen, result_map });
+        }
+        acks
+    }
+}
+
+impl ReplicaHandle {
+    /// This replica's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Chain position (0 = first after the client).
+    pub fn idx(&self) -> u32 {
+        self.idx
+    }
+
+    /// The CQ that fires once per incoming operation — bind the maintenance
+    /// app here.
+    pub fn recv_cq(&self) -> CqId {
+        self.recv_cq_up
+    }
+
+    /// Generations pre-posted so far.
+    pub fn preposted(&self) -> u64 {
+        self.next_prepost
+    }
+
+    /// Pre-posts descriptor chains for the next `count` generations: the
+    /// upstream RECV (scattering metadata into the generation's slot), the
+    /// loopback WAIT + two indirect slots, and the downstream WAIT + three
+    /// indirect slots. This is the *only* replica-side work in steady state,
+    /// and it is off the critical path.
+    pub fn replenish(
+        &mut self,
+        fab: &mut RdmaFabric,
+        count: u32,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        for _ in 0..count {
+            let gen = self.next_prepost;
+            self.next_prepost += 1;
+            let slot = self.layout.meta_slot(gen);
+            fab.post_recv(
+                now,
+                self.node,
+                self.qp_up,
+                RecvWqe {
+                    wr_id: gen,
+                    sges: vec![(slot, payload_len(&self.layout) as u32)],
+                },
+                out,
+            );
+            // Loopback: WAIT on the upstream RECV, then two indirect images.
+            fab.post_send(
+                now,
+                self.node,
+                self.qp_loop_a,
+                Wqe {
+                    opcode: Opcode::Wait,
+                    flags: wqe_flags::HW_OWNED,
+                    wait_cq: self.recv_cq_up.0,
+                    wait_count: 1,
+                    enable_count: 2,
+                    wr_id: gen,
+                    ..Wqe::default()
+                },
+                out,
+            );
+            for img in 0..2 {
+                fab.post_send(
+                    now,
+                    self.node,
+                    self.qp_loop_a,
+                    Wqe {
+                        opcode: Opcode::Nop,
+                        flags: wqe_flags::INDIRECT, // unowned until the WAIT fires
+                        local_addr: self.layout.image_addr(gen, self.idx, img),
+                        wr_id: gen,
+                        ..Wqe::default()
+                    },
+                    out,
+                );
+            }
+            // Downstream: WAIT on the loopback completion, then three images.
+            fab.post_send(
+                now,
+                self.node,
+                self.qp_down,
+                Wqe {
+                    opcode: Opcode::Wait,
+                    flags: wqe_flags::HW_OWNED,
+                    wait_cq: self.cq_loop.0,
+                    wait_count: 1,
+                    enable_count: 3,
+                    wr_id: gen,
+                    ..Wqe::default()
+                },
+                out,
+            );
+            for img in 2..5 {
+                fab.post_send(
+                    now,
+                    self.node,
+                    self.qp_down,
+                    Wqe {
+                        opcode: Opcode::Nop,
+                        flags: wqe_flags::INDIRECT,
+                        local_addr: self.layout.image_addr(gen, self.idx, img),
+                        wr_id: gen,
+                        ..Wqe::default()
+                    },
+                    out,
+                );
+            }
+        }
+    }
+}

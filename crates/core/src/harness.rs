@@ -1,0 +1,61 @@
+//! A fabric-only simulation harness.
+//!
+//! HyperLoop's data path involves no replica CPUs, so microbenchmarks and
+//! tests can run on the RDMA fabric alone. [`FabricSim`] is a
+//! [`Model`] over [`NicEvent`]s that drops host notifications (callers poll
+//! explicitly); [`drive`] runs host-side code against the fabric and routes
+//! whatever it posted.
+
+use rnicsim::{NicEffect, NicEvent, RdmaFabric};
+use simcore::{EventQueue, Model, Outbox, SimTime, Simulation};
+
+/// A simulation whose only actor is the RDMA fabric.
+#[derive(Debug)]
+pub struct FabricSim {
+    /// The fabric under test.
+    pub fab: RdmaFabric,
+}
+
+impl Model for FabricSim {
+    type Event = NicEvent;
+    fn handle(&mut self, now: SimTime, ev: NicEvent, q: &mut EventQueue<NicEvent>) {
+        let mut out = Outbox::new();
+        self.fab.handle(now, ev, &mut out);
+        route(&mut out, q);
+    }
+}
+
+/// Routes fabric effects into the queue, dropping host notifications.
+pub fn route(out: &mut Outbox<NicEffect>, q: &mut EventQueue<NicEvent>) {
+    for (delay, eff) in out.drain() {
+        if let NicEffect::Internal(ev) = eff {
+            q.push_after(delay, ev);
+        }
+    }
+}
+
+/// Builds a fabric-only simulation.
+pub fn fabric_sim(
+    nodes: u32,
+    mem_capacity: u64,
+    nic: rnicsim::NicConfig,
+    fabric: netsim::FabricConfig,
+    seed: u64,
+) -> Simulation<FabricSim> {
+    Simulation::new(FabricSim {
+        fab: RdmaFabric::new(nodes, mem_capacity, nic, fabric, seed),
+    })
+}
+
+/// Runs host-side code against the fabric at the current instant, then
+/// routes everything it posted into the event queue.
+pub fn drive<R>(
+    sim: &mut Simulation<FabricSim>,
+    f: impl FnOnce(&mut RdmaFabric, SimTime, &mut Outbox<NicEffect>) -> R,
+) -> R {
+    let now = sim.queue.now();
+    let mut out = Outbox::new();
+    let r = f(&mut sim.model.fab, now, &mut out);
+    route(&mut out, &mut sim.queue);
+    r
+}

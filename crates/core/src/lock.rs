@@ -1,0 +1,429 @@
+//! Group locking over gCAS (paper §5, "Locking and Isolation").
+//!
+//! One 8-byte word per lock, at the same shared-region offset on every
+//! replica. Encoding:
+//!
+//! * `0` — free;
+//! * `WRITER_BIT | owner` — write-locked by `owner` on every replica
+//!   (acquired with a group CAS, undone with the execute map on partial
+//!   failure, exactly the paper's undo protocol);
+//! * `1..WRITER_BIT` — reader count. Read locks are **per replica**: only
+//!   the replica being read participates, so all replicas can serve
+//!   consistent reads concurrently (the paper's throughput argument).
+//!
+//! The lock calls are asynchronous like everything on the data path: each
+//! returns the generation of the gCAS it issued; feed the matching
+//! [`GroupAck`] back to interpret the outcome and learn the follow-up
+//! action (retry or undo).
+
+use crate::group::GroupError;
+use crate::transport::GroupTransport;
+use crate::ops::{ExecuteMap, GroupAck, GroupOp};
+use rnicsim::{NicEffect, RdmaFabric};
+use simcore::{Outbox, SimTime};
+
+/// High bit marks a writer; the rest of the word is the owner id.
+pub const WRITER_BIT: u64 = 1 << 63;
+
+/// A table of group locks occupying `count` words starting at
+/// `region_offset` in the shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockTable {
+    region_offset: u64,
+    count: u32,
+}
+
+/// Outcome of a write-lock attempt, derived from its gCAS ack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WrLockOutcome {
+    /// Every replica swapped: the lock is held group-wide.
+    Acquired,
+    /// No replica swapped (all busy): retry later. The first holder word is
+    /// reported for diagnostics.
+    Busy {
+        /// The value observed on the first replica.
+        holder: u64,
+    },
+    /// Some replicas swapped and some did not: the caller must issue the
+    /// provided undo op (a gCAS scoped to the winners) before retrying.
+    Partial {
+        /// gCAS that releases the partially acquired replicas.
+        undo: GroupOp,
+    },
+}
+
+/// Outcome of a per-replica read-lock CAS attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdLockOutcome {
+    /// The reader count advanced; the read lock is held on that replica.
+    Acquired,
+    /// A writer holds the lock; retry later.
+    WriterHeld {
+        /// The writer's word.
+        holder: u64,
+    },
+    /// The count changed concurrently; retry with the reported value.
+    Retry {
+        /// The value observed (use as the next `compare`).
+        observed: u64,
+    },
+}
+
+impl LockTable {
+    /// A table of `count` lock words at `region_offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_offset` is not 8-byte aligned or `count == 0`.
+    pub fn new(region_offset: u64, count: u32) -> Self {
+        assert_eq!(region_offset % 8, 0, "lock words must be aligned");
+        assert!(count > 0, "empty lock table");
+        LockTable {
+            region_offset,
+            count,
+        }
+    }
+
+    /// Shared-region offset of lock `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn word_offset(&self, id: u32) -> u64 {
+        assert!(id < self.count, "lock id {id} out of range");
+        self.region_offset + id as u64 * 8
+    }
+
+    /// Number of locks in the table.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Issues a group write-lock acquisition for `id` by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GroupError`] from the underlying issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` overflows into [`WRITER_BIT`].
+    pub fn wr_lock<T: GroupTransport>(
+        &self,
+        client: &mut T,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        id: u32,
+        owner: u64,
+    ) -> Result<u64, GroupError> {
+        assert!(owner & WRITER_BIT == 0, "owner id too large");
+        let gs = client.group_size();
+        client.issue(
+            fab,
+            now,
+            out,
+            GroupOp::Cas {
+                offset: self.word_offset(id),
+                compare: 0,
+                swap: WRITER_BIT | owner,
+                execute: ExecuteMap::all(gs),
+            },
+        )
+    }
+
+    /// Interprets a write-lock ack.
+    pub fn interpret_wr_lock(&self, ack: &GroupAck, id: u32, owner: u64) -> WrLockOutcome {
+        let gs = ack.result_map.len() as u32;
+        let winners = ack.cas_winners(0, ExecuteMap::all(gs));
+        if winners == ExecuteMap::all(gs) {
+            WrLockOutcome::Acquired
+        } else if winners == ExecuteMap::none() {
+            WrLockOutcome::Busy {
+                holder: ack.result_map.first().copied().unwrap_or(0),
+            }
+        } else {
+            WrLockOutcome::Partial {
+                undo: GroupOp::Cas {
+                    offset: self.word_offset(id),
+                    compare: WRITER_BIT | owner,
+                    swap: 0,
+                    execute: winners,
+                },
+            }
+        }
+    }
+
+    /// Issues a group write-lock release.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GroupError`] from the underlying issue.
+    pub fn wr_unlock<T: GroupTransport>(
+        &self,
+        client: &mut T,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        id: u32,
+        owner: u64,
+    ) -> Result<u64, GroupError> {
+        let gs = client.group_size();
+        client.issue(
+            fab,
+            now,
+            out,
+            GroupOp::Cas {
+                offset: self.word_offset(id),
+                compare: WRITER_BIT | owner,
+                swap: 0,
+                execute: ExecuteMap::all(gs),
+            },
+        )
+    }
+
+    /// Issues a read-lock CAS on one replica: `expected → expected + 1`.
+    /// Start with `expected = 0` and follow [`RdLockOutcome::Retry`] values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GroupError`] from the underlying issue.
+    #[allow(clippy::too_many_arguments)] // verbs-style call: ids + fabric triple
+    pub fn rd_lock<T: GroupTransport>(
+        &self,
+        client: &mut T,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        id: u32,
+        replica: u32,
+        expected: u64,
+    ) -> Result<u64, GroupError> {
+        client.issue(
+            fab,
+            now,
+            out,
+            GroupOp::Cas {
+                offset: self.word_offset(id),
+                compare: expected,
+                swap: expected + 1,
+                execute: ExecuteMap::none().with(replica),
+            },
+        )
+    }
+
+    /// Issues a read-lock release on one replica: `expected → expected - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GroupError`] from the underlying issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected` is zero or a writer word.
+    #[allow(clippy::too_many_arguments)] // verbs-style call: ids + fabric triple
+    pub fn rd_unlock<T: GroupTransport>(
+        &self,
+        client: &mut T,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        id: u32,
+        replica: u32,
+        expected: u64,
+    ) -> Result<u64, GroupError> {
+        assert!(expected > 0 && expected & WRITER_BIT == 0, "not reader-held");
+        client.issue(
+            fab,
+            now,
+            out,
+            GroupOp::Cas {
+                offset: self.word_offset(id),
+                compare: expected,
+                swap: expected - 1,
+                execute: ExecuteMap::none().with(replica),
+            },
+        )
+    }
+
+    /// Interprets a read-lock ack for the given replica.
+    pub fn interpret_rd_lock(&self, ack: &GroupAck, replica: u32, expected: u64) -> RdLockOutcome {
+        let observed = ack.result_map[replica as usize];
+        if observed == expected {
+            RdLockOutcome::Acquired
+        } else if observed & WRITER_BIT != 0 {
+            RdLockOutcome::WriterHeld { holder: observed }
+        } else {
+            RdLockOutcome::Retry { observed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GroupConfig;
+    use crate::group::HyperLoopGroup;
+    use crate::harness::{drive, fabric_sim, FabricSim};
+    use netsim::{FabricConfig, NodeId};
+    use rnicsim::NicConfig;
+    use simcore::Simulation;
+
+    fn setup() -> (Simulation<FabricSim>, HyperLoopGroup, LockTable) {
+        let mut sim = fabric_sim(
+            4,
+            64 << 20,
+            NicConfig::default(),
+            FabricConfig::default(),
+            3,
+        );
+        let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+        let group = drive(&mut sim, |fab, now, out| {
+            HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), now, out)
+        });
+        sim.run();
+        (sim, group, LockTable::new(1024, 16))
+    }
+
+    fn ack_of(
+        sim: &mut Simulation<FabricSim>,
+        group: &mut HyperLoopGroup,
+        gen: u64,
+    ) -> GroupAck {
+        sim.run();
+        let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
+        acks.into_iter().find(|a| a.gen == gen).expect("ack for gen")
+    }
+
+    #[test]
+    fn write_lock_acquire_and_release() {
+        let (mut sim, mut group, locks) = setup();
+        let gen = drive(&mut sim, |fab, now, out| {
+            locks.wr_lock(&mut group.client, fab, now, out, 3, 77).unwrap()
+        });
+        let ack = ack_of(&mut sim, &mut group, gen);
+        assert_eq!(locks.interpret_wr_lock(&ack, 3, 77), WrLockOutcome::Acquired);
+
+        // A second owner is rejected everywhere (Busy, not Partial).
+        let gen2 = drive(&mut sim, |fab, now, out| {
+            locks.wr_lock(&mut group.client, fab, now, out, 3, 88).unwrap()
+        });
+        let ack2 = ack_of(&mut sim, &mut group, gen2);
+        assert_eq!(
+            locks.interpret_wr_lock(&ack2, 3, 88),
+            WrLockOutcome::Busy {
+                holder: WRITER_BIT | 77
+            }
+        );
+
+        // Release, then 88 can acquire.
+        let gen3 = drive(&mut sim, |fab, now, out| {
+            locks.wr_unlock(&mut group.client, fab, now, out, 3, 77).unwrap()
+        });
+        ack_of(&mut sim, &mut group, gen3);
+        let gen4 = drive(&mut sim, |fab, now, out| {
+            locks.wr_lock(&mut group.client, fab, now, out, 3, 88).unwrap()
+        });
+        let ack4 = ack_of(&mut sim, &mut group, gen4);
+        assert_eq!(locks.interpret_wr_lock(&ack4, 3, 88), WrLockOutcome::Acquired);
+    }
+
+    #[test]
+    fn partial_acquisition_is_undone() {
+        let (mut sim, mut group, locks) = setup();
+        // Poison the lock word on replica 1 only (simulating a racing
+        // owner): write directly into its memory.
+        let layout = *group.client.layout();
+        let addr = layout.shared_base + locks.word_offset(5);
+        sim.model
+            .fab
+            .mem(NodeId(2))
+            .write_durable(addr, &(WRITER_BIT | 999).to_le_bytes())
+            .unwrap();
+
+        let gen = drive(&mut sim, |fab, now, out| {
+            locks.wr_lock(&mut group.client, fab, now, out, 5, 42).unwrap()
+        });
+        let ack = ack_of(&mut sim, &mut group, gen);
+        let WrLockOutcome::Partial { undo } = locks.interpret_wr_lock(&ack, 5, 42) else {
+            panic!("expected partial outcome, got {ack:?}");
+        };
+        // Execute the undo: replicas 0 and 2 release.
+        let gen2 = drive(&mut sim, |fab, now, out| {
+            group.client.issue(fab, now, out, undo).unwrap()
+        });
+        ack_of(&mut sim, &mut group, gen2);
+        for n in [NodeId(1), NodeId(3)] {
+            assert_eq!(
+                sim.model.fab.mem(n).read_vec(addr, 8).unwrap(),
+                0u64.to_le_bytes(),
+                "undo must release {n}"
+            );
+        }
+        // Replica 1 still belongs to the racing owner.
+        assert_eq!(
+            sim.model.fab.mem(NodeId(2)).read_vec(addr, 8).unwrap(),
+            (WRITER_BIT | 999).to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn read_locks_count_per_replica() {
+        let (mut sim, mut group, locks) = setup();
+        // Two readers on replica 1.
+        for expected in [0u64, 1] {
+            let gen = drive(&mut sim, |fab, now, out| {
+                locks
+                    .rd_lock(&mut group.client, fab, now, out, 0, 1, expected)
+                    .unwrap()
+            });
+            let ack = ack_of(&mut sim, &mut group, gen);
+            assert_eq!(
+                locks.interpret_rd_lock(&ack, 1, expected),
+                RdLockOutcome::Acquired
+            );
+        }
+        // A writer now sees replica 1 busy -> partial -> undo available.
+        let gen = drive(&mut sim, |fab, now, out| {
+            locks.wr_lock(&mut group.client, fab, now, out, 0, 7).unwrap()
+        });
+        let ack = ack_of(&mut sim, &mut group, gen);
+        assert!(matches!(
+            locks.interpret_wr_lock(&ack, 0, 7),
+            WrLockOutcome::Partial { .. }
+        ));
+    }
+
+    #[test]
+    fn stale_read_lock_expectation_retries() {
+        let (mut sim, mut group, locks) = setup();
+        let gen = drive(&mut sim, |fab, now, out| {
+            locks.rd_lock(&mut group.client, fab, now, out, 2, 0, 0).unwrap()
+        });
+        ack_of(&mut sim, &mut group, gen);
+        // Second reader wrongly assumes count 0.
+        let gen2 = drive(&mut sim, |fab, now, out| {
+            locks.rd_lock(&mut group.client, fab, now, out, 2, 0, 0).unwrap()
+        });
+        let ack2 = ack_of(&mut sim, &mut group, gen2);
+        assert_eq!(
+            locks.interpret_rd_lock(&ack2, 0, 0),
+            RdLockOutcome::Retry { observed: 1 }
+        );
+    }
+
+    #[test]
+    fn word_offsets_are_distinct_and_aligned() {
+        let t = LockTable::new(4096, 8);
+        for i in 0..8 {
+            assert_eq!(t.word_offset(i) % 8, 0);
+        }
+        assert_eq!(t.word_offset(1) - t.word_offset(0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_lock_id_panics() {
+        LockTable::new(0, 4).word_offset(4);
+    }
+}

@@ -1,0 +1,228 @@
+//! Failure detection and chain membership (paper §5, recovery).
+//!
+//! HyperLoop deliberately leaves the *control path* to the application:
+//! "group failures are detected and repaired in an application specific
+//! manner". This module provides the pieces both case-study applications
+//! share: a heartbeat-based failure detector (the paper's "configurable
+//! number of consecutive missing heartbeats" rule, after Aguilera et al.)
+//! and an epoch-numbered chain view with a recovery plan generator.
+
+use netsim::NodeId;
+use simcore::{SimDuration, SimTime};
+
+/// Failure-detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Expected heartbeat period.
+    pub interval: SimDuration,
+    /// Consecutive missed heartbeats before a member is suspected.
+    pub misses_allowed: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: SimDuration::from_millis(10),
+            misses_allowed: 3,
+        }
+    }
+}
+
+/// Tracks the last heartbeat from every chain member.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    config: HeartbeatConfig,
+    last_seen: Vec<SimTime>,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor over `members` chain positions, all considered alive at
+    /// `now`.
+    pub fn new(members: usize, config: HeartbeatConfig, now: SimTime) -> Self {
+        HeartbeatMonitor {
+            config,
+            last_seen: vec![now; members],
+        }
+    }
+
+    /// Records a heartbeat from chain position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn beat(&mut self, idx: usize, now: SimTime) {
+        self.last_seen[idx] = self.last_seen[idx].max(now);
+    }
+
+    /// The suspicion deadline: silence longer than this marks a failure.
+    pub fn deadline(&self) -> SimDuration {
+        self.config.interval * self.config.misses_allowed as u64
+    }
+
+    /// Chain positions whose silence exceeds the deadline.
+    pub fn suspected(&self, now: SimTime) -> Vec<usize> {
+        let deadline = self.deadline();
+        self.last_seen
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| now.since(t.min(now)) > deadline)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Forgets and re-admits position `idx` (after recovery).
+    pub fn reset(&mut self, idx: usize, now: SimTime) {
+        self.last_seen[idx] = now;
+    }
+}
+
+/// An epoch-numbered view of the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainView {
+    epoch: u64,
+    members: Vec<NodeId>,
+}
+
+impl ChainView {
+    /// The initial view (epoch 0).
+    pub fn new(members: Vec<NodeId>) -> Self {
+        ChainView { epoch: 0, members }
+    }
+
+    /// Current epoch; bumps on every membership change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Members in chain order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Removes a failed member, bumping the epoch. Returns false if the
+    /// node was not a member.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let before = self.members.len();
+        self.members.retain(|&m| m != node);
+        if self.members.len() != before {
+            self.epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Appends a recovered/new member at the tail, bumping the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already a member.
+    pub fn add_tail(&mut self, node: NodeId) {
+        assert!(!self.members.contains(&node), "{node} already in the chain");
+        self.members.push(node);
+        self.epoch += 1;
+    }
+}
+
+/// One step of the application-driven recovery protocol (paper §5: pause
+/// writes, catch the new member up from a live copy, rebuild the HyperLoop
+/// data path, resume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryStep {
+    /// Stop admitting new transactions.
+    PauseWrites,
+    /// Copy `bytes` of state (log + database) from a live member.
+    CopyState {
+        /// Source (live) node.
+        from: NodeId,
+        /// Destination (joining) node.
+        to: NodeId,
+        /// Bytes to transfer.
+        bytes: u64,
+    },
+    /// Tear down and re-run group setup over the new view.
+    RebuildDataPath {
+        /// The epoch the rebuilt group serves.
+        epoch: u64,
+    },
+    /// Re-admit writes.
+    ResumeWrites,
+}
+
+/// Plans the catch-up of `joining` from `source` under the given view.
+pub fn plan_rejoin(view: &ChainView, source: NodeId, joining: NodeId, bytes: u64) -> Vec<RecoveryStep> {
+    vec![
+        RecoveryStep::PauseWrites,
+        RecoveryStep::CopyState {
+            from: source,
+            to: joining,
+            bytes,
+        },
+        RecoveryStep::RebuildDataPath {
+            epoch: view.epoch() + 1,
+        },
+        RecoveryStep::ResumeWrites,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_suspects_after_deadline() {
+        let cfg = HeartbeatConfig::default();
+        let mut m = HeartbeatMonitor::new(3, cfg, SimTime::ZERO);
+        let t = SimTime::from_millis(25);
+        m.beat(0, t);
+        m.beat(2, t);
+        // Member 1 silent for 25ms < 30ms deadline: not yet suspected.
+        assert!(m.suspected(t).is_empty());
+        // At 31ms, member 1 (last seen at 0) is suspected.
+        let t2 = SimTime::from_millis(31);
+        assert_eq!(m.suspected(t2), vec![1]);
+        m.reset(1, t2);
+        assert!(m.suspected(t2).is_empty());
+    }
+
+    #[test]
+    fn beats_never_move_backwards() {
+        let mut m = HeartbeatMonitor::new(1, HeartbeatConfig::default(), SimTime::ZERO);
+        m.beat(0, SimTime::from_millis(50));
+        m.beat(0, SimTime::from_millis(10)); // stale beat
+        assert!(m.suspected(SimTime::from_millis(60)).is_empty());
+        assert_eq!(m.suspected(SimTime::from_millis(81)), vec![0]);
+    }
+
+    #[test]
+    fn view_epoch_advances_on_changes() {
+        let mut v = ChainView::new(vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(v.epoch(), 0);
+        assert!(v.remove(NodeId(2)));
+        assert_eq!(v.epoch(), 1);
+        assert_eq!(v.members(), &[NodeId(1), NodeId(3)]);
+        assert!(!v.remove(NodeId(2)), "double-remove is a no-op");
+        assert_eq!(v.epoch(), 1);
+        v.add_tail(NodeId(4));
+        assert_eq!(v.epoch(), 2);
+        assert_eq!(v.members(), &[NodeId(1), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn rejoin_plan_shape() {
+        let v = ChainView::new(vec![NodeId(1), NodeId(3)]);
+        let plan = plan_rejoin(&v, NodeId(1), NodeId(4), 1 << 20);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0], RecoveryStep::PauseWrites);
+        assert!(matches!(plan[1], RecoveryStep::CopyState { bytes, .. } if bytes == 1 << 20));
+        assert!(matches!(plan[2], RecoveryStep::RebuildDataPath { epoch: 1 }));
+        assert_eq!(plan[3], RecoveryStep::ResumeWrites);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the chain")]
+    fn duplicate_member_panics() {
+        let mut v = ChainView::new(vec![NodeId(1)]);
+        v.add_tail(NodeId(1));
+    }
+}

@@ -1,0 +1,183 @@
+//! The four group primitives, as issued by a client (paper Table 1).
+
+use std::fmt;
+
+/// Selects which replicas execute the CAS leg of a [`GroupOp::Cas`]
+/// (the paper's *execute map*). Bit `i` covers chain position `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExecuteMap(pub u64);
+
+impl ExecuteMap {
+    /// Every replica executes.
+    pub fn all(group_size: u32) -> Self {
+        ExecuteMap(if group_size >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << group_size) - 1
+        })
+    }
+
+    /// No replica executes.
+    pub fn none() -> Self {
+        ExecuteMap(0)
+    }
+
+    /// Whether chain position `idx` is selected.
+    pub fn contains(&self, idx: u32) -> bool {
+        self.0 & (1 << idx) != 0
+    }
+
+    /// Returns a copy with position `idx` selected.
+    pub fn with(mut self, idx: u32) -> Self {
+        self.0 |= 1 << idx;
+        self
+    }
+}
+
+impl fmt::Display for ExecuteMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:b}", self.0)
+    }
+}
+
+/// One group operation. Offsets are relative to the shared region base and
+/// identical on every replica (the symmetric-layout invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupOp {
+    /// gWRITE: replicate `data` at `offset` on every replica.
+    Write {
+        /// Destination offset in the shared region.
+        offset: u64,
+        /// The bytes to replicate.
+        data: Vec<u8>,
+        /// Interleave a gFLUSH so the write is durable at every hop before
+        /// it propagates.
+        flush: bool,
+    },
+    /// gCAS: compare-and-swap the 8-byte word at `offset` on the selected
+    /// replicas; the per-replica originals come back in the ack's result map.
+    Cas {
+        /// Word offset in the shared region (8-byte aligned).
+        offset: u64,
+        /// Expected value.
+        compare: u64,
+        /// Replacement value.
+        swap: u64,
+        /// Which replicas execute (others run a no-op leg).
+        execute: ExecuteMap,
+    },
+    /// gMEMCPY: on every replica, copy `len` bytes from `src` to `dst`
+    /// locally (log region → database region).
+    Memcpy {
+        /// Source offset in the shared region.
+        src: u64,
+        /// Destination offset in the shared region.
+        dst: u64,
+        /// Bytes to copy.
+        len: u64,
+        /// Flush the copy to durability on each replica.
+        flush: bool,
+    },
+    /// gFLUSH: push every replica's NIC cache to the durable medium.
+    Flush {
+        /// A shared-region offset identifying the flush target window.
+        offset: u64,
+    },
+}
+
+impl GroupOp {
+    /// Short name for traces and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GroupOp::Write { .. } => "gWRITE",
+            GroupOp::Cas { .. } => "gCAS",
+            GroupOp::Memcpy { .. } => "gMEMCPY",
+            GroupOp::Flush { .. } => "gFLUSH",
+        }
+    }
+
+    /// Payload bytes this op pushes onto the wire per hop (data only).
+    pub fn data_bytes(&self) -> u64 {
+        match self {
+            GroupOp::Write { data, .. } => data.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// A completed group operation, observed by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAck {
+    /// The operation's generation number.
+    pub gen: u64,
+    /// Per-replica result words (CAS originals; zero for other ops).
+    pub result_map: Vec<u64>,
+}
+
+impl GroupAck {
+    /// For a gCAS: true iff every *executing* replica saw the expected value
+    /// (i.e. the swap took effect group-wide).
+    pub fn cas_succeeded(&self, compare: u64, execute: ExecuteMap) -> bool {
+        self.result_map
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| execute.contains(*i as u32))
+            .all(|(_, &orig)| orig == compare)
+    }
+
+    /// Replicas (by chain position) whose CAS leg matched `compare`.
+    pub fn cas_winners(&self, compare: u64, execute: ExecuteMap) -> ExecuteMap {
+        let mut won = ExecuteMap::none();
+        for (i, &orig) in self.result_map.iter().enumerate() {
+            if execute.contains(i as u32) && orig == compare {
+                won = won.with(i as u32);
+            }
+        }
+        won
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_map_basics() {
+        let m = ExecuteMap::all(3);
+        assert!(m.contains(0) && m.contains(1) && m.contains(2));
+        assert!(!m.contains(3));
+        let n = ExecuteMap::none().with(1);
+        assert!(!n.contains(0) && n.contains(1));
+    }
+
+    #[test]
+    fn execute_map_large_group() {
+        let m = ExecuteMap::all(64);
+        assert!(m.contains(63));
+    }
+
+    #[test]
+    fn ack_cas_success_only_counts_executing() {
+        let ack = GroupAck {
+            gen: 1,
+            result_map: vec![0, 999, 0],
+        };
+        // Replica 1 mismatched but wasn't executing: still a success.
+        let exec = ExecuteMap::none().with(0).with(2);
+        assert!(ack.cas_succeeded(0, exec));
+        assert!(!ack.cas_succeeded(0, ExecuteMap::all(3)));
+        assert_eq!(ack.cas_winners(0, ExecuteMap::all(3)).0, 0b101);
+    }
+
+    #[test]
+    fn op_names_and_sizes() {
+        let w = GroupOp::Write {
+            offset: 0,
+            data: vec![0; 128],
+            flush: true,
+        };
+        assert_eq!(w.name(), "gWRITE");
+        assert_eq!(w.data_bytes(), 128);
+        assert_eq!(GroupOp::Flush { offset: 0 }.data_bytes(), 0);
+    }
+}

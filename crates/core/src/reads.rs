@@ -1,0 +1,448 @@
+//! Consistent replica reads (paper §5, "Locking and Isolation").
+//!
+//! HyperLoop's write locks keep all replicas identical, so *any* replica can
+//! serve a consistent read — that is the read-throughput argument of §5/§7.
+//! A locked read is three steps, all initiated by the client, none touching
+//! a replica CPU:
+//!
+//! 1. a per-replica read-lock gCAS (`expected → expected + 1`) on the lock
+//!    word, scoped to the one replica being read;
+//! 2. a one-sided RDMA READ of the data from that replica;
+//! 3. the matching read-unlock gCAS.
+//!
+//! [`ReplicaReader`] owns one client→replica QP per chain member and drives
+//! any number of concurrent reads as an ack-driven state machine.
+
+use crate::group::GroupClient;
+use crate::lock::{LockTable, RdLockOutcome};
+use crate::ops::GroupAck;
+use netsim::NodeId;
+use rnicsim::{wqe_flags, CqId, NicEffect, Opcode, QpId, RdmaFabric, Wqe};
+use simcore::{Outbox, SimTime};
+use std::collections::HashMap;
+
+/// Maximum bytes of one locked read.
+pub const READ_SLOT: u64 = 8192;
+
+#[derive(Debug)]
+enum Phase {
+    Locking { expected: u64 },
+    Reading,
+    Unlocking { count: u64 },
+}
+
+#[derive(Debug)]
+struct ReadState {
+    replica: u32,
+    lock_id: u32,
+    offset: u64,
+    len: u64,
+    phase: Phase,
+    data: Option<Vec<u8>>,
+}
+
+/// A completed locked read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedRead {
+    /// Token returned by [`ReplicaReader::begin`].
+    pub token: u64,
+    /// Chain position served from.
+    pub replica: u32,
+    /// The bytes read under the lock.
+    pub data: Vec<u8>,
+}
+
+/// Client-side machinery for lock-protected one-sided replica reads.
+#[derive(Debug)]
+pub struct ReplicaReader {
+    client_node: NodeId,
+    qps: Vec<QpId>,
+    cq: CqId,
+    buf_base: u64,
+    buf_slots: u32,
+    locks: LockTable,
+    shared_base: u64,
+    pending: HashMap<u64, ReadState>,
+    /// gCAS generation → read token.
+    gen_to_token: HashMap<u64, u64>,
+    next_token: u64,
+}
+
+impl ReplicaReader {
+    /// Wires one read QP from the client to every replica and a bounce
+    /// buffer; `locks` is the same table the writers use.
+    pub fn setup(
+        fab: &mut RdmaFabric,
+        client: &GroupClient,
+        replica_nodes: &[NodeId],
+        locks: LockTable,
+    ) -> ReplicaReader {
+        let client_node = client.node();
+        let cq = fab.create_cq(client_node);
+        let buf_slots = 32u32;
+        let buf_base = fab.alloc(client_node, READ_SLOT * buf_slots as u64);
+        let mut qps = Vec::with_capacity(replica_nodes.len());
+        for &rn in replica_nodes {
+            let qp = fab.create_qp(client_node, cq, cq);
+            let rcq = fab.create_cq(rn);
+            let rqp = fab.create_qp(rn, rcq, rcq);
+            fab.connect(client_node, qp, rn, rqp);
+            qps.push(qp);
+        }
+        ReplicaReader {
+            client_node,
+            qps,
+            cq,
+            buf_base,
+            buf_slots,
+            locks,
+            shared_base: client.layout().shared_base,
+            pending: HashMap::new(),
+            gen_to_token: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Reads currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Starts a locked read of `[offset, offset+len)` from chain position
+    /// `replica`, protected by `lock_id`. Completion arrives from
+    /// [`ReplicaReader::pump`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`READ_SLOT`] or `replica` is out of range.
+    #[allow(clippy::too_many_arguments)] // verbs-style call: ids + fabric triple
+    pub fn begin(
+        &mut self,
+        client: &mut GroupClient,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        replica: u32,
+        lock_id: u32,
+        offset: u64,
+        len: u64,
+    ) -> u64 {
+        assert!(len <= READ_SLOT, "read larger than the bounce slot");
+        assert!((replica as usize) < self.qps.len(), "replica out of range");
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(
+            token,
+            ReadState {
+                replica,
+                lock_id,
+                offset,
+                len,
+                phase: Phase::Locking { expected: 0 },
+                data: None,
+            },
+        );
+        let gen = self
+            .locks
+            .rd_lock(client, fab, now, out, lock_id, replica, 0)
+            .expect("lock issue");
+        self.gen_to_token.insert(gen, token);
+        token
+    }
+
+    fn post_data_read(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        token: u64,
+    ) {
+        let st = &self.pending[&token];
+        let slot = self.buf_base + (token % self.buf_slots as u64) * READ_SLOT;
+        fab.post_send(
+            now,
+            self.client_node,
+            self.qps[st.replica as usize],
+            Wqe {
+                opcode: Opcode::Read,
+                flags: wqe_flags::HW_OWNED | wqe_flags::SIGNALED,
+                local_addr: slot,
+                len: st.len,
+                remote_addr: self.shared_base + st.offset,
+                wr_id: token,
+                ..Wqe::default()
+            },
+            out,
+        );
+    }
+
+    /// Drives every pending read with the group acks the caller polled from
+    /// its [`GroupClient`] (lock/unlock legs) and this reader's own READ
+    /// completions. Returns finished reads.
+    pub fn pump(
+        &mut self,
+        client: &mut GroupClient,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        group_acks: &[GroupAck],
+    ) -> Vec<CompletedRead> {
+        let mut done = Vec::new();
+
+        // Lock / unlock acks.
+        for ack in group_acks {
+            let Some(&token) = self.gen_to_token.get(&ack.gen) else {
+                continue;
+            };
+            self.gen_to_token.remove(&ack.gen);
+            let st = self.pending.get_mut(&token).expect("pending read");
+            match st.phase {
+                Phase::Locking { expected } => {
+                    match self.locks.interpret_rd_lock(ack, st.replica, expected) {
+                        RdLockOutcome::Acquired => {
+                            st.phase = Phase::Reading;
+                            self.post_data_read(fab, now, out, token);
+                        }
+                        RdLockOutcome::Retry { observed } => {
+                            st.phase = Phase::Locking { expected: observed };
+                            let gen = self
+                                .locks
+                                .rd_lock(client, fab, now, out, st.lock_id, st.replica, observed)
+                                .expect("lock retry issue");
+                            self.gen_to_token.insert(gen, token);
+                        }
+                        RdLockOutcome::WriterHeld { .. } => {
+                            // Writer active: retry from scratch (it will
+                            // release; the chain guarantees progress).
+                            st.phase = Phase::Locking { expected: 0 };
+                            let gen = self
+                                .locks
+                                .rd_lock(client, fab, now, out, st.lock_id, st.replica, 0)
+                                .expect("lock retry issue");
+                            self.gen_to_token.insert(gen, token);
+                        }
+                    }
+                }
+                Phase::Unlocking { count } => {
+                    match self.locks.interpret_rd_lock(ack, st.replica, count) {
+                        RdLockOutcome::Acquired => {
+                            let st = self.pending.remove(&token).expect("pending read");
+                            done.push(CompletedRead {
+                                token,
+                                replica: st.replica,
+                                data: st.data.expect("data read before unlock"),
+                            });
+                        }
+                        RdLockOutcome::Retry { observed } => {
+                            // Another reader changed the count; retry with it.
+                            st.phase = Phase::Unlocking { count: observed };
+                            let gen = self
+                                .locks
+                                .rd_unlock(client, fab, now, out, st.lock_id, st.replica, observed)
+                                .expect("unlock retry issue");
+                            self.gen_to_token.insert(gen, token);
+                        }
+                        RdLockOutcome::WriterHeld { holder } => {
+                            unreachable!("writer acquired over a held read lock: {holder:#x}")
+                        }
+                    }
+                }
+                Phase::Reading => unreachable!("group ack during data read"),
+            }
+        }
+
+        // Data READ completions.
+        for cqe in fab.poll_cq(self.client_node, self.cq, 64) {
+            assert_eq!(cqe.status, rnicsim::CqeStatus::Success, "{cqe:?}");
+            let token = cqe.wr_id;
+            let st = self.pending.get_mut(&token).expect("pending read");
+            debug_assert!(matches!(st.phase, Phase::Reading));
+            let slot = self.buf_base + (token % self.buf_slots as u64) * READ_SLOT;
+            let data = fab
+                .mem(self.client_node)
+                .read_vec(slot, st.len)
+                .expect("bounce slot in bounds");
+            st.data = Some(data);
+            // Release: the count is at least 1 (ours); start optimistic.
+            st.phase = Phase::Unlocking { count: 1 };
+            let gen = self
+                .locks
+                .rd_unlock(client, fab, now, out, st.lock_id, st.replica, 1)
+                .expect("unlock issue");
+            self.gen_to_token.insert(gen, token);
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GroupConfig;
+    use crate::group::HyperLoopGroup;
+    use crate::harness::{drive, fabric_sim, FabricSim};
+    use crate::lock::WrLockOutcome;
+    use crate::ops::GroupOp;
+    use netsim::FabricConfig;
+    use rnicsim::NicConfig;
+    use simcore::Simulation;
+
+    fn setup() -> (
+        Simulation<FabricSim>,
+        HyperLoopGroup,
+        ReplicaReader,
+        LockTable,
+    ) {
+        let mut sim = fabric_sim(
+            4,
+            64 << 20,
+            NicConfig::default(),
+            FabricConfig::default(),
+            31,
+        );
+        let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+        let group = drive(&mut sim, |fab, now, out| {
+            HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), now, out)
+        });
+        sim.run();
+        let locks = LockTable::new(1 << 20, 16);
+        let reader = drive(&mut sim, |fab, _, _| {
+            ReplicaReader::setup(fab, &group.client, &nodes, locks)
+        });
+        (sim, group, reader, locks)
+    }
+
+    fn settle_reads(
+        sim: &mut Simulation<FabricSim>,
+        group: &mut HyperLoopGroup,
+        reader: &mut ReplicaReader,
+    ) -> Vec<CompletedRead> {
+        let mut done = Vec::new();
+        for _ in 0..16 {
+            sim.run();
+            let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
+            done.extend(drive(sim, |fab, now, out| {
+                reader.pump(&mut group.client, fab, now, out, &acks)
+            }));
+            if reader.in_flight() == 0 && sim.queue.is_empty() {
+                break;
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn locked_read_returns_replicated_bytes() {
+        let (mut sim, mut group, mut reader, _locks) = setup();
+        drive(&mut sim, |fab, now, out| {
+            group
+                .client
+                .issue(
+                    fab,
+                    now,
+                    out,
+                    GroupOp::Write {
+                        offset: 256,
+                        data: b"read me from any replica".to_vec(),
+                        flush: true,
+                    },
+                )
+                .unwrap()
+        });
+        sim.run();
+        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+
+        // Read from every replica in turn; all serve identical bytes.
+        for replica in 0..3u32 {
+            drive(&mut sim, |fab, now, out| {
+                reader.begin(&mut group.client, fab, now, out, replica, 0, 256, 24)
+            });
+            let done = settle_reads(&mut sim, &mut group, &mut reader);
+            assert_eq!(done.len(), 1, "read from replica {replica} incomplete");
+            assert_eq!(done[0].data, b"read me from any replica");
+            assert_eq!(done[0].replica, replica);
+        }
+        assert_eq!(sim.model.fab.stats().errors, 0);
+    }
+
+    #[test]
+    fn read_lock_cycles_the_word_back_to_zero() {
+        let (mut sim, mut group, mut reader, locks) = setup();
+        drive(&mut sim, |fab, now, out| {
+            reader.begin(&mut group.client, fab, now, out, 1, 3, 0, 64)
+        });
+        settle_reads(&mut sim, &mut group, &mut reader);
+        let layout = *group.client.layout();
+        let addr = layout.shared_base + locks.word_offset(3);
+        assert_eq!(
+            sim.model.fab.mem(NodeId(2)).read_vec(addr, 8).unwrap(),
+            0u64.to_le_bytes(),
+            "read lock leaked"
+        );
+    }
+
+    #[test]
+    fn reader_retries_past_a_writer() {
+        let (mut sim, mut group, mut reader, locks) = setup();
+        // Writer takes the group lock.
+        let wr_gen = drive(&mut sim, |fab, now, out| {
+            locks.wr_lock(&mut group.client, fab, now, out, 5, 42).unwrap()
+        });
+        sim.run();
+        let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        let ack = acks.iter().find(|a| a.gen == wr_gen).unwrap();
+        assert_eq!(locks.interpret_wr_lock(ack, 5, 42), WrLockOutcome::Acquired);
+
+        // Reader starts; its first lock attempt sees the writer.
+        drive(&mut sim, |fab, now, out| {
+            reader.begin(&mut group.client, fab, now, out, 0, 5, 128, 16)
+        });
+        sim.run();
+        let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        let done = drive(&mut sim, |fab, now, out| {
+            reader.pump(&mut group.client, fab, now, out, &acks)
+        });
+        assert!(done.is_empty(), "read must not complete under a writer");
+        assert_eq!(reader.in_flight(), 1);
+
+        // Writer releases; the reader's retry goes through.
+        drive(&mut sim, |fab, now, out| {
+            locks.wr_unlock(&mut group.client, fab, now, out, 5, 42).unwrap()
+        });
+        let done = settle_reads(&mut sim, &mut group, &mut reader);
+        assert_eq!(done.len(), 1, "reader starved after writer release");
+    }
+
+    #[test]
+    fn concurrent_reads_on_different_replicas() {
+        let (mut sim, mut group, mut reader, _locks) = setup();
+        drive(&mut sim, |fab, now, out| {
+            group
+                .client
+                .issue(
+                    fab,
+                    now,
+                    out,
+                    GroupOp::Write {
+                        offset: 0,
+                        data: vec![9; 1024],
+                        flush: true,
+                    },
+                )
+                .unwrap()
+        });
+        sim.run();
+        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+
+        drive(&mut sim, |fab, now, out| {
+            for replica in 0..3u32 {
+                reader.begin(&mut group.client, fab, now, out, replica, 0, 0, 1024);
+            }
+        });
+        let done = settle_reads(&mut sim, &mut group, &mut reader);
+        assert_eq!(done.len(), 3, "all three replicas serve concurrently");
+        for r in &done {
+            assert_eq!(r.data, vec![9; 1024]);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The transport abstraction the storage applications are written against.
+//!
+//! Both the HyperLoop data path ([`crate::GroupClient`]) and the
+//! Naïve-RDMA baseline implement [`GroupTransport`], so RocksDB- and
+//! MongoDB-style stores run unchanged over either — exactly the paper's
+//! "modified with under 1000 lines" adoption story, and the basis of every
+//! apples-to-apples comparison in the evaluation.
+
+use crate::group::{GroupClient, GroupError};
+use crate::ops::{GroupAck, GroupOp};
+use netsim::NodeId;
+use rnicsim::{CqId, NicEffect, RdmaFabric};
+use simcore::{Outbox, SimTime};
+
+/// A chain-replicated group-operation transport.
+pub trait GroupTransport {
+    /// Number of replicas in the group.
+    fn group_size(&self) -> u32;
+
+    /// The client's node.
+    fn node(&self) -> NodeId;
+
+    /// The completion queue on which chain acks arrive (bind the client's
+    /// process here for event-driven completion handling).
+    fn ack_cq(&self) -> CqId;
+
+    /// Bytes of the replicated shared region.
+    fn shared_size(&self) -> u64;
+
+    /// Operations issued but not yet acknowledged.
+    fn in_flight(&self) -> u64;
+
+    /// Maximum operations in flight.
+    fn window(&self) -> u32;
+
+    /// Issues one group operation, returning its generation.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::WindowFull`] or [`GroupError::OutOfRange`].
+    fn issue(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        op: GroupOp,
+    ) -> Result<u64, GroupError>;
+
+    /// Collects completed operations.
+    fn poll(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+    ) -> Vec<GroupAck>;
+
+    /// True if another op fits the window.
+    fn can_issue(&self) -> bool {
+        self.in_flight() < self.window() as u64
+    }
+}
+
+impl GroupTransport for GroupClient {
+    fn group_size(&self) -> u32 {
+        self.layout().group_size
+    }
+
+    fn node(&self) -> NodeId {
+        GroupClient::node(self)
+    }
+
+    fn ack_cq(&self) -> CqId {
+        GroupClient::ack_cq(self)
+    }
+
+    fn shared_size(&self) -> u64 {
+        self.layout().shared_size
+    }
+
+    fn in_flight(&self) -> u64 {
+        GroupClient::in_flight(self)
+    }
+
+    fn window(&self) -> u32 {
+        GroupClient::window(self)
+    }
+
+    fn issue(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+        op: GroupOp,
+    ) -> Result<u64, GroupError> {
+        GroupClient::issue(self, fab, now, out, op)
+    }
+
+    fn poll(
+        &mut self,
+        fab: &mut RdmaFabric,
+        now: SimTime,
+        out: &mut Outbox<NicEffect>,
+    ) -> Vec<GroupAck> {
+        GroupClient::poll(self, fab, now, out)
+    }
+}

@@ -1,0 +1,128 @@
+//! Documents: id plus named binary fields, with a compact encoding.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A document: a set of named binary fields under a dense numeric id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Document {
+    /// Document id (dense index into the collection).
+    pub id: u64,
+    /// Field name → value.
+    pub fields: BTreeMap<String, Vec<u8>>,
+}
+
+impl Document {
+    /// A document with a single field (the YCSB record shape).
+    pub fn with_field(id: u64, name: &str, value: Vec<u8>) -> Self {
+        let mut fields = BTreeMap::new();
+        fields.insert(name.to_owned(), value);
+        Document { id, fields }
+    }
+
+    /// Serialized size.
+    pub fn encoded_len(&self) -> usize {
+        8 + 4
+            + self
+                .fields
+                .iter()
+                .map(|(k, v)| 4 + k.len() + 4 + v.len())
+                .sum::<usize>()
+    }
+
+    /// Serializes: `id u64 | n u32 | (klen u32 | key | vlen u32 | val)*`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(self.encoded_len());
+        b.extend_from_slice(&self.id.to_le_bytes());
+        b.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for (k, v) in &self.fields {
+            b.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            b.extend_from_slice(k.as_bytes());
+            b.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            b.extend_from_slice(v);
+        }
+        b
+    }
+
+    /// Parses a serialized document.
+    pub fn decode(b: &[u8]) -> Option<Document> {
+        if b.len() < 12 {
+            return None;
+        }
+        let id = u64::from_le_bytes(b[0..8].try_into().ok()?);
+        let n = u32::from_le_bytes(b[8..12].try_into().ok()?) as usize;
+        let mut pos = 12;
+        let mut fields = BTreeMap::new();
+        for _ in 0..n {
+            if b.len() < pos + 4 {
+                return None;
+            }
+            let klen = u32::from_le_bytes(b[pos..pos + 4].try_into().ok()?) as usize;
+            pos += 4;
+            if b.len() < pos + klen + 4 {
+                return None;
+            }
+            let key = String::from_utf8(b[pos..pos + klen].to_vec()).ok()?;
+            pos += klen;
+            let vlen = u32::from_le_bytes(b[pos..pos + 4].try_into().ok()?) as usize;
+            pos += 4;
+            if b.len() < pos + vlen {
+                return None;
+            }
+            fields.insert(key, b[pos..pos + vlen].to_vec());
+            pos += vlen;
+        }
+        Some(Document { id, fields })
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc#{}({} fields)", self.id, self.fields.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut d = Document::with_field(7, "name", b"alice".to_vec());
+        d.fields.insert("age".into(), vec![42]);
+        let b = d.encode();
+        assert_eq!(b.len(), d.encoded_len());
+        assert_eq!(Document::decode(&b), Some(d));
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document { id: 1, fields: BTreeMap::new() };
+        assert_eq!(Document::decode(&d.encode()), Some(d));
+    }
+
+    #[test]
+    fn truncated_bytes_fail() {
+        let d = Document::with_field(1, "k", vec![1, 2, 3]);
+        let b = d.encode();
+        for cut in [0, 5, 11, b.len() - 1] {
+            assert_eq!(Document::decode(&b[..cut]), None, "cut {cut}");
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn any_doc_round_trips(
+                id in any::<u64>(),
+                raw in proptest::collection::btree_map("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..64), 0..6),
+            ) {
+                let d = Document { id, fields: raw };
+                prop_assert_eq!(Document::decode(&d.encode()), Some(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! # netsim — the data-center fabric under the RDMA NICs
+//!
+//! A deliberately simple model matching what the HyperLoop evaluation needs:
+//! every pair of nodes is connected through a lossless fabric
+//! (InfiniBand-like, 56 Gbps in the paper's testbed) with
+//!
+//! * fixed propagation delay (switching + cabling),
+//! * transmission delay proportional to message size,
+//! * small multiplicative jitter, and
+//! * **in-order delivery per directed node pair** — RDMA reliable
+//!   connections (RC queue pairs) require this, and the WAIT-chaining trick
+//!   at the heart of HyperLoop depends on it.
+//!
+//! ```
+//! use netsim::{Network, FabricConfig, NodeId};
+//! use simcore::{SimRng, SimTime};
+//!
+//! let mut net = Network::new(4, FabricConfig::default());
+//! let mut rng = SimRng::new(7);
+//! let t0 = SimTime::ZERO;
+//! let a = net.deliver_at(NodeId(0), NodeId(1), 1024, t0, &mut rng);
+//! let b = net.deliver_at(NodeId(0), NodeId(1), 64, t0, &mut rng);
+//! assert!(b >= a, "same-pair messages stay ordered");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simcore::{SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a machine on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Fabric-wide timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Link bandwidth in bits per second (56 Gbps ConnectX-3 by default).
+    pub bandwidth_bps: u64,
+    /// One-way propagation + switching delay.
+    pub propagation: SimDuration,
+    /// Multiplicative jitter: each delay is scaled by `1 + U(0, jitter)`.
+    pub jitter: f64,
+    /// Per-message fixed overhead (headers, framing).
+    pub per_message_overhead: SimDuration,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            bandwidth_bps: 56_000_000_000,
+            propagation: SimDuration::from_nanos(900),
+            jitter: 0.05,
+            per_message_overhead: SimDuration::from_nanos(100),
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Time to serialize `bytes` onto the wire at the configured bandwidth.
+    pub fn transmission(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes * 8 * 1_000_000_000 / self.bandwidth_bps)
+    }
+
+    /// Base one-way latency for a message of `bytes` (before jitter).
+    pub fn base_latency(&self, bytes: u64) -> SimDuration {
+        self.propagation + self.per_message_overhead + self.transmission(bytes)
+    }
+}
+
+/// Per-directed-pair traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages carried.
+    pub messages: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+}
+
+/// The fabric: computes delivery times and enforces per-pair FIFO order.
+#[derive(Debug)]
+pub struct Network {
+    nodes: u32,
+    config: FabricConfig,
+    /// When each node's egress port finishes its current transmission.
+    egress_free: Vec<SimTime>,
+    /// When each node's ingress port finishes its current reception.
+    ingress_free: Vec<SimTime>,
+    /// Latest delivery time so far on each directed pair (FIFO clamp).
+    channel_clock: HashMap<(NodeId, NodeId), SimTime>,
+    stats: HashMap<(NodeId, NodeId), LinkStats>,
+}
+
+impl Network {
+    /// A fabric connecting `nodes` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: u32, config: FabricConfig) -> Self {
+        assert!(nodes > 0, "network must have at least one node");
+        Network {
+            nodes,
+            config,
+            egress_free: vec![SimTime::ZERO; nodes as usize],
+            ingress_free: vec![SimTime::ZERO; nodes as usize],
+            channel_clock: HashMap::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// Number of machines on the fabric.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Computes when a message of `bytes` sent at `now` from `src` arrives at
+    /// `dst`. Each node's egress and ingress ports serialize transmissions
+    /// (one frame at a time at line rate), which is what bounds throughput —
+    /// per node, not per pair — and delivery per directed pair is FIFO,
+    /// which RDMA reliable connections require. Loopback (src == dst) costs
+    /// only the per-message overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn deliver_at(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        let st = self.stats.entry((src, dst)).or_default();
+        st.messages += 1;
+        st.bytes += bytes;
+
+        if src == dst {
+            return now + self.config.per_message_overhead;
+        }
+
+        // Serialize on both ports: a NIC transmits at most one frame at a
+        // time (egress) and a receiver drains at most line rate (ingress).
+        let start_tx = now
+            .max(self.egress_free[src.0 as usize])
+            .max(self.ingress_free[dst.0 as usize]);
+        let finish_tx = start_tx + self.config.transmission(bytes);
+        self.egress_free[src.0 as usize] = finish_tx;
+        self.ingress_free[dst.0 as usize] = finish_tx;
+
+        let tail = self.config.propagation + self.config.per_message_overhead;
+        let jitter = 1.0 + rng.next_f64() * self.config.jitter;
+        let arrival = finish_tx + tail.mul_f64(jitter);
+
+        // FIFO per directed pair: never deliver before an earlier message.
+        let clock = self
+            .channel_clock
+            .entry((src, dst))
+            .or_insert(SimTime::ZERO);
+        let ordered = arrival.max(*clock + SimDuration::from_nanos(1));
+        *clock = ordered;
+        ordered
+    }
+
+    /// Traffic carried on a directed pair so far.
+    pub fn link_stats(&self, src: NodeId, dst: NodeId) -> LinkStats {
+        self.stats.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// Total bytes carried across the whole fabric.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.values().map(|s| s.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (Network, SimRng) {
+        (Network::new(4, FabricConfig::default()), SimRng::new(1))
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        let (mut net, mut rng) = net();
+        let small = net.deliver_at(NodeId(0), NodeId(1), 64, SimTime::ZERO, &mut rng);
+        let mut net2 = Network::new(4, FabricConfig::default());
+        let large = net2.deliver_at(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO, &mut rng);
+        assert!(large > small);
+        // 1 MiB at 56 Gbps is ~150 us of transmission alone.
+        assert!(large.since(SimTime::ZERO) > SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn transmission_math() {
+        let cfg = FabricConfig::default();
+        // 56 Gbps = 7 bytes/ns -> 7000 bytes take 1000 ns.
+        assert_eq!(cfg.transmission(7000).as_nanos(), 1000);
+        assert_eq!(cfg.transmission(0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn per_pair_fifo_order() {
+        let (mut net, mut rng) = net();
+        let mut last = SimTime::ZERO;
+        for i in 0..100u64 {
+            // Decreasing sizes would reorder without the FIFO clamp.
+            let bytes = 10_000 - i * 100;
+            let t = net.deliver_at(NodeId(2), NodeId(3), bytes, SimTime::ZERO, &mut rng);
+            assert!(t > last, "message {i} delivered out of order");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn disjoint_node_pairs_are_independent() {
+        let (mut net, mut rng) = net();
+        let t1 = net.deliver_at(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO, &mut rng);
+        let t2 = net.deliver_at(NodeId(2), NodeId(3), 64, SimTime::ZERO, &mut rng);
+        assert!(t2 < t1, "disjoint pair should not be delayed");
+    }
+
+    #[test]
+    fn shared_egress_port_serializes() {
+        // One sender to two receivers: the sender's port is the bottleneck.
+        let (mut net, mut rng) = net();
+        let t1 = net.deliver_at(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO, &mut rng);
+        let t2 = net.deliver_at(NodeId(0), NodeId(2), 64, SimTime::ZERO, &mut rng);
+        assert!(t2 > t1 - FabricConfig::default().base_latency(64).mul_f64(2.0),
+            "second transmission must wait for the shared egress port");
+    }
+
+    #[test]
+    fn shared_ingress_port_serializes() {
+        // Two senders to one receiver: the receiver's port is the bottleneck.
+        let cfg = FabricConfig::default();
+        let (mut net, mut rng) = net();
+        let a = net.deliver_at(NodeId(0), NodeId(3), 1 << 20, SimTime::ZERO, &mut rng);
+        let b = net.deliver_at(NodeId(1), NodeId(3), 1 << 20, SimTime::ZERO, &mut rng);
+        let tx = cfg.transmission(1 << 20);
+        assert!(b.since(SimTime::ZERO) >= tx * 2, "ingress did not serialize");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let (mut net, mut rng) = net();
+        let t = net.deliver_at(NodeId(1), NodeId(1), 1 << 20, SimTime::ZERO, &mut rng);
+        assert_eq!(
+            t.since(SimTime::ZERO),
+            FabricConfig::default().per_message_overhead
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut net, mut rng) = net();
+        net.deliver_at(NodeId(0), NodeId(1), 100, SimTime::ZERO, &mut rng);
+        net.deliver_at(NodeId(0), NodeId(1), 200, SimTime::ZERO, &mut rng);
+        net.deliver_at(NodeId(1), NodeId(0), 50, SimTime::ZERO, &mut rng);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).messages, 2);
+        assert_eq!(net.link_stats(NodeId(0), NodeId(1)).bytes, 300);
+        assert_eq!(net.link_stats(NodeId(1), NodeId(0)).bytes, 50);
+        assert_eq!(net.total_bytes(), 350);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let cfg = FabricConfig::default();
+        let mut rng = SimRng::new(42);
+        let base = cfg.base_latency(512);
+        for _ in 0..1000 {
+            let mut fresh = Network::new(2, cfg);
+            let t = fresh.deliver_at(NodeId(0), NodeId(1), 512, SimTime::ZERO, &mut rng);
+            let d = t.since(SimTime::ZERO);
+            assert!(d >= base, "delay below base");
+            assert!(d <= base.mul_f64(1.0 + cfg.jitter) + SimDuration::from_nanos(1));
+        }
+    }
+
+    #[test]
+    fn link_serializes_back_to_back_messages() {
+        let cfg = FabricConfig::default();
+        let (mut net, mut rng) = (Network::new(2, cfg), SimRng::new(3));
+        let n = 100u64;
+        let bytes = 70_000; // 10 us of transmission each at 56 Gbps
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = net.deliver_at(NodeId(0), NodeId(1), bytes, SimTime::ZERO, &mut rng);
+        }
+        let total = last.since(SimTime::ZERO);
+        let pure_tx = cfg.transmission(bytes) * n;
+        assert!(total >= pure_tx, "link did not serialize: {total} < {pure_tx}");
+        // And no more than ~10% overhead beyond serialization + tail.
+        assert!(total <= pure_tx.mul_f64(1.1) + SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn reverse_direction_does_not_serialize_with_forward() {
+        let cfg = FabricConfig::default();
+        let (mut net, mut rng) = (Network::new(2, cfg), SimRng::new(4));
+        net.deliver_at(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO, &mut rng);
+        let back = net.deliver_at(NodeId(1), NodeId(0), 64, SimTime::ZERO, &mut rng);
+        assert!(back.since(SimTime::ZERO) < SimDuration::from_micros(5), "full duplex violated");
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_node_panics() {
+        let (mut net, mut rng) = net();
+        net.deliver_at(NodeId(0), NodeId(9), 1, SimTime::ZERO, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Conservation law: no node can source or sink traffic faster than
+        /// its port rate, whatever the traffic pattern.
+        #[test]
+        fn port_capacity_is_never_exceeded(
+            msgs in proptest::collection::vec((0u32..4, 0u32..4, 1u64..100_000), 1..100),
+        ) {
+            let cfg = FabricConfig::default();
+            let mut net = Network::new(4, cfg);
+            let mut rng = SimRng::new(11);
+            let mut last = SimTime::ZERO;
+            let mut tx_bytes = [0u64; 4];
+            let mut rx_bytes = [0u64; 4];
+            for (s, d, bytes) in msgs {
+                let (src, dst) = (NodeId(s), NodeId(d));
+                let t = net.deliver_at(src, dst, bytes, SimTime::ZERO, &mut rng);
+                last = last.max(t);
+                if s != d {
+                    tx_bytes[s as usize] += bytes;
+                    rx_bytes[d as usize] += bytes;
+                }
+            }
+            let window = last.as_secs_f64().max(1e-12);
+            for n in 0..4 {
+                let tx_bps = tx_bytes[n] as f64 * 8.0 / window;
+                let rx_bps = rx_bytes[n] as f64 * 8.0 / window;
+                prop_assert!(tx_bps <= cfg.bandwidth_bps as f64 * 1.001,
+                    "node {n} egress over line rate: {tx_bps:.2e}");
+                prop_assert!(rx_bps <= cfg.bandwidth_bps as f64 * 1.001,
+                    "node {n} ingress over line rate: {rx_bps:.2e}");
+            }
+        }
+
+        /// FIFO per directed pair holds under arbitrary interleavings.
+        #[test]
+        fn per_pair_fifo_always(
+            msgs in proptest::collection::vec((0u32..3, 0u32..3, 1u64..50_000, 0u64..10_000), 1..120),
+        ) {
+            let mut net = Network::new(3, FabricConfig::default());
+            let mut rng = SimRng::new(13);
+            let mut pair_last: std::collections::HashMap<(u32, u32), SimTime> =
+                std::collections::HashMap::new();
+            let mut now = SimTime::ZERO;
+            for (s, d, bytes, gap) in msgs {
+                now += SimDuration::from_nanos(gap);
+                let t = net.deliver_at(NodeId(s), NodeId(d), bytes, now, &mut rng);
+                if let Some(&prev) = pair_last.get(&(s, d)) {
+                    prop_assert!(t > prev, "pair ({s},{d}) reordered");
+                }
+                pair_last.insert((s, d), t);
+            }
+        }
+    }
+}

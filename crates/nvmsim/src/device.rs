@@ -1,0 +1,302 @@
+//! The byte-addressable NVM device.
+//!
+//! Writes land in a volatile layer (modelling the NIC/CPU cache hierarchy)
+//! and only become durable when flushed — exactly the boundary HyperLoop's
+//! `gFLUSH` primitive exists to manage. A [`NvmDevice::power_failure`] throws
+//! away everything volatile, so tests can prove that unflushed RDMA WRITEs
+//! are really lost.
+
+use crate::overlay::DirtyOverlay;
+use std::fmt;
+
+/// Error type for out-of-range NVM accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutOfBoundsError {
+    /// Requested offset.
+    pub offset: u64,
+    /// Requested length.
+    pub len: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for AccessOutOfBoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "access [{}, {}) exceeds device capacity {}",
+            self.offset,
+            self.offset + self.len,
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for AccessOutOfBoundsError {}
+
+/// Cumulative device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NvmStats {
+    /// Bytes accepted by `write` (volatile or durable).
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Number of flush operations (any granularity).
+    pub flushes: u64,
+    /// Bytes committed to the durable medium by flushes.
+    pub bytes_flushed: u64,
+    /// Number of injected power failures.
+    pub power_failures: u64,
+}
+
+/// A simulated NVM DIMM: durable array + volatile write-back layer.
+///
+/// ```
+/// use nvmsim::NvmDevice;
+///
+/// let mut nvm = NvmDevice::new(1024);
+/// nvm.write(0, b"hello")?;
+/// assert_eq!(nvm.read_vec(0, 5)?, b"hello");       // reads are coherent
+/// assert!(!nvm.is_durable(0, 5)?);                 // but not yet durable
+/// nvm.flush_range(0, 5)?;
+/// assert!(nvm.is_durable(0, 5)?);
+/// nvm.power_failure();
+/// assert_eq!(nvm.read_vec(0, 5)?, b"hello");       // survived the crash
+/// # Ok::<(), nvmsim::AccessOutOfBoundsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    durable: Vec<u8>,
+    volatile: DirtyOverlay,
+    stats: NvmStats,
+}
+
+impl NvmDevice {
+    /// Creates a zero-filled device of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        NvmDevice {
+            durable: vec![0; capacity as usize],
+            volatile: DirtyOverlay::new(),
+            stats: NvmStats::default(),
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.durable.len() as u64
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NvmStats {
+        self.stats
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<(), AccessOutOfBoundsError> {
+        if offset.checked_add(len).is_none_or(|end| end > self.capacity()) {
+            return Err(AccessOutOfBoundsError {
+                offset,
+                len,
+                capacity: self.capacity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` into the volatile layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), AccessOutOfBoundsError> {
+        self.check(offset, data.len() as u64)?;
+        self.volatile.write(offset, data);
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Writes and immediately flushes (a durable store).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
+    pub fn write_durable(&mut self, offset: u64, data: &[u8]) -> Result<(), AccessOutOfBoundsError> {
+        self.write(offset, data)?;
+        self.flush_range(offset, data.len() as u64)
+    }
+
+    /// Reads `buf.len()` bytes at `offset` (coherent: sees volatile bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
+    pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), AccessOutOfBoundsError> {
+        self.check(offset, buf.len() as u64)?;
+        buf.copy_from_slice(&self.durable[offset as usize..offset as usize + buf.len()]);
+        self.volatile.apply_to(offset, buf);
+        self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
+    pub fn read_vec(&mut self, offset: u64, len: u64) -> Result<Vec<u8>, AccessOutOfBoundsError> {
+        let mut buf = vec![0; len as usize];
+        self.read(offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads the *durable* bytes only — what a recovery after power failure
+    /// would observe. Does not count towards read statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
+    pub fn read_durable_vec(
+        &self,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, AccessOutOfBoundsError> {
+        self.check(offset, len)?;
+        Ok(self.durable[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    /// Commits all volatile bytes in `[offset, offset+len)` to the durable
+    /// medium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
+    pub fn flush_range(&mut self, offset: u64, len: u64) -> Result<(), AccessOutOfBoundsError> {
+        self.check(offset, len)?;
+        self.stats.flushes += 1;
+        for (o, bytes) in self.volatile.take_range(offset, len) {
+            self.stats.bytes_flushed += bytes.len() as u64;
+            self.durable[o as usize..o as usize + bytes.len()].copy_from_slice(&bytes);
+        }
+        Ok(())
+    }
+
+    /// Commits every volatile byte.
+    pub fn flush_all(&mut self) {
+        self.stats.flushes += 1;
+        for (o, bytes) in self.volatile.take_all() {
+            self.stats.bytes_flushed += bytes.len() as u64;
+            self.durable[o as usize..o as usize + bytes.len()].copy_from_slice(&bytes);
+        }
+    }
+
+    /// True if no byte of `[offset, offset+len)` is still volatile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
+    pub fn is_durable(&self, offset: u64, len: u64) -> Result<bool, AccessOutOfBoundsError> {
+        self.check(offset, len)?;
+        Ok(self.volatile.is_clean_range(offset, len))
+    }
+
+    /// Total bytes currently volatile (unflushed).
+    pub fn volatile_bytes(&self) -> u64 {
+        self.volatile.dirty_bytes()
+    }
+
+    /// Injects a power failure: all volatile bytes are lost. Reads afterwards
+    /// observe only what was flushed.
+    pub fn power_failure(&mut self) {
+        self.volatile.clear();
+        self.stats.power_failures += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherent_reads_before_flush() {
+        let mut nvm = NvmDevice::new(64);
+        nvm.write(8, b"abc").unwrap();
+        assert_eq!(nvm.read_vec(8, 3).unwrap(), b"abc");
+        assert_eq!(nvm.read_durable_vec(8, 3).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn power_failure_loses_unflushed() {
+        let mut nvm = NvmDevice::new(64);
+        nvm.write(0, b"keep").unwrap();
+        nvm.flush_range(0, 4).unwrap();
+        nvm.write(10, b"lose").unwrap();
+        nvm.power_failure();
+        assert_eq!(nvm.read_vec(0, 4).unwrap(), b"keep");
+        assert_eq!(nvm.read_vec(10, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn partial_flush_splits_durability() {
+        let mut nvm = NvmDevice::new(64);
+        nvm.write(0, &[1; 8]).unwrap();
+        nvm.flush_range(0, 4).unwrap();
+        assert!(nvm.is_durable(0, 4).unwrap());
+        assert!(!nvm.is_durable(4, 4).unwrap());
+        nvm.power_failure();
+        assert_eq!(nvm.read_vec(0, 8).unwrap(), vec![1, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn flush_all_commits_everything() {
+        let mut nvm = NvmDevice::new(128);
+        nvm.write(0, &[1; 8]).unwrap();
+        nvm.write(100, &[2; 8]).unwrap();
+        nvm.flush_all();
+        assert_eq!(nvm.volatile_bytes(), 0);
+        nvm.power_failure();
+        assert_eq!(nvm.read_vec(100, 8).unwrap(), vec![2; 8]);
+    }
+
+    #[test]
+    fn write_durable_is_immediately_durable() {
+        let mut nvm = NvmDevice::new(64);
+        nvm.write_durable(5, b"xy").unwrap();
+        assert!(nvm.is_durable(5, 2).unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_reports_error() {
+        let mut nvm = NvmDevice::new(16);
+        let err = nvm.write(10, &[0; 10]).unwrap_err();
+        assert_eq!(err.capacity, 16);
+        assert!(nvm.read_vec(17, 1).is_err());
+        assert!(nvm.flush_range(0, 17).is_err());
+        assert!(nvm.is_durable(16, 1).is_err());
+        // Offset overflow must not panic.
+        assert!(nvm.write(u64::MAX, &[1]).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut nvm = NvmDevice::new(64);
+        nvm.write(0, &[0; 10]).unwrap();
+        nvm.read_vec(0, 4).unwrap();
+        nvm.flush_range(0, 10).unwrap();
+        nvm.power_failure();
+        let s = nvm.stats();
+        assert_eq!(s.bytes_written, 10);
+        assert_eq!(s.bytes_read, 4);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.bytes_flushed, 10);
+        assert_eq!(s.power_failures, 1);
+    }
+
+    #[test]
+    fn overwrite_before_flush_keeps_latest() {
+        let mut nvm = NvmDevice::new(64);
+        nvm.write(0, b"old").unwrap();
+        nvm.write(0, b"new").unwrap();
+        nvm.flush_range(0, 3).unwrap();
+        nvm.power_failure();
+        assert_eq!(nvm.read_vec(0, 3).unwrap(), b"new");
+    }
+}

@@ -1,0 +1,28 @@
+//! # nvmsim — simulated non-volatile memory with an explicit durability boundary
+//!
+//! HyperLoop (SIGCOMM 2018) targets storage servers whose medium is
+//! battery-backed DRAM / NVM reached by RDMA. The subtle part of that stack
+//! is not persistence itself but the *durability boundary*: an RDMA WRITE is
+//! ACKed as soon as the payload reaches the destination NIC's **volatile**
+//! cache, so acknowledged data can still be lost on power failure unless an
+//! explicit flush (HyperLoop's `gFLUSH`, a 0-byte RDMA READ) pushes it to the
+//! durable medium.
+//!
+//! This crate models exactly that boundary:
+//!
+//! * [`NvmDevice`] — a byte-addressable device where writes land in a
+//!   volatile layer and only `flush_*` commits them.
+//! * [`overlay::DirtyOverlay`] — the underlying dirty-extent tracker.
+//! * [`NvmDevice::power_failure`] — drops all volatile bytes, letting tests
+//!   and experiments *observe* the data loss the paper reasons about.
+//!
+//! The paper emulated NVM with tmpfs on DRAM and could only argue about
+//! durability; the simulation makes it checkable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod overlay;
+
+pub use device::{AccessOutOfBoundsError, NvmDevice, NvmStats};

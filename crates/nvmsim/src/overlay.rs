@@ -1,0 +1,381 @@
+//! Tracking of bytes that have been written but not yet flushed to the
+//! durable medium.
+//!
+//! The overlay is a set of disjoint, non-adjacent dirty extents keyed by
+//! offset. Writes merge into existing extents; flushes commit and remove
+//! (possibly splitting) extents. Reads see overlay bytes over durable bytes,
+//! matching a write-back cache that is coherent for reads.
+
+use std::collections::BTreeMap;
+
+/// Disjoint dirty byte ranges awaiting a flush.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtyOverlay {
+    extents: BTreeMap<u64, Vec<u8>>,
+}
+
+impl DirtyOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> Self {
+        DirtyOverlay::default()
+    }
+
+    /// True if no dirty bytes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Total number of dirty bytes.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.extents.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of distinct dirty extents.
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Records a write of `data` at `offset`, merging with any overlapping
+    /// or adjacent extents.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let mut start = offset;
+        let mut bytes = data.to_vec();
+
+        // Absorb the predecessor if it overlaps or touches us.
+        if let Some((&pstart, pdata)) = self.extents.range(..=offset).next_back() {
+            let pend = pstart + pdata.len() as u64;
+            if pend >= start {
+                let pdata = self.extents.remove(&pstart).expect("extent vanished");
+                let mut merged = pdata;
+                let overlap_from = (start - pstart) as usize;
+                if merged.len() < overlap_from + bytes.len() {
+                    merged.resize(overlap_from + bytes.len(), 0);
+                }
+                merged[overlap_from..overlap_from + bytes.len()].copy_from_slice(&bytes);
+                start = pstart;
+                bytes = merged;
+            }
+        }
+
+        // Absorb successors swallowed by or touching the new extent.
+        let end = start + bytes.len() as u64;
+        let followers: Vec<u64> = self
+            .extents
+            .range(start..=end)
+            .map(|(&s, _)| s)
+            .collect();
+        for fstart in followers {
+            let fdata = self.extents.remove(&fstart).expect("extent vanished");
+            let fend = fstart + fdata.len() as u64;
+            if fend > end {
+                // Keep the follower's suffix beyond our write.
+                let keep_from = (end - fstart) as usize;
+                bytes.extend_from_slice(&fdata[keep_from..]);
+            }
+        }
+
+        self.extents.insert(start, bytes);
+    }
+
+    /// Copies overlay bytes intersecting `[offset, offset + buf.len())` onto
+    /// `buf`, which the caller has pre-filled with durable content.
+    pub fn apply_to(&self, offset: u64, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let end = offset + buf.len() as u64;
+        // The predecessor extent may stretch into our window.
+        let scan_from = self
+            .extents
+            .range(..offset)
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(offset);
+        for (&estart, edata) in self.extents.range(scan_from..end) {
+            let eend = estart + edata.len() as u64;
+            if eend <= offset {
+                continue;
+            }
+            let copy_start = estart.max(offset);
+            let copy_end = eend.min(end);
+            let src = &edata[(copy_start - estart) as usize..(copy_end - estart) as usize];
+            buf[(copy_start - offset) as usize..(copy_end - offset) as usize]
+                .copy_from_slice(src);
+        }
+    }
+
+    /// Removes and returns the dirty bytes inside `[offset, offset+len)`,
+    /// splitting extents that straddle the boundary. Each returned pair is
+    /// `(offset, bytes)`.
+    pub fn take_range(&mut self, offset: u64, len: u64) -> Vec<(u64, Vec<u8>)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = offset + len;
+        let scan_from = self
+            .extents
+            .range(..offset)
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(offset);
+        let hits: Vec<u64> = self
+            .extents
+            .range(scan_from..end)
+            .filter(|(&s, d)| s + d.len() as u64 > offset && s < end)
+            .map(|(&s, _)| s)
+            .collect();
+
+        let mut taken = Vec::new();
+        for estart in hits {
+            let edata = self.extents.remove(&estart).expect("extent vanished");
+            let eend = estart + edata.len() as u64;
+            // Prefix outside the flush window stays dirty.
+            if estart < offset {
+                let keep = edata[..(offset - estart) as usize].to_vec();
+                self.extents.insert(estart, keep);
+            }
+            // Suffix outside the flush window stays dirty.
+            if eend > end {
+                let keep = edata[(end - estart) as usize..].to_vec();
+                self.extents.insert(end, keep);
+            }
+            let tstart = estart.max(offset);
+            let tend = eend.min(end);
+            let tbytes = edata[(tstart - estart) as usize..(tend - estart) as usize].to_vec();
+            taken.push((tstart, tbytes));
+        }
+        taken
+    }
+
+    /// Removes and returns every dirty extent.
+    pub fn take_all(&mut self) -> Vec<(u64, Vec<u8>)> {
+        std::mem::take(&mut self.extents).into_iter().collect()
+    }
+
+    /// Discards all dirty bytes (a power failure).
+    pub fn clear(&mut self) {
+        self.extents.clear();
+    }
+
+    /// True if no byte in `[offset, offset+len)` is dirty.
+    pub fn is_clean_range(&self, offset: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = offset + len;
+        let scan_from = self
+            .extents
+            .range(..offset)
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(offset);
+        !self
+            .extents
+            .range(scan_from..end)
+            .any(|(&s, d)| s + d.len() as u64 > offset && s < end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(ov: &DirtyOverlay, offset: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0; len];
+        ov.apply_to(offset, &mut buf);
+        buf
+    }
+
+    #[test]
+    fn disjoint_writes_stay_separate() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(0, &[1, 1]);
+        ov.write(10, &[2, 2]);
+        assert_eq!(ov.extent_count(), 2);
+        assert_eq!(ov.dirty_bytes(), 4);
+    }
+
+    #[test]
+    fn adjacent_writes_merge() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(0, &[1, 1]);
+        ov.write(2, &[2, 2]);
+        assert_eq!(ov.extent_count(), 1);
+        assert_eq!(read(&ov, 0, 4), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn overlapping_write_wins() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(0, &[1, 1, 1, 1]);
+        ov.write(1, &[9, 9]);
+        assert_eq!(ov.extent_count(), 1);
+        assert_eq!(read(&ov, 0, 4), vec![1, 9, 9, 1]);
+    }
+
+    #[test]
+    fn write_swallowing_followers() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(2, &[1]);
+        ov.write(4, &[2]);
+        ov.write(8, &[3, 3]);
+        ov.write(0, &[7; 9]); // covers extents at 2 and 4, touches 8
+        assert_eq!(ov.extent_count(), 1);
+        assert_eq!(read(&ov, 0, 10), vec![7, 7, 7, 7, 7, 7, 7, 7, 7, 3]);
+    }
+
+    #[test]
+    fn apply_respects_window() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(5, &[1, 2, 3, 4]);
+        // Window [6, 8) sees only the middle two bytes.
+        assert_eq!(read(&ov, 6, 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn take_range_splits_straddlers() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(0, &[1, 2, 3, 4, 5, 6]);
+        let taken = ov.take_range(2, 2);
+        assert_eq!(taken, vec![(2, vec![3, 4])]);
+        assert_eq!(ov.extent_count(), 2);
+        assert_eq!(read(&ov, 0, 6), vec![1, 2, 0, 0, 5, 6]);
+        assert!(ov.is_clean_range(2, 2));
+        assert!(!ov.is_clean_range(0, 2));
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(3, &[1]);
+        ov.write(30, &[2]);
+        let all = ov.take_all();
+        assert_eq!(all.len(), 2);
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn clear_discards() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(0, &[1; 16]);
+        ov.clear();
+        assert!(ov.is_empty());
+        assert_eq!(read(&ov, 0, 16), vec![0; 16]);
+    }
+
+    #[test]
+    fn clean_range_checks() {
+        let mut ov = DirtyOverlay::new();
+        assert!(ov.is_clean_range(0, 100));
+        ov.write(10, &[1, 2]);
+        assert!(ov.is_clean_range(0, 10));
+        assert!(!ov.is_clean_range(0, 11));
+        assert!(!ov.is_clean_range(11, 5));
+        assert!(ov.is_clean_range(12, 5));
+        assert!(ov.is_clean_range(5, 0), "empty range is always clean");
+    }
+
+    #[test]
+    fn zero_length_write_is_noop() {
+        let mut ov = DirtyOverlay::new();
+        ov.write(5, &[]);
+        assert!(ov.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A naive shadow model: a map from byte offset to value.
+    #[derive(Default)]
+    struct Shadow {
+        bytes: std::collections::HashMap<u64, u8>,
+    }
+
+    impl Shadow {
+        fn write(&mut self, offset: u64, data: &[u8]) {
+            for (i, &b) in data.iter().enumerate() {
+                self.bytes.insert(offset + i as u64, b);
+            }
+        }
+        fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+            (0..len)
+                .map(|i| *self.bytes.get(&(offset + i as u64)).unwrap_or(&0))
+                .collect()
+        }
+        fn remove_range(&mut self, offset: u64, len: u64) {
+            for o in offset..offset + len {
+                self.bytes.remove(&o);
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Write(u64, Vec<u8>),
+        Flush(u64, u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..256, proptest::collection::vec(any::<u8>(), 1..32))
+                .prop_map(|(o, d)| Op::Write(o, d)),
+            (0u64..256, 1u64..64).prop_map(|(o, l)| Op::Flush(o, l)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn overlay_matches_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let mut ov = DirtyOverlay::new();
+            let mut shadow = Shadow::default();
+            for op in &ops {
+                match op {
+                    Op::Write(o, d) => {
+                        ov.write(*o, d);
+                        shadow.write(*o, d);
+                    }
+                    Op::Flush(o, l) => {
+                        let taken = ov.take_range(*o, *l);
+                        // Flushed bytes must equal the shadow's bytes there.
+                        for (toff, tdata) in &taken {
+                            prop_assert_eq!(&shadow.read(*toff, tdata.len()), tdata);
+                        }
+                        shadow.remove_range(*o, *l);
+                    }
+                }
+                // Read-back equivalence over the whole touched space.
+                let mut buf = vec![0; 320];
+                ov.apply_to(0, &mut buf);
+                prop_assert_eq!(buf, shadow.read(0, 320));
+                prop_assert_eq!(ov.dirty_bytes() as usize, shadow.bytes.len());
+            }
+        }
+
+        #[test]
+        fn extents_stay_disjoint_and_nonempty(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let mut ov = DirtyOverlay::new();
+            for op in &ops {
+                match op {
+                    Op::Write(o, d) => ov.write(*o, d),
+                    Op::Flush(o, l) => { ov.take_range(*o, *l); }
+                }
+                let mut last_end: Option<u64> = None;
+                for (s, d) in &ov.extents {
+                    prop_assert!(!d.is_empty(), "empty extent at {}", s);
+                    if let Some(le) = last_end {
+                        // Strictly disjoint AND non-adjacent after writes
+                        // (flush splits may leave adjacency; allow touching).
+                        prop_assert!(*s >= le, "overlapping extents");
+                    }
+                    last_end = Some(s + d.len() as u64);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1129 @@
+//! The RDMA fabric: every node's NIC, memory and queue state, plus the
+//! network between them.
+//!
+//! The model executes verbs the way the silicon does:
+//!
+//! * Send-queue descriptors are 64-byte images living in host memory; the
+//!   engine fetches them at execution time, so anything that can write host
+//!   memory (including a *remote* NIC, via a registered metadata region and
+//!   an `INDIRECT` descriptor) can reprogram a pre-posted operation.
+//! * Ownership is a flag bit: HyperLoop's modified driver posts WQEs without
+//!   it and hands them to the NIC later ([`RdmaFabric::grant_next`]) or lets
+//!   a triggered `WAIT` do it.
+//! * Incoming payloads land in the NVM's volatile layer tagged as NIC-dirty;
+//!   only an incoming READ (the paper's `gFLUSH`) pushes them to durability.
+
+use crate::types::{
+    wqe_flags, Cqe, CqeStatus, CqId, FabricStats, Message, MrId, NicConfig, NicEffect, NicEvent,
+    Opcode, QpId, RecvWqe, SrqId, Wqe, WQE_SIZE,
+};
+use netsim::{FabricConfig, Network, NodeId};
+use nvmsim::NvmDevice;
+use simcore::{Outbox, SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct PendingCompletion {
+    wr_id: u64,
+    opcode: Opcode,
+    signaled: bool,
+    is_read_or_atomic: bool,
+    /// Where a ReadResp/CasResp payload lands in local memory.
+    resp_dst: u64,
+}
+
+#[derive(Debug)]
+struct QueuePair {
+    peer: Option<(NodeId, QpId)>,
+    /// When set, receives come from this shared pool instead of `recvs`.
+    srq: Option<SrqId>,
+    sq_base: u64,
+    sq_slots: u32,
+    /// Monotone counter of the next slot to execute.
+    sq_head: u64,
+    /// Monotone counter of the next slot to post into.
+    sq_tail: u64,
+    send_cq: CqId,
+    recv_cq: CqId,
+    recvs: VecDeque<RecvWqe>,
+    /// Two-sided messages that arrived before a RECV was available.
+    pending_rx: VecDeque<Message>,
+    inflight: u32,
+    outstanding_reads: u32,
+    next_seq: u64,
+    pending_acks: HashMap<u64, PendingCompletion>,
+    engine_scheduled: bool,
+    parked_on_cq: Option<CqId>,
+}
+
+#[derive(Debug, Default)]
+struct Cq {
+    entries: VecDeque<Cqe>,
+    /// Completions not yet consumed by a WAIT.
+    sem: u64,
+    armed: bool,
+    waiters: Vec<QpId>,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    mem: NvmDevice,
+    alloc_cursor: u64,
+    mrs: Vec<(u64, u64)>,
+    qps: Vec<QueuePair>,
+    cqs: Vec<Cq>,
+    srqs: Vec<VecDeque<RecvWqe>>,
+    /// Ranges written through the NIC since the last flush.
+    nic_dirty: Vec<(u64, u64)>,
+}
+
+/// The whole RDMA-connected cluster: NICs, host memories, network.
+///
+/// Drive it by calling the verbs API (`post_send`, `post_recv`, …) from host
+/// code and routing every [`NicEffect::Internal`] effect back into
+/// [`RdmaFabric::handle`] after its delay.
+#[derive(Debug)]
+pub struct RdmaFabric {
+    config: NicConfig,
+    net: Network,
+    rng: SimRng,
+    nodes: Vec<NodeState>,
+    stats: FabricStats,
+}
+
+impl RdmaFabric {
+    /// Builds a fabric of `node_count` machines, each with `mem_capacity`
+    /// bytes of NVM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count == 0`.
+    pub fn new(
+        node_count: u32,
+        mem_capacity: u64,
+        config: NicConfig,
+        fabric: FabricConfig,
+        seed: u64,
+    ) -> Self {
+        RdmaFabric {
+            config,
+            net: Network::new(node_count, fabric),
+            rng: SimRng::new(seed),
+            nodes: (0..node_count)
+                .map(|_| NodeState {
+                    mem: NvmDevice::new(mem_capacity),
+                    alloc_cursor: 0,
+                    mrs: Vec::new(),
+                    qps: Vec::new(),
+                    cqs: Vec::new(),
+                    srqs: Vec::new(),
+                    nic_dirty: Vec::new(),
+                })
+                .collect(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Total bytes carried by the network so far.
+    pub fn network_bytes(&self) -> u64 {
+        self.net.total_bytes()
+    }
+
+    /// Direct access to a node's memory device (host/CPU view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn mem(&mut self, node: NodeId) -> &mut NvmDevice {
+        &mut self.nodes[node.0 as usize].mem
+    }
+
+    /// Current allocation cursor of a node (next free offset).
+    pub fn alloc_cursor(&self, node: NodeId) -> u64 {
+        self.nodes[node.0 as usize].alloc_cursor
+    }
+
+    /// Advances a node's allocation cursor to at least `offset` — used to
+    /// align a fresh node's layout with peers before a symmetric setup
+    /// (e.g. a standby joining an existing replication group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the device capacity.
+    pub fn align_allocator(&mut self, node: NodeId, offset: u64) {
+        let n = &mut self.nodes[node.0 as usize];
+        assert!(offset <= n.mem.capacity(), "cursor beyond device");
+        n.alloc_cursor = n.alloc_cursor.max(offset);
+    }
+
+    /// Bump-allocates `len` bytes (64-byte aligned) of a node's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is exhausted.
+    pub fn alloc(&mut self, node: NodeId, len: u64) -> u64 {
+        let n = &mut self.nodes[node.0 as usize];
+        let offset = (n.alloc_cursor + 63) & !63;
+        assert!(
+            offset + len <= n.mem.capacity(),
+            "node {node} out of memory: want {len} at {offset}, capacity {}",
+            n.mem.capacity()
+        );
+        n.alloc_cursor = offset + len;
+        offset
+    }
+
+    /// Registers `[offset, offset+len)` for remote access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device.
+    pub fn reg_mr(&mut self, node: NodeId, offset: u64, len: u64) -> MrId {
+        let n = &mut self.nodes[node.0 as usize];
+        assert!(offset + len <= n.mem.capacity(), "MR outside device");
+        n.mrs.push((offset, len));
+        MrId(n.mrs.len() as u32 - 1)
+    }
+
+    /// Creates a completion queue.
+    pub fn create_cq(&mut self, node: NodeId) -> CqId {
+        let n = &mut self.nodes[node.0 as usize];
+        n.cqs.push(Cq::default());
+        CqId(n.cqs.len() as u32 - 1)
+    }
+
+    /// Creates a shared receive queue: a pool of RECVs drained by every QP
+    /// attached to it, in arrival order across the QPs — the building block
+    /// the paper names for multi-client HyperLoop groups (§5).
+    pub fn create_srq(&mut self, node: NodeId) -> SrqId {
+        let n = &mut self.nodes[node.0 as usize];
+        n.srqs.push(VecDeque::new());
+        SrqId(n.srqs.len() as u32 - 1)
+    }
+
+    /// Attaches a QP's receive side to a shared receive queue. Must happen
+    /// before any message arrives on the QP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the QP already holds private receives.
+    pub fn attach_srq(&mut self, node: NodeId, qp: QpId, srq: SrqId) {
+        let n = &mut self.nodes[node.0 as usize];
+        assert!(srq.0 < n.srqs.len() as u32, "no such SRQ");
+        let q = &mut n.qps[qp.0 as usize];
+        assert!(q.recvs.is_empty(), "QP already has private receives");
+        q.srq = Some(srq);
+    }
+
+    /// Posts a receive to a shared receive queue.
+    pub fn post_srq_recv(&mut self, node: NodeId, srq: SrqId, recv: RecvWqe) {
+        self.nodes[node.0 as usize].srqs[srq.0 as usize].push_back(recv);
+    }
+
+    /// Receives available on a shared receive queue.
+    pub fn srq_depth(&self, node: NodeId, srq: SrqId) -> usize {
+        self.nodes[node.0 as usize].srqs[srq.0 as usize].len()
+    }
+
+    /// Creates a queue pair whose send ring lives in the node's memory.
+    pub fn create_qp(&mut self, node: NodeId, send_cq: CqId, recv_cq: CqId) -> QpId {
+        let slots = self.config.sq_slots;
+        let sq_base = self.alloc(node, slots as u64 * WQE_SIZE);
+        let n = &mut self.nodes[node.0 as usize];
+        assert!(send_cq.0 < n.cqs.len() as u32 && recv_cq.0 < n.cqs.len() as u32);
+        n.qps.push(QueuePair {
+            peer: None,
+            srq: None,
+            sq_base,
+            sq_slots: slots,
+            sq_head: 0,
+            sq_tail: 0,
+            send_cq,
+            recv_cq,
+            recvs: VecDeque::new(),
+            pending_rx: VecDeque::new(),
+            inflight: 0,
+            outstanding_reads: 0,
+            next_seq: 0,
+            pending_acks: HashMap::new(),
+            engine_scheduled: false,
+            parked_on_cq: None,
+        });
+        QpId(n.qps.len() as u32 - 1)
+    }
+
+    /// Connects two queue pairs as a reliable connection (both directions).
+    /// `a == b` with two different QPs forms a loopback connection used for
+    /// "local RDMA" (`gMEMCPY`, local CAS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either QP is already connected.
+    pub fn connect(&mut self, a: NodeId, qa: QpId, b: NodeId, qb: QpId) {
+        {
+            let qp = &mut self.nodes[a.0 as usize].qps[qa.0 as usize];
+            assert!(qp.peer.is_none(), "{a}/{qa} already connected");
+            qp.peer = Some((b, qb));
+        }
+        let qp = &mut self.nodes[b.0 as usize].qps[qb.0 as usize];
+        assert!(
+            qp.peer.is_none() || (a, qa) == (b, qb),
+            "{b}/{qb} already connected"
+        );
+        qp.peer = Some((a, qa));
+    }
+
+    /// Address of a send-queue slot (by monotone slot counter).
+    pub fn sq_slot_addr(&self, node: NodeId, qp: QpId, slot: u64) -> u64 {
+        let q = &self.nodes[node.0 as usize].qps[qp.0 as usize];
+        q.sq_base + (slot % q.sq_slots as u64) * WQE_SIZE
+    }
+
+    /// `(head, tail)` slot counters of a send queue.
+    pub fn sq_state(&self, node: NodeId, qp: QpId) -> (u64, u64) {
+        let q = &self.nodes[node.0 as usize].qps[qp.0 as usize];
+        (q.sq_head, q.sq_tail)
+    }
+
+    /// Posts a send-side WQE, returning its slot counter. If the descriptor
+    /// carries `HW_OWNED` the engine is kicked; otherwise it sits inert until
+    /// [`RdmaFabric::grant_next`] or a WAIT enables it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full or the QP is unconnected.
+    pub fn post_send(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        wqe: Wqe,
+        out: &mut Outbox<NicEffect>,
+    ) -> u64 {
+        let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+        assert!(q.peer.is_some(), "posting on unconnected {node}/{qp}");
+        assert!(
+            q.sq_tail - q.sq_head < q.sq_slots as u64,
+            "send queue overflow on {node}/{qp}"
+        );
+        let slot = q.sq_tail;
+        q.sq_tail += 1;
+        let addr = self.sq_slot_addr(node, qp, slot);
+        self.nodes[node.0 as usize]
+            .mem
+            .write_durable(addr, &wqe.encode())
+            .expect("ring write in bounds");
+        if wqe.is_owned() {
+            self.kick(node, qp, out);
+        }
+        let _ = now;
+        slot
+    }
+
+    /// Grants NIC ownership of the next `count` not-yet-owned WQEs (the
+    /// modified-driver call HyperLoop's client uses after rewriting
+    /// descriptors).
+    pub fn grant_next(
+        &mut self,
+        _now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        count: u32,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        let (head, tail) = self.sq_state(node, qp);
+        let mut granted = 0;
+        for slot in head..tail {
+            if granted == count {
+                break;
+            }
+            let addr = self.sq_slot_addr(node, qp, slot);
+            let mut byte = [0u8; 1];
+            self.nodes[node.0 as usize]
+                .mem
+                .read(addr + 1, &mut byte)
+                .expect("ring read in bounds");
+            if byte[0] & wqe_flags::HW_OWNED == 0 {
+                byte[0] |= wqe_flags::HW_OWNED;
+                self.nodes[node.0 as usize]
+                    .mem
+                    .write_durable(addr + 1, &byte)
+                    .expect("ring write in bounds");
+                granted += 1;
+            }
+        }
+        self.kick(node, qp, out);
+    }
+
+    /// Posts a receive-side WQE. If two-sided messages were stashed waiting
+    /// for a buffer, the oldest is delivered immediately.
+    pub fn post_recv(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        recv: RecvWqe,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        self.nodes[node.0 as usize].qps[qp.0 as usize]
+            .recvs
+            .push_back(recv);
+        if let Some(msg) = self.nodes[node.0 as usize].qps[qp.0 as usize]
+            .pending_rx
+            .pop_front()
+        {
+            self.receive(now, node, qp, msg, out);
+        }
+    }
+
+    /// Drains up to `max` host-visible completions from a CQ.
+    pub fn poll_cq(&mut self, node: NodeId, cq: CqId, max: usize) -> Vec<Cqe> {
+        let c = &mut self.nodes[node.0 as usize].cqs[cq.0 as usize];
+        let n = max.min(c.entries.len());
+        c.entries.drain(..n).collect()
+    }
+
+    /// Number of host-visible completions pending on a CQ.
+    pub fn cq_depth(&self, node: NodeId, cq: CqId) -> usize {
+        self.nodes[node.0 as usize].cqs[cq.0 as usize].entries.len()
+    }
+
+    /// Requests a [`NicEffect::HostNotify`] on the next completion.
+    pub fn arm_cq(&mut self, node: NodeId, cq: CqId) {
+        self.nodes[node.0 as usize].cqs[cq.0 as usize].armed = true;
+    }
+
+    /// Routes a previously emitted internal event back into the fabric.
+    pub fn handle(&mut self, now: SimTime, event: NicEvent, out: &mut Outbox<NicEffect>) {
+        match event {
+            NicEvent::EngineRun { node, qp } => self.engine_run(now, node, qp, out),
+            NicEvent::Deliver { node, qp, msg } => self.receive(now, node, qp, msg, out),
+        }
+    }
+
+    // ---- engine ----------------------------------------------------------
+
+    fn kick(&mut self, node: NodeId, qp: QpId, out: &mut Outbox<NicEffect>) {
+        let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+        if !q.engine_scheduled && q.parked_on_cq.is_none() {
+            q.engine_scheduled = true;
+            out.emit_now(NicEffect::Internal(NicEvent::EngineRun { node, qp }));
+        }
+    }
+
+    fn read_slot(&mut self, node: NodeId, qp: QpId, slot: u64) -> Option<Wqe> {
+        let addr = self.sq_slot_addr(node, qp, slot);
+        let mut buf = [0u8; WQE_SIZE as usize];
+        self.nodes[node.0 as usize]
+            .mem
+            .read(addr, &mut buf)
+            .expect("ring read in bounds");
+        Wqe::decode(&buf)
+    }
+
+    fn engine_run(&mut self, now: SimTime, node: NodeId, qp: QpId, out: &mut Outbox<NicEffect>) {
+        {
+            let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+            q.engine_scheduled = false;
+            if q.parked_on_cq.is_some() {
+                return; // a CQE will unpark us
+            }
+            if q.sq_head == q.sq_tail {
+                return; // empty: a post will kick
+            }
+        }
+        let slot = self.nodes[node.0 as usize].qps[qp.0 as usize].sq_head;
+        let Some(raw) = self.read_slot(node, qp, slot) else {
+            // A corrupted descriptor (bad opcode byte): complete with error.
+            self.advance_with_error(now, node, qp, 0, Opcode::Nop, out);
+            return;
+        };
+        if !raw.is_owned() {
+            return; // stalled: grant_next or a WAIT will kick
+        }
+
+        // Resolve indirection: fetch the effective image from host memory.
+        let mut fetch_cost = self.config.wqe_fetch;
+        let eff = if raw.is_indirect() {
+            fetch_cost += self.config.wqe_fetch;
+            let mut img = [0u8; WQE_SIZE as usize];
+            if self.nodes[node.0 as usize]
+                .mem
+                .read(raw.local_addr, &mut img)
+                .is_err()
+            {
+                self.advance_with_error(now, node, qp, raw.wr_id, Opcode::Nop, out);
+                return;
+            }
+            match Wqe::decode(&img) {
+                Some(w) => w,
+                None => {
+                    self.advance_with_error(now, node, qp, raw.wr_id, Opcode::Nop, out);
+                    return;
+                }
+            }
+        } else {
+            raw
+        };
+
+        if eff.opcode == Opcode::Wait {
+            self.execute_wait(now, node, qp, eff, out);
+            return;
+        }
+
+        {
+            let q = &self.nodes[node.0 as usize].qps[qp.0 as usize];
+            if eff.is_fenced() && q.outstanding_reads > 0 {
+                return; // a response arrival will kick
+            }
+            if q.inflight >= self.config.max_inflight {
+                return; // an ack will kick
+            }
+        }
+
+        match eff.opcode {
+            Opcode::Nop => {
+                let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+                q.sq_head += 1;
+                self.stats.wqes_executed += 1;
+                if eff.is_signaled() {
+                    let cqe = Cqe {
+                        qp,
+                        wr_id: eff.wr_id,
+                        opcode: Opcode::Nop,
+                        status: CqeStatus::Success,
+                        byte_len: 0,
+                        imm: None,
+                    };
+                    let send_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].send_cq;
+                    self.complete(node, send_cq, cqe, out);
+                }
+                self.reschedule(node, qp, self.config.issue_overhead, out);
+            }
+            Opcode::Send | Opcode::Write | Opcode::WriteImm => {
+                self.issue_data_op(now, node, qp, eff, fetch_cost, out)
+            }
+            Opcode::Read | Opcode::CompareSwap => {
+                self.issue_request(now, node, qp, eff, fetch_cost, out)
+            }
+            Opcode::Wait => unreachable!("handled above"),
+        }
+    }
+
+    fn execute_wait(
+        &mut self,
+        _now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        eff: Wqe,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        let cq_idx = eff.wait_cq as usize;
+        assert!(
+            cq_idx < self.nodes[node.0 as usize].cqs.len(),
+            "WAIT watches nonexistent cq{cq_idx} on {node}"
+        );
+        let satisfied =
+            self.nodes[node.0 as usize].cqs[cq_idx].sem >= eff.wait_count.max(1) as u64;
+        if !satisfied {
+            let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+            q.parked_on_cq = Some(CqId(cq_idx as u32));
+            self.nodes[node.0 as usize].cqs[cq_idx].waiters.push(qp);
+            return;
+        }
+        self.nodes[node.0 as usize].cqs[cq_idx].sem -= eff.wait_count.max(1) as u64;
+        self.stats.waits_triggered += 1;
+        self.stats.wqes_executed += 1;
+
+        // Enable the following WQEs by setting their ownership bit in memory.
+        let head = self.nodes[node.0 as usize].qps[qp.0 as usize].sq_head;
+        let tail = self.nodes[node.0 as usize].qps[qp.0 as usize].sq_tail;
+        for i in 1..=eff.enable_count as u64 {
+            let slot = head + i;
+            if slot >= tail {
+                break;
+            }
+            let addr = self.sq_slot_addr(node, qp, slot);
+            let mut byte = [0u8; 1];
+            self.nodes[node.0 as usize]
+                .mem
+                .read(addr + 1, &mut byte)
+                .expect("ring read in bounds");
+            byte[0] |= wqe_flags::HW_OWNED;
+            self.nodes[node.0 as usize]
+                .mem
+                .write_durable(addr + 1, &byte)
+                .expect("ring write in bounds");
+        }
+
+        let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+        q.sq_head += 1;
+        if eff.is_signaled() {
+            let cqe = Cqe {
+                qp,
+                wr_id: eff.wr_id,
+                opcode: Opcode::Wait,
+                status: CqeStatus::Success,
+                byte_len: 0,
+                imm: None,
+            };
+            let send_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].send_cq;
+            self.complete(node, send_cq, cqe, out);
+        }
+        self.reschedule(node, qp, self.config.wait_process, out);
+    }
+
+    /// SEND / WRITE / WRITE_IMM: gather locally, ship to the peer.
+    fn issue_data_op(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        eff: Wqe,
+        fetch_cost: SimDuration,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        let payload = match self.nodes[node.0 as usize]
+            .mem
+            .read_vec(eff.local_addr, eff.len)
+        {
+            Ok(p) => p,
+            Err(_) => {
+                self.advance_with_error(now, node, qp, eff.wr_id, eff.opcode, out);
+                return;
+            }
+        };
+        let issue_cost = fetch_cost + self.config.issue_overhead + self.config.dma(eff.len);
+        let (peer_node, peer_qp) = self.nodes[node.0 as usize].qps[qp.0 as usize]
+            .peer
+            .expect("connected");
+
+        let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.pending_acks.insert(
+            seq,
+            PendingCompletion {
+                wr_id: eff.wr_id,
+                opcode: eff.opcode,
+                signaled: eff.is_signaled(),
+                is_read_or_atomic: false,
+                resp_dst: 0,
+            },
+        );
+        q.inflight += 1;
+        q.sq_head += 1;
+        self.stats.wqes_executed += 1;
+
+        let msg = match eff.opcode {
+            Opcode::Send => Message::Send {
+                payload,
+                imm: None,
+                seq,
+            },
+            Opcode::Write => Message::Write {
+                remote_addr: eff.remote_addr,
+                payload,
+                imm: None,
+                seq,
+            },
+            Opcode::WriteImm => Message::Write {
+                remote_addr: eff.remote_addr,
+                payload,
+                imm: Some(eff.compare_or_imm),
+                seq,
+            },
+            _ => unreachable!(),
+        };
+        let arrival = self.net.deliver_at(
+            node,
+            peer_node,
+            msg.wire_bytes(),
+            now + issue_cost,
+            &mut self.rng,
+        );
+        out.emit(
+            arrival.since(now),
+            NicEffect::Internal(NicEvent::Deliver {
+                node: peer_node,
+                qp: peer_qp,
+                msg,
+            }),
+        );
+        self.reschedule(node, qp, issue_cost, out);
+    }
+
+    /// READ / CAS: small request, response carries the data.
+    fn issue_request(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        eff: Wqe,
+        fetch_cost: SimDuration,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        let issue_cost = fetch_cost + self.config.issue_overhead;
+        let (peer_node, peer_qp) = self.nodes[node.0 as usize].qps[qp.0 as usize]
+            .peer
+            .expect("connected");
+        let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.pending_acks.insert(
+            seq,
+            PendingCompletion {
+                wr_id: eff.wr_id,
+                opcode: eff.opcode,
+                signaled: eff.is_signaled(),
+                is_read_or_atomic: true,
+                resp_dst: eff.local_addr,
+            },
+        );
+        q.inflight += 1;
+        q.outstanding_reads += 1;
+        q.sq_head += 1;
+        self.stats.wqes_executed += 1;
+
+        let msg = match eff.opcode {
+            Opcode::Read => Message::ReadReq {
+                remote_addr: eff.remote_addr,
+                len: eff.len,
+                seq,
+            },
+            Opcode::CompareSwap => Message::CasReq {
+                remote_addr: eff.remote_addr,
+                compare: eff.compare_or_imm,
+                swap: eff.swap,
+                seq,
+            },
+            _ => unreachable!(),
+        };
+        let arrival = self.net.deliver_at(
+            node,
+            peer_node,
+            msg.wire_bytes(),
+            now + issue_cost,
+            &mut self.rng,
+        );
+        out.emit(
+            arrival.since(now),
+            NicEffect::Internal(NicEvent::Deliver {
+                node: peer_node,
+                qp: peer_qp,
+                msg,
+            }),
+        );
+        self.reschedule(node, qp, issue_cost, out);
+    }
+
+    fn advance_with_error(
+        &mut self,
+        _now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        wr_id: u64,
+        opcode: Opcode,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+        q.sq_head += 1;
+        self.stats.errors += 1;
+        let send_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].send_cq;
+        let cqe = Cqe {
+            qp,
+            wr_id,
+            opcode,
+            status: CqeStatus::LocalAccessError,
+            byte_len: 0,
+            imm: None,
+        };
+        self.complete(node, send_cq, cqe, out);
+        self.reschedule(node, qp, self.config.issue_overhead, out);
+    }
+
+    fn reschedule(&mut self, node: NodeId, qp: QpId, delay: SimDuration, out: &mut Outbox<NicEffect>) {
+        let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+        if !q.engine_scheduled {
+            q.engine_scheduled = true;
+            out.emit(delay, NicEffect::Internal(NicEvent::EngineRun { node, qp }));
+        }
+    }
+
+    // ---- responder side --------------------------------------------------
+
+    /// If stashed two-sided messages can now be served, schedule the oldest
+    /// for redelivery.
+    fn drain_stash(&mut self, node: NodeId, qp: QpId, out: &mut Outbox<NicEffect>) {
+        if !self.nodes[node.0 as usize].qps[qp.0 as usize]
+            .pending_rx
+            .is_empty()
+            && self.recv_available(node, qp)
+        {
+            let msg = self.nodes[node.0 as usize].qps[qp.0 as usize]
+                .pending_rx
+                .pop_front()
+                .expect("non-empty");
+            out.emit_now(NicEffect::Internal(NicEvent::Deliver { node, qp, msg }));
+        }
+    }
+
+    fn recv_available(&self, node: NodeId, qp: QpId) -> bool {
+        let q = &self.nodes[node.0 as usize].qps[qp.0 as usize];
+        match q.srq {
+            Some(srq) => !self.nodes[node.0 as usize].srqs[srq.0 as usize].is_empty(),
+            None => !q.recvs.is_empty(),
+        }
+    }
+
+    fn pop_recv(&mut self, node: NodeId, qp: QpId) -> Option<RecvWqe> {
+        let srq = self.nodes[node.0 as usize].qps[qp.0 as usize].srq;
+        match srq {
+            Some(srq) => self.nodes[node.0 as usize].srqs[srq.0 as usize].pop_front(),
+            None => self.nodes[node.0 as usize].qps[qp.0 as usize].recvs.pop_front(),
+        }
+    }
+
+    fn mr_covers(&self, node: NodeId, addr: u64, len: u64) -> bool {
+        let span = len.max(1);
+        self.nodes[node.0 as usize]
+            .mrs
+            .iter()
+            .any(|&(o, l)| addr >= o && addr + span <= o + l)
+    }
+
+    fn nic_write(&mut self, node: NodeId, addr: u64, data: &[u8]) {
+        self.nodes[node.0 as usize]
+            .mem
+            .write(addr, data)
+            .expect("bounds pre-checked");
+        if !data.is_empty() {
+            self.nodes[node.0 as usize]
+                .nic_dirty
+                .push((addr, data.len() as u64));
+        }
+    }
+
+    fn receive(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        qp: QpId,
+        msg: Message,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        // Per-QP FIFO with receiver-not-ready stashing: if older two-sided
+        // messages are parked waiting for receives, the newcomer queues
+        // behind them and the oldest is (re)tried first.
+        let msg = {
+            let two_sided = matches!(
+                &msg,
+                Message::Send { .. } | Message::Write { imm: Some(_), .. }
+            );
+            let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+            if two_sided && !q.pending_rx.is_empty() {
+                q.pending_rx.push_back(msg);
+                q.pending_rx.pop_front().expect("non-empty")
+            } else {
+                msg
+            }
+        };
+        let (peer_node, peer_qp) = self.nodes[node.0 as usize].qps[qp.0 as usize]
+            .peer
+            .expect("connected");
+        match msg {
+            Message::Write {
+                remote_addr,
+                payload,
+                imm,
+                seq,
+            } => {
+                if imm.is_some() && !self.recv_available(node, qp) {
+                    // Receiver not ready: stash until a RECV is posted.
+                    self.nodes[node.0 as usize].qps[qp.0 as usize]
+                        .pending_rx
+                        .push_back(Message::Write {
+                            remote_addr,
+                            payload,
+                            imm,
+                            seq,
+                        });
+                    return;
+                }
+                let ok = self.mr_covers(node, remote_addr, payload.len() as u64);
+                let cost = if ok {
+                    self.nic_write(node, remote_addr, &payload);
+                    if let Some(imm_val) = imm {
+                        let recv = self.pop_recv(node, qp).expect("checked above");
+                        let recv_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].recv_cq;
+                        let cqe = Cqe {
+                            qp,
+                            wr_id: recv.wr_id,
+                            opcode: Opcode::WriteImm,
+                            status: CqeStatus::Success,
+                            byte_len: payload.len() as u64,
+                            imm: Some(imm_val),
+                        };
+                        self.complete(node, recv_cq, cqe, out);
+                    }
+                    self.config.dma(payload.len() as u64)
+                } else {
+                    self.stats.errors += 1;
+                    SimDuration::ZERO
+                };
+                let status = if ok {
+                    CqeStatus::Success
+                } else {
+                    CqeStatus::RemoteAccessError
+                };
+                self.respond(now, cost, node, peer_node, peer_qp, Message::Ack { seq, status }, out);
+            }
+            Message::Send { payload, imm, seq } => {
+                if !self.recv_available(node, qp) {
+                    self.nodes[node.0 as usize].qps[qp.0 as usize]
+                        .pending_rx
+                        .push_back(Message::Send { payload, imm, seq });
+                    return;
+                }
+                let recv = self.pop_recv(node, qp).expect("checked above");
+                let capacity: u64 = recv.sges.iter().map(|&(_, l)| l as u64).sum();
+                let ok = capacity >= payload.len() as u64;
+                let status = if ok {
+                    let mut off = 0usize;
+                    for &(addr, len) in &recv.sges {
+                        if off >= payload.len() {
+                            break;
+                        }
+                        let take = (payload.len() - off).min(len as usize);
+                        let chunk = payload[off..off + take].to_vec();
+                        self.nic_write(node, addr, &chunk);
+                        off += take;
+                    }
+                    CqeStatus::Success
+                } else {
+                    self.stats.errors += 1;
+                    CqeStatus::LocalAccessError
+                };
+                let recv_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].recv_cq;
+                let cqe = Cqe {
+                    qp,
+                    wr_id: recv.wr_id,
+                    opcode: Opcode::Send,
+                    status,
+                    byte_len: payload.len() as u64,
+                    imm,
+                };
+                let cost = self.config.dma(payload.len() as u64);
+                self.complete(node, recv_cq, cqe, out);
+                self.respond(now, cost, node, peer_node, peer_qp, Message::Ack { seq, status }, out);
+                self.drain_stash(node, qp, out);
+            }
+            Message::ReadReq {
+                remote_addr,
+                len,
+                seq,
+            } => {
+                // A PCIe read forces write-back of everything the NIC has
+                // posted: this is the durability point of gFLUSH.
+                let dirty: Vec<(u64, u64)> =
+                    std::mem::take(&mut self.nodes[node.0 as usize].nic_dirty);
+                let flushed_any = !dirty.is_empty();
+                for (o, l) in dirty {
+                    self.nodes[node.0 as usize]
+                        .mem
+                        .flush_range(o, l)
+                        .expect("dirty range in bounds");
+                }
+                if flushed_any {
+                    self.stats.nic_flushes += 1;
+                }
+                let ok = self.mr_covers(node, remote_addr, len);
+                let (payload, status) = if ok {
+                    let data = if len > 0 {
+                        self.nodes[node.0 as usize]
+                            .mem
+                            .read_vec(remote_addr, len)
+                            .expect("MR-covered read")
+                    } else {
+                        Vec::new()
+                    };
+                    (data, CqeStatus::Success)
+                } else {
+                    self.stats.errors += 1;
+                    (Vec::new(), CqeStatus::RemoteAccessError)
+                };
+                let cost = self.config.flush_base + self.config.dma(len);
+                self.respond(
+                    now,
+                    cost,
+                    node,
+                    peer_node,
+                    peer_qp,
+                    Message::ReadResp {
+                        seq,
+                        payload,
+                        status,
+                    },
+                    out,
+                );
+            }
+            Message::CasReq {
+                remote_addr,
+                compare,
+                swap,
+                seq,
+            } => {
+                let (original, status) = if remote_addr % 8 != 0 {
+                    self.stats.errors += 1;
+                    (0, CqeStatus::MisalignedAtomic)
+                } else if !self.mr_covers(node, remote_addr, 8) {
+                    self.stats.errors += 1;
+                    (0, CqeStatus::RemoteAccessError)
+                } else {
+                    let cur = self.nodes[node.0 as usize]
+                        .mem
+                        .read_vec(remote_addr, 8)
+                        .expect("MR-covered read");
+                    let original = u64::from_le_bytes(cur.try_into().unwrap());
+                    if original == compare {
+                        let bytes = swap.to_le_bytes();
+                        self.nic_write(node, remote_addr, &bytes);
+                    }
+                    (original, CqeStatus::Success)
+                };
+                self.respond(
+                    now,
+                    self.config.cas_latency,
+                    node,
+                    peer_node,
+                    peer_qp,
+                    Message::CasResp {
+                        seq,
+                        original,
+                        status,
+                    },
+                    out,
+                );
+            }
+            Message::Ack { seq, status } => {
+                self.complete_request(node, qp, seq, status, None, out);
+            }
+            Message::ReadResp {
+                seq,
+                payload,
+                status,
+            } => {
+                self.complete_request(node, qp, seq, status, Some(payload), out);
+            }
+            Message::CasResp {
+                seq,
+                original,
+                status,
+            } => {
+                self.complete_request(
+                    node,
+                    qp,
+                    seq,
+                    status,
+                    Some(original.to_le_bytes().to_vec()),
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Sends a response `cost` after `now`; the emitted delay is relative to
+    /// `now` (the current handler instant).
+    #[allow(clippy::too_many_arguments)] // wire-level plumbing, all distinct
+    fn respond(
+        &mut self,
+        now: SimTime,
+        cost: SimDuration,
+        from: NodeId,
+        to: NodeId,
+        to_qp: QpId,
+        msg: Message,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        let arrival = self
+            .net
+            .deliver_at(from, to, msg.wire_bytes(), now + cost, &mut self.rng);
+        out.emit(
+            arrival.since(now),
+            NicEffect::Internal(NicEvent::Deliver {
+                node: to,
+                qp: to_qp,
+                msg,
+            }),
+        );
+    }
+
+    fn complete_request(
+        &mut self,
+        node: NodeId,
+        qp: QpId,
+        seq: u64,
+        status: CqeStatus,
+        resp_payload: Option<Vec<u8>>,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        let pending = {
+            let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
+            let Some(p) = q.pending_acks.remove(&seq) else {
+                return; // duplicate/stale
+            };
+            q.inflight -= 1;
+            if p.is_read_or_atomic {
+                q.outstanding_reads -= 1;
+            }
+            p
+        };
+        if let Some(data) = resp_payload {
+            if !data.is_empty() && status == CqeStatus::Success {
+                self.nic_write(node, pending.resp_dst, &data);
+            }
+        }
+        if pending.signaled || status != CqeStatus::Success {
+            let send_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].send_cq;
+            let byte_len = 0;
+            let cqe = Cqe {
+                qp,
+                wr_id: pending.wr_id,
+                opcode: pending.opcode,
+                status,
+                byte_len,
+                imm: None,
+            };
+            self.complete(node, send_cq, cqe, out);
+        }
+        // Window/fence capacity freed: let the engine make progress.
+        self.kick(node, qp, out);
+    }
+
+    /// Appends a CQE, bumps the WAIT semaphore, notifies the host and
+    /// unparks engines waiting on this CQ.
+    fn complete(&mut self, node: NodeId, cq: CqId, cqe: Cqe, out: &mut Outbox<NicEffect>) {
+        let c = &mut self.nodes[node.0 as usize].cqs[cq.0 as usize];
+        c.entries.push_back(cqe);
+        c.sem += 1;
+        if c.armed {
+            c.armed = false;
+            out.emit_now(NicEffect::HostNotify { node, cq });
+        }
+        let waiters = std::mem::take(&mut c.waiters);
+        for qp in waiters {
+            self.nodes[node.0 as usize].qps[qp.0 as usize].parked_on_cq = None;
+            self.kick(node, qp, out);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Key-choice distributions used by storage benchmarks.
+//!
+//! These mirror the generators in the YCSB core package:
+//!
+//! * [`Zipfian`] — classic zipf over `0..n` with the YCSB constant 0.99.
+//! * [`ScrambledZipfian`] — zipf popularity spread over the keyspace by
+//!   hashing, so hot keys are not clustered at low indices.
+//! * [`Latest`] — skewed towards the most recently inserted item.
+//! * [`UniformKeys`] — uniform over `0..n`.
+//!
+//! ```
+//! use simcore::dist::{KeyChooser, Zipfian};
+//! use simcore::rng::SimRng;
+//!
+//! let mut rng = SimRng::new(1);
+//! let mut zipf = Zipfian::new(1000);
+//! let k = zipf.next_key(&mut rng);
+//! assert!(k < 1000);
+//! ```
+
+use crate::rng::SimRng;
+
+/// Anything that can pick the next key index for a workload.
+pub trait KeyChooser {
+    /// Draws the next key in `[0, item_count)`.
+    fn next_key(&mut self, rng: &mut SimRng) -> u64;
+    /// Number of items currently covered by the distribution.
+    fn item_count(&self) -> u64;
+    /// Informs the distribution that the keyspace has grown (after inserts).
+    fn grow(&mut self, new_count: u64);
+}
+
+/// The YCSB zipfian constant.
+pub const YCSB_ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// Zipf-distributed key chooser (Gray et al.'s rejection-free method, as in
+/// YCSB's `ZipfianGenerator`).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zeta_n: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+/// Incrementally extends `zeta(old_n)` to `zeta(new_n)`.
+fn zeta_incr(old_n: u64, new_n: u64, theta: f64, old_zeta: f64) -> f64 {
+    old_zeta + ((old_n + 1)..=new_n).map(|i| 1.0 / (i as f64).powf(theta)).sum::<f64>()
+}
+
+impl Zipfian {
+    /// A zipfian chooser over `items` keys with the standard YCSB skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn new(items: u64) -> Self {
+        Self::with_theta(items, YCSB_ZIPFIAN_CONSTANT)
+    }
+
+    /// A zipfian chooser with an explicit skew parameter `theta ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `theta` is not in `(0, 1)`.
+    pub fn with_theta(items: u64, theta: f64) -> Self {
+        assert!(items > 0, "zipfian over empty keyspace");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1): {theta}");
+        let zeta_n = zeta(items, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        Zipfian {
+            items,
+            theta,
+            zeta_n,
+            zeta2,
+            alpha,
+            eta,
+        }
+    }
+}
+
+impl KeyChooser for Zipfian {
+    fn next_key(&mut self, rng: &mut SimRng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.items as f64) * spread) as u64
+    }
+
+    fn item_count(&self) -> u64 {
+        self.items
+    }
+
+    fn grow(&mut self, new_count: u64) {
+        if new_count <= self.items {
+            return;
+        }
+        self.zeta_n = zeta_incr(self.items, new_count, self.theta, self.zeta_n);
+        self.items = new_count;
+        self.eta = (1.0 - (2.0 / self.items as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zeta_n);
+    }
+}
+
+/// Zipf popularity with the hot keys scattered across the keyspace by a
+/// 64-bit mix hash (YCSB `ScrambledZipfianGenerator`).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+fn fnv_mix(mut x: u64) -> u64 {
+    // fmix64 from MurmurHash3 with a pre-offset: fmix64(0) == 0, and key 0 is
+    // the zipfian hot key, so without the offset the hot key would stay at
+    // index 0 — defeating the scramble.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+impl ScrambledZipfian {
+    /// A scrambled-zipfian chooser over `items` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn new(items: u64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(items),
+        }
+    }
+}
+
+impl KeyChooser for ScrambledZipfian {
+    fn next_key(&mut self, rng: &mut SimRng) -> u64 {
+        fnv_mix(self.inner.next_key(rng)) % self.inner.item_count()
+    }
+
+    fn item_count(&self) -> u64 {
+        self.inner.item_count()
+    }
+
+    fn grow(&mut self, new_count: u64) {
+        self.inner.grow(new_count);
+    }
+}
+
+/// Skews towards recently inserted keys: key = newest − zipf_draw
+/// (YCSB `SkewedLatestGenerator`). Used by workload D.
+#[derive(Debug, Clone)]
+pub struct Latest {
+    inner: Zipfian,
+}
+
+impl Latest {
+    /// A latest-skewed chooser over `items` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn new(items: u64) -> Self {
+        Latest {
+            inner: Zipfian::new(items),
+        }
+    }
+}
+
+impl KeyChooser for Latest {
+    fn next_key(&mut self, rng: &mut SimRng) -> u64 {
+        let n = self.inner.item_count();
+        let offset = self.inner.next_key(rng).min(n - 1);
+        n - 1 - offset
+    }
+
+    fn item_count(&self) -> u64 {
+        self.inner.item_count()
+    }
+
+    fn grow(&mut self, new_count: u64) {
+        self.inner.grow(new_count);
+    }
+}
+
+/// Uniform key chooser.
+#[derive(Debug, Clone)]
+pub struct UniformKeys {
+    items: u64,
+}
+
+impl UniformKeys {
+    /// A uniform chooser over `items` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn new(items: u64) -> Self {
+        assert!(items > 0, "uniform over empty keyspace");
+        UniformKeys { items }
+    }
+}
+
+impl KeyChooser for UniformKeys {
+    fn next_key(&mut self, rng: &mut SimRng) -> u64 {
+        rng.gen_range(0..self.items)
+    }
+
+    fn item_count(&self) -> u64 {
+        self.items
+    }
+
+    fn grow(&mut self, new_count: u64) {
+        self.items = self.items.max(new_count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw_counts<C: KeyChooser>(chooser: &mut C, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SimRng::new(seed);
+        let mut counts = vec![0usize; chooser.item_count() as usize];
+        for _ in 0..draws {
+            let k = chooser.next_key(&mut rng) as usize;
+            assert!(k < counts.len(), "key {k} out of range");
+            counts[k] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn zipfian_is_skewed_towards_low_keys() {
+        let mut z = Zipfian::new(1000);
+        let counts = draw_counts(&mut z, 100_000, 1);
+        // Key 0 should be far more popular than key 500.
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // Top-10 keys should hold a large share of all draws.
+        let top10: usize = counts[..10].iter().sum();
+        assert!(top10 > 30_000, "top-10 share too small: {top10}");
+    }
+
+    #[test]
+    fn zipfian_grow_extends_range() {
+        let mut z = Zipfian::new(100);
+        z.grow(200);
+        assert_eq!(z.item_count(), 200);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            assert!(z.next_key(&mut rng) < 200);
+        }
+    }
+
+    #[test]
+    fn zipfian_grow_matches_fresh_zeta() {
+        let mut z = Zipfian::new(100);
+        z.grow(500);
+        let fresh = Zipfian::new(500);
+        assert!((z.zeta_n - fresh.zeta_n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut s = ScrambledZipfian::new(1000);
+        let counts = draw_counts(&mut s, 100_000, 3);
+        // The most popular key should NOT be key 0 after scrambling
+        // (fmix64(0) % 1000 != 0), but some key must still be very hot.
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 5_000, "no hot key after scrambling: {max}");
+        assert!(counts[0] < max, "hot key unexpectedly at index 0");
+    }
+
+    #[test]
+    fn latest_prefers_newest() {
+        let mut l = Latest::new(1000);
+        let counts = draw_counts(&mut l, 100_000, 4);
+        assert!(counts[999] > 20 * counts[10].max(1));
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut u = UniformKeys::new(10);
+        let counts = draw_counts(&mut u, 100_000, 5);
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn latest_tracks_growth() {
+        let mut l = Latest::new(10);
+        l.grow(1000);
+        let counts = draw_counts(&mut l, 50_000, 6);
+        assert!(counts[999] > counts[5], "latest ignored growth");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipfian_empty_panics() {
+        let _ = Zipfian::new(0);
+    }
+}

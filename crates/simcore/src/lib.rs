@@ -1,0 +1,74 @@
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! The foundation of the HyperLoop reproduction: every other crate in the
+//! workspace (the RDMA NIC model, the CPU scheduler, the network fabric, the
+//! storage applications) is built as a state machine driven by this engine.
+//!
+//! The engine is deliberately minimal:
+//!
+//! * [`time`] — virtual nanosecond clock ([`SimTime`], [`SimDuration`]).
+//! * [`queue`] — the future event list with deterministic tie-breaking.
+//! * [`model`] — the [`Model`] trait, [`Simulation`] run loops and the
+//!   [`Outbox`] pattern for composing sub-components.
+//! * [`rng`] — a self-contained, cross-platform deterministic PRNG.
+//! * [`dist`] — YCSB-style key-choice distributions (zipfian, latest, …).
+//! * [`stats`] — HDR-style histograms and latency summaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::prelude::*;
+//!
+//! struct Arrivals {
+//!     rng: SimRng,
+//!     histogram: Histogram,
+//!     remaining: u32,
+//! }
+//!
+//! impl Model for Arrivals {
+//!     type Event = SimTime; // carries the enqueue timestamp
+//!     fn handle(&mut self, now: SimTime, sent: SimTime, q: &mut EventQueue<SimTime>) {
+//!         self.histogram.record(now.since(sent));
+//!         if self.remaining > 0 {
+//!             self.remaining -= 1;
+//!             let delay = SimDuration::from_nanos(self.rng.gen_range(100..200));
+//!             q.push_after(delay, now);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Arrivals {
+//!     rng: SimRng::new(1),
+//!     histogram: Histogram::new(),
+//!     remaining: 1000,
+//! });
+//! sim.queue.push(SimTime::ZERO, SimTime::ZERO);
+//! sim.run();
+//! assert_eq!(sim.model.histogram.count(), 1001);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod model;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use model::{Model, Outbox, Simulation};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, LatencySummary};
+pub use time::{SimDuration, SimTime};
+
+/// One-stop imports for simulation code.
+pub mod prelude {
+    pub use crate::dist::{KeyChooser, Latest, ScrambledZipfian, UniformKeys, Zipfian};
+    pub use crate::model::{Model, Outbox, Simulation};
+    pub use crate::queue::EventQueue;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{Counter, Histogram, LatencySummary};
+    pub use crate::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,271 @@
+//! The future event list: a priority queue ordered by virtual time.
+//!
+//! Ties are broken by insertion order so that runs are fully deterministic:
+//! two events scheduled for the same instant fire in the order they were
+//! pushed.
+//!
+//! ```
+//! use simcore::queue::EventQueue;
+//! use simcore::time::{SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::from_micros(2), "second");
+//! q.push(SimTime::from_micros(1), "first");
+//! q.push_after(SimDuration::from_micros(2), "tied-with-second");
+//! assert_eq!(q.pop().unwrap().1, "first");
+//! assert_eq!(q.pop().unwrap().1, "second");
+//! assert_eq!(q.pop().unwrap().1, "tied-with-second");
+//! assert!(q.pop().is_none());
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq) out
+    // first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future event list.
+///
+/// Tracks the current virtual time: popping an event advances the clock to
+/// that event's timestamp. Scheduling into the past is a logic error and
+/// panics, which catches causality bugs early.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current virtual time.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current virtual time.
+    pub fn push_after(&mut self, delay: SimDuration, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` to fire immediately (at the current virtual time,
+    /// after all already-queued events for this instant).
+    pub fn push_now(&mut self, event: E) {
+        self.push(self.now, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), ());
+        q.pop();
+        q.push(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn push_now_fires_at_current_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), "a");
+        q.pop();
+        q.push_now("b");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(10));
+        assert_eq!(e, "b");
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push_after(SimDuration::from_nanos(1), ());
+        q.push_after(SimDuration::from_nanos(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pops_are_globally_time_ordered_and_fifo_within_instants(
+            delays in proptest::collection::vec(0u64..1000, 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &d) in delays.iter().enumerate() {
+                q.push(SimTime::from_nanos(d), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            let mut popped = 0;
+            while let Some((t, id)) = q.pop() {
+                popped += 1;
+                if let Some((lt, lid)) = last {
+                    prop_assert!(t >= lt, "time went backwards");
+                    if t == lt {
+                        prop_assert!(id > lid, "same-instant FIFO violated");
+                    }
+                }
+                prop_assert_eq!(q.now(), t);
+                last = Some((t, id));
+            }
+            prop_assert_eq!(popped, delays.len());
+        }
+
+        #[test]
+        fn interleaved_push_pop_never_loses_events(
+            script in proptest::collection::vec((any::<bool>(), 0u64..500), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            let mut pushed = 0u64;
+            let mut popped = 0u64;
+            for (do_pop, delay) in script {
+                if do_pop {
+                    if q.pop().is_some() {
+                        popped += 1;
+                    }
+                } else {
+                    q.push_after(SimDuration::from_nanos(delay), ());
+                    pushed += 1;
+                }
+            }
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert_eq!(pushed, popped);
+        }
+    }
+}

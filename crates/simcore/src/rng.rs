@@ -1,0 +1,292 @@
+//! Deterministic pseudo-random numbers for simulations.
+//!
+//! Experiments must be exactly reproducible across platforms and runs, so the
+//! simulator carries its own small PRNG instead of depending on `rand`'s
+//! version-to-version stream changes. The generator is SplitMix64 seeding a
+//! 128-bit xoshiro-style state — far more than adequate statistical quality
+//! for workload generation.
+//!
+//! ```
+//! use simcore::rng::SimRng;
+//!
+//! let mut a = SimRng::new(42);
+//! let mut b = SimRng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//! let x = a.gen_range(10..20);
+//! assert!((10..20).contains(&x));
+//! ```
+
+/// A small, fast, deterministic PRNG (xoshiro256++ seeded via SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child generator; used to give each component
+    /// its own stream so adding draws in one place does not perturb others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        // Lemire's debiased multiply-shift.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                lo = m as u64;
+            }
+        }
+        range.start + (m >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_range(0..n as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// A sample from the exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "invalid mean: {mean}");
+        // Inverse CDF; clamp the uniform away from 0 to keep ln finite.
+        let u = self.next_f64().max(1e-18);
+        -mean * u.ln()
+    }
+
+    /// An approximately normal sample (Irwin–Hall sum of 12 uniforms),
+    /// adequate for latency jitter.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.next_f64()).sum();
+        mean + (sum - 6.0) * std_dev
+    }
+
+    /// A sample from a bounded Pareto distribution (heavy tail for service
+    /// times). `alpha` is the shape, values fall in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not satisfy `0 < min < max`, `alpha > 0`.
+    pub fn bounded_pareto(&mut self, alpha: f64, min: f64, max: f64) -> f64 {
+        assert!(min > 0.0 && max > min && alpha > 0.0, "invalid pareto params");
+        // Inverse CDF of the bounded Pareto:
+        //   F(x) = (1 - (L/x)^a) / (1 - (L/H)^a)
+        //   x    = L * (1 - u * (1 - (L/H)^a))^(-1/a)
+        let u = self.next_f64();
+        let ratio = (min / max).powf(alpha);
+        min * (1.0 - u * (1.0 - ratio)).powf(-1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.gen_index(items.len())])
+        }
+    }
+
+    /// Fills `buf` with random bytes (for synthetic payloads).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let x = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&x[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SimRng::new(99);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(100..110);
+            assert!((100..110).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SimRng::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::new(13);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(50.0)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "observed mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::new(17);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+        assert!((var.sqrt() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut rng = SimRng::new(19);
+        for _ in 0..10_000 {
+            let x = rng.bounded_pareto(1.5, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&x), "sample {x}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = SimRng::new(29);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::new(31);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+}

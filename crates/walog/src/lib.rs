@@ -1,0 +1,26 @@
+//! # walog — the write-ahead log substrate
+//!
+//! HyperLoop's storage applications (paper §5) structure every transaction
+//! as a redo record — a list of `(data, len, offset)` modifications — that
+//! is first replicated into each replica's write-ahead log region (gWRITE +
+//! gFLUSH) and later applied to the database region (gMEMCPY + gFLUSH),
+//! after which the head pointer advances (gWRITE + gFLUSH).
+//!
+//! This crate provides the storage-format half of that story, independent of
+//! any transport:
+//!
+//! * [`LogRecord`] / [`LogEntry`] — the redo-record wire format, CRC-checked
+//!   and self-delimiting;
+//! * [`scan`] — the recovery pass that replays every whole record and stops
+//!   at the first torn one;
+//! * [`WalRing`] — head/tail placement bookkeeping for a log living in a
+//!   fixed NVM region, keeping records contiguous for one-shot RDMA writes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod ring;
+
+pub use record::{crc32, scan, DecodeError, LogEntry, LogRecord, HEADER_SIZE, MAGIC};
+pub use ring::{Placement, WalRing};

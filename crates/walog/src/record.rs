@@ -1,0 +1,399 @@
+//! Redo-log records.
+//!
+//! Following the paper (§5, "Log Replication"): *"Each log record is a
+//! redo-log and structured as a list of modifications to the database. Each
+//! entry in the list contains a 3-tuple of (data, len, offset) representing
+//! that data of length len is to be copied at offset in the database."*
+//!
+//! The wire format is self-delimiting and CRC-protected so a recovery scan
+//! can stop at the first torn record:
+//!
+//! ```text
+//! +-------+--------+---------+-------------+-------+----------------------+
+//! | magic | tx_id  | n_entry | payload_len | crc32 | entries...           |
+//! | u32   | u64    | u32     | u32         | u32   |                      |
+//! +-------+--------+---------+-------------+-------+----------------------+
+//! entry := offset u64 | len u32 | data [len bytes]
+//! ```
+
+use std::fmt;
+
+/// Record magic ("WALR").
+pub const MAGIC: u32 = 0x5741_4C52;
+
+/// Fixed header size in bytes.
+pub const HEADER_SIZE: usize = 4 + 8 + 4 + 4 + 4;
+
+/// One modification: copy `data` to `offset` in the database region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Destination offset in the database region.
+    pub offset: u64,
+    /// Bytes to place there.
+    pub data: Vec<u8>,
+}
+
+/// One transaction's redo record: a list of modifications applied atomically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Transaction identifier (monotone per log).
+    pub tx_id: u64,
+    /// The modifications.
+    pub entries: Vec<LogEntry>,
+}
+
+/// Why decoding failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than a header, or payload shorter than declared.
+    Truncated,
+    /// Magic mismatch: not a record boundary (or zeroed space).
+    BadMagic,
+    /// CRC mismatch: torn or corrupted record.
+    BadChecksum,
+    /// Entry lengths inconsistent with the declared payload length.
+    Malformed,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DecodeError::Truncated => "record truncated",
+            DecodeError::BadMagic => "bad record magic",
+            DecodeError::BadChecksum => "checksum mismatch",
+            DecodeError::Malformed => "malformed entry list",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// CRC-32 (IEEE 802.3), bitwise implementation; plenty fast for simulation.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl LogRecord {
+    /// A record with a single entry.
+    pub fn single(tx_id: u64, offset: u64, data: Vec<u8>) -> Self {
+        LogRecord {
+            tx_id,
+            entries: vec![LogEntry { offset, data }],
+        }
+    }
+
+    /// Total bytes this record occupies on the log.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_SIZE
+            + self
+                .entries
+                .iter()
+                .map(|e| 12 + e.data.len())
+                .sum::<usize>()
+    }
+
+    /// Sum of entry data lengths (the real payload being replicated).
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.data.len()).sum()
+    }
+
+    /// Byte offset, within the encoded record, of each entry's `data` field.
+    /// Lets a replicated-log layer point a `gMEMCPY` at an entry's bytes
+    /// without re-encoding.
+    pub fn entry_data_offsets(&self) -> Vec<u64> {
+        let mut pos = HEADER_SIZE as u64;
+        let mut out = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            pos += 12;
+            out.push(pos);
+            pos += e.data.len() as u64;
+        }
+        out
+    }
+
+    /// Serializes the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.encoded_len() - HEADER_SIZE);
+        for e in &self.entries {
+            payload.extend_from_slice(&e.offset.to_le_bytes());
+            payload.extend_from_slice(&(e.data.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&e.data);
+        }
+        let mut buf = Vec::with_capacity(HEADER_SIZE + payload.len());
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&self.tx_id.to_le_bytes());
+        buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        buf
+    }
+
+    /// Parses one record from the front of `buf`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the buffer does not start with a whole,
+    /// well-formed, checksum-valid record.
+    pub fn decode(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
+        if buf.len() < HEADER_SIZE {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let tx_id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let n_entries = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+        let payload_len = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[20..24].try_into().unwrap());
+        if buf.len() < HEADER_SIZE + payload_len {
+            return Err(DecodeError::Truncated);
+        }
+        let payload = &buf[HEADER_SIZE..HEADER_SIZE + payload_len];
+        if crc32(payload) != crc {
+            return Err(DecodeError::BadChecksum);
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        let mut pos = 0usize;
+        for _ in 0..n_entries {
+            if payload.len() < pos + 12 {
+                return Err(DecodeError::Malformed);
+            }
+            let offset = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(payload[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            pos += 12;
+            if payload.len() < pos + len {
+                return Err(DecodeError::Malformed);
+            }
+            entries.push(LogEntry {
+                offset,
+                data: payload[pos..pos + len].to_vec(),
+            });
+            pos += len;
+        }
+        if pos != payload.len() {
+            return Err(DecodeError::Malformed);
+        }
+        Ok((LogRecord { tx_id, entries }, HEADER_SIZE + payload_len))
+    }
+}
+
+/// Scans `buf` for consecutive valid records from the front, stopping at the
+/// first invalid one (the recovery pass).
+pub fn scan(buf: &[u8]) -> Vec<LogRecord> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        match LogRecord::decode(&buf[pos..]) {
+            Ok((rec, used)) => {
+                out.push(rec);
+                pos += used;
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LogRecord {
+        LogRecord {
+            tx_id: 42,
+            entries: vec![
+                LogEntry {
+                    offset: 100,
+                    data: b"hello".to_vec(),
+                },
+                LogEntry {
+                    offset: 7000,
+                    data: vec![1, 2, 3],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let rec = sample();
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        let (back, used) = LogRecord::decode(&bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn decode_with_trailing_garbage() {
+        let mut bytes = sample().encode();
+        let clean_len = bytes.len();
+        bytes.extend_from_slice(&[0xAB; 40]);
+        let (back, used) = LogRecord::decode(&bytes).unwrap();
+        assert_eq!(back, sample());
+        assert_eq!(used, clean_len);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().encode();
+        for cut in [0, 5, HEADER_SIZE - 1, HEADER_SIZE + 3, bytes.len() - 1] {
+            assert_eq!(
+                LogRecord::decode(&bytes[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample().encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload bit
+        assert_eq!(
+            LogRecord::decode(&bytes).unwrap_err(),
+            DecodeError::BadChecksum
+        );
+    }
+
+    #[test]
+    fn zeroed_space_is_bad_magic() {
+        let zeros = vec![0u8; 64];
+        assert_eq!(LogRecord::decode(&zeros).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn scan_stops_at_first_invalid() {
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            buf.extend_from_slice(&LogRecord::single(i, i * 8, vec![i as u8; 16]).encode());
+        }
+        let cut = buf.len() - 3; // tear the last record
+        let records = scan(&buf[..cut]);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[3].tx_id, 3);
+    }
+
+    #[test]
+    fn scan_of_empty_region() {
+        assert!(scan(&[]).is_empty());
+        assert!(scan(&[0u8; 256]).is_empty());
+    }
+
+    #[test]
+    fn entry_data_offsets_point_at_the_data() {
+        let rec = sample();
+        let bytes = rec.encode();
+        let offs = rec.entry_data_offsets();
+        assert_eq!(offs.len(), 2);
+        for (o, e) in offs.iter().zip(&rec.entries) {
+            assert_eq!(&bytes[*o as usize..*o as usize + e.data.len()], &e.data[..]);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let rec = LogRecord {
+            tx_id: 0,
+            entries: vec![],
+        };
+        let bytes = rec.encode();
+        let (back, _) = LogRecord::decode(&bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_record() -> impl Strategy<Value = LogRecord> {
+            (
+                any::<u64>(),
+                proptest::collection::vec(
+                    (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+                    0..8,
+                ),
+            )
+                .prop_map(|(tx_id, raw)| LogRecord {
+                    tx_id,
+                    entries: raw
+                        .into_iter()
+                        .map(|(offset, data)| LogEntry { offset, data })
+                        .collect(),
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn any_record_round_trips(rec in arb_record()) {
+                let bytes = rec.encode();
+                prop_assert_eq!(bytes.len(), rec.encoded_len());
+                let (back, used) = LogRecord::decode(&bytes).unwrap();
+                prop_assert_eq!(back, rec);
+                prop_assert_eq!(used, bytes.len());
+            }
+
+            #[test]
+            fn any_single_bitflip_is_detected(rec in arb_record(), flip in any::<proptest::sample::Index>()) {
+                let mut bytes = rec.encode();
+                let i = flip.index(bytes.len());
+                bytes[i] ^= 0x01;
+                // Either an error, or (if tx_id/offset bits flipped but CRC
+                // still matches — impossible for payload, possible only in
+                // unprotected header fields) a different record.
+                match LogRecord::decode(&bytes) {
+                    Err(_) => {}
+                    Ok((back, _)) => prop_assert_ne!(back, rec),
+                }
+            }
+
+            #[test]
+            fn scan_recovers_full_prefix(recs in proptest::collection::vec(arb_record(), 1..10), cut_tail in 0usize..20) {
+                let mut buf = Vec::new();
+                let mut sizes = Vec::new();
+                for r in &recs {
+                    let b = r.encode();
+                    sizes.push(b.len());
+                    buf.extend_from_slice(&b);
+                }
+                let cut = buf.len().saturating_sub(cut_tail);
+                let scanned = scan(&buf[..cut]);
+                // Whole records before the cut must all be recovered.
+                let mut whole = 0;
+                let mut acc = 0;
+                for s in &sizes {
+                    if acc + s <= cut {
+                        whole += 1;
+                        acc += s;
+                    } else {
+                        break;
+                    }
+                }
+                prop_assert_eq!(scanned.len(), whole);
+                for (a, b) in scanned.iter().zip(&recs) {
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+    }
+}

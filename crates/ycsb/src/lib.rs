@@ -1,0 +1,439 @@
+//! # ycsb — the Yahoo! Cloud Serving Benchmark workload generator
+//!
+//! Implements the standard core workloads the paper evaluates with
+//! (Table 3):
+//!
+//! | Workload | Read | Update | Insert | Read-modify-write | Scan | Request distribution |
+//! |---|---|---|---|---|---|---|
+//! | A | 50% | 50% | – | – | – | scrambled zipfian |
+//! | B | 95% | 5%  | – | – | – | scrambled zipfian |
+//! | C | 100% | –  | – | – | – | scrambled zipfian |
+//! | D | 95% | –   | 5% | – | – | latest |
+//! | E | –   | –   | 5% | – | 95% | scrambled zipfian + uniform scan length |
+//! | F | 50% | –   | – | 50% | – | scrambled zipfian |
+//!
+//! Keys are 32-byte strings derived from a u64 index; values are 1024-byte
+//! payloads (the paper's record shape). The generator is deterministic
+//! given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simcore::dist::{KeyChooser, Latest, ScrambledZipfian, UniformKeys};
+use simcore::SimRng;
+use std::fmt;
+
+/// Key length in bytes (paper: 32-byte keys).
+pub const KEY_LEN: usize = 32;
+
+/// Default value length in bytes (paper: 1024-byte values).
+pub const VALUE_LEN: usize = 1024;
+
+/// Maximum scan length for workload E.
+pub const MAX_SCAN_LEN: u64 = 100;
+
+/// One generated database operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Point read of a key.
+    Read {
+        /// Key index.
+        key: u64,
+    },
+    /// Overwrite the value of an existing key.
+    Update {
+        /// Key index.
+        key: u64,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Insert a fresh key (extends the keyspace).
+    Insert {
+        /// The newly allocated key index.
+        key: u64,
+        /// Value.
+        value: Vec<u8>,
+    },
+    /// Read a key then write it back modified (workload F).
+    ReadModifyWrite {
+        /// Key index.
+        key: u64,
+        /// Replacement value.
+        value: Vec<u8>,
+    },
+    /// Range scan starting at a key (workload E).
+    Scan {
+        /// Starting key index.
+        key: u64,
+        /// Number of records to scan.
+        len: u64,
+    },
+}
+
+impl Operation {
+    /// The operation's key.
+    pub fn key(&self) -> u64 {
+        match self {
+            Operation::Read { key }
+            | Operation::Update { key, .. }
+            | Operation::Insert { key, .. }
+            | Operation::ReadModifyWrite { key, .. }
+            | Operation::Scan { key, .. } => *key,
+        }
+    }
+
+    /// True for operations that write (and therefore replicate).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Operation::Update { .. }
+                | Operation::Insert { .. }
+                | Operation::ReadModifyWrite { .. }
+        )
+    }
+
+    /// Short label ("read", "update", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Operation::Read { .. } => "read",
+            Operation::Update { .. } => "update",
+            Operation::Insert { .. } => "insert",
+            Operation::ReadModifyWrite { .. } => "rmw",
+            Operation::Scan { .. } => "scan",
+        }
+    }
+}
+
+/// Which standard workload to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 50% read / 50% update, zipfian.
+    A,
+    /// 95% read / 5% update, zipfian.
+    B,
+    /// 100% read, zipfian.
+    C,
+    /// 95% read / 5% insert, latest.
+    D,
+    /// 95% scan / 5% insert, zipfian starts.
+    E,
+    /// 50% read / 50% read-modify-write, zipfian.
+    F,
+}
+
+impl Workload {
+    /// All workloads the paper reports (Figure 12): A, B, D, E, F.
+    pub const PAPER_SET: [Workload; 5] = [
+        Workload::A,
+        Workload::B,
+        Workload::D,
+        Workload::E,
+        Workload::F,
+    ];
+
+    /// Operation mix as (read, update, insert, rmw, scan) percentages.
+    pub fn mix(&self) -> (u32, u32, u32, u32, u32) {
+        match self {
+            Workload::A => (50, 50, 0, 0, 0),
+            Workload::B => (95, 5, 0, 0, 0),
+            Workload::C => (100, 0, 0, 0, 0),
+            Workload::D => (95, 0, 5, 0, 0),
+            Workload::E => (0, 0, 5, 0, 95),
+            Workload::F => (50, 0, 0, 50, 0),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "YCSB-{self:?}")
+    }
+}
+
+enum Chooser {
+    Zipf(ScrambledZipfian),
+    Latest(Latest),
+}
+
+impl Chooser {
+    fn next(&mut self, rng: &mut SimRng) -> u64 {
+        match self {
+            Chooser::Zipf(z) => z.next_key(rng),
+            Chooser::Latest(l) => l.next_key(rng),
+        }
+    }
+
+    fn grow(&mut self, n: u64) {
+        match self {
+            Chooser::Zipf(z) => z.grow(n),
+            Chooser::Latest(l) => l.grow(n),
+        }
+    }
+}
+
+/// Deterministic operation stream for one workload.
+pub struct Generator {
+    workload: Workload,
+    rng: SimRng,
+    chooser: Chooser,
+    scan_len: UniformKeys,
+    record_count: u64,
+    value_len: usize,
+}
+
+impl fmt::Debug for Generator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Generator")
+            .field("workload", &self.workload)
+            .field("records", &self.record_count)
+            .finish()
+    }
+}
+
+impl Generator {
+    /// A generator over `record_count` pre-loaded records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_count == 0`.
+    pub fn new(workload: Workload, record_count: u64, seed: u64) -> Self {
+        Self::with_value_len(workload, record_count, seed, VALUE_LEN)
+    }
+
+    /// A generator with a custom value size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_count == 0` or `value_len == 0`.
+    pub fn with_value_len(
+        workload: Workload,
+        record_count: u64,
+        seed: u64,
+        value_len: usize,
+    ) -> Self {
+        assert!(record_count > 0, "empty keyspace");
+        assert!(value_len > 0, "empty values");
+        let mut rng = SimRng::new(seed);
+        let chooser = match workload {
+            Workload::D => Chooser::Latest(Latest::new(record_count)),
+            _ => Chooser::Zipf(ScrambledZipfian::new(record_count)),
+        };
+        let scan_len = UniformKeys::new(MAX_SCAN_LEN);
+        let _ = &mut rng;
+        Generator {
+            workload,
+            rng,
+            chooser,
+            scan_len,
+            record_count,
+            value_len,
+        }
+    }
+
+    /// Current keyspace size (grows with inserts).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    fn value(&mut self) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_len];
+        self.rng.fill_bytes(&mut v);
+        v
+    }
+
+    fn insert(&mut self) -> Operation {
+        let key = self.record_count;
+        self.record_count += 1;
+        self.chooser.grow(self.record_count);
+        let value = self.value();
+        Operation::Insert { key, value }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let (read, update, insert, rmw, _scan) = self.workload.mix();
+        let roll = self.rng.gen_range(0..100) as u32;
+        if roll < read {
+            Operation::Read {
+                key: self.chooser.next(&mut self.rng),
+            }
+        } else if roll < read + update {
+            let key = self.chooser.next(&mut self.rng);
+            let value = self.value();
+            Operation::Update { key, value }
+        } else if roll < read + update + insert {
+            self.insert()
+        } else if roll < read + update + insert + rmw {
+            let key = self.chooser.next(&mut self.rng);
+            let value = self.value();
+            Operation::ReadModifyWrite { key, value }
+        } else {
+            let key = self.chooser.next(&mut self.rng);
+            let len = self.scan_len.next_key(&mut self.rng) + 1;
+            Operation::Scan { key, len }
+        }
+    }
+}
+
+/// Renders a key index as the fixed-width 32-byte key string YCSB uses
+/// (`user` + zero-padded decimal, padded to [`KEY_LEN`]).
+pub fn key_bytes(key: u64) -> [u8; KEY_LEN] {
+    let mut out = [b'0'; KEY_LEN];
+    out[..4].copy_from_slice(b"user");
+    let digits = format!("{key:020}");
+    out[4..24].copy_from_slice(digits.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn mix_of(workload: Workload, n: usize) -> HashMap<&'static str, usize> {
+        let mut g = Generator::new(workload, 10_000, 42);
+        let mut counts = HashMap::new();
+        for _ in 0..n {
+            *counts.entry(g.next_op().kind()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    fn frac(counts: &HashMap<&str, usize>, k: &str, n: usize) -> f64 {
+        *counts.get(k).unwrap_or(&0) as f64 / n as f64
+    }
+
+    #[test]
+    fn workload_a_mix() {
+        let n = 100_000;
+        let c = mix_of(Workload::A, n);
+        assert!((frac(&c, "read", n) - 0.5).abs() < 0.02);
+        assert!((frac(&c, "update", n) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn workload_b_mix() {
+        let n = 100_000;
+        let c = mix_of(Workload::B, n);
+        assert!((frac(&c, "read", n) - 0.95).abs() < 0.01);
+        assert!((frac(&c, "update", n) - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn workload_d_mix_and_growth() {
+        let n = 100_000;
+        let mut g = Generator::new(Workload::D, 10_000, 7);
+        let mut inserts = 0;
+        for _ in 0..n {
+            if matches!(g.next_op(), Operation::Insert { .. }) {
+                inserts += 1;
+            }
+        }
+        assert!((inserts as f64 / n as f64 - 0.05).abs() < 0.01);
+        assert_eq!(g.record_count(), 10_000 + inserts);
+    }
+
+    #[test]
+    fn workload_e_scans_dominate() {
+        let n = 50_000;
+        let c = mix_of(Workload::E, n);
+        assert!((frac(&c, "scan", n) - 0.95).abs() < 0.01);
+        assert!((frac(&c, "insert", n) - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn workload_f_has_rmw() {
+        let n = 50_000;
+        let c = mix_of(Workload::F, n);
+        assert!((frac(&c, "read", n) - 0.5).abs() < 0.02);
+        assert!((frac(&c, "rmw", n) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn scan_lengths_bounded() {
+        let mut g = Generator::new(Workload::E, 1000, 9);
+        for _ in 0..10_000 {
+            if let Operation::Scan { len, .. } = g.next_op() {
+                assert!((1..=MAX_SCAN_LEN).contains(&len));
+            }
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut g = Generator::new(Workload::A, 5_000, 3);
+        for _ in 0..50_000 {
+            let op = g.next_op();
+            assert!(op.key() < g.record_count(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn workload_a_is_skewed() {
+        let mut g = Generator::new(Workload::A, 10_000, 5);
+        let mut counts = HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(g.next_op().key()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 2_000, "zipfian hot key missing: {max}");
+    }
+
+    #[test]
+    fn workload_d_prefers_recent_keys() {
+        let mut g = Generator::new(Workload::D, 10_000, 11);
+        let mut recent = 0usize;
+        let mut total = 0usize;
+        for _ in 0..50_000 {
+            if let Operation::Read { key } = g.next_op() {
+                total += 1;
+                if key + 100 >= g.record_count() {
+                    recent += 1;
+                }
+            }
+        }
+        assert!(
+            recent as f64 / total as f64 > 0.3,
+            "latest distribution not recent-skewed: {recent}/{total}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = Generator::new(Workload::A, 1000, 99);
+        let mut b = Generator::new(Workload::A, 1000, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn values_have_requested_length() {
+        let mut g = Generator::with_value_len(Workload::A, 100, 1, 256);
+        for _ in 0..100 {
+            if let Operation::Update { value, .. } = g.next_op() {
+                assert_eq!(value.len(), 256);
+            }
+        }
+    }
+
+    #[test]
+    fn key_bytes_format() {
+        let k = key_bytes(42);
+        assert_eq!(&k[..4], b"user");
+        assert_eq!(k.len(), KEY_LEN);
+        assert!(std::str::from_utf8(&k).is_ok());
+        assert_ne!(key_bytes(1), key_bytes(2));
+    }
+
+    #[test]
+    fn writes_flagged_correctly() {
+        assert!(!Operation::Read { key: 0 }.is_write());
+        assert!(Operation::Update {
+            key: 0,
+            value: vec![]
+        }
+        .is_write());
+        assert!(!Operation::Scan { key: 0, len: 5 }.is_write());
+    }
+}
