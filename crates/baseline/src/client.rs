@@ -105,7 +105,9 @@ impl NaiveChain {
                 _ => unreachable!(),
             }
             cluster.fab.reg_mr(rn, sb, cfg.shared_size);
-            cluster.fab.reg_mr(rn, cb, cmd_slot_size * cfg.cmd_slots as u64);
+            cluster
+                .fab
+                .reg_mr(rn, cb, cmd_slot_size * cfg.cmd_slots as u64);
         }
         let shared_base = shared_base.expect("non-empty chain");
         let cmd_base = cmd_base.expect("non-empty chain");
@@ -145,12 +147,9 @@ impl NaiveChain {
             .fab
             .connect(client_node, qp_down, replica_nodes[0], ups[0]);
         for i in 0..replica_nodes.len() - 1 {
-            cluster.fab.connect(
-                replica_nodes[i],
-                downs[i],
-                replica_nodes[i + 1],
-                ups[i + 1],
-            );
+            cluster
+                .fab
+                .connect(replica_nodes[i], downs[i], replica_nodes[i + 1], ups[i + 1]);
         }
         let last = replica_nodes.len() - 1;
         cluster

@@ -163,51 +163,60 @@ mod tests {
         }
     }
 
-    mod proptests {
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use simcore::SimRng;
 
-        fn arb_op() -> impl Strategy<Value = GroupOp> {
-            prop_oneof![
-                (any::<u64>(), 0usize..4096, any::<bool>()).prop_map(|(o, l, f)| GroupOp::Write {
-                    offset: o,
-                    data: vec![0; l],
-                    flush: f,
-                }),
-                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-                    |(o, c, s, e)| GroupOp::Cas {
-                        offset: o,
-                        compare: c,
-                        swap: s,
-                        execute: ExecuteMap(e),
-                    }
-                ),
-                (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
-                    |(s, d, l, f)| GroupOp::Memcpy {
-                        src: s,
-                        dst: d,
-                        len: l,
-                        flush: f,
-                    }
-                ),
-                any::<u64>().prop_map(|o| GroupOp::Flush { offset: o }),
-            ]
+        fn gen_op(rng: &mut SimRng) -> GroupOp {
+            match rng.gen_range(0..4) {
+                0 => GroupOp::Write {
+                    offset: rng.next_u64(),
+                    data: vec![0; rng.gen_index(4096)],
+                    flush: rng.gen_bool(0.5),
+                },
+                1 => GroupOp::Cas {
+                    offset: rng.next_u64(),
+                    compare: rng.next_u64(),
+                    swap: rng.next_u64(),
+                    execute: ExecuteMap(rng.next_u64()),
+                },
+                2 => GroupOp::Memcpy {
+                    src: rng.next_u64(),
+                    dst: rng.next_u64(),
+                    len: rng.next_u64(),
+                    flush: rng.gen_bool(0.5),
+                },
+                _ => GroupOp::Flush {
+                    offset: rng.next_u64(),
+                },
+            }
         }
 
-        proptest! {
-            #[test]
-            fn any_command_round_trips(gen in any::<u64>(), op in arb_op()) {
+        #[test]
+        fn any_command_round_trips() {
+            let mut rng = SimRng::new(0xC0DEC);
+            for _ in 0..128 {
+                let gen = rng.next_u64();
+                let op = gen_op(&mut rng);
                 let c = decode(&encode(gen, &op)).unwrap();
-                prop_assert_eq!(c.gen, gen);
+                assert_eq!(c.gen, gen);
                 // Write payloads travel out of band: compare shapes.
                 match (&c.op, &op) {
                     (
-                        GroupOp::Write { offset: a, data: da, flush: fa },
-                        GroupOp::Write { offset: b, data: db, flush: fb },
+                        GroupOp::Write {
+                            offset: a,
+                            data: da,
+                            flush: fa,
+                        },
+                        GroupOp::Write {
+                            offset: b,
+                            data: db,
+                            flush: fb,
+                        },
                     ) => {
-                        prop_assert_eq!((a, da.len(), fa), (b, db.len(), fb));
+                        assert_eq!((a, da.len(), fa), (b, db.len(), fb));
                     }
-                    (x, y) => prop_assert_eq!(x, y),
+                    (x, y) => assert_eq!(x, y),
                 }
             }
         }

@@ -65,7 +65,12 @@ impl NaiveCosts {
             }
             GroupOp::Cas { .. } => self.cas,
             GroupOp::Memcpy { len, flush, .. } => {
-                self.memcpy(*len) + if *flush { self.flush(*len) } else { SimDuration::ZERO }
+                self.memcpy(*len)
+                    + if *flush {
+                        self.flush(*len)
+                    } else {
+                        SimDuration::ZERO
+                    }
             }
             GroupOp::Flush { .. } => self.flush(64),
         }
@@ -224,8 +229,7 @@ impl NaiveReplica {
                     flags: wqe_flags::HW_OWNED,
                     local_addr: self.cmd_slot(gen) + CMD_SIZE,
                     len: self.group_size as u64 * 8,
-                    remote_addr: self.ack_base
-                        + (gen % self.cmd_slots as u64) * self.ack_slot_size,
+                    remote_addr: self.ack_base + (gen % self.cmd_slots as u64) * self.ack_slot_size,
                     compare_or_imm: gen,
                     wr_id: gen,
                     ..Wqe::default()

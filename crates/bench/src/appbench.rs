@@ -5,7 +5,7 @@ use crate::driver::{DocDriver, KvDriver};
 use crate::micro::{
     bench_group_config, gwrite_plan, gwrite_plan_flush, run_primitive, MicroOpts, SystemKind,
 };
-use crate::report::{banner, latency_header, latency_row, ratio, us};
+use crate::report::{latency_header, latency_row, ratio, us, Report, Scenario};
 use baseline::{NaiveChain, NaiveClient, NaiveConfig};
 use cpusched::{HogProfile, ProcKind, SchedConfig};
 use docstore::{DocConfig, ReplicatedDocStore};
@@ -63,8 +63,14 @@ fn run_cluster_until_done(
         let done = match (kv, is_hl) {
             (true, true) => sim.model.app_mut::<KvDriver<GroupClient>>(driver).is_done(),
             (true, false) => sim.model.app_mut::<KvDriver<NaiveClient>>(driver).is_done(),
-            (false, true) => sim.model.app_mut::<DocDriver<GroupClient>>(driver).is_done(),
-            (false, false) => sim.model.app_mut::<DocDriver<NaiveClient>>(driver).is_done(),
+            (false, true) => sim
+                .model
+                .app_mut::<DocDriver<GroupClient>>(driver)
+                .is_done(),
+            (false, false) => sim
+                .model
+                .app_mut::<DocDriver<NaiveClient>>(driver)
+                .is_done(),
         };
         if done {
             break;
@@ -73,10 +79,26 @@ fn run_cluster_until_done(
     }
     assert_eq!(sim.model.fab.stats().errors, 0);
     match (kv, is_hl) {
-        (true, true) => sim.model.app_mut::<KvDriver<GroupClient>>(driver).hist.clone(),
-        (true, false) => sim.model.app_mut::<KvDriver<NaiveClient>>(driver).hist.clone(),
-        (false, true) => sim.model.app_mut::<DocDriver<GroupClient>>(driver).hist.clone(),
-        (false, false) => sim.model.app_mut::<DocDriver<NaiveClient>>(driver).hist.clone(),
+        (true, true) => sim
+            .model
+            .app_mut::<KvDriver<GroupClient>>(driver)
+            .hist
+            .clone(),
+        (true, false) => sim
+            .model
+            .app_mut::<KvDriver<NaiveClient>>(driver)
+            .hist
+            .clone(),
+        (false, true) => sim
+            .model
+            .app_mut::<DocDriver<GroupClient>>(driver)
+            .hist
+            .clone(),
+        (false, false) => sim
+            .model
+            .app_mut::<DocDriver<NaiveClient>>(driver)
+            .hist
+            .clone(),
     }
 }
 
@@ -150,10 +172,10 @@ pub fn run_fig11_arm(kind: SystemKind, writes: u64, seed: u64) -> LatencySummary
 }
 
 /// Figure 11: replicated RocksDB update latency, three systems.
-pub fn fig11(quick: bool) {
-    banner("Figure 11: replicated RocksDB (kvstore), YCSB-A updates, loaded replicas");
+pub fn fig11(rep: &mut Report, quick: bool) {
+    rep.banner("Figure 11: replicated RocksDB (kvstore), YCSB-A updates, loaded replicas");
     let writes = if quick { 800 } else { 4000 };
-    println!("{}", latency_header("system"));
+    rep.line(latency_header("system"));
     let mut p99s = Vec::new();
     for kind in [
         SystemKind::NaiveEvent,
@@ -161,15 +183,24 @@ pub fn fig11(quick: bool) {
         SystemKind::HyperLoop,
     ] {
         let s = run_fig11_arm(kind, writes, 0xF11);
-        println!("{}", latency_row(kind.label(), &s));
+        rep.line(latency_row(kind.label(), &s));
+        rep.scenario(
+            Scenario::new(format!("fig11/ycsb-a/{}", kind.label()))
+                .system(kind.label())
+                .seed(0xF11)
+                .config("store", "kvstore")
+                .config("workload", "YCSB-A")
+                .config("writes", writes)
+                .latency(&s),
+        );
         p99s.push((kind, s.p99));
     }
     let hl = p99s[2].1;
-    println!(
+    rep.line(format!(
         "p99 gains over HyperLoop: Naive-Event {} Naive-Polling {}",
         ratio(p99s[0].1, hl),
         ratio(p99s[1].1, hl),
-    );
+    ));
 }
 
 fn doc_config() -> DocConfig {
@@ -239,13 +270,21 @@ pub fn run_fig12_arm(hl: bool, workload: Workload, ops: u64, seed: u64) -> Laten
 }
 
 /// Figure 12: replicated MongoDB latency across YCSB workloads.
-pub fn fig12(quick: bool) {
-    banner("Figure 12: replicated MongoDB (docstore), YCSB A/B/D/E/F, loaded replicas");
+pub fn fig12(rep: &mut Report, quick: bool) {
+    rep.banner("Figure 12: replicated MongoDB (docstore), YCSB A/B/D/E/F, loaded replicas");
     let ops = if quick { 1500 } else { 8000 };
-    println!(
+    rep.line(format!(
         "{:<10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>9} {:>9}",
-        "workload", "nat mean", "nat p95", "nat p99", "HL mean", "HL p95", "HL p99", "mean cut", "gap cut"
-    );
+        "workload",
+        "nat mean",
+        "nat p95",
+        "nat p99",
+        "HL mean",
+        "HL p95",
+        "HL p99",
+        "mean cut",
+        "gap cut"
+    ));
     for (wi, w) in Workload::PAPER_SET.into_iter().enumerate() {
         let seed = 0xF12 + 101 * wi as u64;
         let nat = run_fig12_arm(false, w, ops, seed);
@@ -254,7 +293,7 @@ pub fn fig12(quick: bool) {
         let gap_nat = nat.p99.as_micros_f64() - nat.mean.as_micros_f64();
         let gap_hl = hl.p99.as_micros_f64() - hl.mean.as_micros_f64();
         let gap_cut = 100.0 * (1.0 - gap_hl / gap_nat.max(1e-9));
-        println!(
+        rep.line(format!(
             "{:<10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8.0}% {:>8.0}%",
             w.to_string(),
             us(nat.mean),
@@ -265,14 +304,25 @@ pub fn fig12(quick: bool) {
             us(hl.p99),
             mean_cut,
             gap_cut,
-        );
+        ));
+        for (label, s) in [("native", &nat), ("HyperLoop", &hl)] {
+            rep.scenario(
+                Scenario::new(format!("fig12/{w}/{label}"))
+                    .system(label)
+                    .seed(seed)
+                    .config("store", "docstore")
+                    .config("workload", w.to_string())
+                    .config("ops", ops)
+                    .latency(s),
+            );
+        }
     }
 }
 
 /// Design-choice ablations (DESIGN.md):
 /// flush cost, polling crossover, fan-out vs chain.
-pub fn ablations(quick: bool) {
-    banner("Ablation: interleaved gFLUSH cost (HyperLoop gWRITE, unloaded)");
+pub fn ablations(rep: &mut Report, quick: bool) {
+    rep.banner("Ablation: interleaved gFLUSH cost (HyperLoop gWRITE, unloaded)");
     let opts = MicroOpts {
         ops: if quick { 500 } else { 3000 },
         hogs_per_node: 0,
@@ -281,37 +331,69 @@ pub fn ablations(quick: bool) {
     };
     for (label, flush) in [("gWRITE only", false), ("gWRITE + gFLUSH", true)] {
         let r = run_primitive(SystemKind::HyperLoop, gwrite_plan_flush(1024, flush), opts);
-        println!("{:<18} mean={} p99={}", label, us(r.latency.mean), us(r.latency.p99));
+        rep.line(format!(
+            "{:<18} mean={} p99={}",
+            label,
+            us(r.latency.mean),
+            us(r.latency.p99)
+        ));
+        rep.scenario(
+            Scenario::new(format!(
+                "ablation/flush-cost/{}",
+                if flush { "flush" } else { "no-flush" }
+            ))
+            .system(SystemKind::HyperLoop.label())
+            .seed(opts.seed)
+            .config("payload_bytes", 1024u64)
+            .config("flush", flush)
+            .latency(&r.latency)
+            .metrics(r.registry.clone()),
+        );
     }
 
-    banner("Ablation: chain vs NIC-coordinated fan-out (unloaded, 1 KB durable writes)");
-    println!(
+    rep.banner("Ablation: chain vs NIC-coordinated fan-out (unloaded, 1 KB durable writes)");
+    rep.line(format!(
         "{:<8} {:>14} {:>14}",
         "replicas", "chain p50", "fan-out p50"
-    );
+    ));
     for gs in [3u32, 5, 7] {
         let chain = crate::fanout_ablation::chain_write_latency(gs, if quick { 200 } else { 800 });
         let fan = crate::fanout_ablation::fanout_write_latency(gs, if quick { 200 } else { 800 });
-        println!("{:<8} {:>14} {:>14}", gs, us(chain), us(fan));
+        rep.line(format!("{:<8} {:>14} {:>14}", gs, us(chain), us(fan)));
+        rep.scenario(
+            Scenario::new(format!("ablation/fanout/g{gs}"))
+                .config("group_size", gs)
+                .gauge("chain_p50_ns", chain.as_nanos() as f64)
+                .gauge("fanout_p50_ns", fan.as_nanos() as f64),
+        );
     }
 
-    banner("Ablation: consistent-read scaling across serving replicas (beyond the paper)");
-    println!("{:<18} {:>12} {:>10}", "serving replicas", "8KB reads/s", "aggregate");
+    rep.banner("Ablation: consistent-read scaling across serving replicas (beyond the paper)");
+    rep.line(format!(
+        "{:<18} {:>12} {:>10}",
+        "serving replicas", "8KB reads/s", "aggregate"
+    ));
     for n in [1u32, 2, 3] {
         let rps = crate::fanout_ablation::read_scaling(n, if quick { 1000 } else { 4000 });
-        println!(
+        rep.line(format!(
             "{:<18} {:>12.0} {:>7.1} Gbps",
             n,
             rps,
             rps * 8192.0 * 8.0 / 1e9
+        ));
+        rep.scenario(
+            Scenario::new(format!("ablation/read-scaling/{n}"))
+                .config("serving_replicas", n)
+                .config("read_bytes", 8192u64)
+                .gauge("reads_per_sec", rps),
         );
     }
 
-    banner("Ablation: polling vs event-driven replicas vs co-location");
-    println!(
+    rep.banner("Ablation: polling vs event-driven replicas vs co-location");
+    rep.line(format!(
         "{:<10} {:>16} {:>16}",
         "tenants", "Naive-Event p99", "Naive-Polling p99"
-    );
+    ));
     for hogs in [0u32, 32, 96] {
         let opts = MicroOpts {
             ops: if quick { 600 } else { 2500 },
@@ -320,11 +402,25 @@ pub fn ablations(quick: bool) {
         };
         let ev = run_primitive(SystemKind::NaiveEvent, gwrite_plan(1024), opts);
         let po = run_primitive(SystemKind::NaivePolling, gwrite_plan(1024), opts);
-        println!(
+        rep.line(format!(
             "{:<10} {:>16} {:>16}",
             hogs,
             us(ev.latency.p99),
             us(po.latency.p99)
-        );
+        ));
+        for (kind, r) in [
+            (SystemKind::NaiveEvent, &ev),
+            (SystemKind::NaivePolling, &po),
+        ] {
+            rep.scenario(
+                Scenario::new(format!("ablation/colocation/hogs{hogs}/{}", kind.label()))
+                    .system(kind.label())
+                    .seed(opts.seed)
+                    .config("hogs_per_node", hogs)
+                    .config("payload_bytes", 1024u64)
+                    .latency(&r.latency)
+                    .metrics(r.registry.clone()),
+            );
+        }
     }
 }

@@ -3,52 +3,83 @@
 //! ```text
 //! cargo run --release -p hyperloop-bench --bin figures -- all [--quick]
 //! cargo run --release -p hyperloop-bench --bin figures -- fig8a table2 ...
+//! cargo run --release -p hyperloop-bench --bin figures -- all --json out/
 //! ```
+//!
+//! `--json <path>` additionally writes every reported scenario (latency
+//! summary, metrics-registry snapshot, config and seed) as machine-readable
+//! JSON: to `<path>` itself, or to `<path>/BENCH_figures.json` when `<path>`
+//! is a directory.
 
 use hyperloop_bench::figures;
+use hyperloop_bench::report::Report;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(|s| s.as_str())
         .collect();
     let all = wanted.is_empty() || wanted.contains(&"all");
     let has = |name: &str| all || wanted.contains(&name);
 
+    let mut rep = Report::new("figures");
+    rep.set_quick(quick);
+    if let Some(p) = &json_path {
+        rep.set_json_path(p);
+    }
+
     if quick {
-        println!("(quick mode: reduced op counts; tails are noisier)");
+        rep.line("(quick mode: reduced op counts; tails are noisier)");
     }
     if has("fig2a") {
-        hyperloop_bench::mongo2::fig2a(quick);
+        hyperloop_bench::mongo2::fig2a(&mut rep, quick);
     }
     if has("fig2b") {
-        hyperloop_bench::mongo2::fig2b(quick);
+        hyperloop_bench::mongo2::fig2b(&mut rep, quick);
     }
     if has("fig8a") {
-        figures::fig8a(quick);
+        figures::fig8a(&mut rep, quick);
     }
     if has("fig8b") {
-        figures::fig8b(quick);
+        figures::fig8b(&mut rep, quick);
     }
     if has("table2") {
-        figures::table2(quick);
+        figures::table2(&mut rep, quick);
     }
     if has("fig9") {
-        figures::fig9(quick);
+        figures::fig9(&mut rep, quick);
     }
     if has("fig10") {
-        figures::fig10(quick);
+        figures::fig10(&mut rep, quick);
     }
     if has("fig11") {
-        hyperloop_bench::appbench::fig11(quick);
+        hyperloop_bench::appbench::fig11(&mut rep, quick);
     }
     if has("fig12") {
-        hyperloop_bench::appbench::fig12(quick);
+        hyperloop_bench::appbench::fig12(&mut rep, quick);
     }
     if has("ablations") || wanted.contains(&"ablations") {
-        hyperloop_bench::appbench::ablations(quick);
+        hyperloop_bench::appbench::ablations(&mut rep, quick);
     }
+    rep.finish().expect("write JSON report");
 }

@@ -1,35 +1,69 @@
 //! A fast sanity pass over the three headline comparisons — useful while
 //! tuning simulation parameters. Not a paper figure; see `figures` for the
 //! full evaluation.
+//!
+//! `--json <path>` writes the scenarios as machine-readable JSON (to
+//! `<path>/BENCH_smoke.json` when `<path>` is a directory).
 
 use hyperloop_bench::fanout_ablation::read_scaling;
 use hyperloop_bench::micro::{gwrite_plan, run_primitive, MicroOpts, SystemKind};
+use hyperloop_bench::report::{Report, Scenario};
+use std::path::PathBuf;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut rep = Report::new("smoke");
+    if let Some(p) = &json_path {
+        rep.set_json_path(p);
+    }
+
     let opts = MicroOpts {
         ops: 800,
         warmup: 50,
         ..MicroOpts::default()
     };
-    println!("1 KB durable gWRITE, 3 replicas, 96 tenants/node:");
+    rep.line("1 KB durable gWRITE, 3 replicas, 96 tenants/node:");
     for kind in [SystemKind::NaiveEvent, SystemKind::HyperLoop] {
         let r = run_primitive(kind, gwrite_plan(1024), opts);
-        println!(
+        rep.line(format!(
             "  {:<13} mean={} p99={} replica-cpu={:.1}%",
             kind.label(),
             r.latency.mean,
             r.latency.p99,
             r.replica_cpu * 100.0
+        ));
+        rep.scenario(
+            Scenario::new(format!("smoke/gwrite-1KB/{}", kind.label()))
+                .system(kind.label())
+                .seed(opts.seed)
+                .config("payload_bytes", 1024u64)
+                .config("ops", opts.ops)
+                .latency(&r.latency)
+                .gauge("ops_per_sec", r.ops_per_sec())
+                .gauge("replica_cpu", r.replica_cpu)
+                .metrics(r.registry.clone()),
         );
     }
-    println!("8 KB read scaling:");
+    rep.line("8 KB read scaling:");
     for n in [1u32, 3] {
         let rps = read_scaling(n, 1500);
-        println!(
+        rep.line(format!(
             "  {} serving replica(s): {:.0} reads/s ({:.1} Gbps)",
             n,
             rps,
             rps * 8192.0 * 8.0 / 1e9
+        ));
+        rep.scenario(
+            Scenario::new(format!("smoke/read-scaling/{n}"))
+                .config("serving_replicas", n)
+                .config("read_bytes", 8192u64)
+                .gauge("reads_per_sec", rps),
         );
     }
+    rep.finish().expect("write JSON report");
 }

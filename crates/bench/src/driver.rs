@@ -98,9 +98,8 @@ impl<T: GroupTransport + 'static> PrimitiveDriver<T> {
         {
             let op = (self.plan)(self.issued);
             let now = env.now();
-            let gen = match env.with_fabric(|fab, now, out| {
-                self.transport.issue(fab, now, out, op)
-            }) {
+            let gen = match env.with_fabric(|fab, now, out| self.transport.issue(fab, now, out, op))
+            {
                 Ok(g) => g,
                 Err(_) => break,
             };

@@ -127,7 +127,11 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> f64 {
     for &rn in &replicas {
         data_base = sim.model.fab.alloc(rn, 1 << 20);
         sim.model.fab.reg_mr(rn, data_base, 1 << 20);
-        sim.model.fab.mem(rn).write_durable(data_base, &[7; 8192]).unwrap();
+        sim.model
+            .fab
+            .mem(rn)
+            .write_durable(data_base, &[7; 8192])
+            .unwrap();
     }
     // Each reader has a QP to every replica and a bounce buffer.
     let mut qps = [[rnicsim::QpId(0); 3]; 3];

@@ -14,7 +14,7 @@ use cpusched::{HogProfile, ProcKind, SchedConfig};
 use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::NodeId;
-use simcore::{LatencySummary, SimDuration, SimTime};
+use simcore::{LatencySummary, MetricsRegistry, SimDuration, SimTime};
 use testbed::{Cluster, ClusterConfig, ProcRef};
 
 /// Which system runs the chain.
@@ -102,6 +102,10 @@ pub struct MicroResult {
     /// Peak replica data-path process CPU, as a fraction of the run (1.0 =
     /// one fully-burnt core).
     pub replica_cpu: f64,
+    /// Metrics snapshot of the whole cluster at the end of the run
+    /// (fabric/NVM/scheduler/link counters plus the op-latency histogram
+    /// under `bench.op_latency`).
+    pub registry: MetricsRegistry,
 }
 
 impl MicroResult {
@@ -168,7 +172,14 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
                 SimDuration::from_nanos(400),
             );
             let ack_cq = group.client.ack_cq();
-            let driver = PrimitiveDriver::with_pace(group.client, plan, total, opts.window, opts.warmup, opts.pace);
+            let driver = PrimitiveDriver::with_pace(
+                group.client,
+                plan,
+                total,
+                opts.window,
+                opts.warmup,
+                opts.pace,
+            );
             let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(driver));
             cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
             (p, maint, true)
@@ -191,7 +202,14 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
                 },
             );
             let ack_cq = chain.client.ack_cq();
-            let driver = PrimitiveDriver::with_pace(chain.client, plan, total, opts.window, opts.warmup, opts.pace);
+            let driver = PrimitiveDriver::with_pace(
+                chain.client,
+                plan,
+                total,
+                opts.window,
+                opts.warmup,
+                opts.pace,
+            );
             let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(driver));
             cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
             (p, chain.replica_procs, false)
@@ -233,15 +251,17 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
     }
 
     let (hist, started, done_at) = if is_hl {
-        let d = sim.model.app_mut::<PrimitiveDriver<GroupClient>>(driver_proc);
+        let d = sim
+            .model
+            .app_mut::<PrimitiveDriver<GroupClient>>(driver_proc);
         (d.hist.clone(), d.started_at, d.done_at)
     } else {
-        let d = sim.model.app_mut::<PrimitiveDriver<NaiveClient>>(driver_proc);
+        let d = sim
+            .model
+            .app_mut::<PrimitiveDriver<NaiveClient>>(driver_proc);
         (d.hist.clone(), d.started_at, d.done_at)
     };
-    let elapsed = done_at
-        .expect("done")
-        .since(started.expect("started"));
+    let elapsed = done_at.expect("done").since(started.expect("started"));
     // Normalize CPU by the whole run (processes are busy from time zero,
     // including the warm-up ramp), capping at one core.
     let sim_total = sim.now().since(simcore::SimTime::ZERO);
@@ -254,11 +274,18 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
         .fold(0.0f64, f64::max);
     assert_eq!(sim.model.fab.stats().errors, 0, "data-path errors");
 
+    let mut registry = MetricsRegistry::new();
+    sim.model.export_into(&mut registry, "cluster");
+    registry.merge_histogram("bench.op_latency", &hist);
+    registry.set_gauge("bench.replica_cpu", replica_cpu);
+    registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
+
     MicroResult {
         latency: hist.summary(),
         elapsed,
         ops: opts.ops,
         replica_cpu,
+        registry,
     }
 }
 

@@ -8,7 +8,7 @@
 //! fight for the servers' cores — no synthetic background load.
 
 use crate::driver::DocDriver;
-use crate::report::{banner, us};
+use crate::report::{us, Report, Scenario};
 use baseline::{NaiveChain, NaiveClient, NaiveConfig, NaiveCosts};
 use cpusched::{ProcKind, SchedConfig};
 use docstore::{DocConfig, ReplicatedDocStore, WriteMode};
@@ -73,9 +73,7 @@ pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64
     let mut drivers: Vec<ProcRef> = Vec::new();
     for set in 0..replica_sets {
         // Rotate the chain across the servers (primary placement balance).
-        let chain_nodes: Vec<NodeId> = (0..3)
-            .map(|k| servers[((set + k) % 3) as usize])
-            .collect();
+        let chain_nodes: Vec<NodeId> = (0..3).map(|k| servers[((set + k) % 3) as usize]).collect();
         let client_node = clients[(set % 3) as usize];
         let chain = NaiveChain::setup(
             &mut cluster,
@@ -140,46 +138,57 @@ pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64
     }
 }
 
-fn print_points(points: &[Fig2Point], vary_cores: bool) {
+fn report_points(rep: &mut Report, fig: &str, seed: u64, points: &[Fig2Point], vary_cores: bool) {
     let max_ctx = points.iter().map(|p| p.ctx_per_sec).fold(0.0f64, f64::max);
-    println!(
+    rep.line(format!(
         "{:<10} {:>10} {:>10} {:>10} {:>14}",
         if vary_cores { "cores" } else { "sets" },
         "mean",
         "p95",
         "p99",
         "norm ctx-sw"
-    );
+    ));
     for p in points {
-        println!(
+        rep.line(format!(
             "{:<10} {:>10} {:>10} {:>10} {:>14.2}",
             if vary_cores { p.cores } else { p.replica_sets },
             us(p.latency.mean),
             us(p.latency.p95),
             us(p.latency.p99),
             p.ctx_per_sec / max_ctx.max(1e-9),
+        ));
+        let point = if vary_cores { p.cores } else { p.replica_sets };
+        let axis = if vary_cores { "cores" } else { "sets" };
+        rep.scenario(
+            Scenario::new(format!("{fig}/{axis}{point}"))
+                .system("native")
+                .seed(seed)
+                .config("replica_sets", p.replica_sets)
+                .config("cores", p.cores)
+                .latency(&p.latency)
+                .gauge("ctx_per_sec", p.ctx_per_sec),
         );
     }
 }
 
 /// Figure 2(a): latency and context switches vs number of replica-sets.
-pub fn fig2a(quick: bool) {
-    banner("Figure 2(a): native MongoDB latency vs co-located replica-sets (16 cores)");
+pub fn fig2a(rep: &mut Report, quick: bool) {
+    rep.banner("Figure 2(a): native MongoDB latency vs co-located replica-sets (16 cores)");
     let ops = if quick { 200 } else { 600 };
     let points: Vec<Fig2Point> = [9u32, 12, 15, 18, 21, 24, 27]
         .into_iter()
         .map(|sets| run_fig2_point(sets, 16, ops, 0x2A))
         .collect();
-    print_points(&points, false);
+    report_points(rep, "fig2a", 0x2A, &points, false);
 }
 
 /// Figure 2(b): latency and context switches vs cores (18 replica-sets).
-pub fn fig2b(quick: bool) {
-    banner("Figure 2(b): native MongoDB latency vs server cores (18 replica-sets)");
+pub fn fig2b(rep: &mut Report, quick: bool) {
+    rep.banner("Figure 2(b): native MongoDB latency vs server cores (18 replica-sets)");
     let ops = if quick { 200 } else { 600 };
     let points: Vec<Fig2Point> = [2u32, 4, 6, 8, 10, 12, 14, 16]
         .into_iter()
         .map(|cores| run_fig2_point(18, cores, ops, 0x2B))
         .collect();
-    print_points(&points, true);
+    report_points(rep, "fig2b", 0x2B, &points, true);
 }

@@ -1,6 +1,16 @@
-//! Plain-text tables in the shape of the paper's figures.
+//! Benchmark reporting: plain-text tables in the shape of the paper's
+//! figures, plus a machine-readable `BENCH_*.json` sink.
+//!
+//! Every benchmark entry point renders through a [`Report`]: human-readable
+//! lines go to stdout exactly as before, and each measured configuration is
+//! additionally recorded as a [`Scenario`] (name, system, seed, config
+//! key/values, latency summary and an optional [`MetricsRegistry`]
+//! snapshot). When the binary was given `--json <path>`, [`Report::finish`]
+//! serializes all scenarios with [`simcore::jsonw::JsonWriter`].
 
-use simcore::{LatencySummary, SimDuration};
+use simcore::jsonw::JsonWriter;
+use simcore::{LatencySummary, MetricsRegistry, SimDuration};
+use std::path::{Path, PathBuf};
 
 /// Formats a duration in microseconds with sensible precision.
 pub fn us(d: SimDuration) -> String {
@@ -32,15 +42,275 @@ pub fn latency_header(first_col: &str) -> String {
     )
 }
 
-/// A section banner.
-pub fn banner(title: &str) {
-    println!("\n==== {title} ====");
-}
-
 /// A ratio annotation like "801.8x".
 pub fn ratio(a: SimDuration, b: SimDuration) -> String {
     if b.is_zero() {
         return "inf".into();
     }
     format!("{:.1}x", a.as_micros_f64() / b.as_micros_f64())
+}
+
+/// One machine-readable benchmark record: a single measured configuration
+/// (one table row, one figure point). Built with a fluent API:
+///
+/// ```ignore
+/// rep.scenario(
+///     Scenario::new("fig8a/1KB")
+///         .system("HyperLoop")
+///         .seed(0xBEEF)
+///         .config("payload_bytes", 1024)
+///         .latency(&result.latency)
+///         .metrics(result.registry.clone()),
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    name: String,
+    system: Option<String>,
+    seed: Option<u64>,
+    config: Vec<(String, String)>,
+    latency: Option<LatencySummary>,
+    gauges: Vec<(String, f64)>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl Scenario {
+    /// Starts a record named like `"fig8a/1KB"` (figure/point).
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            ..Scenario::default()
+        }
+    }
+
+    /// The system under test (a [`SystemKind`](crate::SystemKind) label).
+    pub fn system(mut self, s: &str) -> Self {
+        self.system = Some(s.to_string());
+        self
+    }
+
+    /// The root RNG seed the run used.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Adds one configuration key/value (payload size, group size, ...).
+    pub fn config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// The end-to-end latency summary of the run.
+    pub fn latency(mut self, s: &LatencySummary) -> Self {
+        self.latency = Some(*s);
+        self
+    }
+
+    /// Adds one derived measurement (throughput, CPU fraction, ...).
+    pub fn gauge(mut self, key: &str, v: f64) -> Self {
+        self.gauges.push((key.to_string(), v));
+        self
+    }
+
+    /// Attaches a full metrics-registry snapshot of the simulated cluster.
+    pub fn metrics(mut self, reg: MetricsRegistry) -> Self {
+        self.metrics = Some(reg);
+        self
+    }
+}
+
+/// Writes a [`LatencySummary`] as a JSON object under `key`.
+fn write_latency(w: &mut JsonWriter, key: &str, s: &LatencySummary) {
+    w.begin_obj_field(key);
+    w.field_u64("count", s.count);
+    w.field_u64("mean_ns", s.mean.as_nanos());
+    w.field_u64("p50_ns", s.p50.as_nanos());
+    w.field_u64("p95_ns", s.p95.as_nanos());
+    w.field_u64("p99_ns", s.p99.as_nanos());
+    w.field_u64("p999_ns", s.p999.as_nanos());
+    w.field_u64("min_ns", s.min.as_nanos());
+    w.field_u64("max_ns", s.max.as_nanos());
+    w.end_obj();
+}
+
+/// Collects everything a benchmark binary reports: human-readable text
+/// (printed immediately) and machine-readable [`Scenario`] records
+/// (serialized by [`Report::finish`] when a JSON sink was requested).
+#[derive(Debug, Default)]
+pub struct Report {
+    tool: String,
+    quick: bool,
+    json_path: Option<PathBuf>,
+    scenarios: Vec<Scenario>,
+}
+
+impl Report {
+    /// Creates a report for the named tool (`"figures"`, `"smoke"`, ...).
+    pub fn new(tool: &str) -> Self {
+        Report {
+            tool: tool.to_string(),
+            ..Report::default()
+        }
+    }
+
+    /// Marks the run as `--quick` (recorded in the JSON header).
+    pub fn set_quick(&mut self, quick: bool) {
+        self.quick = quick;
+    }
+
+    /// Requests a JSON sink. If `path` is an existing directory the file is
+    /// named `BENCH_<tool>.json` inside it; otherwise `path` is the file.
+    pub fn set_json_path(&mut self, path: &Path) {
+        self.json_path = Some(if path.is_dir() {
+            path.join(format!("BENCH_{}.json", self.tool))
+        } else {
+            path.to_path_buf()
+        });
+    }
+
+    /// Prints a section banner.
+    pub fn banner(&self, title: &str) {
+        println!("\n==== {title} ====");
+    }
+
+    /// Prints one line of human-readable output.
+    pub fn line(&self, text: impl AsRef<str>) {
+        println!("{}", text.as_ref());
+    }
+
+    /// Records one machine-readable scenario.
+    pub fn scenario(&mut self, s: Scenario) {
+        self.scenarios.push(s);
+    }
+
+    /// Number of scenarios recorded so far.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when no scenario has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Serializes the report (header plus all scenarios) to a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("schema", "hyperloop-bench/v1");
+        w.field_str("tool", &self.tool);
+        w.field_bool("quick", self.quick);
+        w.begin_arr_field("scenarios");
+        for s in &self.scenarios {
+            w.begin_obj();
+            w.field_str("name", &s.name);
+            if let Some(sys) = &s.system {
+                w.field_str("system", sys);
+            }
+            if let Some(seed) = s.seed {
+                w.field_u64("seed", seed);
+            }
+            w.begin_obj_field("config");
+            for (k, v) in &s.config {
+                w.field_str(k, v);
+            }
+            w.end_obj();
+            if let Some(sum) = &s.latency {
+                write_latency(&mut w, "latency", sum);
+            }
+            w.begin_obj_field("gauges");
+            for (k, v) in &s.gauges {
+                w.field_f64(k, *v);
+            }
+            w.end_obj();
+            if let Some(reg) = &s.metrics {
+                w.begin_obj_field("metrics");
+                w.begin_obj_field("counters");
+                for (k, v) in reg.counters() {
+                    w.field_u64(k, v);
+                }
+                w.end_obj();
+                w.begin_obj_field("gauges");
+                for (k, v) in reg.gauges() {
+                    w.field_f64(k, v);
+                }
+                w.end_obj();
+                w.begin_obj_field("histograms");
+                for (k, h) in reg.histograms() {
+                    write_latency(&mut w, k, &h.summary());
+                }
+                w.end_obj();
+                w.end_obj();
+            }
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Writes the JSON sink, if one was requested. Returns the path written.
+    pub fn finish(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = &self.json_path else {
+            return Ok(None);
+        };
+        std::fs::write(path, self.to_json())?;
+        println!("\nwrote {}", path.display());
+        Ok(Some(path.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    fn summary() -> LatencySummary {
+        let mut h = simcore::Histogram::new();
+        h.record(SimDuration::from_micros(5));
+        h.record(SimDuration::from_micros(7));
+        h.summary()
+    }
+
+    #[test]
+    fn report_json_contains_scenarios() {
+        let mut rep = Report::new("unit");
+        rep.set_quick(true);
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("fabric.wqes_executed", 3);
+        rep.scenario(
+            Scenario::new("fig8a/1KB")
+                .system("HyperLoop")
+                .seed(0xBEEF)
+                .config("payload_bytes", 1024u64)
+                .latency(&summary())
+                .gauge("ops_per_sec", 1000.0)
+                .metrics(reg),
+        );
+        let json = rep.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema\":\"hyperloop-bench/v1\""));
+        assert!(json.contains("\"tool\":\"unit\""));
+        assert!(json.contains("\"quick\":true"));
+        assert!(json.contains("\"name\":\"fig8a/1KB\""));
+        assert!(json.contains("\"system\":\"HyperLoop\""));
+        assert!(json.contains("\"seed\":48879"));
+        assert!(json.contains("\"payload_bytes\":\"1024\""));
+        assert!(json.contains("\"mean_ns\":6000"));
+        assert!(json.contains("\"ops_per_sec\":1000"));
+        assert!(json.contains("\"fabric.wqes_executed\":3"));
+    }
+
+    #[test]
+    fn json_path_directory_gets_bench_name() {
+        let dir = std::env::temp_dir();
+        let mut rep = Report::new("unitdir");
+        rep.set_json_path(&dir);
+        let written = rep.finish().expect("write").expect("path");
+        assert!(written.ends_with("BENCH_unitdir.json"));
+        let body = std::fs::read_to_string(&written).expect("read back");
+        assert!(body.contains("\"tool\":\"unitdir\""));
+        std::fs::remove_file(written).ok();
+    }
 }

@@ -59,7 +59,11 @@ pub fn install_group_maintenance(
         .map(|handle| {
             let node = handle.node();
             let cq = handle.recv_cq();
-            let proc = cluster.add_app(node, ProcKind::EventDriven, Box::new(Maintainer::new(handle)));
+            let proc = cluster.add_app(
+                node,
+                ProcKind::EventDriven,
+                Box::new(Maintainer::new(handle)),
+            );
             cluster.bind_cq(proc, node, cq, per_op_cost);
             proc
         })

@@ -55,7 +55,10 @@ impl GroupConfig {
             self.window,
             self.meta_slots
         );
-        assert!(self.prepost_depth >= self.window, "prepost depth below window");
+        assert!(
+            self.prepost_depth >= self.window,
+            "prepost depth below window"
+        );
     }
 }
 

@@ -110,7 +110,11 @@ impl FanoutGroup {
         }
         let shared_base = shared_base.expect("at least primary");
         let meta_base = fab.alloc(primary_node, meta_slot_size * cfg.meta_slots as u64);
-        fab.reg_mr(primary_node, meta_base, meta_slot_size * cfg.meta_slots as u64);
+        fab.reg_mr(
+            primary_node,
+            meta_base,
+            meta_slot_size * cfg.meta_slots as u64,
+        );
 
         // Client buffers.
         let staging_base = fab.alloc(client_node, meta_slot_size * cfg.meta_slots as u64);
@@ -384,7 +388,6 @@ impl FanoutClient {
         }
         done
     }
-
 }
 
 impl FanoutPrimaryHandle {
@@ -409,8 +412,7 @@ impl FanoutPrimaryHandle {
         for _ in 0..count {
             let gen = self.next_prepost;
             self.next_prepost += 1;
-            let slot_addr =
-                self.meta_base + (gen % self.meta_slots as u64) * self.meta_slot_size;
+            let slot_addr = self.meta_base + (gen % self.meta_slots as u64) * self.meta_slot_size;
             fab.post_recv(
                 now,
                 self.node,
@@ -562,12 +564,20 @@ mod tests {
         assert_eq!(sim.model.fab.stats().errors, 0);
         for n in 1..=4u32 {
             assert_eq!(
-                sim.model.fab.mem(NodeId(n)).read_vec(base + 500, 11).unwrap(),
+                sim.model
+                    .fab
+                    .mem(NodeId(n))
+                    .read_vec(base + 500, 11)
+                    .unwrap(),
                 b"fanout-data",
                 "node {n} missing data"
             );
             assert!(
-                sim.model.fab.mem(NodeId(n)).is_durable(base + 500, 11).unwrap(),
+                sim.model
+                    .fab
+                    .mem(NodeId(n))
+                    .is_durable(base + 500, 11)
+                    .unwrap(),
                 "node {n} not durable"
             );
         }
@@ -624,7 +634,9 @@ mod tests {
         for round in 0..10 {
             drive(&mut sim, |fab, now, out| {
                 for i in 0..8u64 {
-                    group.client.write(fab, now, out, i * 4096, &[round as u8; 512], true);
+                    group
+                        .client
+                        .write(fab, now, out, i * 4096, &[round as u8; 512], true);
                 }
             });
             sim.run();

@@ -19,7 +19,7 @@ use crate::meta::{build_payload, payload_len};
 use crate::ops::{GroupAck, GroupOp};
 use netsim::NodeId;
 use rnicsim::{wqe_flags, CqId, NicEffect, Opcode, QpId, RdmaFabric, RecvWqe, Wqe};
-use simcore::{Outbox, SimTime};
+use simcore::{Outbox, SimTime, TraceKind, Tracer};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -68,6 +68,7 @@ pub struct GroupClient {
     next_gen: u64,
     completed: u64,
     pending: VecDeque<u64>,
+    tracer: Tracer,
 }
 
 /// Replica-side state: owns the pre-post cursors for one chain position.
@@ -190,7 +191,12 @@ impl HyperLoopGroup {
             );
         }
         let last = replicas.len() - 1;
-        fab.connect(replicas[last].node, replicas[last].qp_down, client_node, qp_ack);
+        fab.connect(
+            replicas[last].node,
+            replicas[last].qp_down,
+            client_node,
+            qp_ack,
+        );
 
         // Pre-post descriptor chains and ack receives.
         for r in &mut replicas {
@@ -224,6 +230,7 @@ impl HyperLoopGroup {
                 next_gen: 0,
                 completed: 0,
                 pending: VecDeque::new(),
+                tracer: Tracer::disabled(),
             },
             replicas,
         }
@@ -231,6 +238,13 @@ impl HyperLoopGroup {
 }
 
 impl GroupClient {
+    /// Installs a trace sink for the group-op lifecycle (issue → metadata
+    /// SEND → per-replica progress → ACK). The operation generation is the
+    /// causal op id — it is also the `wr_id` on every WQE of the chain.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// The replica-space layout (shared by all group members).
     pub fn layout(&self) -> &SharedLayout {
         &self.layout
@@ -298,9 +312,7 @@ impl GroupClient {
             return Err(GroupError::WindowFull);
         }
         match &op {
-            GroupOp::Write { offset, data, .. } => {
-                self.check_range(*offset, data.len() as u64)?
-            }
+            GroupOp::Write { offset, data, .. } => self.check_range(*offset, data.len() as u64)?,
             GroupOp::Cas { offset, .. } => self.check_range(*offset, 8)?,
             GroupOp::Memcpy { src, dst, len, .. } => {
                 self.check_range(*src, *len)?;
@@ -310,6 +322,7 @@ impl GroupClient {
         }
         let gen = self.next_gen;
         self.next_gen += 1;
+        self.tracer.emit(now, self.node.0, gen, TraceKind::OpIssue);
 
         // Stage the metadata payload in client memory.
         let ack_addr = self.ack_base + (gen % self.cfg.meta_slots as u64) * self.ack_slot_size;
@@ -371,6 +384,8 @@ impl GroupClient {
         }
 
         // The metadata SEND that triggers the first replica's chain.
+        self.tracer
+            .emit(now, self.node.0, gen, TraceKind::MetaSend { replica: 0 });
         fab.post_send(
             now,
             self.node,
@@ -441,10 +456,23 @@ impl GroupClient {
                 .mem(self.node)
                 .read_vec(slot, self.layout.result_map_len())
                 .expect("ack slot in bounds");
-            let result_map = raw
+            let result_map: Vec<u64> = raw
                 .chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
                 .collect();
+            if self.tracer.is_enabled() {
+                // The ack proves every chain position executed: surface each
+                // replica's contribution as client-visible progress.
+                for replica in 0..result_map.len() as u32 {
+                    self.tracer.emit(
+                        now,
+                        self.node.0,
+                        gen,
+                        TraceKind::ReplicaProgress { replica },
+                    );
+                }
+            }
+            self.tracer.emit(now, self.node.0, gen, TraceKind::OpAck);
             self.completed += 1;
             fab.post_recv(
                 now,

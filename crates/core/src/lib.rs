@@ -64,9 +64,7 @@ mod tests {
 
     const CLIENT: NodeId = NodeId(0);
 
-    fn setup(
-        replicas: u32,
-    ) -> (Simulation<harness::FabricSim>, HyperLoopGroup, Vec<NodeId>) {
+    fn setup(replicas: u32) -> (Simulation<harness::FabricSim>, HyperLoopGroup, Vec<NodeId>) {
         let mut sim = fabric_sim(
             replicas + 1,
             64 << 20,
@@ -116,12 +114,20 @@ mod tests {
         for &n in &nodes {
             let addr = layout.shared_base + 1000;
             assert_eq!(
-                sim.model.fab.mem(n).read_vec(addr, data.len() as u64).unwrap(),
+                sim.model
+                    .fab
+                    .mem(n)
+                    .read_vec(addr, data.len() as u64)
+                    .unwrap(),
                 data,
                 "replica {n} missing the data"
             );
             assert!(
-                sim.model.fab.mem(n).is_durable(addr, data.len() as u64).unwrap(),
+                sim.model
+                    .fab
+                    .mem(n)
+                    .is_durable(addr, data.len() as u64)
+                    .unwrap(),
                 "replica {n} data not durable"
             );
         }
@@ -162,7 +168,12 @@ mod tests {
         // A standalone gFLUSH makes it durable everywhere.
         run_op(&mut sim, &mut group, GroupOp::Flush { offset: 0 });
         for &n in &nodes {
-            assert!(sim.model.fab.mem(n).is_durable(layout.shared_base, 64).unwrap());
+            assert!(sim
+                .model
+                .fab
+                .mem(n)
+                .is_durable(layout.shared_base, 64)
+                .unwrap());
         }
     }
 
@@ -482,7 +493,11 @@ mod tests {
         );
         for &n in &nodes {
             assert_eq!(
-                sim.model.fab.mem(n).read_vec(layout.shared_base, 512).unwrap(),
+                sim.model
+                    .fab
+                    .mem(n)
+                    .read_vec(layout.shared_base, 512)
+                    .unwrap(),
                 vec![5; 512]
             );
         }
@@ -513,7 +528,11 @@ mod tests {
         for &n in &nodes {
             sim.model.fab.mem(n).power_failure();
             assert_eq!(
-                sim.model.fab.mem(n).read_vec(layout.shared_base, 32).unwrap(),
+                sim.model
+                    .fab
+                    .mem(n)
+                    .read_vec(layout.shared_base, 32)
+                    .unwrap(),
                 vec![1; 32],
                 "flushed write must survive on {n}"
             );

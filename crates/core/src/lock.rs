@@ -17,8 +17,8 @@
 //! action (retry or undo).
 
 use crate::group::GroupError;
-use crate::transport::GroupTransport;
 use crate::ops::{ExecuteMap, GroupAck, GroupOp};
+use crate::transport::GroupTransport;
 use rnicsim::{NicEffect, RdmaFabric};
 use simcore::{Outbox, SimTime};
 
@@ -232,7 +232,10 @@ impl LockTable {
         replica: u32,
         expected: u64,
     ) -> Result<u64, GroupError> {
-        assert!(expected > 0 && expected & WRITER_BIT == 0, "not reader-held");
+        assert!(
+            expected > 0 && expected & WRITER_BIT == 0,
+            "not reader-held"
+        );
         client.issue(
             fab,
             now,
@@ -285,28 +288,33 @@ mod tests {
         (sim, group, LockTable::new(1024, 16))
     }
 
-    fn ack_of(
-        sim: &mut Simulation<FabricSim>,
-        group: &mut HyperLoopGroup,
-        gen: u64,
-    ) -> GroupAck {
+    fn ack_of(sim: &mut Simulation<FabricSim>, group: &mut HyperLoopGroup, gen: u64) -> GroupAck {
         sim.run();
         let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
-        acks.into_iter().find(|a| a.gen == gen).expect("ack for gen")
+        acks.into_iter()
+            .find(|a| a.gen == gen)
+            .expect("ack for gen")
     }
 
     #[test]
     fn write_lock_acquire_and_release() {
         let (mut sim, mut group, locks) = setup();
         let gen = drive(&mut sim, |fab, now, out| {
-            locks.wr_lock(&mut group.client, fab, now, out, 3, 77).unwrap()
+            locks
+                .wr_lock(&mut group.client, fab, now, out, 3, 77)
+                .unwrap()
         });
         let ack = ack_of(&mut sim, &mut group, gen);
-        assert_eq!(locks.interpret_wr_lock(&ack, 3, 77), WrLockOutcome::Acquired);
+        assert_eq!(
+            locks.interpret_wr_lock(&ack, 3, 77),
+            WrLockOutcome::Acquired
+        );
 
         // A second owner is rejected everywhere (Busy, not Partial).
         let gen2 = drive(&mut sim, |fab, now, out| {
-            locks.wr_lock(&mut group.client, fab, now, out, 3, 88).unwrap()
+            locks
+                .wr_lock(&mut group.client, fab, now, out, 3, 88)
+                .unwrap()
         });
         let ack2 = ack_of(&mut sim, &mut group, gen2);
         assert_eq!(
@@ -318,14 +326,21 @@ mod tests {
 
         // Release, then 88 can acquire.
         let gen3 = drive(&mut sim, |fab, now, out| {
-            locks.wr_unlock(&mut group.client, fab, now, out, 3, 77).unwrap()
+            locks
+                .wr_unlock(&mut group.client, fab, now, out, 3, 77)
+                .unwrap()
         });
         ack_of(&mut sim, &mut group, gen3);
         let gen4 = drive(&mut sim, |fab, now, out| {
-            locks.wr_lock(&mut group.client, fab, now, out, 3, 88).unwrap()
+            locks
+                .wr_lock(&mut group.client, fab, now, out, 3, 88)
+                .unwrap()
         });
         let ack4 = ack_of(&mut sim, &mut group, gen4);
-        assert_eq!(locks.interpret_wr_lock(&ack4, 3, 88), WrLockOutcome::Acquired);
+        assert_eq!(
+            locks.interpret_wr_lock(&ack4, 3, 88),
+            WrLockOutcome::Acquired
+        );
     }
 
     #[test]
@@ -342,7 +357,9 @@ mod tests {
             .unwrap();
 
         let gen = drive(&mut sim, |fab, now, out| {
-            locks.wr_lock(&mut group.client, fab, now, out, 5, 42).unwrap()
+            locks
+                .wr_lock(&mut group.client, fab, now, out, 5, 42)
+                .unwrap()
         });
         let ack = ack_of(&mut sim, &mut group, gen);
         let WrLockOutcome::Partial { undo } = locks.interpret_wr_lock(&ack, 5, 42) else {
@@ -385,7 +402,9 @@ mod tests {
         }
         // A writer now sees replica 1 busy -> partial -> undo available.
         let gen = drive(&mut sim, |fab, now, out| {
-            locks.wr_lock(&mut group.client, fab, now, out, 0, 7).unwrap()
+            locks
+                .wr_lock(&mut group.client, fab, now, out, 0, 7)
+                .unwrap()
         });
         let ack = ack_of(&mut sim, &mut group, gen);
         assert!(matches!(
@@ -398,12 +417,16 @@ mod tests {
     fn stale_read_lock_expectation_retries() {
         let (mut sim, mut group, locks) = setup();
         let gen = drive(&mut sim, |fab, now, out| {
-            locks.rd_lock(&mut group.client, fab, now, out, 2, 0, 0).unwrap()
+            locks
+                .rd_lock(&mut group.client, fab, now, out, 2, 0, 0)
+                .unwrap()
         });
         ack_of(&mut sim, &mut group, gen);
         // Second reader wrongly assumes count 0.
         let gen2 = drive(&mut sim, |fab, now, out| {
-            locks.rd_lock(&mut group.client, fab, now, out, 2, 0, 0).unwrap()
+            locks
+                .rd_lock(&mut group.client, fab, now, out, 2, 0, 0)
+                .unwrap()
         });
         let ack2 = ack_of(&mut sim, &mut group, gen2);
         assert_eq!(

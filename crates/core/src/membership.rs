@@ -150,7 +150,12 @@ pub enum RecoveryStep {
 }
 
 /// Plans the catch-up of `joining` from `source` under the given view.
-pub fn plan_rejoin(view: &ChainView, source: NodeId, joining: NodeId, bytes: u64) -> Vec<RecoveryStep> {
+pub fn plan_rejoin(
+    view: &ChainView,
+    source: NodeId,
+    joining: NodeId,
+    bytes: u64,
+) -> Vec<RecoveryStep> {
     vec![
         RecoveryStep::PauseWrites,
         RecoveryStep::CopyState {
@@ -215,7 +220,10 @@ mod tests {
         assert_eq!(plan.len(), 4);
         assert_eq!(plan[0], RecoveryStep::PauseWrites);
         assert!(matches!(plan[1], RecoveryStep::CopyState { bytes, .. } if bytes == 1 << 20));
-        assert!(matches!(plan[2], RecoveryStep::RebuildDataPath { epoch: 1 }));
+        assert!(matches!(
+            plan[2],
+            RecoveryStep::RebuildDataPath { epoch: 1 }
+        ));
         assert_eq!(plan[3], RecoveryStep::ResumeWrites);
     }
 

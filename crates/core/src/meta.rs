@@ -23,9 +23,9 @@
 
 use crate::config::SharedLayout;
 use crate::ops::GroupOp;
-use rnicsim::{wqe_flags, Opcode, Wqe};
 #[cfg(test)]
 use rnicsim::WQE_SIZE;
+use rnicsim::{wqe_flags, Opcode, Wqe};
 
 /// Bytes of the metadata payload actually transmitted per hop.
 pub fn payload_len(layout: &SharedLayout) -> u64 {
@@ -269,14 +269,18 @@ mod tests {
         assert_eq!(b[0].local_addr, l.shared_base + 100);
         assert_eq!(b[0].remote_addr, l.shared_base + 5000);
         assert_eq!(b[1].opcode, Opcode::Read, "self-flush via loopback read");
-        assert_eq!(b[2].opcode, Opcode::Nop, "no data forwarded: all hops copy locally");
+        assert_eq!(
+            b[2].opcode,
+            Opcode::Nop,
+            "no data forwarded: all hops copy locally"
+        );
         assert_eq!(b[3].opcode, Opcode::Nop, "no downstream flush needed");
     }
 
-    mod proptests {
+    mod randomized {
         use super::*;
         use crate::ops::ExecuteMap;
-        use proptest::prelude::*;
+        use simcore::SimRng;
 
         fn layout_for(gs: u32) -> SharedLayout {
             SharedLayout {
@@ -289,83 +293,79 @@ mod tests {
             }
         }
 
-        fn arb_op() -> impl Strategy<Value = GroupOp> {
-            prop_oneof![
-                (0u64..1 << 19, 1usize..4096, any::<bool>()).prop_map(|(o, l, f)| {
-                    GroupOp::Write {
-                        offset: o,
-                        data: vec![1; l],
-                        flush: f,
-                    }
-                }),
-                (0u64..1 << 16, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-                    |(o, c, s, e)| GroupOp::Cas {
-                        offset: o & !7,
-                        compare: c,
-                        swap: s,
-                        execute: ExecuteMap(e),
-                    }
-                ),
-                (0u64..1 << 18, 0u64..1 << 18, 1u64..4096, any::<bool>()).prop_map(
-                    |(s, d, l, f)| GroupOp::Memcpy {
-                        src: s,
-                        dst: d,
-                        len: l,
-                        flush: f,
-                    }
-                ),
-                (0u64..1 << 19).prop_map(|o| GroupOp::Flush { offset: o }),
-            ]
+        fn gen_op(rng: &mut SimRng) -> GroupOp {
+            match rng.gen_range(0..4) {
+                0 => GroupOp::Write {
+                    offset: rng.gen_range(0..1 << 19),
+                    data: vec![1; 1 + rng.gen_index(4095)],
+                    flush: rng.gen_bool(0.5),
+                },
+                1 => GroupOp::Cas {
+                    offset: rng.gen_range(0..1 << 16) & !7,
+                    compare: rng.next_u64(),
+                    swap: rng.next_u64(),
+                    execute: ExecuteMap(rng.next_u64()),
+                },
+                2 => GroupOp::Memcpy {
+                    src: rng.gen_range(0..1 << 18),
+                    dst: rng.gen_range(0..1 << 18),
+                    len: rng.gen_range(1..4096),
+                    flush: rng.gen_bool(0.5),
+                },
+                _ => GroupOp::Flush {
+                    offset: rng.gen_range(0..1 << 19),
+                },
+            }
         }
 
-        proptest! {
-            #[test]
-            fn payload_always_decodes_to_valid_images(
-                gs in 1u32..8,
-                gen in any::<u64>(),
-                ack in any::<u64>(),
-                op in arb_op(),
-            ) {
+        #[test]
+        fn payload_always_decodes_to_valid_images() {
+            let mut rng = SimRng::new(0x4E7A);
+            for _ in 0..64 {
+                let gs = rng.gen_range(1..8) as u32;
+                let gen = rng.next_u64();
+                let ack = rng.next_u64();
+                let op = gen_op(&mut rng);
                 let l = layout_for(gs);
                 let payload = build_payload(&op, &l, gen, ack);
-                prop_assert_eq!(payload.len() as u64, payload_len(&l));
+                assert_eq!(payload.len() as u64, payload_len(&l));
                 // Every 64-byte image in every block decodes.
                 for idx in 0..gs {
                     for img in 0..5usize {
                         let start = (idx as usize * 5 + img) * WQE_SIZE as usize;
-                        let bytes: [u8; 64] =
-                            payload[start..start + 64].try_into().unwrap();
-                        let w = Wqe::decode(&bytes);
-                        prop_assert!(w.is_some(), "image {idx}/{img} corrupt");
+                        let bytes: [u8; 64] = payload[start..start + 64].try_into().unwrap();
+                        assert!(Wqe::decode(&bytes).is_some(), "image {idx}/{img} corrupt");
                     }
                 }
                 // The result map is zeroed.
                 let rm = l.result_map_offset() as usize;
-                prop_assert!(payload[rm..].iter().all(|&b| b == 0));
+                assert!(payload[rm..].iter().all(|&b| b == 0));
             }
+        }
 
-            #[test]
-            fn last_block_always_acks_and_others_always_forward(
-                gs in 2u32..8,
-                gen in any::<u64>(),
-                op in arb_op(),
-            ) {
+        #[test]
+        fn last_block_always_acks_and_others_always_forward() {
+            let mut rng = SimRng::new(0xAC4D);
+            for _ in 0..64 {
+                let gs = rng.gen_range(2..8) as u32;
+                let gen = rng.next_u64();
+                let op = gen_op(&mut rng);
                 let l = layout_for(gs);
                 for idx in 0..gs {
                     let b = build_block(&op, &l, idx, gen, 0xACED);
                     if idx + 1 == gs {
-                        prop_assert_eq!(b[4].opcode, Opcode::WriteImm);
-                        prop_assert_eq!(b[4].compare_or_imm, gen);
-                        prop_assert_eq!(b[4].remote_addr, 0xACED);
+                        assert_eq!(b[4].opcode, Opcode::WriteImm);
+                        assert_eq!(b[4].compare_or_imm, gen);
+                        assert_eq!(b[4].remote_addr, 0xACED);
                         // The last hop never forwards data or flushes.
-                        prop_assert_eq!(b[2].opcode, Opcode::Nop);
-                        prop_assert_eq!(b[3].opcode, Opcode::Nop);
+                        assert_eq!(b[2].opcode, Opcode::Nop);
+                        assert_eq!(b[3].opcode, Opcode::Nop);
                     } else {
-                        prop_assert_eq!(b[4].opcode, Opcode::Send);
-                        prop_assert_eq!(b[4].len, payload_len(&l));
+                        assert_eq!(b[4].opcode, Opcode::Send);
+                        assert_eq!(b[4].len, payload_len(&l));
                     }
                     // The trigger leg is always signalled and fenced.
-                    prop_assert!(b[1].is_signaled() && b[1].is_fenced());
+                    assert!(b[1].is_signaled() && b[1].is_fenced());
                 }
             }
         }

@@ -386,7 +386,9 @@ mod tests {
         let (mut sim, mut group, mut reader, locks) = setup();
         // Writer takes the group lock.
         let wr_gen = drive(&mut sim, |fab, now, out| {
-            locks.wr_lock(&mut group.client, fab, now, out, 5, 42).unwrap()
+            locks
+                .wr_lock(&mut group.client, fab, now, out, 5, 42)
+                .unwrap()
         });
         sim.run();
         let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
@@ -407,7 +409,9 @@ mod tests {
 
         // Writer releases; the reader's retry goes through.
         drive(&mut sim, |fab, now, out| {
-            locks.wr_unlock(&mut group.client, fab, now, out, 5, 42).unwrap()
+            locks
+                .wr_unlock(&mut group.client, fab, now, out, 5, 42)
+                .unwrap()
         });
         let done = settle_reads(&mut sim, &mut group, &mut reader);
         assert_eq!(done.len(), 1, "reader starved after writer release");

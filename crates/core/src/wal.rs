@@ -17,8 +17,8 @@
 //! No replica CPU touches any of this.
 
 use crate::group::GroupError;
-use crate::transport::GroupTransport;
 use crate::ops::GroupOp;
+use crate::transport::GroupTransport;
 use rnicsim::{NicEffect, RdmaFabric};
 use simcore::{Outbox, SimTime};
 use std::collections::VecDeque;
@@ -51,7 +51,10 @@ impl WalLayout {
     ///
     /// Panics if the pieces do not fit.
     pub fn standard(shared_size: u64, log_size: u64, control_size: u64) -> Self {
-        assert!(control_size >= 16, "control area too small for the head pointer");
+        assert!(
+            control_size >= 16,
+            "control area too small for the head pointer"
+        );
         assert!(
             control_size + log_size < shared_size,
             "log does not fit in the shared region"
@@ -298,7 +301,6 @@ impl ReplicatedWal {
     }
 }
 
-
 /// Recovers the logically unapplied suffix of a WAL from raw durable bytes:
 /// `head_ptr_bytes` are the 16 durable bytes at the head pointer, `log` is
 /// the durable log region. Returns records in application order, rejecting
@@ -401,7 +403,11 @@ mod tests {
                 b"value-A"
             );
             assert_eq!(
-                sim.model.fab.mem(n).read_vec(shared + db + 9000, 7).unwrap(),
+                sim.model
+                    .fab
+                    .mem(n)
+                    .read_vec(shared + db + 9000, 7)
+                    .unwrap(),
                 b"value-B"
             );
             assert!(sim
@@ -461,7 +467,8 @@ mod tests {
     fn execute_on_empty_backlog_is_none() {
         let (mut sim, mut group, mut wal) = setup();
         let r = drive(&mut sim, |fab, now, out| {
-            wal.execute_and_advance(&mut group.client, fab, now, out).unwrap()
+            wal.execute_and_advance(&mut group.client, fab, now, out)
+                .unwrap()
         });
         assert!(r.is_none());
     }

@@ -60,9 +60,7 @@ mod tests {
             for (delay, eff) in out.drain() {
                 match eff {
                     CpuEffect::Internal(ev) => q.push_after(delay, Ev::Cpu(ev)),
-                    CpuEffect::TaskDone { proc, task } => {
-                        q.push_after(delay, Ev::Done(proc, task))
-                    }
+                    CpuEffect::TaskDone { proc, task } => q.push_after(delay, Ev::Done(proc, task)),
                 }
             }
         }
@@ -148,7 +146,10 @@ mod tests {
             lat >= SimDuration::from_millis(1),
             "no queueing delay under contention: {lat}"
         );
-        assert!(lat <= SimDuration::from_millis(5), "unreasonably long: {lat}");
+        assert!(
+            lat <= SimDuration::from_millis(5),
+            "unreasonably long: {lat}"
+        );
     }
 
     #[test]
@@ -161,10 +162,17 @@ mod tests {
         }
         sim.run();
         assert_eq!(sim.model.done.len(), 5);
-        assert_eq!(sim.model.sched.stats().wakeups, 1, "one interrupt, not five");
+        assert_eq!(
+            sim.model.sched.stats().wakeups,
+            1,
+            "one interrupt, not five"
+        );
         // All five ran back-to-back within one slice.
         let last = sim.model.done.last().unwrap().0;
-        assert_eq!(last.since(SimTime::ZERO), SimDuration::from_micros(5 + 3 + 10));
+        assert_eq!(
+            last.since(SimTime::ZERO),
+            SimDuration::from_micros(5 + 3 + 10)
+        );
     }
 
     #[test]
@@ -195,7 +203,11 @@ mod tests {
         submit(&mut sim, p, 2, SimDuration::from_micros(10));
         sim.run();
         assert_eq!(sim.model.done.len(), 2);
-        assert_eq!(sim.model.sched.stats().wakeups, 1, "pickup must not re-wake");
+        assert_eq!(
+            sim.model.sched.stats().wakeups,
+            1,
+            "pickup must not re-wake"
+        );
         let t2 = sim.model.done.iter().find(|(_, _, t)| t.0 == 2).unwrap().0;
         // First task ends at 5+3+100=108us; second runs right after.
         assert_eq!(t2.since(SimTime::ZERO), SimDuration::from_micros(118));
@@ -342,18 +354,16 @@ mod tests {
         spawn(&mut sim, ProcKind::Hog);
     }
 
-    mod proptests {
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use simcore::SimRng;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
-            #[test]
-            fn every_task_completes_no_earlier_than_cost(
-                cores in 1u32..4,
-                n_procs in 1usize..6,
-                tasks in proptest::collection::vec((0usize..6, 1u64..500), 1..40),
-            ) {
+        #[test]
+        fn every_task_completes_no_earlier_than_cost() {
+            for case in 0..32u64 {
+                let mut rng = SimRng::new(0x5C4ED + case);
+                let cores = rng.gen_range(1..4) as u32;
+                let n_procs = 1 + rng.gen_index(5);
                 let cfg = SchedConfig::default();
                 let mut sim = Harness::new(cores, cfg);
                 let procs: Vec<ProcId> = (0..n_procs)
@@ -366,36 +376,42 @@ mod tests {
                         spawn(&mut sim, kind)
                     })
                     .collect();
+                let n_tasks = 1 + rng.gen_index(39);
                 let mut expect = Vec::new();
-                for (i, (pi, cost_us)) in tasks.iter().enumerate() {
-                    let p = procs[pi % procs.len()];
-                    let cost = SimDuration::from_micros(*cost_us);
+                for i in 0..n_tasks {
+                    let p = procs[rng.gen_index(procs.len())];
+                    let cost = SimDuration::from_micros(rng.gen_range(1..500));
                     submit(&mut sim, p, i as u64, cost);
                     expect.push((i as u64, cost));
                 }
                 sim.run_until(SimTime::from_secs(5));
-                prop_assert_eq!(sim.model.done.len(), expect.len(), "lost tasks");
+                assert_eq!(sim.model.done.len(), expect.len(), "lost tasks");
                 for (tid, cost) in expect {
                     let (t, _, _) = sim.model.done.iter().find(|(_, _, x)| x.0 == tid).unwrap();
-                    prop_assert!(t.since(SimTime::ZERO) >= cost, "finished faster than its cost");
+                    assert!(
+                        t.since(SimTime::ZERO) >= cost,
+                        "finished faster than its cost"
+                    );
                 }
             }
+        }
 
-            #[test]
-            fn useful_time_equals_total_cost(
-                costs in proptest::collection::vec(1u64..200, 1..30),
-            ) {
+        #[test]
+        fn useful_time_equals_total_cost() {
+            for case in 0..32u64 {
+                let mut rng = SimRng::new(0x05EF + case);
                 let cfg = SchedConfig::default();
                 let mut sim = Harness::new(2, cfg);
                 let p = spawn(&mut sim, ProcKind::EventDriven);
                 let mut total = SimDuration::ZERO;
-                for (i, us) in costs.iter().enumerate() {
-                    let cost = SimDuration::from_micros(*us);
+                let n = 1 + rng.gen_index(29);
+                for i in 0..n {
+                    let cost = SimDuration::from_micros(rng.gen_range(1..200));
                     total += cost;
                     submit(&mut sim, p, i as u64, cost);
                 }
                 sim.run_until(SimTime::from_secs(5));
-                prop_assert_eq!(sim.model.sched.stats().useful, total);
+                assert_eq!(sim.model.sched.stats().useful, total);
             }
         }
     }

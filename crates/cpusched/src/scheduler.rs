@@ -10,7 +10,7 @@
 use crate::types::{
     CoreId, CpuEffect, CpuEvent, HogProfile, ProcId, ProcKind, SchedConfig, SchedStats, TaskId,
 };
-use simcore::{Outbox, SimDuration, SimRng, SimTime};
+use simcore::{Outbox, SimDuration, SimRng, SimTime, TraceKind, Tracer};
 use std::collections::VecDeque;
 
 #[derive(Debug)]
@@ -75,6 +75,8 @@ pub struct CpuScheduler {
     slice_seq: u64,
     stats: SchedStats,
     rng: SimRng,
+    tracer: Tracer,
+    trace_node: u32,
 }
 
 impl CpuScheduler {
@@ -92,7 +94,16 @@ impl CpuScheduler {
             slice_seq: 0,
             stats: SchedStats::default(),
             rng,
+            tracer: Tracer::disabled(),
+            trace_node: simcore::simtrace::NO_NODE,
         }
+    }
+
+    /// Installs a trace sink; dispatch/preempt events will be attributed to
+    /// `node` (the server this scheduler belongs to).
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.tracer = tracer;
+        self.trace_node = node;
     }
 
     /// Number of cores.
@@ -163,7 +174,10 @@ impl CpuScheduler {
     ///
     /// Panics if `kind` is [`ProcKind::Hog`]; use [`CpuScheduler::spawn_hog`].
     pub fn spawn(&mut self, kind: ProcKind, now: SimTime, out: &mut Outbox<CpuEffect>) -> ProcId {
-        assert!(kind != ProcKind::Hog, "use spawn_hog for background tenants");
+        assert!(
+            kind != ProcKind::Hog,
+            "use spawn_hog for background tenants"
+        );
         let id = ProcId(self.procs.len() as u32);
         self.procs.push(Process {
             kind,
@@ -334,6 +348,12 @@ impl CpuScheduler {
                 }),
             );
             self.cores[core_id.0 as usize].running = Some(slice);
+            self.tracer.emit(
+                now,
+                self.trace_node,
+                simcore::simtrace::NO_OP,
+                TraceKind::Dispatch { task: pid.0 as u64 },
+            );
             return;
         }
     }
@@ -365,7 +385,13 @@ impl CpuScheduler {
             if front.remaining.is_zero() {
                 let task = proc.tasks.pop_front().expect("front task vanished");
                 stats.tasks_completed += 1;
-                out.emit(cursor.since(now), CpuEffect::TaskDone { proc: pid, task: task.id });
+                out.emit(
+                    cursor.since(now),
+                    CpuEffect::TaskDone {
+                        proc: pid,
+                        task: task.id,
+                    },
+                );
             } else {
                 break; // partial task: slice exhausted
             }
@@ -441,6 +467,12 @@ impl CpuScheduler {
         if wants_cpu {
             proc.state = ProcState::Queued(core_id);
             self.cores[core_id.0 as usize].queue.push_back(pid);
+            self.tracer.emit(
+                now,
+                self.trace_node,
+                simcore::simtrace::NO_OP,
+                TraceKind::Preempt { task: pid.0 as u64 },
+            );
         } else {
             proc.state = ProcState::Blocked;
         }

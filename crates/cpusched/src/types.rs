@@ -145,3 +145,15 @@ pub struct SchedStats {
     /// Total time spent executing submitted tasks.
     pub useful: SimDuration,
 }
+
+impl SchedStats {
+    /// Snapshots every counter into `reg` under a dotted `prefix`. Durations
+    /// are exported as nanosecond counters.
+    pub fn export_into(&self, reg: &mut simcore::MetricsRegistry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}.context_switches"), self.context_switches);
+        reg.counter_add(&format!("{prefix}.wakeups"), self.wakeups);
+        reg.counter_add(&format!("{prefix}.tasks_completed"), self.tasks_completed);
+        reg.counter_add(&format!("{prefix}.busy_ns"), self.busy.as_nanos());
+        reg.counter_add(&format!("{prefix}.useful_ns"), self.useful.as_nanos());
+    }
+}

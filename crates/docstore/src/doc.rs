@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn empty_document() {
-        let d = Document { id: 1, fields: BTreeMap::new() };
+        let d = Document {
+            id: 1,
+            fields: BTreeMap::new(),
+        };
         assert_eq!(Document::decode(&d.encode()), Some(d));
     }
 
@@ -110,18 +113,28 @@ mod tests {
         }
     }
 
-    mod proptests {
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use simcore::SimRng;
 
-        proptest! {
-            #[test]
-            fn any_doc_round_trips(
-                id in any::<u64>(),
-                raw in proptest::collection::btree_map("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..64), 0..6),
-            ) {
-                let d = Document { id, fields: raw };
-                prop_assert_eq!(Document::decode(&d.encode()), Some(d));
+        #[test]
+        fn any_doc_round_trips() {
+            let mut rng = SimRng::new(0xD0C5);
+            for _ in 0..128 {
+                let mut fields = BTreeMap::new();
+                for _ in 0..rng.gen_index(6) {
+                    let name: String = (0..1 + rng.gen_index(8))
+                        .map(|_| (b'a' + rng.gen_index(26) as u8) as char)
+                        .collect();
+                    let mut val = vec![0u8; rng.gen_index(64)];
+                    rng.fill_bytes(&mut val);
+                    fields.insert(name, val);
+                }
+                let d = Document {
+                    id: rng.next_u64(),
+                    fields,
+                };
+                assert_eq!(Document::decode(&d.encode()), Some(d));
             }
         }
     }

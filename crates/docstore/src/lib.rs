@@ -120,7 +120,12 @@ mod tests {
         drive(&mut sim, |fab, now, out| {
             for id in 0..8u64 {
                 store
-                    .write(fab, now, out, Document::with_field(id, "f", vec![id as u8; 64]))
+                    .write(
+                        fab,
+                        now,
+                        out,
+                        Document::with_field(id, "f", vec![id as u8; 64]),
+                    )
                     .unwrap();
             }
         });
@@ -236,7 +241,12 @@ mod tests {
         drive(&mut sim, |fab, now, out| {
             for id in 0..10u64 {
                 store
-                    .write(fab, now, out, Document::with_field(id, "f", vec![id as u8; 64]))
+                    .write(
+                        fab,
+                        now,
+                        out,
+                        Document::with_field(id, "f", vec![id as u8; 64]),
+                    )
                     .unwrap();
             }
         });

@@ -206,7 +206,10 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
     ) -> usize {
         let mut applied = 0;
         while applied < max_records {
-            match self.wal.execute_and_advance(&mut self.transport, fab, now, out) {
+            match self
+                .wal
+                .execute_and_advance(&mut self.transport, fab, now, out)
+            {
                 Ok(Some(_)) => applied += 1,
                 Ok(None) | Err(_) => break,
             }
@@ -226,7 +229,11 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
 
     /// Range scan over present documents.
     pub fn scan(&self, start: u64, len: u64) -> Vec<&Document> {
-        self.docs.range(start..).take(len as usize).map(|(_, d)| d).collect()
+        self.docs
+            .range(start..)
+            .take(len as usize)
+            .map(|(_, d)| d)
+            .collect()
     }
 
     /// Number of documents present.
@@ -305,11 +312,7 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                     // A lock conflict with an earlier active tx on the same
                     // word must wait (single-writer semantics).
                     let lock_id = self.active[i].lock_id;
-                    let conflict = self
-                        .active
-                        .iter()
-                        .take(i)
-                        .any(|t| t.lock_id == lock_id);
+                    let conflict = self.active.iter().take(i).any(|t| t.lock_id == lock_id);
                     if conflict {
                         continue;
                     }
@@ -354,11 +357,11 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                         offset: doc.id * self.config.slot_size(),
                         data: slot_bytes,
                     }];
-                    let receipt =
-                        match self.wal.append(&mut self.transport, fab, now, out, entries) {
-                            Ok(r) => r,
-                            Err(_) => return, // ring or window full: retry later
-                        };
+                    let receipt = match self.wal.append(&mut self.transport, fab, now, out, entries)
+                    {
+                        Ok(r) => r,
+                        Err(_) => return, // ring or window full: retry later
+                    };
                     let tx = &mut self.active[i];
                     tx.phase = Phase::Appending;
                     tx.waiting = receipt.gens.clone();
@@ -370,14 +373,15 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                     if i != 0 {
                         continue;
                     }
-                    let receipt = match self
-                        .wal
-                        .execute_and_advance(&mut self.transport, fab, now, out)
-                    {
-                        Ok(Some(r)) => r,
-                        Ok(None) => return,
-                        Err(_) => return,
-                    };
+                    let receipt =
+                        match self
+                            .wal
+                            .execute_and_advance(&mut self.transport, fab, now, out)
+                        {
+                            Ok(Some(r)) => r,
+                            Ok(None) => return,
+                            Err(_) => return,
+                        };
                     let tx = &mut self.active[i];
                     tx.phase = Phase::Executing;
                     tx.waiting = receipt.gens.clone();
@@ -432,7 +436,11 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
             #[cfg(feature = "phase-trace")]
             eprintln!(
                 "t={:?} tx{} ack gen={} phase={:?} waiting={}",
-                now, tx.tx_seq, ack.gen, tx.phase, tx.waiting.len()
+                now,
+                tx.tx_seq,
+                ack.gen,
+                tx.phase,
+                tx.waiting.len()
             );
             if !tx.waiting.is_empty() {
                 continue;
@@ -541,8 +549,7 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
         for rec in recover_unapplied(&head_raw, &log) {
             for e in rec.entries {
                 let id = e.offset / slot_size;
-                let len =
-                    u32::from_le_bytes(e.data[..4].try_into().expect("4 bytes")) as usize;
+                let len = u32::from_le_bytes(e.data[..4].try_into().expect("4 bytes")) as usize;
                 if len > 0 && len + 4 <= e.data.len() {
                     if let Some(d) = Document::decode(&e.data[4..4 + len]) {
                         state.insert(id, d);

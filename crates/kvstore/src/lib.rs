@@ -210,7 +210,14 @@ impl<T: GroupTransport> ReplicatedKv<T> {
         }];
         let receipt = self
             .wal
-            .append_opts(&mut self.transport, fab, now, out, entries, self.config.durable)
+            .append_opts(
+                &mut self.transport,
+                fab,
+                now,
+                out,
+                entries,
+                self.config.durable,
+            )
             .map_err(|e| match e {
                 WalError::EntryOutOfDatabase => KvError::KeyOutOfRange,
                 WalError::LogFull | WalError::WindowFull => KvError::Busy,
@@ -233,7 +240,10 @@ impl<T: GroupTransport> ReplicatedKv<T> {
     ) -> usize {
         let mut applied = 0;
         while applied < max_records {
-            match self.wal.execute_and_advance(&mut self.transport, fab, now, out) {
+            match self
+                .wal
+                .execute_and_advance(&mut self.transport, fab, now, out)
+            {
                 Ok(Some(receipt)) => {
                     for g in receipt.gens {
                         self.pending_checkpoint.insert(g, ());
@@ -324,8 +334,7 @@ impl<T: GroupTransport> ReplicatedKv<T> {
         for rec in recover_unapplied(&head_raw, &log) {
             for e in rec.entries {
                 let key = e.offset / slot_size;
-                let len =
-                    u32::from_le_bytes(e.data[..4].try_into().expect("4 bytes")) as usize;
+                let len = u32::from_le_bytes(e.data[..4].try_into().expect("4 bytes")) as usize;
                 if len > 0 && len <= self.config.max_value as usize {
                     state.insert(key, e.data[4..4 + len].to_vec());
                 }
@@ -552,7 +561,9 @@ mod tests {
         }
         // ...but a power failure erases it.
         sim.model.fab.mem(NodeId(2)).power_failure();
-        let state = drive(&mut sim, |fab, _, _| kv.recover_state(fab, NodeId(2), shared));
+        let state = drive(&mut sim, |fab, _, _| {
+            kv.recover_state(fab, NodeId(2), shared)
+        });
         assert!(state.is_empty(), "volatile write survived: {state:?}");
 
         // And it is faster than the durable path.

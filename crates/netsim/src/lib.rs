@@ -26,7 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use simcore::{SimDuration, SimRng, SimTime};
+use simcore::simtrace::{TraceKind, NO_OP};
+use simcore::{MetricsRegistry, SimDuration, SimRng, SimTime, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -97,6 +98,7 @@ pub struct Network {
     /// Latest delivery time so far on each directed pair (FIFO clamp).
     channel_clock: HashMap<(NodeId, NodeId), SimTime>,
     stats: HashMap<(NodeId, NodeId), LinkStats>,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -114,7 +116,13 @@ impl Network {
             ingress_free: vec![SimTime::ZERO; nodes as usize],
             channel_clock: HashMap::new(),
             stats: HashMap::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace sink; link enqueue/deliver events will be emitted.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of machines on the fabric.
@@ -145,13 +153,54 @@ impl Network {
         now: SimTime,
         rng: &mut SimRng,
     ) -> SimTime {
-        assert!(src.0 < self.nodes && dst.0 < self.nodes, "node out of range");
+        self.deliver_at_traced(src, dst, bytes, now, rng, NO_OP)
+    }
+
+    /// [`Network::deliver_at`] with a causal op id attached to the emitted
+    /// trace events, so link time shows up in per-op span trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn deliver_at_traced(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        now: SimTime,
+        rng: &mut SimRng,
+        op: u64,
+    ) -> SimTime {
+        assert!(
+            src.0 < self.nodes && dst.0 < self.nodes,
+            "node out of range"
+        );
         let st = self.stats.entry((src, dst)).or_default();
         st.messages += 1;
         st.bytes += bytes;
+        self.tracer.emit(
+            now,
+            src.0,
+            op,
+            TraceKind::LinkEnqueue {
+                src: src.0,
+                dst: dst.0,
+                bytes,
+            },
+        );
 
         if src == dst {
-            return now + self.config.per_message_overhead;
+            let arrival = now + self.config.per_message_overhead;
+            self.tracer.emit(
+                arrival,
+                dst.0,
+                op,
+                TraceKind::LinkDeliver {
+                    src: src.0,
+                    dst: dst.0,
+                },
+            );
+            return arrival;
         }
 
         // Serialize on both ports: a NIC transmits at most one frame at a
@@ -174,6 +223,15 @@ impl Network {
             .or_insert(SimTime::ZERO);
         let ordered = arrival.max(*clock + SimDuration::from_nanos(1));
         *clock = ordered;
+        self.tracer.emit(
+            ordered,
+            dst.0,
+            op,
+            TraceKind::LinkDeliver {
+                src: src.0,
+                dst: dst.0,
+            },
+        );
         ordered
     }
 
@@ -185,6 +243,23 @@ impl Network {
     /// Total bytes carried across the whole fabric.
     pub fn total_bytes(&self) -> u64 {
         self.stats.values().map(|s| s.bytes).sum()
+    }
+
+    /// Snapshots link statistics into a [`MetricsRegistry`] under `prefix`:
+    /// fabric-wide totals plus per-directed-pair message/byte counters.
+    pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let mut pairs: Vec<_> = self.stats.iter().collect();
+        pairs.sort_by_key(|(k, _)| **k);
+        let mut messages = 0;
+        let mut bytes = 0;
+        for ((src, dst), st) in pairs {
+            messages += st.messages;
+            bytes += st.bytes;
+            reg.counter_add(&format!("{prefix}.link.{src}_{dst}.messages"), st.messages);
+            reg.counter_add(&format!("{prefix}.link.{src}_{dst}.bytes"), st.bytes);
+        }
+        reg.counter_add(&format!("{prefix}.messages"), messages);
+        reg.counter_add(&format!("{prefix}.bytes"), bytes);
     }
 }
 
@@ -242,8 +317,10 @@ mod tests {
         let (mut net, mut rng) = net();
         let t1 = net.deliver_at(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO, &mut rng);
         let t2 = net.deliver_at(NodeId(0), NodeId(2), 64, SimTime::ZERO, &mut rng);
-        assert!(t2 > t1 - FabricConfig::default().base_latency(64).mul_f64(2.0),
-            "second transmission must wait for the shared egress port");
+        assert!(
+            t2 > t1 - FabricConfig::default().base_latency(64).mul_f64(2.0),
+            "second transmission must wait for the shared egress port"
+        );
     }
 
     #[test]
@@ -254,7 +331,10 @@ mod tests {
         let a = net.deliver_at(NodeId(0), NodeId(3), 1 << 20, SimTime::ZERO, &mut rng);
         let b = net.deliver_at(NodeId(1), NodeId(3), 1 << 20, SimTime::ZERO, &mut rng);
         let tx = cfg.transmission(1 << 20);
-        assert!(b.since(SimTime::ZERO) >= tx * 2, "ingress did not serialize");
+        assert!(
+            b.since(SimTime::ZERO) >= tx * 2,
+            "ingress did not serialize"
+        );
         assert!(a < b);
     }
 
@@ -306,7 +386,10 @@ mod tests {
         }
         let total = last.since(SimTime::ZERO);
         let pure_tx = cfg.transmission(bytes) * n;
-        assert!(total >= pure_tx, "link did not serialize: {total} < {pure_tx}");
+        assert!(
+            total >= pure_tx,
+            "link did not serialize: {total} < {pure_tx}"
+        );
         // And no more than ~10% overhead beyond serialization + tail.
         assert!(total <= pure_tx.mul_f64(1.1) + SimDuration::from_micros(2));
     }
@@ -317,7 +400,10 @@ mod tests {
         let (mut net, mut rng) = (Network::new(2, cfg), SimRng::new(4));
         net.deliver_at(NodeId(0), NodeId(1), 1 << 20, SimTime::ZERO, &mut rng);
         let back = net.deliver_at(NodeId(1), NodeId(0), 64, SimTime::ZERO, &mut rng);
-        assert!(back.since(SimTime::ZERO) < SimDuration::from_micros(5), "full duplex violated");
+        assert!(
+            back.since(SimTime::ZERO) < SimDuration::from_micros(5),
+            "full duplex violated"
+        );
     }
 
     #[test]
@@ -329,25 +415,36 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        /// Conservation law: no node can source or sink traffic faster than
-        /// its port rate, whatever the traffic pattern.
-        #[test]
-        fn port_capacity_is_never_exceeded(
-            msgs in proptest::collection::vec((0u32..4, 0u32..4, 1u64..100_000), 1..100),
-        ) {
+    fn gen_msgs(seed: u64, nodes: u32, max_bytes: u64, n_max: usize) -> Vec<(u32, u32, u64, u64)> {
+        let mut rng = SimRng::new(seed);
+        let n = 1 + rng.gen_index(n_max - 1);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..nodes as u64) as u32,
+                    rng.gen_range(0..nodes as u64) as u32,
+                    rng.gen_range(1..max_bytes),
+                    rng.gen_range(0..10_000),
+                )
+            })
+            .collect()
+    }
+
+    /// Conservation law: no node can source or sink traffic faster than
+    /// its port rate, whatever the traffic pattern.
+    #[test]
+    fn port_capacity_is_never_exceeded() {
+        for case in 0..48u64 {
             let cfg = FabricConfig::default();
             let mut net = Network::new(4, cfg);
             let mut rng = SimRng::new(11);
             let mut last = SimTime::ZERO;
             let mut tx_bytes = [0u64; 4];
             let mut rx_bytes = [0u64; 4];
-            for (s, d, bytes) in msgs {
+            for (s, d, bytes, _) in gen_msgs(0x0CEA + case, 4, 100_000, 100) {
                 let (src, dst) = (NodeId(s), NodeId(d));
                 let t = net.deliver_at(src, dst, bytes, SimTime::ZERO, &mut rng);
                 last = last.max(t);
@@ -360,28 +457,32 @@ mod proptests {
             for n in 0..4 {
                 let tx_bps = tx_bytes[n] as f64 * 8.0 / window;
                 let rx_bps = rx_bytes[n] as f64 * 8.0 / window;
-                prop_assert!(tx_bps <= cfg.bandwidth_bps as f64 * 1.001,
-                    "node {n} egress over line rate: {tx_bps:.2e}");
-                prop_assert!(rx_bps <= cfg.bandwidth_bps as f64 * 1.001,
-                    "node {n} ingress over line rate: {rx_bps:.2e}");
+                assert!(
+                    tx_bps <= cfg.bandwidth_bps as f64 * 1.001,
+                    "node {n} egress over line rate: {tx_bps:.2e}"
+                );
+                assert!(
+                    rx_bps <= cfg.bandwidth_bps as f64 * 1.001,
+                    "node {n} ingress over line rate: {rx_bps:.2e}"
+                );
             }
         }
+    }
 
-        /// FIFO per directed pair holds under arbitrary interleavings.
-        #[test]
-        fn per_pair_fifo_always(
-            msgs in proptest::collection::vec((0u32..3, 0u32..3, 1u64..50_000, 0u64..10_000), 1..120),
-        ) {
+    /// FIFO per directed pair holds under arbitrary interleavings.
+    #[test]
+    fn per_pair_fifo_always() {
+        for case in 0..48u64 {
             let mut net = Network::new(3, FabricConfig::default());
             let mut rng = SimRng::new(13);
             let mut pair_last: std::collections::HashMap<(u32, u32), SimTime> =
                 std::collections::HashMap::new();
             let mut now = SimTime::ZERO;
-            for (s, d, bytes, gap) in msgs {
+            for (s, d, bytes, gap) in gen_msgs(0xF1F0 + case, 3, 50_000, 120) {
                 now += SimDuration::from_nanos(gap);
                 let t = net.deliver_at(NodeId(s), NodeId(d), bytes, now, &mut rng);
                 if let Some(&prev) = pair_last.get(&(s, d)) {
-                    prop_assert!(t > prev, "pair ({s},{d}) reordered");
+                    assert!(t > prev, "pair ({s},{d}) reordered");
                 }
                 pair_last.insert((s, d), t);
             }

@@ -49,6 +49,17 @@ pub struct NvmStats {
     pub power_failures: u64,
 }
 
+impl NvmStats {
+    /// Snapshots every counter into `reg` under a dotted `prefix`.
+    pub fn export_into(&self, reg: &mut simcore::MetricsRegistry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}.bytes_written"), self.bytes_written);
+        reg.counter_add(&format!("{prefix}.bytes_read"), self.bytes_read);
+        reg.counter_add(&format!("{prefix}.flushes"), self.flushes);
+        reg.counter_add(&format!("{prefix}.bytes_flushed"), self.bytes_flushed);
+        reg.counter_add(&format!("{prefix}.power_failures"), self.power_failures);
+    }
+}
+
 /// A simulated NVM DIMM: durable array + volatile write-back layer.
 ///
 /// ```
@@ -92,7 +103,10 @@ impl NvmDevice {
     }
 
     fn check(&self, offset: u64, len: u64) -> Result<(), AccessOutOfBoundsError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.capacity()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity())
+        {
             return Err(AccessOutOfBoundsError {
                 offset,
                 len,
@@ -119,7 +133,11 @@ impl NvmDevice {
     /// # Errors
     ///
     /// Returns [`AccessOutOfBoundsError`] if the range exceeds capacity.
-    pub fn write_durable(&mut self, offset: u64, data: &[u8]) -> Result<(), AccessOutOfBoundsError> {
+    pub fn write_durable(
+        &mut self,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), AccessOutOfBoundsError> {
         self.write(offset, data)?;
         self.flush_range(offset, data.len() as u64)
     }

@@ -62,11 +62,7 @@ impl DirtyOverlay {
 
         // Absorb successors swallowed by or touching the new extent.
         let end = start + bytes.len() as u64;
-        let followers: Vec<u64> = self
-            .extents
-            .range(start..=end)
-            .map(|(&s, _)| s)
-            .collect();
+        let followers: Vec<u64> = self.extents.range(start..=end).map(|(&s, _)| s).collect();
         for fstart in followers {
             let fdata = self.extents.remove(&fstart).expect("extent vanished");
             let fend = fstart + fdata.len() as u64;
@@ -102,8 +98,7 @@ impl DirtyOverlay {
             let copy_start = estart.max(offset);
             let copy_end = eend.min(end);
             let src = &edata[(copy_start - estart) as usize..(copy_end - estart) as usize];
-            buf[(copy_start - offset) as usize..(copy_end - offset) as usize]
-                .copy_from_slice(src);
+            buf[(copy_start - offset) as usize..(copy_end - offset) as usize].copy_from_slice(src);
         }
     }
 
@@ -287,9 +282,28 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Minimal deterministic PRNG (splitmix64): this crate has no
+    /// dependencies, so the tests carry their own generator.
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next() % (hi - lo)
+        }
+        fn bytes(&mut self, len: usize) -> Vec<u8> {
+            (0..len).map(|_| self.next() as u8).collect()
+        }
+    }
 
     /// A naive shadow model: a map from byte offset to value.
     #[derive(Default)]
@@ -321,20 +335,27 @@ mod proptests {
         Flush(u64, u64),
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u64..256, proptest::collection::vec(any::<u8>(), 1..32))
-                .prop_map(|(o, d)| Op::Write(o, d)),
-            (0u64..256, 1u64..64).prop_map(|(o, l)| Op::Flush(o, l)),
-        ]
+    fn gen_ops(seed: u64) -> Vec<Op> {
+        let mut rng = TestRng(seed);
+        let n = 1 + (rng.next() as usize % 59);
+        (0..n)
+            .map(|_| {
+                if rng.next().is_multiple_of(2) {
+                    let len = rng.range(1, 32) as usize;
+                    Op::Write(rng.range(0, 256), rng.bytes(len))
+                } else {
+                    Op::Flush(rng.range(0, 256), rng.range(1, 64))
+                }
+            })
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn overlay_matches_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+    #[test]
+    fn overlay_matches_shadow_model() {
+        for case in 0..64u64 {
             let mut ov = DirtyOverlay::new();
             let mut shadow = Shadow::default();
-            for op in &ops {
+            for op in &gen_ops(0x0E71A + case) {
                 match op {
                     Op::Write(o, d) => {
                         ov.write(*o, d);
@@ -344,7 +365,7 @@ mod proptests {
                         let taken = ov.take_range(*o, *l);
                         // Flushed bytes must equal the shadow's bytes there.
                         for (toff, tdata) in &taken {
-                            prop_assert_eq!(&shadow.read(*toff, tdata.len()), tdata);
+                            assert_eq!(&shadow.read(*toff, tdata.len()), tdata);
                         }
                         shadow.remove_range(*o, *l);
                     }
@@ -352,26 +373,30 @@ mod proptests {
                 // Read-back equivalence over the whole touched space.
                 let mut buf = vec![0; 320];
                 ov.apply_to(0, &mut buf);
-                prop_assert_eq!(buf, shadow.read(0, 320));
-                prop_assert_eq!(ov.dirty_bytes() as usize, shadow.bytes.len());
+                assert_eq!(buf, shadow.read(0, 320));
+                assert_eq!(ov.dirty_bytes() as usize, shadow.bytes.len());
             }
         }
+    }
 
-        #[test]
-        fn extents_stay_disjoint_and_nonempty(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+    #[test]
+    fn extents_stay_disjoint_and_nonempty() {
+        for case in 0..64u64 {
             let mut ov = DirtyOverlay::new();
-            for op in &ops {
+            for op in &gen_ops(0xD15C0 + case) {
                 match op {
                     Op::Write(o, d) => ov.write(*o, d),
-                    Op::Flush(o, l) => { ov.take_range(*o, *l); }
+                    Op::Flush(o, l) => {
+                        ov.take_range(*o, *l);
+                    }
                 }
                 let mut last_end: Option<u64> = None;
                 for (s, d) in &ov.extents {
-                    prop_assert!(!d.is_empty(), "empty extent at {}", s);
+                    assert!(!d.is_empty(), "empty extent at {}", s);
                     if let Some(le) = last_end {
                         // Strictly disjoint AND non-adjacent after writes
                         // (flush splits may leave adjacency; allow touching).
-                        prop_assert!(*s >= le, "overlapping extents");
+                        assert!(*s >= le, "overlapping extents");
                     }
                     last_end = Some(s + d.len() as u64);
                 }

@@ -14,12 +14,13 @@
 //!   only an incoming READ (the paper's `gFLUSH`) pushes them to durability.
 
 use crate::types::{
-    wqe_flags, Cqe, CqeStatus, CqId, FabricStats, Message, MrId, NicConfig, NicEffect, NicEvent,
+    wqe_flags, CqId, Cqe, CqeStatus, FabricStats, Message, MrId, NicConfig, NicEffect, NicEvent,
     Opcode, QpId, RecvWqe, SrqId, Wqe, WQE_SIZE,
 };
 use netsim::{FabricConfig, Network, NodeId};
 use nvmsim::NvmDevice;
-use simcore::{Outbox, SimDuration, SimRng, SimTime};
+use simcore::simtrace::{TraceKind, NO_OP};
+use simcore::{MetricsRegistry, Outbox, SimDuration, SimRng, SimTime, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug)]
@@ -89,6 +90,7 @@ pub struct RdmaFabric {
     rng: SimRng,
     nodes: Vec<NodeState>,
     stats: FabricStats,
+    tracer: Tracer,
 }
 
 impl RdmaFabric {
@@ -121,6 +123,26 @@ impl RdmaFabric {
                 })
                 .collect(),
             stats: FabricStats::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Installs a trace sink on the fabric and its network. NIC data-path
+    /// events (WQE fetch/execute, WAIT release, DMA, gFLUSH, cache
+    /// fill/evict, CQE delivery) carry the WQE `wr_id` as their causal op id.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.net.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Snapshots fabric and per-link statistics into `reg` under `prefix`.
+    pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.stats.export_into(reg, prefix);
+        self.net.export_into(reg, &format!("{prefix}.net"));
+        for (i, n) in self.nodes.iter().enumerate() {
+            n.mem
+                .stats()
+                .export_into(reg, &format!("{prefix}.nvm.node{i}"));
         }
     }
 
@@ -476,6 +498,16 @@ impl RdmaFabric {
             raw
         };
 
+        self.tracer.emit(
+            now,
+            node.0,
+            eff.wr_id,
+            TraceKind::WqeFetch {
+                qp: qp.0,
+                opcode: eff.opcode as u8,
+            },
+        );
+
         if eff.opcode == Opcode::Wait {
             self.execute_wait(now, node, qp, eff, out);
             return;
@@ -496,6 +528,16 @@ impl RdmaFabric {
                 let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
                 q.sq_head += 1;
                 self.stats.wqes_executed += 1;
+                self.tracer.emit(
+                    now,
+                    node.0,
+                    eff.wr_id,
+                    TraceKind::WqeExec {
+                        qp: qp.0,
+                        opcode: Opcode::Nop as u8,
+                        bytes: 0,
+                    },
+                );
                 if eff.is_signaled() {
                     let cqe = Cqe {
                         qp,
@@ -506,7 +548,7 @@ impl RdmaFabric {
                         imm: None,
                     };
                     let send_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].send_cq;
-                    self.complete(node, send_cq, cqe, out);
+                    self.complete(now, node, send_cq, cqe, out);
                 }
                 self.reschedule(node, qp, self.config.issue_overhead, out);
             }
@@ -522,7 +564,7 @@ impl RdmaFabric {
 
     fn execute_wait(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         node: NodeId,
         qp: QpId,
         eff: Wqe,
@@ -533,8 +575,7 @@ impl RdmaFabric {
             cq_idx < self.nodes[node.0 as usize].cqs.len(),
             "WAIT watches nonexistent cq{cq_idx} on {node}"
         );
-        let satisfied =
-            self.nodes[node.0 as usize].cqs[cq_idx].sem >= eff.wait_count.max(1) as u64;
+        let satisfied = self.nodes[node.0 as usize].cqs[cq_idx].sem >= eff.wait_count.max(1) as u64;
         if !satisfied {
             let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
             q.parked_on_cq = Some(CqId(cq_idx as u32));
@@ -544,6 +585,8 @@ impl RdmaFabric {
         self.nodes[node.0 as usize].cqs[cq_idx].sem -= eff.wait_count.max(1) as u64;
         self.stats.waits_triggered += 1;
         self.stats.wqes_executed += 1;
+        self.tracer
+            .emit(now, node.0, eff.wr_id, TraceKind::WaitRelease { qp: qp.0 });
 
         // Enable the following WQEs by setting their ownership bit in memory.
         let head = self.nodes[node.0 as usize].qps[qp.0 as usize].sq_head;
@@ -578,7 +621,7 @@ impl RdmaFabric {
                 imm: None,
             };
             let send_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].send_cq;
-            self.complete(node, send_cq, cqe, out);
+            self.complete(now, node, send_cq, cqe, out);
         }
         self.reschedule(node, qp, self.config.wait_process, out);
     }
@@ -624,6 +667,18 @@ impl RdmaFabric {
         q.inflight += 1;
         q.sq_head += 1;
         self.stats.wqes_executed += 1;
+        self.tracer.emit(
+            now,
+            node.0,
+            eff.wr_id,
+            TraceKind::WqeExec {
+                qp: qp.0,
+                opcode: eff.opcode as u8,
+                bytes: eff.len,
+            },
+        );
+        self.tracer
+            .emit(now, node.0, eff.wr_id, TraceKind::Dma { bytes: eff.len });
 
         let msg = match eff.opcode {
             Opcode::Send => Message::Send {
@@ -645,12 +700,13 @@ impl RdmaFabric {
             },
             _ => unreachable!(),
         };
-        let arrival = self.net.deliver_at(
+        let arrival = self.net.deliver_at_traced(
             node,
             peer_node,
             msg.wire_bytes(),
             now + issue_cost,
             &mut self.rng,
+            eff.wr_id,
         );
         out.emit(
             arrival.since(now),
@@ -694,6 +750,16 @@ impl RdmaFabric {
         q.outstanding_reads += 1;
         q.sq_head += 1;
         self.stats.wqes_executed += 1;
+        self.tracer.emit(
+            now,
+            node.0,
+            eff.wr_id,
+            TraceKind::WqeExec {
+                qp: qp.0,
+                opcode: eff.opcode as u8,
+                bytes: eff.len,
+            },
+        );
 
         let msg = match eff.opcode {
             Opcode::Read => Message::ReadReq {
@@ -709,12 +775,13 @@ impl RdmaFabric {
             },
             _ => unreachable!(),
         };
-        let arrival = self.net.deliver_at(
+        let arrival = self.net.deliver_at_traced(
             node,
             peer_node,
             msg.wire_bytes(),
             now + issue_cost,
             &mut self.rng,
+            eff.wr_id,
         );
         out.emit(
             arrival.since(now),
@@ -729,7 +796,7 @@ impl RdmaFabric {
 
     fn advance_with_error(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         node: NodeId,
         qp: QpId,
         wr_id: u64,
@@ -748,11 +815,17 @@ impl RdmaFabric {
             byte_len: 0,
             imm: None,
         };
-        self.complete(node, send_cq, cqe, out);
+        self.complete(now, node, send_cq, cqe, out);
         self.reschedule(node, qp, self.config.issue_overhead, out);
     }
 
-    fn reschedule(&mut self, node: NodeId, qp: QpId, delay: SimDuration, out: &mut Outbox<NicEffect>) {
+    fn reschedule(
+        &mut self,
+        node: NodeId,
+        qp: QpId,
+        delay: SimDuration,
+        out: &mut Outbox<NicEffect>,
+    ) {
         let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
         if !q.engine_scheduled {
             q.engine_scheduled = true;
@@ -790,7 +863,9 @@ impl RdmaFabric {
         let srq = self.nodes[node.0 as usize].qps[qp.0 as usize].srq;
         match srq {
             Some(srq) => self.nodes[node.0 as usize].srqs[srq.0 as usize].pop_front(),
-            None => self.nodes[node.0 as usize].qps[qp.0 as usize].recvs.pop_front(),
+            None => self.nodes[node.0 as usize].qps[qp.0 as usize]
+                .recvs
+                .pop_front(),
         }
     }
 
@@ -802,7 +877,16 @@ impl RdmaFabric {
             .any(|&(o, l)| addr >= o && addr + span <= o + l)
     }
 
-    fn nic_write(&mut self, node: NodeId, addr: u64, data: &[u8]) {
+    /// Looks up the causal op id (the WQE `wr_id`) a responder-side action
+    /// belongs to, via the requester's still-pending completion for `seq`.
+    fn requester_op(&self, requester: NodeId, qp: QpId, seq: u64) -> u64 {
+        self.nodes[requester.0 as usize].qps[qp.0 as usize]
+            .pending_acks
+            .get(&seq)
+            .map_or(NO_OP, |p| p.wr_id)
+    }
+
+    fn nic_write(&mut self, now: SimTime, node: NodeId, op: u64, addr: u64, data: &[u8]) {
         self.nodes[node.0 as usize]
             .mem
             .write(addr, data)
@@ -811,6 +895,14 @@ impl RdmaFabric {
             self.nodes[node.0 as usize]
                 .nic_dirty
                 .push((addr, data.len() as u64));
+            self.tracer.emit(
+                now,
+                node.0,
+                op,
+                TraceKind::CacheFill {
+                    bytes: data.len() as u64,
+                },
+            );
         }
     }
 
@@ -861,8 +953,9 @@ impl RdmaFabric {
                     return;
                 }
                 let ok = self.mr_covers(node, remote_addr, payload.len() as u64);
+                let op = self.requester_op(peer_node, peer_qp, seq);
                 let cost = if ok {
-                    self.nic_write(node, remote_addr, &payload);
+                    self.nic_write(now, node, op, remote_addr, &payload);
                     if let Some(imm_val) = imm {
                         let recv = self.pop_recv(node, qp).expect("checked above");
                         let recv_cq = self.nodes[node.0 as usize].qps[qp.0 as usize].recv_cq;
@@ -874,7 +967,7 @@ impl RdmaFabric {
                             byte_len: payload.len() as u64,
                             imm: Some(imm_val),
                         };
-                        self.complete(node, recv_cq, cqe, out);
+                        self.complete(now, node, recv_cq, cqe, out);
                     }
                     self.config.dma(payload.len() as u64)
                 } else {
@@ -886,7 +979,16 @@ impl RdmaFabric {
                 } else {
                     CqeStatus::RemoteAccessError
                 };
-                self.respond(now, cost, node, peer_node, peer_qp, Message::Ack { seq, status }, out);
+                self.respond(
+                    now,
+                    cost,
+                    node,
+                    peer_node,
+                    peer_qp,
+                    Message::Ack { seq, status },
+                    op,
+                    out,
+                );
             }
             Message::Send { payload, imm, seq } => {
                 if !self.recv_available(node, qp) {
@@ -898,6 +1000,7 @@ impl RdmaFabric {
                 let recv = self.pop_recv(node, qp).expect("checked above");
                 let capacity: u64 = recv.sges.iter().map(|&(_, l)| l as u64).sum();
                 let ok = capacity >= payload.len() as u64;
+                let op = self.requester_op(peer_node, peer_qp, seq);
                 let status = if ok {
                     let mut off = 0usize;
                     for &(addr, len) in &recv.sges {
@@ -906,7 +1009,7 @@ impl RdmaFabric {
                         }
                         let take = (payload.len() - off).min(len as usize);
                         let chunk = payload[off..off + take].to_vec();
-                        self.nic_write(node, addr, &chunk);
+                        self.nic_write(now, node, op, addr, &chunk);
                         off += take;
                     }
                     CqeStatus::Success
@@ -924,8 +1027,17 @@ impl RdmaFabric {
                     imm,
                 };
                 let cost = self.config.dma(payload.len() as u64);
-                self.complete(node, recv_cq, cqe, out);
-                self.respond(now, cost, node, peer_node, peer_qp, Message::Ack { seq, status }, out);
+                self.complete(now, node, recv_cq, cqe, out);
+                self.respond(
+                    now,
+                    cost,
+                    node,
+                    peer_node,
+                    peer_qp,
+                    Message::Ack { seq, status },
+                    op,
+                    out,
+                );
                 self.drain_stash(node, qp, out);
             }
             Message::ReadReq {
@@ -935,9 +1047,12 @@ impl RdmaFabric {
             } => {
                 // A PCIe read forces write-back of everything the NIC has
                 // posted: this is the durability point of gFLUSH.
+                let op = self.requester_op(peer_node, peer_qp, seq);
                 let dirty: Vec<(u64, u64)> =
                     std::mem::take(&mut self.nodes[node.0 as usize].nic_dirty);
                 let flushed_any = !dirty.is_empty();
+                let flushed_bytes: u64 = dirty.iter().map(|&(_, l)| l).sum();
+                let flushed_ranges = dirty.len() as u32;
                 for (o, l) in dirty {
                     self.nodes[node.0 as usize]
                         .mem
@@ -946,6 +1061,23 @@ impl RdmaFabric {
                 }
                 if flushed_any {
                     self.stats.nic_flushes += 1;
+                    self.tracer.emit(
+                        now,
+                        node.0,
+                        op,
+                        TraceKind::GFlush {
+                            bytes: flushed_bytes,
+                            ranges: flushed_ranges,
+                        },
+                    );
+                    self.tracer.emit(
+                        now,
+                        node.0,
+                        op,
+                        TraceKind::CacheEvict {
+                            bytes: flushed_bytes,
+                        },
+                    );
                 }
                 let ok = self.mr_covers(node, remote_addr, len);
                 let (payload, status) = if ok {
@@ -974,6 +1106,7 @@ impl RdmaFabric {
                         payload,
                         status,
                     },
+                    op,
                     out,
                 );
             }
@@ -983,6 +1116,7 @@ impl RdmaFabric {
                 swap,
                 seq,
             } => {
+                let op = self.requester_op(peer_node, peer_qp, seq);
                 let (original, status) = if remote_addr % 8 != 0 {
                     self.stats.errors += 1;
                     (0, CqeStatus::MisalignedAtomic)
@@ -997,7 +1131,7 @@ impl RdmaFabric {
                     let original = u64::from_le_bytes(cur.try_into().unwrap());
                     if original == compare {
                         let bytes = swap.to_le_bytes();
-                        self.nic_write(node, remote_addr, &bytes);
+                        self.nic_write(now, node, op, remote_addr, &bytes);
                     }
                     (original, CqeStatus::Success)
                 };
@@ -1012,18 +1146,19 @@ impl RdmaFabric {
                         original,
                         status,
                     },
+                    op,
                     out,
                 );
             }
             Message::Ack { seq, status } => {
-                self.complete_request(node, qp, seq, status, None, out);
+                self.complete_request(now, node, qp, seq, status, None, out);
             }
             Message::ReadResp {
                 seq,
                 payload,
                 status,
             } => {
-                self.complete_request(node, qp, seq, status, Some(payload), out);
+                self.complete_request(now, node, qp, seq, status, Some(payload), out);
             }
             Message::CasResp {
                 seq,
@@ -1031,6 +1166,7 @@ impl RdmaFabric {
                 status,
             } => {
                 self.complete_request(
+                    now,
                     node,
                     qp,
                     seq,
@@ -1053,11 +1189,12 @@ impl RdmaFabric {
         to: NodeId,
         to_qp: QpId,
         msg: Message,
+        op: u64,
         out: &mut Outbox<NicEffect>,
     ) {
-        let arrival = self
-            .net
-            .deliver_at(from, to, msg.wire_bytes(), now + cost, &mut self.rng);
+        let arrival =
+            self.net
+                .deliver_at_traced(from, to, msg.wire_bytes(), now + cost, &mut self.rng, op);
         out.emit(
             arrival.since(now),
             NicEffect::Internal(NicEvent::Deliver {
@@ -1068,8 +1205,10 @@ impl RdmaFabric {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn complete_request(
         &mut self,
+        now: SimTime,
         node: NodeId,
         qp: QpId,
         seq: u64,
@@ -1090,7 +1229,7 @@ impl RdmaFabric {
         };
         if let Some(data) = resp_payload {
             if !data.is_empty() && status == CqeStatus::Success {
-                self.nic_write(node, pending.resp_dst, &data);
+                self.nic_write(now, node, pending.wr_id, pending.resp_dst, &data);
             }
         }
         if pending.signaled || status != CqeStatus::Success {
@@ -1104,7 +1243,7 @@ impl RdmaFabric {
                 byte_len,
                 imm: None,
             };
-            self.complete(node, send_cq, cqe, out);
+            self.complete(now, node, send_cq, cqe, out);
         }
         // Window/fence capacity freed: let the engine make progress.
         self.kick(node, qp, out);
@@ -1112,7 +1251,23 @@ impl RdmaFabric {
 
     /// Appends a CQE, bumps the WAIT semaphore, notifies the host and
     /// unparks engines waiting on this CQ.
-    fn complete(&mut self, node: NodeId, cq: CqId, cqe: Cqe, out: &mut Outbox<NicEffect>) {
+    fn complete(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        cq: CqId,
+        cqe: Cqe,
+        out: &mut Outbox<NicEffect>,
+    ) {
+        self.tracer.emit(
+            now,
+            node.0,
+            cqe.wr_id,
+            TraceKind::Cqe {
+                cq: cq.0,
+                ok: cqe.status == CqeStatus::Success,
+            },
+        );
         let c = &mut self.nodes[node.0 as usize].cqs[cq.0 as usize];
         c.entries.push_back(cqe);
         c.sem += 1;

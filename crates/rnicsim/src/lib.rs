@@ -33,7 +33,7 @@ pub mod types;
 pub use fabric::RdmaFabric;
 pub use netsim::NodeId;
 pub use types::{
-    wqe_flags, Cqe, CqeStatus, CqId, FabricStats, Message, MrId, NicConfig, NicEffect, NicEvent,
+    wqe_flags, CqId, Cqe, CqeStatus, FabricStats, Message, MrId, NicConfig, NicEffect, NicEvent,
     Opcode, QpId, RecvWqe, SrqId, Wqe, WQE_SIZE,
 };
 
@@ -73,9 +73,7 @@ mod tests {
             for (delay, eff) in out.drain() {
                 match eff {
                     NicEffect::Internal(ev) => q.push_after(delay, Ev::Nic(ev)),
-                    NicEffect::HostNotify { node, cq } => {
-                        q.push_after(delay, Ev::Notify(node, cq))
-                    }
+                    NicEffect::HostNotify { node, cq } => q.push_after(delay, Ev::Notify(node, cq)),
                 }
             }
         }
@@ -138,7 +136,11 @@ mod tests {
         let dst = sim.model.fab.alloc(N1, 4096);
         sim.model.fab.reg_mr(N1, dst, 4096);
         let src = sim.model.fab.alloc(N0, 4096);
-        sim.model.fab.mem(N0).write_durable(src, b"payload!").unwrap();
+        sim.model
+            .fab
+            .mem(N0)
+            .write_durable(src, b"payload!")
+            .unwrap();
 
         post_send(
             &mut sim,
@@ -172,7 +174,11 @@ mod tests {
         let dst = sim.model.fab.alloc(N1, 4096);
         sim.model.fab.reg_mr(N1, dst, 4096);
         let src = sim.model.fab.alloc(N0, 4096);
-        sim.model.fab.mem(N0).write_durable(src, &[9u8; 64]).unwrap();
+        sim.model
+            .fab
+            .mem(N0)
+            .write_durable(src, &[9u8; 64])
+            .unwrap();
 
         post_send(
             &mut sim,
@@ -224,7 +230,11 @@ mod tests {
         let dst = sim.model.fab.alloc(N1, 4096);
         sim.model.fab.reg_mr(N1, dst, 4096);
         let src = sim.model.fab.alloc(N0, 64);
-        sim.model.fab.mem(N0).write_durable(src, &[5u8; 64]).unwrap();
+        sim.model
+            .fab
+            .mem(N0)
+            .write_durable(src, &[5u8; 64])
+            .unwrap();
         post_send(
             &mut sim,
             N0,
@@ -262,7 +272,11 @@ mod tests {
             },
         );
         let src = sim.model.fab.alloc(N0, 64);
-        sim.model.fab.mem(N0).write_durable(src, b"abcdefgh").unwrap();
+        sim.model
+            .fab
+            .mem(N0)
+            .write_durable(src, b"abcdefgh")
+            .unwrap();
         post_send(
             &mut sim,
             N0,
@@ -314,7 +328,11 @@ mod tests {
             },
         );
         sim.run();
-        assert_eq!(sim.model.fab.cq_depth(N1, cq_b), 1, "stashed send delivered");
+        assert_eq!(
+            sim.model.fab.cq_depth(N1, cq_b),
+            1,
+            "stashed send delivered"
+        );
     }
 
     #[test]
@@ -533,7 +551,11 @@ mod tests {
 
         // Client sends to node1; node1's NIC forwards to node2 on its own.
         let src = sim.model.fab.alloc(N0, 64);
-        sim.model.fab.mem(N0).write_durable(src, b"hi chain").unwrap();
+        sim.model
+            .fab
+            .mem(N0)
+            .write_durable(src, b"hi chain")
+            .unwrap();
         post_send(
             &mut sim,
             N0,
@@ -547,7 +569,10 @@ mod tests {
             },
         );
         sim.run();
-        assert_eq!(sim.model.fab.mem(N2).read_vec(buf2, 8).unwrap(), b"hi chain");
+        assert_eq!(
+            sim.model.fab.mem(N2).read_vec(buf2, 8).unwrap(),
+            b"hi chain"
+        );
         assert_eq!(sim.model.fab.stats().waits_triggered, 1);
     }
 
@@ -558,7 +583,11 @@ mod tests {
         let dst = sim.model.fab.alloc(N1, 4096);
         sim.model.fab.reg_mr(N1, dst, 4096);
         let src = sim.model.fab.alloc(N0, 4096);
-        sim.model.fab.mem(N0).write_durable(src, b"new data").unwrap();
+        sim.model
+            .fab
+            .mem(N0)
+            .write_durable(src, b"new data")
+            .unwrap();
         let meta = sim.model.fab.alloc(N0, 64);
 
         // Post an unowned indirect WQE pointing at the (still zero) image.
@@ -749,7 +778,11 @@ mod tests {
         let src = sim.model.fab.alloc(N0, 4096);
         let dst = sim.model.fab.alloc(N0, 4096);
         sim.model.fab.reg_mr(N0, dst, 4096);
-        sim.model.fab.mem(N0).write_durable(src, b"memcpyme").unwrap();
+        sim.model
+            .fab
+            .mem(N0)
+            .write_durable(src, b"memcpyme")
+            .unwrap();
         post_send(
             &mut sim,
             N0,
@@ -848,10 +881,9 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
     use netsim::FabricConfig;
-    use proptest::prelude::*;
     use simcore::prelude::*;
 
     const N0: NodeId = NodeId(0);
@@ -883,15 +915,28 @@ mod proptests {
         PowerFailure,
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            4 => (0u64..MR_LEN - 256, proptest::collection::vec(any::<u8>(), 1..256))
-                .prop_map(|(off, data)| Op::Write { off, data }),
-            2 => Just(Op::Flush),
-            2 => (0u64..16, 0u64..4, 0u64..4)
-                .prop_map(|(word, compare, swap)| Op::Cas { word, compare, swap }),
-            1 => Just(Op::PowerFailure),
-        ]
+    fn gen_ops(seed: u64) -> Vec<Op> {
+        let mut rng = SimRng::new(seed);
+        let n = 1 + rng.gen_index(39);
+        (0..n)
+            .map(|_| match rng.gen_range(0..9) {
+                0..=3 => {
+                    let mut data = vec![0u8; 1 + rng.gen_index(255)];
+                    rng.fill_bytes(&mut data);
+                    Op::Write {
+                        off: rng.gen_range(0..MR_LEN - 256),
+                        data,
+                    }
+                }
+                4 | 5 => Op::Flush,
+                6 | 7 => Op::Cas {
+                    word: rng.gen_range(0..16),
+                    compare: rng.gen_range(0..4),
+                    swap: rng.gen_range(0..4),
+                },
+                _ => Op::PowerFailure,
+            })
+            .collect()
     }
 
     /// Shadow model: coherent view + durable view of the remote MR.
@@ -926,12 +971,9 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn random_verbs_match_the_shadow_model(
-            ops in proptest::collection::vec(op_strategy(), 1..40),
-        ) {
+    #[test]
+    fn random_verbs_match_the_shadow_model() {
+        for case in 0..24u64 {
             let mut sim = Simulation::new(Harness {
                 fab: RdmaFabric::new(
                     2,
@@ -952,47 +994,67 @@ mod proptests {
             let rbuf = sim.model.fab.alloc(N0, 64);
 
             let mut shadow = Shadow::new();
-            for op in &ops {
+            for op in &gen_ops(0x5AD0 + case) {
                 let mut out = Outbox::new();
                 let now = sim.queue.now();
                 match op {
                     Op::Write { off, data } => {
                         sim.model.fab.mem(N0).write_durable(src, data).unwrap();
-                        sim.model.fab.post_send(now, N0, q0, Wqe {
-                            opcode: Opcode::Write,
-                            flags: wqe_flags::HW_OWNED,
-                            local_addr: src,
-                            len: data.len() as u64,
-                            remote_addr: dst + off,
-                            ..Wqe::default()
-                        }, &mut out);
+                        sim.model.fab.post_send(
+                            now,
+                            N0,
+                            q0,
+                            Wqe {
+                                opcode: Opcode::Write,
+                                flags: wqe_flags::HW_OWNED,
+                                local_addr: src,
+                                len: data.len() as u64,
+                                remote_addr: dst + off,
+                                ..Wqe::default()
+                            },
+                            &mut out,
+                        );
                         shadow.write(*off, data);
                     }
                     Op::Flush => {
-                        sim.model.fab.post_send(now, N0, q0, Wqe {
-                            opcode: Opcode::Read,
-                            flags: wqe_flags::HW_OWNED,
-                            local_addr: rbuf,
-                            len: 0,
-                            remote_addr: dst,
-                            ..Wqe::default()
-                        }, &mut out);
+                        sim.model.fab.post_send(
+                            now,
+                            N0,
+                            q0,
+                            Wqe {
+                                opcode: Opcode::Read,
+                                flags: wqe_flags::HW_OWNED,
+                                local_addr: rbuf,
+                                len: 0,
+                                remote_addr: dst,
+                                ..Wqe::default()
+                            },
+                            &mut out,
+                        );
                         shadow.flush();
                     }
-                    Op::Cas { word, compare, swap } => {
-                        sim.model.fab.post_send(now, N0, q0, Wqe {
-                            opcode: Opcode::CompareSwap,
-                            flags: wqe_flags::HW_OWNED,
-                            local_addr: rbuf,
-                            remote_addr: dst + word * 8,
-                            compare_or_imm: *compare,
-                            swap: *swap,
-                            ..Wqe::default()
-                        }, &mut out);
-                        let o = (*word * 8) as usize;
-                        let cur = u64::from_le_bytes(
-                            shadow.coherent[o..o + 8].try_into().unwrap(),
+                    Op::Cas {
+                        word,
+                        compare,
+                        swap,
+                    } => {
+                        sim.model.fab.post_send(
+                            now,
+                            N0,
+                            q0,
+                            Wqe {
+                                opcode: Opcode::CompareSwap,
+                                flags: wqe_flags::HW_OWNED,
+                                local_addr: rbuf,
+                                remote_addr: dst + word * 8,
+                                compare_or_imm: *compare,
+                                swap: *swap,
+                                ..Wqe::default()
+                            },
+                            &mut out,
                         );
+                        let o = (*word * 8) as usize;
+                        let cur = u64::from_le_bytes(shadow.coherent[o..o + 8].try_into().unwrap());
                         if cur == *compare {
                             shadow.write(*word * 8, &swap.to_le_bytes());
                         }
@@ -1011,25 +1073,23 @@ mod proptests {
                 }
                 sim.run(); // sequential issue: settle before comparing
                 let got = sim.model.fab.mem(N1).read_vec(dst, MR_LEN).unwrap();
-                prop_assert_eq!(&got, &shadow.coherent, "coherent view diverged");
+                assert_eq!(&got, &shadow.coherent, "coherent view diverged");
                 let dur = sim.model.fab.mem(N1).read_durable_vec(dst, MR_LEN).unwrap();
-                prop_assert_eq!(&dur, &shadow.durable, "durable view diverged");
+                assert_eq!(&dur, &shadow.durable, "durable view diverged");
             }
-            prop_assert_eq!(sim.model.fab.stats().errors, 0);
+            assert_eq!(sim.model.fab.stats().errors, 0);
         }
+    }
 
-        #[test]
-        fn pipelined_disjoint_writes_all_land(
-            seeds in proptest::collection::vec(any::<u8>(), 4..32),
-        ) {
+    #[test]
+    fn pipelined_disjoint_writes_all_land() {
+        for case in 0..24u64 {
+            let mut seed_rng = SimRng::new(0xF1BE + case);
+            let seeds: Vec<u8> = (0..4 + seed_rng.gen_index(28))
+                .map(|_| seed_rng.next_u64() as u8)
+                .collect();
             let mut sim = Simulation::new(Harness {
-                fab: RdmaFabric::new(
-                    2,
-                    1 << 20,
-                    NicConfig::default(),
-                    FabricConfig::default(),
-                    5,
-                ),
+                fab: RdmaFabric::new(2, 1 << 20, NicConfig::default(), FabricConfig::default(), 5),
             });
             let cq0 = sim.model.fab.create_cq(N0);
             let cq1 = sim.model.fab.create_cq(N1);
@@ -1049,15 +1109,21 @@ mod proptests {
                     .mem(N0)
                     .write_durable(src + i * 128, &[b; 128])
                     .unwrap();
-                sim.model.fab.post_send(SimTime::ZERO, N0, q0, Wqe {
-                    opcode: Opcode::Write,
-                    flags: wqe_flags::HW_OWNED | wqe_flags::SIGNALED,
-                    local_addr: src + i * 128,
-                    len: 128,
-                    remote_addr: dst + i * 128,
-                    wr_id: i,
-                    ..Wqe::default()
-                }, &mut out);
+                sim.model.fab.post_send(
+                    SimTime::ZERO,
+                    N0,
+                    q0,
+                    Wqe {
+                        opcode: Opcode::Write,
+                        flags: wqe_flags::HW_OWNED | wqe_flags::SIGNALED,
+                        local_addr: src + i * 128,
+                        len: 128,
+                        remote_addr: dst + i * 128,
+                        wr_id: i,
+                        ..Wqe::default()
+                    },
+                    &mut out,
+                );
             }
             for (d, eff) in out.drain() {
                 if let NicEffect::Internal(ev) = eff {
@@ -1066,7 +1132,7 @@ mod proptests {
             }
             sim.run();
             let cqes = sim.model.fab.poll_cq(N0, cq0, 1024);
-            prop_assert_eq!(cqes.len(), seeds.len(), "missing completions");
+            assert_eq!(cqes.len(), seeds.len(), "missing completions");
             for (i, &b) in seeds.iter().enumerate() {
                 let got = sim
                     .model
@@ -1074,9 +1140,9 @@ mod proptests {
                     .mem(N1)
                     .read_vec(dst + i as u64 * 128, 128)
                     .unwrap();
-                prop_assert_eq!(got, vec![b; 128]);
+                assert_eq!(got, vec![b; 128]);
             }
-            prop_assert_eq!(sim.model.fab.stats().errors, 0);
+            assert_eq!(sim.model.fab.stats().errors, 0);
         }
     }
 }
@@ -1124,13 +1190,7 @@ mod srq_tests {
     #[test]
     fn srq_drains_across_qps_in_arrival_order() {
         let mut sim = Simulation::new(Harness {
-            fab: RdmaFabric::new(
-                3,
-                1 << 20,
-                NicConfig::default(),
-                FabricConfig::default(),
-                3,
-            ),
+            fab: RdmaFabric::new(3, 1 << 20, NicConfig::default(), FabricConfig::default(), 3),
         });
         let fab = &mut sim.model.fab;
         let scq = fab.create_cq(N0);
@@ -1167,22 +1227,32 @@ mod srq_tests {
 
         // Interleave sends from both clients.
         for i in 0..2 {
-            post(&mut sim, N1, c1, Wqe {
-                opcode: Opcode::Send,
-                flags: wqe_flags::HW_OWNED,
-                local_addr: s1,
-                len: 8,
-                wr_id: 10 + i,
-                ..Wqe::default()
-            });
-            post(&mut sim, N2, c2, Wqe {
-                opcode: Opcode::Send,
-                flags: wqe_flags::HW_OWNED,
-                local_addr: s2,
-                len: 8,
-                wr_id: 20 + i,
-                ..Wqe::default()
-            });
+            post(
+                &mut sim,
+                N1,
+                c1,
+                Wqe {
+                    opcode: Opcode::Send,
+                    flags: wqe_flags::HW_OWNED,
+                    local_addr: s1,
+                    len: 8,
+                    wr_id: 10 + i,
+                    ..Wqe::default()
+                },
+            );
+            post(
+                &mut sim,
+                N2,
+                c2,
+                Wqe {
+                    opcode: Opcode::Send,
+                    flags: wqe_flags::HW_OWNED,
+                    local_addr: s2,
+                    len: 8,
+                    wr_id: 20 + i,
+                    ..Wqe::default()
+                },
+            );
         }
         sim.run();
 
@@ -1207,13 +1277,7 @@ mod srq_tests {
     #[test]
     fn srq_exhaustion_stashes_until_replenished() {
         let mut sim = Simulation::new(Harness {
-            fab: RdmaFabric::new(
-                2,
-                1 << 20,
-                NicConfig::default(),
-                FabricConfig::default(),
-                9,
-            ),
+            fab: RdmaFabric::new(2, 1 << 20, NicConfig::default(), FabricConfig::default(), 9),
         });
         let fab = &mut sim.model.fab;
         let scq = fab.create_cq(N0);
@@ -1225,13 +1289,18 @@ mod srq_tests {
         fab.connect(N1, cqp, N0, sqp);
         let src = fab.alloc(N1, 64);
 
-        post(&mut sim, N1, cqp, Wqe {
-            opcode: Opcode::Send,
-            flags: wqe_flags::HW_OWNED,
-            local_addr: src,
-            len: 8,
-            ..Wqe::default()
-        });
+        post(
+            &mut sim,
+            N1,
+            cqp,
+            Wqe {
+                opcode: Opcode::Send,
+                flags: wqe_flags::HW_OWNED,
+                local_addr: src,
+                len: 8,
+                ..Wqe::default()
+            },
+        );
         sim.run();
         assert_eq!(sim.model.fab.cq_depth(N0, scq), 0, "no recv: stashed");
 
@@ -1257,13 +1326,18 @@ mod srq_tests {
                 sges: vec![(buf2, 64)],
             },
         );
-        post(&mut sim, N1, cqp, Wqe {
-            opcode: Opcode::Send,
-            flags: wqe_flags::HW_OWNED,
-            local_addr: src,
-            len: 8,
-            ..Wqe::default()
-        });
+        post(
+            &mut sim,
+            N1,
+            cqp,
+            Wqe {
+                opcode: Opcode::Send,
+                flags: wqe_flags::HW_OWNED,
+                local_addr: src,
+                len: 8,
+                ..Wqe::default()
+            },
+        );
         sim.run();
         assert_eq!(sim.model.fab.cq_depth(N0, scq), 2, "stash + new delivered");
     }
@@ -1271,13 +1345,7 @@ mod srq_tests {
     #[test]
     #[should_panic(expected = "private receives")]
     fn attaching_srq_after_private_recvs_panics() {
-        let mut fab = RdmaFabric::new(
-            1,
-            1 << 20,
-            NicConfig::default(),
-            FabricConfig::default(),
-            1,
-        );
+        let mut fab = RdmaFabric::new(1, 1 << 20, NicConfig::default(), FabricConfig::default(), 1);
         let cq = fab.create_cq(N0);
         let qp = fab.create_qp(N0, cq, cq);
         let srq = fab.create_srq(N0);

@@ -436,6 +436,16 @@ pub struct FabricStats {
     pub errors: u64,
 }
 
+impl FabricStats {
+    /// Snapshots every counter into `reg` under a dotted `prefix`.
+    pub fn export_into(&self, reg: &mut simcore::MetricsRegistry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}.wqes_executed"), self.wqes_executed);
+        reg.counter_add(&format!("{prefix}.waits_triggered"), self.waits_triggered);
+        reg.counter_add(&format!("{prefix}.nic_flushes"), self.nic_flushes);
+        reg.counter_add(&format!("{prefix}.errors"), self.errors);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,39 +528,28 @@ mod tests {
         assert_eq!(cfg.dma(12_500), SimDuration::from_nanos(1000));
     }
 
-    mod proptests {
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use simcore::SimRng;
 
-        proptest! {
-            #[test]
-            fn wqe_encode_decode_round_trip(
-                op in 0u8..7,
-                flags in any::<u8>(),
-                enable in any::<u32>(),
-                la in any::<u64>(),
-                len in any::<u64>(),
-                ra in any::<u64>(),
-                cmp in any::<u64>(),
-                swap in any::<u64>(),
-                wcq in any::<u32>(),
-                wc in any::<u32>(),
-                wr in any::<u64>(),
-            ) {
+        #[test]
+        fn wqe_encode_decode_round_trip() {
+            let mut rng = SimRng::new(0x3E57);
+            for _ in 0..256 {
                 let w = Wqe {
-                    opcode: Opcode::from_u8(op).unwrap(),
-                    flags,
-                    enable_count: enable,
-                    local_addr: la,
-                    len,
-                    remote_addr: ra,
-                    compare_or_imm: cmp,
-                    swap,
-                    wait_cq: wcq,
-                    wait_count: wc,
-                    wr_id: wr,
+                    opcode: Opcode::from_u8((rng.next_u64() % 7) as u8).unwrap(),
+                    flags: rng.next_u64() as u8,
+                    enable_count: rng.next_u64() as u32,
+                    local_addr: rng.next_u64(),
+                    len: rng.next_u64(),
+                    remote_addr: rng.next_u64(),
+                    compare_or_imm: rng.next_u64(),
+                    swap: rng.next_u64(),
+                    wait_cq: rng.next_u64() as u32,
+                    wait_count: rng.next_u64() as u32,
+                    wr_id: rng.next_u64(),
                 };
-                prop_assert_eq!(Wqe::decode(&w.encode()), Some(w));
+                assert_eq!(Wqe::decode(&w.encode()), Some(w));
             }
         }
     }

@@ -51,7 +51,10 @@ fn zeta(n: u64, theta: f64) -> f64 {
 
 /// Incrementally extends `zeta(old_n)` to `zeta(new_n)`.
 fn zeta_incr(old_n: u64, new_n: u64, theta: f64, old_zeta: f64) -> f64 {
-    old_zeta + ((old_n + 1)..=new_n).map(|i| 1.0 / (i as f64).powf(theta)).sum::<f64>()
+    old_zeta
+        + ((old_n + 1)..=new_n)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum::<f64>()
 }
 
 impl Zipfian {
@@ -71,7 +74,10 @@ impl Zipfian {
     /// Panics if `items == 0` or `theta` is not in `(0, 1)`.
     pub fn with_theta(items: u64, theta: f64) -> Self {
         assert!(items > 0, "zipfian over empty keyspace");
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1): {theta}");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1): {theta}"
+        );
         let zeta_n = zeta(items, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);

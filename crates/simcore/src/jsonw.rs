@@ -1,0 +1,206 @@
+//! A minimal, dependency-free JSON writer.
+//!
+//! The workspace builds in environments with no registry access, so machine-
+//! readable output (Chrome traces, `BENCH_*.json`) is produced by this small
+//! streaming writer instead of an external serialization crate. Output is
+//! deterministic: field order is caller-controlled and float formatting uses
+//! Rust's shortest-round-trip representation.
+//!
+//! ```
+//! use simcore::jsonw::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_obj();
+//! w.field_str("name", "smoke");
+//! w.begin_arr_field("values");
+//! w.u64_elem(1);
+//! w.u64_elem(2);
+//! w.end_arr();
+//! w.end_obj();
+//! assert_eq!(w.finish(), r#"{"name":"smoke","values":[1,2]}"#);
+//! ```
+
+/// Streaming JSON writer with caller-driven structure.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` until the first element lands.
+    first: Vec<bool>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            first: vec![true],
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(f) = self.first.last_mut() {
+            if *f {
+                *f = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.comma();
+        escape_into(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    fn f64_repr(v: f64) -> String {
+        if !v.is_finite() {
+            return "null".into();
+        }
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; that is still valid JSON.
+        s
+    }
+
+    /// Opens an object as an array element (or as the document root).
+    pub fn begin_obj(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.first.push(true);
+    }
+
+    /// Opens an object-valued field.
+    pub fn begin_obj_field(&mut self, k: &str) {
+        self.key(k);
+        self.out.push('{');
+        self.first.push(true);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) {
+        self.out.push('}');
+        self.first.pop();
+    }
+
+    /// Opens an array as an array element (or as the document root).
+    pub fn begin_arr(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.first.push(true);
+    }
+
+    /// Opens an array-valued field.
+    pub fn begin_arr_field(&mut self, k: &str) {
+        self.key(k);
+        self.out.push('[');
+        self.first.push(true);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) {
+        self.out.push(']');
+        self.first.pop();
+    }
+
+    /// Writes a string field.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        escape_into(&mut self.out, v);
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float field (`null` for non-finite values).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        let r = Self::f64_repr(v);
+        self.out.push_str(&r);
+    }
+
+    /// Writes a boolean field.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a string array element.
+    pub fn str_elem(&mut self, v: &str) {
+        self.comma();
+        escape_into(&mut self.out, v);
+    }
+
+    /// Writes an unsigned integer array element.
+    pub fn u64_elem(&mut self, v: u64) {
+        self.comma();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float array element (`null` for non-finite values).
+    pub fn f64_elem(&mut self, v: f64) {
+        self.comma();
+        let r = Self::f64_repr(v);
+        self.out.push_str(&r);
+    }
+
+    /// Finishes and returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_and_escaping() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("a\"b", "line\nbreak\t\\");
+        w.begin_obj_field("inner");
+        w.field_u64("n", 42);
+        w.field_bool("ok", true);
+        w.end_obj();
+        w.begin_arr_field("xs");
+        w.f64_elem(1.5);
+        w.f64_elem(f64::NAN);
+        w.str_elem("s");
+        w.end_arr();
+        w.end_obj();
+        assert_eq!(
+            w.finish(),
+            r#"{"a\"b":"line\nbreak\t\\","inner":{"n":42,"ok":true},"xs":[1.5,null,"s"]}"#
+        );
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.str_elem("\u{1}");
+        w.end_arr();
+        assert_eq!(w.finish(), "[\"\\u0001\"]");
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`rng`] — a self-contained, cross-platform deterministic PRNG.
 //! * [`dist`] — YCSB-style key-choice distributions (zipfian, latest, …).
 //! * [`stats`] — HDR-style histograms and latency summaries.
+//! * [`simtrace`] — causal trace events, span reconstruction, Chrome
+//!   trace-event export and the unified metrics registry.
+//! * [`jsonw`] — the dependency-free JSON writer behind the exporters.
 //!
 //! ## Example
 //!
@@ -51,15 +54,18 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod jsonw;
 pub mod model;
 pub mod queue;
 pub mod rng;
+pub mod simtrace;
 pub mod stats;
 pub mod time;
 
 pub use model::{Model, Outbox, Simulation};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
 pub use stats::{Counter, Histogram, LatencySummary};
 pub use time::{SimDuration, SimTime};
 
@@ -69,6 +75,7 @@ pub mod prelude {
     pub use crate::model::{Model, Outbox, Simulation};
     pub use crate::queue::EventQueue;
     pub use crate::rng::SimRng;
+    pub use crate::simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
     pub use crate::stats::{Counter, Histogram, LatencySummary};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -223,7 +223,10 @@ mod tests {
         sim.queue.push(SimTime::ZERO, Ev::Ping);
         sim.run_until(SimTime::from_micros(10));
         assert!(sim.now() <= SimTime::from_micros(10));
-        assert!(!sim.queue.is_empty(), "deadline should leave events pending");
+        assert!(
+            !sim.queue.is_empty(),
+            "deadline should leave events pending"
+        );
     }
 
     #[test]

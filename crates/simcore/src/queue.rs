@@ -216,56 +216,57 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        #[test]
-        fn pops_are_globally_time_ordered_and_fifo_within_instants(
-            delays in proptest::collection::vec(0u64..1000, 1..200),
-        ) {
+    #[test]
+    fn pops_are_globally_time_ordered_and_fifo_within_instants() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::new(0x51EE0 + case);
+            let n = 1 + rng.gen_index(199);
             let mut q = EventQueue::new();
-            for (i, &d) in delays.iter().enumerate() {
-                q.push(SimTime::from_nanos(d), i);
+            for i in 0..n {
+                q.push(SimTime::from_nanos(rng.gen_range(0..1000)), i);
             }
             let mut last: Option<(SimTime, usize)> = None;
             let mut popped = 0;
             while let Some((t, id)) = q.pop() {
                 popped += 1;
                 if let Some((lt, lid)) = last {
-                    prop_assert!(t >= lt, "time went backwards");
+                    assert!(t >= lt, "time went backwards");
                     if t == lt {
-                        prop_assert!(id > lid, "same-instant FIFO violated");
+                        assert!(id > lid, "same-instant FIFO violated");
                     }
                 }
-                prop_assert_eq!(q.now(), t);
+                assert_eq!(q.now(), t);
                 last = Some((t, id));
             }
-            prop_assert_eq!(popped, delays.len());
+            assert_eq!(popped, n);
         }
+    }
 
-        #[test]
-        fn interleaved_push_pop_never_loses_events(
-            script in proptest::collection::vec((any::<bool>(), 0u64..500), 1..300),
-        ) {
+    #[test]
+    fn interleaved_push_pop_never_loses_events() {
+        for case in 0..64u64 {
+            let mut rng = SimRng::new(0xBADC0DE + case);
+            let steps = 1 + rng.gen_index(299);
             let mut q = EventQueue::new();
-            let mut pushed = 0u64;
-            let mut popped = 0u64;
-            for (do_pop, delay) in script {
-                if do_pop {
+            let (mut pushed, mut popped) = (0u64, 0u64);
+            for _ in 0..steps {
+                if rng.gen_bool(0.5) {
                     if q.pop().is_some() {
                         popped += 1;
                     }
                 } else {
-                    q.push_after(SimDuration::from_nanos(delay), ());
+                    q.push_after(SimDuration::from_nanos(rng.gen_range(0..500)), ());
                     pushed += 1;
                 }
             }
             while q.pop().is_some() {
                 popped += 1;
             }
-            prop_assert_eq!(pushed, popped);
+            assert_eq!(pushed, popped);
         }
     }
 }

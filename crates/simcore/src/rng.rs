@@ -53,10 +53,7 @@ impl SimRng {
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -141,7 +138,10 @@ impl SimRng {
     ///
     /// Panics if the parameters do not satisfy `0 < min < max`, `alpha > 0`.
     pub fn bounded_pareto(&mut self, alpha: f64, min: f64, max: f64) -> f64 {
-        assert!(min > 0.0 && max > min && alpha > 0.0, "invalid pareto params");
+        assert!(
+            min > 0.0 && max > min && alpha > 0.0,
+            "invalid pareto params"
+        );
         // Inverse CDF of the bounded Pareto:
         //   F(x) = (1 - (L/x)^a) / (1 - (L/H)^a)
         //   x    = L * (1 - u * (1 - (L/H)^a))^(-1/a)
@@ -222,7 +222,10 @@ mod tests {
             counts[rng.gen_range(0..10) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 
@@ -271,7 +274,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

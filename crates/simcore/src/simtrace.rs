@@ -1,0 +1,832 @@
+//! Causal tracing and unified metrics for the whole simulator stack.
+//!
+//! `simtrace` is the observability spine of the reproduction. Every layer
+//! (NIC model, network, CPU scheduler, group-operation client) can emit
+//! [`TraceEvent`]s — sim-time-stamped records carrying a causal op id — into
+//! a shared, bounded ring buffer owned by a [`Tracer`] handle. From the
+//! collected stream, [`op_breakdown`] rebuilds a single operation's stage
+//! timeline ("where did my p999 go"), [`span_tree`] groups it per node, and
+//! [`chrome_trace_json`] exports the whole run as Chrome trace-event JSON
+//! that opens directly in Perfetto or `chrome://tracing`.
+//!
+//! Tracing is **disabled by default**: a disabled [`Tracer`] is a `None`
+//! handle and [`Tracer::emit`] is a single branch, so the instrumented hot
+//! paths cost nothing measurable when tracing is off.
+//!
+//! The second half of the module is [`MetricsRegistry`]: a named
+//! counter/gauge/histogram store that the per-crate stats structs
+//! (`FabricStats`, `NvmStats`, `SchedStats`, `LinkStats`) snapshot into, so
+//! benches can serialise one uniform registry instead of four ad-hoc
+//! structs.
+//!
+//! ```
+//! use simcore::prelude::*;
+//! use simcore::simtrace::{TraceKind, NO_OP};
+//!
+//! let tracer = Tracer::enabled(1024);
+//! let t0 = SimTime::from_nanos(100);
+//! tracer.emit(t0, 0, 7, TraceKind::OpIssue);
+//! tracer.emit(t0 + SimDuration::from_nanos(50), 0, 7, TraceKind::MetaSend { replica: 1 });
+//! tracer.emit(t0 + SimDuration::from_nanos(400), 0, 7, TraceKind::OpAck);
+//!
+//! let events = tracer.events();
+//! let bd = simcore::simtrace::op_breakdown(&events, 7).unwrap();
+//! assert_eq!(bd.total(), SimDuration::from_nanos(400));
+//! let stage_sum: u64 = bd.stages.iter().map(|s| s.duration().as_nanos()).sum();
+//! assert_eq!(stage_sum, bd.total().as_nanos());
+//! assert_eq!(tracer.emit(t0, 0, NO_OP, TraceKind::OpAck), ());
+//! ```
+
+use crate::jsonw::JsonWriter;
+use crate::stats::Histogram;
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// Sentinel op id for events that cannot be attributed to one operation
+/// (e.g. responder-side cache maintenance, background link traffic).
+pub const NO_OP: u64 = u64::MAX;
+
+/// Sentinel node id for events not tied to a node.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// What happened, with the per-kind payload.
+///
+/// Every variant is `Copy` and fixed-size so the ring buffer stays flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// NIC engine fetched a WQE descriptor from host memory.
+    WqeFetch {
+        /// Queue pair the WQE came from.
+        qp: u32,
+        /// Raw opcode byte of the fetched WQE.
+        opcode: u8,
+    },
+    /// NIC engine started executing a WQE.
+    WqeExec {
+        /// Queue pair the WQE belongs to.
+        qp: u32,
+        /// Raw opcode byte.
+        opcode: u8,
+        /// Payload length in bytes.
+        bytes: u64,
+    },
+    /// A `WAIT` WQE observed its CQ semaphore and released the chain.
+    WaitRelease {
+        /// Queue pair whose chain was released.
+        qp: u32,
+    },
+    /// DMA transfer between host memory and the NIC.
+    Dma {
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// A gFLUSH (0-byte READ) forced NIC-cached data down to durable media.
+    GFlush {
+        /// Bytes drained from the NIC volatile cache.
+        bytes: u64,
+        /// Number of distinct dirty ranges drained.
+        ranges: u32,
+    },
+    /// Incoming write payload landed in the NIC volatile cache.
+    CacheFill {
+        /// Bytes added to the dirty set.
+        bytes: u64,
+    },
+    /// NIC volatile cache contents were written back to durable media.
+    CacheEvict {
+        /// Bytes evicted.
+        bytes: u64,
+    },
+    /// A completion queue entry was delivered.
+    Cqe {
+        /// Completion queue index.
+        cq: u32,
+        /// Whether the completion carried a success status.
+        ok: bool,
+    },
+    /// A message was accepted onto a link's egress port.
+    LinkEnqueue {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Message size in bytes.
+        bytes: u64,
+    },
+    /// A message finished transit and was delivered to its destination.
+    LinkDeliver {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+    },
+    /// The CPU scheduler placed a task on a core.
+    Dispatch {
+        /// Task id.
+        task: u64,
+    },
+    /// The CPU scheduler preempted a running task at the end of its slice.
+    Preempt {
+        /// Task id.
+        task: u64,
+    },
+    /// A group operation was issued by the client.
+    OpIssue,
+    /// The client posted the metadata SEND that triggers a replica's chain.
+    MetaSend {
+        /// Replica index the SEND targets.
+        replica: u32,
+    },
+    /// Client-visible progress of one replica's pre-posted chain.
+    ReplicaProgress {
+        /// Replica index.
+        replica: u32,
+    },
+    /// The client observed the final acknowledgement for the operation.
+    OpAck,
+}
+
+impl TraceKind {
+    /// Stable snake_case name used in exports and span labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::WqeFetch { .. } => "wqe_fetch",
+            TraceKind::WqeExec { .. } => "wqe_exec",
+            TraceKind::WaitRelease { .. } => "wait_release",
+            TraceKind::Dma { .. } => "dma",
+            TraceKind::GFlush { .. } => "gflush",
+            TraceKind::CacheFill { .. } => "cache_fill",
+            TraceKind::CacheEvict { .. } => "cache_evict",
+            TraceKind::Cqe { .. } => "cqe",
+            TraceKind::LinkEnqueue { .. } => "link_enqueue",
+            TraceKind::LinkDeliver { .. } => "link_deliver",
+            TraceKind::Dispatch { .. } => "dispatch",
+            TraceKind::Preempt { .. } => "preempt",
+            TraceKind::OpIssue => "op_issue",
+            TraceKind::MetaSend { .. } => "meta_send",
+            TraceKind::ReplicaProgress { .. } => "replica_progress",
+            TraceKind::OpAck => "op_ack",
+        }
+    }
+
+    fn write_args(&self, w: &mut JsonWriter) {
+        match *self {
+            TraceKind::WqeFetch { qp, opcode } => {
+                w.field_u64("qp", qp as u64);
+                w.field_u64("opcode", opcode as u64);
+            }
+            TraceKind::WqeExec { qp, opcode, bytes } => {
+                w.field_u64("qp", qp as u64);
+                w.field_u64("opcode", opcode as u64);
+                w.field_u64("bytes", bytes);
+            }
+            TraceKind::WaitRelease { qp } => w.field_u64("qp", qp as u64),
+            TraceKind::Dma { bytes } => w.field_u64("bytes", bytes),
+            TraceKind::GFlush { bytes, ranges } => {
+                w.field_u64("bytes", bytes);
+                w.field_u64("ranges", ranges as u64);
+            }
+            TraceKind::CacheFill { bytes } => w.field_u64("bytes", bytes),
+            TraceKind::CacheEvict { bytes } => w.field_u64("bytes", bytes),
+            TraceKind::Cqe { cq, ok } => {
+                w.field_u64("cq", cq as u64);
+                w.field_bool("ok", ok);
+            }
+            TraceKind::LinkEnqueue { src, dst, bytes } => {
+                w.field_u64("src", src as u64);
+                w.field_u64("dst", dst as u64);
+                w.field_u64("bytes", bytes);
+            }
+            TraceKind::LinkDeliver { src, dst } => {
+                w.field_u64("src", src as u64);
+                w.field_u64("dst", dst as u64);
+            }
+            TraceKind::Dispatch { task } => w.field_u64("task", task),
+            TraceKind::Preempt { task } => w.field_u64("task", task),
+            TraceKind::OpIssue | TraceKind::OpAck => {}
+            TraceKind::MetaSend { replica } => w.field_u64("replica", replica as u64),
+            TraceKind::ReplicaProgress { replica } => w.field_u64("replica", replica as u64),
+        }
+    }
+}
+
+/// One sim-time-stamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened on the virtual clock.
+    pub at: SimTime,
+    /// Node the event is attributed to ([`NO_NODE`] if none).
+    pub node: u32,
+    /// Causal operation id ([`NO_OP`] if unattributable). For group
+    /// operations this is the client generation number, which doubles as the
+    /// WQE `wr_id` and CQE id on every hop.
+    pub op: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Bounded ring of trace events. Oldest events are dropped (and counted)
+/// once capacity is reached.
+#[derive(Debug)]
+struct TraceBuffer {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+/// Cheap, cloneable handle to a shared trace buffer.
+///
+/// A default-constructed (or [`Tracer::disabled`]) handle carries no buffer:
+/// [`Tracer::emit`] is then a single `is_some` branch, which is the
+/// always-compiled-in fast path. Clones of an enabled handle share one
+/// buffer, so a tracer can be handed to the NIC model, the network, the
+/// schedulers and the client while the test harness keeps a reading clone.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TraceBuffer>>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that discards everything (the default).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer collecting up to `capacity` events in a ring buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be non-zero");
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TraceBuffer {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// True if this handle records events.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event. No-op (one branch) when disabled.
+    #[inline]
+    pub fn emit(&self, at: SimTime, node: u32, op: u64, kind: TraceKind) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().push(TraceEvent { at, node, op, kind });
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.borrow().buf.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// How many events were discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().dropped)
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.borrow().buf.len())
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all buffered events and resets the drop counter.
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            let mut b = inner.borrow_mut();
+            b.buf.clear();
+            b.dropped = 0;
+        }
+    }
+}
+
+/// One contiguous stage of an operation's timeline.
+///
+/// Stages are labelled by the event that *ends* them, so "wait_release@n2"
+/// reads as "the time spent waiting until replica 2's chain was released".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// `label@nNODE` of the event ending this stage.
+    pub label: String,
+    /// Stage start (previous event's timestamp).
+    pub start: SimTime,
+    /// Stage end (this event's timestamp).
+    pub end: SimTime,
+}
+
+impl Stage {
+    /// How long the stage took.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Per-stage latency breakdown of one operation.
+///
+/// The stages partition `[start, end]` exactly: consecutive events bound
+/// consecutive stages, so the stage durations always sum to [`Self::total`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpBreakdown {
+    /// The operation id.
+    pub op: u64,
+    /// Timestamp of the first event attributed to the op.
+    pub start: SimTime,
+    /// Timestamp of the last event attributed to the op.
+    pub end: SimTime,
+    /// The stages, in time order.
+    pub stages: Vec<Stage>,
+}
+
+impl OpBreakdown {
+    /// End-to-end latency of the operation as seen by the trace.
+    pub fn total(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// A node in a reconstructed span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Human-readable span name.
+    pub label: String,
+    /// Span start.
+    pub start: SimTime,
+    /// Span end.
+    pub end: SimTime,
+    /// Child spans, in time order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// Renders the tree as an indented text report (for logs and debugging).
+    pub fn render(&self) -> String {
+        fn go(n: &SpanNode, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "{} [{} .. {}] {}\n",
+                n.label,
+                n.start,
+                n.end,
+                n.duration()
+            ));
+            for c in &n.children {
+                go(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        go(self, 0, &mut out);
+        out
+    }
+}
+
+fn events_for(events: &[TraceEvent], op: u64) -> Vec<TraceEvent> {
+    let mut evs: Vec<TraceEvent> = events.iter().filter(|e| e.op == op).copied().collect();
+    // Emission order is not time order: a send emits its future delivery
+    // event immediately. Stable-sort so ties keep emission order.
+    evs.sort_by_key(|e| e.at);
+    evs
+}
+
+/// All distinct operation ids present in the stream, ascending, excluding
+/// [`NO_OP`].
+pub fn ops(events: &[TraceEvent]) -> Vec<u64> {
+    let set: BTreeSet<u64> = events
+        .iter()
+        .map(|e| e.op)
+        .filter(|&o| o != NO_OP)
+        .collect();
+    set.into_iter().collect()
+}
+
+/// Rebuilds the per-stage latency breakdown for one operation.
+///
+/// Returns `None` if fewer than two events mention the op (no interval to
+/// split). By construction the returned stage durations sum exactly to the
+/// op's end-to-end latency.
+pub fn op_breakdown(events: &[TraceEvent], op: u64) -> Option<OpBreakdown> {
+    let evs = events_for(events, op);
+    if evs.len() < 2 {
+        return None;
+    }
+    let start = evs.first().unwrap().at;
+    let end = evs.last().unwrap().at;
+    let stages = evs
+        .windows(2)
+        .map(|w| Stage {
+            label: format!("{}@n{}", w[1].kind.label(), w[1].node),
+            start: w[0].at,
+            end: w[1].at,
+        })
+        .collect();
+    Some(OpBreakdown {
+        op,
+        start,
+        end,
+        stages,
+    })
+}
+
+/// Rebuilds one operation's span tree: the op root, one child per
+/// contiguous run of stages on the same node, and the stages as leaves.
+pub fn span_tree(events: &[TraceEvent], op: u64) -> Option<SpanNode> {
+    let evs = events_for(events, op);
+    let bd = op_breakdown(events, op)?;
+    let mut children: Vec<SpanNode> = Vec::new();
+    for (stage, ev) in bd.stages.iter().zip(evs.iter().skip(1)) {
+        let leaf = SpanNode {
+            label: stage.label.clone(),
+            start: stage.start,
+            end: stage.end,
+            children: Vec::new(),
+        };
+        let node_label = format!("node{}", ev.node);
+        match children.last_mut() {
+            Some(group) if group.label == node_label => {
+                group.end = leaf.end;
+                group.children.push(leaf);
+            }
+            _ => children.push(SpanNode {
+                label: node_label,
+                start: leaf.start,
+                end: leaf.end,
+                children: vec![leaf],
+            }),
+        }
+    }
+    Some(SpanNode {
+        label: format!("op {}", op),
+        start: bd.start,
+        end: bd.end,
+        children,
+    })
+}
+
+fn ts_us(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1e3
+}
+
+/// Exports a trace stream as Chrome trace-event JSON (Perfetto-compatible).
+///
+/// Per-op stage spans become `"X"` complete events (`pid` = node, `tid` =
+/// op), raw events become `"i"` instants with their payload in `args`.
+/// Iteration order is fully deterministic, so same-seed runs produce
+/// byte-identical output.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.begin_arr_field("traceEvents");
+
+    let nodes: BTreeSet<u32> = events
+        .iter()
+        .map(|e| e.node)
+        .filter(|&n| n != NO_NODE)
+        .collect();
+    for n in &nodes {
+        w.begin_obj();
+        w.field_str("ph", "M");
+        w.field_u64("pid", *n as u64);
+        w.field_str("name", "process_name");
+        w.begin_obj_field("args");
+        w.field_str("name", &format!("node{n}"));
+        w.end_obj();
+        w.end_obj();
+    }
+
+    for op in ops(events) {
+        let evs = events_for(events, op);
+        if let Some(bd) = op_breakdown(events, op) {
+            for (stage, ev) in bd.stages.iter().zip(evs.iter().skip(1)) {
+                w.begin_obj();
+                w.field_str("ph", "X");
+                w.field_str("name", ev.kind.label());
+                w.field_u64("pid", ev.node as u64);
+                w.field_u64("tid", op);
+                w.field_f64("ts", ts_us(stage.start));
+                w.field_f64("dur", ts_us(stage.end) - ts_us(stage.start));
+                w.begin_obj_field("args");
+                w.field_u64("op", op);
+                ev.kind.write_args(&mut w);
+                w.end_obj();
+                w.end_obj();
+            }
+        }
+    }
+
+    for ev in events {
+        w.begin_obj();
+        w.field_str("ph", "i");
+        w.field_str("s", "t");
+        w.field_str("name", ev.kind.label());
+        w.field_u64("pid", ev.node as u64);
+        w.field_u64("tid", if ev.op == NO_OP { 0 } else { ev.op });
+        w.field_f64("ts", ts_us(ev.at));
+        w.begin_obj_field("args");
+        if ev.op != NO_OP {
+            w.field_u64("op", ev.op);
+        }
+        ev.kind.write_args(&mut w);
+        w.end_obj();
+        w.end_obj();
+    }
+
+    w.end_arr();
+    w.field_str("displayTimeUnit", "ns");
+    w.end_obj();
+    w.finish()
+}
+
+/// A unified, named metrics store: counters, gauges and latency histograms.
+///
+/// Each simulator crate exposes an `export_into(&self, reg, prefix)` method
+/// on its stats struct that snapshots into a registry under a dotted prefix
+/// (`"fabric.wqes_executed"`, `"sched.preemptions"`, …). Benches then
+/// serialise the registry once, uniformly, instead of hand-formatting four
+/// different structs.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records one latency sample into the named histogram.
+    pub fn record(&mut self, name: &str, d: SimDuration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
+    }
+
+    /// Merges a whole histogram into the named histogram.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// Counter value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serialises the registry as one JSON object (deterministic order).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.begin_obj_field("counters");
+        for (k, v) in &self.counters {
+            w.field_u64(k, *v);
+        }
+        w.end_obj();
+        w.begin_obj_field("gauges");
+        for (k, v) in &self.gauges {
+            w.field_f64(k, *v);
+        }
+        w.end_obj();
+        w.begin_obj_field("histograms");
+        for (k, h) in &self.histograms {
+            w.begin_obj_field(k);
+            let s = h.summary();
+            w.field_u64("count", s.count);
+            w.field_u64("mean_ns", s.mean.as_nanos());
+            w.field_u64("p50_ns", s.p50.as_nanos());
+            w.field_u64("p95_ns", s.p95.as_nanos());
+            w.field_u64("p99_ns", s.p99.as_nanos());
+            w.field_u64("p999_ns", s.p999.as_nanos());
+            w.field_u64("min_ns", s.min.as_nanos());
+            w.field_u64("max_ns", s.max.as_nanos());
+            w.end_obj();
+        }
+        w.end_obj();
+        w.end_obj();
+    }
+
+    /// The registry as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64, node: u32, op: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ns),
+            node,
+            op,
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.emit(SimTime::ZERO, 0, 1, TraceKind::OpIssue);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::enabled(2);
+        for i in 0..5u64 {
+            t.emit(SimTime::from_nanos(i), 0, i, TraceKind::OpIssue);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let evs = t.events();
+        assert_eq!(evs[0].op, 3);
+        assert_eq!(evs[1].op, 4);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = Tracer::enabled(16);
+        let b = a.clone();
+        b.emit(SimTime::ZERO, 1, 9, TraceKind::OpAck);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.events()[0].node, 1);
+    }
+
+    #[test]
+    fn breakdown_partitions_the_op_interval() {
+        let evs = vec![
+            ev(100, 0, 5, TraceKind::OpIssue),
+            ev(130, 0, 5, TraceKind::MetaSend { replica: 0 }),
+            ev(250, 1, 5, TraceKind::WaitRelease { qp: 3 }),
+            ev(400, 1, 5, TraceKind::Dma { bytes: 64 }),
+            ev(700, 0, 5, TraceKind::OpAck),
+            ev(710, 2, 8, TraceKind::OpIssue), // different op, ignored
+        ];
+        let bd = op_breakdown(&evs, 5).unwrap();
+        assert_eq!(bd.total(), SimDuration::from_nanos(600));
+        assert_eq!(bd.stages.len(), 4);
+        let sum: u64 = bd.stages.iter().map(|s| s.duration().as_nanos()).sum();
+        assert_eq!(sum, 600);
+        assert_eq!(bd.stages[0].label, "meta_send@n0");
+        assert_eq!(bd.stages[1].label, "wait_release@n1");
+        assert_eq!(bd.stages[3].label, "op_ack@n0");
+        assert!(op_breakdown(&evs, 8).is_none());
+        assert!(op_breakdown(&evs, 999).is_none());
+        assert_eq!(ops(&evs), vec![5, 8]);
+    }
+
+    #[test]
+    fn span_tree_groups_consecutive_stages_by_node() {
+        let evs = vec![
+            ev(0, 0, 1, TraceKind::OpIssue),
+            ev(10, 0, 1, TraceKind::MetaSend { replica: 0 }),
+            ev(30, 1, 1, TraceKind::WaitRelease { qp: 0 }),
+            ev(50, 1, 1, TraceKind::Dma { bytes: 8 }),
+            ev(90, 0, 1, TraceKind::OpAck),
+        ];
+        let tree = span_tree(&evs, 1).unwrap();
+        assert_eq!(tree.label, "op 1");
+        assert_eq!(tree.duration(), SimDuration::from_nanos(90));
+        let groups: Vec<&str> = tree.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(groups, vec!["node0", "node1", "node0"]);
+        assert_eq!(tree.children[1].children.len(), 2);
+        // The node groups tile the op interval.
+        assert_eq!(tree.children.first().unwrap().start, tree.start);
+        assert_eq!(tree.children.last().unwrap().end, tree.end);
+        for w in tree.children.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let text = tree.render();
+        assert!(text.contains("op 1"));
+        assert!(text.contains("  node1"));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape_and_deterministic() {
+        let evs = vec![
+            ev(1000, 0, 2, TraceKind::OpIssue),
+            ev(1500, 1, 2, TraceKind::Cqe { cq: 0, ok: true }),
+            ev(1600, 1, NO_OP, TraceKind::CacheEvict { bytes: 128 }),
+        ];
+        let a = chrome_trace_json(&evs);
+        let b = chrome_trace_json(&evs);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.contains("\"ph\":\"M\""));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("\"name\":\"cqe\""));
+        assert!(a.contains("\"ts\":1"));
+        assert!(a.ends_with("\"displayTimeUnit\":\"ns\"}"));
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("fabric.wqes", 3);
+        r.counter_add("fabric.wqes", 2);
+        r.set_gauge("sched.util", 0.75);
+        r.record("op.latency", SimDuration::from_micros(5));
+        r.record("op.latency", SimDuration::from_micros(7));
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(100));
+        r.merge_histogram("op.latency", &h);
+
+        assert_eq!(r.counter("fabric.wqes"), Some(5));
+        assert_eq!(r.gauge("sched.util"), Some(0.75));
+        assert_eq!(r.histogram("op.latency").unwrap().count(), 3);
+        assert_eq!(r.counter("missing"), None);
+
+        let json = r.to_json();
+        assert!(json.contains("\"fabric.wqes\":5"));
+        assert!(json.contains("\"sched.util\":0.75"));
+        assert!(json.contains("\"op.latency\":{\"count\":3"));
+        assert_eq!(json, r.to_json());
+    }
+}

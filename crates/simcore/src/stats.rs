@@ -17,7 +17,6 @@
 //! ```
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 const SUB_BUCKET_BITS: u32 = 5;
@@ -26,7 +25,7 @@ const OCTAVES: usize = 64 - SUB_BUCKET_BITS as usize;
 const NUM_BUCKETS: usize = OCTAVES * SUB_BUCKETS;
 
 /// A log-bucketed latency histogram with bounded relative error.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -127,8 +126,11 @@ impl Histogram {
             return SimDuration::ZERO;
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        // Every bucket below the one holding `min_ns` is empty by
+        // construction, so start the scan there instead of at index 0.
+        let start = bucket_of(self.min_ns);
         let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (i, &c) in self.counts.iter().enumerate().skip(start) {
             seen += c;
             if seen >= rank {
                 // Clamp to the observed extremes so q=1.0 reports max exactly.
@@ -136,6 +138,31 @@ impl Histogram {
             }
         }
         self.max()
+    }
+
+    /// Occupied buckets as `(upper_edge, count)` pairs, in ascending order.
+    ///
+    /// Empty buckets are skipped, so this is suitable for plotting the full
+    /// latency distribution without materialising ~1,900 mostly-zero rows.
+    pub fn buckets(&self) -> impl Iterator<Item = (SimDuration, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (SimDuration::from_nanos(bucket_value(i)), c))
+    }
+
+    /// Cumulative distribution: `(upper_edge, fraction ≤ edge)` for every
+    /// occupied bucket. The final fraction is exactly 1.0. Empty histogram
+    /// yields an empty vector.
+    pub fn cdf(&self) -> Vec<(SimDuration, f64)> {
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        for (edge, c) in self.buckets() {
+            seen += c;
+            out.push((edge, seen as f64 / self.total as f64));
+        }
+        out
     }
 
     /// Convenience accessor for the median.
@@ -196,7 +223,7 @@ impl fmt::Debug for Histogram {
 }
 
 /// Headline latency numbers extracted from a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencySummary {
     /// Number of samples.
     pub count: u64,
@@ -228,7 +255,7 @@ impl fmt::Display for LatencySummary {
 
 /// A plain monotonically increasing counter with a name, for bookkeeping like
 /// context switches or bytes moved.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counter {
     value: u64,
 }
@@ -270,7 +297,10 @@ mod tests {
             let b = bucket_of(v);
             let rep = bucket_value(b);
             let err = (rep as f64 - v as f64).abs() / v as f64;
-            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "v={v} rep={rep} err={err}");
+            assert!(
+                err <= 1.0 / SUB_BUCKETS as f64 + 1e-9,
+                "v={v} rep={rep} err={err}"
+            );
         }
     }
 
@@ -300,8 +330,16 @@ mod tests {
             h.record(SimDuration::from_micros(us));
         }
         // Exact p99 is 9 900 us; the histogram guarantees ~3% relative error.
-        assert!((9_600..=10_000).contains(&h.p99().as_micros()), "{:?}", h.p99());
-        assert!((4_800..=5_200).contains(&h.p50().as_micros()), "{:?}", h.p50());
+        assert!(
+            (9_600..=10_000).contains(&h.p99().as_micros()),
+            "{:?}",
+            h.p99()
+        );
+        assert!(
+            (4_800..=5_200).contains(&h.p50().as_micros()),
+            "{:?}",
+            h.p50()
+        );
         assert_eq!(h.min().as_micros(), 1);
         assert_eq!(h.max().as_micros(), 10_000);
         assert!((4_900..=5_100).contains(&h.mean().as_micros()));

@@ -18,7 +18,9 @@ use crate::types::{ClusterConfig, ClusterEvent, HostApp, HostEvent, ProcRef, Tas
 use cpusched::{CpuEffect, CpuScheduler, HogProfile, ProcKind, TaskId};
 use netsim::NodeId;
 use rnicsim::{CqId, NicEffect, RdmaFabric};
-use simcore::{EventQueue, Model, Outbox, SimDuration, SimRng, SimTime, Simulation};
+use simcore::{
+    EventQueue, MetricsRegistry, Model, Outbox, SimDuration, SimRng, SimTime, Simulation, Tracer,
+};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -96,6 +98,28 @@ impl Cluster {
         sim
     }
 
+    /// Installs a trace sink on every layer of the cluster: the RDMA fabric
+    /// (and its network) plus each node's CPU scheduler. Group clients must
+    /// be wired separately (`GroupClient::set_tracer`) since they live in
+    /// application code.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.fab.set_tracer(tracer.clone());
+        for (i, sched) in self.scheds.iter_mut().enumerate() {
+            sched.set_tracer(tracer.clone(), i as u32);
+        }
+    }
+
+    /// Snapshots fabric, NVM, network and per-node scheduler statistics into
+    /// a [`MetricsRegistry`] under `prefix`.
+    pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.fab.export_into(reg, &format!("{prefix}.fabric"));
+        for (i, sched) in self.scheds.iter().enumerate() {
+            sched
+                .stats()
+                .export_into(reg, &format!("{prefix}.sched.node{i}"));
+        }
+    }
+
     /// The CPU scheduler of one node (for statistics).
     pub fn sched(&self, node: NodeId) -> &CpuScheduler {
         &self.scheds[node.0 as usize]
@@ -125,18 +149,12 @@ impl Cluster {
 
     /// Registers an application process on `node`. The handler's `on_start`
     /// runs at time zero (or immediately if the simulation already started).
-    pub fn add_app(
-        &mut self,
-        node: NodeId,
-        kind: ProcKind,
-        app: Box<dyn HostApp>,
-    ) -> ProcRef {
+    pub fn add_app(&mut self, node: NodeId, kind: ProcKind, app: Box<dyn HostApp>) -> ProcRef {
         // Spawning may emit scheduler effects (polling processes dispatch
         // immediately); collect them into a scratch outbox handled lazily —
         // at time zero nothing is racing.
         let mut scratch = Outbox::new();
-        let cpu_proc =
-            self.scheds[node.0 as usize].spawn(kind, SimTime::ZERO, &mut scratch);
+        let cpu_proc = self.scheds[node.0 as usize].spawn(kind, SimTime::ZERO, &mut scratch);
         let pr = ProcRef(self.procs.len() as u32);
         self.procs.push(ProcEntry { node, cpu_proc });
         self.apps.push(Some(app));
@@ -224,9 +242,7 @@ impl Cluster {
     ) {
         for (delay, eff) in out.drain() {
             match eff {
-                CpuEffect::Internal(ev) => {
-                    q.push_after(delay, ClusterEvent::Cpu { node, ev })
-                }
+                CpuEffect::Internal(ev) => q.push_after(delay, ClusterEvent::Cpu { node, ev }),
                 CpuEffect::TaskDone { task, .. } => {
                     q.push_after(delay, ClusterEvent::TaskDone { id: task.0 })
                 }
@@ -382,10 +398,9 @@ pub fn drive<R>(
     for (delay, eff) in out.drain() {
         match eff {
             NicEffect::Internal(ev) => sim.queue.push_after(delay, ClusterEvent::Nic(ev)),
-            NicEffect::HostNotify { node, cq } => {
-                sim.queue
-                    .push_after(delay, ClusterEvent::HostNotify { node, cq })
-            }
+            NicEffect::HostNotify { node, cq } => sim
+                .queue
+                .push_after(delay, ClusterEvent::HostNotify { node, cq }),
         }
     }
     r

@@ -1,9 +1,9 @@
 //! The controlled view of the cluster an application handler works through.
 
 use crate::types::ProcRef;
-use rnicsim::{Cqe, CqId, NicEffect, QpId, RdmaFabric, RecvWqe, Wqe};
 use netsim::NodeId;
 use nvmsim::NvmDevice;
+use rnicsim::{CqId, Cqe, NicEffect, QpId, RdmaFabric, RecvWqe, Wqe};
 use simcore::{Outbox, SimDuration, SimTime};
 
 /// Actions a handler stages for the cluster to apply after it returns.

@@ -285,10 +285,18 @@ mod tests {
             }
         }
         let mut cluster = Cluster::with_defaults(1, 2);
-        let p = cluster.add_app(N0, ProcKind::EventDriven, Box::new(Worker { done_at: None }));
+        let p = cluster.add_app(
+            N0,
+            ProcKind::EventDriven,
+            Box::new(Worker { done_at: None }),
+        );
         let mut sim = cluster.into_sim();
         sim.run_until(SimTime::from_secs(1));
-        let done = sim.model.app_mut::<Worker>(p).done_at.expect("work finished");
+        let done = sim
+            .model
+            .app_mut::<Worker>(p)
+            .done_at
+            .expect("work finished");
         assert!(done.since(SimTime::ZERO) >= SimDuration::from_millis(2));
         assert!(done.since(SimTime::ZERO) < SimDuration::from_millis(4));
     }
@@ -311,7 +319,11 @@ mod tests {
             }
         }
         let mut cluster = Cluster::with_defaults(1, 2);
-        let p = cluster.add_app(N0, ProcKind::EventDriven, Box::new(Periodic { fired: vec![] }));
+        let p = cluster.add_app(
+            N0,
+            ProcKind::EventDriven,
+            Box::new(Periodic { fired: vec![] }),
+        );
         let mut sim = cluster.into_sim();
         sim.run_until(SimTime::from_millis(5));
         assert_eq!(sim.model.app_mut::<Periodic>(p).fired, vec![7, 8]);

@@ -272,7 +272,10 @@ mod tests {
     #[test]
     fn zeroed_space_is_bad_magic() {
         let zeros = vec![0u8; 64];
-        assert_eq!(LogRecord::decode(&zeros).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            LogRecord::decode(&zeros).unwrap_err(),
+            DecodeError::BadMagic
+        );
     }
 
     #[test]
@@ -322,53 +325,76 @@ mod tests {
         assert_eq!(back, rec);
     }
 
-    mod proptests {
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
 
-        fn arb_record() -> impl Strategy<Value = LogRecord> {
-            (
-                any::<u64>(),
-                proptest::collection::vec(
-                    (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
-                    0..8,
-                ),
-            )
-                .prop_map(|(tx_id, raw)| LogRecord {
-                    tx_id,
-                    entries: raw
-                        .into_iter()
-                        .map(|(offset, data)| LogEntry { offset, data })
-                        .collect(),
-                })
+        /// Minimal deterministic PRNG (splitmix64): this crate has no
+        /// dependencies, so the tests carry their own generator.
+        struct TestRng(u64);
+
+        impl TestRng {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
         }
 
-        proptest! {
-            #[test]
-            fn any_record_round_trips(rec in arb_record()) {
-                let bytes = rec.encode();
-                prop_assert_eq!(bytes.len(), rec.encoded_len());
-                let (back, used) = LogRecord::decode(&bytes).unwrap();
-                prop_assert_eq!(back, rec);
-                prop_assert_eq!(used, bytes.len());
+        fn gen_record(rng: &mut TestRng) -> LogRecord {
+            let n_entries = rng.next() as usize % 8;
+            LogRecord {
+                tx_id: rng.next(),
+                entries: (0..n_entries)
+                    .map(|_| LogEntry {
+                        offset: rng.next(),
+                        data: (0..rng.next() as usize % 64)
+                            .map(|_| rng.next() as u8)
+                            .collect(),
+                    })
+                    .collect(),
             }
+        }
 
-            #[test]
-            fn any_single_bitflip_is_detected(rec in arb_record(), flip in any::<proptest::sample::Index>()) {
+        #[test]
+        fn any_record_round_trips() {
+            let mut rng = TestRng(0x4EC0);
+            for _ in 0..128 {
+                let rec = gen_record(&mut rng);
+                let bytes = rec.encode();
+                assert_eq!(bytes.len(), rec.encoded_len());
+                let (back, used) = LogRecord::decode(&bytes).unwrap();
+                assert_eq!(back, rec);
+                assert_eq!(used, bytes.len());
+            }
+        }
+
+        #[test]
+        fn any_single_bitflip_is_detected() {
+            let mut rng = TestRng(0xF11B);
+            for _ in 0..128 {
+                let rec = gen_record(&mut rng);
                 let mut bytes = rec.encode();
-                let i = flip.index(bytes.len());
+                let i = rng.next() as usize % bytes.len();
                 bytes[i] ^= 0x01;
                 // Either an error, or (if tx_id/offset bits flipped but CRC
                 // still matches — impossible for payload, possible only in
                 // unprotected header fields) a different record.
                 match LogRecord::decode(&bytes) {
                     Err(_) => {}
-                    Ok((back, _)) => prop_assert_ne!(back, rec),
+                    Ok((back, _)) => assert_ne!(back, rec),
                 }
             }
+        }
 
-            #[test]
-            fn scan_recovers_full_prefix(recs in proptest::collection::vec(arb_record(), 1..10), cut_tail in 0usize..20) {
+        #[test]
+        fn scan_recovers_full_prefix() {
+            let mut rng = TestRng(0x5CA4);
+            for _ in 0..64 {
+                let n_recs = 1 + rng.next() as usize % 9;
+                let recs: Vec<LogRecord> = (0..n_recs).map(|_| gen_record(&mut rng)).collect();
+                let cut_tail = rng.next() as usize % 20;
                 let mut buf = Vec::new();
                 let mut sizes = Vec::new();
                 for r in &recs {
@@ -389,9 +415,9 @@ mod tests {
                         break;
                     }
                 }
-                prop_assert_eq!(scanned.len(), whole);
+                assert_eq!(scanned.len(), whole);
                 for (a, b) in scanned.iter().zip(&recs) {
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b);
                 }
             }
         }

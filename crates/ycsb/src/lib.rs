@@ -86,9 +86,7 @@ impl Operation {
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            Operation::Update { .. }
-                | Operation::Insert { .. }
-                | Operation::ReadModifyWrite { .. }
+            Operation::Update { .. } | Operation::Insert { .. } | Operation::ReadModifyWrite { .. }
         )
     }
 

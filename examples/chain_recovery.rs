@@ -61,7 +61,11 @@ fn main() {
     println!("failure detector suspects chain positions {suspects:?}");
     assert_eq!(suspects, vec![1]);
     view.remove(NodeId(2));
-    println!("membership epoch now {} with {:?}", view.epoch(), view.members());
+    println!(
+        "membership epoch now {} with {:?}",
+        view.epoch(),
+        view.members()
+    );
 
     // Plan the rejoin of the standby node 4.
     let plan = plan_rejoin(&view, NodeId(1), NodeId(4), 5 * 64);
@@ -76,7 +80,14 @@ fn main() {
     sim.model.fab.align_allocator(NodeId(4), cursor);
     view.add_tail(NodeId(4));
     let mut group2 = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), view.members(), GroupConfig::default(), now, out)
+        HyperLoopGroup::setup(
+            fab,
+            NodeId(0),
+            view.members(),
+            GroupConfig::default(),
+            now,
+            out,
+        )
     });
     sim.run();
     let base2 = group2.client.layout().shared_base;
@@ -114,7 +125,12 @@ fn main() {
     );
     let recovered = sim.model.fab.mem(NodeId(4)).read_vec(base2, 64).unwrap();
     assert_eq!(recovered, vec![1; 64], "standby carries caught-up state");
-    let new_write = sim.model.fab.mem(NodeId(4)).read_vec(base2 + 5 * 64, 64).unwrap();
+    let new_write = sim
+        .model
+        .fab
+        .mem(NodeId(4))
+        .read_vec(base2 + 5 * 64, 64)
+        .unwrap();
     assert_eq!(new_write, vec![6; 64]);
     println!("standby node4 serves caught-up state and new writes — recovery complete");
 }

@@ -38,8 +38,7 @@ fn main() {
 
     // A transactional write: the five-phase pipeline runs entirely on NICs.
     let mut doc = Document::with_field(42, "title", b"HyperLoop".to_vec());
-    doc.fields
-        .insert("venue".into(), b"SIGCOMM 2018".to_vec());
+    doc.fields.insert("venue".into(), b"SIGCOMM 2018".to_vec());
     let t0 = sim.now();
     drive(&mut sim, |fab, now, out| {
         store.write(fab, now, out, doc.clone()).unwrap()
@@ -77,7 +76,7 @@ fn main() {
             fab,
             now,
             out,
-            1,      // replica index (node2)
+            1,  // replica index (node2)
             42, // the doc's lock (id % n_locks)
             db_off,
             4 + doc.encoded_len() as u64,

@@ -14,10 +14,10 @@
 //!   workloads.
 
 pub use baseline;
-pub use hyperloop_bench;
 pub use cpusched;
 pub use docstore;
 pub use hyperloop;
+pub use hyperloop_bench;
 pub use kvstore;
 pub use netsim;
 pub use nvmsim;

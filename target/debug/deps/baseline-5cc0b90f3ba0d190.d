@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baseline-5cc0b90f3ba0d190.d: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/debug/deps/baseline-5cc0b90f3ba0d190: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/client.rs:
+crates/baseline/src/cmd.rs:
+crates/baseline/src/replica.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baseline-5d1520f66727848d.d: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/debug/deps/libbaseline-5d1520f66727848d.rlib: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/debug/deps/libbaseline-5d1520f66727848d.rmeta: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/client.rs:
+crates/baseline/src/cmd.rs:
+crates/baseline/src/replica.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baseline-e85af332a2d24a6c.d: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/debug/deps/libbaseline-e85af332a2d24a6c.rlib: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/debug/deps/libbaseline-e85af332a2d24a6c.rmeta: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/client.rs:
+crates/baseline/src/cmd.rs:
+crates/baseline/src/replica.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baseline-f4d53c131cca595b.d: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline-f4d53c131cca595b.rmeta: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/client.rs:
+crates/baseline/src/cmd.rs:
+crates/baseline/src/replica.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpusched-04a0d17e412afebe.d: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+/root/repo/target/debug/deps/libcpusched-04a0d17e412afebe.rlib: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+/root/repo/target/debug/deps/libcpusched-04a0d17e412afebe.rmeta: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+crates/cpusched/src/lib.rs:
+crates/cpusched/src/scheduler.rs:
+crates/cpusched/src/types.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpusched-1c77c757cf04f2d1.d: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+/root/repo/target/debug/deps/cpusched-1c77c757cf04f2d1: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+crates/cpusched/src/lib.rs:
+crates/cpusched/src/scheduler.rs:
+crates/cpusched/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpusched-8865d7759729f730.d: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpusched-8865d7759729f730.rmeta: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs Cargo.toml
+
+crates/cpusched/src/lib.rs:
+crates/cpusched/src/scheduler.rs:
+crates/cpusched/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

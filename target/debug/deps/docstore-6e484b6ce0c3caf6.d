@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docstore-6e484b6ce0c3caf6.d: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/debug/deps/docstore-6e484b6ce0c3caf6: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+crates/docstore/src/lib.rs:
+crates/docstore/src/doc.rs:
+crates/docstore/src/store.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docstore-981309294fb22553.d: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/debug/deps/docstore-981309294fb22553: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+crates/docstore/src/lib.rs:
+crates/docstore/src/doc.rs:
+crates/docstore/src/store.rs:

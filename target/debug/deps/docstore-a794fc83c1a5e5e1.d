@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docstore-a794fc83c1a5e5e1.d: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/debug/deps/libdocstore-a794fc83c1a5e5e1.rlib: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/debug/deps/libdocstore-a794fc83c1a5e5e1.rmeta: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+crates/docstore/src/lib.rs:
+crates/docstore/src/doc.rs:
+crates/docstore/src/store.rs:

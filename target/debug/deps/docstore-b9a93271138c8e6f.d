@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docstore-b9a93271138c8e6f.d: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/debug/deps/libdocstore-b9a93271138c8e6f.rlib: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/debug/deps/libdocstore-b9a93271138c8e6f.rmeta: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+crates/docstore/src/lib.rs:
+crates/docstore/src/doc.rs:
+crates/docstore/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/docstore-e24462d03e3951d7.d: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocstore-e24462d03e3951d7.rmeta: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs Cargo.toml
+
+crates/docstore/src/lib.rs:
+crates/docstore/src/doc.rs:
+crates/docstore/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

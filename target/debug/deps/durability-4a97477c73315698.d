@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-4a97477c73315698.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-4a97477c73315698: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durability-c394ec695c66710d.d: tests/durability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurability-c394ec695c66710d.rmeta: tests/durability.rs Cargo.toml
+
+tests/durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-fff2d4766e20bcd8.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-fff2d4766e20bcd8: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_cluster-0e5b36c1c61bc410.d: tests/end_to_end_cluster.rs
+
+/root/repo/target/debug/deps/end_to_end_cluster-0e5b36c1c61bc410: tests/end_to_end_cluster.rs
+
+tests/end_to_end_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_cluster-a7c4cb1ea9649849.d: tests/end_to_end_cluster.rs
+
+/root/repo/target/debug/deps/end_to_end_cluster-a7c4cb1ea9649849: tests/end_to_end_cluster.rs
+
+tests/end_to_end_cluster.rs:

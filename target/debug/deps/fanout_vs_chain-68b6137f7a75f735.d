@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fanout_vs_chain-68b6137f7a75f735.d: tests/fanout_vs_chain.rs
+
+/root/repo/target/debug/deps/fanout_vs_chain-68b6137f7a75f735: tests/fanout_vs_chain.rs
+
+tests/fanout_vs_chain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fanout_vs_chain-9af4989e607e0c20.d: tests/fanout_vs_chain.rs
+
+/root/repo/target/debug/deps/fanout_vs_chain-9af4989e607e0c20: tests/fanout_vs_chain.rs
+
+tests/fanout_vs_chain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fanout_vs_chain-f4d4584c097722c8.d: tests/fanout_vs_chain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfanout_vs_chain-f4d4584c097722c8.rmeta: tests/fanout_vs_chain.rs Cargo.toml
+
+tests/fanout_vs_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-265f2bb49acb9e4a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-265f2bb49acb9e4a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-8485893b2aced63c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-8485893b2aced63c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9c7d6cfe179d9b8f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9c7d6cfe179d9b8f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hyperloop-59a5f4bddfb0b314.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+/root/repo/target/debug/deps/libhyperloop-59a5f4bddfb0b314.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+/root/repo/target/debug/deps/libhyperloop-59a5f4bddfb0b314.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/apps.rs:
+crates/core/src/config.rs:
+crates/core/src/fanout.rs:
+crates/core/src/group.rs:
+crates/core/src/harness.rs:
+crates/core/src/lock.rs:
+crates/core/src/membership.rs:
+crates/core/src/meta.rs:
+crates/core/src/ops.rs:
+crates/core/src/reads.rs:
+crates/core/src/transport.rs:
+crates/core/src/wal.rs:

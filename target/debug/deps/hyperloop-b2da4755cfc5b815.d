@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hyperloop-b2da4755cfc5b815.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhyperloop-b2da4755cfc5b815.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/apps.rs:
+crates/core/src/config.rs:
+crates/core/src/fanout.rs:
+crates/core/src/group.rs:
+crates/core/src/harness.rs:
+crates/core/src/lock.rs:
+crates/core/src/membership.rs:
+crates/core/src/meta.rs:
+crates/core/src/ops.rs:
+crates/core/src/reads.rs:
+crates/core/src/transport.rs:
+crates/core/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hyperloop_bench-a8a3eb97cda8c302.d: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libhyperloop_bench-a8a3eb97cda8c302.rlib: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libhyperloop_bench-a8a3eb97cda8c302.rmeta: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/appbench.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/fanout_ablation.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mongo2.rs:
+crates/bench/src/report.rs:

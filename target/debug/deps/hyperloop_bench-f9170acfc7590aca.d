@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hyperloop_bench-f9170acfc7590aca.d: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhyperloop_bench-f9170acfc7590aca.rmeta: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/appbench.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/fanout_ablation.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mongo2.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hyperloop_repro-42cd2c5b2aba52a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhyperloop_repro-42cd2c5b2aba52a1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhyperloop_repro-42cd2c5b2aba52a1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hyperloop_repro-47680f65bdad8aea.d: src/lib.rs
+
+/root/repo/target/debug/deps/hyperloop_repro-47680f65bdad8aea: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hyperloop_repro-7a54a0ac89ff0088.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhyperloop_repro-7a54a0ac89ff0088.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hyperloop_repro-87a77e76f871ec4e.d: src/lib.rs
+
+/root/repo/target/debug/deps/hyperloop_repro-87a77e76f871ec4e: src/lib.rs
+
+src/lib.rs:

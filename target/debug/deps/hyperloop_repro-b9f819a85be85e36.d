@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hyperloop_repro-b9f819a85be85e36.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhyperloop_repro-b9f819a85be85e36.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhyperloop_repro-b9f819a85be85e36.rmeta: src/lib.rs
+
+src/lib.rs:

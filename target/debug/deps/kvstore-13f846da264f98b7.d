@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvstore-13f846da264f98b7.d: crates/kvstore/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvstore-13f846da264f98b7.rmeta: crates/kvstore/src/lib.rs Cargo.toml
+
+crates/kvstore/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvstore-a95a03fb413ac583.d: crates/kvstore/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvstore-a95a03fb413ac583.rmeta: crates/kvstore/src/lib.rs Cargo.toml
+
+crates/kvstore/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

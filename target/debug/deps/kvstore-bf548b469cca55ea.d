@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kvstore-bf548b469cca55ea.d: crates/kvstore/src/lib.rs
+
+/root/repo/target/debug/deps/libkvstore-bf548b469cca55ea.rlib: crates/kvstore/src/lib.rs
+
+/root/repo/target/debug/deps/libkvstore-bf548b469cca55ea.rmeta: crates/kvstore/src/lib.rs
+
+crates/kvstore/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvstore-cbafc4774ea251f5.d: crates/kvstore/src/lib.rs
+
+/root/repo/target/debug/deps/kvstore-cbafc4774ea251f5: crates/kvstore/src/lib.rs
+
+crates/kvstore/src/lib.rs:

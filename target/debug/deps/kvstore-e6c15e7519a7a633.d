@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvstore-e6c15e7519a7a633.d: crates/kvstore/src/lib.rs
+
+/root/repo/target/debug/deps/kvstore-e6c15e7519a7a633: crates/kvstore/src/lib.rs
+
+crates/kvstore/src/lib.rs:

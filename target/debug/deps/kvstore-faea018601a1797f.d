@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kvstore-faea018601a1797f.d: crates/kvstore/src/lib.rs
+
+/root/repo/target/debug/deps/libkvstore-faea018601a1797f.rlib: crates/kvstore/src/lib.rs
+
+/root/repo/target/debug/deps/libkvstore-faea018601a1797f.rmeta: crates/kvstore/src/lib.rs
+
+crates/kvstore/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-3af21b2272e81329.d: crates/netsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-3af21b2272e81329.rmeta: crates/netsim/src/lib.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netsim-a92556278b66ecc0.d: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/netsim-a92556278b66ecc0: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

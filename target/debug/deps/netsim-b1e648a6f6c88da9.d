@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netsim-b1e648a6f6c88da9.d: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/libnetsim-b1e648a6f6c88da9.rlib: crates/netsim/src/lib.rs
+
+/root/repo/target/debug/deps/libnetsim-b1e648a6f6c88da9.rmeta: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

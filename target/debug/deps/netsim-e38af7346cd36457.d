@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-e38af7346cd36457.d: crates/netsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-e38af7346cd36457.rmeta: crates/netsim/src/lib.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nvmsim-011194c56fa9a030.d: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/debug/deps/nvmsim-011194c56fa9a030: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+crates/nvmsim/src/lib.rs:
+crates/nvmsim/src/device.rs:
+crates/nvmsim/src/overlay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nvmsim-2d979207946f8ea6.d: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/debug/deps/libnvmsim-2d979207946f8ea6.rlib: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/debug/deps/libnvmsim-2d979207946f8ea6.rmeta: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+crates/nvmsim/src/lib.rs:
+crates/nvmsim/src/device.rs:
+crates/nvmsim/src/overlay.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nvmsim-91b6314b508e2d59.d: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/debug/deps/nvmsim-91b6314b508e2d59: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+crates/nvmsim/src/lib.rs:
+crates/nvmsim/src/device.rs:
+crates/nvmsim/src/overlay.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nvmsim-cd7c4f1ccc7584d2.d: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnvmsim-cd7c4f1ccc7584d2.rmeta: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs Cargo.toml
+
+crates/nvmsim/src/lib.rs:
+crates/nvmsim/src/device.rs:
+crates/nvmsim/src/overlay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_e2e-327479dc39cd8401.d: tests/recovery_e2e.rs
+
+/root/repo/target/debug/deps/recovery_e2e-327479dc39cd8401: tests/recovery_e2e.rs
+
+tests/recovery_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_e2e-91310975301bd812.d: tests/recovery_e2e.rs
+
+/root/repo/target/debug/deps/recovery_e2e-91310975301bd812: tests/recovery_e2e.rs
+
+tests/recovery_e2e.rs:

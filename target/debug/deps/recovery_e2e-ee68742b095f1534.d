@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_e2e-ee68742b095f1534.d: tests/recovery_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_e2e-ee68742b095f1534.rmeta: tests/recovery_e2e.rs Cargo.toml
+
+tests/recovery_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rnicsim-8081712160f50098.d: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/debug/deps/librnicsim-8081712160f50098.rlib: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/debug/deps/librnicsim-8081712160f50098.rmeta: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+crates/rnicsim/src/lib.rs:
+crates/rnicsim/src/fabric.rs:
+crates/rnicsim/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rnicsim-97735dcbae13d349.d: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/librnicsim-97735dcbae13d349.rmeta: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs Cargo.toml
+
+crates/rnicsim/src/lib.rs:
+crates/rnicsim/src/fabric.rs:
+crates/rnicsim/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rnicsim-c1e855c08d6305f8.d: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/debug/deps/rnicsim-c1e855c08d6305f8: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+crates/rnicsim/src/lib.rs:
+crates/rnicsim/src/fabric.rs:
+crates/rnicsim/src/types.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rnicsim-e2ae446693b0b315.d: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/debug/deps/rnicsim-e2ae446693b0b315: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+crates/rnicsim/src/lib.rs:
+crates/rnicsim/src/fabric.rs:
+crates/rnicsim/src/types.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/simcore-a2188bc9f0e7c8c0.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimcore-a2188bc9f0e7c8c0.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/jsonw.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/simtrace.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simcore-aae41c76e9f5b613.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/simcore-aae41c76e9f5b613: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/jsonw.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/simtrace.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simcore-c11c644e0235310b.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libsimcore-c11c644e0235310b.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libsimcore-c11c644e0235310b.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/jsonw.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/simtrace.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simtrace-b6640145f0a63835.d: crates/core/tests/simtrace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimtrace-b6640145f0a63835.rmeta: crates/core/tests/simtrace.rs Cargo.toml
+
+crates/core/tests/simtrace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simtrace-ec7086ea39265474.d: crates/core/tests/simtrace.rs
+
+/root/repo/target/debug/deps/simtrace-ec7086ea39265474: crates/core/tests/simtrace.rs
+
+crates/core/tests/simtrace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-065838c5d256aaa0.d: crates/bench/src/bin/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-065838c5d256aaa0.rmeta: crates/bench/src/bin/smoke.rs Cargo.toml
+
+crates/bench/src/bin/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

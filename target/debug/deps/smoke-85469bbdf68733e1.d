@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-85469bbdf68733e1.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-85469bbdf68733e1: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

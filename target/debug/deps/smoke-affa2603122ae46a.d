@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-affa2603122ae46a.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-affa2603122ae46a: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-d1702faa31af7186.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-d1702faa31af7186: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

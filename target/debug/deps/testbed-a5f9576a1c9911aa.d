@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/testbed-a5f9576a1c9911aa.d: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/debug/deps/testbed-a5f9576a1c9911aa: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/cluster.rs:
+crates/testbed/src/env.rs:
+crates/testbed/src/types.rs:

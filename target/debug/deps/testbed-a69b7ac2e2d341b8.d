@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/testbed-a69b7ac2e2d341b8.d: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/debug/deps/libtestbed-a69b7ac2e2d341b8.rlib: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/debug/deps/libtestbed-a69b7ac2e2d341b8.rmeta: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/cluster.rs:
+crates/testbed/src/env.rs:
+crates/testbed/src/types.rs:

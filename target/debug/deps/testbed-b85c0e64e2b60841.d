@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/testbed-b85c0e64e2b60841.d: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/debug/deps/libtestbed-b85c0e64e2b60841.rlib: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/debug/deps/libtestbed-b85c0e64e2b60841.rmeta: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/cluster.rs:
+crates/testbed/src/env.rs:
+crates/testbed/src/types.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/testbed-bb8d30becfe0e9de.d: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/debug/deps/testbed-bb8d30becfe0e9de: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/cluster.rs:
+crates/testbed/src/env.rs:
+crates/testbed/src/types.rs:

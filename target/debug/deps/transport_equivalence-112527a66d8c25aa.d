@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_equivalence-112527a66d8c25aa.d: tests/transport_equivalence.rs
+
+/root/repo/target/debug/deps/transport_equivalence-112527a66d8c25aa: tests/transport_equivalence.rs
+
+tests/transport_equivalence.rs:

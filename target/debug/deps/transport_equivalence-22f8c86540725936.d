@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_equivalence-22f8c86540725936.d: tests/transport_equivalence.rs
+
+/root/repo/target/debug/deps/transport_equivalence-22f8c86540725936: tests/transport_equivalence.rs
+
+tests/transport_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_equivalence-c7185670df519fbc.d: tests/transport_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_equivalence-c7185670df519fbc.rmeta: tests/transport_equivalence.rs Cargo.toml
+
+tests/transport_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/walog-1f3aaff580d676f5.d: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwalog-1f3aaff580d676f5.rmeta: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs Cargo.toml
+
+crates/walog/src/lib.rs:
+crates/walog/src/record.rs:
+crates/walog/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/walog-2cfcd3e4a19df156.d: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+/root/repo/target/debug/deps/libwalog-2cfcd3e4a19df156.rlib: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+/root/repo/target/debug/deps/libwalog-2cfcd3e4a19df156.rmeta: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+crates/walog/src/lib.rs:
+crates/walog/src/record.rs:
+crates/walog/src/ring.rs:

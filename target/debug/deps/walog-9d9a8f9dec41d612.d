@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/walog-9d9a8f9dec41d612.d: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+/root/repo/target/debug/deps/walog-9d9a8f9dec41d612: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+crates/walog/src/lib.rs:
+crates/walog/src/record.rs:
+crates/walog/src/ring.rs:

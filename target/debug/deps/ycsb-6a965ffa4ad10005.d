@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ycsb-6a965ffa4ad10005.d: crates/ycsb/src/lib.rs
+
+/root/repo/target/debug/deps/ycsb-6a965ffa4ad10005: crates/ycsb/src/lib.rs
+
+crates/ycsb/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ycsb-b2c9c71439e55f01.d: crates/ycsb/src/lib.rs
+
+/root/repo/target/debug/deps/libycsb-b2c9c71439e55f01.rlib: crates/ycsb/src/lib.rs
+
+/root/repo/target/debug/deps/libycsb-b2c9c71439e55f01.rmeta: crates/ycsb/src/lib.rs
+
+crates/ycsb/src/lib.rs:

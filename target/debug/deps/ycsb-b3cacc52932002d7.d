@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ycsb-b3cacc52932002d7.d: crates/ycsb/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libycsb-b3cacc52932002d7.rmeta: crates/ycsb/src/lib.rs Cargo.toml
+
+crates/ycsb/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

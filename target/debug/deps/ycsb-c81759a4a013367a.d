@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ycsb-c81759a4a013367a.d: crates/ycsb/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libycsb-c81759a4a013367a.rmeta: crates/ycsb/src/lib.rs Cargo.toml
+
+crates/ycsb/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

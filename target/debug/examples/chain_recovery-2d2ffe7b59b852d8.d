@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chain_recovery-2d2ffe7b59b852d8.d: examples/chain_recovery.rs
+
+/root/repo/target/debug/examples/chain_recovery-2d2ffe7b59b852d8: examples/chain_recovery.rs
+
+examples/chain_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chain_recovery-3ed0d807bbc05c22.d: examples/chain_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchain_recovery-3ed0d807bbc05c22.rmeta: examples/chain_recovery.rs Cargo.toml
+
+examples/chain_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

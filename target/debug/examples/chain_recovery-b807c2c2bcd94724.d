@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chain_recovery-b807c2c2bcd94724.d: examples/chain_recovery.rs
+
+/root/repo/target/debug/examples/chain_recovery-b807c2c2bcd94724: examples/chain_recovery.rs
+
+examples/chain_recovery.rs:

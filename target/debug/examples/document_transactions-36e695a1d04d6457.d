@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/document_transactions-36e695a1d04d6457.d: examples/document_transactions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdocument_transactions-36e695a1d04d6457.rmeta: examples/document_transactions.rs Cargo.toml
+
+examples/document_transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

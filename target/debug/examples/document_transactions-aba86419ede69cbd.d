@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/document_transactions-aba86419ede69cbd.d: examples/document_transactions.rs
+
+/root/repo/target/debug/examples/document_transactions-aba86419ede69cbd: examples/document_transactions.rs
+
+examples/document_transactions.rs:

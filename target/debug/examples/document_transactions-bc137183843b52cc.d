@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/document_transactions-bc137183843b52cc.d: examples/document_transactions.rs
+
+/root/repo/target/debug/examples/document_transactions-bc137183843b52cc: examples/document_transactions.rs
+
+examples/document_transactions.rs:

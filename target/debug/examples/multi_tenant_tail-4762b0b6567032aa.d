@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_tail-4762b0b6567032aa.d: examples/multi_tenant_tail.rs
+
+/root/repo/target/debug/examples/multi_tenant_tail-4762b0b6567032aa: examples/multi_tenant_tail.rs
+
+examples/multi_tenant_tail.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_tenant_tail-686d188e1fc428f2.d: examples/multi_tenant_tail.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_tenant_tail-686d188e1fc428f2.rmeta: examples/multi_tenant_tail.rs Cargo.toml
+
+examples/multi_tenant_tail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant_tail-b64e9b2977fd6e9e.d: examples/multi_tenant_tail.rs
+
+/root/repo/target/debug/examples/multi_tenant_tail-b64e9b2977fd6e9e: examples/multi_tenant_tail.rs
+
+examples/multi_tenant_tail.rs:

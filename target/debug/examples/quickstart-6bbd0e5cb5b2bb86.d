@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6bbd0e5cb5b2bb86.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6bbd0e5cb5b2bb86: examples/quickstart.rs
+
+examples/quickstart.rs:

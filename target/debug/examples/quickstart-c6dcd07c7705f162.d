@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c6dcd07c7705f162.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c6dcd07c7705f162: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replicated_kvstore-5a878f97515057a3.d: examples/replicated_kvstore.rs
+
+/root/repo/target/debug/examples/replicated_kvstore-5a878f97515057a3: examples/replicated_kvstore.rs
+
+examples/replicated_kvstore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replicated_kvstore-d87e28b40eb8e646.d: examples/replicated_kvstore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplicated_kvstore-d87e28b40eb8e646.rmeta: examples/replicated_kvstore.rs Cargo.toml
+
+examples/replicated_kvstore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replicated_kvstore-fed7f01fce4471a5.d: examples/replicated_kvstore.rs
+
+/root/repo/target/debug/examples/replicated_kvstore-fed7f01fce4471a5: examples/replicated_kvstore.rs
+
+examples/replicated_kvstore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_op-456e04e7d3448f07.d: examples/trace_op.rs
+
+/root/repo/target/debug/examples/trace_op-456e04e7d3448f07: examples/trace_op.rs
+
+examples/trace_op.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_op-77b931883e15d120.d: examples/trace_op.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_op-77b931883e15d120.rmeta: examples/trace_op.rs Cargo.toml
+
+examples/trace_op.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/baseline-2dc61ff8302f56c1.d: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/release/deps/libbaseline-2dc61ff8302f56c1.rlib: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/release/deps/libbaseline-2dc61ff8302f56c1.rmeta: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/client.rs:
+crates/baseline/src/cmd.rs:
+crates/baseline/src/replica.rs:

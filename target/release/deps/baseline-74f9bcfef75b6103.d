@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/baseline-74f9bcfef75b6103.d: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/release/deps/libbaseline-74f9bcfef75b6103.rlib: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+/root/repo/target/release/deps/libbaseline-74f9bcfef75b6103.rmeta: crates/baseline/src/lib.rs crates/baseline/src/client.rs crates/baseline/src/cmd.rs crates/baseline/src/replica.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/client.rs:
+crates/baseline/src/cmd.rs:
+crates/baseline/src/replica.rs:

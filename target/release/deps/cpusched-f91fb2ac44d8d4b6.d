@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cpusched-f91fb2ac44d8d4b6.d: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+/root/repo/target/release/deps/libcpusched-f91fb2ac44d8d4b6.rlib: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+/root/repo/target/release/deps/libcpusched-f91fb2ac44d8d4b6.rmeta: crates/cpusched/src/lib.rs crates/cpusched/src/scheduler.rs crates/cpusched/src/types.rs
+
+crates/cpusched/src/lib.rs:
+crates/cpusched/src/scheduler.rs:
+crates/cpusched/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/docstore-4921b96f2a26f1e1.d: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/release/deps/libdocstore-4921b96f2a26f1e1.rlib: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/release/deps/libdocstore-4921b96f2a26f1e1.rmeta: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+crates/docstore/src/lib.rs:
+crates/docstore/src/doc.rs:
+crates/docstore/src/store.rs:

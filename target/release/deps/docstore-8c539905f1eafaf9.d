@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/docstore-8c539905f1eafaf9.d: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/release/deps/libdocstore-8c539905f1eafaf9.rlib: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+/root/repo/target/release/deps/libdocstore-8c539905f1eafaf9.rmeta: crates/docstore/src/lib.rs crates/docstore/src/doc.rs crates/docstore/src/store.rs
+
+crates/docstore/src/lib.rs:
+crates/docstore/src/doc.rs:
+crates/docstore/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-7cb2ed343bc04b8e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-7cb2ed343bc04b8e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hyperloop-46845b60ad2328f0.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+/root/repo/target/release/deps/libhyperloop-46845b60ad2328f0.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+/root/repo/target/release/deps/libhyperloop-46845b60ad2328f0.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/apps.rs:
+crates/core/src/config.rs:
+crates/core/src/fanout.rs:
+crates/core/src/group.rs:
+crates/core/src/harness.rs:
+crates/core/src/lock.rs:
+crates/core/src/membership.rs:
+crates/core/src/meta.rs:
+crates/core/src/ops.rs:
+crates/core/src/reads.rs:
+crates/core/src/transport.rs:
+crates/core/src/wal.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hyperloop-c05a97f10b2072f8.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+/root/repo/target/release/deps/libhyperloop-c05a97f10b2072f8.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+/root/repo/target/release/deps/libhyperloop-c05a97f10b2072f8.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/config.rs crates/core/src/fanout.rs crates/core/src/group.rs crates/core/src/harness.rs crates/core/src/lock.rs crates/core/src/membership.rs crates/core/src/meta.rs crates/core/src/ops.rs crates/core/src/reads.rs crates/core/src/transport.rs crates/core/src/wal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/apps.rs:
+crates/core/src/config.rs:
+crates/core/src/fanout.rs:
+crates/core/src/group.rs:
+crates/core/src/harness.rs:
+crates/core/src/lock.rs:
+crates/core/src/membership.rs:
+crates/core/src/meta.rs:
+crates/core/src/ops.rs:
+crates/core/src/reads.rs:
+crates/core/src/transport.rs:
+crates/core/src/wal.rs:

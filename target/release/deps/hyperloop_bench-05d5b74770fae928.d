@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hyperloop_bench-05d5b74770fae928.d: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libhyperloop_bench-05d5b74770fae928.rlib: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libhyperloop_bench-05d5b74770fae928.rmeta: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/appbench.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/fanout_ablation.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mongo2.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hyperloop_bench-87d2185be182e275.d: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libhyperloop_bench-87d2185be182e275.rlib: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libhyperloop_bench-87d2185be182e275.rmeta: crates/bench/src/lib.rs crates/bench/src/appbench.rs crates/bench/src/driver.rs crates/bench/src/fanout_ablation.rs crates/bench/src/figures.rs crates/bench/src/micro.rs crates/bench/src/mongo2.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/appbench.rs:
+crates/bench/src/driver.rs:
+crates/bench/src/fanout_ablation.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/mongo2.rs:
+crates/bench/src/report.rs:

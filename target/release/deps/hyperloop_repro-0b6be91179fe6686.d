@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hyperloop_repro-0b6be91179fe6686.d: src/lib.rs
+
+/root/repo/target/release/deps/libhyperloop_repro-0b6be91179fe6686.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhyperloop_repro-0b6be91179fe6686.rmeta: src/lib.rs
+
+src/lib.rs:

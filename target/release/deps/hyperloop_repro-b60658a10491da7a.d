@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hyperloop_repro-b60658a10491da7a.d: src/lib.rs
+
+/root/repo/target/release/deps/libhyperloop_repro-b60658a10491da7a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhyperloop_repro-b60658a10491da7a.rmeta: src/lib.rs
+
+src/lib.rs:

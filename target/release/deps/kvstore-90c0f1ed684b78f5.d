@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kvstore-90c0f1ed684b78f5.d: crates/kvstore/src/lib.rs
+
+/root/repo/target/release/deps/libkvstore-90c0f1ed684b78f5.rlib: crates/kvstore/src/lib.rs
+
+/root/repo/target/release/deps/libkvstore-90c0f1ed684b78f5.rmeta: crates/kvstore/src/lib.rs
+
+crates/kvstore/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kvstore-ff88c34d6c30f615.d: crates/kvstore/src/lib.rs
+
+/root/repo/target/release/deps/libkvstore-ff88c34d6c30f615.rlib: crates/kvstore/src/lib.rs
+
+/root/repo/target/release/deps/libkvstore-ff88c34d6c30f615.rmeta: crates/kvstore/src/lib.rs
+
+crates/kvstore/src/lib.rs:

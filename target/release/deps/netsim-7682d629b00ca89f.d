@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netsim-7682d629b00ca89f.d: crates/netsim/src/lib.rs
+
+/root/repo/target/release/deps/libnetsim-7682d629b00ca89f.rlib: crates/netsim/src/lib.rs
+
+/root/repo/target/release/deps/libnetsim-7682d629b00ca89f.rmeta: crates/netsim/src/lib.rs
+
+crates/netsim/src/lib.rs:

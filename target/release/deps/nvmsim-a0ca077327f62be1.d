@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nvmsim-a0ca077327f62be1.d: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/release/deps/libnvmsim-a0ca077327f62be1.rlib: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/release/deps/libnvmsim-a0ca077327f62be1.rmeta: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+crates/nvmsim/src/lib.rs:
+crates/nvmsim/src/device.rs:
+crates/nvmsim/src/overlay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nvmsim-b719009531b1b596.d: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/release/deps/libnvmsim-b719009531b1b596.rlib: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+/root/repo/target/release/deps/libnvmsim-b719009531b1b596.rmeta: crates/nvmsim/src/lib.rs crates/nvmsim/src/device.rs crates/nvmsim/src/overlay.rs
+
+crates/nvmsim/src/lib.rs:
+crates/nvmsim/src/device.rs:
+crates/nvmsim/src/overlay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rnicsim-3f71d9e2d820d114.d: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/release/deps/librnicsim-3f71d9e2d820d114.rlib: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/release/deps/librnicsim-3f71d9e2d820d114.rmeta: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+crates/rnicsim/src/lib.rs:
+crates/rnicsim/src/fabric.rs:
+crates/rnicsim/src/types.rs:

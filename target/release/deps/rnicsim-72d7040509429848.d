@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rnicsim-72d7040509429848.d: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/release/deps/librnicsim-72d7040509429848.rlib: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+/root/repo/target/release/deps/librnicsim-72d7040509429848.rmeta: crates/rnicsim/src/lib.rs crates/rnicsim/src/fabric.rs crates/rnicsim/src/types.rs
+
+crates/rnicsim/src/lib.rs:
+crates/rnicsim/src/fabric.rs:
+crates/rnicsim/src/types.rs:

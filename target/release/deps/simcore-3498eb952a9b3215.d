@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/simcore-3498eb952a9b3215.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-3498eb952a9b3215.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libsimcore-3498eb952a9b3215.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/jsonw.rs crates/simcore/src/model.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/simtrace.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/jsonw.rs:
+crates/simcore/src/model.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/simtrace.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

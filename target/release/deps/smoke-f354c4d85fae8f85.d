@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-f354c4d85fae8f85.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/release/deps/smoke-f354c4d85fae8f85: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

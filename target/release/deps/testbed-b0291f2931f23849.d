@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/testbed-b0291f2931f23849.d: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/release/deps/libtestbed-b0291f2931f23849.rlib: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+/root/repo/target/release/deps/libtestbed-b0291f2931f23849.rmeta: crates/testbed/src/lib.rs crates/testbed/src/cluster.rs crates/testbed/src/env.rs crates/testbed/src/types.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/cluster.rs:
+crates/testbed/src/env.rs:
+crates/testbed/src/types.rs:

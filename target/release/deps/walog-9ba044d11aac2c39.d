@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/walog-9ba044d11aac2c39.d: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+/root/repo/target/release/deps/libwalog-9ba044d11aac2c39.rlib: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+/root/repo/target/release/deps/libwalog-9ba044d11aac2c39.rmeta: crates/walog/src/lib.rs crates/walog/src/record.rs crates/walog/src/ring.rs
+
+crates/walog/src/lib.rs:
+crates/walog/src/record.rs:
+crates/walog/src/ring.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ycsb-36f72312bf098492.d: crates/ycsb/src/lib.rs
+
+/root/repo/target/release/deps/libycsb-36f72312bf098492.rlib: crates/ycsb/src/lib.rs
+
+/root/repo/target/release/deps/libycsb-36f72312bf098492.rmeta: crates/ycsb/src/lib.rs
+
+crates/ycsb/src/lib.rs:

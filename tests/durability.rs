@@ -87,22 +87,22 @@ fn kvstore_recovery_is_exactly_the_acked_prefix() {
     // Ack 20 writes; then issue 3 more and crash BEFORE their acks return.
     for i in 0..20u64 {
         drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, i % 8, vec![i as u8 + 1; 100]).unwrap()
+            kv.put(fab, now, out, i % 8, vec![i as u8 + 1; 100])
+                .unwrap()
         });
         sim.run();
         drive(&mut sim, |fab, now, out| kv.poll(fab, now, out));
     }
     drive(&mut sim, |fab, now, out| {
         for i in 20..23u64 {
-            kv.put(fab, now, out, i % 8, vec![i as u8 + 1; 100]).unwrap();
+            kv.put(fab, now, out, i % 8, vec![i as u8 + 1; 100])
+                .unwrap();
         }
     });
     // Crash now, mid-flight (no sim.run: nothing has propagated yet).
     sim.model.fab.mem(NodeId(2)).power_failure();
 
-    let state = drive(&mut sim, |fab, _, _| {
-        kv.recover_state(fab, NodeId(2), base)
-    });
+    let state = drive(&mut sim, |fab, _, _| kv.recover_state(fab, NodeId(2), base));
     // All acked writes present; in-flight ones may be absent but nothing
     // else may appear.
     for i in 0..20u64 {

@@ -31,10 +31,14 @@ fn chain_repairs_and_state_survives() {
 
     for i in 0..30u64 {
         drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, i % 10, vec![i as u8 + 1; 64]).unwrap()
+            kv.put(fab, now, out, i % 10, vec![i as u8 + 1; 64])
+                .unwrap()
         });
         sim.run();
-        assert_eq!(drive(&mut sim, |fab, now, out| kv.poll(fab, now, out)).len(), 1);
+        assert_eq!(
+            drive(&mut sim, |fab, now, out| kv.poll(fab, now, out)).len(),
+            1
+        );
     }
 
     // Node 3 (chain position 2) goes dark; the detector notices.
@@ -52,7 +56,14 @@ fn chain_repairs_and_state_survives() {
     sim.model.fab.align_allocator(NodeId(4), cursor);
     view.add_tail(NodeId(4));
     let group2 = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), view.members(), GroupConfig::default(), now, out)
+        HyperLoopGroup::setup(
+            fab,
+            NodeId(0),
+            view.members(),
+            GroupConfig::default(),
+            now,
+            out,
+        )
     });
     sim.run();
     let base2 = group2.client.layout().shared_base;
@@ -63,7 +74,11 @@ fn chain_repairs_and_state_survives() {
         .read_vec(base1, 4 << 20)
         .unwrap();
     for &n in view.members() {
-        sim.model.fab.mem(n).write_durable(base2, &snapshot).unwrap();
+        sim.model
+            .fab
+            .mem(n)
+            .write_durable(base2, &snapshot)
+            .unwrap();
     }
     // Resume the store over the new group: its logical state (memtable +
     // ring cursors) carries over; only the transport is replaced.
@@ -72,7 +87,8 @@ fn chain_repairs_and_state_survives() {
 
     for i in 30..45u64 {
         drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, i % 10, vec![i as u8 + 1; 64]).unwrap()
+            kv.put(fab, now, out, i % 10, vec![i as u8 + 1; 64])
+                .unwrap()
         });
         sim.run();
         assert_eq!(
@@ -83,10 +99,16 @@ fn chain_repairs_and_state_survives() {
     }
 
     // The standby's recovered state matches the primary view for every key.
-    let state = drive(&mut sim, |fab, _, _| kv.recover_state(fab, NodeId(4), base2));
+    let state = drive(&mut sim, |fab, _, _| {
+        kv.recover_state(fab, NodeId(4), base2)
+    });
     assert_eq!(state.len(), 10);
     for (k, v) in state {
-        assert_eq!(kv.get(k), Some(v.as_slice()), "key {k} diverged after repair");
+        assert_eq!(
+            kv.get(k),
+            Some(v.as_slice()),
+            "key {k} diverged after repair"
+        );
     }
     assert_eq!(sim.model.fab.stats().errors, 0);
     assert!(sim.queue.now().since(SimTime::ZERO) > SimDuration::ZERO);

@@ -3,7 +3,9 @@
 //! baseline — only the latency differs.
 
 use hyperloop_repro::baseline::{NaiveChain, NaiveConfig};
-use hyperloop_repro::hyperloop::{ExecuteMap, GroupConfig, GroupOp, GroupTransport, HyperLoopGroup};
+use hyperloop_repro::hyperloop::{
+    ExecuteMap, GroupConfig, GroupOp, GroupTransport, HyperLoopGroup,
+};
 use hyperloop_repro::netsim::NodeId;
 use hyperloop_repro::simcore::{SimDuration, SimRng, SimTime};
 use hyperloop_repro::testbed::{drive, Cluster};
@@ -92,7 +94,14 @@ fn same_ops_same_state_on_both_transports() {
         let mut cluster = Cluster::with_defaults(4, 8);
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
         let group = cluster.setup_fabric(|fab, out| {
-            HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), SimTime::ZERO, out)
+            HyperLoopGroup::setup(
+                fab,
+                NodeId(0),
+                &nodes,
+                GroupConfig::default(),
+                SimTime::ZERO,
+                out,
+            )
         });
         let shared = group.client.layout().shared_base;
         let replicas = std::cell::RefCell::new(group.replicas);
