@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/durability-92335392d743abe3.d: tests/durability.rs
+
+/root/repo/target/release/deps/durability-92335392d743abe3: tests/durability.rs
+
+tests/durability.rs:

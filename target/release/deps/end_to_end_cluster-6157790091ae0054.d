@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_cluster-6157790091ae0054.d: tests/end_to_end_cluster.rs
+
+/root/repo/target/release/deps/end_to_end_cluster-6157790091ae0054: tests/end_to_end_cluster.rs
+
+tests/end_to_end_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fanout_vs_chain-487e215dd77a75f2.d: tests/fanout_vs_chain.rs
+
+/root/repo/target/release/deps/fanout_vs_chain-487e215dd77a75f2: tests/fanout_vs_chain.rs
+
+tests/fanout_vs_chain.rs:

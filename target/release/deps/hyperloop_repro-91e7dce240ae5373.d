@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hyperloop_repro-91e7dce240ae5373.d: src/lib.rs
+
+/root/repo/target/release/deps/hyperloop_repro-91e7dce240ae5373: src/lib.rs
+
+src/lib.rs:

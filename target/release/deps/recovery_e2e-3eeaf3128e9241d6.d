@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery_e2e-3eeaf3128e9241d6.d: tests/recovery_e2e.rs
+
+/root/repo/target/release/deps/recovery_e2e-3eeaf3128e9241d6: tests/recovery_e2e.rs
+
+tests/recovery_e2e.rs:

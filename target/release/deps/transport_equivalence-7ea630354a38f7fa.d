@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_equivalence-7ea630354a38f7fa.d: tests/transport_equivalence.rs
+
+/root/repo/target/release/deps/transport_equivalence-7ea630354a38f7fa: tests/transport_equivalence.rs
+
+tests/transport_equivalence.rs:

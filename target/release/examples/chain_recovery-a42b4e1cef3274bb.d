@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chain_recovery-a42b4e1cef3274bb.d: examples/chain_recovery.rs
+
+/root/repo/target/release/examples/chain_recovery-a42b4e1cef3274bb: examples/chain_recovery.rs
+
+examples/chain_recovery.rs:

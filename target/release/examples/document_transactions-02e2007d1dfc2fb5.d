@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/document_transactions-02e2007d1dfc2fb5.d: examples/document_transactions.rs
+
+/root/repo/target/release/examples/document_transactions-02e2007d1dfc2fb5: examples/document_transactions.rs
+
+examples/document_transactions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_tenant_tail-483eb19a6550c13e.d: examples/multi_tenant_tail.rs
+
+/root/repo/target/release/examples/multi_tenant_tail-483eb19a6550c13e: examples/multi_tenant_tail.rs
+
+examples/multi_tenant_tail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ceb97b5bcfdcf8e6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ceb97b5bcfdcf8e6: examples/quickstart.rs
+
+examples/quickstart.rs:

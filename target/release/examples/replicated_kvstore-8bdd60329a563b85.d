@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/replicated_kvstore-8bdd60329a563b85.d: examples/replicated_kvstore.rs
+
+/root/repo/target/release/examples/replicated_kvstore-8bdd60329a563b85: examples/replicated_kvstore.rs
+
+examples/replicated_kvstore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_op-757b9d215edc147f.d: examples/trace_op.rs
+
+/root/repo/target/release/examples/trace_op-757b9d215edc147f: examples/trace_op.rs
+
+examples/trace_op.rs:
