@@ -5,7 +5,7 @@ use crate::replica::{NaiveCosts, NaiveReplica};
 use cpusched::ProcKind;
 use hyperloop::{GroupAck, GroupError, GroupOp};
 use netsim::NodeId;
-use rnicsim::{wqe_flags, CqId, NicEffect, Opcode, QpId, RdmaFabric, RecvWqe, Wqe};
+use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, RecvWqe, Wqe};
 use simcore::{Outbox, SimDuration, SimTime};
 use std::collections::VecDeque;
 use testbed::{Cluster, ProcRef};
@@ -275,13 +275,7 @@ impl NaiveClient {
     /// # Errors
     ///
     /// [`GroupError::WindowFull`] / [`GroupError::OutOfRange`].
-    pub fn issue(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        op: GroupOp,
-    ) -> Result<u64, GroupError> {
+    pub fn issue(&mut self, ctx: &mut NicCtx<'_>, op: GroupOp) -> Result<u64, GroupError> {
         if !self.can_issue() {
             return Err(GroupError::WindowFull);
         }
@@ -303,17 +297,16 @@ impl NaiveClient {
         let mut buf = cmd::encode(gen, &op).to_vec();
         buf.resize((CMD_SIZE + self.group_size as u64 * 8) as usize, 0);
         let staging = self.staging_base + slot * self.cmd_slot_size;
-        fab.mem(self.node)
+        ctx.mem(self.node)
             .write_durable(staging, &buf)
             .expect("staging in bounds");
 
         match &op {
             GroupOp::Write { offset, data, .. } => {
-                fab.mem(self.node)
+                ctx.mem(self.node)
                     .write_durable(self.mirror_base + offset, data)
                     .expect("mirror in bounds");
-                fab.post_send(
-                    now,
+                ctx.post_send(
                     self.node,
                     self.qp_down,
                     Wqe {
@@ -325,23 +318,21 @@ impl NaiveClient {
                         wr_id: gen,
                         ..Wqe::default()
                     },
-                    out,
                 );
             }
             GroupOp::Memcpy { src, dst, len, .. } => {
-                let bytes = fab
+                let bytes = ctx
                     .mem(self.node)
                     .read_vec(self.mirror_base + src, *len)
                     .expect("mirror in bounds");
-                fab.mem(self.node)
+                ctx.mem(self.node)
                     .write_durable(self.mirror_base + dst, &bytes)
                     .expect("mirror in bounds");
             }
             _ => {}
         }
 
-        fab.post_send(
-            now,
+        ctx.post_send(
             self.node,
             self.qp_down,
             Wqe {
@@ -352,27 +343,21 @@ impl NaiveClient {
                 wr_id: gen,
                 ..Wqe::default()
             },
-            out,
         );
         self.pending.push_back(gen);
         Ok(gen)
     }
 
     /// Collects completed operations.
-    pub fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<GroupAck> {
-        let cqes = fab.poll_cq(self.node, self.cq_ack, 64);
+    pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
+        let cqes = ctx.poll_cq(self.node, self.cq_ack, 64);
         let mut acks = Vec::with_capacity(cqes.len());
         for cqe in cqes {
             assert_eq!(cqe.status, rnicsim::CqeStatus::Success, "{cqe:?}");
             let gen = cqe.imm.expect("ack imm");
             debug_assert_eq!(self.pending.pop_front(), Some(gen));
             let slot = self.ack_base + (gen % self.cmd_slots as u64) * self.ack_slot_size;
-            let raw = fab
+            let raw = ctx
                 .mem(self.node)
                 .read_vec(slot, self.group_size as u64 * 8)
                 .expect("ack slot in bounds");
@@ -381,15 +366,13 @@ impl NaiveClient {
                 .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
                 .collect();
             self.completed += 1;
-            fab.post_recv(
-                now,
+            ctx.post_recv(
                 self.node,
                 self.qp_ack,
                 RecvWqe {
                     wr_id: 0,
                     sges: vec![],
                 },
-                out,
             );
             acks.push(GroupAck { gen, result_map });
         }
@@ -429,22 +412,11 @@ impl hyperloop::GroupTransport for NaiveClient {
         NaiveClient::window(self)
     }
 
-    fn issue(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        op: GroupOp,
-    ) -> Result<u64, GroupError> {
-        NaiveClient::issue(self, fab, now, out, op)
+    fn issue(&mut self, ctx: &mut NicCtx<'_>, op: GroupOp) -> Result<u64, GroupError> {
+        NaiveClient::issue(self, ctx, op)
     }
 
-    fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<GroupAck> {
-        NaiveClient::poll(self, fab, now, out)
+    fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
+        NaiveClient::poll(self, ctx)
     }
 }

@@ -53,12 +53,10 @@ mod tests {
         chain: &mut NaiveChain,
         op: GroupOp,
     ) -> hyperloop::GroupAck {
-        let gen = drive(sim, |fab, now, out| {
-            chain.client.issue(fab, now, out, op).expect("issue")
-        });
+        let gen = drive(sim, |ctx| chain.client.issue(ctx, op).expect("issue"));
         let deadline = sim.now() + SimDuration::from_secs(2);
         sim.run_until(deadline);
-        let acks = drive(sim, |fab, now, out| chain.client.poll(fab, now, out));
+        let acks = drive(sim, |ctx| chain.client.poll(ctx));
         assert_eq!(acks.len(), 1, "expected one ack");
         assert_eq!(acks[0].gen, gen);
         assert_eq!(sim.model.fab.stats().errors, 0);
@@ -179,14 +177,12 @@ mod tests {
         let (mut sim, mut chain) = setup(2, ProcKind::EventDriven);
         let mut done = 0;
         for _ in 0..40 {
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 while chain.client.can_issue() {
                     chain
                         .client
                         .issue(
-                            fab,
-                            now,
-                            out,
+                            ctx,
                             GroupOp::Write {
                                 offset: 0,
                                 data: vec![7; 256],
@@ -198,7 +194,7 @@ mod tests {
             });
             let deadline = sim.now() + SimDuration::from_millis(50);
             sim.run_until(deadline);
-            done += drive(&mut sim, |fab, now, out| chain.client.poll(fab, now, out)).len();
+            done += drive(&mut sim, |ctx| chain.client.poll(ctx)).len();
             if done >= 200 {
                 break;
             }

@@ -13,7 +13,7 @@ use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, HyperLoopGroup};
 use kvstore::{KvConfig, ReplicatedKv};
 use netsim::NodeId;
-use simcore::{Histogram, LatencySummary, SimDuration, SimTime};
+use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimTime};
 use testbed::{Cluster, ClusterConfig, ProcRef};
 use ycsb::{Generator, Workload};
 
@@ -112,26 +112,39 @@ fn kv_config() -> KvConfig {
     }
 }
 
+/// Builds the cluster-wide metrics snapshot of a finished application run:
+/// every fabric/NVM/scheduler counter under `cluster.*` plus the op-latency
+/// histogram under `bench.op_latency`.
+fn cluster_snapshot(sim: &simcore::Simulation<Cluster>, hist: &Histogram) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    sim.model.export_into(&mut reg, "cluster");
+    reg.merge_histogram("bench.op_latency", hist);
+    reg
+}
+
 /// One Fig. 11 arm: replicated RocksDB (kvstore) update latency under
-/// YCSB-A with co-located tenants.
-pub fn run_fig11_arm(kind: SystemKind, writes: u64, seed: u64) -> LatencySummary {
+/// YCSB-A with co-located tenants. Returns the latency summary and a full
+/// cluster metrics snapshot.
+pub fn run_fig11_arm(
+    kind: SystemKind,
+    writes: u64,
+    seed: u64,
+) -> (LatencySummary, MetricsRegistry) {
     let mut cluster = app_cluster(seed, 96);
     let client_node = NodeId(0);
     let pace = SimDuration::from_micros(300);
     let gen = Generator::with_value_len(Workload::A, 4096, seed ^ 0xA5, 1024);
     let (driver, is_hl) = match kind {
         SystemKind::HyperLoop => {
-            let group = cluster.setup_fabric(|fab, out| {
+            let group = cluster.setup_fabric(|ctx| {
                 HyperLoopGroup::setup(
-                    fab,
+                    ctx,
                     client_node,
                     &replica_nodes(),
                     hyperloop::GroupConfig {
                         shared_size: 16 << 20,
                         ..bench_group_config(16)
                     },
-                    SimTime::ZERO,
-                    out,
                 )
             });
             install_group_maintenance(&mut cluster, group.replicas, SimDuration::from_nanos(400));
@@ -168,7 +181,9 @@ pub fn run_fig11_arm(kind: SystemKind, writes: u64, seed: u64) -> LatencySummary
         }
     };
     let mut sim = cluster.into_sim();
-    run_cluster_until_done(&mut sim, driver, is_hl, true).summary()
+    let hist = run_cluster_until_done(&mut sim, driver, is_hl, true);
+    let registry = cluster_snapshot(&sim, &hist);
+    (hist.summary(), registry)
 }
 
 /// Figure 11: replicated RocksDB update latency, three systems.
@@ -182,7 +197,7 @@ pub fn fig11(rep: &mut Report, quick: bool) {
         SystemKind::NaivePolling,
         SystemKind::HyperLoop,
     ] {
-        let s = run_fig11_arm(kind, writes, 0xF11);
+        let (s, reg) = run_fig11_arm(kind, writes, 0xF11);
         rep.line(latency_row(kind.label(), &s));
         rep.scenario(
             Scenario::new(format!("fig11/ycsb-a/{}", kind.label()))
@@ -191,7 +206,8 @@ pub fn fig11(rep: &mut Report, quick: bool) {
                 .config("store", "kvstore")
                 .config("workload", "YCSB-A")
                 .config("writes", writes)
-                .latency(&s),
+                .latency(&s)
+                .metrics(reg),
         );
         p99s.push((kind, s.p99));
     }
@@ -213,25 +229,29 @@ fn doc_config() -> DocConfig {
 }
 
 /// One Fig. 12 arm: replicated MongoDB (docstore) latency for a YCSB
-/// workload, native (polling CPU replication) vs HyperLoop.
-pub fn run_fig12_arm(hl: bool, workload: Workload, ops: u64, seed: u64) -> LatencySummary {
+/// workload, native (polling CPU replication) vs HyperLoop. Returns the
+/// latency summary and a full cluster metrics snapshot.
+pub fn run_fig12_arm(
+    hl: bool,
+    workload: Workload,
+    ops: u64,
+    seed: u64,
+) -> (LatencySummary, MetricsRegistry) {
     let mut cluster = app_cluster(seed, 96);
     let client_node = NodeId(0);
     let stack = SimDuration::from_micros(150);
     let pace = SimDuration::from_micros(200);
     let gen = Generator::with_value_len(workload, 4096, seed ^ 0x12, 1024);
     let (driver, is_hl) = if hl {
-        let group = cluster.setup_fabric(|fab, out| {
+        let group = cluster.setup_fabric(|ctx| {
             HyperLoopGroup::setup(
-                fab,
+                ctx,
                 client_node,
                 &replica_nodes(),
                 hyperloop::GroupConfig {
                     shared_size: 16 << 20,
                     ..bench_group_config(16)
                 },
-                SimTime::ZERO,
-                out,
             )
         });
         install_group_maintenance(&mut cluster, group.replicas, SimDuration::from_nanos(400));
@@ -266,7 +286,9 @@ pub fn run_fig12_arm(hl: bool, workload: Workload, ops: u64, seed: u64) -> Laten
         (p, false)
     };
     let mut sim = cluster.into_sim();
-    run_cluster_until_done(&mut sim, driver, is_hl, false).summary()
+    let hist = run_cluster_until_done(&mut sim, driver, is_hl, false);
+    let registry = cluster_snapshot(&sim, &hist);
+    (hist.summary(), registry)
 }
 
 /// Figure 12: replicated MongoDB latency across YCSB workloads.
@@ -287,8 +309,8 @@ pub fn fig12(rep: &mut Report, quick: bool) {
     ));
     for (wi, w) in Workload::PAPER_SET.into_iter().enumerate() {
         let seed = 0xF12 + 101 * wi as u64;
-        let nat = run_fig12_arm(false, w, ops, seed);
-        let hl = run_fig12_arm(true, w, ops, seed);
+        let (nat, nat_reg) = run_fig12_arm(false, w, ops, seed);
+        let (hl, hl_reg) = run_fig12_arm(true, w, ops, seed);
         let mean_cut = 100.0 * (1.0 - hl.mean.as_micros_f64() / nat.mean.as_micros_f64().max(1e-9));
         let gap_nat = nat.p99.as_micros_f64() - nat.mean.as_micros_f64();
         let gap_hl = hl.p99.as_micros_f64() - hl.mean.as_micros_f64();
@@ -305,7 +327,7 @@ pub fn fig12(rep: &mut Report, quick: bool) {
             mean_cut,
             gap_cut,
         ));
-        for (label, s) in [("native", &nat), ("HyperLoop", &hl)] {
+        for (label, s, reg) in [("native", &nat, nat_reg), ("HyperLoop", &hl, hl_reg)] {
             rep.scenario(
                 Scenario::new(format!("fig12/{w}/{label}"))
                     .system(label)
@@ -313,7 +335,8 @@ pub fn fig12(rep: &mut Report, quick: bool) {
                     .config("store", "docstore")
                     .config("workload", w.to_string())
                     .config("ops", ops)
-                    .latency(s),
+                    .latency(s)
+                    .metrics(reg),
             );
         }
     }

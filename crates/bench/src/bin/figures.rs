@@ -78,6 +78,9 @@ fn main() {
     if has("fig12") {
         hyperloop_bench::appbench::fig12(&mut rep, quick);
     }
+    if has("shardscale") {
+        hyperloop_bench::shardscale::shardscale(&mut rep, quick);
+    }
     if has("ablations") || wanted.contains(&"ablations") {
         hyperloop_bench::appbench::ablations(&mut rep, quick);
     }

@@ -98,8 +98,7 @@ impl<T: GroupTransport + 'static> PrimitiveDriver<T> {
         {
             let op = (self.plan)(self.issued);
             let now = env.now();
-            let gen = match env.with_fabric(|fab, now, out| self.transport.issue(fab, now, out, op))
-            {
+            let gen = match env.with_fabric(|ctx| self.transport.issue(ctx, op)) {
                 Ok(g) => g,
                 Err(_) => break,
             };
@@ -125,7 +124,7 @@ impl<T: GroupTransport + 'static> HostApp for PrimitiveDriver<T> {
             HostEvent::Timer(_) => self.fill_now(env),
             HostEvent::CqReady(cq) => {
                 debug_assert_eq!(cq, self.transport.ack_cq());
-                let acks = env.with_fabric(|fab, now, out| self.transport.poll(fab, now, out));
+                let acks = env.with_fabric(|ctx| self.transport.poll(ctx));
                 let now = env.now();
                 for ack in acks {
                     if let Some(sent) = self.sent_at.remove(&ack.gen) {
@@ -210,7 +209,7 @@ impl<T: GroupTransport + 'static> KvDriver<T> {
     /// retry. Returns true if the put was issued.
     fn try_put(&mut self, env: &mut Env<'_>, key: u64, value: Vec<u8>) -> bool {
         let now = env.now();
-        let r = env.with_fabric(|fab, now, out| self.store.put(fab, now, out, key, value.clone()));
+        let r = env.with_fabric(|ctx| self.store.put(ctx, key, value.clone()));
         match r {
             Ok(_gen) => {
                 self.sent_order.push_back(now);
@@ -219,8 +218,8 @@ impl<T: GroupTransport + 'static> KvDriver<T> {
             }
             Err(kvstore::KvError::Busy) => {
                 // Reclaim log space off the critical path and retry later.
-                env.with_fabric(|fab, now, out| {
-                    self.store.checkpoint(fab, now, out, 64);
+                env.with_fabric(|ctx| {
+                    self.store.checkpoint(ctx, 64);
                 });
                 self.retry = Some((key, value));
                 false
@@ -264,7 +263,7 @@ impl<T: GroupTransport + 'static> HostApp for KvDriver<T> {
         match event {
             HostEvent::Start | HostEvent::Timer(_) => self.issue_one(env),
             HostEvent::CqReady(_) => {
-                let done = env.with_fabric(|fab, now, out| self.store.poll(fab, now, out));
+                let done = env.with_fabric(|ctx| self.store.poll(ctx));
                 let now = env.now();
                 let finished = done.len();
                 // Puts complete in issue (chain FIFO) order.
@@ -279,8 +278,8 @@ impl<T: GroupTransport + 'static> HostApp for KvDriver<T> {
                     }
                 }
                 if finished > 0 && self.completed.is_multiple_of(self.checkpoint_every) {
-                    env.with_fabric(|fab, now, out| {
-                        self.store.checkpoint(fab, now, out, 64);
+                    env.with_fabric(|ctx| {
+                        self.store.checkpoint(ctx, 64);
                     });
                 }
                 if !self.is_done() && self.sent_order.is_empty() {
@@ -384,7 +383,7 @@ impl<T: GroupTransport + 'static> DocDriver<T> {
     }
 
     fn issue_write(&mut self, env: &mut Env<'_>, doc: docstore::Document) -> bool {
-        let r = env.with_fabric(|fab, now, out| self.store.write(fab, now, out, doc.clone()));
+        let r = env.with_fabric(|ctx| self.store.write(ctx, doc.clone()));
         match r {
             Ok(_) => {
                 self.writes_in_flight += 1;
@@ -451,7 +450,7 @@ impl<T: GroupTransport + 'static> HostApp for DocDriver<T> {
         match event {
             HostEvent::Start | HostEvent::Timer(_) => self.step(env),
             HostEvent::CqReady(_) => {
-                let done = env.with_fabric(|fab, now, out| self.store.poll(fab, now, out));
+                let done = env.with_fabric(|ctx| self.store.poll(ctx));
                 let completions = done.len();
                 for tx in done {
                     self.writes_in_flight = self.writes_in_flight.saturating_sub(1);
@@ -469,8 +468,8 @@ impl<T: GroupTransport + 'static> HostApp for DocDriver<T> {
                 } else if completions > 0 {
                     // Native mode: apply the journal backlog off the
                     // critical path (no-op for the full pipeline).
-                    env.with_fabric(|fab, now, out| {
-                        self.store.apply_backlog(fab, now, out, 16);
+                    env.with_fabric(|ctx| {
+                        self.store.apply_backlog(ctx, 16);
                     });
                     // Re-arm only on real completions; intermediate phase
                     // acks must not accelerate the op stream.

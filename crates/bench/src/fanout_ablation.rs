@@ -18,30 +18,26 @@ pub fn chain_write_latency(gs: u32, ops: u64) -> SimDuration {
         41,
     );
     let nodes: Vec<NodeId> = (1..=gs).map(NodeId).collect();
-    let mut group = drive(&mut sim, |fab, now, out| {
+    let mut group = drive(&mut sim, |ctx| {
         HyperLoopGroup::setup(
-            fab,
+            ctx,
             NodeId(0),
             &nodes,
             GroupConfig {
                 prepost_depth: 1024,
                 ..GroupConfig::default()
             },
-            now,
-            out,
         )
     });
     sim.run();
     let mut hist = simcore::Histogram::new();
     for i in 0..ops {
         let t0 = sim.now();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             group
                 .client
                 .issue(
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     GroupOp::Write {
                         offset: (i % 16) * 4096,
                         data: vec![1; 1024],
@@ -51,7 +47,7 @@ pub fn chain_write_latency(gs: u32, ops: u64) -> SimDuration {
                 .unwrap()
         });
         sim.run();
-        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        drive(&mut sim, |ctx| group.client.poll(ctx));
         hist.record(sim.now().since(t0));
     }
     hist.p50()
@@ -68,9 +64,9 @@ pub fn fanout_write_latency(gs: u32, ops: u64) -> SimDuration {
         FabricConfig::default(),
         43,
     );
-    let mut group = drive(&mut sim, |fab, now, out| {
+    let mut group = drive(&mut sim, |ctx| {
         FanoutGroup::setup(
-            fab,
+            ctx,
             NodeId(0),
             NodeId(1),
             &backups,
@@ -78,25 +74,21 @@ pub fn fanout_write_latency(gs: u32, ops: u64) -> SimDuration {
                 prepost_depth: 256,
                 ..GroupConfig::default()
             },
-            now,
-            out,
         )
     });
     sim.run();
     let mut hist = simcore::Histogram::new();
     for i in 0..ops {
         let t0 = sim.now();
-        drive(&mut sim, |fab, now, out| {
-            group
-                .client
-                .write(fab, now, out, (i % 16) * 4096, &[1; 1024], true)
+        drive(&mut sim, |ctx| {
+            group.client.write(ctx, (i % 16) * 4096, &[1; 1024], true)
         });
         sim.run();
-        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        drive(&mut sim, |ctx| group.client.poll(ctx));
         hist.record(sim.now().since(t0));
         if i % 128 == 0 {
-            drive(&mut sim, |fab, now, out| {
-                group.primary.replenish(fab, 128, now, out);
+            drive(&mut sim, |ctx| {
+                group.primary.replenish(ctx, 128);
             });
         }
     }
@@ -155,12 +147,11 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> f64 {
     let mut next = 0u64;
     let mut outstanding = [0u64; 3];
     while done < total_reads {
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for (c, slots) in outstanding.iter_mut().enumerate() {
                 while *slots < 16 && next < total_reads {
                     let replica = (next % serving_replicas as u64) as usize;
-                    fab.post_send(
-                        now,
+                    ctx.post_send(
                         readers[c],
                         qps[c][replica],
                         Wqe {
@@ -172,7 +163,6 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> f64 {
                             wr_id: next,
                             ..Wqe::default()
                         },
-                        out,
                     );
                     next += 1;
                     *slots += 1;
@@ -181,7 +171,7 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> f64 {
         });
         sim.run();
         for (c, &cn) in readers.iter().enumerate() {
-            let got = drive(&mut sim, |fab, _, _| fab.poll_cq(cn, cqs[c], 1024)).len() as u64;
+            let got = drive(&mut sim, |ctx| ctx.poll_cq(cn, cqs[c], 1024)).len() as u64;
             outstanding[c] -= got;
             done += got;
         }

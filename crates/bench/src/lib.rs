@@ -18,7 +18,9 @@
 //! | fig12 | replicated MongoDB (docstore) under YCSB A/B/D/E/F | [`appbench`] |
 //!
 //! Plus ablations (`ablation_*`): polling crossover, flush cost, fan-out vs
-//! chain.
+//! chain — and `shardscale` ([`shardscale`]), the beyond-the-paper sweep of
+//! aggregate throughput vs shard count over the [`hyperloop::ShardSet`]
+//! layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod figures;
 pub mod micro;
 pub mod mongo2;
 pub mod report;
+pub mod shardscale;
 
 pub use driver::{OpPlan, PrimitiveDriver};
 pub use micro::{MicroOpts, MicroResult, SystemKind};

@@ -156,15 +156,8 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
     let total = opts.ops + opts.warmup;
     let (driver_proc, data_procs, is_hl): (ProcRef, Vec<ProcRef>, bool) = match kind {
         SystemKind::HyperLoop => {
-            let group = cluster.setup_fabric(|fab, out| {
-                HyperLoopGroup::setup(
-                    fab,
-                    client_node,
-                    &replicas,
-                    bench_group_config(opts.window),
-                    SimTime::ZERO,
-                    out,
-                )
+            let group = cluster.setup_fabric(|ctx| {
+                HyperLoopGroup::setup(ctx, client_node, &replicas, bench_group_config(opts.window))
             });
             let maint = install_group_maintenance(
                 &mut cluster,

@@ -1,0 +1,291 @@
+//! The shard-scaling benchmark: aggregate throughput vs shard count.
+//!
+//! One client machine drives 1→8 independent HyperLoop chains through a
+//! [`ShardSet`], with a fixed offered load (total operations, uniform
+//! random keys, fixed per-shard window). A single group serializes on one
+//! chain; sharding lets the chains replicate concurrently, so aggregate
+//! throughput should rise monotonically with the shard count until the
+//! client NIC saturates — the scale-out story the single-group sections of
+//! the paper leave implicit.
+//!
+//! Chains are laid out disjointly over the rack with
+//! [`ShardPlacement::RoundRobin`]; the report carries both the shard-set
+//! counters (`bench.shards.shard{i}.*`) and the per-chain NVM counters
+//! (`bench.shard{i}.nvm.node{n}.*`), so the JSON shows the traffic each
+//! chain actually carried.
+
+use crate::report::{us, Report, Scenario};
+use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup, ShardId, ShardSet};
+use netsim::NodeId;
+use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+use testbed::cluster::drive;
+use testbed::{Cluster, ClusterConfig, ShardPlacement};
+
+/// Shard-scaling benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardScaleOpts {
+    /// Replicas per shard chain.
+    pub replicas_per_shard: u32,
+    /// Total operations across all shards (the fixed offered load).
+    pub ops: u64,
+    /// Per-shard in-flight window.
+    pub window: u32,
+    /// gWRITE payload bytes.
+    pub payload: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for ShardScaleOpts {
+    fn default() -> Self {
+        ShardScaleOpts {
+            replicas_per_shard: 3,
+            ops: 4096,
+            window: 16,
+            payload: 1024,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// Result of one shard-count arm.
+#[derive(Debug, Clone)]
+pub struct ShardScaleResult {
+    /// Shard count of this arm.
+    pub shards: u32,
+    /// Per-op latency distribution (issue to chain ack).
+    pub latency: LatencySummary,
+    /// Wall time from first issue to last ack.
+    pub elapsed: SimDuration,
+    /// Operations completed (= the offered load).
+    pub ops: u64,
+    /// Per-shard completion counts, shard order.
+    pub per_shard_acked: Vec<u64>,
+    /// Cluster + shard-set metrics snapshot.
+    pub registry: MetricsRegistry,
+}
+
+impl ShardScaleResult {
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the fixed offered load through `n_shards` chains.
+///
+/// # Panics
+///
+/// Panics on data-path errors, lost operations, or a stalled run.
+pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
+    let client = NodeId(0);
+    let nodes = 1 + n_shards * opts.replicas_per_shard;
+    let cluster = Cluster::new(
+        nodes,
+        4,
+        256 << 20,
+        ClusterConfig {
+            seed: opts.seed,
+            ..ClusterConfig::default()
+        },
+    );
+    let placement = ShardPlacement::RoundRobin {
+        replicas_per_shard: opts.replicas_per_shard,
+    };
+    let chains = cluster.place_shards(&placement, n_shards, client);
+
+    // Descriptor chains cost ~7 send WQEs per generation on each replica
+    // NIC, so the pre-post depth is bounded by the NIC's send queue — keep
+    // the default depth (far deeper than the window) and top chains back up
+    // from the bench loop as acks drain them, one replenish per completed
+    // op. The data path never waits on a replenish: the window is 16 and
+    // the pre-posted runway is 128 generations.
+    let cfg = GroupConfig {
+        shared_size: 4 << 20,
+        meta_slots: 64,
+        prepost_depth: 128,
+        window: opts.window,
+    };
+    let mut cluster = cluster;
+    let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
+        chains
+            .iter()
+            .map(|chain| HyperLoopGroup::setup(ctx, client, chain, cfg))
+            .collect()
+    });
+    let (clients, mut replicas): (Vec<_>, Vec<_>) =
+        groups.into_iter().map(|g| (g.client, g.replicas)).unzip();
+    let mut set = ShardSet::with_hash_router(clients);
+
+    let mut sim = cluster.into_sim();
+    sim.run(); // drain group wiring
+
+    // The fixed offered load: `ops` uniform random keys, routed up front so
+    // every arm sees the identical per-key shard assignment the router
+    // would give it online.
+    let mut rng = SimRng::new(opts.seed ^ 0x51AB);
+    let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); n_shards as usize];
+    for _ in 0..opts.ops {
+        let key = rng.next_u64();
+        queues[set.route(key).0 as usize].push_back(key);
+    }
+
+    let mut sent: HashMap<(u32, u64), SimTime> = HashMap::new();
+    let mut hist = Histogram::new();
+    let started = sim.now();
+    let mut done = 0u64;
+    while done < opts.ops {
+        // Closed loop: refill every shard's window from its queue...
+        drive(&mut sim, |ctx| {
+            for s in 0..n_shards {
+                let sid = ShardId(s);
+                while set.can_issue_on(sid) {
+                    let Some(key) = queues[s as usize].pop_front() else {
+                        break;
+                    };
+                    let gen = set
+                        .issue_on(
+                            ctx,
+                            sid,
+                            GroupOp::Write {
+                                offset: (key % 64) * 8192,
+                                data: vec![(key & 0xFF) as u8; opts.payload as usize],
+                                flush: true,
+                            },
+                        )
+                        .expect("window checked");
+                    sent.insert((s, gen), ctx.now);
+                }
+            }
+        });
+        // ...let the chains run dry, then collect.
+        sim.run();
+        let acks = drive(&mut sim, |ctx| set.poll(ctx));
+        assert!(!acks.is_empty(), "run stalled at {done}/{} ops", opts.ops);
+        let mut drained = vec![0u32; n_shards as usize];
+        for a in acks {
+            let t0 = sent
+                .remove(&(a.shard.0, a.ack.gen))
+                .expect("ack for an op we issued");
+            hist.record(sim.now().since(t0));
+            drained[a.shard.0 as usize] += 1;
+            done += 1;
+        }
+        // Re-post one descriptor chain per completed generation so the
+        // pre-posted runway never shrinks (the replica maintenance loop in
+        // miniature, driven deterministically from the bench loop).
+        drive(&mut sim, |ctx| {
+            for (shard, &n) in drained.iter().enumerate() {
+                if n > 0 {
+                    for r in replicas[shard].iter_mut() {
+                        r.replenish(ctx, n);
+                    }
+                }
+            }
+        });
+    }
+    let elapsed = sim.now().since(started);
+    assert_eq!(sim.model.fab.stats().errors, 0, "data-path errors");
+    assert_eq!(set.completed(), opts.ops, "lost operations");
+
+    let per_shard_acked: Vec<u64> = (0..n_shards)
+        .map(|s| set.completed_on(ShardId(s)))
+        .collect();
+    let mut registry = MetricsRegistry::new();
+    sim.model.export_into(&mut registry, "cluster");
+    sim.model
+        .export_shards_into(&mut registry, &chains, "bench");
+    set.export_into(&mut registry, "bench.shards");
+    registry.merge_histogram("bench.op_latency", &hist);
+    registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
+
+    ShardScaleResult {
+        shards: n_shards,
+        latency: hist.summary(),
+        elapsed,
+        ops: opts.ops,
+        per_shard_acked,
+        registry,
+    }
+}
+
+/// The shard counts of the scaling sweep.
+pub const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// Shard-scaling sweep: 1→8 chains under the same offered load.
+pub fn shardscale(rep: &mut Report, quick: bool) {
+    rep.banner("Shard scaling: aggregate gWRITE throughput vs shard count (fixed offered load)");
+    let opts = ShardScaleOpts {
+        ops: if quick { 1024 } else { 4096 },
+        ..ShardScaleOpts::default()
+    };
+    rep.line(format!(
+        "{:<8} {:>12} {:>10} {:>10} {:>10}  per-shard ops",
+        "shards", "Kops/s", "speedup", "mean", "p99"
+    ));
+    let mut base = None;
+    for n in SHARD_COUNTS {
+        let r = run_shardscale(n, opts);
+        let tput = r.ops_per_sec();
+        let base_tput = *base.get_or_insert(tput);
+        rep.line(format!(
+            "{:<8} {:>12.1} {:>9.2}x {:>10} {:>10}  {:?}",
+            n,
+            tput / 1e3,
+            tput / base_tput,
+            us(r.latency.mean),
+            us(r.latency.p99),
+            r.per_shard_acked,
+        ));
+        let mut sc = Scenario::new(format!("shardscale/{n}"))
+            .system("HyperLoop")
+            .seed(opts.seed)
+            .config("shards", n)
+            .config("replicas_per_shard", opts.replicas_per_shard)
+            .config("window", opts.window)
+            .config("ops", opts.ops)
+            .config("payload_bytes", opts.payload)
+            .latency(&r.latency)
+            .gauge("ops_per_sec", tput)
+            .gauge("speedup", tput / base_tput)
+            .metrics(r.registry.clone());
+        for (s, &acked) in r.per_shard_acked.iter().enumerate() {
+            sc = sc.config(&format!("shard{s}_ops"), acked);
+        }
+        rep.scenario(sc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_monotonically_with_shards() {
+        let opts = ShardScaleOpts {
+            ops: 512,
+            ..ShardScaleOpts::default()
+        };
+        let mut last = 0.0f64;
+        for n in SHARD_COUNTS {
+            let r = run_shardscale(n, opts);
+            assert_eq!(r.ops, 512);
+            assert_eq!(r.per_shard_acked.iter().sum::<u64>(), 512);
+            let tput = r.ops_per_sec();
+            assert!(
+                tput > last,
+                "{n} shards did not beat the previous arm: {tput:.0} <= {last:.0} ops/s"
+            );
+            last = tput;
+            // The registry carries per-shard counters for every shard.
+            for s in 0..n {
+                assert_eq!(
+                    r.registry.counter(&format!("bench.shards.shard{s}.acked")),
+                    Some(r.per_shard_acked[s as usize]),
+                    "shard {s} counter missing from the snapshot"
+                );
+            }
+        }
+    }
+}

@@ -37,8 +37,8 @@ impl HostApp for Maintainer {
             let consumed = env.poll_cq(node, cq, 4096).len() as u32;
             if consumed > 0 {
                 self.replenished += consumed as u64;
-                env.with_fabric(|fab, now, out| {
-                    self.handle.replenish(fab, consumed, now, out);
+                env.with_fabric(|ctx| {
+                    self.handle.replenish(ctx, consumed);
                 });
             }
         }

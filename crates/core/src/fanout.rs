@@ -20,8 +20,7 @@
 
 use crate::config::GroupConfig;
 use netsim::NodeId;
-use rnicsim::{wqe_flags, CqId, NicEffect, Opcode, QpId, RdmaFabric, RecvWqe, Wqe, WQE_SIZE};
-use simcore::{Outbox, SimTime};
+use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, RecvWqe, Wqe, WQE_SIZE};
 use std::collections::VecDeque;
 
 /// A fan-out replication group: client → primary NIC → backups.
@@ -85,13 +84,11 @@ impl FanoutGroup {
     ///
     /// Panics on an empty backup set or asymmetric layouts.
     pub fn setup(
-        fab: &mut RdmaFabric,
+        ctx: &mut NicCtx<'_>,
         client_node: NodeId,
         primary_node: NodeId,
         backup_nodes: &[NodeId],
         cfg: GroupConfig,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
     ) -> FanoutGroup {
         cfg.validate();
         let backups = backup_nodes.len() as u32;
@@ -101,54 +98,61 @@ impl FanoutGroup {
         let meta_slot_size = (meta_payload_len(backups) + 63) & !63;
         let mut shared_base = None;
         for &n in std::iter::once(&primary_node).chain(backup_nodes) {
-            let sb = fab.alloc(n, cfg.shared_size);
+            let sb = ctx.fab.alloc(n, cfg.shared_size);
             match shared_base {
                 None => shared_base = Some(sb),
                 Some(s) => assert_eq!(s, sb, "node {n} layout asymmetric"),
             }
-            fab.reg_mr(n, sb, cfg.shared_size);
+            ctx.fab.reg_mr(n, sb, cfg.shared_size);
         }
         let shared_base = shared_base.expect("at least primary");
-        let meta_base = fab.alloc(primary_node, meta_slot_size * cfg.meta_slots as u64);
-        fab.reg_mr(
+        let meta_base = ctx
+            .fab
+            .alloc(primary_node, meta_slot_size * cfg.meta_slots as u64);
+        ctx.fab.reg_mr(
             primary_node,
             meta_base,
             meta_slot_size * cfg.meta_slots as u64,
         );
 
         // Client buffers.
-        let staging_base = fab.alloc(client_node, meta_slot_size * cfg.meta_slots as u64);
-        let mirror = fab.alloc(client_node, cfg.shared_size);
-        let ack_base = fab.alloc(client_node, 64 * cfg.meta_slots as u64);
-        fab.reg_mr(client_node, ack_base, 64 * cfg.meta_slots as u64);
+        let staging_base = ctx
+            .fab
+            .alloc(client_node, meta_slot_size * cfg.meta_slots as u64);
+        let mirror = ctx.fab.alloc(client_node, cfg.shared_size);
+        let ack_base = ctx.fab.alloc(client_node, 64 * cfg.meta_slots as u64);
+        ctx.fab
+            .reg_mr(client_node, ack_base, 64 * cfg.meta_slots as u64);
 
         // Client queues.
-        let cq_down = fab.create_cq(client_node);
-        let qp_down = fab.create_qp(client_node, cq_down, cq_down);
-        let cq_ack = fab.create_cq(client_node);
-        let qp_ack = fab.create_qp(client_node, cq_ack, cq_ack);
+        let cq_down = ctx.fab.create_cq(client_node);
+        let qp_down = ctx.fab.create_qp(client_node, cq_down, cq_down);
+        let cq_ack = ctx.fab.create_cq(client_node);
+        let qp_ack = ctx.fab.create_qp(client_node, cq_ack, cq_ack);
 
         // Primary queues.
-        let recv_cq_up = fab.create_cq(primary_node);
-        let qp_up = fab.create_qp(primary_node, recv_cq_up, recv_cq_up);
-        let cq_loop = fab.create_cq(primary_node);
-        let qp_loop_a = fab.create_qp(primary_node, cq_loop, cq_loop);
-        let qp_loop_b = fab.create_qp(primary_node, cq_loop, cq_loop);
-        fab.connect(primary_node, qp_loop_a, primary_node, qp_loop_b);
-        let fan_cq = fab.create_cq(primary_node);
+        let recv_cq_up = ctx.fab.create_cq(primary_node);
+        let qp_up = ctx.fab.create_qp(primary_node, recv_cq_up, recv_cq_up);
+        let cq_loop = ctx.fab.create_cq(primary_node);
+        let qp_loop_a = ctx.fab.create_qp(primary_node, cq_loop, cq_loop);
+        let qp_loop_b = ctx.fab.create_qp(primary_node, cq_loop, cq_loop);
+        ctx.fab
+            .connect(primary_node, qp_loop_a, primary_node, qp_loop_b);
+        let fan_cq = ctx.fab.create_cq(primary_node);
         let mut backup_qps = Vec::new();
         for &b in backup_nodes {
-            let qp = fab.create_qp(primary_node, fan_cq, fan_cq);
-            let bcq = fab.create_cq(b);
-            let bqp = fab.create_qp(b, bcq, bcq);
-            fab.connect(primary_node, qp, b, bqp);
+            let qp = ctx.fab.create_qp(primary_node, fan_cq, fan_cq);
+            let bcq = ctx.fab.create_cq(b);
+            let bqp = ctx.fab.create_qp(b, bcq, bcq);
+            ctx.fab.connect(primary_node, qp, b, bqp);
             backup_qps.push(qp);
         }
-        let ack_out_cq = fab.create_cq(primary_node);
-        let qp_ack_out = fab.create_qp(primary_node, ack_out_cq, ack_out_cq);
+        let ack_out_cq = ctx.fab.create_cq(primary_node);
+        let qp_ack_out = ctx.fab.create_qp(primary_node, ack_out_cq, ack_out_cq);
 
-        fab.connect(client_node, qp_down, primary_node, qp_up);
-        fab.connect(primary_node, qp_ack_out, client_node, qp_ack);
+        ctx.fab.connect(client_node, qp_down, primary_node, qp_up);
+        ctx.fab
+            .connect(primary_node, qp_ack_out, client_node, qp_ack);
 
         let mut primary = FanoutPrimaryHandle {
             node: primary_node,
@@ -165,17 +169,15 @@ impl FanoutGroup {
             backups,
             next_prepost: 0,
         };
-        primary.replenish(fab, cfg.prepost_depth, now, out);
+        primary.replenish(ctx, cfg.prepost_depth);
         for _ in 0..cfg.window * 2 {
-            fab.post_recv(
-                now,
+            ctx.post_recv(
                 client_node,
                 qp_ack,
                 RecvWqe {
                     wr_id: 0,
                     sges: vec![],
                 },
-                out,
             );
         }
 
@@ -234,15 +236,7 @@ impl FanoutClient {
     ///
     /// Panics if the window is full or the range is out of bounds (this
     /// client is bench-oriented; see `GroupClient` for the checked API).
-    pub fn write(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        offset: u64,
-        data: &[u8],
-        flush: bool,
-    ) -> u64 {
+    pub fn write(&mut self, ctx: &mut NicCtx<'_>, offset: u64, data: &[u8], flush: bool) -> u64 {
         assert!(self.can_issue(), "fan-out window full");
         assert!(
             offset + data.len() as u64 <= self.shared_size,
@@ -298,16 +292,17 @@ impl FanoutClient {
         payload.extend_from_slice(&ack.encode());
 
         let staging = self.staging_base + slot * self.meta_slot_size;
-        fab.mem(self.node)
+        ctx.fab
+            .mem(self.node)
             .write_durable(staging, &payload)
             .expect("staging in bounds");
-        fab.mem(self.node)
+        ctx.fab
+            .mem(self.node)
             .write_durable(self.mirror_base + offset, data)
             .expect("mirror in bounds");
 
         // Data to the primary, optional flush, then the metadata SEND.
-        fab.post_send(
-            now,
+        ctx.post_send(
             self.node,
             self.qp_down,
             Wqe {
@@ -319,11 +314,9 @@ impl FanoutClient {
                 wr_id: gen,
                 ..Wqe::default()
             },
-            out,
         );
         if flush {
-            fab.post_send(
-                now,
+            ctx.post_send(
                 self.node,
                 self.qp_down,
                 Wqe {
@@ -335,11 +328,9 @@ impl FanoutClient {
                     wr_id: gen,
                     ..Wqe::default()
                 },
-                out,
             );
         }
-        fab.post_send(
-            now,
+        ctx.post_send(
             self.node,
             self.qp_down,
             Wqe {
@@ -354,35 +345,27 @@ impl FanoutClient {
                 wr_id: gen,
                 ..Wqe::default()
             },
-            out,
         );
         self.pending.push_back(gen);
         gen
     }
 
     /// Collects completed writes, re-posting ack receives.
-    pub fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<u64> {
-        let cqes = fab.poll_cq(self.node, self.cq_ack, 64);
+    pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<u64> {
+        let cqes = ctx.fab.poll_cq(self.node, self.cq_ack, 64);
         let mut done = Vec::with_capacity(cqes.len());
         for cqe in cqes {
             assert_eq!(cqe.status, rnicsim::CqeStatus::Success, "{cqe:?}");
             let gen = cqe.imm.expect("ack imm");
             debug_assert_eq!(self.pending.pop_front(), Some(gen));
             self.completed += 1;
-            fab.post_recv(
-                now,
+            ctx.post_recv(
                 self.node,
                 self.qp_ack,
                 RecvWqe {
                     wr_id: 0,
                     sges: vec![],
                 },
-                out,
             );
             done.push(gen);
         }
@@ -402,30 +385,21 @@ impl FanoutPrimaryHandle {
     }
 
     /// Pre-posts the next `count` generations of fan-out machinery.
-    pub fn replenish(
-        &mut self,
-        fab: &mut RdmaFabric,
-        count: u32,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) {
+    pub fn replenish(&mut self, ctx: &mut NicCtx<'_>, count: u32) {
         for _ in 0..count {
             let gen = self.next_prepost;
             self.next_prepost += 1;
             let slot_addr = self.meta_base + (gen % self.meta_slots as u64) * self.meta_slot_size;
-            fab.post_recv(
-                now,
+            ctx.post_recv(
                 self.node,
                 self.qp_up,
                 RecvWqe {
                     wr_id: gen,
                     sges: vec![(slot_addr, meta_payload_len(self.backups) as u32)],
                 },
-                out,
             );
             // Trigger multiplier: one recv completion -> B loop completions.
-            fab.post_send(
-                now,
+            ctx.post_send(
                 self.node,
                 self.qp_loop_a,
                 Wqe {
@@ -437,11 +411,9 @@ impl FanoutPrimaryHandle {
                     wr_id: gen,
                     ..Wqe::default()
                 },
-                out,
             );
             for _ in 0..self.backups {
-                fab.post_send(
-                    now,
+                ctx.post_send(
                     self.node,
                     self.qp_loop_a,
                     Wqe {
@@ -450,13 +422,11 @@ impl FanoutPrimaryHandle {
                         wr_id: gen,
                         ..Wqe::default()
                     },
-                    out,
                 );
             }
             // Per-backup: WAIT one loop token, then write + flush images.
             for (b, &qp) in self.backup_qps.clone().iter().enumerate() {
-                fab.post_send(
-                    now,
+                ctx.post_send(
                     self.node,
                     qp,
                     Wqe {
@@ -468,11 +438,9 @@ impl FanoutPrimaryHandle {
                         wr_id: gen,
                         ..Wqe::default()
                     },
-                    out,
                 );
                 for img in 0..2u64 {
-                    fab.post_send(
-                        now,
+                    ctx.post_send(
                         self.node,
                         qp,
                         Wqe {
@@ -482,13 +450,11 @@ impl FanoutPrimaryHandle {
                             wr_id: gen,
                             ..Wqe::default()
                         },
-                        out,
                     );
                 }
             }
             // Ack once every backup's flush completed.
-            fab.post_send(
-                now,
+            ctx.post_send(
                 self.node,
                 self.qp_ack_out,
                 Wqe {
@@ -500,10 +466,8 @@ impl FanoutPrimaryHandle {
                     wr_id: gen,
                     ..Wqe::default()
                 },
-                out,
             );
-            fab.post_send(
-                now,
+            ctx.post_send(
                 self.node,
                 self.qp_ack_out,
                 Wqe {
@@ -513,7 +477,6 @@ impl FanoutPrimaryHandle {
                     wr_id: gen,
                     ..Wqe::default()
                 },
-                out,
             );
         }
     }
@@ -536,15 +499,13 @@ mod tests {
             21,
         );
         let backup_nodes: Vec<NodeId> = (2..2 + backups).map(NodeId).collect();
-        let group = drive(&mut sim, |fab, now, out| {
+        let group = drive(&mut sim, |ctx| {
             FanoutGroup::setup(
-                fab,
+                ctx,
                 NodeId(0),
                 NodeId(1),
                 &backup_nodes,
                 GroupConfig::default(),
-                now,
-                out,
             )
         });
         sim.run();
@@ -555,11 +516,11 @@ mod tests {
     fn fanout_write_reaches_primary_and_all_backups_durably() {
         let (mut sim, mut group) = setup(3);
         let base = group.client.shared_base;
-        let gen = drive(&mut sim, |fab, now, out| {
-            group.client.write(fab, now, out, 500, b"fanout-data", true)
+        let gen = drive(&mut sim, |ctx| {
+            group.client.write(ctx, 500, b"fanout-data", true)
         });
         sim.run();
-        let done = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        let done = drive(&mut sim, |ctx| group.client.poll(ctx));
         assert_eq!(done, vec![gen]);
         assert_eq!(sim.model.fab.stats().errors, 0);
         for n in 1..=4u32 {
@@ -589,11 +550,9 @@ mod tests {
         // serialization. For 3 backups both complete within microseconds.
         let (mut sim, mut group) = setup(3);
         let t0 = sim.now();
-        drive(&mut sim, |fab, now, out| {
-            group.client.write(fab, now, out, 0, &[1; 128], true)
-        });
+        drive(&mut sim, |ctx| group.client.write(ctx, 0, &[1; 128], true));
         sim.run();
-        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        drive(&mut sim, |ctx| group.client.poll(ctx));
         let elapsed = sim.now().since(t0);
         assert!(
             elapsed < SimDuration::from_micros(40),
@@ -605,14 +564,12 @@ mod tests {
     fn fanout_acks_only_after_every_backup() {
         let (mut sim, mut group) = setup(2);
         let base = group.client.shared_base;
-        drive(&mut sim, |fab, now, out| {
-            group.client.write(fab, now, out, 64, &[9; 32], true)
-        });
+        drive(&mut sim, |ctx| group.client.write(ctx, 64, &[9; 32], true));
         // Run in small steps: the ack must never precede backup durability.
         let mut acked_at = None;
         for step in 0..100_000u64 {
             sim.run_until(SimTime::from_nanos(step * 200));
-            let done = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+            let done = drive(&mut sim, |ctx| group.client.poll(ctx));
             if !done.is_empty() {
                 acked_at = Some(sim.now());
                 break;
@@ -632,17 +589,15 @@ mod tests {
         let (mut sim, mut group) = setup(2);
         let mut total = 0;
         for round in 0..10 {
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 for i in 0..8u64 {
-                    group
-                        .client
-                        .write(fab, now, out, i * 4096, &[round as u8; 512], true);
+                    group.client.write(ctx, i * 4096, &[round as u8; 512], true);
                 }
             });
             sim.run();
-            total += drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out)).len();
-            drive(&mut sim, |fab, now, out| {
-                group.primary.replenish(fab, 8, now, out);
+            total += drive(&mut sim, |ctx| group.client.poll(ctx)).len();
+            drive(&mut sim, |ctx| {
+                group.primary.replenish(ctx, 8);
             });
         }
         assert_eq!(total, 80);

@@ -13,13 +13,16 @@
 //!
 //! The only replica-side software is the off-critical-path maintenance that
 //! replaces consumed descriptors ([`ReplicaHandle::replenish`]).
+//!
+//! All data-path calls take a [`NicCtx`] — the bundled
+//! `(fabric, now, outbox)` context.
 
 use crate::config::{GroupConfig, SharedLayout};
 use crate::meta::{build_payload, payload_len};
 use crate::ops::{GroupAck, GroupOp};
 use netsim::NodeId;
-use rnicsim::{wqe_flags, CqId, NicEffect, Opcode, QpId, RdmaFabric, RecvWqe, Wqe};
-use simcore::{Outbox, SimTime, TraceKind, Tracer};
+use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, RecvWqe, Wqe};
+use simcore::{TraceKind, Tracer};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -98,12 +101,10 @@ impl HyperLoopGroup {
     /// Panics on an empty chain, asymmetric replica layouts, or exhausted
     /// device memory.
     pub fn setup(
-        fab: &mut RdmaFabric,
+        ctx: &mut NicCtx<'_>,
         client_node: NodeId,
         replica_nodes: &[NodeId],
         cfg: GroupConfig,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
     ) -> HyperLoopGroup {
         cfg.validate();
         let gs = replica_nodes.len() as u32;
@@ -118,8 +119,8 @@ impl HyperLoopGroup {
         let mut shared_base = None;
         let mut meta_base = None;
         for &rn in replica_nodes {
-            let sb = fab.alloc(rn, cfg.shared_size);
-            let mb = fab.alloc(rn, slot_size * cfg.meta_slots as u64);
+            let sb = ctx.fab.alloc(rn, cfg.shared_size);
+            let mb = ctx.fab.alloc(rn, slot_size * cfg.meta_slots as u64);
             match (shared_base, meta_base) {
                 (None, None) => {
                     shared_base = Some(sb);
@@ -130,8 +131,8 @@ impl HyperLoopGroup {
                 }
                 _ => unreachable!(),
             }
-            fab.reg_mr(rn, sb, cfg.shared_size);
-            fab.reg_mr(rn, mb, slot_size * cfg.meta_slots as u64);
+            ctx.fab.reg_mr(rn, sb, cfg.shared_size);
+            ctx.fab.reg_mr(rn, mb, slot_size * cfg.meta_slots as u64);
         }
         let layout = SharedLayout {
             shared_base: shared_base.expect("at least one replica"),
@@ -143,29 +144,34 @@ impl HyperLoopGroup {
         };
 
         // Client-side buffers.
-        let mirror_base = fab.alloc(client_node, cfg.shared_size);
-        let staging_base = fab.alloc(client_node, slot_size * cfg.meta_slots as u64);
+        let mirror_base = ctx.fab.alloc(client_node, cfg.shared_size);
+        let staging_base = ctx
+            .fab
+            .alloc(client_node, slot_size * cfg.meta_slots as u64);
         let ack_slot_size = (layout.result_map_len() + 63) & !63;
-        let ack_base = fab.alloc(client_node, ack_slot_size * cfg.meta_slots as u64);
-        fab.reg_mr(client_node, ack_base, ack_slot_size * cfg.meta_slots as u64);
+        let ack_base = ctx
+            .fab
+            .alloc(client_node, ack_slot_size * cfg.meta_slots as u64);
+        ctx.fab
+            .reg_mr(client_node, ack_base, ack_slot_size * cfg.meta_slots as u64);
 
         // Queues: client down + ack.
-        let cq_down = fab.create_cq(client_node);
-        let qp_down = fab.create_qp(client_node, cq_down, cq_down);
-        let cq_ack = fab.create_cq(client_node);
-        let qp_ack = fab.create_qp(client_node, cq_ack, cq_ack);
+        let cq_down = ctx.fab.create_cq(client_node);
+        let qp_down = ctx.fab.create_qp(client_node, cq_down, cq_down);
+        let cq_ack = ctx.fab.create_cq(client_node);
+        let qp_ack = ctx.fab.create_qp(client_node, cq_ack, cq_ack);
 
         // Replica queues.
         let mut replicas = Vec::with_capacity(gs as usize);
         for (i, &rn) in replica_nodes.iter().enumerate() {
-            let recv_cq_up = fab.create_cq(rn);
-            let qp_up = fab.create_qp(rn, recv_cq_up, recv_cq_up);
-            let cq_loop = fab.create_cq(rn);
-            let qp_loop_a = fab.create_qp(rn, cq_loop, cq_loop);
-            let qp_loop_b = fab.create_qp(rn, cq_loop, cq_loop);
-            fab.connect(rn, qp_loop_a, rn, qp_loop_b);
-            let cq_down = fab.create_cq(rn);
-            let qp_down = fab.create_qp(rn, cq_down, cq_down);
+            let recv_cq_up = ctx.fab.create_cq(rn);
+            let qp_up = ctx.fab.create_qp(rn, recv_cq_up, recv_cq_up);
+            let cq_loop = ctx.fab.create_cq(rn);
+            let qp_loop_a = ctx.fab.create_qp(rn, cq_loop, cq_loop);
+            let qp_loop_b = ctx.fab.create_qp(rn, cq_loop, cq_loop);
+            ctx.fab.connect(rn, qp_loop_a, rn, qp_loop_b);
+            let cq_down = ctx.fab.create_cq(rn);
+            let qp_down = ctx.fab.create_qp(rn, cq_down, cq_down);
             replicas.push(ReplicaHandle {
                 node: rn,
                 idx: i as u32,
@@ -180,10 +186,11 @@ impl HyperLoopGroup {
         }
 
         // Chain wiring.
-        fab.connect(client_node, qp_down, replicas[0].node, replicas[0].qp_up);
+        ctx.fab
+            .connect(client_node, qp_down, replicas[0].node, replicas[0].qp_up);
         for i in 0..replicas.len() - 1 {
             let (a, b) = (i, i + 1);
-            fab.connect(
+            ctx.fab.connect(
                 replicas[a].node,
                 replicas[a].qp_down,
                 replicas[b].node,
@@ -191,7 +198,7 @@ impl HyperLoopGroup {
             );
         }
         let last = replicas.len() - 1;
-        fab.connect(
+        ctx.fab.connect(
             replicas[last].node,
             replicas[last].qp_down,
             client_node,
@@ -200,18 +207,16 @@ impl HyperLoopGroup {
 
         // Pre-post descriptor chains and ack receives.
         for r in &mut replicas {
-            r.replenish(fab, cfg.prepost_depth, now, out);
+            r.replenish(ctx, cfg.prepost_depth);
         }
         for _ in 0..cfg.window * 2 {
-            fab.post_recv(
-                now,
+            ctx.post_recv(
                 client_node,
                 qp_ack,
                 RecvWqe {
                     wr_id: 0,
                     sges: vec![],
                 },
-                out,
             );
         }
 
@@ -301,13 +306,7 @@ impl GroupClient {
     ///
     /// [`GroupError::WindowFull`] when too many ops are outstanding;
     /// [`GroupError::OutOfRange`] for offsets beyond the shared region.
-    pub fn issue(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        op: GroupOp,
-    ) -> Result<u64, GroupError> {
+    pub fn issue(&mut self, ctx: &mut NicCtx<'_>, op: GroupOp) -> Result<u64, GroupError> {
         if !self.can_issue() {
             return Err(GroupError::WindowFull);
         }
@@ -322,14 +321,15 @@ impl GroupClient {
         }
         let gen = self.next_gen;
         self.next_gen += 1;
-        self.tracer.emit(now, self.node.0, gen, TraceKind::OpIssue);
+        self.tracer
+            .emit(ctx.now, self.node.0, gen, TraceKind::OpIssue);
 
         // Stage the metadata payload in client memory.
         let ack_addr = self.ack_base + (gen % self.cfg.meta_slots as u64) * self.ack_slot_size;
         let payload = build_payload(&op, &self.layout, gen, ack_addr);
         let staging =
             self.staging_base + (gen % self.cfg.meta_slots as u64) * self.layout.meta_slot_size;
-        fab.mem(self.node)
+        ctx.mem(self.node)
             .write_durable(staging, &payload)
             .expect("staging slot in bounds");
 
@@ -342,12 +342,11 @@ impl GroupClient {
                 data,
                 flush,
             } => {
-                fab.mem(self.node)
+                ctx.mem(self.node)
                     .write_durable(self.mirror_base + offset, data)
                     .expect("mirror write in bounds");
                 // Data WRITE to the first replica.
-                fab.post_send(
-                    now,
+                ctx.post_send(
                     self.node,
                     self.qp_down,
                     Wqe {
@@ -359,35 +358,37 @@ impl GroupClient {
                         wr_id: gen,
                         ..Wqe::default()
                     },
-                    out,
                 );
                 if *flush {
-                    self.post_flush_read(fab, now, out, *offset, gen);
+                    self.post_flush_read(ctx, *offset, gen);
                     needs_flush_fence = true;
                 }
             }
             GroupOp::Memcpy { src, dst, len, .. } => {
                 // Apply to the local mirror (host-side copy).
-                let bytes = fab
+                let bytes = ctx
                     .mem(self.node)
                     .read_vec(self.mirror_base + src, *len)
                     .expect("mirror read in bounds");
-                fab.mem(self.node)
+                ctx.mem(self.node)
                     .write_durable(self.mirror_base + dst, &bytes)
                     .expect("mirror write in bounds");
             }
             GroupOp::Flush { offset } => {
-                self.post_flush_read(fab, now, out, *offset, gen);
+                self.post_flush_read(ctx, *offset, gen);
                 needs_flush_fence = true;
             }
             GroupOp::Cas { .. } => {}
         }
 
         // The metadata SEND that triggers the first replica's chain.
-        self.tracer
-            .emit(now, self.node.0, gen, TraceKind::MetaSend { replica: 0 });
-        fab.post_send(
-            now,
+        self.tracer.emit(
+            ctx.now,
+            self.node.0,
+            gen,
+            TraceKind::MetaSend { replica: 0 },
+        );
+        ctx.post_send(
             self.node,
             self.qp_down,
             Wqe {
@@ -402,22 +403,13 @@ impl GroupClient {
                 wr_id: gen,
                 ..Wqe::default()
             },
-            out,
         );
         self.pending.push_back(gen);
         Ok(gen)
     }
 
-    fn post_flush_read(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        offset: u64,
-        gen: u64,
-    ) {
-        fab.post_send(
-            now,
+    fn post_flush_read(&mut self, ctx: &mut NicCtx<'_>, offset: u64, gen: u64) {
+        ctx.post_send(
             self.node,
             self.qp_down,
             Wqe {
@@ -429,18 +421,12 @@ impl GroupClient {
                 wr_id: gen,
                 ..Wqe::default()
             },
-            out,
         );
     }
 
     /// Collects completed operations (chain acks), re-posting ack receives.
-    pub fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<GroupAck> {
-        let cqes = fab.poll_cq(self.node, self.cq_ack, 64);
+    pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
+        let cqes = ctx.poll_cq(self.node, self.cq_ack, 64);
         let mut acks = Vec::with_capacity(cqes.len());
         for cqe in cqes {
             assert_eq!(
@@ -452,7 +438,7 @@ impl GroupClient {
             let expected = self.pending.pop_front();
             debug_assert_eq!(expected, Some(gen), "acks must arrive in issue order");
             let slot = self.ack_base + (gen % self.cfg.meta_slots as u64) * self.ack_slot_size;
-            let raw = fab
+            let raw = ctx
                 .mem(self.node)
                 .read_vec(slot, self.layout.result_map_len())
                 .expect("ack slot in bounds");
@@ -465,24 +451,23 @@ impl GroupClient {
                 // replica's contribution as client-visible progress.
                 for replica in 0..result_map.len() as u32 {
                     self.tracer.emit(
-                        now,
+                        ctx.now,
                         self.node.0,
                         gen,
                         TraceKind::ReplicaProgress { replica },
                     );
                 }
             }
-            self.tracer.emit(now, self.node.0, gen, TraceKind::OpAck);
+            self.tracer
+                .emit(ctx.now, self.node.0, gen, TraceKind::OpAck);
             self.completed += 1;
-            fab.post_recv(
-                now,
+            ctx.post_recv(
                 self.node,
                 self.qp_ack,
                 RecvWqe {
                     wr_id: 0,
                     sges: vec![],
                 },
-                out,
             );
             acks.push(GroupAck { gen, result_map });
         }
@@ -517,30 +502,21 @@ impl ReplicaHandle {
     /// loopback WAIT + two indirect slots, and the downstream WAIT + three
     /// indirect slots. This is the *only* replica-side work in steady state,
     /// and it is off the critical path.
-    pub fn replenish(
-        &mut self,
-        fab: &mut RdmaFabric,
-        count: u32,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) {
+    pub fn replenish(&mut self, ctx: &mut NicCtx<'_>, count: u32) {
         for _ in 0..count {
             let gen = self.next_prepost;
             self.next_prepost += 1;
             let slot = self.layout.meta_slot(gen);
-            fab.post_recv(
-                now,
+            ctx.post_recv(
                 self.node,
                 self.qp_up,
                 RecvWqe {
                     wr_id: gen,
                     sges: vec![(slot, payload_len(&self.layout) as u32)],
                 },
-                out,
             );
             // Loopback: WAIT on the upstream RECV, then two indirect images.
-            fab.post_send(
-                now,
+            ctx.post_send(
                 self.node,
                 self.qp_loop_a,
                 Wqe {
@@ -552,11 +528,9 @@ impl ReplicaHandle {
                     wr_id: gen,
                     ..Wqe::default()
                 },
-                out,
             );
             for img in 0..2 {
-                fab.post_send(
-                    now,
+                ctx.post_send(
                     self.node,
                     self.qp_loop_a,
                     Wqe {
@@ -566,12 +540,10 @@ impl ReplicaHandle {
                         wr_id: gen,
                         ..Wqe::default()
                     },
-                    out,
                 );
             }
             // Downstream: WAIT on the loopback completion, then three images.
-            fab.post_send(
-                now,
+            ctx.post_send(
                 self.node,
                 self.qp_down,
                 Wqe {
@@ -583,11 +555,9 @@ impl ReplicaHandle {
                     wr_id: gen,
                     ..Wqe::default()
                 },
-                out,
             );
             for img in 2..5 {
-                fab.post_send(
-                    now,
+                ctx.post_send(
                     self.node,
                     self.qp_down,
                     Wqe {
@@ -597,7 +567,6 @@ impl ReplicaHandle {
                         wr_id: gen,
                         ..Wqe::default()
                     },
-                    out,
                 );
             }
         }

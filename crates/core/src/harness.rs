@@ -6,7 +6,7 @@
 //! explicitly); [`drive`] runs host-side code against the fabric and routes
 //! whatever it posted.
 
-use rnicsim::{NicEffect, NicEvent, RdmaFabric};
+use rnicsim::{NicCtx, NicEffect, NicEvent, RdmaFabric};
 use simcore::{EventQueue, Model, Outbox, SimTime, Simulation};
 
 /// A simulation whose only actor is the RDMA fabric.
@@ -47,15 +47,14 @@ pub fn fabric_sim(
     })
 }
 
-/// Runs host-side code against the fabric at the current instant, then
-/// routes everything it posted into the event queue.
-pub fn drive<R>(
-    sim: &mut Simulation<FabricSim>,
-    f: impl FnOnce(&mut RdmaFabric, SimTime, &mut Outbox<NicEffect>) -> R,
-) -> R {
+/// Runs host-side code against the fabric at the current instant (handing
+/// it a bundled [`NicCtx`]), then routes everything it posted into the
+/// event queue.
+pub fn drive<R>(sim: &mut Simulation<FabricSim>, f: impl FnOnce(&mut NicCtx<'_>) -> R) -> R {
     let now = sim.queue.now();
     let mut out = Outbox::new();
-    let r = f(&mut sim.model.fab, now, &mut out);
+    let mut ctx = NicCtx::new(&mut sim.model.fab, now, &mut out);
+    let r = f(&mut ctx);
     route(&mut out, &mut sim.queue);
     r
 }

@@ -31,6 +31,8 @@
 //! * [`reads`] — lock-protected one-sided replica reads (every replica can
 //!   serve consistent reads);
 //! * [`fanout`] — the §7 extension: primary-coordinated fan-out replication;
+//! * [`shard`] — many groups behind one key router ([`ShardSet`]): the
+//!   multi-chain scale-out layer the storage case studies shard over;
 //! * [`membership`] — heartbeat failure detection and chain repair hooks.
 
 #![forbid(unsafe_code)]
@@ -46,12 +48,14 @@ pub mod membership;
 pub mod meta;
 pub mod ops;
 pub mod reads;
+pub mod shard;
 pub mod transport;
 pub mod wal;
 
 pub use config::{GroupConfig, SharedLayout};
 pub use group::{GroupClient, GroupError, HyperLoopGroup, ReplicaHandle};
 pub use ops::{ExecuteMap, GroupAck, GroupOp};
+pub use shard::{HashRouter, RangeRouter, ShardAck, ShardId, ShardRouter, ShardSet};
 pub use transport::GroupTransport;
 
 #[cfg(test)]
@@ -73,8 +77,8 @@ mod tests {
             11,
         );
         let nodes: Vec<NodeId> = (1..=replicas).map(NodeId).collect();
-        let group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, CLIENT, &nodes, GroupConfig::default(), now, out)
+        let group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
         });
         sim.run(); // drain setup-time events
         (sim, group, nodes)
@@ -86,11 +90,9 @@ mod tests {
         group: &mut HyperLoopGroup,
         op: GroupOp,
     ) -> GroupAck {
-        let gen = drive(sim, |fab, now, out| {
-            group.client.issue(fab, now, out, op).expect("issue")
-        });
+        let gen = drive(sim, |ctx| group.client.issue(ctx, op).expect("issue"));
         sim.run();
-        let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
+        let acks = drive(sim, |ctx| group.client.poll(ctx));
         assert_eq!(acks.len(), 1, "expected exactly one ack");
         assert_eq!(acks[0].gen, gen);
         assert_eq!(sim.model.fab.stats().errors, 0, "data path raised errors");
@@ -327,14 +329,12 @@ mod tests {
         let layout = *group.client.layout();
         let n_ops = 16u64;
         let mut issued = Vec::new();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for i in 0..n_ops {
                 let gen = group
                     .client
                     .issue(
-                        fab,
-                        now,
-                        out,
+                        ctx,
                         GroupOp::Write {
                             offset: i * 256,
                             data: vec![i as u8 + 1; 256],
@@ -346,7 +346,7 @@ mod tests {
             }
         });
         sim.run();
-        let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
         assert_eq!(acks.len(), n_ops as usize);
         let order: Vec<u64> = acks.iter().map(|a| a.gen).collect();
         assert_eq!(order, issued, "acks in issue order");
@@ -364,14 +364,12 @@ mod tests {
     #[test]
     fn window_full_is_reported() {
         let (mut sim, mut group, _) = setup(2);
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for i in 0..16 {
                 group
                     .client
                     .issue(
-                        fab,
-                        now,
-                        out,
+                        ctx,
                         GroupOp::Write {
                             offset: i * 8,
                             data: vec![1; 8],
@@ -382,7 +380,7 @@ mod tests {
             }
             let err = group
                 .client
-                .issue(fab, now, out, GroupOp::Flush { offset: 0 })
+                .issue(ctx, GroupOp::Flush { offset: 0 })
                 .unwrap_err();
             assert_eq!(err, GroupError::WindowFull);
         });
@@ -391,14 +389,12 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let (mut sim, mut group, _) = setup(2);
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             let size = group.client.layout().shared_size;
             let err = group
                 .client
                 .issue(
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     GroupOp::Write {
                         offset: size - 4,
                         data: vec![0; 8],
@@ -421,13 +417,11 @@ mod tests {
             while group.client.can_issue()
                 && group.client.completed() + group.client.in_flight() < total
             {
-                drive(&mut sim, |fab, now, out| {
+                drive(&mut sim, |ctx| {
                     group
                         .client
                         .issue(
-                            fab,
-                            now,
-                            out,
+                            ctx,
                             GroupOp::Write {
                                 offset: 0,
                                 data: vec![9; 64],
@@ -438,16 +432,16 @@ mod tests {
                 });
             }
             sim.run();
-            let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+            let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
             done += acks.len() as u64;
             // Maintenance: keep each replica topped up.
             let completed = group.client.completed();
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 for r in &mut group.replicas {
                     let target = completed + 128;
                     if target > r.preposted() {
                         let deficit = (target - r.preposted()) as u32;
-                        r.replenish(fab, deficit, now, out);
+                        r.replenish(ctx, deficit);
                     }
                 }
             });

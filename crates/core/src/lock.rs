@@ -19,8 +19,7 @@
 use crate::group::GroupError;
 use crate::ops::{ExecuteMap, GroupAck, GroupOp};
 use crate::transport::GroupTransport;
-use rnicsim::{NicEffect, RdmaFabric};
-use simcore::{Outbox, SimTime};
+use rnicsim::NicCtx;
 
 /// High bit marks a writer; the rest of the word is the owner id.
 pub const WRITER_BIT: u64 = 1 << 63;
@@ -111,18 +110,14 @@ impl LockTable {
     pub fn wr_lock<T: GroupTransport>(
         &self,
         client: &mut T,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         id: u32,
         owner: u64,
     ) -> Result<u64, GroupError> {
         assert!(owner & WRITER_BIT == 0, "owner id too large");
         let gs = client.group_size();
         client.issue(
-            fab,
-            now,
-            out,
+            ctx,
             GroupOp::Cas {
                 offset: self.word_offset(id),
                 compare: 0,
@@ -162,17 +157,13 @@ impl LockTable {
     pub fn wr_unlock<T: GroupTransport>(
         &self,
         client: &mut T,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         id: u32,
         owner: u64,
     ) -> Result<u64, GroupError> {
         let gs = client.group_size();
         client.issue(
-            fab,
-            now,
-            out,
+            ctx,
             GroupOp::Cas {
                 offset: self.word_offset(id),
                 compare: WRITER_BIT | owner,
@@ -192,17 +183,13 @@ impl LockTable {
     pub fn rd_lock<T: GroupTransport>(
         &self,
         client: &mut T,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         id: u32,
         replica: u32,
         expected: u64,
     ) -> Result<u64, GroupError> {
         client.issue(
-            fab,
-            now,
-            out,
+            ctx,
             GroupOp::Cas {
                 offset: self.word_offset(id),
                 compare: expected,
@@ -225,9 +212,7 @@ impl LockTable {
     pub fn rd_unlock<T: GroupTransport>(
         &self,
         client: &mut T,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         id: u32,
         replica: u32,
         expected: u64,
@@ -237,9 +222,7 @@ impl LockTable {
             "not reader-held"
         );
         client.issue(
-            fab,
-            now,
-            out,
+            ctx,
             GroupOp::Cas {
                 offset: self.word_offset(id),
                 compare: expected,
@@ -281,8 +264,8 @@ mod tests {
             3,
         );
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
-        let group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), now, out)
+        let group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default())
         });
         sim.run();
         (sim, group, LockTable::new(1024, 16))
@@ -290,7 +273,7 @@ mod tests {
 
     fn ack_of(sim: &mut Simulation<FabricSim>, group: &mut HyperLoopGroup, gen: u64) -> GroupAck {
         sim.run();
-        let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
+        let acks = drive(sim, |ctx| group.client.poll(ctx));
         acks.into_iter()
             .find(|a| a.gen == gen)
             .expect("ack for gen")
@@ -299,10 +282,8 @@ mod tests {
     #[test]
     fn write_lock_acquire_and_release() {
         let (mut sim, mut group, locks) = setup();
-        let gen = drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_lock(&mut group.client, fab, now, out, 3, 77)
-                .unwrap()
+        let gen = drive(&mut sim, |ctx| {
+            locks.wr_lock(&mut group.client, ctx, 3, 77).unwrap()
         });
         let ack = ack_of(&mut sim, &mut group, gen);
         assert_eq!(
@@ -311,10 +292,8 @@ mod tests {
         );
 
         // A second owner is rejected everywhere (Busy, not Partial).
-        let gen2 = drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_lock(&mut group.client, fab, now, out, 3, 88)
-                .unwrap()
+        let gen2 = drive(&mut sim, |ctx| {
+            locks.wr_lock(&mut group.client, ctx, 3, 88).unwrap()
         });
         let ack2 = ack_of(&mut sim, &mut group, gen2);
         assert_eq!(
@@ -325,16 +304,12 @@ mod tests {
         );
 
         // Release, then 88 can acquire.
-        let gen3 = drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_unlock(&mut group.client, fab, now, out, 3, 77)
-                .unwrap()
+        let gen3 = drive(&mut sim, |ctx| {
+            locks.wr_unlock(&mut group.client, ctx, 3, 77).unwrap()
         });
         ack_of(&mut sim, &mut group, gen3);
-        let gen4 = drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_lock(&mut group.client, fab, now, out, 3, 88)
-                .unwrap()
+        let gen4 = drive(&mut sim, |ctx| {
+            locks.wr_lock(&mut group.client, ctx, 3, 88).unwrap()
         });
         let ack4 = ack_of(&mut sim, &mut group, gen4);
         assert_eq!(
@@ -356,19 +331,15 @@ mod tests {
             .write_durable(addr, &(WRITER_BIT | 999).to_le_bytes())
             .unwrap();
 
-        let gen = drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_lock(&mut group.client, fab, now, out, 5, 42)
-                .unwrap()
+        let gen = drive(&mut sim, |ctx| {
+            locks.wr_lock(&mut group.client, ctx, 5, 42).unwrap()
         });
         let ack = ack_of(&mut sim, &mut group, gen);
         let WrLockOutcome::Partial { undo } = locks.interpret_wr_lock(&ack, 5, 42) else {
             panic!("expected partial outcome, got {ack:?}");
         };
         // Execute the undo: replicas 0 and 2 release.
-        let gen2 = drive(&mut sim, |fab, now, out| {
-            group.client.issue(fab, now, out, undo).unwrap()
-        });
+        let gen2 = drive(&mut sim, |ctx| group.client.issue(ctx, undo).unwrap());
         ack_of(&mut sim, &mut group, gen2);
         for n in [NodeId(1), NodeId(3)] {
             assert_eq!(
@@ -389,9 +360,9 @@ mod tests {
         let (mut sim, mut group, locks) = setup();
         // Two readers on replica 1.
         for expected in [0u64, 1] {
-            let gen = drive(&mut sim, |fab, now, out| {
+            let gen = drive(&mut sim, |ctx| {
                 locks
-                    .rd_lock(&mut group.client, fab, now, out, 0, 1, expected)
+                    .rd_lock(&mut group.client, ctx, 0, 1, expected)
                     .unwrap()
             });
             let ack = ack_of(&mut sim, &mut group, gen);
@@ -401,10 +372,8 @@ mod tests {
             );
         }
         // A writer now sees replica 1 busy -> partial -> undo available.
-        let gen = drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_lock(&mut group.client, fab, now, out, 0, 7)
-                .unwrap()
+        let gen = drive(&mut sim, |ctx| {
+            locks.wr_lock(&mut group.client, ctx, 0, 7).unwrap()
         });
         let ack = ack_of(&mut sim, &mut group, gen);
         assert!(matches!(
@@ -416,17 +385,13 @@ mod tests {
     #[test]
     fn stale_read_lock_expectation_retries() {
         let (mut sim, mut group, locks) = setup();
-        let gen = drive(&mut sim, |fab, now, out| {
-            locks
-                .rd_lock(&mut group.client, fab, now, out, 2, 0, 0)
-                .unwrap()
+        let gen = drive(&mut sim, |ctx| {
+            locks.rd_lock(&mut group.client, ctx, 2, 0, 0).unwrap()
         });
         ack_of(&mut sim, &mut group, gen);
         // Second reader wrongly assumes count 0.
-        let gen2 = drive(&mut sim, |fab, now, out| {
-            locks
-                .rd_lock(&mut group.client, fab, now, out, 2, 0, 0)
-                .unwrap()
+        let gen2 = drive(&mut sim, |ctx| {
+            locks.rd_lock(&mut group.client, ctx, 2, 0, 0).unwrap()
         });
         let ack2 = ack_of(&mut sim, &mut group, gen2);
         assert_eq!(

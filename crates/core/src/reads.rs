@@ -17,8 +17,7 @@ use crate::group::GroupClient;
 use crate::lock::{LockTable, RdLockOutcome};
 use crate::ops::GroupAck;
 use netsim::NodeId;
-use rnicsim::{wqe_flags, CqId, NicEffect, Opcode, QpId, RdmaFabric, Wqe};
-use simcore::{Outbox, SimTime};
+use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, Wqe};
 use std::collections::HashMap;
 
 /// Maximum bytes of one locked read.
@@ -72,7 +71,7 @@ impl ReplicaReader {
     /// Wires one read QP from the client to every replica and a bounce
     /// buffer; `locks` is the same table the writers use.
     pub fn setup(
-        fab: &mut RdmaFabric,
+        fab: &mut rnicsim::RdmaFabric,
         client: &GroupClient,
         replica_nodes: &[NodeId],
         locks: LockTable,
@@ -119,9 +118,7 @@ impl ReplicaReader {
     pub fn begin(
         &mut self,
         client: &mut GroupClient,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         replica: u32,
         lock_id: u32,
         offset: u64,
@@ -144,23 +141,16 @@ impl ReplicaReader {
         );
         let gen = self
             .locks
-            .rd_lock(client, fab, now, out, lock_id, replica, 0)
+            .rd_lock(client, ctx, lock_id, replica, 0)
             .expect("lock issue");
         self.gen_to_token.insert(gen, token);
         token
     }
 
-    fn post_data_read(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        token: u64,
-    ) {
+    fn post_data_read(&mut self, ctx: &mut NicCtx<'_>, token: u64) {
         let st = &self.pending[&token];
         let slot = self.buf_base + (token % self.buf_slots as u64) * READ_SLOT;
-        fab.post_send(
-            now,
+        ctx.post_send(
             self.client_node,
             self.qps[st.replica as usize],
             Wqe {
@@ -172,7 +162,6 @@ impl ReplicaReader {
                 wr_id: token,
                 ..Wqe::default()
             },
-            out,
         );
     }
 
@@ -182,9 +171,7 @@ impl ReplicaReader {
     pub fn pump(
         &mut self,
         client: &mut GroupClient,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         group_acks: &[GroupAck],
     ) -> Vec<CompletedRead> {
         let mut done = Vec::new();
@@ -201,13 +188,13 @@ impl ReplicaReader {
                     match self.locks.interpret_rd_lock(ack, st.replica, expected) {
                         RdLockOutcome::Acquired => {
                             st.phase = Phase::Reading;
-                            self.post_data_read(fab, now, out, token);
+                            self.post_data_read(ctx, token);
                         }
                         RdLockOutcome::Retry { observed } => {
                             st.phase = Phase::Locking { expected: observed };
                             let gen = self
                                 .locks
-                                .rd_lock(client, fab, now, out, st.lock_id, st.replica, observed)
+                                .rd_lock(client, ctx, st.lock_id, st.replica, observed)
                                 .expect("lock retry issue");
                             self.gen_to_token.insert(gen, token);
                         }
@@ -217,7 +204,7 @@ impl ReplicaReader {
                             st.phase = Phase::Locking { expected: 0 };
                             let gen = self
                                 .locks
-                                .rd_lock(client, fab, now, out, st.lock_id, st.replica, 0)
+                                .rd_lock(client, ctx, st.lock_id, st.replica, 0)
                                 .expect("lock retry issue");
                             self.gen_to_token.insert(gen, token);
                         }
@@ -238,7 +225,7 @@ impl ReplicaReader {
                             st.phase = Phase::Unlocking { count: observed };
                             let gen = self
                                 .locks
-                                .rd_unlock(client, fab, now, out, st.lock_id, st.replica, observed)
+                                .rd_unlock(client, ctx, st.lock_id, st.replica, observed)
                                 .expect("unlock retry issue");
                             self.gen_to_token.insert(gen, token);
                         }
@@ -252,13 +239,13 @@ impl ReplicaReader {
         }
 
         // Data READ completions.
-        for cqe in fab.poll_cq(self.client_node, self.cq, 64) {
+        for cqe in ctx.poll_cq(self.client_node, self.cq, 64) {
             assert_eq!(cqe.status, rnicsim::CqeStatus::Success, "{cqe:?}");
             let token = cqe.wr_id;
             let st = self.pending.get_mut(&token).expect("pending read");
             debug_assert!(matches!(st.phase, Phase::Reading));
             let slot = self.buf_base + (token % self.buf_slots as u64) * READ_SLOT;
-            let data = fab
+            let data = ctx
                 .mem(self.client_node)
                 .read_vec(slot, st.len)
                 .expect("bounce slot in bounds");
@@ -267,7 +254,7 @@ impl ReplicaReader {
             st.phase = Phase::Unlocking { count: 1 };
             let gen = self
                 .locks
-                .rd_unlock(client, fab, now, out, st.lock_id, st.replica, 1)
+                .rd_unlock(client, ctx, st.lock_id, st.replica, 1)
                 .expect("unlock issue");
             self.gen_to_token.insert(gen, token);
         }
@@ -301,13 +288,13 @@ mod tests {
             31,
         );
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
-        let group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), now, out)
+        let group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default())
         });
         sim.run();
         let locks = LockTable::new(1 << 20, 16);
-        let reader = drive(&mut sim, |fab, _, _| {
-            ReplicaReader::setup(fab, &group.client, &nodes, locks)
+        let reader = drive(&mut sim, |ctx| {
+            ReplicaReader::setup(ctx.fab, &group.client, &nodes, locks)
         });
         (sim, group, reader, locks)
     }
@@ -320,10 +307,8 @@ mod tests {
         let mut done = Vec::new();
         for _ in 0..16 {
             sim.run();
-            let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
-            done.extend(drive(sim, |fab, now, out| {
-                reader.pump(&mut group.client, fab, now, out, &acks)
-            }));
+            let acks = drive(sim, |ctx| group.client.poll(ctx));
+            done.extend(drive(sim, |ctx| reader.pump(&mut group.client, ctx, &acks)));
             if reader.in_flight() == 0 && sim.queue.is_empty() {
                 break;
             }
@@ -334,13 +319,11 @@ mod tests {
     #[test]
     fn locked_read_returns_replicated_bytes() {
         let (mut sim, mut group, mut reader, _locks) = setup();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             group
                 .client
                 .issue(
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     GroupOp::Write {
                         offset: 256,
                         data: b"read me from any replica".to_vec(),
@@ -350,12 +333,12 @@ mod tests {
                 .unwrap()
         });
         sim.run();
-        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        drive(&mut sim, |ctx| group.client.poll(ctx));
 
         // Read from every replica in turn; all serve identical bytes.
         for replica in 0..3u32 {
-            drive(&mut sim, |fab, now, out| {
-                reader.begin(&mut group.client, fab, now, out, replica, 0, 256, 24)
+            drive(&mut sim, |ctx| {
+                reader.begin(&mut group.client, ctx, replica, 0, 256, 24)
             });
             let done = settle_reads(&mut sim, &mut group, &mut reader);
             assert_eq!(done.len(), 1, "read from replica {replica} incomplete");
@@ -368,8 +351,8 @@ mod tests {
     #[test]
     fn read_lock_cycles_the_word_back_to_zero() {
         let (mut sim, mut group, mut reader, locks) = setup();
-        drive(&mut sim, |fab, now, out| {
-            reader.begin(&mut group.client, fab, now, out, 1, 3, 0, 64)
+        drive(&mut sim, |ctx| {
+            reader.begin(&mut group.client, ctx, 1, 3, 0, 64)
         });
         settle_reads(&mut sim, &mut group, &mut reader);
         let layout = *group.client.layout();
@@ -385,33 +368,27 @@ mod tests {
     fn reader_retries_past_a_writer() {
         let (mut sim, mut group, mut reader, locks) = setup();
         // Writer takes the group lock.
-        let wr_gen = drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_lock(&mut group.client, fab, now, out, 5, 42)
-                .unwrap()
+        let wr_gen = drive(&mut sim, |ctx| {
+            locks.wr_lock(&mut group.client, ctx, 5, 42).unwrap()
         });
         sim.run();
-        let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
         let ack = acks.iter().find(|a| a.gen == wr_gen).unwrap();
         assert_eq!(locks.interpret_wr_lock(ack, 5, 42), WrLockOutcome::Acquired);
 
         // Reader starts; its first lock attempt sees the writer.
-        drive(&mut sim, |fab, now, out| {
-            reader.begin(&mut group.client, fab, now, out, 0, 5, 128, 16)
+        drive(&mut sim, |ctx| {
+            reader.begin(&mut group.client, ctx, 0, 5, 128, 16)
         });
         sim.run();
-        let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
-        let done = drive(&mut sim, |fab, now, out| {
-            reader.pump(&mut group.client, fab, now, out, &acks)
-        });
+        let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
+        let done = drive(&mut sim, |ctx| reader.pump(&mut group.client, ctx, &acks));
         assert!(done.is_empty(), "read must not complete under a writer");
         assert_eq!(reader.in_flight(), 1);
 
         // Writer releases; the reader's retry goes through.
-        drive(&mut sim, |fab, now, out| {
-            locks
-                .wr_unlock(&mut group.client, fab, now, out, 5, 42)
-                .unwrap()
+        drive(&mut sim, |ctx| {
+            locks.wr_unlock(&mut group.client, ctx, 5, 42).unwrap()
         });
         let done = settle_reads(&mut sim, &mut group, &mut reader);
         assert_eq!(done.len(), 1, "reader starved after writer release");
@@ -420,13 +397,11 @@ mod tests {
     #[test]
     fn concurrent_reads_on_different_replicas() {
         let (mut sim, mut group, mut reader, _locks) = setup();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             group
                 .client
                 .issue(
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     GroupOp::Write {
                         offset: 0,
                         data: vec![9; 1024],
@@ -436,11 +411,11 @@ mod tests {
                 .unwrap()
         });
         sim.run();
-        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        drive(&mut sim, |ctx| group.client.poll(ctx));
 
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for replica in 0..3u32 {
-                reader.begin(&mut group.client, fab, now, out, replica, 0, 0, 1024);
+                reader.begin(&mut group.client, ctx, replica, 0, 0, 1024);
             }
         });
         let done = settle_reads(&mut sim, &mut group, &mut reader);

@@ -1,0 +1,342 @@
+//! Multi-group sharding: many replication chains behind one key router.
+//!
+//! A single HyperLoop group serializes every operation through one chain of
+//! NICs, so its throughput tops out at one chain's WQE rate regardless of
+//! how many machines the cluster has. The paper scales past that the same
+//! way production stores do: *shard* the key space over many independent
+//! groups, each with its own chain, window and completion queue, and route
+//! each operation to the group that owns its key.
+//!
+//! [`ShardSet`] owns one [`GroupTransport`] per shard plus a pluggable
+//! [`ShardRouter`]. It is generic over the transport, so a sharded
+//! HyperLoop deployment and a sharded Naïve-RDMA baseline are the same code
+//! — the apples-to-apples property the single-group layer already has,
+//! lifted one level up. A 1-shard `ShardSet` degenerates to exactly its
+//! inner transport: same ops, same generations, same latencies.
+
+use crate::group::GroupError;
+use crate::ops::{GroupAck, GroupOp};
+use crate::transport::GroupTransport;
+use rnicsim::NicCtx;
+use simcore::MetricsRegistry;
+use std::fmt;
+
+/// Identifies one shard (one replication group) within a [`ShardSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Maps a key to the shard that owns it.
+///
+/// Routers must be *stable* (same key, same shard count → same shard,
+/// always) and must cover the whole range `0..n_shards`.
+pub trait ShardRouter: fmt::Debug {
+    /// Routes `key` to a shard in `0..n_shards`.
+    fn route(&self, key: u64, n_shards: u32) -> ShardId;
+}
+
+/// Stable hash routing (SplitMix64 finalizer): spreads arbitrary keys
+/// uniformly over the shards. The default router.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashRouter;
+
+impl ShardRouter for HashRouter {
+    fn route(&self, key: u64, n_shards: u32) -> ShardId {
+        assert!(n_shards > 0, "no shards to route to");
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ShardId((z % n_shards as u64) as u32)
+    }
+}
+
+/// Contiguous range routing: key space `[0, capacity)` is split into
+/// `n_shards` equal spans, so adjacent keys land on the same shard (good
+/// for scans; vulnerable to skew). Keys at or beyond `capacity` clamp to
+/// the last shard.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeRouter {
+    /// Exclusive upper bound of the expected key space.
+    pub capacity: u64,
+}
+
+impl RangeRouter {
+    /// A range router over keys `[0, capacity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "range router needs a non-empty key space");
+        RangeRouter { capacity }
+    }
+}
+
+impl ShardRouter for RangeRouter {
+    fn route(&self, key: u64, n_shards: u32) -> ShardId {
+        assert!(n_shards > 0, "no shards to route to");
+        let span = self.capacity.div_ceil(n_shards as u64).max(1);
+        ShardId(((key / span).min(n_shards as u64 - 1)) as u32)
+    }
+}
+
+/// An acknowledged operation, tagged with the shard it completed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAck {
+    /// The shard whose chain acknowledged.
+    pub shard: ShardId,
+    /// The per-shard group ack (generation + result map).
+    pub ack: GroupAck,
+}
+
+/// Many replication groups behind one router.
+///
+/// Issue against a key with [`ShardSet::issue_key`] (router decides the
+/// shard) or against an explicit shard with [`ShardSet::issue_on`]; collect
+/// completions from *all* shards' completion queues with
+/// [`ShardSet::poll`]. Generations are per-shard — `(shard, gen)` is the
+/// unique operation identity.
+#[derive(Debug)]
+pub struct ShardSet<T: GroupTransport> {
+    shards: Vec<T>,
+    router: Box<dyn ShardRouter + Send>,
+    issued: Vec<u64>,
+    acked: Vec<u64>,
+}
+
+impl<T: GroupTransport> ShardSet<T> {
+    /// Builds a shard set over `shards` transports (chain order = shard id
+    /// order) with the given router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<T>, router: Box<dyn ShardRouter + Send>) -> Self {
+        assert!(!shards.is_empty(), "shard set needs at least one shard");
+        let n = shards.len();
+        ShardSet {
+            shards,
+            router,
+            issued: vec![0; n],
+            acked: vec![0; n],
+        }
+    }
+
+    /// Builds a shard set with the default [`HashRouter`].
+    pub fn with_hash_router(shards: Vec<T>) -> Self {
+        ShardSet::new(shards, Box::new(HashRouter))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard that owns `key`.
+    pub fn route(&self, key: u64) -> ShardId {
+        let s = self.router.route(key, self.shard_count());
+        assert!(
+            (s.0 as usize) < self.shards.len(),
+            "router returned {s} for {} shards",
+            self.shards.len()
+        );
+        s
+    }
+
+    /// One shard's transport.
+    pub fn shard(&self, id: ShardId) -> &T {
+        &self.shards[id.0 as usize]
+    }
+
+    /// One shard's transport, mutably (e.g. to install a tracer).
+    pub fn shard_mut(&mut self, id: ShardId) -> &mut T {
+        &mut self.shards[id.0 as usize]
+    }
+
+    /// Iterates `(id, transport)` over all shards.
+    pub fn iter(&self) -> impl Iterator<Item = (ShardId, &T)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ShardId(i as u32), t))
+    }
+
+    /// Operations issued but not yet acknowledged, across all shards.
+    pub fn in_flight(&self) -> u64 {
+        self.shards.iter().map(|s| s.in_flight()).sum()
+    }
+
+    /// Operations acknowledged, across all shards.
+    pub fn completed(&self) -> u64 {
+        self.acked.iter().sum()
+    }
+
+    /// Operations issued, across all shards.
+    pub fn issued(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+
+    /// Operations acknowledged on one shard.
+    pub fn completed_on(&self, id: ShardId) -> u64 {
+        self.acked[id.0 as usize]
+    }
+
+    /// True if `key`'s shard can take another op right now.
+    pub fn can_issue_key(&self, key: u64) -> bool {
+        self.shards[self.route(key).0 as usize].can_issue()
+    }
+
+    /// True if the explicit shard can take another op right now.
+    pub fn can_issue_on(&self, id: ShardId) -> bool {
+        self.shards[id.0 as usize].can_issue()
+    }
+
+    /// Issues `op` on the shard that owns `key`, returning the shard and
+    /// the per-shard generation.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::WindowFull`] if that shard's window is full (other
+    /// shards may still have room — the caller decides whether to retry,
+    /// pick another key, or poll); [`GroupError::OutOfRange`] for offsets
+    /// beyond the shard's shared region.
+    pub fn issue_key(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        key: u64,
+        op: GroupOp,
+    ) -> Result<(ShardId, u64), GroupError> {
+        let shard = self.route(key);
+        self.issue_on(ctx, shard, op).map(|gen| (shard, gen))
+    }
+
+    /// Issues `op` on an explicit shard, returning the per-shard
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardSet::issue_key`].
+    pub fn issue_on(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        id: ShardId,
+        op: GroupOp,
+    ) -> Result<u64, GroupError> {
+        let gen = self.shards[id.0 as usize].issue(ctx, op)?;
+        self.issued[id.0 as usize] += 1;
+        Ok(gen)
+    }
+
+    /// Collects completed operations from every shard's completion queue
+    /// (aggregate fan-in), in shard order.
+    pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<ShardAck> {
+        let mut acks = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let got = shard.poll(ctx);
+            self.acked[i] += got.len() as u64;
+            acks.extend(got.into_iter().map(|ack| ShardAck {
+                shard: ShardId(i as u32),
+                ack,
+            }));
+        }
+        acks
+    }
+
+    /// Snapshots per-shard client counters into `reg`:
+    /// `{prefix}.shard{i}.{issued,acked,in_flight,window}` plus
+    /// `{prefix}.shards`.
+    pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter_add(&format!("{prefix}.shards"), self.shards.len() as u64);
+        for (i, shard) in self.shards.iter().enumerate() {
+            reg.counter_add(&format!("{prefix}.shard{i}.issued"), self.issued[i]);
+            reg.counter_add(&format!("{prefix}.shard{i}.acked"), self.acked[i]);
+            reg.counter_add(&format!("{prefix}.shard{i}.in_flight"), shard.in_flight());
+            reg.counter_add(&format!("{prefix}.shard{i}.window"), shard.window() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coverage(router: &dyn ShardRouter, n: u32, keys: impl Iterator<Item = u64>) -> Vec<u64> {
+        let mut hits = vec![0u64; n as usize];
+        for k in keys {
+            let s = router.route(k, n);
+            assert!(s.0 < n, "router escaped range: {s} of {n}");
+            hits[s.0 as usize] += 1;
+        }
+        hits
+    }
+
+    #[test]
+    fn hash_router_is_stable() {
+        for n in [1u32, 2, 3, 8, 64] {
+            for key in (0..10_000u64).step_by(37) {
+                assert_eq!(HashRouter.route(key, n), HashRouter.route(key, n));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_router_covers_every_shard() {
+        for n in [1u32, 2, 5, 8] {
+            let hits = coverage(&HashRouter, n, 0..4096);
+            assert!(
+                hits.iter().all(|&h| h > 0),
+                "{n} shards, empty shard: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_router_spreads_sequential_keys_roughly_evenly() {
+        let n = 8u32;
+        let total = 64_000u64;
+        let hits = coverage(&HashRouter, n, 0..total);
+        let expect = total / n as u64;
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                h > expect / 2 && h < expect * 2,
+                "shard {i} badly skewed: {h} vs ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_router_is_contiguous_and_covers_every_shard() {
+        let r = RangeRouter::new(1000);
+        for n in [1u32, 2, 4, 7] {
+            let hits = coverage(&r, n, 0..1000);
+            assert!(hits.iter().all(|&h| h > 0), "{n} shards: {hits:?}");
+            // Contiguity: shard ids are monotone in the key.
+            let mut last = 0;
+            for k in 0..1000u64 {
+                let s = r.route(k, n).0;
+                assert!(s >= last, "range router not monotone at key {k}");
+                last = s;
+            }
+        }
+    }
+
+    #[test]
+    fn range_router_clamps_out_of_range_keys() {
+        let r = RangeRouter::new(100);
+        assert_eq!(r.route(1_000_000, 4), ShardId(3));
+    }
+
+    #[test]
+    fn range_router_stable() {
+        let r = RangeRouter::new(4096);
+        for key in 0..4096u64 {
+            assert_eq!(r.route(key, 6), r.route(key, 6));
+        }
+    }
+}

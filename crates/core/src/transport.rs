@@ -4,13 +4,13 @@
 //! Naïve-RDMA baseline implement [`GroupTransport`], so RocksDB- and
 //! MongoDB-style stores run unchanged over either — exactly the paper's
 //! "modified with under 1000 lines" adoption story, and the basis of every
-//! apples-to-apples comparison in the evaluation.
+//! apples-to-apples comparison in the evaluation. The sharded layer
+//! ([`crate::ShardSet`]) composes many transports behind a key router.
 
 use crate::group::{GroupClient, GroupError};
 use crate::ops::{GroupAck, GroupOp};
 use netsim::NodeId;
-use rnicsim::{CqId, NicEffect, RdmaFabric};
-use simcore::{Outbox, SimTime};
+use rnicsim::{CqId, NicCtx};
 
 /// A chain-replicated group-operation transport.
 pub trait GroupTransport {
@@ -38,21 +38,10 @@ pub trait GroupTransport {
     /// # Errors
     ///
     /// [`GroupError::WindowFull`] or [`GroupError::OutOfRange`].
-    fn issue(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        op: GroupOp,
-    ) -> Result<u64, GroupError>;
+    fn issue(&mut self, ctx: &mut NicCtx<'_>, op: GroupOp) -> Result<u64, GroupError>;
 
     /// Collects completed operations.
-    fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<GroupAck>;
+    fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck>;
 
     /// True if another op fits the window.
     fn can_issue(&self) -> bool {
@@ -85,22 +74,11 @@ impl GroupTransport for GroupClient {
         GroupClient::window(self)
     }
 
-    fn issue(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        op: GroupOp,
-    ) -> Result<u64, GroupError> {
-        GroupClient::issue(self, fab, now, out, op)
+    fn issue(&mut self, ctx: &mut NicCtx<'_>, op: GroupOp) -> Result<u64, GroupError> {
+        GroupClient::issue(self, ctx, op)
     }
 
-    fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<GroupAck> {
-        GroupClient::poll(self, fab, now, out)
+    fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
+        GroupClient::poll(self, ctx)
     }
 }

@@ -19,8 +19,7 @@
 use crate::group::GroupError;
 use crate::ops::GroupOp;
 use crate::transport::GroupTransport;
-use rnicsim::{NicEffect, RdmaFabric};
-use simcore::{Outbox, SimTime};
+use rnicsim::NicCtx;
 use std::collections::VecDeque;
 use std::fmt;
 use walog::{LogEntry, LogRecord, WalRing};
@@ -165,12 +164,10 @@ impl ReplicatedWal {
     pub fn append<T: GroupTransport>(
         &mut self,
         client: &mut T,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         entries: Vec<LogEntry>,
     ) -> Result<WalReceipt, WalError> {
-        self.append_opts(client, fab, now, out, entries, true)
+        self.append_opts(client, ctx, entries, true)
     }
 
     /// [`ReplicatedWal::append`] with an explicit durability choice:
@@ -183,9 +180,7 @@ impl ReplicatedWal {
     pub fn append_opts<T: GroupTransport>(
         &mut self,
         client: &mut T,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
         entries: Vec<LogEntry>,
         flush: bool,
     ) -> Result<WalReceipt, WalError> {
@@ -207,9 +202,7 @@ impl ReplicatedWal {
         };
         let gen = client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Write {
                     offset: self.layout.log_offset + placement.offset,
                     data: bytes.clone(),
@@ -241,9 +234,7 @@ impl ReplicatedWal {
     pub fn execute_and_advance<T: GroupTransport>(
         &mut self,
         client: &mut T,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
+        ctx: &mut NicCtx<'_>,
     ) -> Result<Option<WalReceipt>, WalError> {
         let Some(rec) = self.queue.front() else {
             return Ok(None);
@@ -263,9 +254,7 @@ impl ReplicatedWal {
             let dst = self.layout.db_offset + entry.offset;
             let gen = client
                 .issue(
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     GroupOp::Memcpy {
                         src,
                         dst,
@@ -283,9 +272,7 @@ impl ReplicatedWal {
         head_bytes.extend_from_slice(&(rec.record.tx_id + 1).to_le_bytes());
         let gen = client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Write {
                     offset: self.layout.head_ptr_offset,
                     data: head_bytes,
@@ -347,8 +334,8 @@ mod tests {
         );
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
         let cfg = GroupConfig::default();
-        let group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, NodeId(0), &nodes, cfg, now, out)
+        let group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, NodeId(0), &nodes, cfg)
         });
         sim.run();
         let layout = WalLayout::standard(cfg.shared_size, 1 << 20, 4096);
@@ -357,7 +344,7 @@ mod tests {
 
     fn settle(sim: &mut Simulation<FabricSim>, group: &mut HyperLoopGroup) -> usize {
         sim.run();
-        let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
+        let acks = drive(sim, |ctx| group.client.poll(ctx));
         assert_eq!(sim.model.fab.stats().errors, 0);
         acks.len()
     }
@@ -366,12 +353,10 @@ mod tests {
     fn append_then_execute_applies_to_every_replica_db() {
         let (mut sim, mut group, mut wal) = setup();
         let shared = group.client.layout().shared_base;
-        let receipt = drive(&mut sim, |fab, now, out| {
+        let receipt = drive(&mut sim, |ctx| {
             wal.append(
                 &mut group.client,
-                fab,
-                now,
-                out,
+                ctx,
                 vec![
                     LogEntry {
                         offset: 100,
@@ -388,8 +373,8 @@ mod tests {
         assert_eq!(receipt.tx_id, 0);
         settle(&mut sim, &mut group);
 
-        let exec = drive(&mut sim, |fab, now, out| {
-            wal.execute_and_advance(&mut group.client, fab, now, out)
+        let exec = drive(&mut sim, |ctx| {
+            wal.execute_and_advance(&mut group.client, ctx)
                 .unwrap()
                 .expect("one record queued")
         });
@@ -432,12 +417,10 @@ mod tests {
         let (mut sim, mut group, mut wal) = setup();
         let shared = group.client.layout().shared_base;
         for i in 0..3u64 {
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 wal.append(
                     &mut group.client,
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     vec![LogEntry {
                         offset: i * 64,
                         data: vec![i as u8 + 1; 32],
@@ -466,9 +449,8 @@ mod tests {
     #[test]
     fn execute_on_empty_backlog_is_none() {
         let (mut sim, mut group, mut wal) = setup();
-        let r = drive(&mut sim, |fab, now, out| {
-            wal.execute_and_advance(&mut group.client, fab, now, out)
-                .unwrap()
+        let r = drive(&mut sim, |ctx| {
+            wal.execute_and_advance(&mut group.client, ctx).unwrap()
         });
         assert!(r.is_none());
     }
@@ -477,12 +459,10 @@ mod tests {
     fn oversized_entry_rejected() {
         let (mut sim, mut group, mut wal) = setup();
         let db_size = wal.layout().db_size;
-        let err = drive(&mut sim, |fab, now, out| {
+        let err = drive(&mut sim, |ctx| {
             wal.append(
                 &mut group.client,
-                fab,
-                now,
-                out,
+                ctx,
                 vec![LogEntry {
                     offset: db_size - 4,
                     data: vec![0; 8],
@@ -498,12 +478,10 @@ mod tests {
         let (mut sim, mut group, mut wal) = setup();
         // Each record ~ 24 + 12 + 2048 bytes; 1 MiB ring wraps after ~500.
         for i in 0..600u64 {
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 wal.append(
                     &mut group.client,
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     vec![LogEntry {
                         offset: (i % 64) * 2048,
                         data: vec![i as u8; 2048],
@@ -512,16 +490,16 @@ mod tests {
                 .unwrap()
             });
             settle(&mut sim, &mut group);
-            drive(&mut sim, |fab, now, out| {
-                wal.execute_and_advance(&mut group.client, fab, now, out)
+            drive(&mut sim, |ctx| {
+                wal.execute_and_advance(&mut group.client, ctx)
                     .unwrap()
                     .expect("record queued")
             });
             settle(&mut sim, &mut group);
             // Maintain replica descriptor rings (off the critical path).
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 for r in &mut group.replicas {
-                    r.replenish(fab, 3, now, out);
+                    r.replenish(ctx, 3);
                 }
             });
         }
@@ -553,12 +531,10 @@ mod tests {
         let mut wal = ReplicatedWal::new(layout);
         let mut filled = false;
         for _ in 0..10 {
-            let r = drive(&mut sim, |fab, now, out| {
+            let r = drive(&mut sim, |ctx| {
                 wal.append(
                     &mut group.client,
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     vec![LogEntry {
                         offset: 0,
                         data: vec![1; 100],

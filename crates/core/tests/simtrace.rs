@@ -24,8 +24,8 @@ fn traced_setup(seed: u64) -> (Simulation<FabricSim>, HyperLoopGroup, Tracer) {
     let tracer = Tracer::enabled(1 << 16);
     sim.model.fab.set_tracer(tracer.clone());
     let nodes: Vec<NodeId> = (1..=3).map(NodeId).collect();
-    let mut group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, CLIENT, &nodes, GroupConfig::default(), now, out)
+    let mut group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
     });
     group.client.set_tracer(tracer.clone());
     sim.run();
@@ -40,13 +40,11 @@ fn run_traced_gwrite(
     payload: usize,
 ) -> (u64, SimTime, SimTime) {
     let t_issue = sim.now();
-    let gen = drive(sim, |fab, now, out| {
+    let gen = drive(sim, |ctx| {
         group
             .client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Write {
                     offset: 0,
                     data: vec![0xAB; payload],
@@ -56,7 +54,7 @@ fn run_traced_gwrite(
             .expect("issue")
     });
     sim.run();
-    let acks = drive(sim, |fab, now, out| group.client.poll(fab, now, out));
+    let acks = drive(sim, |ctx| group.client.poll(ctx));
     assert_eq!(acks.len(), 1);
     assert_eq!(acks[0].gen, gen);
     assert_eq!(sim.model.fab.stats().errors, 0);
@@ -156,8 +154,8 @@ fn disabled_tracer_records_nothing() {
         7,
     );
     let nodes: Vec<NodeId> = (1..=3).map(NodeId).collect();
-    let mut group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, CLIENT, &nodes, GroupConfig::default(), now, out)
+    let mut group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
     });
     sim.run();
     run_traced_gwrite(&mut sim, &mut group, 256);

@@ -84,7 +84,9 @@ mod tests {
     fn submit(sim: &mut Simulation<Harness>, p: ProcId, t: u64, cost: SimDuration) {
         let mut out = Outbox::new();
         let now = sim.queue.now();
-        sim.model.sched.submit(p, TaskId(t), cost, now, &mut out);
+        sim.model
+            .sched
+            .submit(p, TaskId(t), cost, simcore::simtrace::NO_OP, now, &mut out);
         Harness::route(&mut out, &mut sim.queue);
     }
 

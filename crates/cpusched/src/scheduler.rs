@@ -17,6 +17,11 @@ use std::collections::VecDeque;
 struct Task {
     id: TaskId,
     remaining: SimDuration,
+    /// Causal operation this task serves (`NO_OP` when none): the `wr_id`
+    /// of the completion that woke the process, threaded into
+    /// dispatch/preempt trace events so scheduling delays tile into the
+    /// op's latency breakdown.
+    op: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +227,9 @@ impl CpuScheduler {
 
     /// Submits `cost` worth of CPU work to `proc`; a
     /// [`CpuEffect::TaskDone`] effect fires when it finishes executing.
+    /// `op` is the causal operation the work serves (the waking CQE's
+    /// `wr_id`), or [`simcore::simtrace::NO_OP`] for op-less work such as
+    /// timers.
     ///
     /// # Panics
     ///
@@ -231,12 +239,14 @@ impl CpuScheduler {
         proc: ProcId,
         task: TaskId,
         cost: SimDuration,
+        op: u64,
         now: SimTime,
         out: &mut Outbox<CpuEffect>,
     ) {
         self.procs[proc.0 as usize].tasks.push_back(Task {
             id: task,
             remaining: cost,
+            op,
         });
         match self.procs[proc.0 as usize].state {
             ProcState::Blocked => {
@@ -347,11 +357,15 @@ impl CpuScheduler {
                     generation: slice.generation,
                 }),
             );
+            let op = self.procs[pid.0 as usize]
+                .tasks
+                .front()
+                .map_or(simcore::simtrace::NO_OP, |t| t.op);
             self.cores[core_id.0 as usize].running = Some(slice);
             self.tracer.emit(
                 now,
                 self.trace_node,
-                simcore::simtrace::NO_OP,
+                op,
                 TraceKind::Dispatch { task: pid.0 as u64 },
             );
             return;
@@ -465,12 +479,16 @@ impl CpuScheduler {
             ProcKind::Hog => proc.hog_on || !proc.tasks.is_empty(),
         };
         if wants_cpu {
+            let op = proc
+                .tasks
+                .front()
+                .map_or(simcore::simtrace::NO_OP, |t| t.op);
             proc.state = ProcState::Queued(core_id);
             self.cores[core_id.0 as usize].queue.push_back(pid);
             self.tracer.emit(
                 now,
                 self.trace_node,
-                simcore::simtrace::NO_OP,
+                op,
                 TraceKind::Preempt { task: pid.0 as u64 },
             );
         } else {

@@ -13,9 +13,11 @@
 #![warn(missing_docs)]
 
 pub mod doc;
+pub mod sharded;
 pub mod store;
 
 pub use doc::Document;
+pub use sharded::ShardedDocStore;
 pub use store::{CompletedTx, DocConfig, DocError, ReplicatedDocStore, WriteMode};
 
 #[cfg(test)]
@@ -45,8 +47,8 @@ mod tests {
             17,
         );
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
-        let group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, CLIENT, &nodes, GroupConfig::default(), now, out)
+        let group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
         });
         sim.run();
         let base = group.client.layout().shared_base;
@@ -59,7 +61,7 @@ mod tests {
         // Transactions are multi-phase: keep running until quiescent.
         for _ in 0..32 {
             sim.run();
-            let batch = drive(sim, |fab, now, out| store.poll(fab, now, out));
+            let batch = drive(sim, |ctx| store.poll(ctx));
             done.extend(batch);
             if sim.queue.is_empty() && store.transport.in_flight() == 0 {
                 break;
@@ -73,9 +75,7 @@ mod tests {
     fn write_commits_through_all_phases() {
         let (mut sim, mut store, base, _) = setup();
         let doc = Document::with_field(5, "field0", vec![7; 256]);
-        drive(&mut sim, |fab, now, out| {
-            store.write(fab, now, out, doc.clone()).unwrap()
-        });
+        drive(&mut sim, |ctx| store.write(ctx, doc.clone()).unwrap());
         let done = settle(&mut sim, &mut store);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].doc_id, 5);
@@ -86,8 +86,8 @@ mod tests {
         // Every replica's database region now holds the document, durably
         // (executed + flushed), and the lock is free again.
         for n in 1..=3u32 {
-            let got = drive(&mut sim, |fab, _, _| {
-                store.replica_read(fab, NodeId(n), base, 5)
+            let got = drive(&mut sim, |ctx| {
+                store.replica_read(ctx.fab, NodeId(n), base, 5)
             });
             assert_eq!(got.as_ref(), Some(&doc), "replica {n}");
         }
@@ -97,9 +97,9 @@ mod tests {
     fn lock_word_cycles_zero_locked_zero() {
         let (mut sim, mut store, base, _) = setup();
         // After commit, the lock word must be back to zero on all replicas.
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             store
-                .write(fab, now, out, Document::with_field(1, "f", vec![1]))
+                .write(ctx, Document::with_field(1, "f", vec![1]))
                 .unwrap()
         });
         settle(&mut sim, &mut store);
@@ -117,15 +117,10 @@ mod tests {
     #[test]
     fn pipelined_writes_to_different_docs() {
         let (mut sim, mut store, _, _) = setup();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for id in 0..8u64 {
                 store
-                    .write(
-                        fab,
-                        now,
-                        out,
-                        Document::with_field(id, "f", vec![id as u8; 64]),
-                    )
+                    .write(ctx, Document::with_field(id, "f", vec![id as u8; 64]))
                     .unwrap();
             }
         });
@@ -139,10 +134,10 @@ mod tests {
     #[test]
     fn same_doc_writes_serialize_via_the_lock() {
         let (mut sim, mut store, _, _) = setup();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for v in 0..4u8 {
                 store
-                    .write(fab, now, out, Document::with_field(9, "f", vec![v; 32]))
+                    .write(ctx, Document::with_field(9, "f", vec![v; 32]))
                     .unwrap();
             }
         });
@@ -160,30 +155,28 @@ mod tests {
     fn recovery_matches_primary_view() {
         let (mut sim, mut store, base, mut replicas) = setup();
         for round in 0..30u64 {
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 store
                     .write(
-                        fab,
-                        now,
-                        out,
+                        ctx,
                         Document::with_field(round % 10, "f", vec![round as u8; 128]),
                     )
                     .unwrap()
             });
             settle(&mut sim, &mut store);
             let completed = store.transport.completed();
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 for r in replicas.iter_mut() {
                     let target = completed + 128;
                     if target > r.preposted() {
-                        r.replenish(fab, (target - r.preposted()) as u32, now, out);
+                        r.replenish(ctx, (target - r.preposted()) as u32);
                     }
                 }
             });
         }
         sim.model.fab.mem(NodeId(2)).power_failure();
-        let state = drive(&mut sim, |fab, _, _| {
-            store.recover_state(fab, NodeId(2), base)
+        let state = drive(&mut sim, |ctx| {
+            store.recover_state(ctx.fab, NodeId(2), base)
         });
         assert_eq!(state.len(), 10);
         for (id, doc) in state {
@@ -194,10 +187,10 @@ mod tests {
     #[test]
     fn scan_over_documents() {
         let (mut sim, mut store, _, _) = setup();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for id in [2u64, 4, 6, 8] {
                 store
-                    .write(fab, now, out, Document::with_field(id, "f", vec![1]))
+                    .write(ctx, Document::with_field(id, "f", vec![1]))
                     .unwrap();
             }
         });
@@ -213,23 +206,21 @@ mod tests {
         let (mut sim, mut store, base, _) = setup();
         store.set_mode(WriteMode::AppendOnly);
         let doc = Document::with_field(7, "f", vec![3; 128]);
-        drive(&mut sim, |fab, now, out| {
-            store.write(fab, now, out, doc.clone()).unwrap()
-        });
+        drive(&mut sim, |ctx| store.write(ctx, doc.clone()).unwrap());
         let done = settle(&mut sim, &mut store);
         assert_eq!(done.len(), 1, "append-only commit");
         // Committed but not yet applied: the replica DB region is empty...
-        let before = drive(&mut sim, |fab, _, _| {
-            store.replica_read(fab, NodeId(1), base, 7)
+        let before = drive(&mut sim, |ctx| {
+            store.replica_read(ctx.fab, NodeId(1), base, 7)
         });
         assert_eq!(before, None, "apply must be asynchronous");
         // ...until the background apply runs.
-        drive(&mut sim, |fab, now, out| {
-            assert_eq!(store.apply_backlog(fab, now, out, 8), 1);
+        drive(&mut sim, |ctx| {
+            assert_eq!(store.apply_backlog(ctx, 8), 1);
         });
         settle(&mut sim, &mut store);
-        let after = drive(&mut sim, |fab, _, _| {
-            store.replica_read(fab, NodeId(1), base, 7)
+        let after = drive(&mut sim, |ctx| {
+            store.replica_read(ctx.fab, NodeId(1), base, 7)
         });
         assert_eq!(after, Some(doc));
     }
@@ -238,15 +229,10 @@ mod tests {
     fn append_only_pipelines_multiple_writes() {
         let (mut sim, mut store, _, _) = setup();
         store.set_mode(WriteMode::AppendOnly);
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             for id in 0..10u64 {
                 store
-                    .write(
-                        fab,
-                        now,
-                        out,
-                        Document::with_field(id, "f", vec![id as u8; 64]),
-                    )
+                    .write(ctx, Document::with_field(id, "f", vec![id as u8; 64]))
                     .unwrap();
             }
         });
@@ -263,15 +249,15 @@ mod tests {
     fn geometry_violations_rejected() {
         let (mut sim, mut store, _, _) = setup();
         let cap = store.config().capacity;
-        let err = drive(&mut sim, |fab, now, out| {
+        let err = drive(&mut sim, |ctx| {
             store
-                .write(fab, now, out, Document::with_field(cap, "f", vec![1]))
+                .write(ctx, Document::with_field(cap, "f", vec![1]))
                 .unwrap_err()
         });
         assert_eq!(err, DocError::IdOutOfRange);
-        let err = drive(&mut sim, |fab, now, out| {
+        let err = drive(&mut sim, |ctx| {
             store
-                .write(fab, now, out, Document::with_field(0, "f", vec![0; 4096]))
+                .write(ctx, Document::with_field(0, "f", vec![0; 4096]))
                 .unwrap_err()
         });
         assert_eq!(err, DocError::DocTooLarge);
@@ -281,16 +267,16 @@ mod tests {
     fn write_latency_is_a_handful_of_chain_trips() {
         let (mut sim, mut store, _, _) = setup();
         // Warm-up.
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             store
-                .write(fab, now, out, Document::with_field(0, "f", vec![0; 64]))
+                .write(ctx, Document::with_field(0, "f", vec![0; 64]))
                 .unwrap()
         });
         settle(&mut sim, &mut store);
         let t0 = sim.now();
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             store
-                .write(fab, now, out, Document::with_field(1, "f", vec![1; 1024]))
+                .write(ctx, Document::with_field(1, "f", vec![1; 1024]))
                 .unwrap()
         });
         let done = settle(&mut sim, &mut store);

@@ -16,8 +16,8 @@ use crate::doc::Document;
 use hyperloop::lock::{LockTable, WrLockOutcome};
 use hyperloop::wal::{recover_unapplied, ReplicatedWal, WalLayout};
 use hyperloop::GroupTransport;
-use rnicsim::{NicEffect, RdmaFabric};
-use simcore::{Outbox, SimTime};
+use rnicsim::{NicCtx, RdmaFabric};
+use simcore::SimTime;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use walog::LogEntry;
@@ -197,19 +197,10 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
 
     /// Asynchronously applies up to `max_records` backlogged journal
     /// records on every replica (the native mode's background apply).
-    pub fn apply_backlog(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        max_records: usize,
-    ) -> usize {
+    pub fn apply_backlog(&mut self, ctx: &mut NicCtx<'_>, max_records: usize) -> usize {
         let mut applied = 0;
         while applied < max_records {
-            match self
-                .wal
-                .execute_and_advance(&mut self.transport, fab, now, out)
-            {
+            match self.wal.execute_and_advance(&mut self.transport, ctx) {
                 Ok(Some(_)) => applied += 1,
                 Ok(None) | Err(_) => break,
             }
@@ -262,13 +253,7 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
     /// # Errors
     ///
     /// [`DocError`] on geometry violations or a full pipeline.
-    pub fn write(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        doc: Document,
-    ) -> Result<u64, DocError> {
+    pub fn write(&mut self, ctx: &mut NicCtx<'_>, doc: Document) -> Result<u64, DocError> {
         if doc.id >= self.config.capacity {
             return Err(DocError::IdOutOfRange);
         }
@@ -290,16 +275,16 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                 WriteMode::FullPipeline => Phase::NeedLock,
                 WriteMode::AppendOnly => Phase::NeedAppend,
             },
-            started: now,
+            started: ctx.now,
             waiting: Vec::new(),
         });
-        self.pump(fab, now, out);
+        self.pump(ctx);
         Ok(tx_seq)
     }
 
     /// Drives transaction phases as far as the window allows. Called
     /// internally by `write` and `poll`; harmless to call extra times.
-    pub fn pump(&mut self, fab: &mut RdmaFabric, now: SimTime, out: &mut Outbox<NicEffect>) {
+    pub fn pump(&mut self, ctx: &mut NicCtx<'_>) {
         // Only the *head* transaction issues journal work (appends must hit
         // the ring in tx order); lock phases of later txs may overlap.
         for i in 0..self.active.len() {
@@ -316,17 +301,14 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                     if conflict {
                         continue;
                     }
-                    let gen = match self.locks.wr_lock(
-                        &mut self.transport,
-                        fab,
-                        now,
-                        out,
-                        lock_id,
-                        self.owner,
-                    ) {
-                        Ok(g) => g,
-                        Err(_) => return,
-                    };
+                    let gen =
+                        match self
+                            .locks
+                            .wr_lock(&mut self.transport, ctx, lock_id, self.owner)
+                        {
+                            Ok(g) => g,
+                            Err(_) => return,
+                        };
                     let tx = &mut self.active[i];
                     tx.phase = Phase::Locking;
                     tx.waiting = vec![gen];
@@ -357,8 +339,7 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                         offset: doc.id * self.config.slot_size(),
                         data: slot_bytes,
                     }];
-                    let receipt = match self.wal.append(&mut self.transport, fab, now, out, entries)
-                    {
+                    let receipt = match self.wal.append(&mut self.transport, ctx, entries) {
                         Ok(r) => r,
                         Err(_) => return, // ring or window full: retry later
                     };
@@ -373,15 +354,11 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                     if i != 0 {
                         continue;
                     }
-                    let receipt =
-                        match self
-                            .wal
-                            .execute_and_advance(&mut self.transport, fab, now, out)
-                        {
-                            Ok(Some(r)) => r,
-                            Ok(None) => return,
-                            Err(_) => return,
-                        };
+                    let receipt = match self.wal.execute_and_advance(&mut self.transport, ctx) {
+                        Ok(Some(r)) => r,
+                        Ok(None) => return,
+                        Err(_) => return,
+                    };
                     let tx = &mut self.active[i];
                     tx.phase = Phase::Executing;
                     tx.waiting = receipt.gens.clone();
@@ -394,17 +371,14 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                         return;
                     }
                     let lock_id = self.active[i].lock_id;
-                    let gen = match self.locks.wr_unlock(
-                        &mut self.transport,
-                        fab,
-                        now,
-                        out,
-                        lock_id,
-                        self.owner,
-                    ) {
-                        Ok(g) => g,
-                        Err(_) => return,
-                    };
+                    let gen =
+                        match self
+                            .locks
+                            .wr_unlock(&mut self.transport, ctx, lock_id, self.owner)
+                        {
+                            Ok(g) => g,
+                            Err(_) => return,
+                        };
                     let tx = &mut self.active[i];
                     tx.phase = Phase::Unlocking;
                     tx.waiting = vec![gen];
@@ -417,13 +391,8 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
 
     /// Processes transport acks, advances transactions, and returns the
     /// ones that fully committed.
-    pub fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<CompletedTx> {
-        let acks = self.transport.poll(fab, now, out);
+    pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<CompletedTx> {
+        let acks = self.transport.poll(ctx);
         for ack in acks {
             let Some(tx_seq) = self.gen_to_tx.remove(&ack.gen) else {
                 continue;
@@ -464,7 +433,7 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                             tx_seq: tx.tx_seq,
                             doc_id: tx.doc.id,
                             started: tx.started,
-                            finished: now,
+                            finished: ctx.now,
                         };
                         self.completed.push(done);
                         self.active.remove(pos);
@@ -477,7 +446,7 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                         tx_seq: tx.tx_seq,
                         doc_id: tx.doc.id,
                         started: tx.started,
-                        finished: now,
+                        finished: ctx.now,
                     };
                     self.completed.push(done);
                     self.active.remove(pos);
@@ -486,7 +455,7 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
                 p => p,
             };
         }
-        self.pump(fab, now, out);
+        self.pump(ctx);
         std::mem::take(&mut self.completed)
     }
 

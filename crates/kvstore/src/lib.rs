@@ -18,10 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sharded;
+
+pub use sharded::ShardedKv;
+
 use hyperloop::wal::{recover_unapplied, ReplicatedWal, WalError, WalLayout};
 use hyperloop::GroupTransport;
-use rnicsim::{NicEffect, RdmaFabric};
-use simcore::{Outbox, SimTime};
+use rnicsim::{NicCtx, RdmaFabric};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use walog::LogEntry;
@@ -187,14 +190,7 @@ impl<T: GroupTransport> ReplicatedKv<T> {
     /// # Errors
     ///
     /// [`KvError`] on geometry violations or back-pressure.
-    pub fn put(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        key: u64,
-        value: Vec<u8>,
-    ) -> Result<u64, KvError> {
+    pub fn put(&mut self, ctx: &mut NicCtx<'_>, key: u64, value: Vec<u8>) -> Result<u64, KvError> {
         if key >= self.config.capacity {
             return Err(KvError::KeyOutOfRange);
         }
@@ -210,14 +206,7 @@ impl<T: GroupTransport> ReplicatedKv<T> {
         }];
         let receipt = self
             .wal
-            .append_opts(
-                &mut self.transport,
-                fab,
-                now,
-                out,
-                entries,
-                self.config.durable,
-            )
+            .append_opts(&mut self.transport, ctx, entries, self.config.durable)
             .map_err(|e| match e {
                 WalError::EntryOutOfDatabase => KvError::KeyOutOfRange,
                 WalError::LogFull | WalError::WindowFull => KvError::Busy,
@@ -231,19 +220,10 @@ impl<T: GroupTransport> ReplicatedKv<T> {
     /// Off-critical-path maintenance: applies backlogged WAL records to the
     /// replicas' database regions (gMEMCPY) and truncates. Call when idle —
     /// RocksDB's periodic dump. Applies at most `max_records`.
-    pub fn checkpoint(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-        max_records: usize,
-    ) -> usize {
+    pub fn checkpoint(&mut self, ctx: &mut NicCtx<'_>, max_records: usize) -> usize {
         let mut applied = 0;
         while applied < max_records {
-            match self
-                .wal
-                .execute_and_advance(&mut self.transport, fab, now, out)
-            {
+            match self.wal.execute_and_advance(&mut self.transport, ctx) {
                 Ok(Some(receipt)) => {
                     for g in receipt.gens {
                         self.pending_checkpoint.insert(g, ());
@@ -257,13 +237,8 @@ impl<T: GroupTransport> ReplicatedKv<T> {
     }
 
     /// Collects transport completions; returns finished puts.
-    pub fn poll(
-        &mut self,
-        fab: &mut RdmaFabric,
-        now: SimTime,
-        out: &mut Outbox<NicEffect>,
-    ) -> Vec<CompletedPut> {
-        let acks = self.transport.poll(fab, now, out);
+    pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<CompletedPut> {
+        let acks = self.transport.poll(ctx);
         let mut done = Vec::new();
         for ack in acks {
             if let Some((key, tx_id)) = self.pending_puts.remove(&ack.gen) {
@@ -369,8 +344,8 @@ mod tests {
             13,
         );
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
-        let group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, CLIENT, &nodes, GroupConfig::default(), now, out)
+        let group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
         });
         sim.run();
         let shared_base = group.client.layout().shared_base;
@@ -383,15 +358,13 @@ mod tests {
         kv: &mut ReplicatedKv<hyperloop::GroupClient>,
     ) -> Vec<CompletedPut> {
         sim.run();
-        drive(sim, |fab, now, out| kv.poll(fab, now, out))
+        drive(sim, |ctx| kv.poll(ctx))
     }
 
     #[test]
     fn put_completes_and_reads_back() {
         let (mut sim, mut kv, _, _) = setup();
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, 7, b"seven".to_vec()).unwrap()
-        });
+        drive(&mut sim, |ctx| kv.put(ctx, 7, b"seven".to_vec()).unwrap());
         let done = settle(&mut sim, &mut kv);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].key, 7);
@@ -402,21 +375,21 @@ mod tests {
     #[test]
     fn checkpoint_makes_replica_reads_possible() {
         let (mut sim, mut kv, shared_base, _) = setup();
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, 3, b"snapshotted".to_vec()).unwrap()
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, 3, b"snapshotted".to_vec()).unwrap()
         });
         settle(&mut sim, &mut kv);
         // Before checkpoint: replica DB region has nothing.
-        let before = drive(&mut sim, |fab, _, _| {
-            kv.replica_get(fab, NodeId(2), shared_base, 3)
+        let before = drive(&mut sim, |ctx| {
+            kv.replica_get(ctx.fab, NodeId(2), shared_base, 3)
         });
         assert_eq!(before, None);
-        drive(&mut sim, |fab, now, out| {
-            assert_eq!(kv.checkpoint(fab, now, out, 16), 1);
+        drive(&mut sim, |ctx| {
+            assert_eq!(kv.checkpoint(ctx, 16), 1);
         });
         settle(&mut sim, &mut kv);
-        let after = drive(&mut sim, |fab, _, _| {
-            kv.replica_get(fab, NodeId(2), shared_base, 3)
+        let after = drive(&mut sim, |ctx| {
+            kv.replica_get(ctx.fab, NodeId(2), shared_base, 3)
         });
         assert_eq!(after.as_deref(), Some(&b"snapshotted"[..]));
         assert_eq!(kv.wal_backlog(), 0);
@@ -428,24 +401,24 @@ mod tests {
         // Two checkpointed writes, one log-only write, one lost (unacked is
         // still durable in the log because append flushes).
         for (k, v) in [(1u64, "one"), (2, "two")] {
-            drive(&mut sim, |fab, now, out| {
-                kv.put(fab, now, out, k, v.as_bytes().to_vec()).unwrap()
+            drive(&mut sim, |ctx| {
+                kv.put(ctx, k, v.as_bytes().to_vec()).unwrap()
             });
             settle(&mut sim, &mut kv);
         }
-        drive(&mut sim, |fab, now, out| {
-            kv.checkpoint(fab, now, out, 16);
+        drive(&mut sim, |ctx| {
+            kv.checkpoint(ctx, 16);
         });
         settle(&mut sim, &mut kv);
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, 5, b"log-only".to_vec()).unwrap()
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, 5, b"log-only".to_vec()).unwrap()
         });
         settle(&mut sim, &mut kv);
 
         // Power-fail replica 3 and recover from its durable bytes alone.
         sim.model.fab.mem(NodeId(3)).power_failure();
-        let state = drive(&mut sim, |fab, _, _| {
-            kv.recover_state(fab, NodeId(3), shared_base)
+        let state = drive(&mut sim, |ctx| {
+            kv.recover_state(ctx.fab, NodeId(3), shared_base)
         });
         assert_eq!(state.get(&1).map(|v| v.as_slice()), Some(&b"one"[..]));
         assert_eq!(state.get(&2).map(|v| v.as_slice()), Some(&b"two"[..]));
@@ -463,27 +436,25 @@ mod tests {
             replicas: &mut [hyperloop::ReplicaHandle],
         ) {
             let completed = kv.transport.completed();
-            drive(sim, |fab, now, out| {
+            drive(sim, |ctx| {
                 for r in replicas.iter_mut() {
                     let target = completed + 128;
                     if target > r.preposted() {
-                        r.replenish(fab, (target - r.preposted()) as u32, now, out);
+                        r.replenish(ctx, (target - r.preposted()) as u32);
                     }
                 }
             });
         }
         for i in 0..200u64 {
             loop {
-                let r = drive(&mut sim, |fab, now, out| {
-                    kv.put(fab, now, out, i % 50, vec![i as u8; 64])
-                });
+                let r = drive(&mut sim, |ctx| kv.put(ctx, i % 50, vec![i as u8; 64]));
                 match r {
                     Ok(_) => break,
                     Err(KvError::Busy) => {
                         settle(&mut sim, &mut kv);
                         // Keep the log from filling: checkpoint.
-                        drive(&mut sim, |fab, now, out| {
-                            kv.checkpoint(fab, now, out, 4);
+                        drive(&mut sim, |ctx| {
+                            kv.checkpoint(ctx, 4);
                         });
                         settle(&mut sim, &mut kv);
                         maintain(&mut sim, &mut kv, &mut replicas);
@@ -493,16 +464,16 @@ mod tests {
             }
             if i % 10 == 0 {
                 settle(&mut sim, &mut kv);
-                drive(&mut sim, |fab, now, out| {
-                    kv.checkpoint(fab, now, out, 8);
+                drive(&mut sim, |ctx| {
+                    kv.checkpoint(ctx, 8);
                 });
                 settle(&mut sim, &mut kv);
                 maintain(&mut sim, &mut kv, &mut replicas);
             }
         }
         settle(&mut sim, &mut kv);
-        let state = drive(&mut sim, |fab, _, _| {
-            kv.recover_state(fab, NodeId(1), shared_base)
+        let state = drive(&mut sim, |ctx| {
+            kv.recover_state(ctx.fab, NodeId(1), shared_base)
         });
         for (k, v) in state {
             assert_eq!(kv.get(k), Some(v.as_slice()), "key {k} diverged");
@@ -522,8 +493,8 @@ mod tests {
             23,
         );
         let nodes = [NodeId(1), NodeId(2)];
-        let group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, CLIENT, &nodes, GroupConfig::default(), now, out)
+        let group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
         });
         sim.run();
         let shared = group.client.layout().shared_base;
@@ -535,14 +506,11 @@ mod tests {
             },
         );
         let t0 = sim.now();
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, 1, b"ephemeral".to_vec()).unwrap()
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, 1, b"ephemeral".to_vec()).unwrap()
         });
         sim.run();
-        assert_eq!(
-            drive(&mut sim, |fab, now, out| kv.poll(fab, now, out)).len(),
-            1
-        );
+        assert_eq!(drive(&mut sim, |ctx| kv.poll(ctx)).len(), 1);
         let volatile_latency = sim.now().since(t0);
 
         // The data IS on both replicas (coherent reads)...
@@ -561,9 +529,7 @@ mod tests {
         }
         // ...but a power failure erases it.
         sim.model.fab.mem(NodeId(2)).power_failure();
-        let state = drive(&mut sim, |fab, _, _| {
-            kv.recover_state(fab, NodeId(2), shared)
-        });
+        let state = drive(&mut sim, |ctx| kv.recover_state(ctx.fab, NodeId(2), shared));
         assert!(state.is_empty(), "volatile write survived: {state:?}");
 
         // And it is faster than the durable path.
@@ -581,13 +547,9 @@ mod tests {
     fn geometry_violations_rejected() {
         let (mut sim, mut kv, _, _) = setup();
         let cap = kv.config().capacity;
-        let err = drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, cap, vec![1]).unwrap_err()
-        });
+        let err = drive(&mut sim, |ctx| kv.put(ctx, cap, vec![1]).unwrap_err());
         assert_eq!(err, KvError::KeyOutOfRange);
-        let err = drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, 0, vec![1; 2000]).unwrap_err()
-        });
+        let err = drive(&mut sim, |ctx| kv.put(ctx, 0, vec![1; 2000]).unwrap_err());
         assert_eq!(err, KvError::ValueTooLarge);
     }
 
@@ -595,9 +557,7 @@ mod tests {
     fn scan_over_memtable() {
         let (mut sim, mut kv, _, _) = setup();
         for k in [5u64, 10, 15, 20] {
-            drive(&mut sim, |fab, now, out| {
-                kv.put(fab, now, out, k, vec![k as u8]).unwrap()
-            });
+            drive(&mut sim, |ctx| kv.put(ctx, k, vec![k as u8]).unwrap());
             settle(&mut sim, &mut kv);
         }
         let hits = kv.scan(8, 2);

@@ -1,0 +1,245 @@
+//! The sharded KV front end: many replicated stores behind one key router.
+//!
+//! Each shard is a full [`ReplicatedKv`] — its own replication chain, its
+//! own WAL ring, its own memtable slice — and a [`ShardRouter`] decides
+//! which shard owns each key. Appends therefore hit *per-shard* WALs: two
+//! keys on different shards replicate down disjoint chains concurrently,
+//! which is where the aggregate-throughput scaling of the shard-scaling
+//! bench comes from.
+
+use crate::{CompletedPut, KvError, ReplicatedKv};
+use hyperloop::shard::{HashRouter, ShardId, ShardRouter};
+use hyperloop::GroupTransport;
+use rnicsim::NicCtx;
+use std::fmt;
+
+/// A sharded replicated KV store (client/primary side).
+pub struct ShardedKv<T> {
+    shards: Vec<ReplicatedKv<T>>,
+    router: Box<dyn ShardRouter + Send>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for ShardedKv<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedKv")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<T: GroupTransport> ShardedKv<T> {
+    /// Builds the sharded store over already-wired per-shard stores (shard
+    /// id = position) and a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<ReplicatedKv<T>>, router: Box<dyn ShardRouter + Send>) -> Self {
+        assert!(!shards.is_empty(), "sharded store needs at least one shard");
+        ShardedKv { shards, router }
+    }
+
+    /// Builds the sharded store with the default [`HashRouter`].
+    pub fn with_hash_router(shards: Vec<ReplicatedKv<T>>) -> Self {
+        ShardedKv::new(shards, Box::new(HashRouter))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard that owns `key`.
+    pub fn route(&self, key: u64) -> ShardId {
+        self.router.route(key, self.shard_count())
+    }
+
+    /// One shard's store.
+    pub fn shard(&self, id: ShardId) -> &ReplicatedKv<T> {
+        &self.shards[id.0 as usize]
+    }
+
+    /// One shard's store, mutably (maintenance, checkpoints, transport).
+    pub fn shard_mut(&mut self, id: ShardId) -> &mut ReplicatedKv<T> {
+        &mut self.shards[id.0 as usize]
+    }
+
+    /// Iterates `(id, store)` over all shards.
+    pub fn iter(&self) -> impl Iterator<Item = (ShardId, &ReplicatedKv<T>)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ShardId(i as u32), s))
+    }
+
+    /// Total keys present across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no shard holds any key.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Reads `key` from its shard's memtable.
+    pub fn get(&self, key: u64) -> Option<&[u8]> {
+        self.shards[self.route(key).0 as usize].get(key)
+    }
+
+    /// Durable replicated write: routes `key` to its shard and appends to
+    /// that shard's WAL (the per-shard critical path). Returns the shard
+    /// and the per-shard generation; completion arrives via
+    /// [`ShardedKv::poll`].
+    ///
+    /// # Errors
+    ///
+    /// [`KvError`] on geometry violations or owning-shard back-pressure
+    /// (other shards may still have room).
+    pub fn put(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(ShardId, u64), KvError> {
+        let shard = self.route(key);
+        let gen = self.shards[shard.0 as usize].put(ctx, key, value)?;
+        Ok((shard, gen))
+    }
+
+    /// Collects completions from every shard, tagged with their shard.
+    pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<(ShardId, CompletedPut)> {
+        let mut done = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            done.extend(shard.poll(ctx).into_iter().map(|p| (ShardId(i as u32), p)));
+        }
+        done
+    }
+
+    /// Off-critical-path maintenance on every shard: applies up to
+    /// `max_records_per_shard` backlogged WAL records each. Returns the
+    /// total applied.
+    pub fn checkpoint(&mut self, ctx: &mut NicCtx<'_>, max_records_per_shard: usize) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.checkpoint(ctx, max_records_per_shard))
+            .sum()
+    }
+
+    /// Sum of WAL records appended but not yet checkpointed.
+    pub fn wal_backlog(&self) -> usize {
+        self.shards.iter().map(|s| s.wal_backlog()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvConfig;
+    use hyperloop::harness::{drive, fabric_sim, FabricSim};
+    use hyperloop::{GroupConfig, HyperLoopGroup};
+    use netsim::{FabricConfig, NodeId};
+    use rnicsim::NicConfig;
+    use simcore::Simulation;
+
+    const CLIENT: NodeId = NodeId(0);
+
+    /// One client node plus `n_shards` disjoint 2-replica chains, each
+    /// carrying its own `ReplicatedKv`.
+    fn setup(n_shards: u32) -> (Simulation<FabricSim>, ShardedKv<hyperloop::GroupClient>) {
+        let mut sim = fabric_sim(
+            1 + 2 * n_shards,
+            64 << 20,
+            NicConfig::default(),
+            FabricConfig::default(),
+            29,
+        );
+        let mut stores = Vec::new();
+        for s in 0..n_shards {
+            let nodes = [NodeId(1 + 2 * s), NodeId(2 + 2 * s)];
+            let group = drive(&mut sim, |ctx| {
+                HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
+            });
+            sim.run();
+            stores.push(ReplicatedKv::new(group.client, KvConfig::default()));
+        }
+        (sim, ShardedKv::with_hash_router(stores))
+    }
+
+    #[test]
+    fn puts_spread_over_shards_and_complete() {
+        let (mut sim, mut kv) = setup(4);
+        let n_keys = 32u64;
+        let mut issued_on = vec![0u64; 4];
+        for key in 0..n_keys {
+            let (shard, _) = drive(&mut sim, |ctx| {
+                kv.put(ctx, key, vec![key as u8; 32]).unwrap()
+            });
+            issued_on[shard.0 as usize] += 1;
+        }
+        sim.run();
+        let done = drive(&mut sim, |ctx| kv.poll(ctx));
+        assert_eq!(done.len(), n_keys as usize, "every put acks");
+        // Per-shard ack counts equal per-shard issue counts.
+        let mut acked_on = vec![0u64; 4];
+        for (shard, put) in &done {
+            assert_eq!(kv.route(put.key), *shard, "ack came from the wrong shard");
+            acked_on[shard.0 as usize] += 1;
+        }
+        assert_eq!(acked_on, issued_on);
+        assert!(
+            issued_on.iter().all(|&c| c > 0),
+            "32 hashed keys should hit all 4 shards: {issued_on:?}"
+        );
+        // Reads route to the same shard the write went to.
+        for key in 0..n_keys {
+            assert_eq!(kv.get(key), Some(&vec![key as u8; 32][..]), "key {key}");
+        }
+        assert_eq!(kv.len(), n_keys as usize);
+    }
+
+    #[test]
+    fn shard_backpressure_is_per_shard() {
+        let (mut sim, mut kv) = setup(2);
+        // Fill one shard's window (16) with keys that all route to it.
+        let victim = kv.route(0);
+        let mut stuffed = 0;
+        let mut key = 0u64;
+        while stuffed < 16 {
+            if kv.route(key) == victim {
+                drive(&mut sim, |ctx| kv.put(ctx, key, vec![1; 16]).unwrap());
+                stuffed += 1;
+            }
+            key += 1;
+        }
+        // The victim shard refuses; the other shard still accepts.
+        let mut k_victim = key;
+        while kv.route(k_victim) != victim {
+            k_victim += 1;
+        }
+        let mut k_other = key;
+        while kv.route(k_other) == victim {
+            k_other += 1;
+        }
+        drive(&mut sim, |ctx| {
+            assert_eq!(
+                kv.put(ctx, k_victim, vec![2; 16]).unwrap_err(),
+                KvError::Busy
+            );
+            kv.put(ctx, k_other, vec![3; 16]).unwrap();
+        });
+        sim.run();
+        assert_eq!(drive(&mut sim, |ctx| kv.poll(ctx)).len(), 17);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_store() {
+        let (mut sim, mut kv) = setup(1);
+        for key in [0u64, 7, 99] {
+            let (shard, _) = drive(&mut sim, |ctx| kv.put(ctx, key, b"x".to_vec()).unwrap());
+            assert_eq!(shard, ShardId(0));
+        }
+        sim.run();
+        assert_eq!(drive(&mut sim, |ctx| kv.poll(ctx)).len(), 3);
+    }
+}

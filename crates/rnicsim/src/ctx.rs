@@ -1,0 +1,72 @@
+//! The bundled NIC calling context.
+//!
+//! Every host-side data path in the stack (group clients, WAL drivers,
+//! storage stores, benchmark harnesses) used to thread the same triple —
+//! `&mut RdmaFabric`, the current [`SimTime`], and an [`Outbox`] of
+//! [`NicEffect`]s — through every call. [`NicCtx`] bundles the three into
+//! one reborrowable context, so a data-path call is
+//! `client.issue(ctx, op)` instead of `client.issue(fab, now, out, op)`.
+//!
+//! The fields stay public: code that needs the raw fabric (memory probes,
+//! setup-time allocation) reaches through `ctx.fab` directly.
+
+use crate::fabric::RdmaFabric;
+use crate::types::{CqId, Cqe, NicEffect, QpId, RecvWqe, Wqe};
+use netsim::NodeId;
+use nvmsim::NvmDevice;
+use simcore::{Outbox, SimTime};
+
+/// The `(fabric, now, outbox)` triple every verb-posting call needs.
+#[derive(Debug)]
+pub struct NicCtx<'a> {
+    /// The RDMA fabric (NICs, host memories, network).
+    pub fab: &'a mut RdmaFabric,
+    /// The current simulation instant.
+    pub now: SimTime,
+    /// Sink for effects the fabric emits (internal events, host notifies).
+    pub out: &'a mut Outbox<NicEffect>,
+}
+
+impl<'a> NicCtx<'a> {
+    /// Bundles a fabric borrow, an instant and an effect sink.
+    pub fn new(fab: &'a mut RdmaFabric, now: SimTime, out: &'a mut Outbox<NicEffect>) -> Self {
+        NicCtx { fab, now, out }
+    }
+
+    /// Reborrows the context for a nested call that needs ownership of a
+    /// `NicCtx` value rather than a `&mut` to this one.
+    pub fn reborrow(&mut self) -> NicCtx<'_> {
+        NicCtx {
+            fab: self.fab,
+            now: self.now,
+            out: self.out,
+        }
+    }
+
+    /// Posts a send-side WQE at the context instant
+    /// (see [`RdmaFabric::post_send`]).
+    pub fn post_send(&mut self, node: NodeId, qp: QpId, wqe: Wqe) -> u64 {
+        self.fab.post_send(self.now, node, qp, wqe, self.out)
+    }
+
+    /// Posts a receive-side WQE (see [`RdmaFabric::post_recv`]).
+    pub fn post_recv(&mut self, node: NodeId, qp: QpId, recv: RecvWqe) {
+        self.fab.post_recv(self.now, node, qp, recv, self.out)
+    }
+
+    /// Grants NIC ownership of the next `count` unowned WQEs
+    /// (see [`RdmaFabric::grant_next`]).
+    pub fn grant_next(&mut self, node: NodeId, qp: QpId, count: u32) {
+        self.fab.grant_next(self.now, node, qp, count, self.out)
+    }
+
+    /// Drains up to `max` completions from a CQ.
+    pub fn poll_cq(&mut self, node: NodeId, cq: CqId, max: usize) -> Vec<Cqe> {
+        self.fab.poll_cq(node, cq, max)
+    }
+
+    /// Host-side memory of one node.
+    pub fn mem(&mut self, node: NodeId) -> &mut NvmDevice {
+        self.fab.mem(node)
+    }
+}

@@ -170,6 +170,12 @@ impl RdmaFabric {
         &mut self.nodes[node.0 as usize].mem
     }
 
+    /// Snapshot of one node's NVM statistics (immutable; for exporters that
+    /// group nodes by replication chain rather than fabric-wide).
+    pub fn nvm_stats(&self, node: NodeId) -> nvmsim::NvmStats {
+        self.nodes[node.0 as usize].mem.stats()
+    }
+
     /// Current allocation cursor of a node (next free offset).
     pub fn alloc_cursor(&self, node: NodeId) -> u64 {
         self.nodes[node.0 as usize].alloc_cursor
@@ -418,6 +424,16 @@ impl RdmaFabric {
     /// Number of host-visible completions pending on a CQ.
     pub fn cq_depth(&self, node: NodeId, cq: CqId) -> usize {
         self.nodes[node.0 as usize].cqs[cq.0 as usize].entries.len()
+    }
+
+    /// The causal op id (`wr_id`) of the oldest undrained completion on a
+    /// CQ, or [`NO_OP`] when the queue is empty. Lets host layers attribute
+    /// the CPU work a notification triggers to the operation that raised it.
+    pub fn cq_peek_op(&self, node: NodeId, cq: CqId) -> u64 {
+        self.nodes[node.0 as usize].cqs[cq.0 as usize]
+            .entries
+            .front()
+            .map_or(NO_OP, |c| c.wr_id)
     }
 
     /// Requests a [`NicEffect::HostNotify`] on the next completion.

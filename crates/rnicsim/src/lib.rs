@@ -27,9 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ctx;
 pub mod fabric;
 pub mod types;
 
+pub use ctx::NicCtx;
 pub use fabric::RdmaFabric;
 pub use netsim::NodeId;
 pub use types::{

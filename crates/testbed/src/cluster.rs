@@ -17,9 +17,10 @@ use crate::env::{Env, StagedAction};
 use crate::types::{ClusterConfig, ClusterEvent, HostApp, HostEvent, ProcRef, TaskKind};
 use cpusched::{CpuEffect, CpuScheduler, HogProfile, ProcKind, TaskId};
 use netsim::NodeId;
-use rnicsim::{CqId, NicEffect, RdmaFabric};
+use rnicsim::{CqId, NicCtx, NicEffect, RdmaFabric};
 use simcore::{
-    EventQueue, MetricsRegistry, Model, Outbox, SimDuration, SimRng, SimTime, Simulation, Tracer,
+    simtrace::NO_OP, EventQueue, MetricsRegistry, Model, Outbox, SimDuration, SimRng, SimTime,
+    Simulation, Tracer,
 };
 use std::any::Any;
 use std::collections::HashMap;
@@ -136,13 +137,12 @@ impl Cluster {
     }
 
     /// Runs fabric setup code (e.g. `HyperLoopGroup::setup`) before the
-    /// simulation starts; any effects it posts are delivered at time zero.
-    pub fn setup_fabric<R>(
-        &mut self,
-        f: impl FnOnce(&mut RdmaFabric, &mut Outbox<NicEffect>) -> R,
-    ) -> R {
+    /// simulation starts, handing it a time-zero [`NicCtx`]; any effects it
+    /// posts are delivered at time zero.
+    pub fn setup_fabric<R>(&mut self, f: impl FnOnce(&mut NicCtx<'_>) -> R) -> R {
         let mut out = Outbox::new();
-        let r = f(&mut self.fab, &mut out);
+        let mut ctx = NicCtx::new(&mut self.fab, SimTime::ZERO, &mut out);
+        let r = f(&mut ctx);
         self.pending_nic_boot.extend(out.drain());
         r
     }
@@ -227,7 +227,8 @@ impl Cluster {
                 NicEffect::Internal(ev) => q.push_after(delay, ClusterEvent::Nic(ev)),
                 NicEffect::HostNotify { node, cq } => {
                     if let Some(&(proc, cost)) = self.cq_bindings.get(&(node, cq)) {
-                        self.submit_task(now, proc, TaskKind::CqReady(cq), cost, q);
+                        let op = self.fab.cq_peek_op(node, cq);
+                        self.submit_task(now, proc, TaskKind::CqReady(cq), cost, op, q);
                     }
                 }
             }
@@ -256,6 +257,7 @@ impl Cluster {
         proc: ProcRef,
         kind: TaskKind,
         cost: SimDuration,
+        op: u64,
         q: &mut EventQueue<ClusterEvent>,
     ) {
         let id = self.next_task;
@@ -265,7 +267,7 @@ impl Cluster {
         let node = entry.node;
         let cpu_proc = entry.cpu_proc;
         let mut out = Outbox::new();
-        self.scheds[node.0 as usize].submit(cpu_proc, TaskId(id), cost, now, &mut out);
+        self.scheds[node.0 as usize].submit(cpu_proc, TaskId(id), cost, op, now, &mut out);
         self.route_cpu(node, &mut out, q);
     }
 
@@ -293,7 +295,7 @@ impl Cluster {
                     q.push_after(delay, ClusterEvent::TimerDue { proc, token });
                 }
                 StagedAction::Work { cost, token } => {
-                    self.submit_task(now, proc, TaskKind::Work(token), cost, q);
+                    self.submit_task(now, proc, TaskKind::Work(token), cost, NO_OP, q);
                 }
             }
         }
@@ -312,7 +314,8 @@ impl Cluster {
         self.fab.arm_cq(node, cq);
         if self.fab.cq_depth(node, cq) > 0 {
             if let Some(&(p, cost)) = self.cq_bindings.get(&(node, cq)) {
-                self.submit_task(now, p, TaskKind::CqReady(cq), cost, q);
+                let op = self.fab.cq_peek_op(node, cq);
+                self.submit_task(now, p, TaskKind::CqReady(cq), cost, op, q);
             }
         }
     }
@@ -373,11 +376,12 @@ impl Model for Cluster {
                 // The timer interrupt wakes the process; the callback runs
                 // once the process gets CPU.
                 let cost = self.config.timer_handler_cost;
-                self.submit_task(now, proc, TaskKind::Timer(token), cost, q);
+                self.submit_task(now, proc, TaskKind::Timer(token), cost, NO_OP, q);
             }
             ClusterEvent::HostNotify { node, cq } => {
                 if let Some(&(proc, cost)) = self.cq_bindings.get(&(node, cq)) {
-                    self.submit_task(now, proc, TaskKind::CqReady(cq), cost, q);
+                    let op = self.fab.cq_peek_op(node, cq);
+                    self.submit_task(now, proc, TaskKind::CqReady(cq), cost, op, q);
                 }
             }
         }
@@ -385,16 +389,15 @@ impl Model for Cluster {
 }
 
 /// Runs external-driver code against a cluster simulation's fabric at the
-/// current instant, then routes whatever it posted into the event queue.
-/// This is how benchmarks inject client operations (e.g. a HyperLoop
-/// `GroupClient::issue`) into a running cluster.
-pub fn drive<R>(
-    sim: &mut Simulation<Cluster>,
-    f: impl FnOnce(&mut RdmaFabric, SimTime, &mut simcore::Outbox<NicEffect>) -> R,
-) -> R {
+/// current instant (handing it a bundled [`NicCtx`]), then routes whatever
+/// it posted into the event queue. This is how benchmarks inject client
+/// operations (e.g. a HyperLoop `GroupClient::issue`) into a running
+/// cluster.
+pub fn drive<R>(sim: &mut Simulation<Cluster>, f: impl FnOnce(&mut NicCtx<'_>) -> R) -> R {
     let now = sim.queue.now();
     let mut out = Outbox::new();
-    let r = f(&mut sim.model.fab, now, &mut out);
+    let mut ctx = NicCtx::new(&mut sim.model.fab, now, &mut out);
+    let r = f(&mut ctx);
     for (delay, eff) in out.drain() {
         match eff {
             NicEffect::Internal(ev) => sim.queue.push_after(delay, ClusterEvent::Nic(ev)),

@@ -3,7 +3,7 @@
 use crate::types::ProcRef;
 use netsim::NodeId;
 use nvmsim::NvmDevice;
-use rnicsim::{CqId, Cqe, NicEffect, QpId, RdmaFabric, RecvWqe, Wqe};
+use rnicsim::{CqId, Cqe, NicCtx, NicEffect, QpId, RdmaFabric, RecvWqe, Wqe};
 use simcore::{Outbox, SimDuration, SimTime};
 
 /// Actions a handler stages for the cluster to apply after it returns.
@@ -98,14 +98,12 @@ impl<'a> Env<'a> {
         self.fab.mem(node)
     }
 
-    /// Runs `f` with the raw `(fabric, now, outbox)` triple — the calling
-    /// convention of library data paths (e.g. HyperLoop group clients) that
-    /// post verbs on the caller's behalf.
-    pub fn with_fabric<R>(
-        &mut self,
-        f: impl FnOnce(&mut RdmaFabric, SimTime, &mut Outbox<NicEffect>) -> R,
-    ) -> R {
-        f(self.fab, self.now, self.nic_out)
+    /// Runs `f` with a bundled [`NicCtx`] — the calling convention of
+    /// library data paths (e.g. HyperLoop group clients) that post verbs on
+    /// the caller's behalf.
+    pub fn with_fabric<R>(&mut self, f: impl FnOnce(&mut NicCtx<'_>) -> R) -> R {
+        let mut ctx = NicCtx::new(self.fab, self.now, self.nic_out);
+        f(&mut ctx)
     }
 
     /// Schedules a `Timer(token)` callback after `delay`.

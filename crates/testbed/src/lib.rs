@@ -40,10 +40,12 @@
 
 pub mod cluster;
 pub mod env;
+pub mod placement;
 pub mod types;
 
 pub use cluster::{drive, Cluster};
 pub use env::{Env, StagedAction};
+pub use placement::ShardPlacement;
 pub use types::{ClusterConfig, ClusterEvent, HostApp, HostEvent, ProcRef, TaskKind};
 
 #[cfg(test)]
@@ -338,9 +340,8 @@ mod tests {
         let dst = cluster.fab.alloc(N1, 4096);
         cluster.fab.reg_mr(N1, dst, 4096);
         let src = cluster.fab.alloc(N0, 64);
-        cluster.setup_fabric(|fab, out| {
-            fab.post_send(
-                SimTime::ZERO,
+        cluster.setup_fabric(|ctx| {
+            ctx.post_send(
                 N0,
                 q0,
                 Wqe {
@@ -351,7 +352,6 @@ mod tests {
                     remote_addr: dst,
                     ..Wqe::default()
                 },
-                out,
             );
         });
         let mut sim = cluster.into_sim();
@@ -398,20 +398,17 @@ mod tests {
         );
         cluster.bind_cq(server, N1, cq1, SimDuration::from_micros(1));
         let mut sim = cluster.into_sim();
-        drive(&mut sim, |fab, now, out| {
-            fab.post_recv(
-                now,
+        drive(&mut sim, |ctx| {
+            ctx.post_recv(
                 N1,
                 q1,
                 RecvWqe {
                     wr_id: 0,
                     sges: vec![(buf, 4096)],
                 },
-                out,
             );
-            let src = fab.alloc(N0, 64);
-            fab.post_send(
-                now,
+            let src = ctx.fab.alloc(N0, 64);
+            ctx.post_send(
                 N0,
                 q0,
                 Wqe {
@@ -421,7 +418,6 @@ mod tests {
                     len: 8,
                     ..Wqe::default()
                 },
-                out,
             );
         });
         sim.run_until(SimTime::from_millis(5));

@@ -1,0 +1,195 @@
+//! Shard-aware placement: which rack nodes host which replication chain.
+//!
+//! A [`ShardPlacement`] turns "I want `n` shards" into one replica chain
+//! (an ordered `Vec<NodeId>`) per shard, against a concrete cluster. The
+//! client node never appears in a chain, chains never repeat a node, and
+//! the same placement + cluster size always yields the same layout — shard
+//! layouts are part of the deterministic experiment configuration, not a
+//! runtime choice.
+
+use netsim::NodeId;
+use simcore::MetricsRegistry;
+
+use crate::cluster::Cluster;
+
+/// How replica chains are laid out over the rack.
+#[derive(Debug, Clone)]
+pub enum ShardPlacement {
+    /// Deal chains of `replicas_per_shard` nodes round-robin over every
+    /// node except the client, in node-id order. With enough nodes the
+    /// chains are disjoint; on a small rack consecutive shards wrap and
+    /// share NICs (which is exactly the contention you then measure).
+    RoundRobin {
+        /// Chain length of every shard.
+        replicas_per_shard: u32,
+    },
+    /// Fully explicit layout: one ordered replica chain per shard.
+    Explicit(Vec<Vec<NodeId>>),
+}
+
+impl ShardPlacement {
+    /// Resolves the placement into one replica chain per shard for a rack
+    /// of `node_count` machines whose client lives on `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is impossible: zero shards, chains longer than
+    /// the available (non-client) nodes, explicit chains that are empty,
+    /// repeat a node, include the client, reference nodes outside the rack,
+    /// or whose count disagrees with `n_shards`.
+    pub fn chains(&self, n_shards: u32, client: NodeId, node_count: u32) -> Vec<Vec<NodeId>> {
+        assert!(n_shards > 0, "placement needs at least one shard");
+        assert!(client.0 < node_count, "client node outside the rack");
+        match self {
+            ShardPlacement::RoundRobin { replicas_per_shard } => {
+                let rps = *replicas_per_shard;
+                assert!(rps > 0, "chains must have at least one replica");
+                let pool: Vec<NodeId> = (0..node_count)
+                    .map(NodeId)
+                    .filter(|&n| n != client)
+                    .collect();
+                assert!(
+                    pool.len() >= rps as usize,
+                    "chain of {rps} needs {rps} non-client nodes, rack has {}",
+                    pool.len()
+                );
+                (0..n_shards)
+                    .map(|s| {
+                        (0..rps)
+                            .map(|r| pool[((s * rps + r) as usize) % pool.len()])
+                            .collect()
+                    })
+                    .collect()
+            }
+            ShardPlacement::Explicit(chains) => {
+                assert_eq!(
+                    chains.len(),
+                    n_shards as usize,
+                    "explicit layout has {} chains for {n_shards} shards",
+                    chains.len()
+                );
+                for (s, chain) in chains.iter().enumerate() {
+                    assert!(!chain.is_empty(), "shard {s} has an empty chain");
+                    for (i, &n) in chain.iter().enumerate() {
+                        assert!(
+                            n.0 < node_count,
+                            "shard {s} references node {n} outside rack"
+                        );
+                        assert!(n != client, "shard {s} places a replica on the client {n}");
+                        assert!(
+                            !chain[..i].contains(&n),
+                            "shard {s} repeats node {n} in its chain"
+                        );
+                    }
+                }
+                chains.clone()
+            }
+        }
+    }
+}
+
+impl Cluster {
+    /// Resolves `placement` against this cluster (client excluded, bounds
+    /// checked). Convenience over [`ShardPlacement::chains`].
+    pub fn place_shards(
+        &self,
+        placement: &ShardPlacement,
+        n_shards: u32,
+        client: NodeId,
+    ) -> Vec<Vec<NodeId>> {
+        placement.chains(n_shards, client, self.fab.node_count())
+    }
+
+    /// Snapshots chain-local statistics per shard into `reg`: for every
+    /// shard `s` and every replica node `n` in its chain, the node's NVM
+    /// counters land under `{prefix}.shard{s}.nvm.node{n}.*` plus a
+    /// `{prefix}.shard{s}.chain_len` counter — so a report shows at a
+    /// glance which chains actually carried traffic.
+    pub fn export_shards_into(
+        &self,
+        reg: &mut MetricsRegistry,
+        chains: &[Vec<NodeId>],
+        prefix: &str,
+    ) {
+        for (s, chain) in chains.iter().enumerate() {
+            let sp = format!("{prefix}.shard{s}");
+            reg.counter_add(&format!("{sp}.chain_len"), chain.len() as u64);
+            for &n in chain {
+                self.fab
+                    .nvm_stats(n)
+                    .export_into(reg, &format!("{sp}.nvm.node{}", n.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_deals_disjoint_chains_when_room() {
+        let p = ShardPlacement::RoundRobin {
+            replicas_per_shard: 3,
+        };
+        let chains = p.chains(4, NodeId(0), 13);
+        assert_eq!(chains.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for chain in &chains {
+            assert_eq!(chain.len(), 3);
+            for &n in chain {
+                assert_ne!(n, NodeId(0), "client must not host a replica");
+                assert!(seen.insert(n), "13 nodes fit 4 disjoint chains of 3");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_wraps_on_small_racks() {
+        let p = ShardPlacement::RoundRobin {
+            replicas_per_shard: 3,
+        };
+        let chains = p.chains(4, NodeId(0), 6); // 5 non-client nodes, must share
+        assert_eq!(chains.len(), 4);
+        for chain in &chains {
+            assert_eq!(chain.len(), 3);
+            for (i, &n) in chain.iter().enumerate() {
+                assert_ne!(n, NodeId(0));
+                assert!(!chain[..i].contains(&n), "no repeats within a chain");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_is_deterministic() {
+        let p = ShardPlacement::RoundRobin {
+            replicas_per_shard: 2,
+        };
+        assert_eq!(p.chains(8, NodeId(3), 20), p.chains(8, NodeId(3), 20));
+    }
+
+    #[test]
+    fn explicit_layout_passes_validation() {
+        let layout = vec![vec![NodeId(1), NodeId(2)], vec![NodeId(3), NodeId(4)]];
+        let p = ShardPlacement::Explicit(layout.clone());
+        assert_eq!(p.chains(2, NodeId(0), 5), layout);
+    }
+
+    #[test]
+    #[should_panic(expected = "places a replica on the client")]
+    fn explicit_layout_rejects_client_in_chain() {
+        ShardPlacement::Explicit(vec![vec![NodeId(0), NodeId(1)]]).chains(1, NodeId(0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats node")]
+    fn explicit_layout_rejects_duplicate_replica() {
+        ShardPlacement::Explicit(vec![vec![NodeId(1), NodeId(1)]]).chains(1, NodeId(0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside rack")]
+    fn explicit_layout_rejects_out_of_rack_node() {
+        ShardPlacement::Explicit(vec![vec![NodeId(9)]]).chains(1, NodeId(0), 4);
+    }
+}

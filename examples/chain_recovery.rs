@@ -23,21 +23,19 @@ fn main() {
         3,
     );
     let members = vec![NodeId(1), NodeId(2), NodeId(3)];
-    let mut group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &members, GroupConfig::default(), now, out)
+    let mut group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &members, GroupConfig::default())
     });
     sim.run();
     let base = group.client.layout().shared_base;
 
     // Write some state through the healthy chain.
     for i in 0..5u64 {
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             group
                 .client
                 .issue(
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     GroupOp::Write {
                         offset: i * 64,
                         data: vec![i as u8 + 1; 64],
@@ -47,7 +45,7 @@ fn main() {
                 .unwrap()
         });
         sim.run();
-        drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        drive(&mut sim, |ctx| group.client.poll(ctx));
     }
     println!("5 writes committed on the healthy chain");
 
@@ -79,15 +77,8 @@ fn main() {
     let cursor = sim.model.fab.alloc_cursor(NodeId(1));
     sim.model.fab.align_allocator(NodeId(4), cursor);
     view.add_tail(NodeId(4));
-    let mut group2 = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(
-            fab,
-            NodeId(0),
-            view.members(),
-            GroupConfig::default(),
-            now,
-            out,
-        )
+    let mut group2 = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), view.members(), GroupConfig::default())
     });
     sim.run();
     let base2 = group2.client.layout().shared_base;
@@ -101,13 +92,11 @@ fn main() {
     println!("catch-up copied {} bytes to the new chain", state.len());
 
     // Resume writes on the repaired chain.
-    drive(&mut sim, |fab, now, out| {
+    drive(&mut sim, |ctx| {
         group2
             .client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Write {
                     offset: 5 * 64,
                     data: vec![6; 64],
@@ -117,7 +106,7 @@ fn main() {
             .unwrap()
     });
     sim.run();
-    let acks = drive(&mut sim, |fab, now, out| group2.client.poll(fab, now, out));
+    let acks = drive(&mut sim, |ctx| group2.client.poll(ctx));
     println!(
         "write committed on the repaired chain (epoch {}, gen {})",
         view.epoch(),

@@ -23,16 +23,16 @@ fn main() {
         12,
     );
     let replicas = [NodeId(1), NodeId(2), NodeId(3)];
-    let group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &replicas, GroupConfig::default(), now, out)
+    let group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &replicas, GroupConfig::default())
     });
     sim.run();
     let base = group.client.layout().shared_base;
     // A reader over the same lock table region the store uses (offset 16,
     // 64 words — see DocConfig::control_size).
     let reader_locks = LockTable::new(16, 64);
-    let mut reader = drive(&mut sim, |fab, _, _| {
-        ReplicaReader::setup(fab, &group.client, &replicas, reader_locks)
+    let mut reader = drive(&mut sim, |ctx| {
+        ReplicaReader::setup(ctx.fab, &group.client, &replicas, reader_locks)
     });
     let mut store = ReplicatedDocStore::new(group.client, DocConfig::default(), 1);
 
@@ -40,13 +40,11 @@ fn main() {
     let mut doc = Document::with_field(42, "title", b"HyperLoop".to_vec());
     doc.fields.insert("venue".into(), b"SIGCOMM 2018".to_vec());
     let t0 = sim.now();
-    drive(&mut sim, |fab, now, out| {
-        store.write(fab, now, out, doc.clone()).unwrap()
-    });
+    drive(&mut sim, |ctx| store.write(ctx, doc.clone()).unwrap());
     let mut committed = Vec::new();
     while committed.is_empty() {
         sim.run();
-        committed = drive(&mut sim, |fab, now, out| store.poll(fab, now, out));
+        committed = drive(&mut sim, |ctx| store.poll(ctx));
     }
     println!(
         "tx {} committed in {} (lock + append + execute + unlock, all NIC-side)",
@@ -56,8 +54,8 @@ fn main() {
 
     // Every replica can now serve the document.
     for n in 1..=3u32 {
-        let got = drive(&mut sim, |fab, _, _| {
-            store.replica_read(fab, NodeId(n), base, 42)
+        let got = drive(&mut sim, |ctx| {
+            store.replica_read(ctx.fab, NodeId(n), base, 42)
         });
         assert_eq!(got.as_ref(), Some(&doc));
     }
@@ -70,12 +68,10 @@ fn main() {
         let c = store.config();
         c.control_size() + c.log_size + c.slot_size() * 42
     };
-    let token = drive(&mut sim, |fab, now, out| {
+    let token = drive(&mut sim, |ctx| {
         reader.begin(
             store_transport(&mut store),
-            fab,
-            now,
-            out,
+            ctx,
             1,  // replica index (node2)
             42, // the doc's lock (id % n_locks)
             db_off,
@@ -85,11 +81,9 @@ fn main() {
     let mut reads = Vec::new();
     while reads.is_empty() {
         sim.run();
-        let acks = drive(&mut sim, |fab, now, out| {
-            store_transport(&mut store).poll(fab, now, out)
-        });
-        reads = drive(&mut sim, |fab, now, out| {
-            reader.pump(store_transport(&mut store), fab, now, out, &acks)
+        let acks = drive(&mut sim, |ctx| store_transport(&mut store).poll(ctx));
+        reads = drive(&mut sim, |ctx| {
+            reader.pump(store_transport(&mut store), ctx, &acks)
         });
     }
     assert_eq!(reads[0].token, token);

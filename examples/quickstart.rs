@@ -19,21 +19,19 @@ fn main() {
         42,
     );
     let replicas = [NodeId(1), NodeId(2), NodeId(3)];
-    let mut group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &replicas, GroupConfig::default(), now, out)
+    let mut group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &replicas, GroupConfig::default())
     });
     sim.run();
     println!("chain wired: client -> node1 -> node2 -> node3 -> client");
 
     // gWRITE + gFLUSH: replicate 'hello' durably to every replica.
     let t0 = sim.now();
-    drive(&mut sim, |fab, now, out| {
+    drive(&mut sim, |ctx| {
         group
             .client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Write {
                     offset: 0,
                     data: b"hello, replicated world".to_vec(),
@@ -43,7 +41,7 @@ fn main() {
             .expect("issue gWRITE")
     });
     sim.run();
-    let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+    let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
     println!(
         "gWRITE acked (gen {}) in {} — no replica CPU involved",
         acks[0].gen,
@@ -60,13 +58,11 @@ fn main() {
     }
 
     // gCAS: take a group lock; the ack carries every replica's original.
-    drive(&mut sim, |fab, now, out| {
+    drive(&mut sim, |ctx| {
         group
             .client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Cas {
                     offset: 1024,
                     compare: 0,
@@ -77,7 +73,7 @@ fn main() {
             .expect("issue gCAS")
     });
     sim.run();
-    let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+    let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
     println!(
         "gCAS result map {:?} -> lock acquired group-wide: {}",
         acks[0].result_map,
@@ -85,13 +81,11 @@ fn main() {
     );
 
     // gMEMCPY: every replica's NIC copies log bytes into its database.
-    drive(&mut sim, |fab, now, out| {
+    drive(&mut sim, |ctx| {
         group
             .client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Memcpy {
                     src: 0,
                     dst: 1 << 20,
@@ -102,7 +96,7 @@ fn main() {
             .expect("issue gMEMCPY")
     });
     sim.run();
-    drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+    drive(&mut sim, |ctx| group.client.poll(ctx));
     let copied = sim
         .model
         .fab

@@ -20,8 +20,8 @@ fn main() {
         7,
     );
     let replicas = [NodeId(1), NodeId(2), NodeId(3)];
-    let group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &replicas, GroupConfig::default(), now, out)
+    let group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &replicas, GroupConfig::default())
     });
     sim.run();
     let shared_base = group.client.layout().shared_base;
@@ -29,35 +29,35 @@ fn main() {
 
     // Write a handful of keys; each put is one durable replicated append.
     for (k, v) in [(1u64, "alpha"), (2, "beta"), (3, "gamma")] {
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, k, v.as_bytes().to_vec()).unwrap()
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, k, v.as_bytes().to_vec()).unwrap()
         });
         sim.run();
-        let done = drive(&mut sim, |fab, now, out| kv.poll(fab, now, out));
+        let done = drive(&mut sim, |ctx| kv.poll(ctx));
         println!("put key {k} = {v:?} -> durable on all replicas ({done:?})");
     }
 
     // Checkpoint: every replica's NIC copies log records into the database
     // region (gMEMCPY) — the periodic dump, off the critical path.
-    drive(&mut sim, |fab, now, out| {
-        let n = kv.checkpoint(fab, now, out, 16);
+    drive(&mut sim, |ctx| {
+        let n = kv.checkpoint(ctx, 16);
         println!("checkpointed {n} records");
     });
     sim.run();
-    drive(&mut sim, |fab, now, out| kv.poll(fab, now, out));
+    drive(&mut sim, |ctx| kv.poll(ctx));
 
     // One more write that stays log-only...
-    drive(&mut sim, |fab, now, out| {
-        kv.put(fab, now, out, 9, b"log-only".to_vec()).unwrap()
+    drive(&mut sim, |ctx| {
+        kv.put(ctx, 9, b"log-only".to_vec()).unwrap()
     });
     sim.run();
-    drive(&mut sim, |fab, now, out| kv.poll(fab, now, out));
+    drive(&mut sim, |ctx| kv.poll(ctx));
 
     // ...then node2 loses power. Recovery = durable DB + WAL replay.
     sim.model.fab.mem(NodeId(2)).power_failure();
     println!("node2 power failure!");
-    let state = drive(&mut sim, |fab, _, _| {
-        kv.recover_state(fab, NodeId(2), shared_base)
+    let state = drive(&mut sim, |ctx| {
+        kv.recover_state(ctx.fab, NodeId(2), shared_base)
     });
     println!("recovered {} keys from node2's durable bytes:", state.len());
     for (k, v) in &state {

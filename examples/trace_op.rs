@@ -28,20 +28,18 @@ fn main() {
     let tracer = Tracer::enabled(1 << 16);
     sim.model.fab.set_tracer(tracer.clone());
     let replicas = [NodeId(1), NodeId(2), NodeId(3)];
-    let mut group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &replicas, GroupConfig::default(), now, out)
+    let mut group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &replicas, GroupConfig::default())
     });
     group.client.set_tracer(tracer.clone());
     sim.run();
     tracer.clear(); // drop setup noise, keep the op alone
 
-    let gen = drive(&mut sim, |fab, now, out| {
+    let gen = drive(&mut sim, |ctx| {
         group
             .client
             .issue(
-                fab,
-                now,
-                out,
+                ctx,
                 GroupOp::Write {
                     offset: 0,
                     data: vec![7u8; 1024],
@@ -51,7 +49,7 @@ fn main() {
             .expect("issue")
     });
     sim.run();
-    drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+    drive(&mut sim, |ctx| group.client.poll(ctx));
 
     let events = tracer.events();
     let bd = op_breakdown(&events, gen).expect("traced op");

@@ -19,8 +19,8 @@ fn acked_flushed_writes_survive_any_single_power_failure() {
         99,
     );
     let nodes = [NodeId(1), NodeId(2), NodeId(3)];
-    let mut group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), now, out)
+    let mut group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default())
     });
     sim.run();
     let base = group.client.layout().shared_base;
@@ -30,13 +30,11 @@ fn acked_flushed_writes_survive_any_single_power_failure() {
     for i in 0..40u64 {
         let offset = (i % 16) * 4096;
         let data = vec![(rng.next_u64() & 0xFF) as u8; 256];
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             group
                 .client
                 .issue(
-                    fab,
-                    now,
-                    out,
+                    ctx,
                     GroupOp::Write {
                         offset,
                         data: data.clone(),
@@ -46,7 +44,7 @@ fn acked_flushed_writes_survive_any_single_power_failure() {
                 .unwrap()
         });
         sim.run();
-        let acks = drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+        let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
         assert_eq!(acks.len(), 1);
         acked.retain(|(o, _)| *o != offset);
         acked.push((offset, data));
@@ -77,8 +75,8 @@ fn kvstore_recovery_is_exactly_the_acked_prefix() {
         17,
     );
     let nodes = [NodeId(1), NodeId(2)];
-    let group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), now, out)
+    let group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default())
     });
     sim.run();
     let base = group.client.layout().shared_base;
@@ -86,23 +84,21 @@ fn kvstore_recovery_is_exactly_the_acked_prefix() {
 
     // Ack 20 writes; then issue 3 more and crash BEFORE their acks return.
     for i in 0..20u64 {
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, i % 8, vec![i as u8 + 1; 100])
-                .unwrap()
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, i % 8, vec![i as u8 + 1; 100]).unwrap()
         });
         sim.run();
-        drive(&mut sim, |fab, now, out| kv.poll(fab, now, out));
+        drive(&mut sim, |ctx| kv.poll(ctx));
     }
-    drive(&mut sim, |fab, now, out| {
+    drive(&mut sim, |ctx| {
         for i in 20..23u64 {
-            kv.put(fab, now, out, i % 8, vec![i as u8 + 1; 100])
-                .unwrap();
+            kv.put(ctx, i % 8, vec![i as u8 + 1; 100]).unwrap();
         }
     });
     // Crash now, mid-flight (no sim.run: nothing has propagated yet).
     sim.model.fab.mem(NodeId(2)).power_failure();
 
-    let state = drive(&mut sim, |fab, _, _| kv.recover_state(fab, NodeId(2), base));
+    let state = drive(&mut sim, |ctx| kv.recover_state(ctx.fab, NodeId(2), base));
     // All acked writes present; in-flight ones may be absent but nothing
     // else may appear.
     for i in 0..20u64 {

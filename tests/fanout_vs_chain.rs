@@ -35,19 +35,17 @@ fn fanout_and_chain_converge_to_identical_state() {
             1,
         );
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
-        let mut group = drive(&mut sim, |fab, now, out| {
-            HyperLoopGroup::setup(fab, NodeId(0), &nodes, GroupConfig::default(), now, out)
+        let mut group = drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default())
         });
         sim.run();
         let base = group.client.layout().shared_base;
         for (off, data) in &ws {
-            drive(&mut sim, |fab, now, out| {
+            drive(&mut sim, |ctx| {
                 group
                     .client
                     .issue(
-                        fab,
-                        now,
-                        out,
+                        ctx,
                         GroupOp::Write {
                             offset: *off,
                             data: data.clone(),
@@ -57,7 +55,7 @@ fn fanout_and_chain_converge_to_identical_state() {
                     .unwrap()
             });
             sim.run();
-            drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out));
+            drive(&mut sim, |ctx| group.client.poll(ctx));
         }
         sim.model.fab.mem(NodeId(3)).power_failure(); // durable view only
         sim.model
@@ -77,25 +75,15 @@ fn fanout_and_chain_converge_to_identical_state() {
             2,
         );
         let backups = [NodeId(2), NodeId(3), NodeId(4)];
-        let mut group = drive(&mut sim, |fab, now, out| {
-            FanoutGroup::setup(
-                fab,
-                NodeId(0),
-                NodeId(1),
-                &backups,
-                GroupConfig::default(),
-                now,
-                out,
-            )
+        let mut group = drive(&mut sim, |ctx| {
+            FanoutGroup::setup(ctx, NodeId(0), NodeId(1), &backups, GroupConfig::default())
         });
         sim.run();
         let mut done = 0usize;
         for (off, data) in &ws {
-            drive(&mut sim, |fab, now, out| {
-                group.client.write(fab, now, out, *off, data, true)
-            });
+            drive(&mut sim, |ctx| group.client.write(ctx, *off, data, true));
             sim.run();
-            done += drive(&mut sim, |fab, now, out| group.client.poll(fab, now, out)).len();
+            done += drive(&mut sim, |ctx| group.client.poll(ctx)).len();
         }
         assert_eq!(done, ws.len());
         sim.model.fab.mem(NodeId(4)).power_failure();

@@ -22,23 +22,19 @@ fn chain_repairs_and_state_survives() {
         61,
     );
     let members = vec![NodeId(1), NodeId(2), NodeId(3)];
-    let group = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(fab, NodeId(0), &members, GroupConfig::default(), now, out)
+    let group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &members, GroupConfig::default())
     });
     sim.run();
     let base1 = group.client.layout().shared_base;
     let mut kv = ReplicatedKv::new(group.client, KvConfig::default());
 
     for i in 0..30u64 {
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, i % 10, vec![i as u8 + 1; 64])
-                .unwrap()
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, i % 10, vec![i as u8 + 1; 64]).unwrap()
         });
         sim.run();
-        assert_eq!(
-            drive(&mut sim, |fab, now, out| kv.poll(fab, now, out)).len(),
-            1
-        );
+        assert_eq!(drive(&mut sim, |ctx| kv.poll(ctx)).len(), 1);
     }
 
     // Node 3 (chain position 2) goes dark; the detector notices.
@@ -55,15 +51,8 @@ fn chain_repairs_and_state_survives() {
     let cursor = sim.model.fab.alloc_cursor(NodeId(1));
     sim.model.fab.align_allocator(NodeId(4), cursor);
     view.add_tail(NodeId(4));
-    let group2 = drive(&mut sim, |fab, now, out| {
-        HyperLoopGroup::setup(
-            fab,
-            NodeId(0),
-            view.members(),
-            GroupConfig::default(),
-            now,
-            out,
-        )
+    let group2 = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), view.members(), GroupConfig::default())
     });
     sim.run();
     let base2 = group2.client.layout().shared_base;
@@ -86,22 +75,19 @@ fn chain_repairs_and_state_survives() {
     drop(old);
 
     for i in 30..45u64 {
-        drive(&mut sim, |fab, now, out| {
-            kv.put(fab, now, out, i % 10, vec![i as u8 + 1; 64])
-                .unwrap()
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, i % 10, vec![i as u8 + 1; 64]).unwrap()
         });
         sim.run();
         assert_eq!(
-            drive(&mut sim, |fab, now, out| kv.poll(fab, now, out)).len(),
+            drive(&mut sim, |ctx| kv.poll(ctx)).len(),
             1,
             "write {i} failed on the repaired chain"
         );
     }
 
     // The standby's recovered state matches the primary view for every key.
-    let state = drive(&mut sim, |fab, _, _| {
-        kv.recover_state(fab, NodeId(4), base2)
-    });
+    let state = drive(&mut sim, |ctx| kv.recover_state(ctx.fab, NodeId(4), base2));
     assert_eq!(state.len(), 10);
     for (k, v) in state {
         assert_eq!(

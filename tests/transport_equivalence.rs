@@ -4,10 +4,10 @@
 
 use hyperloop_repro::baseline::{NaiveChain, NaiveConfig};
 use hyperloop_repro::hyperloop::{
-    ExecuteMap, GroupConfig, GroupOp, GroupTransport, HyperLoopGroup,
+    ExecuteMap, GroupConfig, GroupOp, GroupTransport, HyperLoopGroup, ShardId, ShardSet,
 };
 use hyperloop_repro::netsim::NodeId;
-use hyperloop_repro::simcore::{SimDuration, SimRng, SimTime};
+use hyperloop_repro::simcore::{SimDuration, SimRng};
 use hyperloop_repro::testbed::{drive, Cluster};
 
 /// Random but hazard-free sequence: concurrent in-flight operations target
@@ -59,15 +59,15 @@ fn run_over<T: GroupTransport + 'static>(
     let mut next = 0usize;
     let mut completed = 0usize;
     while completed < ops.len() {
-        drive(&mut sim, |fab, now, out| {
+        drive(&mut sim, |ctx| {
             while transport.can_issue() && next < ops.len() {
-                transport.issue(fab, now, out, ops[next].clone()).unwrap();
+                transport.issue(ctx, ops[next].clone()).unwrap();
                 next += 1;
             }
         });
         let deadline = sim.now() + SimDuration::from_millis(200);
         sim.run_until(deadline);
-        completed += drive(&mut sim, |fab, now, out| transport.poll(fab, now, out)).len();
+        completed += drive(&mut sim, |ctx| transport.poll(ctx)).len();
         maintain(&mut sim);
     }
     assert_eq!(sim.model.fab.stats().errors, 0);
@@ -93,15 +93,8 @@ fn same_ops_same_state_on_both_transports() {
     let hl_images = {
         let mut cluster = Cluster::with_defaults(4, 8);
         let nodes = [NodeId(1), NodeId(2), NodeId(3)];
-        let group = cluster.setup_fabric(|fab, out| {
-            HyperLoopGroup::setup(
-                fab,
-                NodeId(0),
-                &nodes,
-                GroupConfig::default(),
-                SimTime::ZERO,
-                out,
-            )
+        let group = cluster.setup_fabric(|ctx| {
+            HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default())
         });
         let shared = group.client.layout().shared_base;
         let replicas = std::cell::RefCell::new(group.replicas);
@@ -111,9 +104,9 @@ fn same_ops_same_state_on_both_transports() {
             group.client,
             shared,
             |sim| {
-                drive(sim, |fab, now, out| {
+                drive(sim, |ctx| {
                     for r in replicas.borrow_mut().iter_mut() {
-                        r.replenish(fab, 8, now, out);
+                        r.replenish(ctx, 8);
                     }
                 });
             },
@@ -137,4 +130,97 @@ fn same_ops_same_state_on_both_transports() {
     assert_eq!(naive_images[1], naive_images[2]);
     // ...and the two systems agree with each other.
     assert_eq!(hl_images[0], naive_images[0], "transports diverged");
+}
+
+/// A freshly-wired single-group cluster on the default configuration.
+fn single_group_cluster() -> (simcore::Simulation<Cluster>, hyperloop::GroupClient) {
+    let mut cluster = Cluster::with_defaults(4, 8);
+    let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+    let group = cluster
+        .setup_fabric(|ctx| HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default()));
+    let mut sim = cluster.into_sim();
+    sim.run();
+    (sim, group.client)
+}
+
+/// The degenerate-shard claim, verified per-op: a 1-shard [`ShardSet`] is
+/// the identity wrapper — same seed, same ops, byte-for-byte the same
+/// generations and completion *timestamps* as the bare [`GroupClient`].
+#[test]
+fn one_shard_set_is_latency_identical_to_single_group() {
+    let ops = op_sequence(0xE1, 48);
+
+    // Arm A: the bare single-group client.
+    let bare = {
+        let (mut sim, mut client) = single_group_cluster();
+        let mut timeline = Vec::new();
+        let mut next = 0usize;
+        while timeline.len() < ops.len() {
+            drive(&mut sim, |ctx| {
+                while client.can_issue() && next < ops.len() {
+                    let gen = client.issue(ctx, ops[next].clone()).unwrap();
+                    next += 1;
+                    timeline.push((gen, ctx.now, None));
+                }
+            });
+            sim.run();
+            for ack in drive(&mut sim, |ctx| client.poll(ctx)) {
+                let slot = timeline
+                    .iter_mut()
+                    .find(|(g, _, done)| *g == ack.gen && done.is_none())
+                    .expect("ack matches an issued op");
+                slot.2 = Some(sim.now());
+            }
+            if timeline.iter().any(|(_, _, d)| d.is_none()) {
+                continue;
+            }
+            if next >= ops.len() {
+                break;
+            }
+        }
+        assert_eq!(sim.model.fab.stats().errors, 0);
+        timeline
+    };
+
+    // Arm B: the same client behind a 1-shard ShardSet, driven through the
+    // routed path (every key resolves to shard 0).
+    let sharded = {
+        let (mut sim, client) = single_group_cluster();
+        let mut set = ShardSet::with_hash_router(vec![client]);
+        let mut timeline = Vec::new();
+        let mut next = 0usize;
+        while timeline.len() < ops.len() {
+            drive(&mut sim, |ctx| {
+                while set.can_issue_key(next as u64) && next < ops.len() {
+                    let (shard, gen) = set.issue_key(ctx, next as u64, ops[next].clone()).unwrap();
+                    assert_eq!(shard, ShardId(0));
+                    next += 1;
+                    timeline.push((gen, ctx.now, None));
+                }
+            });
+            sim.run();
+            for sack in drive(&mut sim, |ctx| set.poll(ctx)) {
+                assert_eq!(sack.shard, ShardId(0));
+                let slot = timeline
+                    .iter_mut()
+                    .find(|(g, _, done)| *g == sack.ack.gen && done.is_none())
+                    .expect("ack matches an issued op");
+                slot.2 = Some(sim.now());
+            }
+            if timeline.iter().any(|(_, _, d)| d.is_none()) {
+                continue;
+            }
+            if next >= ops.len() {
+                break;
+            }
+        }
+        assert_eq!(sim.model.fab.stats().errors, 0);
+        assert_eq!(set.completed(), ops.len() as u64);
+        timeline
+    };
+
+    assert_eq!(
+        bare, sharded,
+        "1-shard ShardSet must be op-for-op identical to the bare client"
+    );
 }
