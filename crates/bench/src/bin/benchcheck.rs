@@ -1,0 +1,145 @@
+//! Validates machine-readable `BENCH_*.json` reports.
+//!
+//! ```text
+//! cargo run --release -p hyperloop-bench --bin benchcheck -- out/BENCH_figures.json ...
+//! ```
+//!
+//! A report that parses but carries garbage is worse than no report: a
+//! `null` where a gauge should be means a NaN/Inf leaked out of a bench,
+//! a negative or fractional counter means the registry was corrupted, and
+//! a shard that acked more than it issued means the accounting
+//! double-counted (the failure mode the `export_into` snapshot fix
+//! guards). This checker walks every scenario with
+//! [`simcore::jsonw::parse`] and fails loudly on any of those, so CI can
+//! gate on the reports the figures binary writes.
+
+use simcore::jsonw::{parse, JsonValue};
+use std::process::ExitCode;
+
+/// One validation failure, located well enough to grep the report.
+fn fail(path: &str, scenario: &str, msg: &str) -> ExitCode {
+    eprintln!("benchcheck: {path}: scenario {scenario:?}: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Checks one `{key: number}` object: every value a finite number, and —
+/// when `counters` — a non-negative integer. Returns the offending message.
+fn check_numbers(obj: &JsonValue, what: &str, counters: bool) -> Result<(), String> {
+    let Some(fields) = obj.as_obj() else {
+        return Err(format!("{what} is not an object"));
+    };
+    for (k, v) in fields {
+        match v {
+            JsonValue::U64(_) => {}
+            JsonValue::F64(f) if !counters && f.is_finite() => {}
+            JsonValue::Null => {
+                // The writer emits null for NaN/Inf — a bench leaked a
+                // non-finite float.
+                return Err(format!("{what}.{k} is null (non-finite value)"));
+            }
+            _ => {
+                return Err(format!(
+                    "{what}.{k} is not a {}",
+                    if counters {
+                        "non-negative integer"
+                    } else {
+                        "finite number"
+                    }
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every `*.shardN.acked` counter must have a sibling `*.shardN.issued`
+/// that is at least as large: acks can lag issues, never lead them.
+fn check_shard_monotonicity(counters: &JsonValue) -> Result<(), String> {
+    let Some(fields) = counters.as_obj() else {
+        return Ok(());
+    };
+    for (k, v) in fields {
+        let Some(base) = k.strip_suffix(".acked") else {
+            continue;
+        };
+        let Some(acked) = v.as_u64() else { continue };
+        let issued_key = format!("{base}.issued");
+        let Some(issued) = counters.get(&issued_key).and_then(|x| x.as_u64()) else {
+            return Err(format!("{k} has no sibling {issued_key}"));
+        };
+        if acked > issued {
+            return Err(format!("{k}={acked} exceeds {issued_key}={issued}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<usize, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("benchcheck: {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    let root = parse(&text).map_err(|e| {
+        eprintln!("benchcheck: {path}: malformed JSON: {e}");
+        ExitCode::FAILURE
+    })?;
+    let schema = root.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != "hyperloop-bench/v1" {
+        eprintln!("benchcheck: {path}: unknown schema {schema:?}");
+        return Err(ExitCode::FAILURE);
+    }
+    let Some(scenarios) = root.get("scenarios").and_then(|v| v.as_arr()) else {
+        eprintln!("benchcheck: {path}: no scenarios array");
+        return Err(ExitCode::FAILURE);
+    };
+    if scenarios.is_empty() {
+        eprintln!("benchcheck: {path}: report carries zero scenarios");
+        return Err(ExitCode::FAILURE);
+    }
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or("<unnamed>");
+        if name == "<unnamed>" {
+            return Err(fail(path, name, "scenario has no name"));
+        }
+        if let Some(lat) = s.get("latency") {
+            check_numbers(lat, "latency", true).map_err(|m| fail(path, name, &m))?;
+        }
+        if let Some(g) = s.get("gauges") {
+            check_numbers(g, "gauges", false).map_err(|m| fail(path, name, &m))?;
+        }
+        if let Some(metrics) = s.get("metrics") {
+            if let Some(c) = metrics.get("counters") {
+                check_numbers(c, "metrics.counters", true).map_err(|m| fail(path, name, &m))?;
+                check_shard_monotonicity(c).map_err(|m| fail(path, name, &m))?;
+            }
+            if let Some(g) = metrics.get("gauges") {
+                check_numbers(g, "metrics.gauges", false).map_err(|m| fail(path, name, &m))?;
+            }
+            if let Some(h) = metrics.get("histograms") {
+                for (k, v) in h.as_obj().unwrap_or(&[]) {
+                    check_numbers(v, &format!("metrics.histograms.{k}"), true)
+                        .map_err(|m| fail(path, name, &m))?;
+                }
+            }
+        }
+    }
+    Ok(scenarios.len())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: benchcheck <BENCH_*.json> ...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        match check_file(path) {
+            Ok(n) => println!("benchcheck: {path}: ok ({n} scenarios)"),
+            Err(code) => return code,
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -81,6 +81,9 @@ fn main() {
     if has("shardscale") {
         hyperloop_bench::shardscale::shardscale(&mut rep, quick);
     }
+    if has("migrate") {
+        hyperloop_bench::migrate::migrate(&mut rep, quick);
+    }
     if has("ablations") || wanted.contains(&"ablations") {
         hyperloop_bench::appbench::ablations(&mut rep, quick);
     }

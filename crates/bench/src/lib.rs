@@ -18,9 +18,10 @@
 //! | fig12 | replicated MongoDB (docstore) under YCSB A/B/D/E/F | [`appbench`] |
 //!
 //! Plus ablations (`ablation_*`): polling crossover, flush cost, fan-out vs
-//! chain — and `shardscale` ([`shardscale`]), the beyond-the-paper sweep of
-//! aggregate throughput vs shard count over the [`hyperloop::ShardSet`]
-//! layer.
+//! chain — and two beyond-the-paper sweeps over the
+//! [`hyperloop::ShardSet`] layer: `shardscale` ([`shardscale`]), aggregate
+//! throughput vs shard count, and `migrate` ([`migrate`]), the pause
+//! window and throughput dip of a live shard migration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +31,7 @@ pub mod driver;
 pub mod fanout_ablation;
 pub mod figures;
 pub mod micro;
+pub mod migrate;
 pub mod mongo2;
 pub mod report;
 pub mod shardscale;

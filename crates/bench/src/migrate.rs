@@ -1,0 +1,380 @@
+//! The live-migration benchmark: pause-window cost under load.
+//!
+//! A fixed offered load runs through `n` chains exactly as in the
+//! shard-scaling bench, but halfway through, shard 0 is migrated onto a
+//! standby chain with the live state machine
+//! ([`MigrationRun::begin`]/[`finish`](MigrationRun::finish)): the shard
+//! pauses with its window full, the bulk copy races that in-flight tail
+//! through the fabric, fresh shard-0 ops park in the bounded holding pen,
+//! and every other shard keeps issuing. The figures of merit are the
+//! pause-window length, the throughput dip while the window is open, and
+//! how much of the WAL tail had to be replayed — the costs the paper's
+//! static-placement sections never have to pay.
+
+use crate::report::{us, Report, Scenario};
+use crate::shardscale::SHARD_COUNTS;
+use hyperloop::{
+    plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
+};
+use netsim::NodeId;
+use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+use testbed::cluster::drive;
+use testbed::{Cluster, ClusterConfig, ShardPlacement};
+
+/// Live-migration benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrateOpts {
+    /// Replicas per shard chain (and on the standby chain).
+    pub replicas_per_shard: u32,
+    /// Total operations across all shards.
+    pub ops: u64,
+    /// Per-shard in-flight window.
+    pub window: u32,
+    /// gWRITE payload bytes.
+    pub payload: u64,
+    /// Ops parked in the holding pen while the pause window is open.
+    pub defer: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for MigrateOpts {
+    fn default() -> Self {
+        MigrateOpts {
+            replicas_per_shard: 3,
+            ops: 4096,
+            window: 16,
+            payload: 1024,
+            defer: 16,
+            seed: 0x3161_847E,
+        }
+    }
+}
+
+/// Result of one migration arm.
+#[derive(Debug, Clone)]
+pub struct MigrateResult {
+    /// Shard count of this arm (shard 0 is the one that moves).
+    pub shards: u32,
+    /// Per-op latency distribution, including ops caught by the pause.
+    pub latency: LatencySummary,
+    /// Wall time from first issue to last ack.
+    pub elapsed: SimDuration,
+    /// Operations completed (= the offered load).
+    pub ops: u64,
+    /// Pause-window length (begin to cutover).
+    pub pause: SimDuration,
+    /// WAL-tail ranges replayed after the raced bulk copy.
+    pub replayed: u64,
+    /// Bytes moved (bulk copy + seed + replay).
+    pub copy_bytes: u64,
+    /// Ops that waited out the window in the holding pen.
+    pub penned: u64,
+    /// Throughput inside the migration window over steady throughput
+    /// (1.0 = no dip).
+    pub dip: f64,
+    /// Shard epoch after the cutover.
+    pub epoch: u64,
+    /// Cluster + shard-set metrics snapshot (post-migration chains).
+    pub registry: MetricsRegistry,
+}
+
+impl MigrateResult {
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs the fixed offered load through `n_shards` chains, migrating shard 0
+/// to a standby chain at the halfway mark.
+///
+/// # Panics
+///
+/// Panics on data-path errors, lost operations, or a stalled run.
+pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
+    let client = NodeId(0);
+    let rps = opts.replicas_per_shard;
+    // One extra chain's worth of nodes sits idle as the migration target.
+    let nodes = 1 + (n_shards + 1) * rps;
+    let cluster = Cluster::new(
+        nodes,
+        4,
+        256 << 20,
+        ClusterConfig {
+            seed: opts.seed,
+            ..ClusterConfig::default()
+        },
+    );
+    let mut chains: Vec<Vec<NodeId>> = (0..n_shards)
+        .map(|s| (0..rps).map(|r| NodeId(1 + s * rps + r)).collect())
+        .collect();
+    let standby: Vec<NodeId> = (0..rps).map(|r| NodeId(1 + n_shards * rps + r)).collect();
+    let placement = ShardPlacement::Explicit(chains.clone());
+    assert_eq!(cluster.place_shards(&placement, n_shards, client), chains);
+
+    let cfg = GroupConfig {
+        shared_size: 4 << 20,
+        meta_slots: 64,
+        prepost_depth: 128,
+        window: opts.window,
+    };
+    let mut cluster = cluster;
+    let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
+        chains
+            .iter()
+            .map(|chain| HyperLoopGroup::setup(ctx, client, chain, cfg))
+            .collect()
+    });
+    let (clients, mut replicas): (Vec<_>, Vec<_>) =
+        groups.into_iter().map(|g| (g.client, g.replicas)).unzip();
+    let mut set = ShardSet::with_hash_router(clients);
+
+    let mut sim = cluster.into_sim();
+    sim.run(); // drain group wiring
+
+    // Same offered load and routing discipline as the shard-scaling bench,
+    // so the two figures are directly comparable per arm.
+    let mut rng = SimRng::new(opts.seed ^ 0x51AB);
+    let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); n_shards as usize];
+    for _ in 0..opts.ops {
+        let key = rng.next_u64();
+        queues[set.route(key).0 as usize].push_back(key);
+    }
+    let op_for = |key: u64, payload: u64| GroupOp::Write {
+        offset: (key % 64) * 8192,
+        data: vec![(key & 0xFF) as u8; payload as usize],
+        flush: true,
+    };
+
+    let mig_shard = ShardId(0);
+    let migrate_at = opts.ops / 2;
+    let mut migrated: Option<(SimDuration, u64, u64, u64, u64)> = None;
+    let mut window_tput = 0.0f64;
+
+    let mut sent: HashMap<(u32, u64), SimTime> = HashMap::new();
+    let mut hist = Histogram::new();
+    let started = sim.now();
+    let mut done = 0u64;
+    while done < opts.ops {
+        drive(&mut sim, |ctx| {
+            for s in 0..n_shards {
+                let sid = ShardId(s);
+                while set.can_issue_on(sid) {
+                    let Some(key) = queues[s as usize].pop_front() else {
+                        break;
+                    };
+                    let gen = set
+                        .issue_on(ctx, sid, op_for(key, opts.payload))
+                        .expect("window checked");
+                    sent.insert((s, gen), ctx.now);
+                }
+            }
+        });
+
+        if migrated.is_none() && done >= migrate_at {
+            // -- The live migration, launched right after a refill so shard
+            // 0's window is full and the bulk copy genuinely races an
+            // in-flight tail. The other shards' windows are also full, so
+            // they keep completing work throughout the pause. --
+            let plan = plan_migration(
+                mig_shard,
+                set.epoch(mig_shard),
+                &chains[0],
+                &standby,
+                cfg.shared_size,
+            );
+            let run = MigrationRun::begin(&mut sim, &mut set, plan);
+            let t_begin = run.paused_at();
+            let done_before = done;
+            // Fresh shard-0 keys park in the bounded holding pen while the
+            // window is open.
+            let mut penned: Vec<(u64, SimTime)> = Vec::new();
+            while (penned.len() as u64) < opts.defer {
+                let Some(key) = queues[0].pop_front() else {
+                    break;
+                };
+                match set.defer_on(mig_shard, op_for(key, opts.payload)) {
+                    Ok(()) => penned.push((key, sim.now())),
+                    Err(_) => {
+                        queues[0].push_front(key); // pen full: back-pressure
+                        break;
+                    }
+                }
+            }
+            let outcome = run.finish(&mut sim, &mut set);
+            replicas[0] = outcome.replicas; // old chain's handles are dead
+            chains[0] = standby.clone();
+            for a in outcome.drained {
+                let t0 = sent
+                    .remove(&(a.shard.0, a.ack.gen))
+                    .expect("drained ack for an op we issued");
+                hist.record(sim.now().since(t0));
+                done += 1;
+            }
+            // Penned ops re-issued on the new epoch, in pen order. Mapped
+            // only after the old-epoch acks above are consumed, so a
+            // restarted generation number can never collide in `sent`.
+            assert_eq!(outcome.resumed.len(), penned.len(), "pen drain lost ops");
+            for (gen, (_key, t0)) in outcome.resumed.iter().zip(&penned) {
+                sent.insert((mig_shard.0, *gen), *t0);
+            }
+            let span = sim.now().since(t_begin);
+            window_tput = (done - done_before) as f64 / span.as_secs_f64().max(1e-12);
+            migrated = Some((
+                outcome.stats.pause,
+                outcome.stats.replayed,
+                outcome.stats.copy_bytes,
+                penned.len() as u64,
+                outcome.stats.epoch,
+            ));
+            continue;
+        }
+
+        sim.run();
+        let acks = drive(&mut sim, |ctx| set.poll(ctx));
+        assert!(!acks.is_empty(), "run stalled at {done}/{} ops", opts.ops);
+        let mut drained = vec![0u32; n_shards as usize];
+        for a in acks {
+            let t0 = sent
+                .remove(&(a.shard.0, a.ack.gen))
+                .expect("ack for an op we issued");
+            hist.record(sim.now().since(t0));
+            drained[a.shard.0 as usize] += 1;
+            done += 1;
+        }
+        drive(&mut sim, |ctx| {
+            for (shard, &n) in drained.iter().enumerate() {
+                if n > 0 {
+                    for r in replicas[shard].iter_mut() {
+                        r.replenish(ctx, n);
+                    }
+                }
+            }
+        });
+    }
+    let elapsed = sim.now().since(started);
+    assert_eq!(sim.model.fab.stats().errors, 0, "data-path errors");
+    assert_eq!(set.completed(), opts.ops, "lost operations");
+    let (pause, replayed, copy_bytes, penned, epoch) =
+        migrated.expect("load too small to reach the migration point");
+
+    let steady_tput = opts.ops as f64 / elapsed.as_secs_f64().max(1e-12);
+    let mut registry = MetricsRegistry::new();
+    sim.model.export_into(&mut registry, "cluster");
+    sim.model
+        .export_shards_into(&mut registry, &chains, "bench");
+    set.export_into(&mut registry, "bench.shards");
+    registry.merge_histogram("bench.op_latency", &hist);
+    registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
+
+    MigrateResult {
+        shards: n_shards,
+        latency: hist.summary(),
+        elapsed,
+        ops: opts.ops,
+        pause,
+        replayed,
+        copy_bytes,
+        penned,
+        dip: window_tput / steady_tput.max(1e-12),
+        epoch,
+        registry,
+    }
+}
+
+/// Live-migration sweep: pause window and throughput dip vs shard count.
+pub fn migrate(rep: &mut Report, quick: bool) {
+    rep.banner("Live migration: pause window and throughput dip while shard 0 changes chains");
+    let opts = MigrateOpts {
+        ops: if quick { 1024 } else { 4096 },
+        ..MigrateOpts::default()
+    };
+    rep.line(format!(
+        "{:<8} {:>12} {:>10} {:>8} {:>10} {:>8} {:>10}",
+        "shards", "Kops/s", "pause", "dip", "moved_MB", "replay", "p99"
+    ));
+    for n in SHARD_COUNTS {
+        let r = run_migrate(n, opts);
+        rep.line(format!(
+            "{:<8} {:>12.1} {:>10} {:>7.0}% {:>10.1} {:>8} {:>10}",
+            n,
+            r.ops_per_sec() / 1e3,
+            us(r.pause),
+            r.dip * 100.0,
+            r.copy_bytes as f64 / (1 << 20) as f64,
+            r.replayed,
+            us(r.latency.p99),
+        ));
+        rep.scenario(
+            Scenario::new(format!("migrate/{n}"))
+                .system("HyperLoop")
+                .seed(opts.seed)
+                .config("shards", n)
+                .config("replicas_per_shard", opts.replicas_per_shard)
+                .config("window", opts.window)
+                .config("ops", opts.ops)
+                .config("payload_bytes", opts.payload)
+                .config("penned", r.penned)
+                .config("epoch_after", r.epoch)
+                .latency(&r.latency)
+                .gauge("ops_per_sec", r.ops_per_sec())
+                .gauge("pause_us", r.pause.as_secs_f64() * 1e6)
+                .gauge("window_tput_ratio", r.dip)
+                .gauge("copy_bytes", r.copy_bytes as f64)
+                .gauge("replayed_ranges", r.replayed as f64)
+                .metrics(r.registry.clone()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_arm_loses_nothing_and_records_stats() {
+        let opts = MigrateOpts {
+            ops: 512,
+            ..MigrateOpts::default()
+        };
+        let r = run_migrate(4, opts);
+        assert_eq!(r.ops, 512);
+        assert_eq!(r.epoch, 1, "one cutover, one epoch bump");
+        assert!(r.pause > SimDuration::ZERO, "pause window has length");
+        assert!(r.penned > 0, "some ops rode out the window in the pen");
+        assert!(r.copy_bytes >= 4 << 20, "the shard image moved");
+        // The migration counters survived into the snapshot.
+        assert_eq!(
+            r.registry.counter("bench.shards.shard0.migration.epoch"),
+            Some(1)
+        );
+        assert_eq!(
+            r.registry.counter("bench.shards.shard0.migration.replayed"),
+            Some(r.replayed)
+        );
+        assert!(
+            r.registry
+                .counter("bench.shards.shard0.migration.copy_bytes")
+                .unwrap()
+                >= 4 << 20
+        );
+        assert!(r.dip > 0.0, "the window still completed work");
+    }
+
+    #[test]
+    fn same_seed_same_migration_timeline() {
+        let opts = MigrateOpts {
+            ops: 256,
+            ..MigrateOpts::default()
+        };
+        let a = run_migrate(2, opts);
+        let b = run_migrate(2, opts);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.pause, b.pause);
+        assert_eq!(a.replayed, b.replayed);
+        assert_eq!(a.copy_bytes, b.copy_bytes);
+        assert_eq!(a.latency.p99, b.latency.p99);
+    }
+}

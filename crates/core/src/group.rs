@@ -250,6 +250,19 @@ impl GroupClient {
         self.tracer = tracer;
     }
 
+    /// The installed trace sink (disabled unless
+    /// [`GroupClient::set_tracer`] was called). Clones share one buffer,
+    /// so a migration driver can emit alongside the client and carry the
+    /// sink over to the replacement client.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// The group configuration this client was set up with.
+    pub fn config(&self) -> GroupConfig {
+        self.cfg
+    }
+
     /// The replica-space layout (shared by all group members).
     pub fn layout(&self) -> &SharedLayout {
         &self.layout

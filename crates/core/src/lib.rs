@@ -33,7 +33,10 @@
 //! * [`fanout`] — the §7 extension: primary-coordinated fan-out replication;
 //! * [`shard`] — many groups behind one key router ([`ShardSet`]): the
 //!   multi-chain scale-out layer the storage case studies shard over;
-//! * [`membership`] — heartbeat failure detection and chain repair hooks.
+//! * [`membership`] — heartbeat failure detection and chain repair hooks;
+//! * [`migrate`] — live shard migration: epoch-numbered plans over
+//!   [`membership::RecoveryStep`] and a driver that moves a running shard
+//!   to a new chain without losing acknowledged writes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +49,7 @@ pub mod harness;
 pub mod lock;
 pub mod membership;
 pub mod meta;
+pub mod migrate;
 pub mod ops;
 pub mod reads;
 pub mod shard;
@@ -54,8 +58,14 @@ pub mod wal;
 
 pub use config::{GroupConfig, SharedLayout};
 pub use group::{GroupClient, GroupError, HyperLoopGroup, ReplicaHandle};
+pub use migrate::{
+    migrate_shard, plan_migration, plan_placement_move, MigrationHost, MigrationOutcome,
+    MigrationPlan, MigrationRun,
+};
 pub use ops::{ExecuteMap, GroupAck, GroupOp};
-pub use shard::{HashRouter, RangeRouter, ShardAck, ShardId, ShardRouter, ShardSet};
+pub use shard::{
+    HashRouter, MigrationStats, RangeRouter, ShardAck, ShardId, ShardRouter, ShardSet,
+};
 pub use transport::GroupTransport;
 
 #[cfg(test)]

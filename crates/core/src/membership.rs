@@ -9,6 +9,7 @@
 
 use netsim::NodeId;
 use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Failure-detector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,30 +29,38 @@ impl Default for HeartbeatConfig {
     }
 }
 
-/// Tracks the last heartbeat from every chain member.
+/// Tracks the last heartbeat from every chain member, keyed by [`NodeId`].
+///
+/// Keying by node identity (not chain position) matters because
+/// [`ChainView::remove`] shifts every later member's position: a beat
+/// addressed by stale position would mis-attribute to the wrong member, and
+/// a position past the shrunk chain would panic. Call
+/// [`HeartbeatMonitor::sync_view`] after every view change to keep the
+/// tracked member set in step with the view.
 #[derive(Debug, Clone)]
 pub struct HeartbeatMonitor {
     config: HeartbeatConfig,
-    last_seen: Vec<SimTime>,
+    last_seen: BTreeMap<NodeId, SimTime>,
+    view_epoch: u64,
 }
 
 impl HeartbeatMonitor {
-    /// A monitor over `members` chain positions, all considered alive at
-    /// `now`.
-    pub fn new(members: usize, config: HeartbeatConfig, now: SimTime) -> Self {
+    /// A monitor over the view's members, all considered alive at `now`.
+    pub fn new(view: &ChainView, config: HeartbeatConfig, now: SimTime) -> Self {
         HeartbeatMonitor {
             config,
-            last_seen: vec![now; members],
+            last_seen: view.members().iter().map(|&n| (n, now)).collect(),
+            view_epoch: view.epoch(),
         }
     }
 
-    /// Records a heartbeat from chain position `idx`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `idx` is out of range.
-    pub fn beat(&mut self, idx: usize, now: SimTime) {
-        self.last_seen[idx] = self.last_seen[idx].max(now);
+    /// Records a heartbeat from `node`. Beats from nodes outside the
+    /// current view (e.g. a member removed while its heartbeat was in
+    /// flight) are ignored, and stale beats never move a member backwards.
+    pub fn beat(&mut self, node: NodeId, now: SimTime) {
+        if let Some(t) = self.last_seen.get_mut(&node) {
+            *t = (*t).max(now);
+        }
     }
 
     /// The suspicion deadline: silence longer than this marks a failure.
@@ -59,20 +68,46 @@ impl HeartbeatMonitor {
         self.config.interval * self.config.misses_allowed as u64
     }
 
-    /// Chain positions whose silence exceeds the deadline.
-    pub fn suspected(&self, now: SimTime) -> Vec<usize> {
+    /// Members whose silence exceeds the deadline, in `NodeId` order.
+    pub fn suspected(&self, now: SimTime) -> Vec<NodeId> {
         let deadline = self.deadline();
         self.last_seen
             .iter()
-            .enumerate()
             .filter(|(_, &t)| now.since(t.min(now)) > deadline)
-            .map(|(i, _)| i)
+            .map(|(&n, _)| n)
             .collect()
     }
 
-    /// Forgets and re-admits position `idx` (after recovery).
-    pub fn reset(&mut self, idx: usize, now: SimTime) {
-        self.last_seen[idx] = now;
+    /// Forgets and re-admits `node` (after recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a tracked member.
+    pub fn reset(&mut self, node: NodeId, now: SimTime) {
+        let t = self
+            .last_seen
+            .get_mut(&node)
+            .unwrap_or_else(|| panic!("{node} is not a tracked member"));
+        *t = now;
+    }
+
+    /// Re-sizes the tracked set to the view's membership if the view's
+    /// epoch changed: removed members are dropped, new members are admitted
+    /// as alive at `now`, surviving members keep their history.
+    pub fn sync_view(&mut self, view: &ChainView, now: SimTime) {
+        if view.epoch() == self.view_epoch {
+            return;
+        }
+        self.last_seen.retain(|n, _| view.members().contains(n));
+        for &n in view.members() {
+            self.last_seen.entry(n).or_insert(now);
+        }
+        self.view_epoch = view.epoch();
+    }
+
+    /// Number of members currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.last_seen.len()
     }
 }
 
@@ -177,26 +212,65 @@ mod tests {
     #[test]
     fn monitor_suspects_after_deadline() {
         let cfg = HeartbeatConfig::default();
-        let mut m = HeartbeatMonitor::new(3, cfg, SimTime::ZERO);
+        let view = ChainView::new(vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let mut m = HeartbeatMonitor::new(&view, cfg, SimTime::ZERO);
         let t = SimTime::from_millis(25);
-        m.beat(0, t);
-        m.beat(2, t);
-        // Member 1 silent for 25ms < 30ms deadline: not yet suspected.
+        m.beat(NodeId(1), t);
+        m.beat(NodeId(3), t);
+        // Node 2 silent for 25ms < 30ms deadline: not yet suspected.
         assert!(m.suspected(t).is_empty());
-        // At 31ms, member 1 (last seen at 0) is suspected.
+        // At 31ms, node 2 (last seen at 0) is suspected.
         let t2 = SimTime::from_millis(31);
-        assert_eq!(m.suspected(t2), vec![1]);
-        m.reset(1, t2);
+        assert_eq!(m.suspected(t2), vec![NodeId(2)]);
+        m.reset(NodeId(2), t2);
         assert!(m.suspected(t2).is_empty());
     }
 
     #[test]
     fn beats_never_move_backwards() {
-        let mut m = HeartbeatMonitor::new(1, HeartbeatConfig::default(), SimTime::ZERO);
-        m.beat(0, SimTime::from_millis(50));
-        m.beat(0, SimTime::from_millis(10)); // stale beat
+        let view = ChainView::new(vec![NodeId(7)]);
+        let mut m = HeartbeatMonitor::new(&view, HeartbeatConfig::default(), SimTime::ZERO);
+        m.beat(NodeId(7), SimTime::from_millis(50));
+        m.beat(NodeId(7), SimTime::from_millis(10)); // stale beat
         assert!(m.suspected(SimTime::from_millis(60)).is_empty());
-        assert_eq!(m.suspected(SimTime::from_millis(81)), vec![0]);
+        assert_eq!(m.suspected(SimTime::from_millis(81)), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn monitor_survives_membership_churn() {
+        // The position-shift trap: removing node 2 moves node 3 from chain
+        // position 2 to 1. A NodeId-keyed monitor is unaffected.
+        let mut view = ChainView::new(vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let mut m = HeartbeatMonitor::new(&view, HeartbeatConfig::default(), SimTime::ZERO);
+        assert!(view.remove(NodeId(2)));
+        let t = SimTime::from_millis(5);
+        m.sync_view(&view, t);
+        assert_eq!(m.tracked(), 2);
+        // A straggler beat from the removed node is dropped, not
+        // mis-attributed to whoever inherited its position.
+        m.beat(NodeId(2), t);
+        m.beat(NodeId(3), t);
+        // Only node 1 (silent since 0) trips the 30ms deadline.
+        assert_eq!(m.suspected(SimTime::from_millis(31)), vec![NodeId(1)]);
+
+        // A replacement admitted mid-run starts its grace period at the
+        // sync time, not at monitor birth.
+        view.add_tail(NodeId(4));
+        let t2 = SimTime::from_millis(20);
+        m.sync_view(&view, t2);
+        assert_eq!(m.tracked(), 3);
+        assert!(!m.suspected(SimTime::from_millis(31)).contains(&NodeId(4)));
+        m.beat(NodeId(3), SimTime::from_millis(25));
+        assert_eq!(
+            m.suspected(SimTime::from_millis(51)),
+            vec![NodeId(1), NodeId(4)],
+            "node 4's grace runs from the sync at 20ms, so 51ms trips it"
+        );
+
+        // Same-epoch syncs are no-ops.
+        let before = m.clone();
+        m.sync_view(&view, SimTime::from_millis(40));
+        assert_eq!(m.tracked(), before.tracked());
     }
 
     #[test]

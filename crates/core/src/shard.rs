@@ -18,7 +18,8 @@ use crate::group::GroupError;
 use crate::ops::{GroupAck, GroupOp};
 use crate::transport::GroupTransport;
 use rnicsim::NicCtx;
-use simcore::MetricsRegistry;
+use simcore::{MetricsRegistry, SimDuration};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifies one shard (one replication group) within a [`ShardSet`].
@@ -95,19 +96,51 @@ pub struct ShardAck {
     pub ack: GroupAck,
 }
 
+/// Per-shard record of the last completed migration, kept for metrics
+/// export (`{prefix}.shard{i}.migration.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// The epoch the shard serves after the migration.
+    pub epoch: u64,
+    /// Length of the pause window (writes neither issued nor acked).
+    pub pause: SimDuration,
+    /// Total bytes copied to the new chain (bulk copy + replayed tail).
+    pub copy_bytes: u64,
+    /// Dirty ranges replayed after the bulk copy (the WAL tail that raced
+    /// the snapshot).
+    pub replayed: u64,
+}
+
+/// Default bound of the per-shard holding pen (ops buffered while the
+/// shard is paused for migration).
+pub const DEFAULT_PEN_CAPACITY: usize = 64;
+
 /// Many replication groups behind one router.
 ///
 /// Issue against a key with [`ShardSet::issue_key`] (router decides the
 /// shard) or against an explicit shard with [`ShardSet::issue_on`]; collect
 /// completions from *all* shards' completion queues with
-/// [`ShardSet::poll`]. Generations are per-shard — `(shard, gen)` is the
-/// unique operation identity.
+/// [`ShardSet::poll`]. Generations are per-shard *and per-epoch* —
+/// `(shard, epoch, gen)` is the unique operation identity; a shard's epoch
+/// bumps each time its transport is swapped by a migration
+/// ([`ShardSet::replace_shard`]), and generations restart on the new
+/// transport.
+///
+/// A shard can be [`ShardSet::pause`]d (migration's pause window): it
+/// accepts no new issues, but ops may be parked in a bounded holding pen
+/// with [`ShardSet::defer_on`] and are issued in arrival order when the
+/// shard [`ShardSet::resume`]s. Other shards are unaffected.
 #[derive(Debug)]
 pub struct ShardSet<T: GroupTransport> {
     shards: Vec<T>,
     router: Box<dyn ShardRouter + Send>,
     issued: Vec<u64>,
     acked: Vec<u64>,
+    epochs: Vec<u64>,
+    paused: Vec<bool>,
+    pens: Vec<VecDeque<GroupOp>>,
+    pen_capacity: usize,
+    migrations: Vec<Option<MigrationStats>>,
 }
 
 impl<T: GroupTransport> ShardSet<T> {
@@ -125,6 +158,11 @@ impl<T: GroupTransport> ShardSet<T> {
             router,
             issued: vec![0; n],
             acked: vec![0; n],
+            epochs: vec![0; n],
+            paused: vec![false; n],
+            pens: (0..n).map(|_| VecDeque::new()).collect(),
+            pen_capacity: DEFAULT_PEN_CAPACITY,
+            migrations: vec![None; n],
         }
     }
 
@@ -187,14 +225,16 @@ impl<T: GroupTransport> ShardSet<T> {
         self.acked[id.0 as usize]
     }
 
-    /// True if `key`'s shard can take another op right now.
+    /// True if `key`'s shard can take another op right now (not paused,
+    /// window open).
     pub fn can_issue_key(&self, key: u64) -> bool {
-        self.shards[self.route(key).0 as usize].can_issue()
+        self.can_issue_on(self.route(key))
     }
 
-    /// True if the explicit shard can take another op right now.
+    /// True if the explicit shard can take another op right now (not
+    /// paused, window open).
     pub fn can_issue_on(&self, id: ShardId) -> bool {
-        self.shards[id.0 as usize].can_issue()
+        !self.paused[id.0 as usize] && self.shards[id.0 as usize].can_issue()
     }
 
     /// Issues `op` on the shard that owns `key`, returning the shard and
@@ -221,13 +261,18 @@ impl<T: GroupTransport> ShardSet<T> {
     ///
     /// # Errors
     ///
-    /// As [`ShardSet::issue_key`].
+    /// As [`ShardSet::issue_key`]; a paused shard reports
+    /// [`GroupError::WindowFull`] (park the op with [`ShardSet::defer_on`]
+    /// instead).
     pub fn issue_on(
         &mut self,
         ctx: &mut NicCtx<'_>,
         id: ShardId,
         op: GroupOp,
     ) -> Result<u64, GroupError> {
+        if self.paused[id.0 as usize] {
+            return Err(GroupError::WindowFull);
+        }
         let gen = self.shards[id.0 as usize].issue(ctx, op)?;
         self.issued[id.0 as usize] += 1;
         Ok(gen)
@@ -237,27 +282,178 @@ impl<T: GroupTransport> ShardSet<T> {
     /// (aggregate fan-in), in shard order.
     pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<ShardAck> {
         let mut acks = Vec::new();
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let got = shard.poll(ctx);
-            self.acked[i] += got.len() as u64;
-            acks.extend(got.into_iter().map(|ack| ShardAck {
-                shard: ShardId(i as u32),
-                ack,
-            }));
+        for i in 0..self.shards.len() {
+            acks.extend(self.poll_shard(ctx, ShardId(i as u32)));
         }
         acks
     }
 
+    /// Collects completed operations from one shard's completion queue,
+    /// with the same accounting as [`ShardSet::poll`]. Migration drivers
+    /// use this to drain the migrating shard without touching (or stealing
+    /// acks from) the shards that keep serving.
+    pub fn poll_shard(&mut self, ctx: &mut NicCtx<'_>, id: ShardId) -> Vec<ShardAck> {
+        let i = id.0 as usize;
+        let got = self.shards[i].poll(ctx);
+        self.acked[i] += got.len() as u64;
+        got.into_iter()
+            .map(|ack| ShardAck { shard: id, ack })
+            .collect()
+    }
+
+    // ---- migration support -------------------------------------------
+
+    /// The epoch shard `id` currently serves (0 until its first
+    /// migration).
+    pub fn epoch(&self, id: ShardId) -> u64 {
+        self.epochs[id.0 as usize]
+    }
+
+    /// True while shard `id` is paused for migration.
+    pub fn is_paused(&self, id: ShardId) -> bool {
+        self.paused[id.0 as usize]
+    }
+
+    /// Ops parked in shard `id`'s holding pen.
+    pub fn pen_len(&self, id: ShardId) -> usize {
+        self.pens[id.0 as usize].len()
+    }
+
+    /// Re-bounds every shard's holding pen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_pen_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "holding pen needs room for at least one op");
+        self.pen_capacity = capacity;
+    }
+
+    /// Opens the migration pause window on shard `id`: the shard stops
+    /// admitting new issues (other shards keep serving). In-flight ops
+    /// keep completing and must be drained before cutover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is already paused.
+    pub fn pause(&mut self, id: ShardId) {
+        let i = id.0 as usize;
+        assert!(!self.paused[i], "{id} is already paused");
+        self.paused[i] = true;
+    }
+
+    /// Parks `op` in the paused shard's bounded holding pen; penned ops
+    /// issue in arrival order once the shard resumes.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::WindowFull`] if the pen is at capacity (backpressure:
+    /// the caller retries after the migration, exactly as for a full
+    /// window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is not paused — an unpaused shard takes ops
+    /// directly via [`ShardSet::issue_on`].
+    pub fn defer_on(&mut self, id: ShardId, op: GroupOp) -> Result<(), GroupError> {
+        let i = id.0 as usize;
+        assert!(self.paused[i], "deferring onto unpaused {id}");
+        if self.pens[i].len() >= self.pen_capacity {
+            return Err(GroupError::WindowFull);
+        }
+        self.pens[i].push_back(op);
+        Ok(())
+    }
+
+    /// Atomically swaps shard `id`'s transport for `new` (the migration
+    /// cutover), bumping the shard's epoch. Returns the old transport so
+    /// the caller can retire it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the shard is paused with zero in-flight ops — acked
+    /// writes may never be dropped, and an op in flight on the old chain
+    /// at swap time would be exactly that.
+    pub fn replace_shard(&mut self, id: ShardId, new: T) -> T {
+        let i = id.0 as usize;
+        assert!(self.paused[i], "cutover outside the pause window on {id}");
+        assert_eq!(
+            self.shards[i].in_flight(),
+            0,
+            "cutover with ops still in flight on {id}"
+        );
+        self.epochs[i] += 1;
+        std::mem::replace(&mut self.shards[i], new)
+    }
+
+    /// Closes the pause window on shard `id` and drains as much of its
+    /// holding pen as the window allows (continue with
+    /// [`ShardSet::drain_pen`] after polling if ops remain). Returns the
+    /// generations issued for drained ops, in pen order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is not paused, or if a penned op is rejected
+    /// for a reason other than a full window (its offset was validated
+    /// against the old chain's layout — a mismatched new chain is a
+    /// planning bug).
+    pub fn resume(&mut self, ctx: &mut NicCtx<'_>, id: ShardId) -> Vec<u64> {
+        let i = id.0 as usize;
+        assert!(self.paused[i], "{id} is not paused");
+        self.paused[i] = false;
+        self.drain_pen(ctx, id)
+    }
+
+    /// Issues parked ops from shard `id`'s pen while its window has room.
+    /// Returns the generations issued, in pen order.
+    pub fn drain_pen(&mut self, ctx: &mut NicCtx<'_>, id: ShardId) -> Vec<u64> {
+        let i = id.0 as usize;
+        let mut gens = Vec::new();
+        while !self.pens[i].is_empty() && self.can_issue_on(id) {
+            let op = self.pens[i].pop_front().expect("checked non-empty");
+            let gen = self
+                .issue_on(ctx, id, op)
+                .expect("window checked before issuing penned op");
+            gens.push(gen);
+        }
+        gens
+    }
+
+    /// Records the stats of shard `id`'s last migration for metrics
+    /// export.
+    pub fn record_migration(&mut self, id: ShardId, stats: MigrationStats) {
+        self.migrations[id.0 as usize] = Some(stats);
+    }
+
+    /// Stats of shard `id`'s last migration, if any.
+    pub fn migration(&self, id: ShardId) -> Option<MigrationStats> {
+        self.migrations[id.0 as usize]
+    }
+
     /// Snapshots per-shard client counters into `reg`:
-    /// `{prefix}.shard{i}.{issued,acked,in_flight,window}` plus
-    /// `{prefix}.shards`.
+    /// `{prefix}.shard{i}.{issued,acked,epoch}` counters,
+    /// `{prefix}.shard{i}.{in_flight,window}` and `{prefix}.shards`
+    /// gauges, plus `{prefix}.shard{i}.migration.*` for shards that have
+    /// migrated. Exporting twice is idempotent: cumulative totals are
+    /// `counter_set`, point-in-time values are gauges.
     pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
-        reg.counter_add(&format!("{prefix}.shards"), self.shards.len() as u64);
+        reg.set_gauge(&format!("{prefix}.shards"), self.shards.len() as f64);
         for (i, shard) in self.shards.iter().enumerate() {
-            reg.counter_add(&format!("{prefix}.shard{i}.issued"), self.issued[i]);
-            reg.counter_add(&format!("{prefix}.shard{i}.acked"), self.acked[i]);
-            reg.counter_add(&format!("{prefix}.shard{i}.in_flight"), shard.in_flight());
-            reg.counter_add(&format!("{prefix}.shard{i}.window"), shard.window() as u64);
+            reg.counter_set(&format!("{prefix}.shard{i}.issued"), self.issued[i]);
+            reg.counter_set(&format!("{prefix}.shard{i}.acked"), self.acked[i]);
+            reg.counter_set(&format!("{prefix}.shard{i}.epoch"), self.epochs[i]);
+            reg.set_gauge(
+                &format!("{prefix}.shard{i}.in_flight"),
+                shard.in_flight() as f64,
+            );
+            reg.set_gauge(&format!("{prefix}.shard{i}.window"), shard.window() as f64);
+            if let Some(m) = self.migrations[i] {
+                let mp = format!("{prefix}.shard{i}.migration");
+                reg.counter_set(&format!("{mp}.pause_ns"), m.pause.as_nanos());
+                reg.counter_set(&format!("{mp}.copy_bytes"), m.copy_bytes);
+                reg.counter_set(&format!("{mp}.replayed"), m.replayed);
+                reg.counter_set(&format!("{mp}.epoch"), m.epoch);
+            }
         }
     }
 }

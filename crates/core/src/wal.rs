@@ -148,6 +148,22 @@ impl ReplicatedWal {
         self.queue.len()
     }
 
+    /// Bytes a migration must copy to reproduce this WAL's durable state
+    /// on a fresh chain: the control words, the whole log ring (live
+    /// records sit at ring head..tail, which wraps — copying the ring in
+    /// full keeps the transfer one contiguous prefix), and the database
+    /// area. The shared region beyond `db_offset + db_size` is dead and
+    /// skipped.
+    pub fn copy_span(&self) -> u64 {
+        self.layout.db_offset + self.layout.db_size
+    }
+
+    /// Live (appended, not yet truncated) bytes in the log ring — the
+    /// head..tail span a migration's tail replay is bounded by.
+    pub fn live_log_bytes(&self) -> u64 {
+        self.ring.used()
+    }
+
     /// Next transaction id to be assigned.
     pub fn next_tx_id(&self) -> u64 {
         self.next_tx

@@ -150,10 +150,10 @@ impl SchedStats {
     /// Snapshots every counter into `reg` under a dotted `prefix`. Durations
     /// are exported as nanosecond counters.
     pub fn export_into(&self, reg: &mut simcore::MetricsRegistry, prefix: &str) {
-        reg.counter_add(&format!("{prefix}.context_switches"), self.context_switches);
-        reg.counter_add(&format!("{prefix}.wakeups"), self.wakeups);
-        reg.counter_add(&format!("{prefix}.tasks_completed"), self.tasks_completed);
-        reg.counter_add(&format!("{prefix}.busy_ns"), self.busy.as_nanos());
-        reg.counter_add(&format!("{prefix}.useful_ns"), self.useful.as_nanos());
+        reg.counter_set(&format!("{prefix}.context_switches"), self.context_switches);
+        reg.counter_set(&format!("{prefix}.wakeups"), self.wakeups);
+        reg.counter_set(&format!("{prefix}.tasks_completed"), self.tasks_completed);
+        reg.counter_set(&format!("{prefix}.busy_ns"), self.busy.as_nanos());
+        reg.counter_set(&format!("{prefix}.useful_ns"), self.useful.as_nanos());
     }
 }

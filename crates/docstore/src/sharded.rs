@@ -140,6 +140,77 @@ impl<T: GroupTransport> ShardedDocStore<T> {
     }
 }
 
+impl ShardedDocStore<hyperloop::GroupClient> {
+    /// Moves `shard`'s replication chain to `new_chain`, keeping the
+    /// store's logical state (documents, WAL cursors, active
+    /// transactions): aligns the new chain's allocators, wires a fresh
+    /// group, seeds every new member with the shard's WAL-sized region
+    /// image read from `source` (a live member of the old chain), and
+    /// swaps the transport. Returns the retired client and the new chain's
+    /// replica handles.
+    ///
+    /// The quiesced app-level move, mirroring `ShardedKv::rebalance` in
+    /// the kvstore case study: the migrating shard must
+    /// have no active transactions; other shards are untouched. For the
+    /// live pause/copy/replay state machine see
+    /// `hyperloop::migrate::migrate_shard`. Run the simulation to
+    /// quiescence after this call before writing on the new chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard still has transactions in the pipeline, or on
+    /// the same layout violations as `HyperLoopGroup::setup`.
+    pub fn rebalance(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        shard: ShardId,
+        source: netsim::NodeId,
+        new_chain: &[netsim::NodeId],
+    ) -> (hyperloop::GroupClient, Vec<hyperloop::ReplicaHandle>) {
+        let store = &mut self.shards[shard.0 as usize];
+        assert_eq!(
+            store.active_txs(),
+            0,
+            "rebalance of {shard} with transactions active"
+        );
+        assert_eq!(
+            store.transport.in_flight(),
+            0,
+            "rebalance of {shard} with ops in flight"
+        );
+        let cfg = store.transport.config();
+        let old_base = store.transport.layout().shared_base;
+        let client_node = store.transport.node();
+        let span = store.wal().copy_span();
+
+        let cursor = new_chain
+            .iter()
+            .map(|&n| ctx.fab.alloc_cursor(n))
+            .max()
+            .expect("non-empty chain");
+        for &n in new_chain {
+            ctx.fab.align_allocator(n, cursor);
+        }
+        let mut group = hyperloop::HyperLoopGroup::setup(ctx, client_node, new_chain, cfg);
+        group.client.set_tracer(store.transport.tracer());
+        let new_base = group.client.layout().shared_base;
+
+        let image = ctx
+            .fab
+            .mem(source)
+            .read_vec(old_base, span)
+            .expect("source region in bounds");
+        for &n in new_chain {
+            ctx.fab
+                .mem(n)
+                .write_durable(new_base, &image)
+                .expect("seed copy in bounds");
+        }
+        let old = std::mem::replace(&mut store.transport, group.client);
+        (old, group.replicas)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -242,6 +242,12 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
         self.active.len()
     }
 
+    /// The store's WAL driver (read-only: layout, ring cursors, copy
+    /// sizing for migration).
+    pub fn wal(&self) -> &ReplicatedWal {
+        &self.wal
+    }
+
     fn lock_of(&self, id: u64) -> u32 {
         (id % self.config.n_locks as u64) as u32
     }

@@ -183,6 +183,12 @@ impl<T: GroupTransport> ReplicatedKv<T> {
         self.wal.backlog()
     }
 
+    /// The store's WAL driver (read-only: layout, ring cursors, copy
+    /// sizing for migration).
+    pub fn wal(&self) -> &ReplicatedWal {
+        &self.wal
+    }
+
     /// Durable replicated write: updates the memtable immediately and
     /// appends a redo record to every replica's log (the critical path —
     /// one gWRITE + gFLUSH). Completion arrives via [`ReplicatedKv::poll`].

@@ -255,11 +255,11 @@ impl Network {
         for ((src, dst), st) in pairs {
             messages += st.messages;
             bytes += st.bytes;
-            reg.counter_add(&format!("{prefix}.link.{src}_{dst}.messages"), st.messages);
-            reg.counter_add(&format!("{prefix}.link.{src}_{dst}.bytes"), st.bytes);
+            reg.counter_set(&format!("{prefix}.link.{src}_{dst}.messages"), st.messages);
+            reg.counter_set(&format!("{prefix}.link.{src}_{dst}.bytes"), st.bytes);
         }
-        reg.counter_add(&format!("{prefix}.messages"), messages);
-        reg.counter_add(&format!("{prefix}.bytes"), bytes);
+        reg.counter_set(&format!("{prefix}.messages"), messages);
+        reg.counter_set(&format!("{prefix}.bytes"), bytes);
     }
 }
 

@@ -52,11 +52,11 @@ pub struct NvmStats {
 impl NvmStats {
     /// Snapshots every counter into `reg` under a dotted `prefix`.
     pub fn export_into(&self, reg: &mut simcore::MetricsRegistry, prefix: &str) {
-        reg.counter_add(&format!("{prefix}.bytes_written"), self.bytes_written);
-        reg.counter_add(&format!("{prefix}.bytes_read"), self.bytes_read);
-        reg.counter_add(&format!("{prefix}.flushes"), self.flushes);
-        reg.counter_add(&format!("{prefix}.bytes_flushed"), self.bytes_flushed);
-        reg.counter_add(&format!("{prefix}.power_failures"), self.power_failures);
+        reg.counter_set(&format!("{prefix}.bytes_written"), self.bytes_written);
+        reg.counter_set(&format!("{prefix}.bytes_read"), self.bytes_read);
+        reg.counter_set(&format!("{prefix}.flushes"), self.flushes);
+        reg.counter_set(&format!("{prefix}.bytes_flushed"), self.bytes_flushed);
+        reg.counter_set(&format!("{prefix}.power_failures"), self.power_failures);
     }
 }
 

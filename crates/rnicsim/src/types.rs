@@ -439,10 +439,10 @@ pub struct FabricStats {
 impl FabricStats {
     /// Snapshots every counter into `reg` under a dotted `prefix`.
     pub fn export_into(&self, reg: &mut simcore::MetricsRegistry, prefix: &str) {
-        reg.counter_add(&format!("{prefix}.wqes_executed"), self.wqes_executed);
-        reg.counter_add(&format!("{prefix}.waits_triggered"), self.waits_triggered);
-        reg.counter_add(&format!("{prefix}.nic_flushes"), self.nic_flushes);
-        reg.counter_add(&format!("{prefix}.errors"), self.errors);
+        reg.counter_set(&format!("{prefix}.wqes_executed"), self.wqes_executed);
+        reg.counter_set(&format!("{prefix}.waits_triggered"), self.waits_triggered);
+        reg.counter_set(&format!("{prefix}.nic_flushes"), self.nic_flushes);
+        reg.counter_set(&format!("{prefix}.errors"), self.errors);
     }
 }
 

@@ -1,10 +1,18 @@
-//! A minimal, dependency-free JSON writer.
+//! A minimal, dependency-free JSON writer — and the matching reader.
 //!
 //! The workspace builds in environments with no registry access, so machine-
 //! readable output (Chrome traces, `BENCH_*.json`) is produced by this small
 //! streaming writer instead of an external serialization crate. Output is
 //! deterministic: field order is caller-controlled and float formatting uses
 //! Rust's shortest-round-trip representation.
+//!
+//! [`parse`] is the reader side, used by tooling that validates what the
+//! writer emitted (the `benchcheck` binary). It preserves the writer's
+//! number split — unsigned integers come back as [`JsonValue::U64`], so a
+//! checker can distinguish a real counter from a float that merely rounds —
+//! and, being strict JSON, it has no NaN/Infinity literals: a non-finite
+//! float can only appear as the `null` the writer substitutes, which is
+//! exactly what validators look for.
 //!
 //! ```
 //! use simcore::jsonw::JsonWriter;
@@ -170,6 +178,329 @@ impl JsonWriter {
     }
 }
 
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what the writer emits for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that is lexically a non-negative integer fitting in `u64`.
+    U64(u64),
+    /// Any other number (negative, fractional, or exponent-form).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array, element order preserved.
+    Arr(Vec<JsonValue>),
+    /// An object, field order preserved (duplicate keys kept as written).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Field lookup (first match) on an object; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is a [`JsonValue::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of either number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::U64(v) => Some(v as f64),
+            JsonValue::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a [`JsonValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`JsonValue::Arr`].
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is a [`JsonValue::Obj`].
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset and what went wrong there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonParseError {
+        JsonParseError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((k, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(elems));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so in-bounds
+                    // continuation bytes are guaranteed well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = next_scalar_str(rest);
+                    out.push_str(s);
+                    self.pos += s.len();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral && !s.starts_with('-') {
+            if let Ok(v) = s.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+        }
+        s.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+/// The longest prefix of `rest` that is one UTF-8 scalar. `rest` starts at
+/// a char boundary of a `&str`, so the slice is always valid.
+fn next_scalar_str(rest: &[u8]) -> &str {
+    let len = match rest[0] {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    };
+    std::str::from_utf8(&rest[..len]).expect("input was a str")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +533,64 @@ mod tests {
         w.str_elem("\u{1}");
         w.end_arr();
         assert_eq!(w.finish(), "[\"\\u0001\"]");
+    }
+
+    #[test]
+    fn reader_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("name", "smö\"ke\n");
+        w.field_u64("count", u64::MAX);
+        w.field_f64("mean", 1.25);
+        w.field_f64("bad", f64::NAN);
+        w.field_bool("ok", true);
+        w.begin_arr_field("xs");
+        w.u64_elem(3);
+        w.f64_elem(-0.5);
+        w.end_arr();
+        w.begin_obj_field("inner");
+        w.end_obj();
+        w.end_obj();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("smö\"ke\n"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("mean").unwrap().as_f64(), Some(1.25));
+        // The writer turns non-finite floats into null — the reader keeps
+        // that distinction so validators can flag it.
+        assert_eq!(v.get("bad"), Some(&JsonValue::Null));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        let xs = v.get("xs").unwrap().as_arr().unwrap();
+        assert_eq!(xs[0].as_u64(), Some(3));
+        assert_eq!(xs[1], JsonValue::F64(-0.5));
+        assert_eq!(v.get("inner").unwrap().as_obj(), Some(&[][..]));
+    }
+
+    #[test]
+    fn reader_distinguishes_integers_from_floats() {
+        let v = parse(r#"[7, -7, 7.0, 7e0]"#).unwrap();
+        let xs = v.as_arr().unwrap();
+        assert_eq!(xs[0], JsonValue::U64(7));
+        assert_eq!(xs[1], JsonValue::F64(-7.0));
+        assert_eq!(xs[2], JsonValue::F64(7.0));
+        assert_eq!(xs[3], JsonValue::F64(7.0));
+    }
+
+    #[test]
+    fn reader_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1}x",
+            "nan",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+        // Surrogate-pair escapes decode to one scalar.
+        let v = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
     }
 }

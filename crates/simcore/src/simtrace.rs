@@ -147,6 +147,27 @@ pub enum TraceKind {
     },
     /// The client observed the final acknowledgement for the operation.
     OpAck,
+    /// A shard migration started: writes to the shard are paused.
+    MigrateBegin {
+        /// The migrating shard.
+        shard: u32,
+    },
+    /// The migrating shard's transport was atomically swapped to the new
+    /// chain.
+    MigrateCutover {
+        /// The migrating shard.
+        shard: u32,
+        /// The epoch the shard serves after the swap.
+        epoch: u64,
+    },
+    /// The migration finished: writes to the shard resumed.
+    MigrateEnd {
+        /// The migrating shard.
+        shard: u32,
+        /// Dirty ranges replayed onto the new chain (the WAL tail that
+        /// raced the bulk copy).
+        replayed: u64,
+    },
 }
 
 impl TraceKind {
@@ -169,6 +190,9 @@ impl TraceKind {
             TraceKind::MetaSend { .. } => "meta_send",
             TraceKind::ReplicaProgress { .. } => "replica_progress",
             TraceKind::OpAck => "op_ack",
+            TraceKind::MigrateBegin { .. } => "migrate_begin",
+            TraceKind::MigrateCutover { .. } => "migrate_cutover",
+            TraceKind::MigrateEnd { .. } => "migrate_end",
         }
     }
 
@@ -209,6 +233,15 @@ impl TraceKind {
             TraceKind::OpIssue | TraceKind::OpAck => {}
             TraceKind::MetaSend { replica } => w.field_u64("replica", replica as u64),
             TraceKind::ReplicaProgress { replica } => w.field_u64("replica", replica as u64),
+            TraceKind::MigrateBegin { shard } => w.field_u64("shard", shard as u64),
+            TraceKind::MigrateCutover { shard, epoch } => {
+                w.field_u64("shard", shard as u64);
+                w.field_u64("epoch", epoch);
+            }
+            TraceKind::MigrateEnd { shard, replayed } => {
+                w.field_u64("shard", shard as u64);
+                w.field_u64("replayed", replayed);
+            }
         }
     }
 }
@@ -333,6 +366,13 @@ impl Tracer {
             b.dropped = 0;
         }
     }
+
+    /// Overflow-aware [`op_breakdown_with_drops`] over this tracer's
+    /// buffered events: an op whose head events were evicted by the
+    /// drop-oldest ring comes back marked [`OpBreakdown::truncated`].
+    pub fn op_breakdown(&self, op: u64) -> Option<OpBreakdown> {
+        op_breakdown_with_drops(&self.events(), op, self.dropped())
+    }
 }
 
 /// One contiguous stage of an operation's timeline.
@@ -360,6 +400,9 @@ impl Stage {
 ///
 /// The stages partition `[start, end]` exactly: consecutive events bound
 /// consecutive stages, so the stage durations always sum to [`Self::total`].
+/// When [`Self::truncated`] is set the partition is only of the *surviving*
+/// span: the ring dropped the op's head events, so `start` is not the issue
+/// time and `total` under-reports the true end-to-end latency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpBreakdown {
     /// The operation id.
@@ -370,6 +413,9 @@ pub struct OpBreakdown {
     pub end: SimTime,
     /// The stages, in time order.
     pub stages: Vec<Stage>,
+    /// The ring's drop-oldest overflow discarded this op's head events:
+    /// the breakdown is a partial tail, not the full op.
+    pub truncated: bool,
 }
 
 impl OpBreakdown {
@@ -443,13 +489,35 @@ pub fn ops(events: &[TraceEvent]) -> Vec<u64> {
 /// Returns `None` if fewer than two events mention the op (no interval to
 /// split). By construction the returned stage durations sum exactly to the
 /// op's end-to-end latency.
+///
+/// This slice-only form cannot see the tracer ring's overflow counter, so
+/// it assumes the stream is complete (`truncated` is never set). When the
+/// events came from a [`Tracer`] that may have overflowed, use
+/// [`op_breakdown_with_drops`] (or [`Tracer::op_breakdown`]) so a
+/// decapitated op is flagged instead of silently mis-summed.
 pub fn op_breakdown(events: &[TraceEvent], op: u64) -> Option<OpBreakdown> {
+    op_breakdown_with_drops(events, op, 0)
+}
+
+/// [`op_breakdown`], overflow-aware: `dropped` is the tracer ring's
+/// [`Tracer::dropped`] count for the stream `events` was captured from.
+///
+/// If the ring overflowed (`dropped > 0`) and the op's earliest surviving
+/// event is not its `op_issue`, the drop-oldest eviction discarded the op's
+/// head: the result is marked [`OpBreakdown::truncated`] and covers only
+/// the surviving tail of the op.
+pub fn op_breakdown_with_drops(
+    events: &[TraceEvent],
+    op: u64,
+    dropped: u64,
+) -> Option<OpBreakdown> {
     let evs = events_for(events, op);
     if evs.len() < 2 {
         return None;
     }
     let start = evs.first().unwrap().at;
     let end = evs.last().unwrap().at;
+    let truncated = dropped > 0 && !matches!(evs[0].kind, TraceKind::OpIssue);
     let stages = evs
         .windows(2)
         .map(|w| Stage {
@@ -463,6 +531,7 @@ pub fn op_breakdown(events: &[TraceEvent], op: u64) -> Option<OpBreakdown> {
         start,
         end,
         stages,
+        truncated,
     })
 }
 
@@ -596,8 +665,18 @@ impl MetricsRegistry {
     }
 
     /// Adds `n` to the named counter (creating it at zero).
+    ///
+    /// For *deltas*. An `export_into` impl snapshotting a cumulative total
+    /// must use [`MetricsRegistry::counter_set`] instead — adding a
+    /// snapshot double-counts as soon as the exporter runs twice.
     pub fn counter_add(&mut self, name: &str, n: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named counter to an absolute value, overwriting any
+    /// previous sample. Re-exporting the same snapshot is idempotent.
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
     }
 
     /// Sets the named gauge.
@@ -756,9 +835,44 @@ mod tests {
         assert_eq!(bd.stages[0].label, "meta_send@n0");
         assert_eq!(bd.stages[1].label, "wait_release@n1");
         assert_eq!(bd.stages[3].label, "op_ack@n0");
+        assert!(!bd.truncated, "a complete op must not be flagged");
         assert!(op_breakdown(&evs, 8).is_none());
         assert!(op_breakdown(&evs, 999).is_none());
         assert_eq!(ops(&evs), vec![5, 8]);
+    }
+
+    #[test]
+    fn overflowed_ring_flags_decapitated_op_instead_of_mis_summing() {
+        // A 4-slot ring sees two ops; op 1's head (its op_issue and
+        // meta_send) is evicted by op 2's traffic.
+        let t = Tracer::enabled(4);
+        t.emit(SimTime::from_nanos(0), 0, 1, TraceKind::OpIssue);
+        t.emit(
+            SimTime::from_nanos(10),
+            0,
+            1,
+            TraceKind::MetaSend { replica: 0 },
+        );
+        t.emit(SimTime::from_nanos(40), 1, 1, TraceKind::Dma { bytes: 64 });
+        t.emit(SimTime::from_nanos(90), 0, 1, TraceKind::OpAck);
+        t.emit(SimTime::from_nanos(100), 0, 2, TraceKind::OpIssue);
+        t.emit(SimTime::from_nanos(190), 0, 2, TraceKind::OpAck);
+        assert_eq!(t.dropped(), 2);
+
+        // Op 1 survives only from the DMA onward: flagged, and the partial
+        // span is the surviving tail (50ns), not mis-reported as complete.
+        let bd1 = t.op_breakdown(1).unwrap();
+        assert!(bd1.truncated, "decapitated op must be flagged");
+        assert_eq!(bd1.total(), SimDuration::from_nanos(50));
+        assert_eq!(bd1.stages.len(), 1);
+
+        // Op 2 kept its op_issue: not flagged even though the ring dropped.
+        let bd2 = t.op_breakdown(2).unwrap();
+        assert!(!bd2.truncated);
+        assert_eq!(bd2.total(), SimDuration::from_nanos(90));
+
+        // The slice-only entry point still treats the stream as complete.
+        assert!(!op_breakdown(&t.events(), 1).unwrap().truncated);
     }
 
     #[test]
@@ -828,5 +942,17 @@ mod tests {
         assert!(json.contains("\"sched.util\":0.75"));
         assert!(json.contains("\"op.latency\":{\"count\":3"));
         assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn counter_set_is_idempotent_where_add_accumulates() {
+        let mut r = MetricsRegistry::new();
+        r.counter_set("snap.total", 7);
+        r.counter_set("snap.total", 7);
+        assert_eq!(r.counter("snap.total"), Some(7));
+        r.counter_set("snap.total", 9);
+        assert_eq!(r.counter("snap.total"), Some(9));
+        r.counter_add("snap.total", 1);
+        assert_eq!(r.counter("snap.total"), Some(10));
     }
 }

@@ -103,8 +103,9 @@ impl Cluster {
     /// Snapshots chain-local statistics per shard into `reg`: for every
     /// shard `s` and every replica node `n` in its chain, the node's NVM
     /// counters land under `{prefix}.shard{s}.nvm.node{n}.*` plus a
-    /// `{prefix}.shard{s}.chain_len` counter — so a report shows at a
-    /// glance which chains actually carried traffic.
+    /// `{prefix}.shard{s}.chain_len` gauge — so a report shows at a
+    /// glance which chains actually carried traffic. Exporting twice is
+    /// idempotent (values are set, not accumulated).
     pub fn export_shards_into(
         &self,
         reg: &mut MetricsRegistry,
@@ -113,7 +114,7 @@ impl Cluster {
     ) {
         for (s, chain) in chains.iter().enumerate() {
             let sp = format!("{prefix}.shard{s}");
-            reg.counter_add(&format!("{sp}.chain_len"), chain.len() as u64);
+            reg.set_gauge(&format!("{sp}.chain_len"), chain.len() as f64);
             for &n in chain {
                 self.fab
                     .nvm_stats(n)

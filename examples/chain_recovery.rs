@@ -49,16 +49,17 @@ fn main() {
     }
     println!("5 writes committed on the healthy chain");
 
-    // Heartbeats: node2 (chain position 1) goes silent.
+    // Heartbeats: node2 goes silent.
     let mut view = ChainView::new(members);
-    let mut monitor = HeartbeatMonitor::new(3, HeartbeatConfig::default(), sim.now());
+    let mut monitor = HeartbeatMonitor::new(&view, HeartbeatConfig::default(), sim.now());
     let t = sim.now() + hyperloop_repro::simcore::SimDuration::from_millis(50);
-    monitor.beat(0, t);
-    monitor.beat(2, t);
+    monitor.beat(NodeId(1), t);
+    monitor.beat(NodeId(3), t);
     let suspects = monitor.suspected(t);
-    println!("failure detector suspects chain positions {suspects:?}");
-    assert_eq!(suspects, vec![1]);
+    println!("failure detector suspects {suspects:?}");
+    assert_eq!(suspects, vec![NodeId(2)]);
     view.remove(NodeId(2));
+    monitor.sync_view(&view, t);
     println!(
         "membership epoch now {} with {:?}",
         view.epoch(),
@@ -77,6 +78,7 @@ fn main() {
     let cursor = sim.model.fab.alloc_cursor(NodeId(1));
     sim.model.fab.align_allocator(NodeId(4), cursor);
     view.add_tail(NodeId(4));
+    monitor.sync_view(&view, t);
     let mut group2 = drive(&mut sim, |ctx| {
         HyperLoopGroup::setup(ctx, NodeId(0), view.members(), GroupConfig::default())
     });

@@ -1,0 +1,126 @@
+//! Metrics-export stability: snapshotting is idempotent.
+//!
+//! Every `export_into` in the stack snapshots cumulative totals with
+//! `counter_set` / `set_gauge`. The historical bug was exporters using
+//! `counter_add`, so exporting the same state twice (a bench that writes a
+//! table row and then a JSON report, a test that asserts and then dumps)
+//! silently doubled every counter. This test drives a real run — including
+//! a live shard migration, so the `migration.*` counters are populated —
+//! and asserts that exporting twice into the same registry leaves it
+//! byte-identical to exporting once.
+
+use hyperloop_repro::hyperloop::{
+    plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
+};
+use hyperloop_repro::netsim::NodeId;
+use hyperloop_repro::simcore::MetricsRegistry;
+use hyperloop_repro::testbed::{drive, Cluster, ClusterConfig};
+
+const CLIENT: NodeId = NodeId(0);
+
+/// Runs a 2-shard workload with one live migration and returns everything
+/// needed to export: the cluster model, the resolved chains, the set.
+fn export_all(
+    reg: &mut MetricsRegistry,
+    model: &Cluster,
+    chains: &[Vec<NodeId>],
+    set: &ShardSet<hyperloop_repro::hyperloop::GroupClient>,
+) {
+    model.export_into(reg, "cluster");
+    model.export_shards_into(reg, chains, "bench");
+    set.export_into(reg, "bench.shards");
+}
+
+#[test]
+fn exporting_twice_is_idempotent() {
+    let cfg = GroupConfig {
+        shared_size: 1 << 20,
+        ..GroupConfig::default()
+    };
+    let chains: Vec<Vec<NodeId>> = vec![vec![NodeId(1), NodeId(2)], vec![NodeId(3), NodeId(4)]];
+    let standby = vec![NodeId(5), NodeId(6)];
+    let mut cluster = Cluster::new(
+        7,
+        4,
+        64 << 20,
+        ClusterConfig {
+            seed: 0xE4B,
+            ..ClusterConfig::default()
+        },
+    );
+    let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
+        chains
+            .iter()
+            .map(|chain| HyperLoopGroup::setup(ctx, CLIENT, chain, cfg))
+            .collect()
+    });
+    let mut set = ShardSet::with_hash_router(groups.into_iter().map(|g| g.client).collect());
+    let mut sim = cluster.into_sim();
+    sim.run();
+
+    // Some traffic on both shards, then a live migration of shard 0 so the
+    // migration counters exist in the snapshot too.
+    drive(&mut sim, |ctx| {
+        for s in 0..2 {
+            for k in 0..4u64 {
+                set.issue_on(
+                    ctx,
+                    ShardId(s),
+                    GroupOp::Write {
+                        offset: k * 8192,
+                        data: vec![7; 128],
+                        flush: true,
+                    },
+                )
+                .unwrap();
+            }
+        }
+    });
+    let plan = plan_migration(
+        ShardId(0),
+        set.epoch(ShardId(0)),
+        &chains[0],
+        &standby,
+        cfg.shared_size,
+    );
+    let run = MigrationRun::begin(&mut sim, &mut set, plan);
+    let _outcome = run.finish(&mut sim, &mut set);
+    loop {
+        sim.run();
+        drive(&mut sim, |ctx| set.poll(ctx));
+        if set.in_flight() == 0 {
+            break;
+        }
+    }
+    let chains_now = vec![standby, chains[1].clone()];
+
+    // Export once into a fresh registry, and twice into another: the two
+    // must serialize byte-identically — snapshots set, they never add.
+    let mut once = MetricsRegistry::new();
+    export_all(&mut once, &sim.model, &chains_now, &set);
+    let mut twice = MetricsRegistry::new();
+    export_all(&mut twice, &sim.model, &chains_now, &set);
+    export_all(&mut twice, &sim.model, &chains_now, &set);
+    assert_eq!(
+        once.to_json(),
+        twice.to_json(),
+        "exporting the same state twice changed the registry"
+    );
+
+    // The migration counters made it into the snapshot with set semantics.
+    assert_eq!(
+        twice.counter("bench.shards.shard0.migration.epoch"),
+        Some(1)
+    );
+    assert_eq!(
+        twice.counter("bench.shards.shard0.acked"),
+        once.counter("bench.shards.shard0.acked")
+    );
+    // Instantaneous values are gauges, not counters: a second export must
+    // not have turned them into accumulating state, and they live on the
+    // gauge side of the registry.
+    assert_eq!(twice.gauge("bench.shards.shards"), Some(2.0));
+    assert_eq!(twice.counter("bench.shards.shards"), None);
+    assert_eq!(twice.gauge("bench.shards.shard0.in_flight"), Some(0.0));
+    assert!(twice.counter("cluster.fabric.wqes_executed").unwrap() > 0);
+}

@@ -1,0 +1,368 @@
+//! Live shard migration end to end: a four-shard rack moves shard 0 onto
+//! a standby chain in the middle of a closed-loop run.
+//!
+//! The properties under test are the migration contract from DESIGN.md:
+//! no acked write is ever lost (every issued op acks exactly once, the new
+//! chain's replicas end the run byte-identical), the pause is local (other
+//! shards issue and complete while shard 0's window is open), the whole
+//! sequence is deterministic (same seed → byte-identical ack timeline and
+//! Chrome trace), and a no-op migration is exactly a no-op (timestamp-
+//! identical to a run that never planned one).
+
+use hyperloop_repro::hyperloop::{
+    migrate_shard, plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId,
+    ShardSet,
+};
+use hyperloop_repro::kvstore::{KvConfig, ReplicatedKv, ShardedKv};
+use hyperloop_repro::netsim::NodeId;
+use hyperloop_repro::simcore::simtrace::{chrome_trace_json, Tracer};
+use hyperloop_repro::simcore::{SimRng, SimTime};
+use hyperloop_repro::testbed::{drive, Cluster, ClusterConfig, ShardPlacement};
+
+const N_SHARDS: u32 = 4;
+const RPS: u32 = 2;
+const OPS: u64 = 96;
+const CLIENT: NodeId = NodeId(0);
+
+/// What the run should do when it crosses the halfway mark.
+#[derive(Clone, Copy, PartialEq)]
+enum Mid {
+    /// Nothing: the undisturbed baseline.
+    Nothing,
+    /// The live migration of shard 0 to the standby chain.
+    Migrate,
+    /// A no-op plan (source chain == target chain) through the driver.
+    Noop,
+}
+
+/// Completion record: `(shard, gen, acked_at)`.
+type Timeline = Vec<(u32, u64, SimTime)>;
+
+struct RunOut {
+    timeline: Timeline,
+    chrome: String,
+    /// Final shard-0 epoch.
+    epoch: u64,
+    /// Byte images of the standby chain's shard-0 region (post-migration
+    /// runs only).
+    standby_images: Vec<Vec<u8>>,
+}
+
+/// One full run: client + four disjoint 2-replica chains + one standby
+/// chain, `OPS` uniform keys closed-loop through a hash-routed `ShardSet`,
+/// with `mid` performed once half the load has acked.
+fn run(seed: u64, mid: Mid) -> RunOut {
+    let cfg = GroupConfig {
+        shared_size: 1 << 20,
+        ..GroupConfig::default()
+    };
+    let chains: Vec<Vec<NodeId>> = (0..N_SHARDS)
+        .map(|s| (0..RPS).map(|r| NodeId(1 + s * RPS + r)).collect())
+        .collect();
+    let standby: Vec<NodeId> = (0..RPS).map(|r| NodeId(1 + N_SHARDS * RPS + r)).collect();
+    let mut cluster = Cluster::new(
+        1 + (N_SHARDS + 1) * RPS,
+        4,
+        64 << 20,
+        ClusterConfig {
+            seed,
+            ..ClusterConfig::default()
+        },
+    );
+    let tracer = Tracer::enabled(1 << 16);
+    let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
+        chains
+            .iter()
+            .map(|chain| HyperLoopGroup::setup(ctx, CLIENT, chain, cfg))
+            .collect()
+    });
+    let clients: Vec<_> = groups
+        .into_iter()
+        .map(|g| {
+            let mut c = g.client;
+            c.set_tracer(tracer.clone());
+            c
+        })
+        .collect();
+    let mut set = ShardSet::with_hash_router(clients);
+    let mut sim = cluster.into_sim();
+    sim.run();
+
+    let mut rng = SimRng::new(seed ^ 0x5AD);
+    let mut queues: Vec<Vec<u64>> = vec![Vec::new(); N_SHARDS as usize];
+    for _ in 0..OPS {
+        let key = rng.next_u64();
+        queues[set.route(key).0 as usize].push(key);
+    }
+    let op_for = |key: u64| GroupOp::Write {
+        offset: (key % 32) * 16384,
+        data: vec![(key & 0xFF) as u8; 256],
+        flush: true,
+    };
+
+    let mut timeline = Timeline::new();
+    let mut done = 0u64;
+    let mut mid_done = mid == Mid::Nothing;
+    while done < OPS {
+        drive(&mut sim, |ctx| {
+            for s in 0..N_SHARDS {
+                let sid = ShardId(s);
+                while set.can_issue_on(sid) {
+                    let Some(key) = queues[s as usize].pop() else {
+                        break;
+                    };
+                    set.issue_on(ctx, sid, op_for(key)).expect("window checked");
+                }
+            }
+        });
+
+        if !mid_done && done >= OPS / 2 {
+            mid_done = true;
+            match mid {
+                Mid::Nothing => unreachable!(),
+                Mid::Noop => {
+                    // Source chain == target chain plans to nothing; the
+                    // driver must not touch the sim, the fabric or the set.
+                    let plan = plan_migration(
+                        ShardId(0),
+                        set.epoch(ShardId(0)),
+                        &chains[0],
+                        &chains[0],
+                        cfg.shared_size,
+                    );
+                    let out = migrate_shard(&mut sim, &mut set, &plan);
+                    assert_eq!(out.stats.epoch, 0, "no-op must not bump the epoch");
+                    assert_eq!(out.stats.copy_bytes, 0);
+                }
+                Mid::Migrate => {
+                    let plan = plan_migration(
+                        ShardId(0),
+                        set.epoch(ShardId(0)),
+                        &chains[0],
+                        &standby,
+                        cfg.shared_size,
+                    );
+                    let run = MigrationRun::begin(&mut sim, &mut set, plan);
+                    // The pause is shard-local: another shard both holds
+                    // in-flight work and accepts a brand-new op while
+                    // shard 0's window is open.
+                    assert!(
+                        (1..N_SHARDS).any(|s| set.shard(ShardId(s)).in_flight() > 0),
+                        "no other shard had work in flight at the pause"
+                    );
+                    // Fresh shard-0 keys ride out the window in the pen.
+                    let mut penned = 0;
+                    while penned < 4 {
+                        let Some(key) = queues[0].pop() else { break };
+                        set.defer_on(ShardId(0), op_for(key)).expect("pen has room");
+                        penned += 1;
+                    }
+                    let outcome = run.finish(&mut sim, &mut set);
+                    assert_eq!(outcome.resumed.len(), penned, "pen drain lost ops");
+                    for a in outcome.drained {
+                        timeline.push((a.shard.0, a.ack.gen, sim.now()));
+                        done += 1;
+                    }
+                }
+            }
+            continue;
+        }
+
+        sim.run();
+        let acks = drive(&mut sim, |ctx| set.poll(ctx));
+        assert!(!acks.is_empty(), "stalled at {done}/{OPS}");
+        for a in acks {
+            timeline.push((a.shard.0, a.ack.gen, sim.now()));
+            done += 1;
+        }
+    }
+    assert_eq!(sim.model.fab.stats().errors, 0, "data-path errors");
+    assert_eq!(set.completed(), OPS, "lost operations");
+
+    let standby_images = if mid == Mid::Migrate {
+        let base = set.shard(ShardId(0)).layout().shared_base;
+        standby
+            .iter()
+            .map(|&n| {
+                sim.model
+                    .fab
+                    .mem(n)
+                    .read_vec(base, cfg.shared_size)
+                    .expect("standby region in bounds")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    RunOut {
+        timeline,
+        chrome: chrome_trace_json(&tracer.events()),
+        epoch: set.epoch(ShardId(0)),
+        standby_images,
+    }
+}
+
+#[test]
+fn live_migration_loses_no_acked_writes() {
+    let out = run(0x4A11, Mid::Migrate);
+    assert_eq!(out.timeline.len(), OPS as usize, "every op acked");
+    assert_eq!(out.epoch, 1, "one cutover, one epoch bump");
+    // Every (shard, gen, epoch-implied) ack is unique: nothing acked twice,
+    // nothing vanished. Gens restart at the cutover, so pair them with the
+    // ack's position relative to the epoch for uniqueness.
+    let mut seen = std::collections::HashSet::new();
+    for &(shard, gen, at) in &out.timeline {
+        assert!(seen.insert((shard, gen, at)), "duplicate ack {shard}/{gen}");
+    }
+    // The new chain ends the run with byte-identical replicas: state
+    // actually moved, and chain replication kept it coherent afterwards.
+    assert_eq!(out.standby_images.len(), RPS as usize);
+    assert_eq!(
+        out.standby_images[0], out.standby_images[1],
+        "standby replicas diverged after the migration"
+    );
+    assert!(
+        out.standby_images[0].iter().any(|&b| b != 0),
+        "standby chain never received the shard image"
+    );
+}
+
+#[test]
+fn same_seed_same_migration_timeline_and_trace() {
+    let a = run(0xD3AD, Mid::Migrate);
+    let b = run(0xD3AD, Mid::Migrate);
+    assert_eq!(
+        a.timeline, b.timeline,
+        "same seed must replay the identical ack timeline through a migration"
+    );
+    assert_eq!(
+        a.chrome, b.chrome,
+        "same seed must render the byte-identical Chrome trace"
+    );
+    assert_eq!(a.standby_images, b.standby_images);
+}
+
+#[test]
+fn noop_migration_is_timestamp_identical_to_no_migration() {
+    let base = run(0xBEEF, Mid::Nothing);
+    let noop = run(0xBEEF, Mid::Noop);
+    assert_eq!(base.epoch, noop.epoch, "no-op must leave the epoch alone");
+    assert_eq!(
+        base.timeline, noop.timeline,
+        "a run containing a no-op migration must be timestamp-identical"
+    );
+    assert_eq!(base.chrome, noop.chrome);
+}
+
+/// The app-level surface: a four-shard `ShardedKv` rebalances shard 0 onto
+/// the standby chain mid-run and every acked put stays readable.
+#[test]
+fn sharded_kv_rebalance_preserves_acked_puts() {
+    // The KV store's WAL layout needs the full default shared region.
+    let cfg = GroupConfig::default();
+    let chains: Vec<Vec<NodeId>> = (0..N_SHARDS)
+        .map(|s| (0..RPS).map(|r| NodeId(1 + s * RPS + r)).collect())
+        .collect();
+    let standby: Vec<NodeId> = (0..RPS).map(|r| NodeId(1 + N_SHARDS * RPS + r)).collect();
+    let mut cluster = Cluster::new(
+        1 + (N_SHARDS + 1) * RPS,
+        4,
+        64 << 20,
+        ClusterConfig {
+            seed: 0x7EBA,
+            ..ClusterConfig::default()
+        },
+    );
+    // Sanity: the explicit layout round-trips through the placement layer.
+    let placement = ShardPlacement::Explicit(chains.clone());
+    assert_eq!(cluster.place_shards(&placement, N_SHARDS, CLIENT), chains);
+    let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
+        chains
+            .iter()
+            .map(|chain| HyperLoopGroup::setup(ctx, CLIENT, chain, cfg))
+            .collect()
+    });
+    let mut kv = ShardedKv::with_hash_router(
+        groups
+            .into_iter()
+            .map(|g| ReplicatedKv::new(g.client, KvConfig::default()))
+            .collect(),
+    );
+    let mut sim = cluster.into_sim();
+    sim.run();
+
+    type Acked = std::collections::HashMap<u64, Vec<u8>>;
+    fn settle(
+        sim: &mut hyperloop_repro::simcore::Simulation<Cluster>,
+        kv: &mut ShardedKv<hyperloop_repro::hyperloop::GroupClient>,
+        acked: &mut Acked,
+        pending: &Acked,
+    ) {
+        for _ in 0..64 {
+            sim.run();
+            for (_, put) in drive(sim, |ctx| kv.poll(ctx)) {
+                acked.insert(put.key, pending[&put.key].clone());
+            }
+            if sim.queue.is_empty() {
+                break;
+            }
+        }
+    }
+    let mut acked: Acked = Acked::new();
+
+    // Phase 1: a spread of puts over every shard, fully settled.
+    let mut pending = std::collections::HashMap::new();
+    for key in 0..32u64 {
+        let value = vec![(key & 0xFF) as u8; 64];
+        pending.insert(key, value.clone());
+        drive(&mut sim, |ctx| kv.put(ctx, key, value).unwrap());
+    }
+    settle(&mut sim, &mut kv, &mut acked, &pending);
+    assert_eq!(acked.len(), 32, "phase 1 puts all acked");
+
+    // Phase 2: keep the *other* shards busy (ops genuinely in flight),
+    // then move shard 0 — the quiesced app-level rebalance only demands
+    // that shard 0 itself is idle.
+    let mut in_flight_elsewhere = 0;
+    let mut key = 32u64;
+    while in_flight_elsewhere < 6 {
+        if kv.route(key) != ShardId(0) {
+            let value = vec![(key & 0xFF) as u8; 64];
+            pending.insert(key, value.clone());
+            drive(&mut sim, |ctx| kv.put(ctx, key, value).unwrap());
+            in_flight_elsewhere += 1;
+        }
+        key += 1;
+    }
+    let source = chains[0][0];
+    drive(&mut sim, |ctx| {
+        let (_old, _new_replicas) = kv.rebalance(ctx, ShardId(0), source, &standby);
+    });
+    settle(&mut sim, &mut kv, &mut acked, &pending);
+
+    // Phase 3: shard 0 serves from the standby chain.
+    let mut on_zero = 0;
+    let mut key = 1000u64;
+    while on_zero < 4 {
+        if kv.route(key) == ShardId(0) {
+            let value = vec![(key & 0xFF) as u8; 64];
+            pending.insert(key, value.clone());
+            drive(&mut sim, |ctx| kv.put(ctx, key, value).unwrap());
+            on_zero += 1;
+        }
+        key += 1;
+    }
+    settle(&mut sim, &mut kv, &mut acked, &pending);
+    assert_eq!(sim.model.fab.stats().errors, 0, "data-path errors");
+    assert_eq!(acked.len(), pending.len(), "every put acked");
+
+    // Zero acked-write loss: every acked key reads back with its value,
+    // across the move, on whichever chain now owns it.
+    for (key, value) in &acked {
+        assert_eq!(
+            kv.get(*key),
+            Some(&value[..]),
+            "acked key {key} lost across the rebalance"
+        );
+    }
+}
