@@ -6,7 +6,7 @@ use cpusched::ProcKind;
 use hyperloop::{GroupAck, GroupError, GroupOp};
 use netsim::NodeId;
 use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, RecvWqe, Wqe};
-use simcore::{Outbox, SimDuration, SimTime};
+use simcore::{Outbox, SimDuration, SimTime, TraceKind, Tracer};
 use std::collections::VecDeque;
 use testbed::{Cluster, ProcRef};
 
@@ -70,6 +70,7 @@ pub struct NaiveClient {
     next_gen: u64,
     completed: u64,
     pending: VecDeque<u64>,
+    tracer: Tracer,
 }
 
 impl NaiveChain {
@@ -232,6 +233,7 @@ impl NaiveChain {
                 next_gen: 0,
                 completed: 0,
                 pending: VecDeque::new(),
+                tracer: Tracer::disabled(),
             },
             replica_procs,
         }
@@ -239,6 +241,14 @@ impl NaiveChain {
 }
 
 impl NaiveClient {
+    /// Installs a trace sink for the op lifecycle (issue → ack). The
+    /// operation generation is the causal op id — it is also the `wr_id`
+    /// on the command SEND, matching [`hyperloop::GroupClient`] so stage
+    /// attribution folds both systems' ops the same way.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Ops in flight.
     pub fn in_flight(&self) -> u64 {
         self.next_gen - self.completed
@@ -291,6 +301,8 @@ impl NaiveClient {
         }
         let gen = self.next_gen;
         self.next_gen += 1;
+        self.tracer
+            .emit(ctx.now, self.node.0, gen, TraceKind::OpIssue);
         let slot = gen % self.cmd_slots as u64;
 
         // Stage command + zeroed result map.
@@ -365,6 +377,8 @@ impl NaiveClient {
                 .chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
                 .collect();
+            self.tracer
+                .emit(ctx.now, self.node.0, gen, TraceKind::OpAck);
             self.completed += 1;
             ctx.post_recv(
                 self.node,

@@ -1,7 +1,8 @@
 //! Validates machine-readable `BENCH_*.json` reports.
 //!
 //! ```text
-//! cargo run --release -p hyperloop-bench --bin benchcheck -- out/BENCH_figures.json ...
+//! cargo run --release -p hyperloop-bench --bin benchcheck -- \
+//!     [--baseline BENCH_BASELINE.json] out/BENCH_figures.json ...
 //! ```
 //!
 //! A report that parses but carries garbage is worse than no report: a
@@ -12,8 +13,17 @@
 //! guards). This checker walks every scenario with
 //! [`simcore::jsonw::parse`] and fails loudly on any of those, so CI can
 //! gate on the reports the figures binary writes.
+//!
+//! With `--baseline`, every checked scenario that shares a name with a
+//! baseline scenario must keep its `ops_per_sec` gauge within 25% of the
+//! baseline value (the simulator is deterministic, so a real regression —
+//! not machine noise — is the only way to lose throughput). Scenarios
+//! carrying a `stage_attribution` block must also tile: the sum of
+//! per-stage mean contributions has to equal the mean end-to-end latency
+//! to within 1 ns.
 
 use simcore::jsonw::{parse, JsonValue};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// One validation failure, located well enough to grep the report.
@@ -74,7 +84,48 @@ fn check_shard_monotonicity(counters: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
-fn check_file(path: &str) -> Result<usize, ExitCode> {
+/// A scenario with stage attribution must tile: sum of per-stage mean
+/// contributions == mean end-to-end latency, within 1 ns.
+fn check_attribution(att: &JsonValue) -> Result<(), String> {
+    let mean = att.get("mean_e2e_ns").and_then(|v| v.as_f64());
+    let sum = att.get("stage_mean_sum_ns").and_then(|v| v.as_f64());
+    let (Some(mean), Some(sum)) = (mean, sum) else {
+        return Err("stage_attribution lacks mean_e2e_ns/stage_mean_sum_ns".into());
+    };
+    if !mean.is_finite() || !sum.is_finite() {
+        return Err("stage_attribution means are non-finite".into());
+    }
+    if (mean - sum).abs() > 1.0 {
+        return Err(format!(
+            "stage means do not tile e2e: mean_e2e_ns={mean} vs stage_mean_sum_ns={sum}"
+        ));
+    }
+    Ok(())
+}
+
+/// Loads `name -> ops_per_sec` from a baseline report.
+fn load_baseline(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let root = parse(&text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let scenarios = root
+        .get("scenarios")
+        .and_then(|v| v.as_arr())
+        .ok_or("no scenarios array")?;
+    let mut out = BTreeMap::new();
+    for s in scenarios {
+        if let (Some(name), Some(ops)) = (
+            s.get("name").and_then(|v| v.as_str()),
+            s.get("gauges")
+                .and_then(|g| g.get("ops_per_sec"))
+                .and_then(|v| v.as_f64()),
+        ) {
+            out.insert(name.to_string(), ops);
+        }
+    }
+    Ok(out)
+}
+
+fn check_file(path: &str, baseline: Option<&BTreeMap<String, f64>>) -> Result<usize, ExitCode> {
     let text = std::fs::read_to_string(path).map_err(|e| {
         eprintln!("benchcheck: {path}: {e}");
         ExitCode::FAILURE
@@ -125,18 +176,60 @@ fn check_file(path: &str) -> Result<usize, ExitCode> {
                 }
             }
         }
+        if let Some(att) = s.get("stage_attribution") {
+            check_attribution(att).map_err(|m| fail(path, name, &m))?;
+        }
+        if let Some(base) = baseline {
+            if let (Some(expected), Some(got)) = (
+                base.get(name),
+                s.get("gauges")
+                    .and_then(|g| g.get("ops_per_sec"))
+                    .and_then(|v| v.as_f64()),
+            ) {
+                if got < expected * 0.75 {
+                    return Err(fail(
+                        path,
+                        name,
+                        &format!(
+                            "throughput regression: ops_per_sec {got:.0} is below 75% of baseline {expected:.0}"
+                        ),
+                    ));
+                }
+            }
+        }
     }
     Ok(scenarios.len())
 }
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--baseline" {
+            baseline_path = it.next();
+        } else {
+            paths.push(a);
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: benchcheck <BENCH_*.json> ...");
+        eprintln!("usage: benchcheck [--baseline BENCH_BASELINE.json] <BENCH_*.json> ...");
         return ExitCode::FAILURE;
     }
+    let baseline = match baseline_path.as_deref().map(load_baseline) {
+        None => None,
+        Some(Ok(b)) => {
+            println!("benchcheck: baseline covers {} scenarios", b.len());
+            Some(b)
+        }
+        Some(Err(e)) => {
+            eprintln!("benchcheck: baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     for path in &paths {
-        match check_file(path) {
+        match check_file(path, baseline.as_ref()) {
             Ok(n) => println!("benchcheck: {path}: ok ({n} scenarios)"),
             Err(code) => return code,
         }

@@ -1,0 +1,125 @@
+//! Regenerates `EXPERIMENTS.md` from `BENCH_*.json` benchmark reports.
+//!
+//! ```text
+//! expgen <reports-dir> [-o <file.md>] [--check <committed.md>]
+//! ```
+//!
+//! * With `-o`, writes the regenerated document to the file.
+//! * With `--check`, regenerates from the available reports and fails
+//!   (exit 1) on structural drift against the committed document: missing
+//!   generation marker, a regenerated section heading absent from the
+//!   committed doc, or a non-finite table cell on either side.
+//! * With neither, prints the document to stdout.
+
+use hyperloop_bench::exp;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out = it.next().map(PathBuf::from),
+            "--check" => check = it.next().map(PathBuf::from),
+            "-h" | "--help" => {
+                eprintln!("usage: expgen <reports-dir> [-o <file.md>] [--check <committed.md>]");
+                return ExitCode::SUCCESS;
+            }
+            other => dir = Some(PathBuf::from(other)),
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: expgen <reports-dir> [-o <file.md>] [--check <committed.md>]");
+        return ExitCode::FAILURE;
+    };
+
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("expgen: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("expgen: no BENCH_*.json in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut scns = Vec::new();
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("expgen: cannot read {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match exp::parse_report(&text) {
+            Ok(mut s) => {
+                eprintln!("expgen: {} -> {} scenarios", f.display(), s.len());
+                scns.append(&mut s);
+            }
+            Err(e) => {
+                eprintln!("expgen: {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let doc = exp::generate(&scns);
+
+    if let Some(committed_path) = check {
+        let committed = match std::fs::read_to_string(&committed_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("expgen: cannot read {}: {e}", committed_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match exp::check(&committed, &doc) {
+            Ok(()) => {
+                eprintln!(
+                    "expgen: {} is structurally consistent with {} report file(s)",
+                    committed_path.display(),
+                    files.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(errs) => {
+                for e in errs {
+                    eprintln!("expgen: DRIFT: {e}");
+                }
+                eprintln!(
+                    "expgen: {} drifted from the reports — regenerate with `expgen {} -o {}`",
+                    committed_path.display(),
+                    dir.display(),
+                    committed_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(out) = out {
+        if let Err(e) = std::fs::write(&out, &doc) {
+            eprintln!("expgen: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("expgen: wrote {}", out.display());
+    } else {
+        print!("{doc}");
+    }
+    ExitCode::SUCCESS
+}

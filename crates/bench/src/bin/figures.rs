@@ -7,9 +7,15 @@
 //! ```
 //!
 //! `--json <path>` additionally writes every reported scenario (latency
-//! summary, metrics-registry snapshot, config and seed) as machine-readable
-//! JSON: to `<path>` itself, or to `<path>/BENCH_figures.json` when `<path>`
-//! is a directory.
+//! summary, metrics-registry snapshot, config, seed and — for traced
+//! runners — a `stage_attribution` block) as machine-readable JSON: to
+//! `<path>` itself, or to `<path>/BENCH_figures.json` when `<path>` is a
+//! directory.
+//!
+//! `--trace <dir>` additionally writes per-scenario profiling artifacts
+//! into `<dir>`: Chrome traces with interleaved counter tracks
+//! (`TRACE_*.json`, open in Perfetto) and flamegraph collapsed stacks
+//! (`FOLDED_*.txt`, feed to flamegraph.pl / speedscope).
 
 use hyperloop_bench::figures;
 use hyperloop_bench::report::Report;
@@ -23,6 +29,11 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let trace_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -31,7 +42,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--json" {
+            if *a == "--json" || *a == "--trace" {
                 skip_next = true;
                 return false;
             }
@@ -46,6 +57,9 @@ fn main() {
     rep.set_quick(quick);
     if let Some(p) = &json_path {
         rep.set_json_path(p);
+    }
+    if let Some(d) = &trace_dir {
+        rep.set_trace_dir(d);
     }
 
     if quick {

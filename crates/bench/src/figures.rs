@@ -22,7 +22,7 @@ fn scaled(ops: u64, quick: bool) -> u64 {
 
 /// Builds the machine-readable record of one microbenchmark run.
 fn micro_scenario(name: String, kind: SystemKind, opts: &MicroOpts, r: &MicroResult) -> Scenario {
-    Scenario::new(name)
+    let mut sc = Scenario::new(name)
         .system(kind.label())
         .seed(opts.seed)
         .config("group_size", opts.group_size)
@@ -33,7 +33,11 @@ fn micro_scenario(name: String, kind: SystemKind, opts: &MicroOpts, r: &MicroRes
         .latency(&r.latency)
         .gauge("ops_per_sec", r.ops_per_sec())
         .gauge("replica_cpu", r.replica_cpu)
-        .metrics(r.registry.clone())
+        .metrics(r.registry.clone());
+    if let Some(tr) = &r.trace {
+        sc = sc.stage_attribution(tr.attribution.clone());
+    }
+    sc
 }
 
 /// Figure 8(a): gWRITE latency vs message size, Naïve vs HyperLoop.
@@ -59,6 +63,7 @@ fn fig8_inner(
 ) {
     let opts = MicroOpts {
         ops: scaled(4000, quick),
+        trace: rep.profile_enabled(),
         ..MicroOpts::default()
     };
     rep.line(format!(
@@ -97,6 +102,7 @@ pub fn table2(rep: &mut Report, quick: bool) {
     rep.banner("Table 2: gCAS latency, Naïve vs HyperLoop (group=3, loaded replicas)");
     let opts = MicroOpts {
         ops: scaled(8000, quick),
+        trace: rep.profile_enabled(),
         ..MicroOpts::default()
     };
     rep.line(latency_header("system"));
@@ -138,6 +144,7 @@ pub fn fig9(rep: &mut Report, quick: bool) {
             window: 16,
             hogs_per_node: 0,
             pace: SimDuration::ZERO,
+            trace: rep.profile_enabled(),
             ..MicroOpts::default()
         };
         let naive = run_primitive(
@@ -183,6 +190,7 @@ pub fn fig10(rep: &mut Report, quick: bool) {
                 let opts = MicroOpts {
                     ops: scaled(2500, quick),
                     group_size: gs,
+                    trace: rep.profile_enabled(),
                     ..MicroOpts::default()
                 };
                 let r = run_primitive(kind, gwrite_plan_flush(size, false), opts);

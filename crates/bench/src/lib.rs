@@ -28,6 +28,7 @@
 
 pub mod appbench;
 pub mod driver;
+pub mod exp;
 pub mod fanout_ablation;
 pub mod figures;
 pub mod micro;

@@ -14,7 +14,8 @@ use cpusched::{HogProfile, ProcKind, SchedConfig};
 use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::NodeId;
-use simcore::{LatencySummary, MetricsRegistry, SimDuration, SimTime};
+use simcore::simprof::{CounterSample, CounterSampler, StageAttribution};
+use simcore::{LatencySummary, MetricsRegistry, SimDuration, SimTime, TraceEvent, Tracer};
 use testbed::{Cluster, ClusterConfig, ProcRef};
 
 /// Which system runs the chain.
@@ -65,6 +66,9 @@ pub struct MicroOpts {
     pub hog_profile: HogProfile,
     /// Root seed.
     pub seed: u64,
+    /// Capture a causal trace of the run and fold it into a
+    /// [`StageAttribution`] (plus counter-track samples) on the result.
+    pub trace: bool,
 }
 
 impl Default for MicroOpts {
@@ -86,8 +90,25 @@ impl Default for MicroOpts {
                 idle_mean: SimDuration::from_millis(150),
             },
             seed: 0xBEEF,
+            trace: false,
         }
     }
+}
+
+/// Profiling artifacts of a traced run (present when
+/// [`MicroOpts::trace`] was set).
+#[derive(Debug, Clone)]
+pub struct MicroTrace {
+    /// The captured trace events (whole spans; overflow evicts whole ops).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded by ring overflow.
+    pub dropped: u64,
+    /// Ops evicted whole by ring overflow.
+    pub dropped_ops: u64,
+    /// Counter-track samples taken on the watchdog cadence.
+    pub samples: Vec<CounterSample>,
+    /// Per-stage latency attribution folded over every complete op.
+    pub attribution: StageAttribution,
 }
 
 /// Result of one microbenchmark run.
@@ -106,6 +127,8 @@ pub struct MicroResult {
     /// (fabric/NVM/scheduler/link counters plus the op-latency histogram
     /// under `bench.op_latency`).
     pub registry: MetricsRegistry,
+    /// Trace-derived profiling artifacts ([`MicroOpts::trace`] runs only).
+    pub trace: Option<MicroTrace>,
 }
 
 impl MicroResult {
@@ -127,6 +150,7 @@ pub fn bench_group_config(window: u32) -> GroupConfig {
         meta_slots: 64,
         prepost_depth: 768,
         window,
+        first_gen: 0,
     }
 }
 
@@ -154,11 +178,24 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
     }
 
     let total = opts.ops + opts.warmup;
+    // Sized so whole-span eviction essentially never fires: ~96 events per
+    // op across the NIC/wire/sched layers, bounded to keep memory sane.
+    let tracer = if opts.trace {
+        let cap = (total.saturating_mul(96)).clamp(1 << 16, 1 << 21) as usize;
+        let t = Tracer::enabled(cap);
+        cluster.set_tracer(t.clone());
+        Some(t)
+    } else {
+        None
+    };
     let (driver_proc, data_procs, is_hl): (ProcRef, Vec<ProcRef>, bool) = match kind {
         SystemKind::HyperLoop => {
-            let group = cluster.setup_fabric(|ctx| {
+            let mut group = cluster.setup_fabric(|ctx| {
                 HyperLoopGroup::setup(ctx, client_node, &replicas, bench_group_config(opts.window))
             });
+            if let Some(t) = &tracer {
+                group.client.set_tracer(t.clone());
+            }
             let maint = install_group_maintenance(
                 &mut cluster,
                 group.replicas,
@@ -178,7 +215,7 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
             (p, maint, true)
         }
         SystemKind::NaiveEvent | SystemKind::NaivePolling => {
-            let chain = NaiveChain::setup(
+            let mut chain = NaiveChain::setup(
                 &mut cluster,
                 client_node,
                 &replicas,
@@ -194,6 +231,9 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
                     ..NaiveConfig::default()
                 },
             );
+            if let Some(t) = &tracer {
+                chain.client.set_tracer(t.clone());
+            }
             let ack_cq = chain.client.ack_cq();
             let driver = PrimitiveDriver::with_pace(
                 chain.client,
@@ -212,9 +252,17 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
     let mut sim = cluster.into_sim();
     // Watchdog: generous cap so pathological stalls fail loudly.
     let cap = SimTime::from_secs(600);
+    let mut sampler = opts.trace.then(|| {
+        CounterSampler::with_prefixes(&["cluster.fabric.", "cluster.sched.", "cluster.nvm."])
+    });
     loop {
         let next = sim.now() + SimDuration::from_millis(20);
         sim.run_until(next);
+        if let Some(s) = sampler.as_mut() {
+            let mut reg = MetricsRegistry::new();
+            sim.model.export_into(&mut reg, "cluster");
+            s.sample(sim.now(), &reg);
+        }
         let done = if is_hl {
             sim.model
                 .app_mut::<PrimitiveDriver<GroupClient>>(driver_proc)
@@ -273,12 +321,26 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
     registry.set_gauge("bench.replica_cpu", replica_cpu);
     registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
 
+    let trace = tracer.map(|t| {
+        let events = t.events();
+        let dropped = t.dropped();
+        let attribution = StageAttribution::from_events(&events);
+        MicroTrace {
+            events,
+            dropped,
+            dropped_ops: t.dropped_ops(),
+            samples: sampler.map(|s| s.samples().to_vec()).unwrap_or_default(),
+            attribution,
+        }
+    });
+
     MicroResult {
         latency: hist.summary(),
         elapsed,
         ops: opts.ops,
         replica_cpu,
         registry,
+        trace,
     }
 }
 

@@ -17,6 +17,7 @@ use hyperloop::{
     plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
 };
 use netsim::NodeId;
+use simcore::simprof::{chrome_trace_with_counters, CounterSampler};
 use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 use testbed::cluster::drive;
@@ -37,6 +38,9 @@ pub struct MigrateOpts {
     pub defer: u64,
     /// Root seed.
     pub seed: u64,
+    /// Sample counter tracks (per-shard acked, pen depth, migration copy
+    /// bytes) on the bench-loop cadence.
+    pub trace: bool,
 }
 
 impl Default for MigrateOpts {
@@ -48,6 +52,7 @@ impl Default for MigrateOpts {
             payload: 1024,
             defer: 16,
             seed: 0x3161_847E,
+            trace: false,
         }
     }
 }
@@ -78,6 +83,10 @@ pub struct MigrateResult {
     pub epoch: u64,
     /// Cluster + shard-set metrics snapshot (post-migration chains).
     pub registry: MetricsRegistry,
+    /// Chrome trace JSON of the sampled counter tracks
+    /// ([`MigrateOpts::trace`] arms only). Generations restart at the
+    /// cutover, so this arm exports counter tracks rather than op spans.
+    pub counter_trace: Option<String>,
 }
 
 impl MigrateResult {
@@ -119,6 +128,7 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
         meta_slots: 64,
         prepost_depth: 128,
         window: opts.window,
+        first_gen: 0,
     };
     let mut cluster = cluster;
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
@@ -157,6 +167,9 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
     let mut hist = Histogram::new();
     let started = sim.now();
     let mut done = 0u64;
+    let mut sampler = opts
+        .trace
+        .then(|| CounterSampler::with_prefixes(&["bench.shards.", "cluster.sched."]));
     while done < opts.ops {
         drive(&mut sim, |ctx| {
             for s in 0..n_shards {
@@ -203,6 +216,13 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
                     }
                 }
             }
+            // Sample with the pen at its fullest, so the counter track
+            // shows the holding-pen spike inside the pause window.
+            if let Some(s) = sampler.as_mut() {
+                let mut reg = MetricsRegistry::new();
+                set.export_into(&mut reg, "bench.shards");
+                s.sample(sim.now(), &reg);
+            }
             let outcome = run.finish(&mut sim, &mut set);
             replicas[0] = outcome.replicas; // old chain's handles are dead
             chains[0] = standby.clone();
@@ -234,6 +254,12 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
 
         sim.run();
         let acks = drive(&mut sim, |ctx| set.poll(ctx));
+        if let Some(s) = sampler.as_mut() {
+            let mut reg = MetricsRegistry::new();
+            sim.model.export_into(&mut reg, "cluster");
+            set.export_into(&mut reg, "bench.shards");
+            s.sample(sim.now(), &reg);
+        }
         assert!(!acks.is_empty(), "run stalled at {done}/{} ops", opts.ops);
         let mut drained = vec![0u32; n_shards as usize];
         for a in acks {
@@ -281,6 +307,7 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
         dip: window_tput / steady_tput.max(1e-12),
         epoch,
         registry,
+        counter_trace: sampler.map(|s| chrome_trace_with_counters(&[], s.samples())),
     }
 }
 
@@ -289,6 +316,7 @@ pub fn migrate(rep: &mut Report, quick: bool) {
     rep.banner("Live migration: pause window and throughput dip while shard 0 changes chains");
     let opts = MigrateOpts {
         ops: if quick { 1024 } else { 4096 },
+        trace: rep.profile_enabled(),
         ..MigrateOpts::default()
     };
     rep.line(format!(
@@ -307,6 +335,10 @@ pub fn migrate(rep: &mut Report, quick: bool) {
             r.replayed,
             us(r.latency.p99),
         ));
+        if let Some(trace) = &r.counter_trace {
+            rep.write_trace(&format!("TRACE_migrate_{n}.json"), trace)
+                .expect("trace sink writable");
+        }
         rep.scenario(
             Scenario::new(format!("migrate/{n}"))
                 .system("HyperLoop")
@@ -324,6 +356,12 @@ pub fn migrate(rep: &mut Report, quick: bool) {
                 .gauge("window_tput_ratio", r.dip)
                 .gauge("copy_bytes", r.copy_bytes as f64)
                 .gauge("replayed_ranges", r.replayed as f64)
+                // The exported migration.* counters, surfaced as
+                // first-class scenario measurements so downstream tooling
+                // does not have to dig through the registry snapshot.
+                .gauge("migration.pause_ns", r.pause.as_nanos() as f64)
+                .gauge("migration.copy_bytes", r.copy_bytes as f64)
+                .gauge("migration.replayed", r.replayed as f64)
                 .metrics(r.registry.clone()),
         );
     }

@@ -9,6 +9,7 @@
 //! serializes all scenarios with [`simcore::jsonw::JsonWriter`].
 
 use simcore::jsonw::JsonWriter;
+use simcore::simprof::StageAttribution;
 use simcore::{LatencySummary, MetricsRegistry, SimDuration};
 use std::path::{Path, PathBuf};
 
@@ -72,6 +73,7 @@ pub struct Scenario {
     latency: Option<LatencySummary>,
     gauges: Vec<(String, f64)>,
     metrics: Option<MetricsRegistry>,
+    attribution: Option<StageAttribution>,
 }
 
 impl Scenario {
@@ -118,6 +120,14 @@ impl Scenario {
         self.metrics = Some(reg);
         self
     }
+
+    /// Attaches the run's critical-path stage attribution (per-stage
+    /// latency aggregates folded from the trace stream). Serialized as a
+    /// `stage_attribution` block in the scenario JSON.
+    pub fn stage_attribution(mut self, att: StageAttribution) -> Self {
+        self.attribution = Some(att);
+        self
+    }
 }
 
 /// Writes a [`LatencySummary`] as a JSON object under `key`.
@@ -142,6 +152,7 @@ pub struct Report {
     tool: String,
     quick: bool,
     json_path: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
     scenarios: Vec<Scenario>,
 }
 
@@ -159,14 +170,53 @@ impl Report {
         self.quick = quick;
     }
 
-    /// Requests a JSON sink. If `path` is an existing directory the file is
-    /// named `BENCH_<tool>.json` inside it; otherwise `path` is the file.
+    /// Requests a JSON sink. If `path` is a directory (existing, or spelled
+    /// with a trailing separator) the file is named `BENCH_<tool>.json`
+    /// inside it; otherwise `path` is the file.
     pub fn set_json_path(&mut self, path: &Path) {
-        self.json_path = Some(if path.is_dir() {
+        let is_dir = path.is_dir() || path.to_string_lossy().ends_with(std::path::MAIN_SEPARATOR);
+        self.json_path = Some(if is_dir {
             path.join(format!("BENCH_{}.json", self.tool))
         } else {
             path.to_path_buf()
         });
+    }
+
+    /// Requests per-scenario trace artifacts (Chrome traces with counter
+    /// tracks, folded flamegraph stacks) under the given directory.
+    pub fn set_trace_dir(&mut self, dir: &Path) {
+        self.trace_dir = Some(dir.to_path_buf());
+    }
+
+    /// True when a trace directory was requested.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_dir.is_some()
+    }
+
+    /// True when a JSON sink was requested.
+    pub fn json_enabled(&self) -> bool {
+        self.json_path.is_some()
+    }
+
+    /// True when runs should capture causal traces: either trace artifacts
+    /// were requested outright, or a JSON sink was (every `BENCH_*.json`
+    /// scenario carries a `stage_attribution` block when its runner can
+    /// trace).
+    pub fn profile_enabled(&self) -> bool {
+        self.trace_enabled() || self.json_enabled()
+    }
+
+    /// Writes one trace artifact (`file_name` with `/` mapped to `_`) into
+    /// the trace directory, if one was requested. Returns the path written.
+    pub fn write_trace(&self, file_name: &str, contents: &str) -> std::io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.trace_dir else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(file_name.replace('/', "_"));
+        std::fs::write(&path, contents)?;
+        println!("wrote {}", path.display());
+        Ok(Some(path))
     }
 
     /// Prints a section banner.
@@ -243,6 +293,11 @@ impl Report {
                 w.end_obj();
                 w.end_obj();
             }
+            if let Some(att) = &s.attribution {
+                w.begin_obj_field("stage_attribution");
+                att.write_fields(&mut w);
+                w.end_obj();
+            }
             w.end_obj();
         }
         w.end_arr();
@@ -255,6 +310,11 @@ impl Report {
         let Some(path) = &self.json_path else {
             return Ok(None);
         };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
         std::fs::write(path, self.to_json())?;
         println!("\nwrote {}", path.display());
         Ok(Some(path.clone()))

@@ -17,10 +17,17 @@
 use crate::report::{us, Report, Scenario};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup, ShardId, ShardSet};
 use netsim::NodeId;
-use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime};
+use simcore::simprof::{folded_stacks, CounterSampler, StageAttribution};
+use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime, Tracer};
 use std::collections::{HashMap, VecDeque};
 use testbed::cluster::drive;
 use testbed::{Cluster, ClusterConfig, ShardPlacement};
+
+/// Per-shard op-id base: shard `i` issues generations starting at
+/// `i << SHARD_GEN_SHIFT`, so op ids stay globally unique across shards in
+/// one trace stream. A multiple of every `meta_slots` power of two, so the
+/// modular slot arithmetic is untouched.
+pub const SHARD_GEN_SHIFT: u32 = 40;
 
 /// Shard-scaling benchmark parameters.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +42,8 @@ pub struct ShardScaleOpts {
     pub payload: u64,
     /// Root seed.
     pub seed: u64,
+    /// Capture a causal trace + counter-track samples for this arm.
+    pub trace: bool,
 }
 
 impl Default for ShardScaleOpts {
@@ -45,8 +54,20 @@ impl Default for ShardScaleOpts {
             window: 16,
             payload: 1024,
             seed: 0x5CA1E,
+            trace: false,
         }
     }
+}
+
+/// Profiling artifacts of one traced shard-scaling arm.
+#[derive(Debug, Clone)]
+pub struct ShardScaleTrace {
+    /// Per-stage latency attribution over every completed op, all shards.
+    pub attribution: StageAttribution,
+    /// Flamegraph collapsed-stack text (deterministic for a given seed).
+    pub folded: String,
+    /// Chrome trace JSON with interleaved counter tracks.
+    pub chrome: String,
 }
 
 /// Result of one shard-count arm.
@@ -64,6 +85,8 @@ pub struct ShardScaleResult {
     pub per_shard_acked: Vec<u64>,
     /// Cluster + shard-set metrics snapshot.
     pub registry: MetricsRegistry,
+    /// Trace-derived artifacts ([`ShardScaleOpts::trace`] arms only).
+    pub trace: Option<ShardScaleTrace>,
 }
 
 impl ShardScaleResult {
@@ -101,21 +124,40 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
     // from the bench loop as acks drain them, one replenish per completed
     // op. The data path never waits on a replenish: the window is 16 and
     // the pre-posted runway is 128 generations.
-    let cfg = GroupConfig {
-        shared_size: 4 << 20,
-        meta_slots: 64,
-        prepost_depth: 128,
-        window: opts.window,
-    };
     let mut cluster = cluster;
+    let tracer = if opts.trace {
+        let cap = (opts.ops.saturating_mul(96)).clamp(1 << 16, 1 << 21) as usize;
+        let t = Tracer::enabled(cap);
+        cluster.set_tracer(t.clone());
+        Some(t)
+    } else {
+        None
+    };
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
             .iter()
-            .map(|chain| HyperLoopGroup::setup(ctx, client, chain, cfg))
+            .enumerate()
+            .map(|(i, chain)| {
+                // Disjoint generation bases keep op ids (= trace ids =
+                // WQE wr_ids) globally unique across shards.
+                let cfg = GroupConfig {
+                    shared_size: 4 << 20,
+                    meta_slots: 64,
+                    prepost_depth: 128,
+                    window: opts.window,
+                    first_gen: (i as u64) << SHARD_GEN_SHIFT,
+                };
+                HyperLoopGroup::setup(ctx, client, chain, cfg)
+            })
             .collect()
     });
-    let (clients, mut replicas): (Vec<_>, Vec<_>) =
+    let (mut clients, mut replicas): (Vec<_>, Vec<_>) =
         groups.into_iter().map(|g| (g.client, g.replicas)).unzip();
+    if let Some(t) = &tracer {
+        for c in clients.iter_mut() {
+            c.set_tracer(t.clone());
+        }
+    }
     let mut set = ShardSet::with_hash_router(clients);
 
     let mut sim = cluster.into_sim();
@@ -135,6 +177,9 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
     let mut hist = Histogram::new();
     let started = sim.now();
     let mut done = 0u64;
+    let mut sampler = opts.trace.then(|| {
+        CounterSampler::with_prefixes(&["bench.shards.", "cluster.sched.", "cluster.fabric."])
+    });
     while done < opts.ops {
         // Closed loop: refill every shard's window from its queue...
         drive(&mut sim, |ctx| {
@@ -162,6 +207,12 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
         // ...let the chains run dry, then collect.
         sim.run();
         let acks = drive(&mut sim, |ctx| set.poll(ctx));
+        if let Some(s) = sampler.as_mut() {
+            let mut reg = MetricsRegistry::new();
+            sim.model.export_into(&mut reg, "cluster");
+            set.export_into(&mut reg, "bench.shards");
+            s.sample(sim.now(), &reg);
+        }
         assert!(!acks.is_empty(), "run stalled at {done}/{} ops", opts.ops);
         let mut drained = vec![0u32; n_shards as usize];
         for a in acks {
@@ -200,6 +251,21 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
     registry.merge_histogram("bench.op_latency", &hist);
     registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
 
+    let trace = tracer.map(|t| {
+        let events = t.events();
+        let attribution = StageAttribution::from_events(&events);
+        let folded = folded_stacks(&events, &format!("shardscale/{n_shards}"));
+        let chrome = simcore::simprof::chrome_trace_with_counters(
+            &events,
+            sampler.as_ref().map_or(&[][..], |s| s.samples()),
+        );
+        ShardScaleTrace {
+            attribution,
+            folded,
+            chrome,
+        }
+    });
+
     ShardScaleResult {
         shards: n_shards,
         latency: hist.summary(),
@@ -207,6 +273,7 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
         ops: opts.ops,
         per_shard_acked,
         registry,
+        trace,
     }
 }
 
@@ -218,6 +285,7 @@ pub fn shardscale(rep: &mut Report, quick: bool) {
     rep.banner("Shard scaling: aggregate gWRITE throughput vs shard count (fixed offered load)");
     let opts = ShardScaleOpts {
         ops: if quick { 1024 } else { 4096 },
+        trace: rep.profile_enabled(),
         ..ShardScaleOpts::default()
     };
     rep.line(format!(
@@ -252,6 +320,13 @@ pub fn shardscale(rep: &mut Report, quick: bool) {
             .metrics(r.registry.clone());
         for (s, &acked) in r.per_shard_acked.iter().enumerate() {
             sc = sc.config(&format!("shard{s}_ops"), acked);
+        }
+        if let Some(tr) = &r.trace {
+            sc = sc.stage_attribution(tr.attribution.clone());
+            rep.write_trace(&format!("TRACE_shardscale_{n}.json"), &tr.chrome)
+                .expect("trace sink writable");
+            rep.write_trace(&format!("FOLDED_shardscale_{n}.txt"), &tr.folded)
+                .expect("trace sink writable");
         }
         rep.scenario(sc);
     }

@@ -28,6 +28,12 @@ pub struct GroupConfig {
     pub prepost_depth: u32,
     /// Maximum operations the client keeps in flight.
     pub window: u32,
+    /// First generation number the group issues. Generations double as the
+    /// op ids on every trace event and WQE `wr_id`, so multi-group setups
+    /// (shards, migration targets) give each group a disjoint base to keep
+    /// trace streams unambiguous. Must be a multiple of `meta_slots` so the
+    /// modular slot arithmetic is unchanged.
+    pub first_gen: u64,
 }
 
 impl Default for GroupConfig {
@@ -37,6 +43,7 @@ impl Default for GroupConfig {
             meta_slots: 64,
             prepost_depth: 128,
             window: 16,
+            first_gen: 0,
         }
     }
 }
@@ -58,6 +65,12 @@ impl GroupConfig {
         assert!(
             self.prepost_depth >= self.window,
             "prepost depth below window"
+        );
+        assert!(
+            self.first_gen.is_multiple_of(self.meta_slots as u64),
+            "first_gen {} must be a multiple of meta_slots {}",
+            self.first_gen,
+            self.meta_slots
         );
     }
 }

@@ -86,6 +86,7 @@ pub struct ReplicaHandle {
     cq_loop: CqId,
     qp_down: QpId,
     next_prepost: u64,
+    first_gen: u64,
 }
 
 impl HyperLoopGroup {
@@ -181,7 +182,8 @@ impl HyperLoopGroup {
                 qp_loop_a,
                 cq_loop,
                 qp_down,
-                next_prepost: 0,
+                next_prepost: cfg.first_gen,
+                first_gen: cfg.first_gen,
             });
         }
 
@@ -232,7 +234,7 @@ impl HyperLoopGroup {
                 staging_base,
                 ack_base,
                 ack_slot_size,
-                next_gen: 0,
+                next_gen: cfg.first_gen,
                 completed: 0,
                 pending: VecDeque::new(),
                 tracer: Tracer::disabled(),
@@ -285,10 +287,11 @@ impl GroupClient {
 
     /// Operations issued but not yet acked.
     pub fn in_flight(&self) -> u64 {
-        self.next_gen - self.completed
+        self.next_gen - self.cfg.first_gen - self.completed
     }
 
-    /// Total operations acknowledged.
+    /// Total operations acknowledged (a count, regardless of the group's
+    /// [`GroupConfig::first_gen`] base).
     pub fn completed(&self) -> u64 {
         self.completed
     }
@@ -505,9 +508,10 @@ impl ReplicaHandle {
         self.recv_cq_up
     }
 
-    /// Generations pre-posted so far.
+    /// Generations pre-posted so far (a count, regardless of the group's
+    /// [`GroupConfig::first_gen`] base).
     pub fn preposted(&self) -> u64 {
-        self.next_prepost
+        self.next_prepost - self.first_gen
     }
 
     /// Pre-posts descriptor chains for the next `count` generations: the

@@ -432,7 +432,7 @@ impl<T: GroupTransport> ShardSet<T> {
 
     /// Snapshots per-shard client counters into `reg`:
     /// `{prefix}.shard{i}.{issued,acked,epoch}` counters,
-    /// `{prefix}.shard{i}.{in_flight,window}` and `{prefix}.shards`
+    /// `{prefix}.shard{i}.{in_flight,window,pen}` and `{prefix}.shards`
     /// gauges, plus `{prefix}.shard{i}.migration.*` for shards that have
     /// migrated. Exporting twice is idempotent: cumulative totals are
     /// `counter_set`, point-in-time values are gauges.
@@ -447,6 +447,7 @@ impl<T: GroupTransport> ShardSet<T> {
                 shard.in_flight() as f64,
             );
             reg.set_gauge(&format!("{prefix}.shard{i}.window"), shard.window() as f64);
+            reg.set_gauge(&format!("{prefix}.shard{i}.pen"), self.pens[i].len() as f64);
             if let Some(m) = self.migrations[i] {
                 let mp = format!("{prefix}.shard{i}.migration");
                 reg.counter_set(&format!("{mp}.pause_ns"), m.pause.as_nanos());

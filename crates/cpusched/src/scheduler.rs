@@ -121,6 +121,13 @@ impl CpuScheduler {
         self.procs.len() as u32
     }
 
+    /// Tasks waiting on run queues right now, summed across all cores
+    /// (excludes the tasks currently running). A point-in-time depth for
+    /// counter-track sampling.
+    pub fn runqueue_len(&self) -> usize {
+        self.cores.iter().map(|c| c.queue.len()).sum()
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> SchedStats {
         self.stats

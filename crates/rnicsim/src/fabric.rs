@@ -143,6 +143,13 @@ impl RdmaFabric {
             n.mem
                 .stats()
                 .export_into(reg, &format!("{prefix}.nvm.node{i}"));
+            // Bytes sitting in the NIC volatile cache awaiting a gFLUSH —
+            // a point-in-time depth for counter-track sampling.
+            let dirty: u64 = n.nic_dirty.iter().map(|&(_, len)| len).sum();
+            reg.set_gauge(
+                &format!("{prefix}.nvm.node{i}.nic_dirty_bytes"),
+                dirty as f64,
+            );
         }
     }
 

@@ -15,6 +15,8 @@
 //! * [`stats`] — HDR-style histograms and latency summaries.
 //! * [`simtrace`] — causal trace events, span reconstruction, Chrome
 //!   trace-event export and the unified metrics registry.
+//! * [`simprof`] — critical-path aggregation over trace streams, folded
+//!   flamegraph stacks and Perfetto counter tracks.
 //! * [`jsonw`] — the dependency-free JSON writer behind the exporters.
 //!
 //! ## Example
@@ -58,6 +60,7 @@ pub mod jsonw;
 pub mod model;
 pub mod queue;
 pub mod rng;
+pub mod simprof;
 pub mod simtrace;
 pub mod stats;
 pub mod time;
@@ -65,6 +68,7 @@ pub mod time;
 pub use model::{Model, Outbox, Simulation};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use simprof::{CounterSampler, StageAttribution};
 pub use simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
 pub use stats::{Counter, Histogram, LatencySummary};
 pub use time::{SimDuration, SimTime};
@@ -75,6 +79,7 @@ pub mod prelude {
     pub use crate::model::{Model, Outbox, Simulation};
     pub use crate::queue::EventQueue;
     pub use crate::rng::SimRng;
+    pub use crate::simprof::{CounterSampler, StageAttribution};
     pub use crate::simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
     pub use crate::stats::{Counter, Histogram, LatencySummary};
     pub use crate::time::{SimDuration, SimTime};

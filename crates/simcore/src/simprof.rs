@@ -1,0 +1,603 @@
+//! Critical-path profiling over [`simtrace`](crate::simtrace) streams.
+//!
+//! `simtrace` answers "where did *this* op's latency go"; `simprof` answers
+//! the same question across thousands of ops:
+//!
+//! * [`StageAttribution`] folds every per-op breakdown in a trace stream
+//!   into per-stage latency histograms whose totals *tile* the aggregate
+//!   end-to-end latency exactly — the sum of per-stage means equals the
+//!   mean end-to-end latency over the same op set, by construction.
+//! * [`StageAttribution::dominant_path`] reports the most common stage
+//!   signature (the critical path almost every op takes) with its share.
+//! * [`folded_stacks`] renders the stream in the flamegraph
+//!   collapsed-stack text format (`scenario;nodeN;stage count`).
+//! * [`CounterSampler`] samples [`MetricsRegistry`] values on a sim-time
+//!   cadence and [`chrome_trace_with_counters`] interleaves the resulting
+//!   Perfetto counter tracks (`"ph":"C"`) with the span stream, so one
+//!   trace file shows *why* a latency knee happens, not just that it does.
+//!
+//! Everything here is deterministic: same events in, byte-identical text
+//! out (BTreeMap iteration everywhere, integer nanosecond arithmetic).
+
+use crate::jsonw::JsonWriter;
+use crate::simtrace::{
+    breakdown_from_sorted, ts_us, write_chrome_events, MetricsRegistry, TraceEvent, TraceKind,
+    NO_OP,
+};
+use crate::stats::Histogram;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Synthetic Perfetto process id hosting all counter tracks (far above any
+/// real node id, so it sorts to its own process group in the UI).
+pub const COUNTER_PID: u64 = 9_999;
+
+/// Aggregate latency of one stage kind across all ops in a stream.
+#[derive(Debug, Clone, Default)]
+pub struct StageAgg {
+    /// How many stage instances were folded in.
+    pub count: u64,
+    /// Total nanoseconds spent in this stage, summed over all ops.
+    pub total_ns: u64,
+    /// Distribution of per-instance stage durations.
+    pub hist: Histogram,
+}
+
+/// Per-stage latency attribution aggregated over every complete op in a
+/// trace stream.
+///
+/// Stages are keyed by [`TraceKind::label`](crate::TraceKind::label) (node
+/// suffixes stripped), so "wire time" on replica 1 and replica 2 fold into
+/// one `link_deliver` row. Because each op's stages tile its own
+/// `[issue, ack]` interval exactly, the stage totals tile the aggregate:
+///
+/// ```text
+/// sum over stages of total_ns  ==  sum over ops of e2e_ns        (exact)
+/// sum over stages of (total_ns / ops)  ==  mean e2e              (±1 ns)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StageAttribution {
+    /// Complete ops folded in.
+    pub ops: u64,
+    /// Ops without a complete `[OpIssue, OpAck]` window in the stream
+    /// (never issued, still in flight, or decapitated), excluded from the
+    /// fold so the tiling invariant holds over real host-observed latency.
+    pub truncated: u64,
+    /// End-to-end latency distribution over the folded ops.
+    pub e2e: Histogram,
+    /// Exact sum of end-to-end nanoseconds over the folded ops.
+    pub e2e_total_ns: u64,
+    /// Per-stage aggregates, stage-label-ordered.
+    pub stages: BTreeMap<String, StageAgg>,
+    /// Stage-signature → op count (signature = stage labels joined by `;`).
+    pub paths: BTreeMap<String, u64>,
+}
+
+impl StageAttribution {
+    /// Folds every op with a complete `[OpIssue, OpAck]` window in
+    /// `events`. Each op is trimmed to that window first (see
+    /// [`issue_ack_window`]); ops lacking one — never issued inside the
+    /// captured stream, still in flight at capture end, or decapitated —
+    /// are counted in `truncated` and excluded so the tiling invariant
+    /// holds over host-observed latency.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut att = StageAttribution::default();
+        for (op, evs) in events_by_op(events) {
+            let Some(win) = issue_ack_window(&evs) else {
+                att.truncated += 1;
+                continue;
+            };
+            let Some(bd) = breakdown_from_sorted(op, win, 0) else {
+                att.truncated += 1;
+                continue;
+            };
+            att.ops += 1;
+            let e2e = bd.total();
+            att.e2e.record(e2e);
+            att.e2e_total_ns += e2e.as_nanos();
+            let mut sig = String::new();
+            for s in &bd.stages {
+                let label = stage_kind(&s.label);
+                if !sig.is_empty() {
+                    sig.push(';');
+                }
+                sig.push_str(label);
+                let agg = att.stages.entry(label.to_string()).or_default();
+                agg.count += 1;
+                agg.total_ns += s.duration().as_nanos();
+                agg.hist.record(s.duration());
+            }
+            *att.paths.entry(sig).or_insert(0) += 1;
+        }
+        att
+    }
+
+    /// Mean end-to-end latency in nanoseconds over the folded ops.
+    pub fn mean_e2e_ns(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.e2e_total_ns as f64 / self.ops as f64
+    }
+
+    /// Sum of per-stage mean contributions in nanoseconds: each stage's
+    /// total divided by the *op* count (not the stage count), so stages
+    /// appearing in only some ops are weighted by their true share. Equals
+    /// [`StageAttribution::mean_e2e_ns`] exactly (same numerator, same
+    /// denominator) — the aggregate tiling invariant.
+    pub fn stage_mean_sum_ns(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.stages
+            .values()
+            .map(|a| a.total_ns as f64 / self.ops as f64)
+            .sum()
+    }
+
+    /// The most frequent stage signature and the fraction of ops that took
+    /// it, or `None` if nothing was folded. Ties break to the
+    /// lexicographically-first signature (deterministic).
+    pub fn dominant_path(&self) -> Option<(&str, f64)> {
+        let (sig, &n) = self.paths.iter().max_by(|a, b| {
+            a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)) // prefer lexicographically smaller
+        })?;
+        Some((sig.as_str(), n as f64 / self.ops.max(1) as f64))
+    }
+
+    /// Writes the attribution as fields of an already-open JSON object:
+    /// op counts, the e2e summary, the per-stage table (count, total,
+    /// mean, p99, share-of-e2e) and the dominant path.
+    pub fn write_fields(&self, w: &mut JsonWriter) {
+        w.field_u64("ops", self.ops);
+        w.field_u64("truncated", self.truncated);
+        w.field_u64("e2e_total_ns", self.e2e_total_ns);
+        w.field_f64("mean_e2e_ns", self.mean_e2e_ns());
+        w.field_f64("stage_mean_sum_ns", self.stage_mean_sum_ns());
+        let s = self.e2e.summary();
+        w.begin_obj_field("e2e");
+        w.field_u64("count", s.count);
+        w.field_u64("mean_ns", s.mean.as_nanos());
+        w.field_u64("p50_ns", s.p50.as_nanos());
+        w.field_u64("p99_ns", s.p99.as_nanos());
+        w.field_u64("max_ns", s.max.as_nanos());
+        w.end_obj();
+        w.begin_obj_field("stages");
+        for (label, agg) in &self.stages {
+            w.begin_obj_field(label);
+            w.field_u64("count", agg.count);
+            w.field_u64("total_ns", agg.total_ns);
+            w.field_f64("mean_ns", agg.total_ns as f64 / agg.count.max(1) as f64);
+            w.field_u64("p99_ns", agg.hist.p99().as_nanos());
+            w.field_f64(
+                "share",
+                agg.total_ns as f64 / self.e2e_total_ns.max(1) as f64,
+            );
+            w.end_obj();
+        }
+        w.end_obj();
+        if let Some((sig, share)) = self.dominant_path() {
+            w.begin_obj_field("dominant_path");
+            w.field_str("signature", sig);
+            w.field_f64("share", share);
+            w.end_obj();
+        }
+    }
+
+    /// The attribution as a standalone JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        self.write_fields(&mut w);
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// Strips the `@nNODE` suffix off a stage label (`"wait_release@n2"` →
+/// `"wait_release"`).
+fn stage_kind(label: &str) -> &str {
+    label.rsplit_once("@n").map_or(label, |(k, _)| k)
+}
+
+/// Groups a stream by op in one pass, each op's events time-sorted
+/// (stable, so ties keep emission order — same contract as
+/// `simtrace::events_for`). Bulk folds over every op are O(n log n) this
+/// way instead of O(ops × n) re-filtering.
+fn events_by_op(events: &[TraceEvent]) -> BTreeMap<u64, Vec<TraceEvent>> {
+    let mut map: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if e.op != NO_OP {
+            map.entry(e.op).or_default().push(*e);
+        }
+    }
+    for evs in map.values_mut() {
+        evs.sort_by_key(|e| e.at);
+    }
+    map
+}
+
+/// Trims a time-sorted per-op event slice to the host-observed window:
+/// first `OpIssue` through last `OpAck`. HyperLoop preposts RECV WQEs
+/// whose `wr_id` names a *future* generation, so an op's stream can open
+/// with descriptor-fetch events emitted long before the client issues the
+/// op; those are setup cost, not op latency, and are cut here. Returns
+/// `None` when the stream never captured the op's issue or its ack.
+fn issue_ack_window(evs: &[TraceEvent]) -> Option<&[TraceEvent]> {
+    let first = evs
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::OpIssue))?;
+    let last = evs
+        .iter()
+        .rposition(|e| matches!(e.kind, TraceKind::OpAck))?;
+    if last <= first {
+        return None;
+    }
+    Some(&evs[first..=last])
+}
+
+/// Renders a trace stream in the flamegraph collapsed-stack text format:
+/// one `root;nodeN;stage total_ns` line per (node, stage) pair, summed
+/// over all complete ops and sorted lexicographically. Feed straight into
+/// `flamegraph.pl` / speedscope; byte-identical for same-seed runs.
+pub fn folded_stacks(events: &[TraceEvent], root: &str) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (op, evs) in events_by_op(events) {
+        let Some(win) = issue_ack_window(&evs) else {
+            continue;
+        };
+        let Some(bd) = breakdown_from_sorted(op, win, 0) else {
+            continue;
+        };
+        for (stage, ev) in bd.stages.iter().zip(win.iter().skip(1)) {
+            let key = format!("{root};node{};{}", ev.node, stage_kind(&stage.label));
+            *folded.entry(key).or_insert(0) += stage.duration().as_nanos();
+        }
+    }
+    let mut out = String::new();
+    for (k, v) in &folded {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One sampled counter-track point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Sample sim-time.
+    pub at: SimTime,
+    /// Track name (the registry metric name).
+    pub track: String,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Samples [`MetricsRegistry`] counters and gauges on a sim-time cadence,
+/// recording only *changes* so long flat stretches cost nothing.
+///
+/// Call [`CounterSampler::sample`] with a freshly-exported registry at a
+/// fixed cadence from the bench loop; every metric whose name starts with
+/// one of the configured prefixes (or every metric, with no prefixes)
+/// becomes a Perfetto counter track via [`chrome_trace_with_counters`].
+#[derive(Debug, Clone, Default)]
+pub struct CounterSampler {
+    prefixes: Vec<String>,
+    last: BTreeMap<String, f64>,
+    samples: Vec<CounterSample>,
+}
+
+impl CounterSampler {
+    /// A sampler tracking every metric in the registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sampler tracking only metrics whose name starts with one of the
+    /// given prefixes (e.g. `["bench.shards.", "cluster.sched."]`).
+    pub fn with_prefixes(prefixes: &[&str]) -> Self {
+        CounterSampler {
+            prefixes: prefixes.iter().map(|p| p.to_string()).collect(),
+            ..CounterSampler::default()
+        }
+    }
+
+    fn tracked(&self, name: &str) -> bool {
+        self.prefixes.is_empty() || self.prefixes.iter().any(|p| name.starts_with(p))
+    }
+
+    /// Records one cadence tick: every tracked counter/gauge whose value
+    /// changed since the previous tick becomes a sample at `at`.
+    pub fn sample(&mut self, at: SimTime, reg: &MetricsRegistry) {
+        for (name, v) in reg.counters() {
+            self.observe(at, name, v as f64);
+        }
+        for (name, v) in reg.gauges() {
+            self.observe(at, name, v);
+        }
+    }
+
+    fn observe(&mut self, at: SimTime, name: &str, value: f64) {
+        if !self.tracked(name) {
+            return;
+        }
+        if self.last.get(name) == Some(&value) {
+            return;
+        }
+        self.last.insert(name.to_string(), value);
+        self.samples.push(CounterSample {
+            at,
+            track: name.to_string(),
+            value,
+        });
+    }
+
+    /// The recorded samples, in recording order (time-ascending).
+    pub fn samples(&self) -> &[CounterSample] {
+        &self.samples
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Exports a trace stream *plus* counter tracks as one Chrome trace-event
+/// JSON document: the span/instant stream of
+/// [`chrome_trace_json`](crate::simtrace::chrome_trace_json), followed by
+/// `"ph":"C"` counter events under the dedicated [`COUNTER_PID`] process.
+/// Fully deterministic — byte-identical for identical inputs.
+pub fn chrome_trace_with_counters(events: &[TraceEvent], samples: &[CounterSample]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.begin_arr_field("traceEvents");
+    write_chrome_events(&mut w, events);
+    if !samples.is_empty() {
+        w.begin_obj();
+        w.field_str("ph", "M");
+        w.field_u64("pid", COUNTER_PID);
+        w.field_str("name", "process_name");
+        w.begin_obj_field("args");
+        w.field_str("name", "metrics");
+        w.end_obj();
+        w.end_obj();
+    }
+    for s in samples {
+        w.begin_obj();
+        w.field_str("ph", "C");
+        w.field_str("name", &s.track);
+        w.field_u64("pid", COUNTER_PID);
+        w.field_f64("ts", ts_us(s.at));
+        w.begin_obj_field("args");
+        w.field_f64("value", s.value);
+        w.end_obj();
+        w.end_obj();
+    }
+    w.end_arr();
+    w.field_str("displayTimeUnit", "ns");
+    w.end_obj();
+    w.finish()
+}
+
+/// Convenience: samples a registry-exporting closure once and returns the
+/// delta-only samples against `sampler`'s state. (Most callers use
+/// [`CounterSampler::sample`] directly; this exists for one-shot exports.)
+pub fn sample_once(
+    sampler: &mut CounterSampler,
+    at: SimTime,
+    export: impl FnOnce(&mut MetricsRegistry),
+) {
+    let mut reg = MetricsRegistry::new();
+    export(&mut reg);
+    sampler.sample(at, &reg);
+}
+
+/// Aggregates one histogram per op over an arbitrary projection of the
+/// breakdown — the building block behind scenario-level summaries that
+/// need a distribution of a *derived* per-op quantity (e.g. "time before
+/// the first WAIT release").
+pub fn per_op_histogram(
+    events: &[TraceEvent],
+    mut f: impl FnMut(&crate::simtrace::OpBreakdown) -> Option<SimDuration>,
+) -> Histogram {
+    let mut h = Histogram::new();
+    for (op, evs) in events_by_op(events) {
+        if let Some(win) = issue_ack_window(&evs) {
+            if let Some(bd) = breakdown_from_sorted(op, win, 0) {
+                if let Some(d) = f(&bd) {
+                    h.record(d);
+                }
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simtrace::TraceKind;
+
+    fn ev(ns: u64, node: u32, op: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ns),
+            node,
+            op,
+            kind,
+        }
+    }
+
+    /// Two ops with identical shapes and one op with an extra DMA stage.
+    fn stream() -> Vec<TraceEvent> {
+        let mut evs = Vec::new();
+        for (base, op) in [(0u64, 1u64), (1000, 2)] {
+            evs.push(ev(base, 0, op, TraceKind::OpIssue));
+            evs.push(ev(base + 100, 0, op, TraceKind::MetaSend { replica: 0 }));
+            evs.push(ev(base + 300, 1, op, TraceKind::WaitRelease { qp: 0 }));
+            evs.push(ev(base + 600, 0, op, TraceKind::OpAck));
+        }
+        evs.push(ev(2000, 0, 3, TraceKind::OpIssue));
+        evs.push(ev(2100, 0, 3, TraceKind::MetaSend { replica: 0 }));
+        evs.push(ev(2200, 1, 3, TraceKind::Dma { bytes: 64 }));
+        evs.push(ev(2300, 1, 3, TraceKind::WaitRelease { qp: 0 }));
+        evs.push(ev(2800, 0, 3, TraceKind::OpAck));
+        evs
+    }
+
+    #[test]
+    fn attribution_tiles_aggregate_latency_exactly() {
+        let att = StageAttribution::from_events(&stream());
+        assert_eq!(att.ops, 3);
+        assert_eq!(att.truncated, 0);
+        // e2e: 600 + 600 + 800
+        assert_eq!(att.e2e_total_ns, 2000);
+        // Stage totals tile the e2e total exactly.
+        let stage_total: u64 = att.stages.values().map(|a| a.total_ns).sum();
+        assert_eq!(stage_total, att.e2e_total_ns);
+        // And the mean identity holds to the ns.
+        assert!((att.stage_mean_sum_ns() - att.mean_e2e_ns()).abs() <= 1.0);
+        // The odd op's extra stage is weighted by its true share.
+        assert_eq!(att.stages["dma"].count, 1);
+        assert_eq!(att.stages["meta_send"].count, 3);
+    }
+
+    #[test]
+    fn dominant_path_is_the_common_signature() {
+        let att = StageAttribution::from_events(&stream());
+        let (sig, share) = att.dominant_path().expect("paths recorded");
+        assert_eq!(sig, "meta_send;wait_release;op_ack");
+        assert!((share - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(att.paths.len(), 2);
+    }
+
+    #[test]
+    fn truncated_ops_are_excluded_not_mis_tiled() {
+        // Op 9 never captured its issue: it must be counted out, leaving
+        // the tiling invariant intact.
+        let mut evs = stream();
+        evs.push(ev(5000, 1, 9, TraceKind::Dma { bytes: 8 }));
+        evs.push(ev(5100, 0, 9, TraceKind::OpAck));
+        // Op 11 issued but never acked (in flight at capture end).
+        evs.push(ev(6000, 0, 11, TraceKind::OpIssue));
+        evs.push(ev(6100, 1, 11, TraceKind::Dma { bytes: 8 }));
+        let att = StageAttribution::from_events(&evs);
+        assert_eq!(att.ops, 3);
+        assert_eq!(att.truncated, 2);
+        let stage_total: u64 = att.stages.values().map(|a| a.total_ns).sum();
+        assert_eq!(stage_total, att.e2e_total_ns);
+    }
+
+    #[test]
+    fn pre_issue_prepost_events_are_trimmed_not_mistaken_for_truncation() {
+        // HyperLoop preposts RECV WQEs carrying a *future* generation, so
+        // an op's stream can open with a descriptor fetch long before its
+        // issue. The fold must anchor at OpIssue, not at the prepost.
+        let mut evs = vec![
+            ev(10, 1, 5, TraceKind::WqeFetch { qp: 3, opcode: 0 }),
+            ev(20, 2, 5, TraceKind::WqeFetch { qp: 3, opcode: 0 }),
+        ];
+        evs.push(ev(1000, 0, 5, TraceKind::OpIssue));
+        evs.push(ev(1100, 0, 5, TraceKind::MetaSend { replica: 0 }));
+        evs.push(ev(1300, 1, 5, TraceKind::WaitRelease { qp: 0 }));
+        evs.push(ev(1600, 0, 5, TraceKind::OpAck));
+        let att = StageAttribution::from_events(&evs);
+        assert_eq!(att.ops, 1);
+        assert_eq!(att.truncated, 0);
+        // e2e measures issue→ack, not prepost→ack.
+        assert_eq!(att.e2e_total_ns, 600);
+        assert!(!att.stages.contains_key("wqe_fetch"));
+        let (sig, _) = att.dominant_path().expect("path recorded");
+        assert_eq!(sig, "meta_send;wait_release;op_ack");
+    }
+
+    #[test]
+    fn attribution_json_is_deterministic_and_complete() {
+        let att = StageAttribution::from_events(&stream());
+        let a = att.to_json();
+        let b = StageAttribution::from_events(&stream()).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"ops\":3"));
+        assert!(a.contains("\"stages\":{"));
+        assert!(a.contains("\"dominant_path\":{"));
+        assert!(a.contains("\"signature\":\"meta_send;wait_release;op_ack\""));
+    }
+
+    #[test]
+    fn folded_stacks_are_sorted_and_deterministic() {
+        let evs = stream();
+        let a = folded_stacks(&evs, "unit");
+        assert_eq!(a, folded_stacks(&evs, "unit"));
+        let lines: Vec<&str> = a.lines().collect();
+        assert!(!lines.is_empty());
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "collapsed stacks must be sorted");
+        // meta_send on node 0: 100ns × 3 ops.
+        assert!(a.contains("unit;node0;meta_send 300\n"), "got:\n{a}");
+    }
+
+    #[test]
+    fn sampler_records_only_changes() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("x.acked", 1);
+        reg.set_gauge("x.pen", 0.0);
+        let mut s = CounterSampler::new();
+        s.sample(SimTime::from_nanos(10), &reg);
+        assert_eq!(s.len(), 2);
+        // Nothing changed: no new samples.
+        s.sample(SimTime::from_nanos(20), &reg);
+        assert_eq!(s.len(), 2);
+        reg.counter_set("x.acked", 5);
+        s.sample(SimTime::from_nanos(30), &reg);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.samples()[2].track, "x.acked");
+        assert_eq!(s.samples()[2].value, 5.0);
+    }
+
+    #[test]
+    fn sampler_prefix_filter_applies() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("keep.a", 1);
+        reg.counter_set("drop.b", 2);
+        let mut s = CounterSampler::with_prefixes(&["keep."]);
+        s.sample(SimTime::ZERO, &reg);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.samples()[0].track, "keep.a");
+    }
+
+    #[test]
+    fn counter_trace_is_valid_and_deterministic() {
+        let evs = stream();
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("bench.acked", 2);
+        let mut s = CounterSampler::new();
+        s.sample(SimTime::from_nanos(500), &reg);
+        reg.counter_set("bench.acked", 3);
+        s.sample(SimTime::from_nanos(1500), &reg);
+
+        let a = chrome_trace_with_counters(&evs, s.samples());
+        let b = chrome_trace_with_counters(&evs, s.samples());
+        assert_eq!(a, b);
+        assert!(a.contains("\"ph\":\"C\""));
+        assert!(a.contains("\"name\":\"metrics\""));
+        assert!(a.contains("\"name\":\"bench.acked\""));
+        // Without samples the output degrades to the plain span stream.
+        let plain = chrome_trace_with_counters(&evs, &[]);
+        assert_eq!(plain, crate::simtrace::chrome_trace_json(&evs));
+    }
+
+    #[test]
+    fn per_op_histogram_projects_breakdowns() {
+        let h = per_op_histogram(&stream(), |bd| Some(bd.total()));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), SimDuration::from_nanos(800));
+    }
+}

@@ -261,20 +261,71 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// Bounded ring of trace events. Oldest events are dropped (and counted)
-/// once capacity is reached.
+/// Bounded ring of trace events with whole-span eviction.
+///
+/// When the ring is full, the op owning the *oldest* buffered event is
+/// evicted in its entirety (every buffered event of that op, plus any late
+/// stragglers it emits afterwards). Surviving ops therefore always keep
+/// their complete span — head included — so per-op breakdowns over an
+/// overflowed ring never mis-tile: an op is either whole or gone.
+/// Unattributable [`NO_OP`] events are evicted singly, oldest first.
 #[derive(Debug)]
 struct TraceBuffer {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    dropped_ops: u64,
+    evicted: BTreeSet<u64>,
 }
 
 impl TraceBuffer {
     fn push(&mut self, ev: TraceEvent) {
-        if self.buf.len() == self.capacity {
-            self.buf.pop_front();
+        // Late events of an already-evicted op would resurrect a headless
+        // partial span: discard them outright.
+        if ev.op != NO_OP && self.evicted.contains(&ev.op) {
             self.dropped += 1;
+            return;
+        }
+        if self.buf.len() >= self.capacity {
+            // Evict in bulk: mark oldest events until at least a quarter of
+            // the ring is reclaimable, then remove every event of the marked
+            // ops in ONE retain pass. One O(n) sweep buys capacity/4 pushes,
+            // so eviction stays amortized O(1) even when a throughput run
+            // saturates the ring continuously.
+            let to_mark = self.capacity / 4 + 1;
+            let mut victims: BTreeSet<u64> = BTreeSet::new();
+            let mut noop_prefix = 0usize;
+            for (marked, e) in self.buf.iter().enumerate() {
+                if marked >= to_mark {
+                    break;
+                }
+                if e.op == NO_OP {
+                    noop_prefix += 1;
+                } else {
+                    victims.insert(e.op);
+                }
+            }
+            let before = self.buf.len();
+            let mut noop_left = noop_prefix;
+            self.buf.retain(|e| {
+                if e.op == NO_OP {
+                    if noop_left > 0 {
+                        noop_left -= 1;
+                        return false;
+                    }
+                    true
+                } else {
+                    !victims.contains(&e.op)
+                }
+            });
+            self.dropped += (before - self.buf.len()) as u64;
+            self.dropped_ops += victims.len() as u64;
+            self.evicted.extend(victims.iter().copied());
+            if ev.op != NO_OP && victims.contains(&ev.op) {
+                // The incoming event belongs to an op just evicted.
+                self.dropped += 1;
+                return;
+            }
         }
         self.buf.push_back(ev);
     }
@@ -318,6 +369,8 @@ impl Tracer {
                 buf: VecDeque::with_capacity(capacity.min(4096)),
                 capacity,
                 dropped: 0,
+                dropped_ops: 0,
+                evicted: BTreeSet::new(),
             }))),
         }
     }
@@ -348,6 +401,13 @@ impl Tracer {
         self.inner.as_ref().map_or(0, |i| i.borrow().dropped)
     }
 
+    /// How many operations had their whole span evicted by ring overflow.
+    /// Ops still buffered are complete: the overflow policy evicts whole
+    /// spans, never a span's head alone.
+    pub fn dropped_ops(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().dropped_ops)
+    }
+
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
         self.inner.as_ref().map_or(0, |i| i.borrow().buf.len())
@@ -358,18 +418,23 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// Discards all buffered events and resets the drop counter.
+    /// Discards all buffered events and resets the drop counters and the
+    /// evicted-op suppression set.
     pub fn clear(&self) {
         if let Some(inner) = &self.inner {
             let mut b = inner.borrow_mut();
             b.buf.clear();
             b.dropped = 0;
+            b.dropped_ops = 0;
+            b.evicted.clear();
         }
     }
 
     /// Overflow-aware [`op_breakdown_with_drops`] over this tracer's
-    /// buffered events: an op whose head events were evicted by the
-    /// drop-oldest ring comes back marked [`OpBreakdown::truncated`].
+    /// buffered events. Under the whole-span eviction policy an op is
+    /// either completely buffered or completely evicted, so the result is
+    /// never [`OpBreakdown::truncated`]; the flag remains for streams
+    /// captured from other sources.
     pub fn op_breakdown(&self, op: u64) -> Option<OpBreakdown> {
         op_breakdown_with_drops(&self.events(), op, self.dropped())
     }
@@ -413,8 +478,9 @@ pub struct OpBreakdown {
     pub end: SimTime,
     /// The stages, in time order.
     pub stages: Vec<Stage>,
-    /// The ring's drop-oldest overflow discarded this op's head events:
-    /// the breakdown is a partial tail, not the full op.
+    /// Overflow discarded this op's head events: the breakdown is a
+    /// partial tail, not the full op. A [`Tracer`]'s whole-span eviction
+    /// never produces this; it guards streams from other sources.
     pub truncated: bool,
 }
 
@@ -465,7 +531,7 @@ impl SpanNode {
     }
 }
 
-fn events_for(events: &[TraceEvent], op: u64) -> Vec<TraceEvent> {
+pub(crate) fn events_for(events: &[TraceEvent], op: u64) -> Vec<TraceEvent> {
     let mut evs: Vec<TraceEvent> = events.iter().filter(|e| e.op == op).copied().collect();
     // Emission order is not time order: a send emits its future delivery
     // event immediately. Stable-sort so ties keep emission order.
@@ -502,16 +568,27 @@ pub fn op_breakdown(events: &[TraceEvent], op: u64) -> Option<OpBreakdown> {
 /// [`op_breakdown`], overflow-aware: `dropped` is the tracer ring's
 /// [`Tracer::dropped`] count for the stream `events` was captured from.
 ///
-/// If the ring overflowed (`dropped > 0`) and the op's earliest surviving
-/// event is not its `op_issue`, the drop-oldest eviction discarded the op's
-/// head: the result is marked [`OpBreakdown::truncated`] and covers only
-/// the surviving tail of the op.
+/// If the stream overflowed (`dropped > 0`) and the op's earliest surviving
+/// event is not its `op_issue`, the op's head was discarded: the result is
+/// marked [`OpBreakdown::truncated`] and covers only the surviving tail.
+/// A [`Tracer`]'s whole-span eviction keeps surviving ops complete, so
+/// streams captured from a tracer never trip this.
 pub fn op_breakdown_with_drops(
     events: &[TraceEvent],
     op: u64,
     dropped: u64,
 ) -> Option<OpBreakdown> {
-    let evs = events_for(events, op);
+    breakdown_from_sorted(op, &events_for(events, op), dropped)
+}
+
+/// [`op_breakdown_with_drops`] over one op's already-gathered, time-sorted
+/// events — the shared core, so bulk folds (simprof) can group a stream
+/// once instead of re-scanning it per op.
+pub(crate) fn breakdown_from_sorted(
+    op: u64,
+    evs: &[TraceEvent],
+    dropped: u64,
+) -> Option<OpBreakdown> {
     if evs.len() < 2 {
         return None;
     }
@@ -570,7 +647,7 @@ pub fn span_tree(events: &[TraceEvent], op: u64) -> Option<SpanNode> {
     })
 }
 
-fn ts_us(t: SimTime) -> f64 {
+pub(crate) fn ts_us(t: SimTime) -> f64 {
     t.as_nanos() as f64 / 1e3
 }
 
@@ -580,11 +657,24 @@ fn ts_us(t: SimTime) -> f64 {
 /// op), raw events become `"i"` instants with their payload in `args`.
 /// Iteration order is fully deterministic, so same-seed runs produce
 /// byte-identical output.
+///
+/// To interleave registry-sampled counter tracks with the span stream, use
+/// [`crate::simprof::chrome_trace_with_counters`].
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
     w.begin_arr_field("traceEvents");
+    write_chrome_events(&mut w, events);
+    w.end_arr();
+    w.field_str("displayTimeUnit", "ns");
+    w.end_obj();
+    w.finish()
+}
 
+/// Writes the span/instant event stream into an already-open
+/// `traceEvents` array (shared by [`chrome_trace_json`] and the
+/// counter-track export in [`crate::simprof`]).
+pub(crate) fn write_chrome_events(w: &mut JsonWriter, events: &[TraceEvent]) {
     let nodes: BTreeSet<u32> = events
         .iter()
         .map(|e| e.node)
@@ -614,7 +704,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 w.field_f64("dur", ts_us(stage.end) - ts_us(stage.start));
                 w.begin_obj_field("args");
                 w.field_u64("op", op);
-                ev.kind.write_args(&mut w);
+                ev.kind.write_args(w);
                 w.end_obj();
                 w.end_obj();
             }
@@ -633,15 +723,10 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         if ev.op != NO_OP {
             w.field_u64("op", ev.op);
         }
-        ev.kind.write_args(&mut w);
+        ev.kind.write_args(w);
         w.end_obj();
         w.end_obj();
     }
-
-    w.end_arr();
-    w.field_str("displayTimeUnit", "ns");
-    w.end_obj();
-    w.finish()
 }
 
 /// A unified, named metrics store: counters, gauges and latency histograms.
@@ -842,9 +927,10 @@ mod tests {
     }
 
     #[test]
-    fn overflowed_ring_flags_decapitated_op_instead_of_mis_summing() {
-        // A 4-slot ring sees two ops; op 1's head (its op_issue and
-        // meta_send) is evicted by op 2's traffic.
+    fn overflowed_ring_evicts_whole_spans_never_heads() {
+        // A 4-slot ring sees two ops; op 2's traffic overflows the ring
+        // while op 1's four events fill it. Whole-span eviction removes op
+        // 1 entirely instead of decapitating it.
         let t = Tracer::enabled(4);
         t.emit(SimTime::from_nanos(0), 0, 1, TraceKind::OpIssue);
         t.emit(
@@ -857,22 +943,28 @@ mod tests {
         t.emit(SimTime::from_nanos(90), 0, 1, TraceKind::OpAck);
         t.emit(SimTime::from_nanos(100), 0, 2, TraceKind::OpIssue);
         t.emit(SimTime::from_nanos(190), 0, 2, TraceKind::OpAck);
-        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.dropped(), 4, "all four op-1 events were evicted");
+        assert_eq!(t.dropped_ops(), 1);
 
-        // Op 1 survives only from the DMA onward: flagged, and the partial
-        // span is the surviving tail (50ns), not mis-reported as complete.
-        let bd1 = t.op_breakdown(1).unwrap();
-        assert!(bd1.truncated, "decapitated op must be flagged");
-        assert_eq!(bd1.total(), SimDuration::from_nanos(50));
-        assert_eq!(bd1.stages.len(), 1);
+        // Op 1 is gone entirely: no headless partial span to mis-sum.
+        assert!(t.op_breakdown(1).is_none(), "evicted op must not resurface");
 
-        // Op 2 kept its op_issue: not flagged even though the ring dropped.
+        // Op 2 survives whole, with its op_issue head.
         let bd2 = t.op_breakdown(2).unwrap();
         assert!(!bd2.truncated);
         assert_eq!(bd2.total(), SimDuration::from_nanos(90));
+        assert!(matches!(t.events()[0].kind, TraceKind::OpIssue));
 
-        // The slice-only entry point still treats the stream as complete.
-        assert!(!op_breakdown(&t.events(), 1).unwrap().truncated);
+        // A late straggler from the evicted op stays suppressed.
+        t.emit(SimTime::from_nanos(200), 1, 1, TraceKind::Dma { bytes: 8 });
+        assert!(t.op_breakdown(1).is_none());
+        assert_eq!(t.dropped(), 5);
+        assert_eq!(t.len(), 2);
+
+        // Every surviving op starts at its op_issue: nothing is truncated.
+        for op in ops(&t.events()) {
+            assert!(!t.op_breakdown(op).unwrap().truncated);
+        }
     }
 
     #[test]

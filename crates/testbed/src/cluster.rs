@@ -118,6 +118,11 @@ impl Cluster {
             sched
                 .stats()
                 .export_into(reg, &format!("{prefix}.sched.node{i}"));
+            // Point-in-time runqueue depth, for counter-track sampling.
+            reg.set_gauge(
+                &format!("{prefix}.sched.node{i}.runqueue"),
+                sched.runqueue_len() as f64,
+            );
         }
     }
 
