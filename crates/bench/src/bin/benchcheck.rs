@@ -12,7 +12,10 @@
 //! double-counted (the failure mode the `export_into` snapshot fix
 //! guards). This checker walks every scenario with
 //! [`simcore::jsonw::parse`] and fails loudly on any of those, so CI can
-//! gate on the reports the figures binary writes.
+//! gate on the reports the figures binary writes. Scenarios carrying a
+//! `health` block (the simaudit summary) must also pass the audit gate:
+//! states drawn from the closed `healthy`/`degraded`/`stalled` enum,
+//! every number finite, and an invariant-violation count of exactly zero.
 //!
 //! With `--baseline`, every checked scenario that shares a name with a
 //! baseline scenario must keep its `ops_per_sec` gauge within 25% of the
@@ -80,6 +83,51 @@ fn check_shard_monotonicity(counters: &JsonValue) -> Result<(), String> {
         if acked > issued {
             return Err(format!("{k}={acked} exceeds {issued_key}={issued}"));
         }
+    }
+    Ok(())
+}
+
+/// A `health` block must be well-formed — violation/breach totals as
+/// non-negative integers, per-shard states drawn from the closed enum,
+/// finite latency numbers — and must report zero invariant violations: a
+/// violation means an auditor watched the run break one of the paper's
+/// guarantees, and that fails the gate outright.
+fn check_health(h: &JsonValue) -> Result<(), String> {
+    let violations = h
+        .get("violations")
+        .and_then(|v| v.as_u64())
+        .ok_or("health.violations is not a non-negative integer")?;
+    h.get("breaches")
+        .and_then(|v| v.as_u64())
+        .ok_or("health.breaches is not a non-negative integer")?;
+    let shards = h
+        .get("shards")
+        .and_then(|v| v.as_arr())
+        .ok_or("health.shards is not an array")?;
+    for s in shards {
+        let shard = s
+            .get("shard")
+            .and_then(|v| v.as_u64())
+            .ok_or("health.shards[].shard is not a non-negative integer")?;
+        let state = s
+            .get("state")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("health shard {shard} has no state string"))?;
+        if !matches!(state, "healthy" | "degraded" | "stalled") {
+            return Err(format!(
+                "health shard {shard} state {state:?} is outside the closed enum"
+            ));
+        }
+        for key in ["acks", "p50_ns", "p99_ns", "breaches"] {
+            s.get(key).and_then(|v| v.as_u64()).ok_or_else(|| {
+                format!("health shard {shard} field {key} is not a non-negative integer")
+            })?;
+        }
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} invariant violation(s) — an auditor caught the run misbehaving"
+        ));
     }
     Ok(())
 }
@@ -161,10 +209,24 @@ fn check_file(path: &str, baseline: Option<&BTreeMap<String, f64>>) -> Result<us
         if let Some(g) = s.get("gauges") {
             check_numbers(g, "gauges", false).map_err(|m| fail(path, name, &m))?;
         }
+        if let Some(h) = s.get("health") {
+            check_health(h).map_err(|m| fail(path, name, &m))?;
+        }
         if let Some(metrics) = s.get("metrics") {
             if let Some(c) = metrics.get("counters") {
                 check_numbers(c, "metrics.counters", true).map_err(|m| fail(path, name, &m))?;
                 check_shard_monotonicity(c).map_err(|m| fail(path, name, &m))?;
+                // The audit total rides in the registry snapshot too — a
+                // report without a health block still cannot hide one.
+                if let Some(v) = c.get("audit.violations").and_then(|v| v.as_u64()) {
+                    if v > 0 {
+                        return Err(fail(
+                            path,
+                            name,
+                            &format!("audit.violations counter is {v}, expected 0"),
+                        ));
+                    }
+                }
             }
             if let Some(g) = metrics.get("gauges") {
                 check_numbers(g, "metrics.gauges", false).map_err(|m| fail(path, name, &m))?;

@@ -10,6 +10,10 @@
 //!   generation marker, a regenerated section heading absent from the
 //!   committed doc, or a non-finite table cell on either side.
 //! * With neither, prints the document to stdout.
+//!
+//! Any `TRACE_<fig>_<arm>.json` Chrome traces in the same directory are
+//! folded in too: their counter tracks (pen depth, window occupancy)
+//! become sparkline rows in the matching `<fig>/<arm>` scenario's table.
 
 use hyperloop_bench::exp;
 use std::path::PathBuf;
@@ -73,6 +77,55 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("expgen: {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Fold counter tracks out of any TRACE_*.json sitting next to the
+    // reports: `TRACE_<fig>_<arm>.json` attaches to scenario `<fig>/<arm>`
+    // (the inverse of the `/` → `_` flattening the trace sink applies).
+    let mut traces: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("TRACE_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    traces.sort();
+    for t in &traces {
+        let stem = t.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let Some(name) = stem
+            .strip_prefix("TRACE_")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Some((fig, arm)) = name.rsplit_once('_') else {
+            continue;
+        };
+        let scn_name = format!("{fig}/{arm}");
+        let Some(scn) = scns.iter_mut().find(|s| s.name == scn_name) else {
+            continue;
+        };
+        let tracks = std::fs::read_to_string(t)
+            .map_err(|e| e.to_string())
+            .and_then(|text| exp::parse_counter_tracks(&text));
+        match tracks {
+            Ok(tracks) => {
+                eprintln!(
+                    "expgen: {} -> {} counter tracks for {scn_name}",
+                    t.display(),
+                    tracks.len()
+                );
+                scn.tracks = tracks;
+            }
+            Err(e) => {
+                eprintln!("expgen: {}: {e}", t.display());
                 return ExitCode::FAILURE;
             }
         }

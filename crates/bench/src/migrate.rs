@@ -17,8 +17,12 @@ use hyperloop::{
     plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
 };
 use netsim::NodeId;
+use simcore::simaudit::{op_id_base, HealthSummary, Probe};
 use simcore::simprof::{chrome_trace_with_counters, CounterSampler};
-use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime};
+use simcore::{
+    Audit, HealthMonitor, Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime,
+    SloConfig, Tracer,
+};
 use std::collections::{HashMap, VecDeque};
 use testbed::cluster::drive;
 use testbed::{Cluster, ClusterConfig, ShardPlacement};
@@ -83,10 +87,16 @@ pub struct MigrateResult {
     pub epoch: u64,
     /// Cluster + shard-set metrics snapshot (post-migration chains).
     pub registry: MetricsRegistry,
-    /// Chrome trace JSON of the sampled counter tracks
-    /// ([`MigrateOpts::trace`] arms only). Generations restart at the
-    /// cutover, so this arm exports counter tracks rather than op spans.
-    pub counter_trace: Option<String>,
+    /// Audit/health summary: invariant violations (expected zero) plus
+    /// per-shard SLO states and breach counts.
+    pub health: HealthSummary,
+    /// The audit's structured violation report (deterministic JSON).
+    pub audit_json: String,
+    /// Chrome trace JSON with op spans *and* the sampled counter tracks
+    /// ([`MigrateOpts::trace`] arms only). Op ids are epoch-qualified, so
+    /// spans survive the cutover instead of colliding with the retired
+    /// chain's generations.
+    pub chrome_trace: Option<String>,
 }
 
 impl MigrateResult {
@@ -131,18 +141,54 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
         first_gen: 0,
     };
     let mut cluster = cluster;
+    // Auditing is always on: the invariant checkers (including migration
+    // safety across the cutover) tap the trace stream whether or not a
+    // trace buffer is kept.
+    let audit = Audit::standard();
+    let tracer = if opts.trace {
+        let cap = (opts.ops.saturating_mul(96)).clamp(1 << 16, 1 << 21) as usize;
+        Tracer::enabled(cap).with_audit(audit.clone())
+    } else {
+        Tracer::disabled().with_audit(audit.clone())
+    };
+    cluster.set_tracer(tracer.clone());
+    let mut health = HealthMonitor::new(SloConfig::default());
+    health.set_tracer(tracer.clone());
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
             .iter()
-            .map(|chain| HyperLoopGroup::setup(ctx, client, chain, cfg))
+            .enumerate()
+            .map(|(s, chain)| {
+                // Epoch-qualified, per-shard op-id bases: generations stay
+                // globally unique across shards and across the cutover.
+                let cfg = GroupConfig {
+                    first_gen: op_id_base(s as u32, 0),
+                    ..cfg
+                };
+                HyperLoopGroup::setup(ctx, client, chain, cfg)
+            })
             .collect()
     });
-    let (clients, mut replicas): (Vec<_>, Vec<_>) =
+    let (mut clients, mut replicas): (Vec<_>, Vec<_>) =
         groups.into_iter().map(|g| (g.client, g.replicas)).unzip();
+    for c in clients.iter_mut() {
+        c.set_tracer(tracer.clone());
+    }
     let mut set = ShardSet::with_hash_router(clients);
 
     let mut sim = cluster.into_sim();
     sim.run(); // drain group wiring
+
+    // Teach the flow-control auditor each shard's window before traffic.
+    for s in 0..n_shards {
+        audit.probe(
+            sim.now(),
+            Probe::Window {
+                shard: s,
+                window: opts.window as u64,
+            },
+        );
+    }
 
     // Same offered load and routing discipline as the shard-scaling bench,
     // so the two figures are directly comparable per arm.
@@ -182,6 +228,7 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
                         .issue_on(ctx, sid, op_for(key, opts.payload))
                         .expect("window checked");
                     sent.insert((s, gen), ctx.now);
+                    health.record_issue(ctx.now, s);
                 }
             }
         });
@@ -209,7 +256,18 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
                     break;
                 };
                 match set.defer_on(mig_shard, op_for(key, opts.payload)) {
-                    Ok(()) => penned.push((key, sim.now())),
+                    Ok(()) => {
+                        penned.push((key, sim.now()));
+                        health.record_issue(sim.now(), mig_shard.0);
+                        audit.probe(
+                            sim.now(),
+                            Probe::PenDepth {
+                                shard: mig_shard.0,
+                                depth: set.pen_len(mig_shard) as u64,
+                                capacity: set.pen_capacity() as u64,
+                            },
+                        );
+                    }
                     Err(_) => {
                         queues[0].push_front(key); // pen full: back-pressure
                         break;
@@ -230,12 +288,14 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
                 let t0 = sent
                     .remove(&(a.shard.0, a.ack.gen))
                     .expect("drained ack for an op we issued");
-                hist.record(sim.now().since(t0));
+                let lat = sim.now().since(t0);
+                hist.record(lat);
+                health.record_ack(sim.now(), a.shard.0, lat);
                 done += 1;
             }
-            // Penned ops re-issued on the new epoch, in pen order. Mapped
-            // only after the old-epoch acks above are consumed, so a
-            // restarted generation number can never collide in `sent`.
+            // Penned ops re-issued on the new epoch, in pen order. The new
+            // chain's generations are epoch-qualified, so they can never
+            // collide with old-epoch keys still outstanding in `sent`.
             assert_eq!(outcome.resumed.len(), penned.len(), "pen drain lost ops");
             for (gen, (_key, t0)) in outcome.resumed.iter().zip(&penned) {
                 sent.insert((mig_shard.0, *gen), *t0);
@@ -266,10 +326,13 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
             let t0 = sent
                 .remove(&(a.shard.0, a.ack.gen))
                 .expect("ack for an op we issued");
-            hist.record(sim.now().since(t0));
+            let lat = sim.now().since(t0);
+            hist.record(lat);
+            health.record_ack(sim.now(), a.shard.0, lat);
             drained[a.shard.0 as usize] += 1;
             done += 1;
         }
+        health.tick(sim.now());
         drive(&mut sim, |ctx| {
             for (shard, &n) in drained.iter().enumerate() {
                 if n > 0 {
@@ -294,6 +357,10 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
     set.export_into(&mut registry, "bench.shards");
     registry.merge_histogram("bench.op_latency", &hist);
     registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
+    audit.export_into(&mut registry, "audit");
+    health.export_into(&mut registry, "health");
+    let mut health_summary = health.summary();
+    health_summary.violations = audit.violation_count();
 
     MigrateResult {
         shards: n_shards,
@@ -307,7 +374,9 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
         dip: window_tput / steady_tput.max(1e-12),
         epoch,
         registry,
-        counter_trace: sampler.map(|s| chrome_trace_with_counters(&[], s.samples())),
+        health: health_summary,
+        audit_json: audit.to_json(),
+        chrome_trace: sampler.map(|s| chrome_trace_with_counters(&tracer.events(), s.samples())),
     }
 }
 
@@ -335,8 +404,10 @@ pub fn migrate(rep: &mut Report, quick: bool) {
             r.replayed,
             us(r.latency.p99),
         ));
-        if let Some(trace) = &r.counter_trace {
+        if let Some(trace) = &r.chrome_trace {
             rep.write_trace(&format!("TRACE_migrate_{n}.json"), trace)
+                .expect("trace sink writable");
+            rep.write_trace(&format!("AUDIT_migrate_{n}.json"), &r.audit_json)
                 .expect("trace sink writable");
         }
         rep.scenario(
@@ -362,6 +433,7 @@ pub fn migrate(rep: &mut Report, quick: bool) {
                 .gauge("migration.pause_ns", r.pause.as_nanos() as f64)
                 .gauge("migration.copy_bytes", r.copy_bytes as f64)
                 .gauge("migration.replayed", r.replayed as f64)
+                .health(r.health.clone())
                 .metrics(r.registry.clone()),
         );
     }
@@ -380,6 +452,11 @@ mod tests {
         let r = run_migrate(4, opts);
         assert_eq!(r.ops, 512);
         assert_eq!(r.epoch, 1, "one cutover, one epoch bump");
+        assert_eq!(
+            r.health.violations, 0,
+            "auditors flagged a clean migration:\n{}",
+            r.audit_json
+        );
         assert!(r.pause > SimDuration::ZERO, "pause window has length");
         assert!(r.penned > 0, "some ops rode out the window in the pen");
         assert!(r.copy_bytes >= 4 << 20, "the shard image moved");
@@ -414,5 +491,9 @@ mod tests {
         assert_eq!(a.replayed, b.replayed);
         assert_eq!(a.copy_bytes, b.copy_bytes);
         assert_eq!(a.latency.p99, b.latency.p99);
+        // Same seed → byte-identical audit and health output.
+        assert_eq!(a.audit_json, b.audit_json);
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.health.to_json(), b.health.to_json());
     }
 }

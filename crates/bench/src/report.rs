@@ -9,6 +9,7 @@
 //! serializes all scenarios with [`simcore::jsonw::JsonWriter`].
 
 use simcore::jsonw::JsonWriter;
+use simcore::simaudit::HealthSummary;
 use simcore::simprof::StageAttribution;
 use simcore::{LatencySummary, MetricsRegistry, SimDuration};
 use std::path::{Path, PathBuf};
@@ -72,6 +73,7 @@ pub struct Scenario {
     config: Vec<(String, String)>,
     latency: Option<LatencySummary>,
     gauges: Vec<(String, f64)>,
+    health: Option<HealthSummary>,
     metrics: Option<MetricsRegistry>,
     attribution: Option<StageAttribution>,
 }
@@ -112,6 +114,14 @@ impl Scenario {
     /// Adds one derived measurement (throughput, CPU fraction, ...).
     pub fn gauge(mut self, key: &str, v: f64) -> Self {
         self.gauges.push((key.to_string(), v));
+        self
+    }
+
+    /// Attaches the run's audit/health summary (violation total, SLO
+    /// breach count, per-shard states). Serialized as a `health` block in
+    /// the scenario JSON.
+    pub fn health(mut self, h: HealthSummary) -> Self {
+        self.health = Some(h);
         self
     }
 
@@ -274,6 +284,11 @@ impl Report {
                 w.field_f64(k, *v);
             }
             w.end_obj();
+            if let Some(h) = &s.health {
+                w.begin_obj_field("health");
+                h.write_fields(&mut w);
+                w.end_obj();
+            }
             if let Some(reg) = &s.metrics {
                 w.begin_obj_field("metrics");
                 w.begin_obj_field("counters");
@@ -346,6 +361,18 @@ mod tests {
                 .config("payload_bytes", 1024u64)
                 .latency(&summary())
                 .gauge("ops_per_sec", 1000.0)
+                .health(HealthSummary {
+                    violations: 0,
+                    breaches: 1,
+                    shards: vec![simcore::simaudit::ShardHealth {
+                        shard: 0,
+                        state: simcore::HealthState::Degraded,
+                        acks: 2,
+                        p50: SimDuration::from_micros(5),
+                        p99: SimDuration::from_micros(7),
+                        breaches: 1,
+                    }],
+                })
                 .metrics(reg),
         );
         let json = rep.to_json();
@@ -360,6 +387,8 @@ mod tests {
         assert!(json.contains("\"mean_ns\":6000"));
         assert!(json.contains("\"ops_per_sec\":1000"));
         assert!(json.contains("\"fabric.wqes_executed\":3"));
+        assert!(json.contains("\"health\":{\"violations\":0,\"breaches\":1"));
+        assert!(json.contains("\"state\":\"degraded\""));
     }
 
     #[test]

@@ -17,17 +17,22 @@
 use crate::report::{us, Report, Scenario};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup, ShardId, ShardSet};
 use netsim::NodeId;
+use simcore::simaudit::{op_id_base, HealthSummary, Probe};
 use simcore::simprof::{folded_stacks, CounterSampler, StageAttribution};
-use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime, Tracer};
+use simcore::{
+    Audit, HealthMonitor, Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime,
+    SloConfig, Tracer,
+};
 use std::collections::{HashMap, VecDeque};
 use testbed::cluster::drive;
 use testbed::{Cluster, ClusterConfig, ShardPlacement};
 
-/// Per-shard op-id base: shard `i` issues generations starting at
-/// `i << SHARD_GEN_SHIFT`, so op ids stay globally unique across shards in
-/// one trace stream. A multiple of every `meta_slots` power of two, so the
-/// modular slot arithmetic is untouched.
-pub const SHARD_GEN_SHIFT: u32 = 40;
+/// Per-shard op-id base shift: shard `i` issues generations starting at
+/// [`op_id_base`]`(i, 0)`, so op ids stay globally unique across shards in
+/// one trace stream (re-exported from [`simcore::simaudit`], which owns
+/// the op-id layout). A multiple of every `meta_slots` power of two, so
+/// the modular slot arithmetic is untouched.
+pub use simcore::simaudit::SHARD_GEN_SHIFT;
 
 /// Shard-scaling benchmark parameters.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +90,11 @@ pub struct ShardScaleResult {
     pub per_shard_acked: Vec<u64>,
     /// Cluster + shard-set metrics snapshot.
     pub registry: MetricsRegistry,
+    /// Audit/health summary: invariant violations (expected zero) plus
+    /// per-shard SLO states and breach counts.
+    pub health: HealthSummary,
+    /// The audit's structured violation report (deterministic JSON).
+    pub audit_json: String,
     /// Trace-derived artifacts ([`ShardScaleOpts::trace`] arms only).
     pub trace: Option<ShardScaleTrace>,
 }
@@ -125,14 +135,19 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
     // op. The data path never waits on a replenish: the window is 16 and
     // the pre-posted runway is 128 generations.
     let mut cluster = cluster;
+    // Auditing is always on: the invariant checkers tap the trace stream
+    // even when no trace buffer is kept, so every arm of every sweep is a
+    // correctness experiment.
+    let audit = Audit::standard();
     let tracer = if opts.trace {
         let cap = (opts.ops.saturating_mul(96)).clamp(1 << 16, 1 << 21) as usize;
-        let t = Tracer::enabled(cap);
-        cluster.set_tracer(t.clone());
-        Some(t)
+        Tracer::enabled(cap).with_audit(audit.clone())
     } else {
-        None
+        Tracer::disabled().with_audit(audit.clone())
     };
+    cluster.set_tracer(tracer.clone());
+    let mut health = HealthMonitor::new(SloConfig::default());
+    health.set_tracer(tracer.clone());
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
             .iter()
@@ -145,7 +160,7 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
                     meta_slots: 64,
                     prepost_depth: 128,
                     window: opts.window,
-                    first_gen: (i as u64) << SHARD_GEN_SHIFT,
+                    first_gen: op_id_base(i as u32, 0),
                 };
                 HyperLoopGroup::setup(ctx, client, chain, cfg)
             })
@@ -153,15 +168,24 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
     });
     let (mut clients, mut replicas): (Vec<_>, Vec<_>) =
         groups.into_iter().map(|g| (g.client, g.replicas)).unzip();
-    if let Some(t) = &tracer {
-        for c in clients.iter_mut() {
-            c.set_tracer(t.clone());
-        }
+    for c in clients.iter_mut() {
+        c.set_tracer(tracer.clone());
     }
     let mut set = ShardSet::with_hash_router(clients);
 
     let mut sim = cluster.into_sim();
     sim.run(); // drain group wiring
+
+    // Teach the flow-control auditor each shard's window before traffic.
+    for s in 0..n_shards {
+        audit.probe(
+            sim.now(),
+            Probe::Window {
+                shard: s,
+                window: opts.window as u64,
+            },
+        );
+    }
 
     // The fixed offered load: `ops` uniform random keys, routed up front so
     // every arm sees the identical per-key shard assignment the router
@@ -201,9 +225,19 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
                         )
                         .expect("window checked");
                     sent.insert((s, gen), ctx.now);
+                    health.record_issue(ctx.now, s);
                 }
             }
         });
+        // Sample with the windows full (the post-poll sample below sees
+        // them drained): the in-flight track renders the issue/drain
+        // sawtooth instead of a flat zero line.
+        if let Some(s) = sampler.as_mut() {
+            let mut reg = MetricsRegistry::new();
+            sim.model.export_into(&mut reg, "cluster");
+            set.export_into(&mut reg, "bench.shards");
+            s.sample(sim.now(), &reg);
+        }
         // ...let the chains run dry, then collect.
         sim.run();
         let acks = drive(&mut sim, |ctx| set.poll(ctx));
@@ -219,10 +253,13 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
             let t0 = sent
                 .remove(&(a.shard.0, a.ack.gen))
                 .expect("ack for an op we issued");
-            hist.record(sim.now().since(t0));
+            let lat = sim.now().since(t0);
+            hist.record(lat);
+            health.record_ack(sim.now(), a.shard.0, lat);
             drained[a.shard.0 as usize] += 1;
             done += 1;
         }
+        health.tick(sim.now());
         // Re-post one descriptor chain per completed generation so the
         // pre-posted runway never shrinks (the replica maintenance loop in
         // miniature, driven deterministically from the bench loop).
@@ -250,8 +287,13 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
     set.export_into(&mut registry, "bench.shards");
     registry.merge_histogram("bench.op_latency", &hist);
     registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
+    audit.export_into(&mut registry, "audit");
+    health.export_into(&mut registry, "health");
+    let mut health_summary = health.summary();
+    health_summary.violations = audit.violation_count();
 
-    let trace = tracer.map(|t| {
+    let trace = opts.trace.then(|| {
+        let t = &tracer;
         let events = t.events();
         let attribution = StageAttribution::from_events(&events);
         let folded = folded_stacks(&events, &format!("shardscale/{n_shards}"));
@@ -273,6 +315,8 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
         ops: opts.ops,
         per_shard_acked,
         registry,
+        health: health_summary,
+        audit_json: audit.to_json(),
         trace,
     }
 }
@@ -317,6 +361,7 @@ pub fn shardscale(rep: &mut Report, quick: bool) {
             .latency(&r.latency)
             .gauge("ops_per_sec", tput)
             .gauge("speedup", tput / base_tput)
+            .health(r.health.clone())
             .metrics(r.registry.clone());
         for (s, &acked) in r.per_shard_acked.iter().enumerate() {
             sc = sc.config(&format!("shard{s}_ops"), acked);
@@ -326,6 +371,8 @@ pub fn shardscale(rep: &mut Report, quick: bool) {
             rep.write_trace(&format!("TRACE_shardscale_{n}.json"), &tr.chrome)
                 .expect("trace sink writable");
             rep.write_trace(&format!("FOLDED_shardscale_{n}.txt"), &tr.folded)
+                .expect("trace sink writable");
+            rep.write_trace(&format!("AUDIT_shardscale_{n}.json"), &r.audit_json)
                 .expect("trace sink writable");
         }
         rep.scenario(sc);
@@ -353,6 +400,12 @@ mod tests {
                 "{n} shards did not beat the previous arm: {tput:.0} <= {last:.0} ops/s"
             );
             last = tput;
+            assert_eq!(
+                r.health.violations, 0,
+                "auditors flagged a clean run:\n{}",
+                r.audit_json
+            );
+            assert_eq!(r.health.shards.len(), n as usize);
             // The registry carries per-shard counters for every shard.
             for s in 0..n {
                 assert_eq!(

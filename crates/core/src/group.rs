@@ -22,9 +22,22 @@ use crate::meta::{build_payload, payload_len};
 use crate::ops::{GroupAck, GroupOp};
 use netsim::NodeId;
 use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, RecvWqe, Wqe};
+use simcore::simaudit::Probe;
 use simcore::{TraceKind, Tracer};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// A write still in flight, tracked (only while an audit tap is attached)
+/// so the ack path can decide whether a durability check is meaningful:
+/// an overlapping younger write legitimately re-dirties the range, so the
+/// check is skipped for it.
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    gen: u64,
+    offset: u64,
+    len: u64,
+    flush: bool,
+}
 
 /// Errors surfaced by the client data path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +84,9 @@ pub struct GroupClient {
     next_gen: u64,
     completed: u64,
     pending: VecDeque<u64>,
+    pending_writes: VecDeque<PendingWrite>,
+    replica_nodes: Vec<NodeId>,
+    skip_flush: u64,
     tracer: Tracer,
 }
 
@@ -237,6 +253,9 @@ impl HyperLoopGroup {
                 next_gen: cfg.first_gen,
                 completed: 0,
                 pending: VecDeque::new(),
+                pending_writes: VecDeque::new(),
+                replica_nodes: replica_nodes.to_vec(),
+                skip_flush: 0,
                 tracer: Tracer::disabled(),
             },
             replicas,
@@ -376,8 +395,20 @@ impl GroupClient {
                     },
                 );
                 if *flush {
-                    self.post_flush_read(ctx, *offset, gen);
-                    needs_flush_fence = true;
+                    if self.skip_flush > 0 {
+                        self.skip_flush -= 1;
+                    } else {
+                        self.post_flush_read(ctx, *offset, gen);
+                        needs_flush_fence = true;
+                    }
+                }
+                if self.tracer.audit().is_enabled() {
+                    self.pending_writes.push_back(PendingWrite {
+                        gen,
+                        offset: *offset,
+                        len: data.len() as u64,
+                        flush: *flush,
+                    });
                 }
             }
             GroupOp::Memcpy { src, dst, len, .. } => {
@@ -422,6 +453,58 @@ impl GroupClient {
         );
         self.pending.push_back(gen);
         Ok(gen)
+    }
+
+    /// Fault injection for auditor mutation tests: silently drop the
+    /// client-side gFLUSH (the 0-byte READ) of the next `n` flushed
+    /// writes, leaving the first replica's bytes in the NIC volatile
+    /// cache at ack time. The durability auditor must catch this.
+    #[doc(hidden)]
+    pub fn fault_skip_next_flush(&mut self, n: u64) {
+        self.skip_flush += n;
+    }
+
+    /// At ack time, verify the acked flushed write is durable on every
+    /// replica and feed the verdict to the audit tap. Skipped when a
+    /// younger in-flight write overlaps the range: its bytes legitimately
+    /// sit in the NIC cache until its own flush, so the check would
+    /// false-positive.
+    fn probe_ack_durability(&mut self, ctx: &mut NicCtx<'_>, gen: u64) {
+        let audit = self.tracer.audit().clone();
+        if !audit.is_enabled() {
+            return;
+        }
+        let Some(front) = self.pending_writes.front().copied() else {
+            return;
+        };
+        if front.gen != gen {
+            return; // the acked op was not a write
+        }
+        self.pending_writes.pop_front();
+        if !front.flush {
+            return;
+        }
+        let overlapped = self
+            .pending_writes
+            .iter()
+            .any(|w| front.offset < w.offset + w.len && w.offset < front.offset + front.len);
+        if overlapped {
+            return;
+        }
+        for &rn in &self.replica_nodes {
+            let durable = ctx
+                .mem(rn)
+                .is_durable(self.layout.shared_base + front.offset, front.len)
+                .unwrap_or(false);
+            audit.probe(
+                ctx.now,
+                Probe::AckDurability {
+                    op: gen,
+                    node: rn.0,
+                    durable,
+                },
+            );
+        }
     }
 
     fn post_flush_read(&mut self, ctx: &mut NicCtx<'_>, offset: u64, gen: u64) {
@@ -474,6 +557,7 @@ impl GroupClient {
                     );
                 }
             }
+            self.probe_ack_durability(ctx, gen);
             self.tracer
                 .emit(ctx.now, self.node.0, gen, TraceKind::OpAck);
             self.completed += 1;

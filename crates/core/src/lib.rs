@@ -65,6 +65,7 @@ pub use migrate::{
 pub use ops::{ExecuteMap, GroupAck, GroupOp};
 pub use shard::{
     HashRouter, MigrationStats, RangeRouter, ShardAck, ShardId, ShardRouter, ShardSet,
+    DEFAULT_PEN_CAPACITY,
 };
 pub use transport::GroupTransport;
 

@@ -21,8 +21,9 @@
 //!    pause opened. After the pipe drains, a delta pass re-reads the
 //!    source region and replays every range the bulk copy's NIC gathered
 //!    too early: the WAL tail that raced the snapshot. Cutover swaps the
-//!    transport inside the [`ShardSet`] (epoch bump, generations restart),
-//!    then the shard resumes and its holding pen drains.
+//!    transport inside the [`ShardSet`] (epoch bump; the new chain issues
+//!    epoch-qualified generations, so op identity survives the move), then
+//!    the shard resumes and its holding pen drains.
 //!
 //! While one shard is paused, ops for it park in the set's bounded holding
 //! pen ([`ShardSet::defer_on`]); every other shard issues and completes
@@ -290,7 +291,7 @@ impl MigrationRun {
             "plan for {shard} was made against a different epoch"
         );
         let client_node = set.shard(shard).node();
-        let cfg = set.shard(shard).config();
+        let mut cfg = set.shard(shard).config();
         assert!(
             plan.copy_bytes <= cfg.shared_size,
             "copy of {} bytes exceeds the {}-byte shard region",
@@ -344,6 +345,18 @@ impl MigrationRun {
         for &n in &plan.to {
             sim.model.fab_mut().align_allocator(n, cursor);
         }
+        // The new chain issues under the *new* epoch: keep the shard bits
+        // of the old generation base and swap in `plan.epoch`, so op ids
+        // (and therefore trace spans) survive the cutover instead of
+        // colliding with the retired chain's generations.
+        assert!(
+            plan.epoch <= simcore::simaudit::EPOCH_GEN_MAX,
+            "epoch {} exceeds the op-id epoch field",
+            plan.epoch
+        );
+        cfg.first_gen = (cfg.first_gen >> simcore::simaudit::SHARD_GEN_SHIFT
+            << simcore::simaudit::SHARD_GEN_SHIFT)
+            | (plan.epoch << simcore::simaudit::EPOCH_GEN_SHIFT);
         let mut group = M::drive(sim, |ctx| {
             HyperLoopGroup::setup(ctx, client_node, &plan.to, cfg)
         });

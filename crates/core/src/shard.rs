@@ -319,6 +319,12 @@ impl<T: GroupTransport> ShardSet<T> {
         self.pens[id.0 as usize].len()
     }
 
+    /// The bound every shard's holding pen enforces
+    /// ([`DEFAULT_PEN_CAPACITY`] unless re-bounded).
+    pub fn pen_capacity(&self) -> usize {
+        self.pen_capacity
+    }
+
     /// Re-bounds every shard's holding pen.
     ///
     /// # Panics

@@ -17,6 +17,8 @@
 //!   trace-event export and the unified metrics registry.
 //! * [`simprof`] — critical-path aggregation over trace streams, folded
 //!   flamegraph stacks and Perfetto counter tracks.
+//! * [`simaudit`] — online invariant auditors over the trace stream plus
+//!   streaming per-shard health/SLO tracking.
 //! * [`jsonw`] — the dependency-free JSON writer behind the exporters.
 //!
 //! ## Example
@@ -60,6 +62,7 @@ pub mod jsonw;
 pub mod model;
 pub mod queue;
 pub mod rng;
+pub mod simaudit;
 pub mod simprof;
 pub mod simtrace;
 pub mod stats;
@@ -68,6 +71,7 @@ pub mod time;
 pub use model::{Model, Outbox, Simulation};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use simaudit::{Audit, Auditor, HealthMonitor, HealthState, Probe, SloConfig, Violation};
 pub use simprof::{CounterSampler, StageAttribution};
 pub use simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
 pub use stats::{Counter, Histogram, LatencySummary};
@@ -79,6 +83,7 @@ pub mod prelude {
     pub use crate::model::{Model, Outbox, Simulation};
     pub use crate::queue::EventQueue;
     pub use crate::rng::SimRng;
+    pub use crate::simaudit::{Audit, HealthMonitor, HealthState, Probe, SloConfig};
     pub use crate::simprof::{CounterSampler, StageAttribution};
     pub use crate::simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
     pub use crate::stats::{Counter, Histogram, LatencySummary};

@@ -168,6 +168,15 @@ pub enum TraceKind {
         /// raced the bulk copy).
         replayed: u64,
     },
+    /// A shard's health state changed (emitted by
+    /// [`crate::simaudit::HealthMonitor`]); shows up as a Perfetto
+    /// instant so SLO breaches line up with the op spans around them.
+    HealthBreach {
+        /// The shard whose state changed.
+        shard: u32,
+        /// New state code ([`crate::simaudit::HealthState::code`]).
+        state: u8,
+    },
 }
 
 impl TraceKind {
@@ -193,6 +202,7 @@ impl TraceKind {
             TraceKind::MigrateBegin { .. } => "migrate_begin",
             TraceKind::MigrateCutover { .. } => "migrate_cutover",
             TraceKind::MigrateEnd { .. } => "migrate_end",
+            TraceKind::HealthBreach { .. } => "health_breach",
         }
     }
 
@@ -241,6 +251,10 @@ impl TraceKind {
             TraceKind::MigrateEnd { shard, replayed } => {
                 w.field_u64("shard", shard as u64);
                 w.field_u64("replayed", replayed);
+            }
+            TraceKind::HealthBreach { shard, state } => {
+                w.field_u64("shard", shard as u64);
+                w.field_u64("state", state as u64);
             }
         }
     }
@@ -338,15 +352,23 @@ impl TraceBuffer {
 /// always-compiled-in fast path. Clones of an enabled handle share one
 /// buffer, so a tracer can be handed to the NIC model, the network, the
 /// schedulers and the client while the test harness keeps a reading clone.
+///
+/// A tracer can additionally carry an [`Audit`](crate::simaudit::Audit)
+/// tap ([`Tracer::with_audit`]): every emitted event is then also fed to
+/// the online auditors, buffered or not. A buffer-less tracer with an
+/// audit attached still counts as enabled, so instrumented hot paths emit
+/// for the auditors even when nothing is being recorded.
 #[derive(Clone, Default)]
 pub struct Tracer {
     inner: Option<Rc<RefCell<TraceBuffer>>>,
+    audit: crate::simaudit::Audit,
 }
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Tracer")
             .field("enabled", &self.inner.is_some())
+            .field("audit", &self.audit.is_enabled())
             .finish()
     }
 }
@@ -354,7 +376,7 @@ impl fmt::Debug for Tracer {
 impl Tracer {
     /// A tracer that discards everything (the default).
     pub fn disabled() -> Self {
-        Tracer { inner: None }
+        Tracer::default()
     }
 
     /// A tracer collecting up to `capacity` events in a ring buffer.
@@ -372,20 +394,37 @@ impl Tracer {
                 dropped_ops: 0,
                 evicted: BTreeSet::new(),
             }))),
+            audit: crate::simaudit::Audit::disabled(),
         }
     }
 
-    /// True if this handle records events.
+    /// Attaches an [`Audit`](crate::simaudit::Audit) tap: every event
+    /// emitted through this tracer (and its clones) is also fed to the
+    /// auditors, whether or not a ring buffer is attached.
+    pub fn with_audit(mut self, audit: crate::simaudit::Audit) -> Self {
+        self.audit = audit;
+        self
+    }
+
+    /// The attached audit tap (disabled unless [`Tracer::with_audit`]
+    /// was used).
+    pub fn audit(&self) -> &crate::simaudit::Audit {
+        &self.audit
+    }
+
+    /// True if this handle records events or feeds an audit tap.
     pub fn is_enabled(&self) -> bool {
-        self.inner.is_some()
+        self.inner.is_some() || self.audit.is_enabled()
     }
 
     /// Records one event. No-op (one branch) when disabled.
     #[inline]
     pub fn emit(&self, at: SimTime, node: u32, op: u64, kind: TraceKind) {
+        let ev = TraceEvent { at, node, op, kind };
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().push(TraceEvent { at, node, op, kind });
+            inner.borrow_mut().push(ev);
         }
+        self.audit.on_event(&ev);
     }
 
     /// Snapshot of the buffered events, oldest first.

@@ -13,7 +13,10 @@ use hyperloop_repro::hyperloop::{
     plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
 };
 use hyperloop_repro::netsim::NodeId;
-use hyperloop_repro::simcore::MetricsRegistry;
+use hyperloop_repro::simcore::simaudit::op_id_base;
+use hyperloop_repro::simcore::{
+    Audit, HealthMonitor, MetricsRegistry, SimDuration, SloConfig, Tracer,
+};
 use hyperloop_repro::testbed::{drive, Cluster, ClusterConfig};
 
 const CLIENT: NodeId = NodeId(0);
@@ -25,10 +28,14 @@ fn export_all(
     model: &Cluster,
     chains: &[Vec<NodeId>],
     set: &ShardSet<hyperloop_repro::hyperloop::GroupClient>,
+    audit: &Audit,
+    health: &HealthMonitor,
 ) {
     model.export_into(reg, "cluster");
     model.export_shards_into(reg, chains, "bench");
     set.export_into(reg, "bench.shards");
+    audit.export_into(reg, "audit");
+    health.export_into(reg, "health");
 }
 
 #[test]
@@ -48,13 +55,38 @@ fn exporting_twice_is_idempotent() {
             ..ClusterConfig::default()
         },
     );
+    // Auditors tap the run through an audit-only tracer; their export and
+    // the health monitor's must be as idempotent as every other exporter.
+    let audit = Audit::standard();
+    let tracer = Tracer::disabled().with_audit(audit.clone());
+    cluster.set_tracer(tracer.clone());
+    let mut health = HealthMonitor::new(SloConfig::default());
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
             .iter()
-            .map(|chain| HyperLoopGroup::setup(ctx, CLIENT, chain, cfg))
+            .enumerate()
+            .map(|(s, chain)| {
+                // Per-shard, epoch-qualified generation bases: the chain
+                // order auditor tells the two shards' streams apart by the
+                // shard bits of every op id.
+                let cfg = GroupConfig {
+                    first_gen: op_id_base(s as u32, 0),
+                    ..cfg
+                };
+                HyperLoopGroup::setup(ctx, CLIENT, chain, cfg)
+            })
             .collect()
     });
-    let mut set = ShardSet::with_hash_router(groups.into_iter().map(|g| g.client).collect());
+    let mut set = ShardSet::with_hash_router(
+        groups
+            .into_iter()
+            .map(|g| {
+                let mut c = g.client;
+                c.set_tracer(tracer.clone());
+                c
+            })
+            .collect(),
+    );
     let mut sim = cluster.into_sim();
     sim.run();
 
@@ -73,6 +105,7 @@ fn exporting_twice_is_idempotent() {
                     },
                 )
                 .unwrap();
+                health.record_issue(ctx.now, s);
             }
         }
     });
@@ -84,23 +117,30 @@ fn exporting_twice_is_idempotent() {
         cfg.shared_size,
     );
     let run = MigrationRun::begin(&mut sim, &mut set, plan);
-    let _outcome = run.finish(&mut sim, &mut set);
+    let outcome = run.finish(&mut sim, &mut set);
+    for a in &outcome.drained {
+        health.record_ack(sim.now(), a.shard.0, SimDuration::from_micros(10));
+    }
     loop {
         sim.run();
-        drive(&mut sim, |ctx| set.poll(ctx));
+        let acks = drive(&mut sim, |ctx| set.poll(ctx));
+        for a in &acks {
+            health.record_ack(sim.now(), a.shard.0, SimDuration::from_micros(10));
+        }
         if set.in_flight() == 0 {
             break;
         }
     }
+    health.tick(sim.now());
     let chains_now = vec![standby, chains[1].clone()];
 
     // Export once into a fresh registry, and twice into another: the two
     // must serialize byte-identically — snapshots set, they never add.
     let mut once = MetricsRegistry::new();
-    export_all(&mut once, &sim.model, &chains_now, &set);
+    export_all(&mut once, &sim.model, &chains_now, &set, &audit, &health);
     let mut twice = MetricsRegistry::new();
-    export_all(&mut twice, &sim.model, &chains_now, &set);
-    export_all(&mut twice, &sim.model, &chains_now, &set);
+    export_all(&mut twice, &sim.model, &chains_now, &set, &audit, &health);
+    export_all(&mut twice, &sim.model, &chains_now, &set, &audit, &health);
     assert_eq!(
         once.to_json(),
         twice.to_json(),
@@ -123,4 +163,29 @@ fn exporting_twice_is_idempotent() {
     assert_eq!(twice.counter("bench.shards.shards"), None);
     assert_eq!(twice.gauge("bench.shards.shard0.in_flight"), Some(0.0));
     assert!(twice.counter("cluster.fabric.wqes_executed").unwrap() > 0);
+
+    // The audit and health exporters follow the same set/gauge discipline:
+    // a clean run snapshots zero violations (per auditor and total), the
+    // breach totals are counters, and the per-shard states are gauges —
+    // none of them doubled by the second export (the byte-compare above is
+    // the real witness; these pin the key names).
+    assert_eq!(twice.counter("audit.violations"), Some(0));
+    for auditor in ["durability", "chain_order", "flow_control", "migration"] {
+        assert_eq!(
+            twice.counter(&format!("audit.{auditor}.violations")),
+            Some(0),
+            "auditor {auditor} missing from the snapshot"
+        );
+    }
+    assert_eq!(
+        twice.counter("health.breaches"),
+        once.counter("health.breaches")
+    );
+    for s in 0..2 {
+        assert!(
+            twice.gauge(&format!("health.shard{s}.state")).is_some(),
+            "shard {s} state missing from the health snapshot"
+        );
+        assert_eq!(twice.counter(&format!("health.shard{s}.acks")), Some(4));
+    }
 }
