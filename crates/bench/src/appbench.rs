@@ -13,7 +13,9 @@ use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, HyperLoopGroup};
 use kvstore::{KvConfig, ReplicatedKv};
 use netsim::NodeId;
-use simcore::{Histogram, LatencySummary, MetricsRegistry, SimDuration, SimTime};
+use simcore::{
+    Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry, SimDuration, SimTime,
+};
 use testbed::{Cluster, ClusterConfig, ProcRef};
 use ycsb::{Generator, Workload};
 
@@ -123,13 +125,14 @@ fn cluster_snapshot(sim: &simcore::Simulation<Cluster>, hist: &Histogram) -> Met
 }
 
 /// One Fig. 11 arm: replicated RocksDB (kvstore) update latency under
-/// YCSB-A with co-located tenants. Returns the latency summary and a full
-/// cluster metrics snapshot.
+/// YCSB-A with co-located tenants. Returns the latency summary, a full
+/// cluster metrics snapshot and the host-side statistics of the run.
 pub fn run_fig11_arm(
     kind: SystemKind,
     writes: u64,
     seed: u64,
-) -> (LatencySummary, MetricsRegistry) {
+) -> (LatencySummary, MetricsRegistry, HostStats) {
+    let meter = HostMeter::start();
     let mut cluster = app_cluster(seed, 96);
     let client_node = NodeId(0);
     let pace = SimDuration::from_micros(300);
@@ -183,7 +186,8 @@ pub fn run_fig11_arm(
     let mut sim = cluster.into_sim();
     let hist = run_cluster_until_done(&mut sim, driver, is_hl, true);
     let registry = cluster_snapshot(&sim, &hist);
-    (hist.summary(), registry)
+    let host = meter.finish(writes, sim.now().since(SimTime::ZERO), sim.queue.stats());
+    (hist.summary(), registry, host)
 }
 
 /// Figure 11: replicated RocksDB update latency, three systems.
@@ -197,7 +201,7 @@ pub fn fig11(rep: &mut Report, quick: bool) {
         SystemKind::NaivePolling,
         SystemKind::HyperLoop,
     ] {
-        let (s, reg) = run_fig11_arm(kind, writes, 0xF11);
+        let (s, reg, host) = run_fig11_arm(kind, writes, 0xF11);
         rep.line(latency_row(kind.label(), &s));
         rep.scenario(
             Scenario::new(format!("fig11/ycsb-a/{}", kind.label()))
@@ -207,6 +211,7 @@ pub fn fig11(rep: &mut Report, quick: bool) {
                 .config("workload", "YCSB-A")
                 .config("writes", writes)
                 .latency(&s)
+                .host(host)
                 .metrics(reg),
         );
         p99s.push((kind, s.p99));
@@ -230,13 +235,15 @@ fn doc_config() -> DocConfig {
 
 /// One Fig. 12 arm: replicated MongoDB (docstore) latency for a YCSB
 /// workload, native (polling CPU replication) vs HyperLoop. Returns the
-/// latency summary and a full cluster metrics snapshot.
+/// latency summary, a full cluster metrics snapshot and the host-side
+/// statistics of the run.
 pub fn run_fig12_arm(
     hl: bool,
     workload: Workload,
     ops: u64,
     seed: u64,
-) -> (LatencySummary, MetricsRegistry) {
+) -> (LatencySummary, MetricsRegistry, HostStats) {
+    let meter = HostMeter::start();
     let mut cluster = app_cluster(seed, 96);
     let client_node = NodeId(0);
     let stack = SimDuration::from_micros(150);
@@ -288,7 +295,8 @@ pub fn run_fig12_arm(
     let mut sim = cluster.into_sim();
     let hist = run_cluster_until_done(&mut sim, driver, is_hl, false);
     let registry = cluster_snapshot(&sim, &hist);
-    (hist.summary(), registry)
+    let host = meter.finish(ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
+    (hist.summary(), registry, host)
 }
 
 /// Figure 12: replicated MongoDB latency across YCSB workloads.
@@ -309,8 +317,8 @@ pub fn fig12(rep: &mut Report, quick: bool) {
     ));
     for (wi, w) in Workload::PAPER_SET.into_iter().enumerate() {
         let seed = 0xF12 + 101 * wi as u64;
-        let (nat, nat_reg) = run_fig12_arm(false, w, ops, seed);
-        let (hl, hl_reg) = run_fig12_arm(true, w, ops, seed);
+        let (nat, nat_reg, nat_host) = run_fig12_arm(false, w, ops, seed);
+        let (hl, hl_reg, hl_host) = run_fig12_arm(true, w, ops, seed);
         let mean_cut = 100.0 * (1.0 - hl.mean.as_micros_f64() / nat.mean.as_micros_f64().max(1e-9));
         let gap_nat = nat.p99.as_micros_f64() - nat.mean.as_micros_f64();
         let gap_hl = hl.p99.as_micros_f64() - hl.mean.as_micros_f64();
@@ -327,7 +335,10 @@ pub fn fig12(rep: &mut Report, quick: bool) {
             mean_cut,
             gap_cut,
         ));
-        for (label, s, reg) in [("native", &nat, nat_reg), ("HyperLoop", &hl, hl_reg)] {
+        for (label, s, reg, host) in [
+            ("native", &nat, nat_reg, nat_host),
+            ("HyperLoop", &hl, hl_reg, hl_host),
+        ] {
             rep.scenario(
                 Scenario::new(format!("fig12/{w}/{label}"))
                     .system(label)
@@ -336,6 +347,7 @@ pub fn fig12(rep: &mut Report, quick: bool) {
                     .config("workload", w.to_string())
                     .config("ops", ops)
                     .latency(s)
+                    .host(host)
                     .metrics(reg),
             );
         }
@@ -370,6 +382,7 @@ pub fn ablations(rep: &mut Report, quick: bool) {
             .config("payload_bytes", 1024u64)
             .config("flush", flush)
             .latency(&r.latency)
+            .host(r.host.clone())
             .metrics(r.registry.clone()),
         );
     }
@@ -380,14 +393,18 @@ pub fn ablations(rep: &mut Report, quick: bool) {
         "replicas", "chain p50", "fan-out p50"
     ));
     for gs in [3u32, 5, 7] {
-        let chain = crate::fanout_ablation::chain_write_latency(gs, if quick { 200 } else { 800 });
-        let fan = crate::fanout_ablation::fanout_write_latency(gs, if quick { 200 } else { 800 });
+        let (chain, chain_host) =
+            crate::fanout_ablation::chain_write_latency(gs, if quick { 200 } else { 800 });
+        let (fan, fan_host) =
+            crate::fanout_ablation::fanout_write_latency(gs, if quick { 200 } else { 800 });
         rep.line(format!("{:<8} {:>14} {:>14}", gs, us(chain), us(fan)));
+        // Two runs, one scenario: fold their host meters into one block.
         rep.scenario(
             Scenario::new(format!("ablation/fanout/g{gs}"))
                 .config("group_size", gs)
                 .gauge("chain_p50_ns", chain.as_nanos() as f64)
-                .gauge("fanout_p50_ns", fan.as_nanos() as f64),
+                .gauge("fanout_p50_ns", fan.as_nanos() as f64)
+                .host(chain_host.merged(&fan_host)),
         );
     }
 
@@ -397,7 +414,7 @@ pub fn ablations(rep: &mut Report, quick: bool) {
         "serving replicas", "8KB reads/s", "aggregate"
     ));
     for n in [1u32, 2, 3] {
-        let rps = crate::fanout_ablation::read_scaling(n, if quick { 1000 } else { 4000 });
+        let (rps, host) = crate::fanout_ablation::read_scaling(n, if quick { 1000 } else { 4000 });
         rep.line(format!(
             "{:<18} {:>12.0} {:>7.1} Gbps",
             n,
@@ -408,7 +425,8 @@ pub fn ablations(rep: &mut Report, quick: bool) {
             Scenario::new(format!("ablation/read-scaling/{n}"))
                 .config("serving_replicas", n)
                 .config("read_bytes", 8192u64)
-                .gauge("reads_per_sec", rps),
+                .gauge("reads_per_sec", rps)
+                .host(host),
         );
     }
 
@@ -442,6 +460,7 @@ pub fn ablations(rep: &mut Report, quick: bool) {
                     .config("hogs_per_node", hogs)
                     .config("payload_bytes", 1024u64)
                     .latency(&r.latency)
+                    .host(r.host.clone())
                     .metrics(r.registry.clone()),
             );
         }

@@ -17,6 +17,11 @@
 //! states drawn from the closed `healthy`/`degraded`/`stalled` enum,
 //! every number finite, and an invariant-violation count of exactly zero.
 //!
+//! Every scenario must also carry a `host` block — the wall-clock
+//! self-profile of the simulator ([`simcore::hostprof`]) — with a *closed*
+//! key set (unknown keys fail, so schema drift is caught on both sides),
+//! finite positive rates, and a queue invariant (`pushed >= popped`).
+//!
 //! With `--baseline`, every checked scenario that shares a name with a
 //! baseline scenario must keep its `ops_per_sec` gauge within 25% of the
 //! baseline value (the simulator is deterministic, so a real regression —
@@ -24,6 +29,11 @@
 //! carrying a `stage_attribution` block must also tile: the sum of
 //! per-stage mean contributions has to equal the mean end-to-end latency
 //! to within 1 ns.
+//!
+//! With `--host-baseline`, `host.ops_per_sec` is gated too — softly, at
+//! 10% of the baseline, because host throughput (unlike sim throughput)
+//! moves with machine load; the gate only catches order-of-magnitude
+//! slowdowns of the simulator itself.
 
 use simcore::jsonw::{parse, JsonValue};
 use std::collections::BTreeMap;
@@ -132,6 +142,120 @@ fn check_health(h: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
+/// Requires `key` to be a finite, strictly positive number (U64 or F64).
+fn positive_number(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .ok_or_else(|| format!("host.{key} is missing"))?;
+    let n = match v {
+        JsonValue::U64(u) => *u as f64,
+        JsonValue::F64(f) => *f,
+        JsonValue::Null => return Err(format!("host.{key} is null (non-finite value)")),
+        _ => return Err(format!("host.{key} is not a number")),
+    };
+    if !n.is_finite() || n <= 0.0 {
+        return Err(format!("host.{key} = {n} is not finite and positive"));
+    }
+    Ok(n)
+}
+
+/// The `host` block: closed key set, finite positive rates, balanced
+/// queue counters. Every scenario must carry one — a report without host
+/// statistics cannot be gated on simulator speed.
+fn check_host(h: &JsonValue) -> Result<(), String> {
+    const KEYS: [&str; 10] = [
+        "wall_ms",
+        "ops_per_sec",
+        "events_per_sec",
+        "sim_ns_per_wall_ms",
+        "ops",
+        "sim_ns",
+        "alloc_bytes",
+        "queue",
+        "alloc",
+        "obs_tax",
+    ];
+    let fields = h.as_obj().ok_or("host is not an object")?;
+    for (k, _) in fields {
+        if !KEYS.contains(&k.as_str()) {
+            return Err(format!("host.{k} is outside the closed key set"));
+        }
+    }
+    for k in KEYS {
+        if h.get(k).is_none() {
+            return Err(format!("host.{k} is missing"));
+        }
+    }
+    for k in [
+        "wall_ms",
+        "ops_per_sec",
+        "events_per_sec",
+        "sim_ns_per_wall_ms",
+    ] {
+        positive_number(h, k)?;
+    }
+    for k in ["ops", "sim_ns", "alloc_bytes"] {
+        h.get(k)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("host.{k} is not a non-negative integer"))?;
+    }
+    let queue = h.get("queue").unwrap();
+    check_numbers(queue, "host.queue", true)?;
+    let pushed = queue
+        .get("pushed")
+        .and_then(|v| v.as_u64())
+        .ok_or("host.queue.pushed is missing")?;
+    let popped = queue
+        .get("popped")
+        .and_then(|v| v.as_u64())
+        .ok_or("host.queue.popped is missing")?;
+    queue
+        .get("max_depth")
+        .and_then(|v| v.as_u64())
+        .ok_or("host.queue.max_depth is missing")?;
+    if popped > pushed {
+        return Err(format!(
+            "host.queue.popped={popped} exceeds host.queue.pushed={pushed}"
+        ));
+    }
+    let alloc = h.get("alloc").unwrap();
+    check_numbers(alloc, "host.alloc", true)?;
+    for k in ["allocs", "frees", "reallocs", "alloc_bytes", "freed_bytes"] {
+        alloc
+            .get(k)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("host.alloc.{k} is missing"))?;
+    }
+    let tax = h.get("obs_tax").unwrap();
+    let obj = tax.as_obj().ok_or("host.obs_tax is not an object")?;
+    for (k, _) in obj {
+        if !matches!(
+            k.as_str(),
+            "observed_wall_ms" | "bare_wall_ms" | "overhead_pct"
+        ) {
+            return Err(format!("host.obs_tax.{k} is outside the closed key set"));
+        }
+    }
+    for k in ["observed_wall_ms", "bare_wall_ms"] {
+        let v = tax
+            .get(k)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("host.obs_tax.{k} is missing"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("host.obs_tax.{k} = {v} is not finite and positive"));
+        }
+    }
+    let pct = tax
+        .get("overhead_pct")
+        .and_then(|v| v.as_f64())
+        .ok_or("host.obs_tax.overhead_pct is missing")?;
+    // Negative tax is machine noise; non-finite tax is a bug.
+    if !pct.is_finite() {
+        return Err(format!("host.obs_tax.overhead_pct = {pct} is not finite"));
+    }
+    Ok(())
+}
+
 /// A scenario with stage attribution must tile: sum of per-stage mean
 /// contributions == mean end-to-end latency, within 1 ns.
 fn check_attribution(att: &JsonValue) -> Result<(), String> {
@@ -151,19 +275,21 @@ fn check_attribution(att: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads `name -> ops_per_sec` from a baseline report.
-fn load_baseline(path: &str) -> Result<BTreeMap<String, f64>, String> {
+/// Loads `name -> ops_per_sec` from a baseline report. `host` reads the
+/// gauge from the `host` block instead of `gauges`.
+fn load_baseline(path: &str, host: bool) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let root = parse(&text).map_err(|e| format!("malformed JSON: {e}"))?;
     let scenarios = root
         .get("scenarios")
         .and_then(|v| v.as_arr())
         .ok_or("no scenarios array")?;
+    let block = if host { "host" } else { "gauges" };
     let mut out = BTreeMap::new();
     for s in scenarios {
         if let (Some(name), Some(ops)) = (
             s.get("name").and_then(|v| v.as_str()),
-            s.get("gauges")
+            s.get(block)
                 .and_then(|g| g.get("ops_per_sec"))
                 .and_then(|v| v.as_f64()),
         ) {
@@ -173,7 +299,11 @@ fn load_baseline(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(out)
 }
 
-fn check_file(path: &str, baseline: Option<&BTreeMap<String, f64>>) -> Result<usize, ExitCode> {
+fn check_file(
+    path: &str,
+    baseline: Option<&BTreeMap<String, f64>>,
+    host_baseline: Option<&BTreeMap<String, f64>>,
+) -> Result<usize, ExitCode> {
     let text = std::fs::read_to_string(path).map_err(|e| {
         eprintln!("benchcheck: {path}: {e}");
         ExitCode::FAILURE
@@ -212,6 +342,16 @@ fn check_file(path: &str, baseline: Option<&BTreeMap<String, f64>>) -> Result<us
         if let Some(h) = s.get("health") {
             check_health(h).map_err(|m| fail(path, name, &m))?;
         }
+        match s.get("host") {
+            Some(h) => check_host(h).map_err(|m| fail(path, name, &m))?,
+            None => {
+                return Err(fail(
+                    path,
+                    name,
+                    "scenario has no host block (wall-clock self-profile)",
+                ))
+            }
+        }
         if let Some(metrics) = s.get("metrics") {
             if let Some(c) = metrics.get("counters") {
                 check_numbers(c, "metrics.counters", true).map_err(|m| fail(path, name, &m))?;
@@ -248,12 +388,36 @@ fn check_file(path: &str, baseline: Option<&BTreeMap<String, f64>>) -> Result<us
                     .and_then(|g| g.get("ops_per_sec"))
                     .and_then(|v| v.as_f64()),
             ) {
-                if got < expected * 0.75 {
+                let threshold = expected * 0.75;
+                if got < threshold {
                     return Err(fail(
                         path,
                         name,
                         &format!(
-                            "throughput regression: ops_per_sec {got:.0} is below 75% of baseline {expected:.0}"
+                            "throughput regression in scenario {name:?}, metric gauges.ops_per_sec: \
+                             measured {got:.0} ops/s is below the threshold {threshold:.0} ops/s \
+                             (75% of baseline {expected:.0} ops/s)"
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(base) = host_baseline {
+            if let (Some(expected), Some(got)) = (
+                base.get(name),
+                s.get("host")
+                    .and_then(|h| h.get("ops_per_sec"))
+                    .and_then(|v| v.as_f64()),
+            ) {
+                let threshold = expected * 0.1;
+                if got < threshold {
+                    return Err(fail(
+                        path,
+                        name,
+                        &format!(
+                            "host throughput collapse in scenario {name:?}, metric host.ops_per_sec: \
+                             measured {got:.0} ops/s is below the threshold {threshold:.0} ops/s \
+                             (10% of host baseline {expected:.0} ops/s)"
                         ),
                     ));
                 }
@@ -266,20 +430,26 @@ fn check_file(path: &str, baseline: Option<&BTreeMap<String, f64>>) -> Result<us
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path: Option<String> = None;
+    let mut host_baseline_path: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--baseline" {
             baseline_path = it.next();
+        } else if a == "--host-baseline" {
+            host_baseline_path = it.next();
         } else {
             paths.push(a);
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: benchcheck [--baseline BENCH_BASELINE.json] <BENCH_*.json> ...");
+        eprintln!(
+            "usage: benchcheck [--baseline BENCH_BASELINE.json] \
+             [--host-baseline BENCH_BASELINE.json] <BENCH_*.json> ..."
+        );
         return ExitCode::FAILURE;
     }
-    let baseline = match baseline_path.as_deref().map(load_baseline) {
+    let baseline = match baseline_path.as_deref().map(|p| load_baseline(p, false)) {
         None => None,
         Some(Ok(b)) => {
             println!("benchcheck: baseline covers {} scenarios", b.len());
@@ -290,8 +460,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let host_baseline = match host_baseline_path
+        .as_deref()
+        .map(|p| load_baseline(p, true))
+    {
+        None => None,
+        Some(Ok(b)) => {
+            println!("benchcheck: host baseline covers {} scenarios", b.len());
+            Some(b)
+        }
+        Some(Err(e)) => {
+            eprintln!("benchcheck: host baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     for path in &paths {
-        match check_file(path, baseline.as_ref()) {
+        match check_file(path, baseline.as_ref(), host_baseline.as_ref()) {
             Ok(n) => println!("benchcheck: {path}: ok ({n} scenarios)"),
             Err(code) => return code,
         }

@@ -14,8 +14,10 @@
 //!
 //! `--trace <dir>` additionally writes per-scenario profiling artifacts
 //! into `<dir>`: Chrome traces with interleaved counter tracks
-//! (`TRACE_*.json`, open in Perfetto) and flamegraph collapsed stacks
-//! (`FOLDED_*.txt`, feed to flamegraph.pl / speedscope).
+//! (`TRACE_*.json`, open in Perfetto), flamegraph collapsed stacks
+//! (`FOLDED_*.txt`, feed to flamegraph.pl / speedscope) and — for the
+//! `hostperf` sweep — *wall-clock* folded stacks of the simulator itself
+//! (`HOST_*.txt`).
 
 use hyperloop_bench::figures;
 use hyperloop_bench::report::Report;
@@ -97,6 +99,9 @@ fn main() {
     }
     if has("migrate") {
         hyperloop_bench::migrate::migrate(&mut rep, quick);
+    }
+    if has("hostperf") {
+        hyperloop_bench::hostperf::hostperf(&mut rep, quick);
     }
     if has("ablations") || wanted.contains(&"ablations") {
         hyperloop_bench::appbench::ablations(&mut rep, quick);

@@ -46,12 +46,13 @@ fn main() {
                 .latency(&r.latency)
                 .gauge("ops_per_sec", r.ops_per_sec())
                 .gauge("replica_cpu", r.replica_cpu)
+                .host(r.host.clone())
                 .metrics(r.registry.clone()),
         );
     }
     rep.line("8 KB read scaling:");
     for n in [1u32, 3] {
-        let rps = read_scaling(n, 1500);
+        let (rps, host) = read_scaling(n, 1500);
         rep.line(format!(
             "  {} serving replica(s): {:.0} reads/s ({:.1} Gbps)",
             n,
@@ -62,7 +63,8 @@ fn main() {
             Scenario::new(format!("smoke/read-scaling/{n}"))
                 .config("serving_replicas", n)
                 .config("read_bytes", 8192u64)
-                .gauge("reads_per_sec", rps),
+                .gauge("reads_per_sec", rps)
+                .host(host),
         );
     }
     rep.finish().expect("write JSON report");

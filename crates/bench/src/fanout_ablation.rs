@@ -6,10 +6,12 @@ use hyperloop::harness::{drive, fabric_sim};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::{FabricConfig, NodeId};
 use rnicsim::NicConfig;
-use simcore::SimDuration;
+use simcore::{HostMeter, HostStats, SimDuration, SimTime};
 
-/// Median latency of durable 1 KB chain writes over `gs` replicas.
-pub fn chain_write_latency(gs: u32, ops: u64) -> SimDuration {
+/// Median latency of durable 1 KB chain writes over `gs` replicas, plus
+/// the host-side statistics of the run.
+pub fn chain_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
+    let meter = HostMeter::start();
     let mut sim = fabric_sim(
         gs + 1,
         64 << 20,
@@ -50,12 +52,15 @@ pub fn chain_write_latency(gs: u32, ops: u64) -> SimDuration {
         drive(&mut sim, |ctx| group.client.poll(ctx));
         hist.record(sim.now().since(t0));
     }
-    hist.p50()
+    let host = meter.finish(ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
+    (hist.p50(), host)
 }
 
 /// Median latency of durable 1 KB fan-out writes over a primary plus
-/// `gs - 1` backups (same total copy count as the chain).
-pub fn fanout_write_latency(gs: u32, ops: u64) -> SimDuration {
+/// `gs - 1` backups (same total copy count as the chain), plus the
+/// host-side statistics of the run.
+pub fn fanout_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
+    let meter = HostMeter::start();
     let backups: Vec<NodeId> = (2..=gs).map(NodeId).collect();
     let mut sim = fabric_sim(
         gs + 1,
@@ -92,7 +97,8 @@ pub fn fanout_write_latency(gs: u32, ops: u64) -> SimDuration {
             });
         }
     }
-    hist.p50()
+    let host = meter.finish(ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
+    (hist.p50(), host)
 }
 
 /// Beyond the paper's figures: aggregate read bandwidth when three reader
@@ -100,8 +106,10 @@ pub fn fanout_write_latency(gs: u32, ops: u64) -> SimDuration {
 /// the §5 claim that keeping replicas strongly consistent lets *every*
 /// replica serve reads. Lock-free one-sided reads (the FaRM-style path the
 /// paper also supports); the locked path is exercised by
-/// `hyperloop::reads` tests.
-pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> f64 {
+/// `hyperloop::reads` tests. Returns reads/sec plus the host-side
+/// statistics of the run.
+pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> (f64, HostStats) {
+    let meter = HostMeter::start();
     use rnicsim::{wqe_flags, Opcode, Wqe};
 
     // Nodes: 3 replicas (1..=3) + 3 reader clients (4..=6).
@@ -177,5 +185,10 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> f64 {
         }
     }
     assert_eq!(sim.model.fab.stats().errors, 0);
-    total_reads as f64 / sim.now().since(t0).as_secs_f64()
+    let host = meter.finish(
+        total_reads,
+        sim.now().since(SimTime::ZERO),
+        sim.queue.stats(),
+    );
+    (total_reads as f64 / sim.now().since(t0).as_secs_f64(), host)
 }

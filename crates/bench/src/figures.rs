@@ -33,6 +33,7 @@ fn micro_scenario(name: String, kind: SystemKind, opts: &MicroOpts, r: &MicroRes
         .latency(&r.latency)
         .gauge("ops_per_sec", r.ops_per_sec())
         .gauge("replica_cpu", r.replica_cpu)
+        .host(r.host.clone())
         .metrics(r.registry.clone());
     if let Some(tr) = &r.trace {
         sc = sc.stage_attribution(tr.attribution.clone());

@@ -1,0 +1,66 @@
+//! Counting global allocator feeding [`simcore::hostprof`].
+//!
+//! [`CountingAlloc`] wraps the system allocator and bumps the thread-local
+//! allocation counters in `hostprof` on every `alloc` / `dealloc` /
+//! `realloc`. The counters are plain thread-local `Cell`s, so the hooks
+//! never allocate, never lock and never touch the simulation: installing
+//! the allocator cannot perturb a deterministic run, it only measures it.
+//!
+//! The `#[global_allocator]` registration lives here in the bench *library*
+//! so every bench binary (`figures`, `benchcheck`, `expgen`) and every
+//! integration test that links `hyperloop-bench` gets counted allocations
+//! for free. Crates that do not link the bench crate keep the default
+//! system allocator and simply report zero allocation deltas.
+//!
+//! A `realloc` is deliberately counted as *one* paired event — the old
+//! size into `freed_bytes`, the new size into `alloc_bytes`, plus one
+//! `reallocs` tick — so a balanced region still satisfies
+//! `allocs == frees` without double-counting grown vectors.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+use simcore::hostprof;
+
+/// System-allocator wrapper that records every heap event in
+/// [`simcore::hostprof`]'s thread-local counters.
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the extra work is bookkeeping on thread-local
+// `Cell`s that never allocates and never unwinds (`record_*` use `try_with`
+// and plain wrapping arithmetic).
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            hostprof::record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            hostprof::record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        hostprof::record_free(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            hostprof::record_realloc(layout.size(), new_size);
+        }
+        p
+    }
+}
+
+/// The process-wide allocator for everything linking `hyperloop-bench`.
+#[global_allocator]
+static HOST_COUNTING_ALLOC: CountingAlloc = CountingAlloc;

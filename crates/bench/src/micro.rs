@@ -15,7 +15,10 @@ use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::NodeId;
 use simcore::simprof::{CounterSample, CounterSampler, StageAttribution};
-use simcore::{LatencySummary, MetricsRegistry, SimDuration, SimTime, TraceEvent, Tracer};
+use simcore::{
+    HostMeter, HostStats, LatencySummary, MetricsRegistry, SimDuration, SimTime, TraceEvent, Tracer,
+};
+use std::rc::Rc;
 use testbed::{Cluster, ClusterConfig, ProcRef};
 
 /// Which system runs the chain.
@@ -129,6 +132,10 @@ pub struct MicroResult {
     pub registry: MetricsRegistry,
     /// Trace-derived profiling artifacts ([`MicroOpts::trace`] runs only).
     pub trace: Option<MicroTrace>,
+    /// Host-side (wall-clock) statistics of the run: simulator ops/sec,
+    /// event throughput, allocation volume and — for traced runs — the
+    /// observability tax measured against a bare re-run.
+    pub host: HostStats,
 }
 
 impl MicroResult {
@@ -156,10 +163,39 @@ pub fn bench_group_config(window: u32) -> GroupConfig {
 
 /// Runs `ops` operations from `plan` through the chosen system and options.
 ///
+/// Every run is metered with a [`HostMeter`]; traced runs
+/// ([`MicroOpts::trace`]) additionally measure the *observability tax* by
+/// re-running the identical workload with tracing off and comparing wall
+/// clocks — the sim timeline of both runs is byte-identical by the
+/// [`simcore::hostprof`] determinism contract, only the wall clock moves.
+///
 /// # Panics
 ///
 /// Panics if the run does not complete within the simulation watchdog.
 pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroResult {
+    let plan = Rc::new(std::cell::RefCell::new(plan));
+    let share = |p: &Rc<std::cell::RefCell<OpPlan>>| -> OpPlan {
+        let p = Rc::clone(p);
+        Box::new(move |i| (p.borrow_mut())(i))
+    };
+    let mut res = run_primitive_once(kind, share(&plan), opts);
+    if opts.trace {
+        let bare = run_primitive_once(
+            kind,
+            share(&plan),
+            MicroOpts {
+                trace: false,
+                ..opts
+            },
+        );
+        res.host = res.host.with_bare_wall_ns(bare.host.wall_ns);
+    }
+    res
+}
+
+/// One metered run (no observability-tax re-run).
+fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroResult {
+    let meter = HostMeter::start();
     let nodes = opts.group_size + 1;
     let mut cluster = Cluster::new(
         nodes,
@@ -334,6 +370,8 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
         }
     });
 
+    let host = meter.finish(opts.ops, sim_total, sim.queue.stats());
+
     MicroResult {
         latency: hist.summary(),
         elapsed,
@@ -341,6 +379,7 @@ pub fn run_primitive(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroRe
         replica_cpu,
         registry,
         trace,
+        host,
     }
 }
 

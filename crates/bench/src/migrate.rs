@@ -20,8 +20,8 @@ use netsim::NodeId;
 use simcore::simaudit::{op_id_base, HealthSummary, Probe};
 use simcore::simprof::{chrome_trace_with_counters, CounterSampler};
 use simcore::{
-    Audit, HealthMonitor, Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime,
-    SloConfig, Tracer,
+    Audit, HealthMonitor, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry,
+    SimDuration, SimRng, SimTime, SloConfig, Tracer,
 };
 use std::collections::{HashMap, VecDeque};
 use testbed::cluster::drive;
@@ -97,6 +97,9 @@ pub struct MigrateResult {
     /// spans survive the cutover instead of colliding with the retired
     /// chain's generations.
     pub chrome_trace: Option<String>,
+    /// Host-side (wall-clock) statistics, including the observability tax
+    /// of the always-on audit tap (measured against a bare re-run).
+    pub host: HostStats,
 }
 
 impl MigrateResult {
@@ -109,10 +112,32 @@ impl MigrateResult {
 /// Runs the fixed offered load through `n_shards` chains, migrating shard 0
 /// to a standby chain at the halfway mark.
 ///
+/// Auditing is always on in this sweep, so the observability tax is
+/// measured by re-running the identical load with the audit and trace taps
+/// off (same deterministic timeline, less host work).
+///
 /// # Panics
 ///
 /// Panics on data-path errors, lost operations, or a stalled run.
 pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
+    let mut res = run_migrate_once(n_shards, opts, true);
+    let bare = run_migrate_once(
+        n_shards,
+        MigrateOpts {
+            trace: false,
+            ..opts
+        },
+        false,
+    );
+    res.host = res.host.with_bare_wall_ns(bare.host.wall_ns);
+    res
+}
+
+/// One metered arm. `observed` keeps the standard audit tap on; the bare
+/// (`observed = false`) run disables every tap but drives the exact same
+/// issue/migrate/poll/replenish loop.
+fn run_migrate_once(n_shards: u32, opts: MigrateOpts, observed: bool) -> MigrateResult {
+    let meter = HostMeter::start();
     let client = NodeId(0);
     let rps = opts.replicas_per_shard;
     // One extra chain's worth of nodes sits idle as the migration target.
@@ -141,10 +166,15 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
         first_gen: 0,
     };
     let mut cluster = cluster;
-    // Auditing is always on: the invariant checkers (including migration
-    // safety across the cutover) tap the trace stream whether or not a
-    // trace buffer is kept.
-    let audit = Audit::standard();
+    // Auditing is always on for measured arms: the invariant checkers
+    // (including migration safety across the cutover) tap the trace stream
+    // whether or not a trace buffer is kept. The bare arm of the
+    // observability-tax measurement drops the tap.
+    let audit = if observed {
+        Audit::standard()
+    } else {
+        Audit::disabled()
+    };
     let tracer = if opts.trace {
         let cap = (opts.ops.saturating_mul(96)).clamp(1 << 16, 1 << 21) as usize;
         Tracer::enabled(cap).with_audit(audit.clone())
@@ -377,6 +407,7 @@ pub fn run_migrate(n_shards: u32, opts: MigrateOpts) -> MigrateResult {
         health: health_summary,
         audit_json: audit.to_json(),
         chrome_trace: sampler.map(|s| chrome_trace_with_counters(&tracer.events(), s.samples())),
+        host: meter.finish(opts.ops, sim.now().since(SimTime::ZERO), sim.queue.stats()),
     }
 }
 
@@ -434,6 +465,7 @@ pub fn migrate(rep: &mut Report, quick: bool) {
                 .gauge("migration.copy_bytes", r.copy_bytes as f64)
                 .gauge("migration.replayed", r.replayed as f64)
                 .health(r.health.clone())
+                .host(r.host.clone())
                 .metrics(r.registry.clone()),
         );
     }

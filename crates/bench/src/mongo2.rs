@@ -13,7 +13,7 @@ use baseline::{NaiveChain, NaiveClient, NaiveConfig, NaiveCosts};
 use cpusched::{ProcKind, SchedConfig};
 use docstore::{DocConfig, ReplicatedDocStore, WriteMode};
 use netsim::NodeId;
-use simcore::{Histogram, SimDuration, SimTime};
+use simcore::{Histogram, HostMeter, HostStats, SimDuration, SimTime};
 use testbed::{Cluster, ClusterConfig, ProcRef};
 use ycsb::{Generator, Workload};
 
@@ -28,6 +28,8 @@ pub struct Fig2Point {
     pub latency: simcore::LatencySummary,
     /// Server context switches per second of simulated time.
     pub ctx_per_sec: f64,
+    /// Host-side (wall-clock) statistics of the run.
+    pub host: HostStats,
 }
 
 /// The per-op CPU profile of a MongoDB-like replica: command parsing, BSON
@@ -54,6 +56,7 @@ fn doc_config() -> DocConfig {
 /// document stores over three `cores`-core servers, each driven closed-loop
 /// with `ops_per_set` YCSB-A operations.
 pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64) -> Fig2Point {
+    let meter = HostMeter::start();
     let servers = [NodeId(0), NodeId(1), NodeId(2)];
     let clients = [NodeId(3), NodeId(4), NodeId(5)];
     let mut cluster = Cluster::new(
@@ -130,11 +133,17 @@ pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64
         .iter()
         .map(|&s| sim.model.sched(s).stats().context_switches)
         .sum();
+    let host = meter.finish(
+        ops_per_set * replica_sets as u64,
+        sim.now().since(SimTime::ZERO),
+        sim.queue.stats(),
+    );
     Fig2Point {
         replica_sets,
         cores,
         latency: pooled.summary(),
         ctx_per_sec: ctx as f64 / elapsed,
+        host,
     }
 }
 
@@ -166,7 +175,8 @@ fn report_points(rep: &mut Report, fig: &str, seed: u64, points: &[Fig2Point], v
                 .config("replica_sets", p.replica_sets)
                 .config("cores", p.cores)
                 .latency(&p.latency)
-                .gauge("ctx_per_sec", p.ctx_per_sec),
+                .gauge("ctx_per_sec", p.ctx_per_sec)
+                .host(p.host.clone()),
         );
     }
 }

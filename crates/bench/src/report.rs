@@ -11,7 +11,7 @@
 use simcore::jsonw::JsonWriter;
 use simcore::simaudit::HealthSummary;
 use simcore::simprof::StageAttribution;
-use simcore::{LatencySummary, MetricsRegistry, SimDuration};
+use simcore::{HostStats, LatencySummary, MetricsRegistry, SimDuration};
 use std::path::{Path, PathBuf};
 
 /// Formats a duration in microseconds with sensible precision.
@@ -74,6 +74,7 @@ pub struct Scenario {
     latency: Option<LatencySummary>,
     gauges: Vec<(String, f64)>,
     health: Option<HealthSummary>,
+    host: Option<HostStats>,
     metrics: Option<MetricsRegistry>,
     attribution: Option<StageAttribution>,
 }
@@ -122,6 +123,18 @@ impl Scenario {
     /// the scenario JSON.
     pub fn health(mut self, h: HealthSummary) -> Self {
         self.health = Some(h);
+        self
+    }
+
+    /// Attaches the run's host-side (wall-clock) statistics: simulator
+    /// ops/sec, events/sec, allocation volume and the observability tax.
+    /// Serialized as a `host` block in the scenario JSON. Unlike every
+    /// other block, `host` is *volatile* — it changes run to run — so the
+    /// report canonicalizer
+    /// ([`simcore::jsonw::canonicalize_report`]) strips it before
+    /// byte-identity comparisons.
+    pub fn host(mut self, h: HostStats) -> Self {
+        self.host = Some(h);
         self
     }
 
@@ -256,6 +269,7 @@ impl Report {
 
     /// Serializes the report (header plus all scenarios) to a JSON string.
     pub fn to_json(&self) -> String {
+        let _t = simcore::hostprof::scope("jsonw.export");
         let mut w = JsonWriter::new();
         w.begin_obj();
         w.field_str("schema", "hyperloop-bench/v1");
@@ -286,6 +300,11 @@ impl Report {
             w.end_obj();
             if let Some(h) = &s.health {
                 w.begin_obj_field("health");
+                h.write_fields(&mut w);
+                w.end_obj();
+            }
+            if let Some(h) = &s.host {
+                w.begin_obj_field("host");
                 h.write_fields(&mut w);
                 w.end_obj();
             }
@@ -389,6 +408,25 @@ mod tests {
         assert!(json.contains("\"fabric.wqes_executed\":3"));
         assert!(json.contains("\"health\":{\"violations\":0,\"breaches\":1"));
         assert!(json.contains("\"state\":\"degraded\""));
+    }
+
+    #[test]
+    fn report_serializes_host_block_and_canonicalizer_strips_it() {
+        let mut rep = Report::new("unit");
+        let meter = simcore::HostMeter::start();
+        let host = meter.finish(
+            10,
+            SimDuration::from_micros(50),
+            simcore::QueueStats::default(),
+        );
+        rep.scenario(Scenario::new("hostperf/10").latency(&summary()).host(host));
+        let json = rep.to_json();
+        assert!(json.contains("\"host\":{\"wall_ms\":"));
+        assert!(json.contains("\"obs_tax\":{"));
+        // The canonical form of the report must not depend on wall clock.
+        let canon = simcore::jsonw::canonicalize_report(&json).expect("valid json");
+        assert!(!canon.contains("\"host\""));
+        assert!(canon.contains("\"name\":\"hostperf/10\""));
     }
 
     #[test]

@@ -20,8 +20,8 @@ use netsim::NodeId;
 use simcore::simaudit::{op_id_base, HealthSummary, Probe};
 use simcore::simprof::{folded_stacks, CounterSampler, StageAttribution};
 use simcore::{
-    Audit, HealthMonitor, Histogram, LatencySummary, MetricsRegistry, SimDuration, SimRng, SimTime,
-    SloConfig, Tracer,
+    Audit, HealthMonitor, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry,
+    SimDuration, SimRng, SimTime, SloConfig, Tracer,
 };
 use std::collections::{HashMap, VecDeque};
 use testbed::cluster::drive;
@@ -97,6 +97,9 @@ pub struct ShardScaleResult {
     pub audit_json: String,
     /// Trace-derived artifacts ([`ShardScaleOpts::trace`] arms only).
     pub trace: Option<ShardScaleTrace>,
+    /// Host-side (wall-clock) statistics, including the observability tax
+    /// of the always-on audit tap (measured against a bare re-run).
+    pub host: HostStats,
 }
 
 impl ShardScaleResult {
@@ -108,10 +111,33 @@ impl ShardScaleResult {
 
 /// Runs the fixed offered load through `n_shards` chains.
 ///
+/// Auditing is always on in this sweep, so the observability tax is
+/// measured by re-running the identical load with the audit and trace taps
+/// off. Both runs execute the same deterministic timeline (the taps only
+/// read it), so the wall-clock delta is pure observability cost.
+///
 /// # Panics
 ///
 /// Panics on data-path errors, lost operations, or a stalled run.
 pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
+    let mut res = run_shardscale_once(n_shards, opts, true);
+    let bare = run_shardscale_once(
+        n_shards,
+        ShardScaleOpts {
+            trace: false,
+            ..opts
+        },
+        false,
+    );
+    res.host = res.host.with_bare_wall_ns(bare.host.wall_ns);
+    res
+}
+
+/// One metered arm. `observed` keeps the standard audit tap on; the bare
+/// (`observed = false`) run disables every tap but drives the exact same
+/// issue/poll/replenish loop.
+fn run_shardscale_once(n_shards: u32, opts: ShardScaleOpts, observed: bool) -> ShardScaleResult {
+    let meter = HostMeter::start();
     let client = NodeId(0);
     let nodes = 1 + n_shards * opts.replicas_per_shard;
     let cluster = Cluster::new(
@@ -135,10 +161,16 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
     // op. The data path never waits on a replenish: the window is 16 and
     // the pre-posted runway is 128 generations.
     let mut cluster = cluster;
-    // Auditing is always on: the invariant checkers tap the trace stream
-    // even when no trace buffer is kept, so every arm of every sweep is a
-    // correctness experiment.
-    let audit = Audit::standard();
+    // Auditing is always on for measured arms: the invariant checkers tap
+    // the trace stream even when no trace buffer is kept, so every arm of
+    // every sweep is a correctness experiment. The bare arm of the
+    // observability-tax measurement drops the tap (same timeline, less
+    // host work).
+    let audit = if observed {
+        Audit::standard()
+    } else {
+        Audit::disabled()
+    };
     let tracer = if opts.trace {
         let cap = (opts.ops.saturating_mul(96)).clamp(1 << 16, 1 << 21) as usize;
         Tracer::enabled(cap).with_audit(audit.clone())
@@ -308,6 +340,8 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
         }
     });
 
+    let host = meter.finish(opts.ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
+
     ShardScaleResult {
         shards: n_shards,
         latency: hist.summary(),
@@ -318,6 +352,7 @@ pub fn run_shardscale(n_shards: u32, opts: ShardScaleOpts) -> ShardScaleResult {
         health: health_summary,
         audit_json: audit.to_json(),
         trace,
+        host,
     }
 }
 
@@ -362,6 +397,7 @@ pub fn shardscale(rep: &mut Report, quick: bool) {
             .gauge("ops_per_sec", tput)
             .gauge("speedup", tput / base_tput)
             .health(r.health.clone())
+            .host(r.host.clone())
             .metrics(r.registry.clone());
         for (s, &acked) in r.per_shard_acked.iter().enumerate() {
             sc = sc.config(&format!("shard{s}_ops"), acked);

@@ -501,6 +501,106 @@ fn next_scalar_str(rest: &[u8]) -> &str {
     std::str::from_utf8(&rest[..len]).expect("input was a str")
 }
 
+/// Serializes a parsed [`JsonValue`] tree back to the writer's compact,
+/// deterministic format (field order preserved, non-finite floats as
+/// `null`). `parse` → `to_string` is the identity on writer output up to
+/// float re-formatting — both sides of a canonicalized comparison go
+/// through the same path, so the representation is stable where it counts.
+pub fn to_string(v: &JsonValue) -> String {
+    let mut out = String::new();
+    value_into(&mut out, v);
+    out
+}
+
+fn value_into(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::U64(n) => out.push_str(&n.to_string()),
+        JsonValue::F64(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => escape_into(out, s),
+        JsonValue::Arr(elems) => {
+            out.push('[');
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                value_into(out, e);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            let mut first = true;
+            for (k, val) in fields {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                escape_into(out, k);
+                out.push(':');
+                value_into(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// True for object keys the canonicalizer drops: the `host` block itself,
+/// any flattened `host.*` key, and bare wall-clock fields — everything
+/// that legitimately differs between two same-seed runs.
+fn is_volatile_host_key(key: &str) -> bool {
+    key == "host"
+        || key.starts_with("host.")
+        || matches!(
+            key,
+            "wall_ms" | "wall_ns" | "observed_wall_ms" | "bare_wall_ms"
+        )
+}
+
+fn strip_volatile(v: JsonValue) -> JsonValue {
+    match v {
+        JsonValue::Obj(fields) => JsonValue::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !is_volatile_host_key(k))
+                .map(|(k, val)| (k, strip_volatile(val)))
+                .collect(),
+        ),
+        JsonValue::Arr(elems) => JsonValue::Arr(elems.into_iter().map(strip_volatile).collect()),
+        other => other,
+    }
+}
+
+/// The shared report canonicalizer for same-seed byte-identity tests:
+/// parses `text`, recursively drops every volatile host-side field (the
+/// `host` block of `BENCH_*.json` scenarios, flattened `host.*` keys, bare
+/// wall-clock fields), and re-serializes deterministically. Two same-seed
+/// reports must canonicalize to identical bytes whether or not host
+/// profiling ran — host wall-clock measurements are the *only* fields
+/// allowed to differ.
+///
+/// ```
+/// use simcore::jsonw::canonicalize_report;
+///
+/// let a = r#"{"ops":7,"host":{"wall_ms":3.2},"nested":[{"host.queue.pushed":9,"x":1}]}"#;
+/// let b = r#"{"ops":7,"host":{"wall_ms":9.9},"nested":[{"host.queue.pushed":4,"x":1}]}"#;
+/// assert_eq!(
+///     canonicalize_report(a).unwrap(),
+///     canonicalize_report(b).unwrap()
+/// );
+/// ```
+pub fn canonicalize_report(text: &str) -> Result<String, JsonParseError> {
+    let _t = crate::hostprof::scope("jsonw.export");
+    Ok(to_string(&strip_volatile(parse(text)?)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,5 +692,47 @@ mod tests {
         // Surrogate-pair escapes decode to one scalar.
         let v = parse(r#""\ud83d\ude00""#).unwrap();
         assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn to_string_round_trips_writer_output_byte_for_byte() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("name", "smö\"ke\n");
+        w.field_u64("count", u64::MAX);
+        w.field_f64("mean", 1.25);
+        w.field_f64("bad", f64::NAN);
+        w.field_bool("ok", true);
+        w.begin_arr_field("xs");
+        w.u64_elem(3);
+        w.f64_elem(-0.5);
+        w.end_arr();
+        w.begin_obj_field("inner");
+        w.end_obj();
+        w.end_obj();
+        let text = w.finish();
+        let reserialized = to_string(&parse(&text).unwrap());
+        assert_eq!(reserialized, text);
+        // Idempotent: canonical text parses back to the same tree.
+        assert_eq!(to_string(&parse(&reserialized).unwrap()), reserialized);
+    }
+
+    #[test]
+    fn canonicalize_strips_host_blocks_everywhere() {
+        let a = r#"{"x":1,"host":{"wall_ms":1.5,"ops_per_sec":10},"scenarios":[{"n":"a","host":{"wall_ms":2}},{"host.queue.pushed":7,"wall_ms":3,"keep":true}]}"#;
+        let b = r#"{"x":1,"host":{"wall_ms":8.25,"ops_per_sec":99},"scenarios":[{"n":"a","host":{"wall_ms":9}},{"host.queue.pushed":1,"wall_ms":4,"keep":true}]}"#;
+        let ca = canonicalize_report(a).unwrap();
+        assert_eq!(ca, canonicalize_report(b).unwrap());
+        assert!(!ca.contains("host"));
+        assert!(!ca.contains("wall_ms"));
+        assert!(ca.contains("\"keep\":true"));
+        // Non-host content still distinguishes reports.
+        let c = canonicalize_report(r#"{"x":2,"host":{"wall_ms":1.5}}"#).unwrap();
+        assert_ne!(canonicalize_report(r#"{"x":1}"#).unwrap(), c);
+    }
+
+    #[test]
+    fn canonicalize_rejects_malformed_reports() {
+        assert!(canonicalize_report("{").is_err());
     }
 }

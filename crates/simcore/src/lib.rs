@@ -19,7 +19,11 @@
 //!   flamegraph stacks and Perfetto counter tracks.
 //! * [`simaudit`] — online invariant auditors over the trace stream plus
 //!   streaming per-shard health/SLO tracking.
-//! * [`jsonw`] — the dependency-free JSON writer behind the exporters.
+//! * [`hostprof`] — wall-clock self-profiling of the simulator itself:
+//!   scoped host timers with folded-stack export, allocation counters and
+//!   the per-run `host` statistics block (never perturbs the sim timeline).
+//! * [`jsonw`] — the dependency-free JSON writer behind the exporters, its
+//!   matching reader, and the `host.*`-stripping report canonicalizer.
 //!
 //! ## Example
 //!
@@ -58,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod hostprof;
 pub mod jsonw;
 pub mod model;
 pub mod queue;
@@ -68,8 +73,9 @@ pub mod simtrace;
 pub mod stats;
 pub mod time;
 
+pub use hostprof::{HostMeter, HostProf, HostStats};
 pub use model::{Model, Outbox, Simulation};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use rng::SimRng;
 pub use simaudit::{Audit, Auditor, HealthMonitor, HealthState, Probe, SloConfig, Violation};
 pub use simprof::{CounterSampler, StageAttribution};
@@ -80,8 +86,9 @@ pub use time::{SimDuration, SimTime};
 /// One-stop imports for simulation code.
 pub mod prelude {
     pub use crate::dist::{KeyChooser, Latest, ScrambledZipfian, UniformKeys, Zipfian};
+    pub use crate::hostprof::{HostMeter, HostProf, HostStats};
     pub use crate::model::{Model, Outbox, Simulation};
-    pub use crate::queue::EventQueue;
+    pub use crate::queue::{EventQueue, QueueStats};
     pub use crate::rng::SimRng;
     pub use crate::simaudit::{Audit, HealthMonitor, HealthState, Probe, SloConfig};
     pub use crate::simprof::{CounterSampler, StageAttribution};

@@ -22,6 +22,22 @@ use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Cumulative event-flow counters of an [`EventQueue`]: the denominator of
+/// `host.events_per_sec` and direct sizing evidence for the planned
+/// calendar-queue swap (see ROADMAP "raw speed"). The counters are plain
+/// deterministic integers — same-seed runs produce identical values — but
+/// they are exported under `host.queue.*` alongside the volatile wall-clock
+/// measurements, so canonicalized byte-identity comparisons skip them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled (push/push_after/push_now).
+    pub pushed: u64,
+    /// Events ever dispatched.
+    pub popped: u64,
+    /// High-water mark of pending events.
+    pub max_depth: usize,
+}
+
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -59,6 +75,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -74,7 +91,13 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Cumulative push/pop/depth counters (not reset by [`clear`](Self::clear)).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// The current virtual time (the timestamp of the last popped event).
@@ -105,7 +128,12 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let _t = crate::hostprof::scope("simcore.queue.push");
         self.heap.push(Entry { at, seq, event });
+        self.stats.pushed += 1;
+        if self.heap.len() > self.stats.max_depth {
+            self.stats.max_depth = self.heap.len();
+        }
     }
 
     /// Schedules `event` to fire `delay` after the current virtual time.
@@ -122,9 +150,11 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let _t = crate::hostprof::scope("simcore.queue.pop");
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
+        self.stats.popped += 1;
         Some((entry.at, entry.event))
     }
 
@@ -200,6 +230,28 @@ mod tests {
         let (t, e) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_micros(10));
         assert_eq!(e, "b");
+    }
+
+    #[test]
+    fn stats_count_pushes_pops_and_high_water() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        for i in 0..5u64 {
+            q.push(SimTime::from_nanos(10 * i), i);
+        }
+        assert_eq!(q.stats().pushed, 5);
+        assert_eq!(q.stats().max_depth, 5);
+        q.pop();
+        q.pop();
+        q.push_after(SimDuration::from_nanos(1), 9);
+        assert_eq!(q.stats().popped, 2);
+        assert_eq!(q.stats().pushed, 6);
+        // High-water mark does not shrink as the queue drains.
+        assert_eq!(q.stats().max_depth, 5);
+        // clear() drops pending events but keeps the cumulative counters.
+        q.clear();
+        assert_eq!(q.stats().pushed, 6);
+        assert_eq!(q.stats().popped, 2);
     }
 
     #[test]

@@ -420,6 +420,7 @@ impl Tracer {
     /// Records one event. No-op (one branch) when disabled.
     #[inline]
     pub fn emit(&self, at: SimTime, node: u32, op: u64, kind: TraceKind) {
+        let _t = crate::hostprof::scope("simtrace.tap");
         let ev = TraceEvent { at, node, op, kind };
         if let Some(inner) = &self.inner {
             inner.borrow_mut().push(ev);
@@ -887,6 +888,7 @@ impl MetricsRegistry {
 
     /// The registry as a standalone JSON string.
     pub fn to_json(&self) -> String {
+        let _t = crate::hostprof::scope("jsonw.export");
         let mut w = JsonWriter::new();
         self.write_json(&mut w);
         w.finish()

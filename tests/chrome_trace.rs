@@ -8,7 +8,7 @@ use hyperloop_repro::hyperloop::harness::{drive, fabric_sim};
 use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use hyperloop_repro::netsim::{FabricConfig, NodeId};
 use hyperloop_repro::rnicsim::NicConfig;
-use hyperloop_repro::simcore::jsonw::{parse, JsonValue};
+use hyperloop_repro::simcore::jsonw::{canonicalize_report, parse, JsonValue};
 use hyperloop_repro::simcore::simprof::{
     chrome_trace_with_counters, CounterSample, CounterSampler, COUNTER_PID,
 };
@@ -135,10 +135,11 @@ fn counter_trace_round_trips_with_monotonic_tracks() {
         e.get("ph").and_then(|v| v.as_str()) == Some("M")
             && e.get("pid").and_then(|v| v.as_u64()) == Some(COUNTER_PID)
     }));
-    // With no samples the envelope degrades to the plain span trace.
+    // With no samples the envelope degrades to the plain span trace
+    // (byte-compared through the shared report canonicalizer).
     assert_eq!(
-        chrome_trace_with_counters(&events, &[]),
-        chrome_trace_json(&events)
+        canonicalize_report(&chrome_trace_with_counters(&events, &[])).expect("canonicalize"),
+        canonicalize_report(&chrome_trace_json(&events)).expect("canonicalize")
     );
 }
 

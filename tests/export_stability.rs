@@ -13,6 +13,7 @@ use hyperloop_repro::hyperloop::{
     plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
 };
 use hyperloop_repro::netsim::NodeId;
+use hyperloop_repro::simcore::jsonw::canonicalize_report;
 use hyperloop_repro::simcore::simaudit::op_id_base;
 use hyperloop_repro::simcore::{
     Audit, HealthMonitor, MetricsRegistry, SimDuration, SloConfig, Tracer,
@@ -141,9 +142,11 @@ fn exporting_twice_is_idempotent() {
     let mut twice = MetricsRegistry::new();
     export_all(&mut twice, &sim.model, &chains_now, &set, &audit, &health);
     export_all(&mut twice, &sim.model, &chains_now, &set, &audit, &health);
+    // Byte-identity goes through the shared report canonicalizer so any
+    // volatile host-side fields (wall-clock times) can never fail it.
     assert_eq!(
-        once.to_json(),
-        twice.to_json(),
+        canonicalize_report(&once.to_json()).expect("canonicalize once"),
+        canonicalize_report(&twice.to_json()).expect("canonicalize twice"),
         "exporting the same state twice changed the registry"
     );
 

@@ -1,0 +1,134 @@
+//! hostprof end-to-end: the counting global allocator (installed by the
+//! `hyperloop-bench` crate, which this binary links) feeds balanced
+//! per-thread deltas, scope timers nest and fold, and — the determinism
+//! contract — a same-seed benchmark run serializes byte-identically with
+//! host profiling enabled vs disabled once the shared canonicalizer strips
+//! the volatile `host.*` fields.
+
+use hyperloop_bench::micro::{gwrite_plan, run_primitive, MicroOpts, SystemKind};
+use hyperloop_bench::report::{Report, Scenario};
+use hyperloop_repro::simcore::hostprof::{self, HostProf};
+use hyperloop_repro::simcore::jsonw::canonicalize_report;
+use std::sync::Mutex;
+
+/// The enable/disable flag is process-wide (the tables are per-thread), so
+/// tests that toggle it must not overlap.
+static PROF_FLAG: Mutex<()> = Mutex::new(());
+
+#[test]
+fn counting_allocator_balances_and_counts_reallocs_once() {
+    let _flag = PROF_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    hostprof::disable();
+    let before = hostprof::alloc_snapshot();
+    {
+        let mut v: Vec<u64> = Vec::new();
+        for i in 0..4096 {
+            v.push(i); // growth path: realloc, not an alloc+free pair
+        }
+        std::hint::black_box(&v);
+    }
+    let delta = hostprof::alloc_snapshot().since(&before);
+    // The counting allocator IS installed here (unlike simcore's own unit
+    // tests), so the balanced region must show real traffic.
+    assert!(delta.allocs > 0, "counting allocator saw no allocations");
+    assert!(delta.reallocs > 0, "vec growth should go through realloc");
+    assert!(delta.alloc_bytes > 0);
+    // Balance: everything allocated in the region was freed in the region,
+    // and reallocs were counted once (old size retired, new size charged)
+    // rather than as an extra alloc/free pair.
+    assert_eq!(delta.allocs, delta.frees, "alloc/free imbalance");
+    assert_eq!(
+        delta.alloc_bytes, delta.freed_bytes,
+        "byte imbalance — realloc double-counted?"
+    );
+}
+
+#[test]
+fn scope_timers_nest_under_a_real_run() {
+    let _flag = PROF_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    hostprof::reset();
+    hostprof::enable();
+    {
+        let _outer = HostProf::scope("test.outer");
+        let opts = MicroOpts {
+            ops: 100,
+            warmup: 10,
+            ..MicroOpts::default()
+        };
+        let _ = run_primitive(SystemKind::HyperLoop, gwrite_plan(1024), opts);
+    }
+    hostprof::disable();
+    let folded = hostprof::folded_stacks();
+    let stats = hostprof::scopes();
+    hostprof::reset();
+    // The run's own instrumentation folded under our scope: the event queue
+    // and the NIC engine are on every op's host path.
+    assert!(
+        folded.contains("host;test.outer;simcore.queue.pop"),
+        "queue pops missing from folded stacks:\n{folded}"
+    );
+    assert!(
+        folded.contains("host;test.outer;rnicsim.engine"),
+        "NIC engine scope missing from folded stacks:\n{folded}"
+    );
+    let pops = stats
+        .iter()
+        .find(|s| s.path == "test.outer;simcore.queue.pop")
+        .expect("pop scope stat");
+    assert!(
+        pops.calls > 100,
+        "expected many queue pops, saw {}",
+        pops.calls
+    );
+    let outer = stats
+        .iter()
+        .find(|s| s.path == "test.outer")
+        .expect("outer scope stat");
+    assert!(outer.total_ns >= outer.self_ns);
+}
+
+/// One seeded micro run serialized as a full report.
+fn report_json(profile: bool) -> String {
+    hostprof::reset();
+    if profile {
+        hostprof::enable();
+    } else {
+        hostprof::disable();
+    }
+    let opts = MicroOpts {
+        ops: 300,
+        warmup: 20,
+        ..MicroOpts::default()
+    };
+    let r = run_primitive(SystemKind::HyperLoop, gwrite_plan(1024), opts);
+    hostprof::disable();
+    hostprof::reset();
+    let mut rep = Report::new("hostprof-identity");
+    rep.scenario(
+        Scenario::new("identity/gwrite-1KB")
+            .system("HyperLoop")
+            .seed(opts.seed)
+            .config("ops", opts.ops)
+            .latency(&r.latency)
+            .gauge("ops_per_sec", r.ops_per_sec())
+            .gauge("replica_cpu", r.replica_cpu)
+            .host(r.host.clone())
+            .metrics(r.registry.clone()),
+    );
+    rep.to_json()
+}
+
+#[test]
+fn same_seed_reports_are_byte_identical_with_profiling_on_or_off() {
+    let _flag = PROF_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    let off = report_json(false);
+    let on = report_json(true);
+    // Raw reports differ only in the volatile host-side numbers; after the
+    // shared canonicalizer strips `host.*`, the same seed must produce the
+    // same bytes whether the profiler observed the run or not.
+    assert_eq!(
+        canonicalize_report(&off).expect("canonicalize unprofiled"),
+        canonicalize_report(&on).expect("canonicalize profiled"),
+        "host profiling perturbed the simulation output"
+    );
+}
