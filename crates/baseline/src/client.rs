@@ -5,7 +5,8 @@ use crate::replica::{NaiveCosts, NaiveReplica};
 use cpusched::ProcKind;
 use hyperloop::{GroupAck, GroupError, GroupOp};
 use netsim::NodeId;
-use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, RecvWqe, Wqe};
+use rnicsim::payload::take_sges;
+use rnicsim::{wqe_flags, CqId, Cqe, NicCtx, Opcode, Payload, QpId, RecvWqe, Wqe};
 use simcore::{Outbox, SimDuration, SimTime, TraceKind, Tracer};
 use std::collections::VecDeque;
 use testbed::{Cluster, ProcRef};
@@ -71,6 +72,10 @@ pub struct NaiveClient {
     completed: u64,
     pending: VecDeque<u64>,
     tracer: Tracer,
+    /// Reusable completion buffer for [`NaiveClient::poll_into`].
+    cqe_scratch: Vec<Cqe>,
+    /// Reusable staging buffer for reading ack result maps.
+    ack_raw: Vec<u8>,
 }
 
 impl NaiveChain {
@@ -234,6 +239,8 @@ impl NaiveChain {
                 completed: 0,
                 pending: VecDeque::new(),
                 tracer: Tracer::disabled(),
+                cqe_scratch: Vec::new(),
+                ack_raw: Vec::new(),
             },
             replica_procs,
         }
@@ -318,7 +325,9 @@ impl NaiveClient {
                 ctx.mem(self.node)
                     .write_durable(self.mirror_base + offset, data)
                     .expect("mirror in bounds");
-                ctx.post_send(
+                // Quiet post: the command SEND below rings the doorbell
+                // for the pair.
+                ctx.post_send_quiet(
                     self.node,
                     self.qp_down,
                     Wqe {
@@ -333,10 +342,10 @@ impl NaiveClient {
                 );
             }
             GroupOp::Memcpy { src, dst, len, .. } => {
-                let bytes = ctx
-                    .mem(self.node)
-                    .read_vec(self.mirror_base + src, *len)
-                    .expect("mirror in bounds");
+                let bytes = Payload::try_with(*len as usize, |buf| {
+                    ctx.mem(self.node).read(self.mirror_base + src, buf)
+                })
+                .expect("mirror in bounds");
                 ctx.mem(self.node)
                     .write_durable(self.mirror_base + dst, &bytes)
                     .expect("mirror in bounds");
@@ -362,18 +371,31 @@ impl NaiveClient {
 
     /// Collects completed operations.
     pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
-        let cqes = ctx.poll_cq(self.node, self.cq_ack, 64);
-        let mut acks = Vec::with_capacity(cqes.len());
-        for cqe in cqes {
+        let mut acks = Vec::new();
+        self.poll_into(ctx, &mut acks);
+        acks
+    }
+
+    /// Collects completed operations into a caller-provided buffer,
+    /// returning how many were appended; reuses internal scratch so the
+    /// steady-state poll loop does not allocate.
+    pub fn poll_into(&mut self, ctx: &mut NicCtx<'_>, acks: &mut Vec<GroupAck>) -> usize {
+        let mut cqes = std::mem::take(&mut self.cqe_scratch);
+        cqes.clear();
+        ctx.poll_cq_into(self.node, self.cq_ack, 64, &mut cqes);
+        let appended = cqes.len();
+        for cqe in cqes.drain(..) {
             assert_eq!(cqe.status, rnicsim::CqeStatus::Success, "{cqe:?}");
             let gen = cqe.imm.expect("ack imm");
             debug_assert_eq!(self.pending.pop_front(), Some(gen));
             let slot = self.ack_base + (gen % self.cmd_slots as u64) * self.ack_slot_size;
-            let raw = ctx
-                .mem(self.node)
-                .read_vec(slot, self.group_size as u64 * 8)
+            self.ack_raw.clear();
+            self.ack_raw.resize(self.group_size as usize * 8, 0);
+            ctx.mem(self.node)
+                .read(slot, &mut self.ack_raw)
                 .expect("ack slot in bounds");
-            let result_map = raw
+            let result_map = self
+                .ack_raw
                 .chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
                 .collect();
@@ -385,12 +407,13 @@ impl NaiveClient {
                 self.qp_ack,
                 RecvWqe {
                     wr_id: 0,
-                    sges: vec![],
+                    sges: take_sges(),
                 },
             );
             acks.push(GroupAck { gen, result_map });
         }
-        acks
+        self.cqe_scratch = cqes;
+        appended
     }
 
     /// Per-op wall-clock bookkeeping hook: the per-op cost model parameter
@@ -430,7 +453,7 @@ impl hyperloop::GroupTransport for NaiveClient {
         NaiveClient::issue(self, ctx, op)
     }
 
-    fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
-        NaiveClient::poll(self, ctx)
+    fn poll_into(&mut self, ctx: &mut NicCtx<'_>, acks: &mut Vec<GroupAck>) -> usize {
+        NaiveClient::poll_into(self, ctx, acks)
     }
 }

@@ -8,6 +8,7 @@
 //! originals exactly like HyperLoop's metadata does.
 
 use hyperloop::{ExecuteMap, GroupOp};
+use rnicsim::Payload;
 
 /// Encoded size of the fixed command header.
 pub const CMD_SIZE: u64 = 64;
@@ -88,7 +89,7 @@ pub fn decode(b: &[u8; CMD_SIZE as usize]) -> Option<Command> {
     let op = match b[0] {
         0 => GroupOp::Write {
             offset: u64le(16..24),
-            data: vec![0; u64le(24..32) as usize],
+            data: Payload::zeroed(u64le(24..32) as usize),
             flush: b[1] != 0,
         },
         1 => GroupOp::Cas {
@@ -119,7 +120,7 @@ mod tests {
     fn write_round_trips_with_len_only() {
         let op = GroupOp::Write {
             offset: 4096,
-            data: vec![9; 777],
+            data: Payload::copy_from(&[9; 777]),
             flush: true,
         };
         let b = encode(5, &op);
@@ -171,7 +172,7 @@ mod tests {
             match rng.gen_range(0..4) {
                 0 => GroupOp::Write {
                     offset: rng.next_u64(),
-                    data: vec![0; rng.gen_index(4096)],
+                    data: Payload::zeroed(rng.gen_index(4096)),
                     flush: rng.gen_bool(0.5),
                 },
                 1 => GroupOp::Cas {

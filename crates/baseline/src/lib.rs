@@ -28,6 +28,7 @@ mod tests {
     use cpusched::ProcKind;
     use hyperloop::{ExecuteMap, GroupOp};
     use netsim::NodeId;
+    use rnicsim::Payload;
     use simcore::{SimDuration, Simulation};
     use testbed::{drive, Cluster};
 
@@ -71,7 +72,7 @@ mod tests {
             &mut chain,
             GroupOp::Write {
                 offset: 256,
-                data: b"naive-data".to_vec(),
+                data: Payload::copy_from(b"naive-data"),
                 flush: true,
             },
         );
@@ -133,7 +134,7 @@ mod tests {
             &mut chain,
             GroupOp::Write {
                 offset: 0,
-                data: b"PAYLOAD".to_vec(),
+                data: Payload::copy_from(b"PAYLOAD"),
                 flush: true,
             },
         );
@@ -163,7 +164,7 @@ mod tests {
             &mut chain,
             GroupOp::Write {
                 offset: 0,
-                data: vec![1; 128],
+                data: Payload::filled(1, 128),
                 flush: true,
             },
         );
@@ -185,7 +186,7 @@ mod tests {
                             ctx,
                             GroupOp::Write {
                                 offset: 0,
-                                data: vec![7; 256],
+                                data: Payload::filled(7, 256),
                                 flush: true,
                             },
                         )
@@ -212,7 +213,7 @@ mod tests {
             &mut chain,
             GroupOp::Write {
                 offset: 0,
-                data: vec![0; 64],
+                data: Payload::filled(0, 64),
                 flush: true,
             },
         );
@@ -222,7 +223,7 @@ mod tests {
             &mut chain,
             GroupOp::Write {
                 offset: 0,
-                data: vec![1; 64],
+                data: Payload::filled(1, 64),
                 flush: true,
             },
         );

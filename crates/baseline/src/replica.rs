@@ -9,7 +9,8 @@
 use crate::cmd::{self, CMD_SIZE};
 use hyperloop::{ExecuteMap, GroupOp};
 use netsim::NodeId;
-use rnicsim::{wqe_flags, CqId, Opcode, QpId, RecvWqe, Wqe};
+use rnicsim::payload::take_sges;
+use rnicsim::{wqe_flags, CqId, Cqe, Opcode, Payload, QpId, RecvWqe, Wqe};
 use simcore::SimDuration;
 use std::collections::HashMap;
 use testbed::{Env, HostApp, HostEvent};
@@ -97,6 +98,8 @@ pub struct NaiveReplica {
     executing: HashMap<u64, cmd::Command>,
     /// Next recv generation to re-post.
     next_recv: u64,
+    /// Reused completion buffer (one allocation per replica, not per poll).
+    cqe_scratch: Vec<Cqe>,
     /// Operations fully handled (diagnostics).
     pub handled: u64,
 }
@@ -136,6 +139,7 @@ impl NaiveReplica {
             costs,
             executing: HashMap::new(),
             next_recv: preposted as u64,
+            cqe_scratch: Vec::new(),
             handled: 0,
         }
     }
@@ -176,8 +180,11 @@ impl NaiveReplica {
             } => {
                 if execute.contains(self.idx) {
                     let addr = self.shared_base + offset;
-                    let cur = env.mem(node).read_vec(addr, 8).expect("in shared region");
-                    let original = u64::from_le_bytes(cur.try_into().expect("8 bytes"));
+                    let mut cur = [0u8; 8];
+                    env.mem(node)
+                        .read(addr, &mut cur)
+                        .expect("in shared region");
+                    let original = u64::from_le_bytes(cur);
                     if original == *compare {
                         env.mem(node)
                             .write_durable(addr, &swap.to_le_bytes())
@@ -195,10 +202,10 @@ impl NaiveReplica {
                 len,
                 flush,
             } => {
-                let bytes = env
-                    .mem(node)
-                    .read_vec(self.shared_base + src, *len)
-                    .expect("in shared region");
+                let bytes = Payload::try_with(*len as usize, |buf| {
+                    env.mem(node).read(self.shared_base + src, buf)
+                })
+                .expect("in shared region");
                 env.mem(node)
                     .write(self.shared_base + dst, &bytes)
                     .expect("in shared region");
@@ -272,14 +279,9 @@ impl NaiveReplica {
         self.next_recv += 1;
         let slot = self.cmd_slot(gen);
         let len = (CMD_SIZE + self.group_size as u64 * 8) as u32;
-        env.post_recv(
-            self.node,
-            self.qp_up,
-            RecvWqe {
-                wr_id: gen,
-                sges: vec![(slot, len)],
-            },
-        );
+        let mut sges = take_sges();
+        sges.push((slot, len));
+        env.post_recv(self.node, self.qp_up, RecvWqe { wr_id: gen, sges });
     }
 }
 
@@ -289,16 +291,16 @@ impl HostApp for NaiveReplica {
             HostEvent::CqReady(cq) => {
                 debug_assert_eq!(cq, self.recv_cq);
                 let node = self.node;
-                let cqes = env.poll_cq(node, cq, 64);
-                for cqe in cqes {
+                let mut cqes = std::mem::take(&mut self.cqe_scratch);
+                cqes.clear();
+                env.poll_cq_into(node, cq, 64, &mut cqes);
+                for cqe in cqes.drain(..) {
                     let gen = cqe.wr_id;
                     let slot = self.cmd_slot(gen);
                     let mut raw = [0u8; CMD_SIZE as usize];
-                    let bytes = env
-                        .mem(node)
-                        .read_vec(slot, CMD_SIZE)
+                    env.mem(node)
+                        .read(slot, &mut raw)
                         .expect("command slot in bounds");
-                    raw.copy_from_slice(&bytes);
                     let Some(c) = cmd::decode(&raw) else {
                         continue; // corrupt command: drop
                     };
@@ -312,6 +314,7 @@ impl HostApp for NaiveReplica {
                     self.executing.insert(gen, c);
                     env.submit_work(cost, gen);
                 }
+                self.cqe_scratch = cqes;
             }
             HostEvent::WorkDone(gen) => {
                 let Some(c) = self.executing.remove(&gen) else {

@@ -30,10 +30,14 @@
 //! per-stage mean contributions has to equal the mean end-to-end latency
 //! to within 1 ns.
 //!
-//! With `--host-baseline`, `host.ops_per_sec` is gated too — softly, at
-//! 10% of the baseline, because host throughput (unlike sim throughput)
-//! moves with machine load; the gate only catches order-of-magnitude
-//! slowdowns of the simulator itself.
+//! With `--host-baseline`, `host.ops_per_sec` is gated too. Host
+//! throughput (unlike sim throughput) moves with machine load, so the gate
+//! has two levels: below 50% of the committed baseline the check **fails**
+//! (a machine-load excursion that deep on every scenario at once is not
+//! plausible; a simulator regression is), and below 90% it **warns** to
+//! stderr without failing — the early signal that the fastpath is eroding.
+//! This paragraph is the single normative statement of those thresholds;
+//! DESIGN.md and README.md defer to it.
 
 use simcore::jsonw::{parse, JsonValue};
 use std::collections::BTreeMap;
@@ -409,17 +413,24 @@ fn check_file(
                     .and_then(|h| h.get("ops_per_sec"))
                     .and_then(|v| v.as_f64()),
             ) {
-                let threshold = expected * 0.1;
-                if got < threshold {
+                let fail_below = expected * 0.5;
+                let warn_below = expected * 0.9;
+                if got < fail_below {
                     return Err(fail(
                         path,
                         name,
                         &format!(
-                            "host throughput collapse in scenario {name:?}, metric host.ops_per_sec: \
-                             measured {got:.0} ops/s is below the threshold {threshold:.0} ops/s \
-                             (10% of host baseline {expected:.0} ops/s)"
+                            "host throughput regression in scenario {name:?}, metric host.ops_per_sec: \
+                             measured {got:.0} ops/s is below the threshold {fail_below:.0} ops/s \
+                             (50% of host baseline {expected:.0} ops/s)"
                         ),
                     ));
+                } else if got < warn_below {
+                    eprintln!(
+                        "benchcheck: {path}: scenario {name:?}: warning: host.ops_per_sec \
+                         {got:.0} is below 90% of the host baseline {expected:.0} ops/s \
+                         (soft floor {warn_below:.0}); not failing, but the fastpath is eroding"
+                    );
                 }
             }
         }

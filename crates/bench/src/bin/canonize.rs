@@ -1,0 +1,40 @@
+//! Prints the canonicalized (host-stripped) form of a `BENCH_*.json`
+//! report on stdout.
+//!
+//! ```text
+//! cargo run --release -p hyperloop-bench --bin canonize -- out/BENCH_figures.json
+//! ```
+//!
+//! The canonical form is [`simcore::jsonw::canonicalize_report`] — the same
+//! transform the in-tree byte-identity tests use — so two same-seed runs
+//! must print identical bytes regardless of machine speed, profiling, or
+//! allocator behavior. CI diffs the output of a seed checkout against the
+//! PR checkout to prove a refactor left every simulated timeline intact.
+
+use simcore::jsonw::canonicalize_report;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: canonize <BENCH_*.json> ...");
+        return ExitCode::FAILURE;
+    }
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("canonize: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match canonicalize_report(&text) {
+            Ok(canon) => println!("{canon}"),
+            Err(e) => {
+                eprintln!("canonize: {path}: malformed JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //! benchmark clients. Latency is recorded inside the simulation, so
 //! measurements are event-precise.
 
-use hyperloop::{GroupOp, GroupTransport};
+use hyperloop::{GroupAck, GroupOp, GroupTransport};
 use simcore::{Histogram, SimDuration, SimTime};
 use std::collections::HashMap;
 use testbed::{Env, HostApp, HostEvent};
@@ -28,6 +28,9 @@ pub struct PrimitiveDriver<T> {
     /// loop). Paces the run across background-load cycles.
     pace: SimDuration,
     sent_at: HashMap<u64, SimTime>,
+    /// Reused completion buffer: one driver-side allocation for the whole
+    /// run instead of a fresh ack vector per poll.
+    ack_scratch: Vec<GroupAck>,
     /// Latency histogram (completed minus warm-up ops).
     pub hist: Histogram,
     /// When the first op was issued.
@@ -63,6 +66,7 @@ impl<T: GroupTransport + 'static> PrimitiveDriver<T> {
             completed: 0,
             pace,
             sent_at: HashMap::new(),
+            ack_scratch: Vec::new(),
             hist: Histogram::new(),
             started_at: None,
             done_at: None,
@@ -124,9 +128,11 @@ impl<T: GroupTransport + 'static> HostApp for PrimitiveDriver<T> {
             HostEvent::Timer(_) => self.fill_now(env),
             HostEvent::CqReady(cq) => {
                 debug_assert_eq!(cq, self.transport.ack_cq());
-                let acks = env.with_fabric(|ctx| self.transport.poll(ctx));
+                let mut acks = std::mem::take(&mut self.ack_scratch);
+                acks.clear();
+                env.with_fabric(|ctx| self.transport.poll_into(ctx, &mut acks));
                 let now = env.now();
-                for ack in acks {
+                for ack in acks.drain(..) {
                     if let Some(sent) = self.sent_at.remove(&ack.gen) {
                         self.completed += 1;
                         if self.completed > self.warmup {
@@ -137,6 +143,7 @@ impl<T: GroupTransport + 'static> HostApp for PrimitiveDriver<T> {
                         }
                     }
                 }
+                self.ack_scratch = acks;
                 if self.pace.is_zero() {
                     self.fill_window(env);
                 } else if self.issued < self.total {

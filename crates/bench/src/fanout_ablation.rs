@@ -5,7 +5,7 @@ use hyperloop::fanout::FanoutGroup;
 use hyperloop::harness::{drive, fabric_sim};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::{FabricConfig, NodeId};
-use rnicsim::NicConfig;
+use rnicsim::{NicConfig, Payload};
 use simcore::{HostMeter, HostStats, SimDuration, SimTime};
 
 /// Median latency of durable 1 KB chain writes over `gs` replicas, plus
@@ -42,7 +42,7 @@ pub fn chain_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
                     ctx,
                     GroupOp::Write {
                         offset: (i % 16) * 4096,
-                        data: vec![1; 1024],
+                        data: Payload::filled(1, 1024),
                         flush: true,
                     },
                 )

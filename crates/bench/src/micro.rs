@@ -14,6 +14,7 @@ use cpusched::{HogProfile, ProcKind, SchedConfig};
 use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::NodeId;
+use rnicsim::Payload;
 use simcore::simprof::{CounterSample, CounterSampler, StageAttribution};
 use simcore::{
     HostMeter, HostStats, LatencySummary, MetricsRegistry, SimDuration, SimTime, TraceEvent, Tracer,
@@ -388,7 +389,7 @@ fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroR
 pub fn gwrite_plan_flush(size: u64, flush: bool) -> OpPlan {
     Box::new(move |i| GroupOp::Write {
         offset: (i % 64) * 8192,
-        data: vec![(i & 0xFF) as u8; size as usize],
+        data: Payload::filled((i & 0xFF) as u8, size as usize),
         flush,
     })
 }

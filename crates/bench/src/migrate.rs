@@ -17,6 +17,7 @@ use hyperloop::{
     plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
 };
 use netsim::NodeId;
+use rnicsim::Payload;
 use simcore::simaudit::{op_id_base, HealthSummary, Probe};
 use simcore::simprof::{chrome_trace_with_counters, CounterSampler};
 use simcore::{
@@ -230,7 +231,7 @@ fn run_migrate_once(n_shards: u32, opts: MigrateOpts, observed: bool) -> Migrate
     }
     let op_for = |key: u64, payload: u64| GroupOp::Write {
         offset: (key % 64) * 8192,
-        data: vec![(key & 0xFF) as u8; payload as usize],
+        data: Payload::filled((key & 0xFF) as u8, payload as usize),
         flush: true,
     };
 

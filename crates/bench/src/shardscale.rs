@@ -17,6 +17,7 @@
 use crate::report::{us, Report, Scenario};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup, ShardId, ShardSet};
 use netsim::NodeId;
+use rnicsim::Payload;
 use simcore::simaudit::{op_id_base, HealthSummary, Probe};
 use simcore::simprof::{folded_stacks, CounterSampler, StageAttribution};
 use simcore::{
@@ -251,7 +252,7 @@ fn run_shardscale_once(n_shards: u32, opts: ShardScaleOpts, observed: bool) -> S
                             sid,
                             GroupOp::Write {
                                 offset: (key % 64) * 8192,
-                                data: vec![(key & 0xFF) as u8; opts.payload as usize],
+                                data: Payload::filled((key & 0xFF) as u8, opts.payload as usize),
                                 flush: true,
                             },
                         )

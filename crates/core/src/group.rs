@@ -18,10 +18,11 @@
 //! `(fabric, now, outbox)` context.
 
 use crate::config::{GroupConfig, SharedLayout};
-use crate::meta::{build_payload, payload_len};
+use crate::meta::{build_payload_into, payload_len};
 use crate::ops::{GroupAck, GroupOp};
 use netsim::NodeId;
-use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, RecvWqe, Wqe};
+use rnicsim::payload::take_sges;
+use rnicsim::{wqe_flags, CqId, Cqe, NicCtx, Opcode, Payload, QpId, RecvWqe, Wqe};
 use simcore::simaudit::Probe;
 use simcore::{TraceKind, Tracer};
 use std::collections::VecDeque;
@@ -88,6 +89,13 @@ pub struct GroupClient {
     replica_nodes: Vec<NodeId>,
     skip_flush: u64,
     tracer: Tracer,
+    /// Reusable completion buffer for [`GroupClient::poll`] — the ack loop
+    /// runs every host tick, so it must not allocate.
+    cqe_scratch: Vec<Cqe>,
+    /// Reusable staging buffer for reading ack result maps.
+    ack_raw: Vec<u8>,
+    /// Reusable metadata-payload staging buffer for issue.
+    meta_scratch: Vec<u8>,
 }
 
 /// Replica-side state: owns the pre-post cursors for one chain position.
@@ -184,6 +192,9 @@ impl HyperLoopGroup {
             let recv_cq_up = ctx.fab.create_cq(rn);
             let qp_up = ctx.fab.create_qp(rn, recv_cq_up, recv_cq_up);
             let cq_loop = ctx.fab.create_cq(rn);
+            // Only the downstream WAIT ever consumes this CQ; no host polls
+            // it, so don't retain host-pollable entries for eternity.
+            ctx.fab.set_cq_wait_only(rn, cq_loop);
             let qp_loop_a = ctx.fab.create_qp(rn, cq_loop, cq_loop);
             let qp_loop_b = ctx.fab.create_qp(rn, cq_loop, cq_loop);
             ctx.fab.connect(rn, qp_loop_a, rn, qp_loop_b);
@@ -257,6 +268,9 @@ impl HyperLoopGroup {
                 replica_nodes: replica_nodes.to_vec(),
                 skip_flush: 0,
                 tracer: Tracer::disabled(),
+                cqe_scratch: Vec::new(),
+                ack_raw: Vec::new(),
+                meta_scratch: Vec::new(),
             },
             replicas,
         }
@@ -361,12 +375,14 @@ impl GroupClient {
 
         // Stage the metadata payload in client memory.
         let ack_addr = self.ack_base + (gen % self.cfg.meta_slots as u64) * self.ack_slot_size;
-        let payload = build_payload(&op, &self.layout, gen, ack_addr);
+        let mut payload = std::mem::take(&mut self.meta_scratch);
+        build_payload_into(&op, &self.layout, gen, ack_addr, &mut payload);
         let staging =
             self.staging_base + (gen % self.cfg.meta_slots as u64) * self.layout.meta_slot_size;
         ctx.mem(self.node)
             .write_durable(staging, &payload)
             .expect("staging slot in bounds");
+        self.meta_scratch = payload;
 
         // Maintain the client's local mirror (it is chain member zero in
         // spirit: the op's effects apply to its copy too).
@@ -380,8 +396,11 @@ impl GroupClient {
                 ctx.mem(self.node)
                     .write_durable(self.mirror_base + offset, data)
                     .expect("mirror write in bounds");
-                // Data WRITE to the first replica.
-                ctx.post_send(
+                // Data WRITE to the first replica. Posted quiet: the
+                // metadata SEND below lands on the same QP in the same
+                // instant, and its doorbell wakes the engine once for the
+                // whole batch.
+                ctx.post_send_quiet(
                     self.node,
                     self.qp_down,
                     Wqe {
@@ -398,7 +417,7 @@ impl GroupClient {
                     if self.skip_flush > 0 {
                         self.skip_flush -= 1;
                     } else {
-                        self.post_flush_read(ctx, *offset, gen);
+                        self.post_flush_read_quiet(ctx, *offset, gen);
                         needs_flush_fence = true;
                     }
                 }
@@ -412,17 +431,18 @@ impl GroupClient {
                 }
             }
             GroupOp::Memcpy { src, dst, len, .. } => {
-                // Apply to the local mirror (host-side copy).
-                let bytes = ctx
-                    .mem(self.node)
-                    .read_vec(self.mirror_base + src, *len)
-                    .expect("mirror read in bounds");
+                // Apply to the local mirror (host-side copy through a
+                // pooled buffer).
+                let bytes = Payload::try_with(*len as usize, |buf| {
+                    ctx.mem(self.node).read(self.mirror_base + src, buf)
+                })
+                .expect("mirror read in bounds");
                 ctx.mem(self.node)
                     .write_durable(self.mirror_base + dst, &bytes)
                     .expect("mirror write in bounds");
             }
             GroupOp::Flush { offset } => {
-                self.post_flush_read(ctx, *offset, gen);
+                self.post_flush_read_quiet(ctx, *offset, gen);
                 needs_flush_fence = true;
             }
             GroupOp::Cas { .. } => {}
@@ -507,8 +527,11 @@ impl GroupClient {
         }
     }
 
-    fn post_flush_read(&mut self, ctx: &mut NicCtx<'_>, offset: u64, gen: u64) {
-        ctx.post_send(
+    /// Posts the gFLUSH 0-byte READ without ringing the doorbell — every
+    /// caller follows up with the metadata SEND on the same QP, whose
+    /// doorbell covers the batch.
+    fn post_flush_read_quiet(&mut self, ctx: &mut NicCtx<'_>, offset: u64, gen: u64) {
+        ctx.post_send_quiet(
             self.node,
             self.qp_down,
             Wqe {
@@ -525,9 +548,22 @@ impl GroupClient {
 
     /// Collects completed operations (chain acks), re-posting ack receives.
     pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
-        let cqes = ctx.poll_cq(self.node, self.cq_ack, 64);
-        let mut acks = Vec::with_capacity(cqes.len());
-        for cqe in cqes {
+        let mut acks = Vec::new();
+        self.poll_into(ctx, &mut acks);
+        acks
+    }
+
+    /// Collects completed operations into a caller-provided buffer,
+    /// returning how many were appended. The allocation-free twin of
+    /// [`GroupClient::poll`]: a driver loop reuses one ack vector and the
+    /// client reuses its own CQE scratch, so a steady-state poll touches
+    /// the allocator zero times.
+    pub fn poll_into(&mut self, ctx: &mut NicCtx<'_>, acks: &mut Vec<GroupAck>) -> usize {
+        let mut cqes = std::mem::take(&mut self.cqe_scratch);
+        cqes.clear();
+        ctx.poll_cq_into(self.node, self.cq_ack, 64, &mut cqes);
+        let appended = cqes.len();
+        for cqe in cqes.drain(..) {
             assert_eq!(
                 cqe.status,
                 rnicsim::CqeStatus::Success,
@@ -537,11 +573,14 @@ impl GroupClient {
             let expected = self.pending.pop_front();
             debug_assert_eq!(expected, Some(gen), "acks must arrive in issue order");
             let slot = self.ack_base + (gen % self.cfg.meta_slots as u64) * self.ack_slot_size;
-            let raw = ctx
-                .mem(self.node)
-                .read_vec(slot, self.layout.result_map_len())
+            self.ack_raw.clear();
+            self.ack_raw
+                .resize(self.layout.result_map_len() as usize, 0);
+            ctx.mem(self.node)
+                .read(slot, &mut self.ack_raw)
                 .expect("ack slot in bounds");
-            let result_map: Vec<u64> = raw
+            let result_map: Vec<u64> = self
+                .ack_raw
                 .chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
                 .collect();
@@ -566,12 +605,13 @@ impl GroupClient {
                 self.qp_ack,
                 RecvWqe {
                     wr_id: 0,
-                    sges: vec![],
+                    sges: take_sges(),
                 },
             );
             acks.push(GroupAck { gen, result_map });
         }
-        acks
+        self.cqe_scratch = cqes;
+        appended
     }
 }
 
@@ -608,14 +648,9 @@ impl ReplicaHandle {
             let gen = self.next_prepost;
             self.next_prepost += 1;
             let slot = self.layout.meta_slot(gen);
-            ctx.post_recv(
-                self.node,
-                self.qp_up,
-                RecvWqe {
-                    wr_id: gen,
-                    sges: vec![(slot, payload_len(&self.layout) as u32)],
-                },
-            );
+            let mut sges = take_sges();
+            sges.push((slot, payload_len(&self.layout) as u32));
+            ctx.post_recv(self.node, self.qp_up, RecvWqe { wr_id: gen, sges });
             // Loopback: WAIT on the upstream RECV, then two indirect images.
             ctx.post_send(
                 self.node,

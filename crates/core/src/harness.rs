@@ -14,14 +14,17 @@ use simcore::{EventQueue, Model, Outbox, SimTime, Simulation};
 pub struct FabricSim {
     /// The fabric under test.
     pub fab: RdmaFabric,
+    /// Reused effect buffer: one allocation for the run, not one per event.
+    out: Outbox<NicEffect>,
 }
 
 impl Model for FabricSim {
     type Event = NicEvent;
     fn handle(&mut self, now: SimTime, ev: NicEvent, q: &mut EventQueue<NicEvent>) {
-        let mut out = Outbox::new();
+        let mut out = std::mem::take(&mut self.out);
         self.fab.handle(now, ev, &mut out);
         route(&mut out, q);
+        self.out = out;
     }
 }
 
@@ -44,6 +47,7 @@ pub fn fabric_sim(
 ) -> Simulation<FabricSim> {
     Simulation::new(FabricSim {
         fab: RdmaFabric::new(nodes, mem_capacity, nic, fabric, seed),
+        out: Outbox::new(),
     })
 }
 
@@ -52,9 +56,10 @@ pub fn fabric_sim(
 /// event queue.
 pub fn drive<R>(sim: &mut Simulation<FabricSim>, f: impl FnOnce(&mut NicCtx<'_>) -> R) -> R {
     let now = sim.queue.now();
-    let mut out = Outbox::new();
+    let mut out = std::mem::take(&mut sim.model.out);
     let mut ctx = NicCtx::new(&mut sim.model.fab, now, &mut out);
     let r = f(&mut ctx);
     route(&mut out, &mut sim.queue);
+    sim.model.out = out;
     r
 }

@@ -74,7 +74,7 @@ mod tests {
     use super::*;
     use crate::harness::{drive, fabric_sim};
     use netsim::{FabricConfig, NodeId};
-    use rnicsim::NicConfig;
+    use rnicsim::{NicConfig, Payload};
     use simcore::{SimDuration, Simulation};
 
     const CLIENT: NodeId = NodeId(0);
@@ -120,7 +120,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 1000,
-                data: data.clone(),
+                data: Payload::copy_from(&data),
                 flush: true,
             },
         );
@@ -164,7 +164,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 0,
-                data: vec![7; 64],
+                data: Payload::filled(7, 64),
                 flush: false,
             },
         );
@@ -199,7 +199,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 0,
-                data: vec![1; 1024],
+                data: Payload::filled(1, 1024),
                 flush: true,
             },
         );
@@ -299,7 +299,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 0,
-                data: b"logrecord".to_vec(),
+                data: Payload::copy_from(b"logrecord"),
                 flush: true,
             },
         );
@@ -348,7 +348,7 @@ mod tests {
                         ctx,
                         GroupOp::Write {
                             offset: i * 256,
-                            data: vec![i as u8 + 1; 256],
+                            data: Payload::filled(i as u8 + 1, 256),
                             flush: true,
                         },
                     )
@@ -383,7 +383,7 @@ mod tests {
                         ctx,
                         GroupOp::Write {
                             offset: i * 8,
-                            data: vec![1; 8],
+                            data: Payload::filled(1, 8),
                             flush: false,
                         },
                     )
@@ -408,7 +408,7 @@ mod tests {
                     ctx,
                     GroupOp::Write {
                         offset: size - 4,
-                        data: vec![0; 8],
+                        data: Payload::filled(0, 8),
                         flush: false,
                     },
                 )
@@ -435,7 +435,7 @@ mod tests {
                             ctx,
                             GroupOp::Write {
                                 offset: 0,
-                                data: vec![9; 64],
+                                data: Payload::filled(9, 64),
                                 flush: true,
                             },
                         )
@@ -471,7 +471,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 128,
-                data: vec![3; 32],
+                data: Payload::filled(3, 32),
                 flush: true,
             },
         );
@@ -492,7 +492,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 0,
-                data: vec![5; 512],
+                data: Payload::filled(5, 512),
                 flush: true,
             },
         );
@@ -517,7 +517,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 0,
-                data: vec![1; 32],
+                data: Payload::filled(1, 32),
                 flush: true,
             },
         );
@@ -526,7 +526,7 @@ mod tests {
             &mut group,
             GroupOp::Write {
                 offset: 64,
-                data: vec![2; 32],
+                data: Payload::filled(2, 32),
                 flush: false,
             },
         );

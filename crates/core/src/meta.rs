@@ -171,20 +171,35 @@ pub fn build_block(
 /// Serializes the whole payload: every replica's block plus a zeroed result
 /// map.
 pub fn build_payload(op: &GroupOp, layout: &SharedLayout, gen: u64, ack_addr: u64) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(payload_len(layout) as usize);
+    let mut buf = Vec::new();
+    build_payload_into(op, layout, gen, ack_addr, &mut buf);
+    buf
+}
+
+/// [`build_payload`] into a caller-provided buffer (cleared first), so an
+/// issue loop reuses one staging buffer instead of allocating per op.
+pub fn build_payload_into(
+    op: &GroupOp,
+    layout: &SharedLayout,
+    gen: u64,
+    ack_addr: u64,
+    buf: &mut Vec<u8>,
+) {
+    buf.clear();
+    buf.reserve(payload_len(layout) as usize);
     for idx in 0..layout.group_size {
         for img in build_block(op, layout, idx, gen, ack_addr) {
             buf.extend_from_slice(&img.encode());
         }
     }
     buf.resize(payload_len(layout) as usize, 0); // zeroed result map
-    buf
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ops::ExecuteMap;
+    use rnicsim::Payload;
 
     fn layout() -> SharedLayout {
         SharedLayout {
@@ -211,7 +226,7 @@ mod tests {
         let l = layout();
         let op = GroupOp::Write {
             offset: 256,
-            data: vec![0; 100],
+            data: Payload::filled(0, 100),
             flush: true,
         };
         for idx in 0..3 {
@@ -297,7 +312,7 @@ mod tests {
             match rng.gen_range(0..4) {
                 0 => GroupOp::Write {
                     offset: rng.gen_range(0..1 << 19),
-                    data: vec![1; 1 + rng.gen_index(4095)],
+                    data: Payload::filled(1, 1 + rng.gen_index(4095)),
                     flush: rng.gen_bool(0.5),
                 },
                 1 => GroupOp::Cas {
@@ -376,7 +391,7 @@ mod tests {
         let l = layout();
         let op = GroupOp::Write {
             offset: 0,
-            data: vec![1; 8],
+            data: Payload::filled(1, 8),
             flush: false,
         };
         let payload = build_payload(&op, &l, 11, 0xB000);

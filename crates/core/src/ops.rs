@@ -1,5 +1,6 @@
 //! The four group primitives, as issued by a client (paper Table 1).
 
+use rnicsim::Payload;
 use std::fmt;
 
 /// Selects which replicas execute the CAS leg of a [`GroupOp::Cas`]
@@ -48,8 +49,10 @@ pub enum GroupOp {
     Write {
         /// Destination offset in the shared region.
         offset: u64,
-        /// The bytes to replicate.
-        data: Vec<u8>,
+        /// The bytes to replicate — a pooled, refcounted buffer, so
+        /// cloning the op (retry queues, baseline command logs) shares
+        /// storage instead of copying it.
+        data: Payload,
         /// Interleave a gFLUSH so the write is durable at every hop before
         /// it propagates.
         flush: bool,
@@ -173,7 +176,7 @@ mod tests {
     fn op_names_and_sizes() {
         let w = GroupOp::Write {
             offset: 0,
-            data: vec![0; 128],
+            data: Payload::copy_from(&[0; 128]),
             flush: true,
         };
         assert_eq!(w.name(), "gWRITE");

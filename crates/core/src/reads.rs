@@ -271,7 +271,7 @@ mod tests {
     use crate::lock::WrLockOutcome;
     use crate::ops::GroupOp;
     use netsim::FabricConfig;
-    use rnicsim::NicConfig;
+    use rnicsim::{NicConfig, Payload};
     use simcore::Simulation;
 
     fn setup() -> (
@@ -326,7 +326,7 @@ mod tests {
                     ctx,
                     GroupOp::Write {
                         offset: 256,
-                        data: b"read me from any replica".to_vec(),
+                        data: Payload::copy_from(b"read me from any replica"),
                         flush: true,
                     },
                 )
@@ -404,7 +404,7 @@ mod tests {
                     ctx,
                     GroupOp::Write {
                         offset: 0,
-                        data: vec![9; 1024],
+                        data: Payload::filled(9, 1024),
                         flush: true,
                     },
                 )

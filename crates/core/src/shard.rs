@@ -141,6 +141,8 @@ pub struct ShardSet<T: GroupTransport> {
     pens: Vec<VecDeque<GroupOp>>,
     pen_capacity: usize,
     migrations: Vec<Option<MigrationStats>>,
+    /// Reusable fan-in buffer for [`ShardSet::poll_shard_into`].
+    ack_scratch: Vec<GroupAck>,
 }
 
 impl<T: GroupTransport> ShardSet<T> {
@@ -163,6 +165,7 @@ impl<T: GroupTransport> ShardSet<T> {
             pens: (0..n).map(|_| VecDeque::new()).collect(),
             pen_capacity: DEFAULT_PEN_CAPACITY,
             migrations: vec![None; n],
+            ack_scratch: Vec::new(),
         }
     }
 
@@ -282,10 +285,21 @@ impl<T: GroupTransport> ShardSet<T> {
     /// (aggregate fan-in), in shard order.
     pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<ShardAck> {
         let mut acks = Vec::new();
-        for i in 0..self.shards.len() {
-            acks.extend(self.poll_shard(ctx, ShardId(i as u32)));
-        }
+        self.poll_into(ctx, &mut acks);
         acks
+    }
+
+    /// Collects completed operations from every shard into a
+    /// caller-provided buffer, returning how many were appended. The
+    /// fan-in runs every driver tick over every shard, so it reuses one
+    /// internal scratch vector per shard transport and appends into the
+    /// caller's — no per-tick allocation at steady state.
+    pub fn poll_into(&mut self, ctx: &mut NicCtx<'_>, acks: &mut Vec<ShardAck>) -> usize {
+        let mut appended = 0;
+        for i in 0..self.shards.len() {
+            appended += self.poll_shard_into(ctx, ShardId(i as u32), acks);
+        }
+        appended
     }
 
     /// Collects completed operations from one shard's completion queue,
@@ -293,12 +307,27 @@ impl<T: GroupTransport> ShardSet<T> {
     /// use this to drain the migrating shard without touching (or stealing
     /// acks from) the shards that keep serving.
     pub fn poll_shard(&mut self, ctx: &mut NicCtx<'_>, id: ShardId) -> Vec<ShardAck> {
+        let mut acks = Vec::new();
+        self.poll_shard_into(ctx, id, &mut acks);
+        acks
+    }
+
+    /// [`ShardSet::poll_shard`] into a caller-provided buffer, returning
+    /// how many acks were appended.
+    pub fn poll_shard_into(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        id: ShardId,
+        acks: &mut Vec<ShardAck>,
+    ) -> usize {
         let i = id.0 as usize;
-        let got = self.shards[i].poll(ctx);
-        self.acked[i] += got.len() as u64;
-        got.into_iter()
-            .map(|ack| ShardAck { shard: id, ack })
-            .collect()
+        let mut scratch = std::mem::take(&mut self.ack_scratch);
+        scratch.clear();
+        let appended = self.shards[i].poll_into(ctx, &mut scratch);
+        self.acked[i] += appended as u64;
+        acks.extend(scratch.drain(..).map(|ack| ShardAck { shard: id, ack }));
+        self.ack_scratch = scratch;
+        appended
     }
 
     // ---- migration support -------------------------------------------

@@ -41,7 +41,17 @@ pub trait GroupTransport {
     fn issue(&mut self, ctx: &mut NicCtx<'_>, op: GroupOp) -> Result<u64, GroupError>;
 
     /// Collects completed operations.
-    fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck>;
+    fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
+        let mut acks = Vec::new();
+        self.poll_into(ctx, &mut acks);
+        acks
+    }
+
+    /// Collects completed operations into a caller-provided buffer,
+    /// returning how many were appended. Implementations reuse internal
+    /// scratch so a steady-state poll loop performs no allocations;
+    /// callers hand back the same `acks` vector every tick.
+    fn poll_into(&mut self, ctx: &mut NicCtx<'_>, acks: &mut Vec<GroupAck>) -> usize;
 
     /// True if another op fits the window.
     fn can_issue(&self) -> bool {
@@ -78,7 +88,7 @@ impl GroupTransport for GroupClient {
         GroupClient::issue(self, ctx, op)
     }
 
-    fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<GroupAck> {
-        GroupClient::poll(self, ctx)
+    fn poll_into(&mut self, ctx: &mut NicCtx<'_>, acks: &mut Vec<GroupAck>) -> usize {
+        GroupClient::poll_into(self, ctx, acks)
     }
 }

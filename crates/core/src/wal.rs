@@ -19,7 +19,7 @@
 use crate::group::GroupError;
 use crate::ops::GroupOp;
 use crate::transport::GroupTransport;
-use rnicsim::NicCtx;
+use rnicsim::{NicCtx, Payload};
 use std::collections::VecDeque;
 use std::fmt;
 use walog::{LogEntry, LogRecord, WalRing};
@@ -212,8 +212,12 @@ impl ReplicatedWal {
             tx_id: self.next_tx,
             entries,
         };
-        let bytes = record.encode();
-        let Some(placement) = self.ring.reserve(bytes.len() as u64) else {
+        // The encoded record is wrapped (not copied) into a shared payload:
+        // the issue path below is the only consumer, so the bytes are
+        // produced exactly once.
+        let bytes = Payload::from_vec(record.encode());
+        let record_len = bytes.len() as u64;
+        let Some(placement) = self.ring.reserve(record_len) else {
             return Err(WalError::LogFull);
         };
         let gen = client
@@ -221,7 +225,7 @@ impl ReplicatedWal {
                 ctx,
                 GroupOp::Write {
                     offset: self.layout.log_offset + placement.offset,
-                    data: bytes.clone(),
+                    data: bytes,
                     flush,
                 },
             )
@@ -230,7 +234,7 @@ impl ReplicatedWal {
         self.queue.push_back(AppendedRecord {
             record,
             log_off: placement.offset,
-            logical_end: placement.logical + bytes.len() as u64,
+            logical_end: placement.logical + record_len,
         });
         self.next_tx += 1;
         Ok(WalReceipt {
@@ -284,14 +288,15 @@ impl ReplicatedWal {
         // Advance the durable head pointer (ring head + next tx) past this
         // record.
         self.ring.advance_head_to(rec.logical_end);
-        let mut head_bytes = self.ring.head().to_le_bytes().to_vec();
-        head_bytes.extend_from_slice(&(rec.record.tx_id + 1).to_le_bytes());
+        let mut head_bytes = [0u8; 16];
+        head_bytes[..8].copy_from_slice(&self.ring.head().to_le_bytes());
+        head_bytes[8..].copy_from_slice(&(rec.record.tx_id + 1).to_le_bytes());
         let gen = client
             .issue(
                 ctx,
                 GroupOp::Write {
                     offset: self.layout.head_ptr_offset,
-                    data: head_bytes,
+                    data: Payload::copy_from(&head_bytes),
                     flush: true,
                 },
             )

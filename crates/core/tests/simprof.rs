@@ -7,7 +7,7 @@
 use hyperloop::harness::{drive, fabric_sim, FabricSim};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::{FabricConfig, NodeId};
-use rnicsim::NicConfig;
+use rnicsim::{NicConfig, Payload};
 use simcore::simprof::{chrome_trace_with_counters, folded_stacks, CounterSampler};
 use simcore::{MetricsRegistry, Simulation, StageAttribution, Tracer};
 
@@ -41,7 +41,7 @@ fn run_gwrite(sim: &mut Simulation<FabricSim>, group: &mut HyperLoopGroup, paylo
                 ctx,
                 GroupOp::Write {
                     offset: 0,
-                    data: vec![0xCD; payload],
+                    data: Payload::filled(0xCD, payload),
                     flush: true,
                 },
             )

@@ -6,7 +6,7 @@
 use hyperloop::harness::{drive, fabric_sim, FabricSim};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::{FabricConfig, NodeId};
-use rnicsim::NicConfig;
+use rnicsim::{NicConfig, Payload};
 use simcore::simtrace::{chrome_trace_json, op_breakdown, ops, span_tree};
 use simcore::{SimDuration, SimTime, Simulation, Tracer};
 
@@ -47,7 +47,7 @@ fn run_traced_gwrite(
                 ctx,
                 GroupOp::Write {
                     offset: 0,
-                    data: vec![0xAB; payload],
+                    data: Payload::filled(0xAB, payload),
                     flush: true,
                 },
             )

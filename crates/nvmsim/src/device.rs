@@ -193,20 +193,24 @@ impl NvmDevice {
         let _t = simcore::hostprof::scope("nvmsim.flush");
         self.check(offset, len)?;
         self.stats.flushes += 1;
-        for (o, bytes) in self.volatile.take_range(offset, len) {
-            self.stats.bytes_flushed += bytes.len() as u64;
-            self.durable[o as usize..o as usize + bytes.len()].copy_from_slice(&bytes);
-        }
+        let stats = &mut self.stats;
+        let durable = &mut self.durable;
+        self.volatile.take_range_with(offset, len, |o, bytes| {
+            stats.bytes_flushed += bytes.len() as u64;
+            durable[o as usize..o as usize + bytes.len()].copy_from_slice(bytes);
+        });
         Ok(())
     }
 
     /// Commits every volatile byte.
     pub fn flush_all(&mut self) {
         self.stats.flushes += 1;
-        for (o, bytes) in self.volatile.take_all() {
-            self.stats.bytes_flushed += bytes.len() as u64;
-            self.durable[o as usize..o as usize + bytes.len()].copy_from_slice(&bytes);
-        }
+        let stats = &mut self.stats;
+        let durable = &mut self.durable;
+        self.volatile.take_all_with(|o, bytes| {
+            stats.bytes_flushed += bytes.len() as u64;
+            durable[o as usize..o as usize + bytes.len()].copy_from_slice(bytes);
+        });
     }
 
     /// True if no byte of `[offset, offset+len)` is still volatile.

@@ -5,19 +5,67 @@
 //! offset. Writes merge into existing extents; flushes commit and remove
 //! (possibly splitting) extents. Reads see overlay bytes over durable bytes,
 //! matching a write-back cache that is coherent for reads.
+//!
+//! Extents live in a sorted vector, not a `BTreeMap`: a data-path overlay
+//! holds at most a handful of extents (one per unflushed write), and the
+//! vector keeps its capacity across the empty state a write/flush cycle
+//! passes through every operation — a map would free and reallocate its
+//! root node on every cycle.
 
-use std::collections::BTreeMap;
+/// Extent buffers larger than this are not recycled (a one-off bulk write
+/// should not pin its allocation in the overlay).
+const MAX_SPARE_CAPACITY: usize = 64 << 10;
+/// Maximum recycled extent buffers retained per overlay.
+const MAX_SPARE_BUFFERS: usize = 32;
 
 /// Disjoint dirty byte ranges awaiting a flush.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Steady-state write/flush cycles recycle extent buffers through an
+/// internal free-list, so a NIC-side write-back cache that is written and
+/// flushed once per operation performs no net allocations once warm.
+#[derive(Debug, Default)]
 pub struct DirtyOverlay {
-    extents: BTreeMap<u64, Vec<u8>>,
+    /// `(start, bytes)` extents, sorted by start, pairwise disjoint.
+    extents: Vec<(u64, Vec<u8>)>,
+    /// Recycled extent buffers (cleared before reuse).
+    spare: Vec<Vec<u8>>,
 }
+
+impl Clone for DirtyOverlay {
+    fn clone(&self) -> Self {
+        DirtyOverlay {
+            extents: self.extents.clone(),
+            spare: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for DirtyOverlay {
+    fn eq(&self, other: &Self) -> bool {
+        // Scratch state is not part of the overlay's value.
+        self.extents == other.extents
+    }
+}
+impl Eq for DirtyOverlay {}
 
 impl DirtyOverlay {
     /// Creates an empty overlay.
     pub fn new() -> Self {
         DirtyOverlay::default()
+    }
+
+    /// Takes a cleared buffer from the free-list, or allocates one.
+    fn grab(&mut self) -> Vec<u8> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Returns an extent buffer's storage to the free-list.
+    fn recycle(&mut self, mut v: Vec<u8>) {
+        if v.capacity() > MAX_SPARE_CAPACITY || self.spare.len() >= MAX_SPARE_BUFFERS {
+            return;
+        }
+        v.clear();
+        self.spare.push(v);
     }
 
     /// True if no dirty bytes are pending.
@@ -27,7 +75,7 @@ impl DirtyOverlay {
 
     /// Total number of dirty bytes.
     pub fn dirty_bytes(&self) -> u64 {
-        self.extents.values().map(|v| v.len() as u64).sum()
+        self.extents.iter().map(|(_, v)| v.len() as u64).sum()
     }
 
     /// Number of distinct dirty extents.
@@ -42,13 +90,21 @@ impl DirtyOverlay {
             return;
         }
         let mut start = offset;
-        let mut bytes = data.to_vec();
+        let mut bytes = self.grab();
+        bytes.extend_from_slice(data);
+
+        // Index of the first extent starting after `offset`.
+        let idx = self.extents.partition_point(|(s, _)| *s <= offset);
+        let mut insert_at = idx;
 
         // Absorb the predecessor if it overlaps or touches us.
-        if let Some((&pstart, pdata)) = self.extents.range(..=offset).next_back() {
-            let pend = pstart + pdata.len() as u64;
-            if pend >= start {
-                let pdata = self.extents.remove(&pstart).expect("extent vanished");
+        if idx > 0 {
+            let (pstart, plen) = {
+                let p = &self.extents[idx - 1];
+                (p.0, p.1.len() as u64)
+            };
+            if pstart + plen >= start {
+                let (pstart, pdata) = self.extents.remove(idx - 1);
                 let mut merged = pdata;
                 let overlap_from = (start - pstart) as usize;
                 if merged.len() < overlap_from + bytes.len() {
@@ -56,24 +112,28 @@ impl DirtyOverlay {
                 }
                 merged[overlap_from..overlap_from + bytes.len()].copy_from_slice(&bytes);
                 start = pstart;
+                self.recycle(bytes);
                 bytes = merged;
+                insert_at = idx - 1;
             }
         }
 
-        // Absorb successors swallowed by or touching the new extent.
+        // Absorb successors swallowed by or touching the new extent. Only
+        // the last absorbed follower can stretch past `end`, so comparing
+        // against the pre-absorption `end` matches the merge semantics.
         let end = start + bytes.len() as u64;
-        let followers: Vec<u64> = self.extents.range(start..=end).map(|(&s, _)| s).collect();
-        for fstart in followers {
-            let fdata = self.extents.remove(&fstart).expect("extent vanished");
+        while insert_at < self.extents.len() && self.extents[insert_at].0 <= end {
+            let (fstart, fdata) = self.extents.remove(insert_at);
             let fend = fstart + fdata.len() as u64;
             if fend > end {
                 // Keep the follower's suffix beyond our write.
                 let keep_from = (end - fstart) as usize;
                 bytes.extend_from_slice(&fdata[keep_from..]);
             }
+            self.recycle(fdata);
         }
 
-        self.extents.insert(start, bytes);
+        self.extents.insert(insert_at, (start, bytes));
     }
 
     /// Copies overlay bytes intersecting `[offset, offset + buf.len())` onto
@@ -84,13 +144,15 @@ impl DirtyOverlay {
         }
         let end = offset + buf.len() as u64;
         // The predecessor extent may stretch into our window.
-        let scan_from = self
+        let from = self
             .extents
-            .range(..offset)
-            .next_back()
-            .map(|(&s, _)| s)
-            .unwrap_or(offset);
-        for (&estart, edata) in self.extents.range(scan_from..end) {
+            .partition_point(|(s, _)| *s <= offset)
+            .saturating_sub(1);
+        for (estart, edata) in &self.extents[from..] {
+            let estart = *estart;
+            if estart >= end {
+                break;
+            }
             let eend = estart + edata.len() as u64;
             if eend <= offset {
                 continue;
@@ -102,52 +164,83 @@ impl DirtyOverlay {
         }
     }
 
-    /// Removes and returns the dirty bytes inside `[offset, offset+len)`,
-    /// splitting extents that straddle the boundary. Each returned pair is
-    /// `(offset, bytes)`.
-    pub fn take_range(&mut self, offset: u64, len: u64) -> Vec<(u64, Vec<u8>)> {
+    /// Removes the dirty bytes inside `[offset, offset+len)`, splitting
+    /// extents that straddle the boundary, and hands each taken
+    /// `(offset, bytes)` run to `f`. The visitor form is the flush
+    /// fastpath: extent buffers go back to the free-list instead of being
+    /// moved out, so a write/flush cycle allocates nothing once warm.
+    pub fn take_range_with(&mut self, offset: u64, len: u64, mut f: impl FnMut(u64, &[u8])) {
         if len == 0 {
-            return Vec::new();
+            return;
         }
         let end = offset + len;
-        let scan_from = self
+        // The predecessor extent may stretch into the flush window.
+        let mut i = self
             .extents
-            .range(..offset)
-            .next_back()
-            .map(|(&s, _)| s)
-            .unwrap_or(offset);
-        let hits: Vec<u64> = self
-            .extents
-            .range(scan_from..end)
-            .filter(|(&s, d)| s + d.len() as u64 > offset && s < end)
-            .map(|(&s, _)| s)
-            .collect();
-
-        let mut taken = Vec::new();
-        for estart in hits {
-            let edata = self.extents.remove(&estart).expect("extent vanished");
+            .partition_point(|(s, _)| *s <= offset)
+            .saturating_sub(1);
+        while i < self.extents.len() {
+            let (estart, elen) = {
+                let e = &self.extents[i];
+                (e.0, e.1.len() as u64)
+            };
+            if estart >= end {
+                break;
+            }
+            if estart + elen <= offset {
+                i += 1;
+                continue;
+            }
+            let (estart, edata) = self.extents.remove(i);
             let eend = estart + edata.len() as u64;
             // Prefix outside the flush window stays dirty.
             if estart < offset {
-                let keep = edata[..(offset - estart) as usize].to_vec();
-                self.extents.insert(estart, keep);
+                let mut keep = self.grab();
+                keep.extend_from_slice(&edata[..(offset - estart) as usize]);
+                self.extents.insert(i, (estart, keep));
+                i += 1;
             }
             // Suffix outside the flush window stays dirty.
             if eend > end {
-                let keep = edata[(end - estart) as usize..].to_vec();
-                self.extents.insert(end, keep);
+                let mut keep = self.grab();
+                keep.extend_from_slice(&edata[(end - estart) as usize..]);
+                self.extents.insert(i, (end, keep));
+                i += 1;
             }
             let tstart = estart.max(offset);
             let tend = eend.min(end);
-            let tbytes = edata[(tstart - estart) as usize..(tend - estart) as usize].to_vec();
-            taken.push((tstart, tbytes));
+            f(
+                tstart,
+                &edata[(tstart - estart) as usize..(tend - estart) as usize],
+            );
+            self.recycle(edata);
         }
+    }
+
+    /// Removes and returns the dirty bytes inside `[offset, offset+len)` as
+    /// owned pairs (see [`DirtyOverlay::take_range_with`] for the
+    /// allocation-free form).
+    pub fn take_range(&mut self, offset: u64, len: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut taken = Vec::new();
+        self.take_range_with(offset, len, |o, bytes| taken.push((o, bytes.to_vec())));
         taken
+    }
+
+    /// Removes every dirty extent, handing each to `f` and recycling its
+    /// storage.
+    pub fn take_all_with(&mut self, mut f: impl FnMut(u64, &[u8])) {
+        while !self.extents.is_empty() {
+            let (o, bytes) = self.extents.remove(0);
+            f(o, &bytes);
+            self.recycle(bytes);
+        }
     }
 
     /// Removes and returns every dirty extent.
     pub fn take_all(&mut self) -> Vec<(u64, Vec<u8>)> {
-        std::mem::take(&mut self.extents).into_iter().collect()
+        let mut all = Vec::new();
+        self.take_all_with(|o, bytes| all.push((o, bytes.to_vec())));
+        all
     }
 
     /// Discards all dirty bytes (a power failure).
@@ -161,16 +254,13 @@ impl DirtyOverlay {
             return true;
         }
         let end = offset + len;
-        let scan_from = self
+        let from = self
             .extents
-            .range(..offset)
-            .next_back()
-            .map(|(&s, _)| s)
-            .unwrap_or(offset);
-        !self
-            .extents
-            .range(scan_from..end)
-            .any(|(&s, d)| s + d.len() as u64 > offset && s < end)
+            .partition_point(|(s, _)| *s <= offset)
+            .saturating_sub(1);
+        !self.extents[from..]
+            .iter()
+            .any(|(s, d)| *s < end && *s + d.len() as u64 > offset)
     }
 }
 

@@ -49,6 +49,19 @@ impl<'a> NicCtx<'a> {
         self.fab.post_send(self.now, node, qp, wqe, self.out)
     }
 
+    /// Posts a send-side WQE without ringing the doorbell
+    /// (see [`RdmaFabric::post_send_quiet`]). Pair with [`Self::doorbell`]
+    /// to coalesce a batch of posts into one engine wake.
+    pub fn post_send_quiet(&mut self, node: NodeId, qp: QpId, wqe: Wqe) -> u64 {
+        self.fab.post_send_quiet(self.now, node, qp, wqe)
+    }
+
+    /// Rings the doorbell for a QP after a batch of quiet posts
+    /// (see [`RdmaFabric::doorbell`]).
+    pub fn doorbell(&mut self, node: NodeId, qp: QpId) {
+        self.fab.doorbell(node, qp, self.out)
+    }
+
     /// Posts a receive-side WQE (see [`RdmaFabric::post_recv`]).
     pub fn post_recv(&mut self, node: NodeId, qp: QpId, recv: RecvWqe) {
         self.fab.post_recv(self.now, node, qp, recv, self.out)
@@ -63,6 +76,20 @@ impl<'a> NicCtx<'a> {
     /// Drains up to `max` completions from a CQ.
     pub fn poll_cq(&mut self, node: NodeId, cq: CqId, max: usize) -> Vec<Cqe> {
         self.fab.poll_cq(node, cq, max)
+    }
+
+    /// Drains up to `max` completions into a caller-provided buffer,
+    /// returning how many were appended (see [`RdmaFabric::poll_cq_into`]).
+    /// The allocation-free twin of [`Self::poll_cq`] for per-tick poll
+    /// loops that reuse one scratch vector.
+    pub fn poll_cq_into(
+        &mut self,
+        node: NodeId,
+        cq: CqId,
+        max: usize,
+        out: &mut Vec<Cqe>,
+    ) -> usize {
+        self.fab.poll_cq_into(node, cq, max, out)
     }
 
     /// Host-side memory of one node.

@@ -13,6 +13,7 @@
 //! * Incoming payloads land in the NVM's volatile layer tagged as NIC-dirty;
 //!   only an incoming READ (the paper's `gFLUSH`) pushes them to durability.
 
+use crate::payload::{self, Payload};
 use crate::types::{
     wqe_flags, CqId, Cqe, CqeStatus, FabricStats, Message, MrId, NicConfig, NicEffect, NicEvent,
     Opcode, QpId, RecvWqe, SrqId, Wqe, WQE_SIZE,
@@ -64,6 +65,12 @@ struct Cq {
     sem: u64,
     armed: bool,
     waiters: Vec<QpId>,
+    /// True for CQs consumed exclusively by in-NIC WAIT counters: the
+    /// completion bumps `sem` (and traces) but no host-pollable entry is
+    /// retained, mirroring a hardware CQ ring whose entries are overwritten
+    /// once the counter has seen them. Without this, a chain's loopback CQ
+    /// grows by one entry per operation forever.
+    wait_only: bool,
 }
 
 #[derive(Debug)]
@@ -237,6 +244,14 @@ impl RdmaFabric {
         CqId(n.cqs.len() as u32 - 1)
     }
 
+    /// Marks a CQ as consumed exclusively by in-NIC WAIT counters: `sem`
+    /// and traces behave as usual, but no host-pollable entries accumulate.
+    /// Use for loopback chain CQs no host ever polls — their queues would
+    /// otherwise grow by one completion per op for the lifetime of the sim.
+    pub fn set_cq_wait_only(&mut self, node: NodeId, cq: CqId) {
+        self.nodes[node.0 as usize].cqs[cq.0 as usize].wait_only = true;
+    }
+
     /// Creates a shared receive queue: a pool of RECVs drained by every QP
     /// attached to it, in arrival order across the QPs — the building block
     /// the paper names for multi-client HyperLoop groups (§5).
@@ -345,6 +360,23 @@ impl RdmaFabric {
         wqe: Wqe,
         out: &mut Outbox<NicEffect>,
     ) -> u64 {
+        let slot = self.post_send_quiet(now, node, qp, wqe);
+        if wqe.is_owned() {
+            self.kick(node, qp, out);
+        }
+        slot
+    }
+
+    /// Posts a send-side WQE *without ringing the doorbell*: the descriptor
+    /// lands in the ring but the engine is not woken, even if it carries
+    /// `HW_OWNED`. Callers batching several posts to one QP follow up with
+    /// a single [`RdmaFabric::doorbell`] — one engine wake per batch
+    /// instead of one per descriptor (doorbell coalescing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full or the QP is unconnected.
+    pub fn post_send_quiet(&mut self, now: SimTime, node: NodeId, qp: QpId, wqe: Wqe) -> u64 {
         let q = &mut self.nodes[node.0 as usize].qps[qp.0 as usize];
         assert!(q.peer.is_some(), "posting on unconnected {node}/{qp}");
         assert!(
@@ -358,11 +390,15 @@ impl RdmaFabric {
             .mem
             .write_durable(addr, &wqe.encode())
             .expect("ring write in bounds");
-        if wqe.is_owned() {
-            self.kick(node, qp, out);
-        }
         let _ = now;
         slot
+    }
+
+    /// Rings a QP's doorbell: wakes the engine if it is not already
+    /// scheduled or parked. The closing half of a
+    /// [`RdmaFabric::post_send_quiet`] batch.
+    pub fn doorbell(&mut self, node: NodeId, qp: QpId, out: &mut Outbox<NicEffect>) {
+        self.kick(node, qp, out);
     }
 
     /// Grants NIC ownership of the next `count` not-yet-owned WQEs (the
@@ -423,9 +459,26 @@ impl RdmaFabric {
 
     /// Drains up to `max` host-visible completions from a CQ.
     pub fn poll_cq(&mut self, node: NodeId, cq: CqId, max: usize) -> Vec<Cqe> {
+        let mut out = Vec::new();
+        self.poll_cq_into(node, cq, max, &mut out);
+        out
+    }
+
+    /// Drains up to `max` host-visible completions from a CQ into a
+    /// caller-provided buffer (appended), returning how many were drained.
+    /// The batched-completion fastpath: a polling loop reuses one buffer
+    /// across every poll instead of allocating a fresh `Vec` per call.
+    pub fn poll_cq_into(
+        &mut self,
+        node: NodeId,
+        cq: CqId,
+        max: usize,
+        out: &mut Vec<Cqe>,
+    ) -> usize {
         let c = &mut self.nodes[node.0 as usize].cqs[cq.0 as usize];
         let n = max.min(c.entries.len());
-        c.entries.drain(..n).collect()
+        out.extend(c.entries.drain(..n));
+        n
     }
 
     /// Number of host-visible completions pending on a CQ.
@@ -665,10 +718,20 @@ impl RdmaFabric {
         fetch_cost: SimDuration,
         out: &mut Outbox<NicEffect>,
     ) {
-        let payload = match self.nodes[node.0 as usize]
-            .mem
-            .read_vec(eff.local_addr, eff.len)
-        {
+        // Gather into a pooled buffer: the one copy the op pays. Every hop
+        // downstream shares this payload by reference.
+        let node_idx = node.0 as usize;
+        let gathered = if eff.len == 0 {
+            self.nodes[node_idx]
+                .mem
+                .read(eff.local_addr, &mut [])
+                .map(|()| Payload::empty())
+        } else {
+            Payload::try_with(eff.len as usize, |buf| {
+                self.nodes[node_idx].mem.read(eff.local_addr, buf)
+            })
+        };
+        let payload = match gathered {
             Ok(p) => p,
             Err(_) => {
                 self.advance_with_error(now, node, qp, eff.wr_id, eff.opcode, out);
@@ -996,6 +1059,7 @@ impl RdmaFabric {
                             byte_len: payload.len() as u64,
                             imm: Some(imm_val),
                         };
+                        payload::recycle_sges(recv.sges);
                         self.complete(now, node, recv_cq, cqe, out);
                     }
                     self.config.dma(payload.len() as u64)
@@ -1031,14 +1095,15 @@ impl RdmaFabric {
                 let ok = capacity >= payload.len() as u64;
                 let op = self.requester_op(peer_node, peer_qp, seq);
                 let status = if ok {
+                    // Scatter straight out of the shared payload — no
+                    // intermediate chunk copies.
                     let mut off = 0usize;
                     for &(addr, len) in &recv.sges {
                         if off >= payload.len() {
                             break;
                         }
                         let take = (payload.len() - off).min(len as usize);
-                        let chunk = payload[off..off + take].to_vec();
-                        self.nic_write(now, node, op, addr, &chunk);
+                        self.nic_write(now, node, op, addr, &payload[off..off + take]);
                         off += take;
                     }
                     CqeStatus::Success
@@ -1055,6 +1120,7 @@ impl RdmaFabric {
                     byte_len: payload.len() as u64,
                     imm,
                 };
+                payload::recycle_sges(recv.sges);
                 let cost = self.config.dma(payload.len() as u64);
                 self.complete(now, node, recv_cq, cqe, out);
                 self.respond(
@@ -1077,16 +1143,23 @@ impl RdmaFabric {
                 // A PCIe read forces write-back of everything the NIC has
                 // posted: this is the durability point of gFLUSH.
                 let op = self.requester_op(peer_node, peer_qp, seq);
-                let dirty: Vec<(u64, u64)> =
+                let mut dirty: Vec<(u64, u64)> =
                     std::mem::take(&mut self.nodes[node.0 as usize].nic_dirty);
                 let flushed_any = !dirty.is_empty();
                 let flushed_bytes: u64 = dirty.iter().map(|&(_, l)| l).sum();
                 let flushed_ranges = dirty.len() as u32;
-                for (o, l) in dirty {
+                for &(o, l) in &dirty {
                     self.nodes[node.0 as usize]
                         .mem
                         .flush_range(o, l)
                         .expect("dirty range in bounds");
+                }
+                // Hand the buffer back: gFLUSH fires once per chained op, so
+                // dropping it here would mean an alloc/free pair per flush.
+                dirty.clear();
+                let nd = &mut self.nodes[node.0 as usize].nic_dirty;
+                if nd.is_empty() {
+                    *nd = dirty;
                 }
                 if flushed_any {
                     self.stats.nic_flushes += 1;
@@ -1111,17 +1184,17 @@ impl RdmaFabric {
                 let ok = self.mr_covers(node, remote_addr, len);
                 let (payload, status) = if ok {
                     let data = if len > 0 {
-                        self.nodes[node.0 as usize]
-                            .mem
-                            .read_vec(remote_addr, len)
-                            .expect("MR-covered read")
+                        Payload::try_with(len as usize, |buf| {
+                            self.nodes[node.0 as usize].mem.read(remote_addr, buf)
+                        })
+                        .expect("MR-covered read")
                     } else {
-                        Vec::new()
+                        Payload::empty()
                     };
                     (data, CqeStatus::Success)
                 } else {
                     self.stats.errors += 1;
-                    (Vec::new(), CqeStatus::RemoteAccessError)
+                    (Payload::empty(), CqeStatus::RemoteAccessError)
                 };
                 let cost = self.config.flush_base + self.config.dma(len);
                 self.respond(
@@ -1153,11 +1226,12 @@ impl RdmaFabric {
                     self.stats.errors += 1;
                     (0, CqeStatus::RemoteAccessError)
                 } else {
-                    let cur = self.nodes[node.0 as usize]
+                    let mut cur = [0u8; 8];
+                    self.nodes[node.0 as usize]
                         .mem
-                        .read_vec(remote_addr, 8)
+                        .read(remote_addr, &mut cur)
                         .expect("MR-covered read");
-                    let original = u64::from_le_bytes(cur.try_into().unwrap());
+                    let original = u64::from_le_bytes(cur);
                     if original == compare {
                         let bytes = swap.to_le_bytes();
                         self.nic_write(now, node, op, remote_addr, &bytes);
@@ -1187,22 +1261,15 @@ impl RdmaFabric {
                 payload,
                 status,
             } => {
-                self.complete_request(now, node, qp, seq, status, Some(payload), out);
+                self.complete_request(now, node, qp, seq, status, Some(&payload), out);
             }
             Message::CasResp {
                 seq,
                 original,
                 status,
             } => {
-                self.complete_request(
-                    now,
-                    node,
-                    qp,
-                    seq,
-                    status,
-                    Some(original.to_le_bytes().to_vec()),
-                    out,
-                );
+                let bytes = original.to_le_bytes();
+                self.complete_request(now, node, qp, seq, status, Some(&bytes), out);
             }
         }
     }
@@ -1242,7 +1309,7 @@ impl RdmaFabric {
         qp: QpId,
         seq: u64,
         status: CqeStatus,
-        resp_payload: Option<Vec<u8>>,
+        resp_payload: Option<&[u8]>,
         out: &mut Outbox<NicEffect>,
     ) {
         let pending = {
@@ -1258,7 +1325,7 @@ impl RdmaFabric {
         };
         if let Some(data) = resp_payload {
             if !data.is_empty() && status == CqeStatus::Success {
-                self.nic_write(now, node, pending.wr_id, pending.resp_dst, &data);
+                self.nic_write(now, node, pending.wr_id, pending.resp_dst, data);
             }
         }
         if pending.signaled || status != CqeStatus::Success {
@@ -1298,16 +1365,24 @@ impl RdmaFabric {
             },
         );
         let c = &mut self.nodes[node.0 as usize].cqs[cq.0 as usize];
-        c.entries.push_back(cqe);
+        if !c.wait_only {
+            c.entries.push_back(cqe);
+        }
         c.sem += 1;
         if c.armed {
             c.armed = false;
             out.emit_now(NicEffect::HostNotify { node, cq });
         }
-        let waiters = std::mem::take(&mut c.waiters);
-        for qp in waiters {
+        let mut waiters = std::mem::take(&mut c.waiters);
+        for qp in waiters.drain(..) {
             self.nodes[node.0 as usize].qps[qp.0 as usize].parked_on_cq = None;
             self.kick(node, qp, out);
+        }
+        // Hand the (drained) buffer back so wake-ups stop allocating. A WQE
+        // parked during the loop keeps its fresh vector instead.
+        let c = &mut self.nodes[node.0 as usize].cqs[cq.0 as usize];
+        if c.waiters.is_empty() {
+            c.waiters = waiters;
         }
     }
 }

@@ -29,11 +29,13 @@
 
 pub mod ctx;
 pub mod fabric;
+pub mod payload;
 pub mod types;
 
 pub use ctx::NicCtx;
 pub use fabric::RdmaFabric;
 pub use netsim::NodeId;
+pub use payload::Payload;
 pub use types::{
     wqe_flags, CqId, Cqe, CqeStatus, FabricStats, Message, MrId, NicConfig, NicEffect, NicEvent,
     Opcode, QpId, RecvWqe, SrqId, Wqe, WQE_SIZE,

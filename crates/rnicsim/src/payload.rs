@@ -1,0 +1,326 @@
+//! Pooled, reference-counted payload buffers — the zero-copy fastpath.
+//!
+//! A replicated 1KB gWRITE used to clone its body at every chain hop: the
+//! requester NIC gathered it into a fresh `Vec<u8>`, the wire message
+//! owned that vector, and every stash/forward/scatter touched the
+//! allocator again. [`Payload`] replaces the owned vector with an
+//! `Rc<Vec<u8>>` drawn from a thread-local slab: cloning a message is a
+//! refcount bump, and dropping the last handle returns the buffer — *and
+//! its `Rc` control block* — to the pool, so a steady-state data path
+//! performs zero net allocations per operation once warm.
+//!
+//! # Lifecycle
+//!
+//! * [`Payload::try_with`] / [`Payload::copy_from`] take a pooled buffer
+//!   (count 1), clear it, and fill it — a recycled buffer is always
+//!   truncated to zero length before reuse, so stale bytes from a previous
+//!   op can never leak into a new one (pinned by the recycle-poisoning
+//!   test).
+//! * Clones share the buffer read-only; [`Payload`] never exposes `&mut`.
+//! * `Drop` of the last handle pushes the still-allocated `Rc` back onto
+//!   the pool. Buffers above [`MAX_POOLED_CAPACITY`] and buffers past the
+//!   [`MAX_POOLED_BUFFERS`] depth fall through to the allocator, bounding
+//!   the slab.
+//!
+//! The pool is host-side, thread-local state: it changes *where* bytes
+//! live, never *what* the simulation computes — same-seed timelines are
+//! byte-identical with any pool depth, which is why a process-wide slab is
+//! safe in a deterministic simulator.
+//!
+//! The same slab idea recycles RECV scatter lists ([`take_sges`] /
+//! [`recycle_sges`]): rings re-post a `RecvWqe` per operation, and its
+//! `Vec<(addr, len)>` is the only remaining per-op allocation on that
+//! path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Buffers with more capacity than this are not pooled (a one-off bulk
+/// copy should not pin megabytes in the slab).
+pub const MAX_POOLED_CAPACITY: usize = 64 << 10;
+/// Maximum buffers the payload slab retains.
+pub const MAX_POOLED_BUFFERS: usize = 256;
+/// Maximum scatter lists the SGE slab retains.
+const MAX_POOLED_SGES: usize = 256;
+
+thread_local! {
+    static PAYLOAD_POOL: RefCell<Vec<Rc<Vec<u8>>>> = const { RefCell::new(Vec::new()) };
+    static SGE_POOL: RefCell<Vec<Vec<(u64, u32)>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a uniquely-owned pooled buffer, or allocates a fresh one.
+fn take_buf() -> Rc<Vec<u8>> {
+    PAYLOAD_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| Rc::new(Vec::new()))
+}
+
+/// Returns a uniquely-owned buffer (control block and all) to the pool.
+fn put_buf(buf: Rc<Vec<u8>>) {
+    debug_assert_eq!(Rc::strong_count(&buf), 1);
+    if buf.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    PAYLOAD_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED_BUFFERS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Takes a cleared scatter list from the SGE slab (or a fresh one).
+pub fn take_sges() -> Vec<(u64, u32)> {
+    SGE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Returns a scatter list's storage to the SGE slab.
+pub fn recycle_sges(mut sges: Vec<(u64, u32)>) {
+    sges.clear();
+    SGE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED_SGES {
+            pool.push(sges);
+        }
+    });
+}
+
+/// Number of buffers currently parked in the payload slab (test hook).
+pub fn pool_depth() -> usize {
+    PAYLOAD_POOL.with(|p| p.borrow().len())
+}
+
+/// An immutable, reference-counted, pool-recycled byte buffer: the body of
+/// a wire [`Message`](crate::Message).
+///
+/// Dereferences to `&[u8]`; equality and ordering compare bytes. Cloning
+/// is O(1) (refcount bump) — the zero-copy property that lets one gWRITE
+/// body ride a whole replication chain untouched.
+pub struct Payload {
+    /// `None` only transiently during drop (and for the empty payload —
+    /// the empty buffer needs no pool trip).
+    data: Option<Rc<Vec<u8>>>,
+}
+
+impl Payload {
+    /// The empty payload (no buffer, no allocation).
+    pub fn empty() -> Payload {
+        Payload { data: None }
+    }
+
+    /// A pooled copy of `bytes`.
+    pub fn copy_from(bytes: &[u8]) -> Payload {
+        if bytes.is_empty() {
+            return Payload::empty();
+        }
+        let mut buf = take_buf();
+        let v = Rc::get_mut(&mut buf).expect("pooled buffer uniquely owned");
+        v.clear();
+        v.extend_from_slice(bytes);
+        Payload { data: Some(buf) }
+    }
+
+    /// A pooled `len`-byte payload filled by `f`, which sees a zeroed
+    /// buffer — never a previous op's bytes. On error the buffer returns
+    /// to the pool and the error propagates.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` returns.
+    pub fn try_with<Err>(
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> Result<(), Err>,
+    ) -> Result<Payload, Err> {
+        if len == 0 {
+            return Ok(Payload::empty());
+        }
+        let mut buf = take_buf();
+        let v = Rc::get_mut(&mut buf).expect("pooled buffer uniquely owned");
+        v.clear();
+        v.resize(len, 0);
+        match f(&mut v[..]) {
+            Ok(()) => Ok(Payload { data: Some(buf) }),
+            Err(e) => {
+                put_buf(buf);
+                Err(e)
+            }
+        }
+    }
+
+    /// A pooled `len`-byte payload of zeroes (e.g. a decoded header whose
+    /// body travels out of band and only the length matters).
+    pub fn zeroed(len: usize) -> Payload {
+        Payload::try_with::<std::convert::Infallible>(len, |_| Ok(()))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// A pooled `len`-byte payload filled with `byte` (benchmark op
+    /// bodies).
+    pub fn filled(byte: u8, len: usize) -> Payload {
+        Payload::try_with::<std::convert::Infallible>(len, |buf| {
+            buf.fill(byte);
+            Ok(())
+        })
+        .unwrap_or_else(|e| match e {})
+    }
+
+    /// Wraps an already-built vector without copying. The vector joins the
+    /// pool when the last handle drops.
+    pub fn from_vec(v: Vec<u8>) -> Payload {
+        if v.is_empty() {
+            return Payload::empty();
+        }
+        Payload {
+            data: Some(Rc::new(v)),
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        self.data.as_deref().map_or(&[], |v| v.as_slice())
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.as_deref().map_or(0, |v| v.len())
+    }
+
+    /// True for the empty payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        if let Some(rc) = self.data.take() {
+            if Rc::strong_count(&rc) == 1 {
+                put_buf(rc);
+            }
+        }
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload {
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Payload {
+        Payload::copy_from(b)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Payload {}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Payload").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Payload::copy_from(b"hello");
+        let b = a.clone();
+        assert_eq!(a.as_slice(), b.as_slice());
+        // Same backing allocation, not a byte copy.
+        assert!(std::ptr::eq(a.as_slice(), b.as_slice()));
+    }
+
+    #[test]
+    fn recycled_buffer_never_leaks_stale_bytes() {
+        // Fill a large payload with a poison pattern, drop it (returning
+        // the buffer to the pool), then take smaller payloads and verify
+        // only the new bytes are visible.
+        let poison = Payload::copy_from(&[0xAAu8; 4096]);
+        drop(poison);
+        let clean = Payload::copy_from(b"xy");
+        assert_eq!(clean.as_slice(), b"xy");
+        let zeroed = Payload::try_with::<()>(64, |buf| {
+            assert!(
+                buf.iter().all(|&b| b == 0),
+                "try_with must present a zeroed buffer, never a previous op's bytes"
+            );
+            buf[0] = 7;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(zeroed[0], 7);
+        assert!(zeroed[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_payload_allocates_nothing() {
+        let e = Payload::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.as_slice(), b"");
+        assert_eq!(e, Payload::copy_from(b""));
+    }
+
+    #[test]
+    fn last_drop_returns_buffer_to_pool() {
+        let before = pool_depth();
+        let p = Payload::copy_from(b"pooled");
+        let q = p.clone();
+        drop(p);
+        // A live clone keeps the buffer out of the pool.
+        assert_eq!(pool_depth(), before.saturating_sub(1));
+        drop(q);
+        assert!(pool_depth() > before.saturating_sub(1));
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let big = Payload::copy_from(&vec![1u8; MAX_POOLED_CAPACITY + 1]);
+        drop(big);
+        // No pooled buffer may exceed the cap.
+        PAYLOAD_POOL.with(|p| {
+            assert!(p
+                .borrow()
+                .iter()
+                .all(|b| b.capacity() <= MAX_POOLED_CAPACITY));
+        });
+    }
+
+    #[test]
+    fn sge_slab_round_trips_cleared() {
+        let mut s = take_sges();
+        s.push((64, 128));
+        recycle_sges(s);
+        let s2 = take_sges();
+        assert!(s2.is_empty(), "recycled scatter lists come back cleared");
+    }
+}

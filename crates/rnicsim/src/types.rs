@@ -1,5 +1,6 @@
 //! Identifiers, configuration, work queue elements and completion formats.
 
+use crate::payload::Payload;
 use netsim::NodeId;
 use simcore::SimDuration;
 use std::fmt;
@@ -310,8 +311,8 @@ pub struct Cqe {
 pub enum Message {
     /// Two-sided send payload.
     Send {
-        /// Payload bytes.
-        payload: Vec<u8>,
+        /// Payload bytes (pooled, shared by reference along the chain).
+        payload: Payload,
         /// Optional immediate.
         imm: Option<u64>,
         /// Request sequence for the ack.
@@ -321,8 +322,8 @@ pub enum Message {
     Write {
         /// Destination address at the responder.
         remote_addr: u64,
-        /// Payload bytes.
-        payload: Vec<u8>,
+        /// Payload bytes (pooled, shared by reference along the chain).
+        payload: Payload,
         /// Immediate: also consume a RECV and deliver a completion.
         imm: Option<u64>,
         /// Request sequence for the ack.
@@ -360,7 +361,7 @@ pub enum Message {
         /// Sequence being answered.
         seq: u64,
         /// The data read (empty for a flush).
-        payload: Vec<u8>,
+        payload: Payload,
         /// Outcome at the responder.
         status: CqeStatus,
     },
@@ -508,7 +509,7 @@ mod tests {
     fn wire_size_includes_payload() {
         let m = Message::Write {
             remote_addr: 0,
-            payload: vec![0; 1000],
+            payload: Payload::copy_from(&[0; 1000]),
             imm: None,
             seq: 1,
         };

@@ -48,6 +48,14 @@ pub struct Cluster {
     /// Fabric effects emitted during setup (e.g. HyperLoop group wiring);
     /// drained by the `Start` event.
     pending_nic_boot: Vec<(SimDuration, NicEffect)>,
+    /// Reused effect buffers — one set of allocations for the whole run
+    /// instead of a fresh outbox/vector per simulation event. Taken with
+    /// `mem::take` around each use, so accidental re-entrancy degrades to
+    /// a fresh allocation instead of corruption.
+    nic_scratch: Outbox<NicEffect>,
+    cpu_scratch: Outbox<CpuEffect>,
+    route_scratch: Vec<(SimDuration, NicEffect)>,
+    staged_scratch: Vec<StagedAction>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -83,6 +91,10 @@ impl Cluster {
             config,
             pending_boot: Vec::new(),
             pending_nic_boot: Vec::new(),
+            nic_scratch: Outbox::new(),
+            cpu_scratch: Outbox::new(),
+            route_scratch: Vec::new(),
+            staged_scratch: Vec::new(),
         }
     }
 
@@ -226,7 +238,8 @@ impl Cluster {
         q: &mut EventQueue<ClusterEvent>,
     ) {
         // Draining may enqueue CPU tasks which emit further effects; loop.
-        let mut nic_effects: Vec<(SimDuration, NicEffect)> = out.drain().collect();
+        let mut nic_effects = std::mem::take(&mut self.route_scratch);
+        nic_effects.extend(out.drain());
         while let Some((delay, eff)) = nic_effects.pop() {
             match eff {
                 NicEffect::Internal(ev) => q.push_after(delay, ClusterEvent::Nic(ev)),
@@ -238,6 +251,7 @@ impl Cluster {
                 }
             }
         }
+        self.route_scratch = nic_effects;
     }
 
     fn route_cpu(
@@ -271,9 +285,10 @@ impl Cluster {
         let entry = &self.procs[proc.0 as usize];
         let node = entry.node;
         let cpu_proc = entry.cpu_proc;
-        let mut out = Outbox::new();
+        let mut out = std::mem::take(&mut self.cpu_scratch);
         self.scheds[node.0 as usize].submit(cpu_proc, TaskId(id), cost, op, now, &mut out);
         self.route_cpu(node, &mut out, q);
+        self.cpu_scratch = out;
     }
 
     fn run_handler(
@@ -286,15 +301,16 @@ impl Cluster {
         let Some(mut app) = self.apps[proc.0 as usize].take() else {
             return; // re-entrant call; cannot happen with the task protocol
         };
-        let mut nic_out = Outbox::new();
-        let mut staged: Vec<StagedAction> = Vec::new();
+        let mut nic_out = std::mem::take(&mut self.nic_scratch);
+        let mut staged = std::mem::take(&mut self.staged_scratch);
         {
             let mut env = Env::new(now, proc, &mut self.fab, &mut nic_out, &mut staged);
             app.on_event(&mut env, event);
         }
         self.apps[proc.0 as usize] = Some(app);
         self.route_nic(now, &mut nic_out, q);
-        for action in staged {
+        self.nic_scratch = nic_out;
+        for action in staged.drain(..) {
             match action {
                 StagedAction::Timer { delay, token } => {
                     q.push_after(delay, ClusterEvent::TimerDue { proc, token });
@@ -304,6 +320,7 @@ impl Cluster {
                 }
             }
         }
+        self.staged_scratch = staged;
     }
 
     /// Post-handler protocol for CQ bindings: re-arm, and if completions
@@ -351,14 +368,16 @@ impl Model for Cluster {
                 }
             }
             ClusterEvent::Nic(nic_ev) => {
-                let mut out = Outbox::new();
+                let mut out = std::mem::take(&mut self.nic_scratch);
                 self.fab.handle(now, nic_ev, &mut out);
                 self.route_nic(now, &mut out, q);
+                self.nic_scratch = out;
             }
             ClusterEvent::Cpu { node, ev } => {
-                let mut out = Outbox::new();
+                let mut out = std::mem::take(&mut self.cpu_scratch);
                 self.scheds[node.0 as usize].handle(now, ev, &mut out);
                 self.route_cpu(node, &mut out, q);
+                self.cpu_scratch = out;
             }
             ClusterEvent::TaskDone { id } => {
                 let Some((proc, kind)) = self.tasks.remove(&id) else {
@@ -400,7 +419,7 @@ impl Model for Cluster {
 /// cluster.
 pub fn drive<R>(sim: &mut Simulation<Cluster>, f: impl FnOnce(&mut NicCtx<'_>) -> R) -> R {
     let now = sim.queue.now();
-    let mut out = Outbox::new();
+    let mut out = std::mem::take(&mut sim.model.nic_scratch);
     let mut ctx = NicCtx::new(&mut sim.model.fab, now, &mut out);
     let r = f(&mut ctx);
     for (delay, eff) in out.drain() {
@@ -411,5 +430,6 @@ pub fn drive<R>(sim: &mut Simulation<Cluster>, f: impl FnOnce(&mut NicCtx<'_>) -
                 .push_after(delay, ClusterEvent::HostNotify { node, cq }),
         }
     }
+    sim.model.nic_scratch = out;
     r
 }

@@ -91,6 +91,18 @@ impl<'a> Env<'a> {
         self.fab.poll_cq(node, cq, max)
     }
 
+    /// Like [`Env::poll_cq`], but appends into a caller-owned buffer and
+    /// returns the count — the allocation-free completion path.
+    pub fn poll_cq_into(
+        &mut self,
+        node: NodeId,
+        cq: CqId,
+        max: usize,
+        out: &mut Vec<Cqe>,
+    ) -> usize {
+        self.fab.poll_cq_into(node, cq, max, out)
+    }
+
     /// Host-side memory access on any node this handler legitimately owns
     /// (the model does not stop cross-node access; don't use it for data
     /// paths, only for test instrumentation).

@@ -11,7 +11,7 @@ use hyperloop_repro::hyperloop::membership::{
 };
 use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use hyperloop_repro::netsim::{FabricConfig, NodeId};
-use hyperloop_repro::rnicsim::NicConfig;
+use hyperloop_repro::rnicsim::{NicConfig, Payload};
 
 fn main() {
     // Five machines: client, three chain members, one standby.
@@ -38,7 +38,7 @@ fn main() {
                     ctx,
                     GroupOp::Write {
                         offset: i * 64,
-                        data: vec![i as u8 + 1; 64],
+                        data: Payload::filled(i as u8 + 1, 64),
                         flush: true,
                     },
                 )
@@ -101,7 +101,7 @@ fn main() {
                 ctx,
                 GroupOp::Write {
                     offset: 5 * 64,
-                    data: vec![6; 64],
+                    data: Payload::filled(6, 64),
                     flush: true,
                 },
             )

@@ -7,7 +7,7 @@
 use hyperloop_repro::hyperloop::harness::{drive, fabric_sim};
 use hyperloop_repro::hyperloop::{ExecuteMap, GroupConfig, GroupOp, HyperLoopGroup};
 use hyperloop_repro::netsim::{FabricConfig, NodeId};
-use hyperloop_repro::rnicsim::NicConfig;
+use hyperloop_repro::rnicsim::{NicConfig, Payload};
 
 fn main() {
     // A client machine plus three replica machines on a 56 Gbps fabric.
@@ -34,7 +34,7 @@ fn main() {
                 ctx,
                 GroupOp::Write {
                     offset: 0,
-                    data: b"hello, replicated world".to_vec(),
+                    data: Payload::copy_from(b"hello, replicated world"),
                     flush: true,
                 },
             )

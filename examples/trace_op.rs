@@ -11,7 +11,7 @@
 use hyperloop::harness::{drive, fabric_sim};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::{FabricConfig, NodeId};
-use rnicsim::NicConfig;
+use rnicsim::{NicConfig, Payload};
 use simcore::simtrace::{chrome_trace_json, op_breakdown, span_tree};
 use simcore::Tracer;
 
@@ -42,7 +42,7 @@ fn main() {
                 ctx,
                 GroupOp::Write {
                     offset: 0,
-                    data: vec![7u8; 1024],
+                    data: Payload::filled(7, 1024),
                     flush: true,
                 },
             )

@@ -6,7 +6,7 @@
 use hyperloop_repro::hyperloop::harness::{drive, fabric_sim};
 use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use hyperloop_repro::netsim::{FabricConfig, NodeId};
-use hyperloop_repro::rnicsim::NicConfig;
+use hyperloop_repro::rnicsim::{NicConfig, Payload};
 use hyperloop_repro::simcore::jsonw::canonicalize_report;
 use hyperloop_repro::simcore::simaudit::op_id_base;
 use hyperloop_repro::simcore::{Audit, SimRng, Tracer};
@@ -43,7 +43,7 @@ fn audited_run(seed: u64) -> Audit {
     let mut rng = SimRng::new(seed ^ 0x5EED);
     for i in 0..40u64 {
         let offset = (i % 16) * 4096;
-        let data = vec![(rng.next_u64() & 0xFF) as u8; 256];
+        let data = Payload::filled((rng.next_u64() & 0xFF) as u8, 256);
         drive(&mut sim, |ctx| {
             group
                 .client
@@ -124,7 +124,7 @@ fn durability_auditor_catches_a_dropped_flush_end_to_end() {
                     ctx,
                     GroupOp::Write {
                         offset: i * 4096,
-                        data: vec![0xAB; 512],
+                        data: Payload::copy_from(&[0xAB; 512]),
                         flush: true,
                     },
                 )
@@ -147,7 +147,7 @@ fn durability_auditor_catches_a_dropped_flush_end_to_end() {
                 ctx,
                 GroupOp::Write {
                     offset: 0x8000,
-                    data: vec![0xCD; 512],
+                    data: Payload::copy_from(&[0xCD; 512]),
                     flush: true,
                 },
             )

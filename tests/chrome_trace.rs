@@ -7,7 +7,7 @@
 use hyperloop_repro::hyperloop::harness::{drive, fabric_sim};
 use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use hyperloop_repro::netsim::{FabricConfig, NodeId};
-use hyperloop_repro::rnicsim::NicConfig;
+use hyperloop_repro::rnicsim::{NicConfig, Payload};
 use hyperloop_repro::simcore::jsonw::{canonicalize_report, parse, JsonValue};
 use hyperloop_repro::simcore::simprof::{
     chrome_trace_with_counters, CounterSample, CounterSampler, COUNTER_PID,
@@ -47,7 +47,7 @@ fn traced_run() -> (
                     ctx,
                     GroupOp::Write {
                         offset: 0,
-                        data: vec![0x5A; 768],
+                        data: Payload::copy_from(&[0x5A; 768]),
                         flush: true,
                     },
                 )

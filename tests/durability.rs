@@ -6,7 +6,7 @@ use hyperloop_repro::hyperloop::harness::{drive, fabric_sim};
 use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use hyperloop_repro::kvstore::{KvConfig, ReplicatedKv};
 use hyperloop_repro::netsim::{FabricConfig, NodeId};
-use hyperloop_repro::rnicsim::NicConfig;
+use hyperloop_repro::rnicsim::{NicConfig, Payload};
 use hyperloop_repro::simcore::SimRng;
 
 #[test]
@@ -37,7 +37,7 @@ fn acked_flushed_writes_survive_any_single_power_failure() {
                     ctx,
                     GroupOp::Write {
                         offset,
-                        data: data.clone(),
+                        data: Payload::copy_from(&data),
                         flush: true,
                     },
                 )

@@ -13,6 +13,7 @@ use hyperloop_repro::hyperloop::{
     plan_migration, GroupConfig, GroupOp, HyperLoopGroup, MigrationRun, ShardId, ShardSet,
 };
 use hyperloop_repro::netsim::NodeId;
+use hyperloop_repro::rnicsim::Payload;
 use hyperloop_repro::simcore::jsonw::canonicalize_report;
 use hyperloop_repro::simcore::simaudit::op_id_base;
 use hyperloop_repro::simcore::{
@@ -101,7 +102,7 @@ fn exporting_twice_is_idempotent() {
                     ShardId(s),
                     GroupOp::Write {
                         offset: k * 8192,
-                        data: vec![7; 128],
+                        data: Payload::copy_from(&[7; 128]),
                         flush: true,
                     },
                 )

@@ -6,7 +6,7 @@ use hyperloop_repro::hyperloop::fanout::FanoutGroup;
 use hyperloop_repro::hyperloop::harness::{drive, fabric_sim};
 use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use hyperloop_repro::netsim::{FabricConfig, NodeId};
-use hyperloop_repro::rnicsim::NicConfig;
+use hyperloop_repro::rnicsim::{NicConfig, Payload};
 use hyperloop_repro::simcore::SimRng;
 
 fn writes(seed: u64, n: u64) -> Vec<(u64, Vec<u8>)> {
@@ -48,7 +48,7 @@ fn fanout_and_chain_converge_to_identical_state() {
                         ctx,
                         GroupOp::Write {
                             offset: *off,
-                            data: data.clone(),
+                            data: Payload::copy_from(data),
                             flush: true,
                         },
                     )

@@ -7,6 +7,10 @@
 
 use hyperloop_bench::micro::{gwrite_plan, run_primitive, MicroOpts, SystemKind};
 use hyperloop_bench::report::{Report, Scenario};
+use hyperloop_repro::hyperloop::harness::{drive, fabric_sim};
+use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
+use hyperloop_repro::netsim::{FabricConfig, NodeId};
+use hyperloop_repro::rnicsim::{NicConfig, Payload};
 use hyperloop_repro::simcore::hostprof::{self, HostProf};
 use hyperloop_repro::simcore::jsonw::canonicalize_report;
 use std::sync::Mutex;
@@ -40,6 +44,96 @@ fn counting_allocator_balances_and_counts_reallocs_once() {
     assert_eq!(
         delta.alloc_bytes, delta.freed_bytes,
         "byte imbalance — realloc double-counted?"
+    );
+}
+
+#[test]
+fn steady_state_gwrite_performs_zero_net_allocations_per_op() {
+    let _flag = PROF_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    hostprof::disable();
+    let mut sim = fabric_sim(
+        4,
+        64 << 20,
+        NicConfig::default(),
+        FabricConfig::default(),
+        42,
+    );
+    let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+    let mut group = drive(&mut sim, |ctx| {
+        HyperLoopGroup::setup(ctx, NodeId(0), &nodes, GroupConfig::default())
+    });
+    sim.run();
+
+    let mut acks = Vec::new();
+    let mut cqes = Vec::new();
+    let mut run_one = |sim: &mut _, group: &mut HyperLoopGroup, i: u64| {
+        let data = Payload::filled((i & 0xFF) as u8, 1024);
+        drive(sim, |ctx| {
+            group
+                .client
+                .issue(
+                    ctx,
+                    GroupOp::Write {
+                        offset: (i % 64) * 4096,
+                        data,
+                        flush: true,
+                    },
+                )
+                .unwrap()
+        });
+        sim.run();
+        acks.clear();
+        let n = drive(sim, |ctx| group.client.poll_into(ctx, &mut acks));
+        assert_eq!(n, 1, "op {i}: got {n} acks");
+        // Off-critical-path maintenance, exactly the maintenance-app idiom:
+        // drain the upstream recv CQ and replenish one descriptor chain per
+        // consumed completion.
+        drive(sim, |ctx| {
+            for r in &mut group.replicas {
+                cqes.clear();
+                ctx.poll_cq_into(r.node(), r.recv_cq(), 64, &mut cqes);
+                r.replenish(ctx, cqes.len() as u32);
+            }
+        });
+        sim.run();
+    };
+
+    // Warm-up: payload/SGE slabs fill, timer-wheel slots and scratch
+    // vectors reach their high-water capacity. The wheel conserves slot
+    // buffers by swapping, so capacity keeps migrating between slots for a
+    // while — several hundred ops before the last cold slot has grown.
+    for i in 0..512u64 {
+        run_one(&mut sim, &mut group, i);
+    }
+
+    // Steady state: the whole gWRITE fastpath — op construction, gather,
+    // wire, chain forwarding, scatter, ack, poll — must recycle every
+    // buffer it takes. Net heap growth over the region is zero, which is
+    // only possible if each op's allocations are matched by frees.
+    let before = hostprof::alloc_snapshot();
+    let steady_ops = 256u64;
+    for i in 64..64 + steady_ops {
+        run_one(&mut sim, &mut group, i);
+    }
+    let delta = hostprof::alloc_snapshot().since(&before);
+
+    assert_eq!(
+        delta.allocs, delta.frees,
+        "steady-state gWRITE leaked allocations: {} allocs vs {} frees over {steady_ops} ops",
+        delta.allocs, delta.frees
+    );
+    // Byte traffic balances up to one deliberately growing piece of modeled
+    // state: the client NIC's posted-write range list (its acks are never
+    // gFLUSHed, and `nic_dirty_bytes` is an exported metric, so the ranges
+    // must be kept). That is 16 bytes/op of amortized Vec growth — allow
+    // its doubling realloc to land in the window, and nothing more.
+    let net = delta.alloc_bytes.saturating_sub(delta.freed_bytes);
+    assert!(
+        net <= 64 * steady_ops,
+        "steady-state gWRITE grew the heap beyond the modeled NIC-cache \
+         range list: {} bytes in, {} bytes out (net {net}) over {steady_ops} ops",
+        delta.alloc_bytes,
+        delta.freed_bytes
     );
 }
 

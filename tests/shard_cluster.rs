@@ -7,6 +7,7 @@
 
 use hyperloop_repro::hyperloop::{GroupConfig, GroupOp, HyperLoopGroup, ShardId, ShardSet};
 use hyperloop_repro::netsim::NodeId;
+use hyperloop_repro::rnicsim::Payload;
 use hyperloop_repro::simcore::{SimRng, SimTime};
 use hyperloop_repro::testbed::{drive, Cluster, ClusterConfig, ShardPlacement};
 
@@ -64,7 +65,7 @@ fn run_sharded(seed: u64) -> (Vec<(u64, u64)>, Timeline) {
                         key,
                         GroupOp::Write {
                             offset: (key % 32) * 16384,
-                            data: vec![(key & 0xFF) as u8; 256],
+                            data: Payload::filled((key & 0xFF) as u8, 256),
                             flush: true,
                         },
                     )

@@ -15,6 +15,7 @@ use hyperloop_repro::hyperloop::{
 };
 use hyperloop_repro::kvstore::{KvConfig, ReplicatedKv, ShardedKv};
 use hyperloop_repro::netsim::NodeId;
+use hyperloop_repro::rnicsim::Payload;
 use hyperloop_repro::simcore::simtrace::{chrome_trace_json, Tracer};
 use hyperloop_repro::simcore::{SimRng, SimTime};
 use hyperloop_repro::testbed::{drive, Cluster, ClusterConfig, ShardPlacement};
@@ -96,7 +97,7 @@ fn run(seed: u64, mid: Mid) -> RunOut {
     }
     let op_for = |key: u64| GroupOp::Write {
         offset: (key % 32) * 16384,
-        data: vec![(key & 0xFF) as u8; 256],
+        data: Payload::filled((key & 0xFF) as u8, 256),
         flush: true,
     };
 

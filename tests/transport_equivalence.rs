@@ -7,6 +7,7 @@ use hyperloop_repro::hyperloop::{
     ExecuteMap, GroupConfig, GroupOp, GroupTransport, HyperLoopGroup, ShardId, ShardSet,
 };
 use hyperloop_repro::netsim::NodeId;
+use hyperloop_repro::rnicsim::Payload;
 use hyperloop_repro::simcore::{SimDuration, SimRng};
 use hyperloop_repro::testbed::{drive, Cluster};
 
@@ -22,7 +23,7 @@ fn op_sequence(seed: u64, n: usize) -> Vec<GroupOp> {
                 // 32 write slots >> the 16-op window: no overlap in flight.
                 0 => GroupOp::Write {
                     offset: (i % 32) * 32768,
-                    data: vec![(i & 0xFF) as u8; rng.gen_range(1..2048) as usize],
+                    data: Payload::filled((i & 0xFF) as u8, rng.gen_range(1..2048) as usize),
                     flush: true,
                 },
                 // Lock words live in their own area (never gWRITten).
