@@ -17,6 +17,11 @@
 //! states drawn from the closed `healthy`/`degraded`/`stalled` enum,
 //! every number finite, and an invariant-violation count of exactly zero.
 //!
+//! Scenarios carrying `txn.*` counters (the txnmix sweep) get the
+//! transaction-lifecycle gate: `txn.committed` and `txn.aborted` must each
+//! stay at or below `txn.started`, and so must their sum — a commit
+//! attempt resolves exactly once.
+//!
 //! Every scenario must also carry a `host` block — the wall-clock
 //! self-profile of the simulator ([`simcore::hostprof`]) — with a *closed*
 //! key set (unknown keys fail, so schema drift is caught on both sides),
@@ -97,6 +102,46 @@ fn check_shard_monotonicity(counters: &JsonValue) -> Result<(), String> {
         if acked > issued {
             return Err(format!("{k}={acked} exceeds {issued_key}={issued}"));
         }
+    }
+    Ok(())
+}
+
+/// Scenarios carrying transaction counters (`txn.*`, the txnmix sweep)
+/// must keep the lifecycle accounting consistent: every commit attempt
+/// either committed or aborted, never both, so `committed <= started`,
+/// `aborted <= started`, and `committed + aborted <= started` (in-flight
+/// transactions make it strict). `txn.lock_retries` only needs to be a
+/// non-negative integer, which `check_numbers` already enforces.
+fn check_txn_counters(counters: &JsonValue) -> Result<(), String> {
+    let Some(started) = counters.get("txn.started").and_then(|v| v.as_u64()) else {
+        return Ok(());
+    };
+    let committed = counters
+        .get("txn.committed")
+        .and_then(|v| v.as_u64())
+        .ok_or("txn.started present but txn.committed missing")?;
+    let aborted = counters
+        .get("txn.aborted")
+        .and_then(|v| v.as_u64())
+        .ok_or("txn.started present but txn.aborted missing")?;
+    counters
+        .get("txn.lock_retries")
+        .and_then(|v| v.as_u64())
+        .ok_or("txn.started present but txn.lock_retries missing")?;
+    if committed > started {
+        return Err(format!(
+            "txn.committed={committed} exceeds txn.started={started}"
+        ));
+    }
+    if aborted > started {
+        return Err(format!(
+            "txn.aborted={aborted} exceeds txn.started={started}"
+        ));
+    }
+    if committed + aborted > started {
+        return Err(format!(
+            "txn.committed={committed} + txn.aborted={aborted} exceeds txn.started={started}"
+        ));
     }
     Ok(())
 }
@@ -360,6 +405,7 @@ fn check_file(
             if let Some(c) = metrics.get("counters") {
                 check_numbers(c, "metrics.counters", true).map_err(|m| fail(path, name, &m))?;
                 check_shard_monotonicity(c).map_err(|m| fail(path, name, &m))?;
+                check_txn_counters(c).map_err(|m| fail(path, name, &m))?;
                 // The audit total rides in the registry snapshot too — a
                 // report without a health block still cannot hide one.
                 if let Some(v) = c.get("audit.violations").and_then(|v| v.as_u64()) {

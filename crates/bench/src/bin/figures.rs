@@ -103,6 +103,9 @@ fn main() {
     if has("hostperf") {
         hyperloop_bench::hostperf::hostperf(&mut rep, quick);
     }
+    if has("txnmix") {
+        hyperloop_bench::txnmix::txnmix(&mut rep, quick);
+    }
     if has("ablations") || wanted.contains(&"ablations") {
         hyperloop_bench::appbench::ablations(&mut rep, quick);
     }

@@ -260,6 +260,9 @@ impl<T: GroupTransport + 'static> KvDriver<T> {
                     self.try_put(env, key, value);
                     return;
                 }
+                ycsb::Operation::Transfer { .. } => {
+                    unreachable!("multi-key transfers need the txn API (see txnmix)")
+                }
             }
         }
     }
@@ -439,6 +442,9 @@ impl<T: GroupTransport + 'static> DocDriver<T> {
                         return;
                     }
                     continue;
+                }
+                ycsb::Operation::Transfer { .. } => {
+                    unreachable!("multi-key transfers need the txn API (see txnmix)")
                 }
             }
             if !self.pace.is_zero() {

@@ -21,9 +21,11 @@
 //! chain — and three beyond-the-paper sweeps: `shardscale` ([`shardscale`]),
 //! aggregate throughput vs shard count over the [`hyperloop::ShardSet`]
 //! layer, `migrate` ([`migrate`]), the pause window and throughput dip of a
-//! live shard migration, and `hostperf` ([`hostperf`]), the *host*
+//! live shard migration, `hostperf` ([`hostperf`]), the *host*
 //! throughput of the simulator itself (ops/sec of wall clock, allocation
-//! volume and the observability tax).
+//! volume and the observability tax), and `txnmix` ([`txnmix`]), multi-key
+//! transaction commit/abort throughput vs contention over both commit
+//! paths of the `hyperloop::txn` layer.
 //!
 //! The only unsafe code in the crate is the counting global allocator in
 //! [`hostalloc`]; everything else stays `deny(unsafe_code)`.
@@ -44,6 +46,7 @@ pub mod migrate;
 pub mod mongo2;
 pub mod report;
 pub mod shardscale;
+pub mod txnmix;
 
 pub use driver::{OpPlan, PrimitiveDriver};
 pub use micro::{MicroOpts, MicroResult, SystemKind};

@@ -1,0 +1,513 @@
+//! The transaction-mix benchmark: multi-key transactions vs contention.
+//!
+//! One client machine drives a 4-shard [`ShardedKv`] with a mix of YCSB
+//! workload-F read-modify-write transactions and two-key [`Transfer`]
+//! transactions (distinct zipfian accounts, often on different shards),
+//! through both commit paths of the transaction layer: **locking**
+//! (paper-§5 gCAS write locks in global key order) and **optimistic**
+//! (FDB-style validate-then-commit over version words). The zipfian skew
+//! `theta` is the contention knob — higher theta concentrates traffic on
+//! fewer hot keys, driving lock retries on the locking path and validation
+//! aborts on the optimistic one.
+//!
+//! Auditing is always on for measured arms: the standard auditor set plus
+//! the transaction auditor (atomicity, isolation, lock hygiene) watch
+//! every arm, and every arm additionally checks *conservation* — transfers
+//! move value between accounts, so the sum of all balances must end at
+//! zero. A lost update, partial commit or leaked lock shows up as either
+//! an audit violation or a conservation failure.
+//!
+//! [`Transfer`]: ycsb::Operation::Transfer
+
+use crate::report::{us, Report, Scenario};
+use hyperloop::txn::{CommitMode, TxnOutcome};
+use hyperloop::{GroupConfig, HyperLoopGroup, ReplicaHandle, ShardId};
+use kvstore::{KvConfig, KvTxn, ReplicatedKv, ShardedKv};
+use netsim::NodeId;
+use simcore::simaudit::op_id_base;
+use simcore::{
+    Audit, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry, SimTime, Tracer,
+};
+use std::collections::HashMap;
+use testbed::cluster::drive;
+use testbed::{Cluster, ClusterConfig, ShardPlacement};
+use ycsb::{Generator, Operation, Workload};
+
+/// Transaction-mix benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnMixOpts {
+    /// Number of shards (each a full replication chain).
+    pub shards: u32,
+    /// Replicas per shard chain.
+    pub replicas_per_shard: u32,
+    /// Logical transactions to complete (each retried until it commits).
+    pub txns: u64,
+    /// Transactions kept in flight concurrently.
+    pub concurrency: usize,
+    /// Zipfian skew `theta ∈ (0, 1)` — the contention knob.
+    pub theta: f64,
+    /// Accounts in the transfer keyspace (workload F uses a disjoint
+    /// keyspace of the same size, offset above it).
+    pub records: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for TxnMixOpts {
+    fn default() -> Self {
+        TxnMixOpts {
+            shards: 4,
+            replicas_per_shard: 3,
+            txns: 512,
+            concurrency: 8,
+            theta: 0.9,
+            records: 256,
+            seed: 0x7A317,
+        }
+    }
+}
+
+/// Result of one (mode, theta) arm.
+#[derive(Debug, Clone)]
+pub struct TxnMixResult {
+    /// The commit path measured.
+    pub mode: CommitMode,
+    /// Commit latency distribution (submission to committed outcome).
+    pub latency: LatencySummary,
+    /// Wall time from first submission to last commit.
+    pub elapsed: simcore::SimDuration,
+    /// Logical transactions committed (= the offered load).
+    pub committed: u64,
+    /// Commit attempts that aborted and were retried.
+    pub aborted: u64,
+    /// Lock acquisitions that backed off and retried (locking path).
+    pub lock_retries: u64,
+    /// Mean number of distinct shards per committed transaction.
+    pub mean_span: f64,
+    /// Cluster + transaction metrics snapshot.
+    pub registry: MetricsRegistry,
+    /// The audit's structured violation report (deterministic JSON).
+    pub audit_json: String,
+    /// Audit violations observed (expected zero).
+    pub violations: u64,
+    /// Host-side (wall-clock) statistics with the observability tax.
+    pub host: HostStats,
+}
+
+impl TxnMixResult {
+    /// Committed transactions per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.committed as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Aborts per commit (the contention signature).
+    pub fn abort_ratio(&self) -> f64 {
+        self.aborted as f64 / self.committed.max(1) as f64
+    }
+}
+
+/// One logical transaction drawn from the workload mix, retried across
+/// aborts until it commits.
+#[derive(Debug, Clone)]
+enum MixOp {
+    /// Read-only txn (the F read half).
+    Read(u64),
+    /// Workload-F RMW: read the key, write back a derived value.
+    Rmw(u64, Vec<u8>),
+    /// Two-account transfer (conserves the balance sum).
+    Transfer(u64, u64, u64),
+}
+
+fn balance(v: Option<Vec<u8>>) -> i64 {
+    v.map(|b| i64::from_le_bytes(b[..8].try_into().expect("8-byte balance")))
+        .unwrap_or(0)
+}
+
+/// Builds and submits one transaction for `op`; returns the txn id.
+fn submit(kv: &mut ShardedKv<hyperloop::GroupClient>, op: &MixOp, f_base: u64) -> u64 {
+    let mut t: KvTxn = kv.txn();
+    match op {
+        MixOp::Read(key) => {
+            kv.txn_get(&mut t, f_base + key);
+        }
+        MixOp::Rmw(key, value) => {
+            kv.txn_get(&mut t, f_base + key);
+            kv.txn_put(&mut t, f_base + key, value.clone())
+                .expect("geometry");
+        }
+        MixOp::Transfer(from, to, amount) => {
+            let bf = balance(kv.txn_get(&mut t, *from));
+            let bt = balance(kv.txn_get(&mut t, *to));
+            kv.txn_put(&mut t, *from, (bf - *amount as i64).to_le_bytes().to_vec())
+                .expect("geometry");
+            kv.txn_put(&mut t, *to, (bt + *amount as i64).to_le_bytes().to_vec())
+                .expect("geometry");
+        }
+    }
+    kv.txn_commit(t)
+}
+
+/// Distinct shards `op` touches.
+fn span_of(kv: &ShardedKv<hyperloop::GroupClient>, op: &MixOp, f_base: u64) -> u64 {
+    match op {
+        MixOp::Read(k) | MixOp::Rmw(k, _) => {
+            let _ = kv.route(f_base + k);
+            1
+        }
+        MixOp::Transfer(from, to, _) => {
+            if kv.route(*from) == kv.route(*to) {
+                1
+            } else {
+                2
+            }
+        }
+    }
+}
+
+/// Runs one arm with audit + trace taps on, then re-runs the identical
+/// timeline bare to measure the observability tax.
+///
+/// # Panics
+///
+/// Panics on data-path errors, a stalled run, a livelocked transaction, or
+/// a conservation failure.
+pub fn run_txnmix(mode: CommitMode, opts: TxnMixOpts) -> TxnMixResult {
+    let mut res = run_txnmix_once(mode, opts, true);
+    let bare = run_txnmix_once(mode, opts, false);
+    res.host = res.host.with_bare_wall_ns(bare.host.wall_ns);
+    res
+}
+
+fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMixResult {
+    let meter = HostMeter::start();
+    let client = NodeId(0);
+    let nodes = 1 + opts.shards * opts.replicas_per_shard;
+    let mut cluster = Cluster::new(
+        nodes,
+        4,
+        256 << 20,
+        ClusterConfig {
+            seed: opts.seed,
+            ..ClusterConfig::default()
+        },
+    );
+    let placement = ShardPlacement::RoundRobin {
+        replicas_per_shard: opts.replicas_per_shard,
+    };
+    let chains = cluster.place_shards(&placement, opts.shards, client);
+    let audit = if observed {
+        Audit::standard()
+    } else {
+        Audit::disabled()
+    };
+    let tracer = Tracer::disabled().with_audit(audit.clone());
+    cluster.set_tracer(tracer.clone());
+
+    let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
+        chains
+            .iter()
+            .enumerate()
+            .map(|(i, chain)| {
+                let cfg = GroupConfig {
+                    shared_size: 4 << 20,
+                    meta_slots: 64,
+                    prepost_depth: 128,
+                    window: 16,
+                    first_gen: op_id_base(i as u32, 0),
+                };
+                HyperLoopGroup::setup(ctx, client, chain, cfg)
+            })
+            .collect()
+    });
+    let (clients, mut replicas): (Vec<_>, Vec<Vec<ReplicaHandle>>) =
+        groups.into_iter().map(|g| (g.client, g.replicas)).unzip();
+    let stores: Vec<ReplicatedKv<hyperloop::GroupClient>> = clients
+        .into_iter()
+        .map(|mut c| {
+            c.set_tracer(tracer.clone());
+            ReplicatedKv::new(c, KvConfig::default())
+        })
+        .collect();
+    let mut kv = ShardedKv::with_hash_router(stores);
+    kv.enable_txns(mode, opts.seed ^ 0x7);
+    kv.set_txn_audit(audit.clone());
+
+    let mut sim = cluster.into_sim();
+    sim.run(); // drain group wiring
+    for s in 0..opts.shards {
+        audit.probe(
+            sim.now(),
+            simcore::simaudit::Probe::Window {
+                shard: s,
+                window: 16,
+            },
+        );
+    }
+
+    // The offered load: alternate workload-F ops (reads + RMWs on a
+    // keyspace above the accounts) and two-key transfers (on the account
+    // keyspace, where conservation is checked).
+    let f_base = opts.records;
+    let mut fgen = Generator::with_theta(Workload::F, opts.records, opts.seed ^ 0xF0, opts.theta);
+    let mut tgen = Generator::with_theta(
+        Workload::Transfer,
+        opts.records,
+        opts.seed ^ 0x71,
+        opts.theta,
+    );
+    let mut drawn = 0u64;
+    let mut next_op = |fgen: &mut Generator, tgen: &mut Generator| -> MixOp {
+        drawn += 1;
+        if drawn.is_multiple_of(2) {
+            match fgen.next_op() {
+                Operation::Read { key } => MixOp::Read(key),
+                Operation::ReadModifyWrite { key, value } => MixOp::Rmw(key, value),
+                other => MixOp::Read(other.key()),
+            }
+        } else {
+            loop {
+                if let Operation::Transfer { from, to, amount } = tgen.next_op() {
+                    return MixOp::Transfer(from, to, amount);
+                }
+            }
+        }
+    };
+
+    let mut outstanding: HashMap<u64, (MixOp, SimTime, u32)> = HashMap::new();
+    let mut hist = Histogram::new();
+    let mut committed = 0u64;
+    let mut span_sum = 0u64;
+    let mut submitted = 0u64;
+    let mut last_completed = vec![0u64; opts.shards as usize];
+    let started = sim.now();
+    let mut idle_ticks = 0u32;
+    while committed < opts.txns {
+        // Fill the concurrency window with fresh logical transactions.
+        while outstanding.len() < opts.concurrency && submitted < opts.txns {
+            let op = next_op(&mut fgen, &mut tgen);
+            let id = submit(&mut kv, &op, f_base);
+            outstanding.insert(id, (op, sim.now(), 0));
+            submitted += 1;
+        }
+        sim.run();
+        let done = drive(&mut sim, |ctx| {
+            kv.poll(ctx);
+            kv.pump_txns(ctx)
+        });
+        if done.is_empty() {
+            idle_ticks += 1;
+            assert!(
+                idle_ticks < 10_000,
+                "txnmix stalled at {committed}/{} with {} outstanding",
+                opts.txns,
+                outstanding.len()
+            );
+        } else {
+            idle_ticks = 0;
+        }
+        for (id, outcome) in done {
+            let (op, t0, attempts) = outstanding.remove(&id).expect("unknown txn completed");
+            match outcome {
+                TxnOutcome::Committed => {
+                    hist.record(sim.now().since(t0));
+                    span_sum += span_of(&kv, &op, f_base);
+                    committed += 1;
+                }
+                TxnOutcome::Aborted => {
+                    assert!(
+                        attempts < 256,
+                        "logical op livelocked after {attempts} aborts: {op:?}"
+                    );
+                    // Retry with fresh reads (and fresh versions).
+                    let id = submit(&mut kv, &op, f_base);
+                    outstanding.insert(id, (op, t0, attempts + 1));
+                }
+            }
+        }
+        // Keep every chain's pre-posted descriptor runway topped up.
+        drive(&mut sim, |ctx| {
+            for s in 0..opts.shards as usize {
+                let now_done = kv.shard(ShardId(s as u32)).transport.completed();
+                let delta = now_done - last_completed[s];
+                if delta > 0 {
+                    last_completed[s] = now_done;
+                    for r in replicas[s].iter_mut() {
+                        r.replenish(ctx, delta as u32);
+                    }
+                }
+            }
+        });
+    }
+    let elapsed = sim.now().since(started);
+    assert_eq!(sim.model.fab.stats().errors, 0, "data-path errors");
+
+    // Conservation: transfers move value between accounts; the account
+    // keyspace must sum to zero or a transaction lost (or forged) money.
+    let total: i64 = (0..opts.records)
+        .map(|k| balance(kv.get(k).map(|v| v.to_vec())))
+        .sum();
+    assert_eq!(total, 0, "transfers did not conserve value: sum {total}");
+
+    let mgr = kv.txn_manager();
+    let mut registry = MetricsRegistry::new();
+    sim.model.export_into(&mut registry, "cluster");
+    mgr.export_into(&mut registry, "txn");
+    registry.merge_histogram("bench.txn_latency", &hist);
+    registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
+    audit.export_into(&mut registry, "audit");
+
+    TxnMixResult {
+        mode,
+        latency: hist.summary(),
+        elapsed,
+        committed,
+        aborted: mgr.aborted,
+        lock_retries: mgr.lock_retries,
+        mean_span: span_sum as f64 / committed.max(1) as f64,
+        registry,
+        audit_json: audit.to_json(),
+        violations: audit.violation_count(),
+        host: meter.finish(committed, sim.now().since(SimTime::ZERO), sim.queue.stats()),
+    }
+}
+
+/// The contention skews of the sweep.
+pub const THETAS: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Transaction-mix sweep: both commit paths across contention levels.
+pub fn txnmix(rep: &mut Report, quick: bool) {
+    rep.banner(
+        "Transaction mix: multi-key commit/abort throughput vs contention (4 shards, audit on)",
+    );
+    rep.line(format!(
+        "{:<12} {:<7} {:>10} {:>9} {:>9} {:>12} {:>10} {:>10} {:>6}",
+        "mode", "theta", "Ktxn/s", "commits", "aborts", "lock_retry", "mean", "p99", "span"
+    ));
+    for mode in [CommitMode::Locking, CommitMode::Optimistic] {
+        for theta in THETAS {
+            let opts = TxnMixOpts {
+                txns: if quick { 192 } else { 512 },
+                theta,
+                ..TxnMixOpts::default()
+            };
+            let r = run_txnmix(mode, opts);
+            assert_eq!(r.violations, 0, "txn audit violations:\n{}", r.audit_json);
+            let label = match mode {
+                CommitMode::Locking => "locking",
+                CommitMode::Optimistic => "optimistic",
+            };
+            rep.line(format!(
+                "{:<12} {:<7} {:>10.1} {:>9} {:>9} {:>12} {:>10} {:>10} {:>6.2}",
+                label,
+                theta,
+                r.ops_per_sec() / 1e3,
+                r.committed,
+                r.aborted,
+                r.lock_retries,
+                us(r.latency.mean),
+                us(r.latency.p99),
+                r.mean_span,
+            ));
+            let name = format!("txnmix/{label}/theta{theta}");
+            let sc = Scenario::new(name.clone())
+                .system("HyperLoop")
+                .seed(opts.seed)
+                .config("mode", label)
+                .config("shards", opts.shards)
+                .config("replicas_per_shard", opts.replicas_per_shard)
+                .config("theta", theta)
+                .config("txns", opts.txns)
+                .config("concurrency", opts.concurrency)
+                .config("records", opts.records)
+                .latency(&r.latency)
+                .gauge("ops_per_sec", r.ops_per_sec())
+                .gauge("abort_ratio", r.abort_ratio())
+                .gauge("lock_retries", r.lock_retries as f64)
+                .gauge("mean_span", r.mean_span)
+                .host(r.host.clone())
+                .metrics(r.registry.clone());
+            rep.scenario(sc);
+            rep.write_trace(
+                &format!("AUDIT_txnmix_{label}_theta{theta}.json"),
+                &r.audit_json,
+            )
+            .expect("trace sink writable");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts(theta: f64) -> TxnMixOpts {
+        TxnMixOpts {
+            txns: 96,
+            theta,
+            ..TxnMixOpts::default()
+        }
+    }
+
+    #[test]
+    fn both_commit_paths_run_clean_on_four_shards() {
+        for mode in [CommitMode::Locking, CommitMode::Optimistic] {
+            let r = run_txnmix(mode, quick_opts(0.9));
+            assert_eq!(r.committed, 96);
+            assert_eq!(r.violations, 0, "{mode:?} violations:\n{}", r.audit_json);
+            // Counter sanity: aborts and commits are both bounded by
+            // commit attempts.
+            let started = r.registry.counter("txn.started").unwrap();
+            assert!(r.committed <= started);
+            assert!(r.aborted <= started);
+            assert!((1.0..=2.0).contains(&r.mean_span), "span {}", r.mean_span);
+        }
+    }
+
+    #[test]
+    fn contention_drives_retries_or_aborts() {
+        // High skew must produce more conflict work than low skew on at
+        // least one of the two conflict channels.
+        let lo = run_txnmix(CommitMode::Locking, quick_opts(0.5));
+        let hi = run_txnmix(CommitMode::Locking, quick_opts(0.99));
+        assert!(
+            hi.lock_retries + hi.aborted >= lo.lock_retries + lo.aborted,
+            "contention knob inert: hi {}+{} vs lo {}+{}",
+            hi.lock_retries,
+            hi.aborted,
+            lo.lock_retries,
+            lo.aborted
+        );
+    }
+
+    /// Regression: the optimistic path once corrected the client version
+    /// cache from in-flight validation acks, so a transaction submitted
+    /// while a conflicting commit was between its version bump and its
+    /// client-side install paired a *fresh* version with a *stale* read —
+    /// and the torn pair validated cleanly, committing a lost update.
+    /// Only high contention at full scale opens the window; conservation
+    /// (checked inside the run) catches the lost debit.
+    #[test]
+    fn optimistic_high_contention_conserves_value() {
+        let opts = TxnMixOpts {
+            txns: 512,
+            theta: 0.99,
+            ..TxnMixOpts::default()
+        };
+        let r = run_txnmix_once(CommitMode::Optimistic, opts, true);
+        assert_eq!(r.committed, 512);
+        assert_eq!(r.violations, 0, "{}", r.audit_json);
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let a = run_txnmix(CommitMode::Optimistic, quick_opts(0.9));
+        let b = run_txnmix(CommitMode::Optimistic, quick_opts(0.9));
+        assert_eq!(
+            a.audit_json, b.audit_json,
+            "audit JSON must be deterministic"
+        );
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.aborted, b.aborted);
+        assert_eq!(a.latency.p99, b.latency.p99);
+    }
+}

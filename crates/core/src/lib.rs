@@ -36,7 +36,10 @@
 //! * [`membership`] — heartbeat failure detection and chain repair hooks;
 //! * [`migrate`] — live shard migration: epoch-numbered plans over
 //!   [`membership::RecoveryStep`] and a driver that moves a running shard
-//!   to a new chain without losing acknowledged writes.
+//!   to a new chain without losing acknowledged writes;
+//! * [`txn`] — multi-key transactions spanning shards ([`TxnManager`]):
+//!   locking (paper §5) and optimistic (validate-then-commit) commit
+//!   paths behind one API, audited online by `simaudit`'s txn auditor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,20 +57,23 @@ pub mod ops;
 pub mod reads;
 pub mod shard;
 pub mod transport;
+pub mod txn;
 pub mod wal;
 
 pub use config::{GroupConfig, SharedLayout};
 pub use group::{GroupClient, GroupError, HyperLoopGroup, ReplicaHandle};
+pub use lock::{LockBackoff, LockTable, WrUndo, WRITER_BIT};
 pub use migrate::{
     migrate_shard, plan_migration, plan_placement_move, MigrationHost, MigrationOutcome,
     MigrationPlan, MigrationRun,
 };
 pub use ops::{ExecuteMap, GroupAck, GroupOp};
 pub use shard::{
-    HashRouter, MigrationStats, RangeRouter, ShardAck, ShardId, ShardRouter, ShardSet,
+    AckJoin, HashRouter, MigrationStats, RangeRouter, ShardAck, ShardId, ShardRouter, ShardSet,
     DEFAULT_PEN_CAPACITY,
 };
 pub use transport::GroupTransport;
+pub use txn::{CommitMode, Txn, TxnLayout, TxnManager, TxnOutcome, TxnSite, TxnTransports};
 
 #[cfg(test)]
 mod tests {

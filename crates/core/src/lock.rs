@@ -20,6 +20,7 @@ use crate::group::GroupError;
 use crate::ops::{ExecuteMap, GroupAck, GroupOp};
 use crate::transport::GroupTransport;
 use rnicsim::NicCtx;
+use simcore::{SimDuration, SimRng};
 
 /// High bit marks a writer; the rest of the word is the owner id.
 pub const WRITER_BIT: u64 = 1 << 63;
@@ -43,12 +44,159 @@ pub enum WrLockOutcome {
         /// The value observed on the first replica.
         holder: u64,
     },
-    /// Some replicas swapped and some did not: the caller must issue the
-    /// provided undo op (a gCAS scoped to the winners) before retrying.
+    /// Some replicas swapped and some did not: the caller must drive the
+    /// provided undo (a gCAS scoped to the winners, re-issued until every
+    /// winner has observably released) before retrying.
     Partial {
-        /// gCAS that releases the partially acquired replicas.
-        undo: GroupOp,
+        /// Retrying release of the partially acquired replicas. Drive it
+        /// with [`WrUndo::op`] / [`WrUndo::absorb`] until done.
+        undo: WrUndo,
     },
+}
+
+/// A retrying undo of a partially acquired write lock.
+///
+/// The one-shot undo gCAS of the original protocol can itself partially
+/// fail: if a replica fault (torn word, transient repair) leaves `compare`
+/// mismatched on some winner, that winner's lock word stays held by a dead
+/// owner forever. `WrUndo` tracks the set of replicas still holding the
+/// owner's word and re-issues the release until each one has observably
+/// returned to free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrUndo {
+    id: u32,
+    owner: u64,
+    remaining: ExecuteMap,
+}
+
+impl WrUndo {
+    /// An undo for lock `id` held by `owner` on the `remaining` replicas.
+    pub fn new(id: u32, owner: u64, remaining: ExecuteMap) -> Self {
+        WrUndo {
+            id,
+            owner,
+            remaining,
+        }
+    }
+
+    /// Replicas still holding the owner's word.
+    pub fn remaining(&self) -> ExecuteMap {
+        self.remaining
+    }
+
+    /// True once every winner has been released.
+    pub fn is_done(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// The release gCAS for the replicas still held. Issue it, feed the
+    /// matching ack to [`WrUndo::absorb`], and repeat while not done.
+    pub fn op(&self, locks: &LockTable) -> GroupOp {
+        GroupOp::Cas {
+            offset: locks.word_offset(self.id),
+            compare: WRITER_BIT | self.owner,
+            swap: 0,
+            execute: self.remaining,
+        }
+    }
+
+    /// Issues the current release gCAS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GroupError`] from the underlying issue.
+    pub fn issue<T: GroupTransport>(
+        &self,
+        locks: &LockTable,
+        client: &mut T,
+        ctx: &mut NicCtx<'_>,
+    ) -> Result<u64, GroupError> {
+        client.issue(ctx, self.op(locks))
+    }
+
+    /// Absorbs the ack of [`WrUndo::op`]: a replica leaves the remaining
+    /// set when its CAS matched (we released it) or it was already free
+    /// (released by recovery). Anything else — a faulted or foreign word —
+    /// keeps the replica in the set for the next attempt. Returns true
+    /// when every winner is released.
+    pub fn absorb(&mut self, ack: &GroupAck) -> bool {
+        let held = WRITER_BIT | self.owner;
+        let mut rest = ExecuteMap::none();
+        for (i, &orig) in ack.result_map.iter().enumerate() {
+            let i = i as u32;
+            if self.remaining.contains(i) && orig != held && orig != 0 {
+                rest = rest.with(i);
+            }
+        }
+        self.remaining = rest;
+        self.is_done()
+    }
+}
+
+/// Deterministic seeded backoff for lock retries.
+///
+/// Retrying a contended lock CAS immediately on every ack phase-locks the
+/// contenders: under sustained reader churn each writer attempt observes a
+/// fresh (stale-by-arrival) count and can spin forever. Spacing retries by
+/// a jittered, exponentially growing delay desynchronizes the contenders
+/// so the word is eventually observed free. Fully deterministic for a
+/// given seed, so simulations stay replayable.
+#[derive(Debug, Clone)]
+pub struct LockBackoff {
+    rng: SimRng,
+    base: SimDuration,
+    cap: SimDuration,
+    attempt: u32,
+}
+
+impl LockBackoff {
+    /// Backoff with the default base (1 µs) and cap (64 µs).
+    pub fn new(seed: u64) -> Self {
+        Self::with_bounds(
+            seed,
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(64),
+        )
+    }
+
+    /// Backoff with explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or `cap < base`.
+    pub fn with_bounds(seed: u64, base: SimDuration, cap: SimDuration) -> Self {
+        assert!(!base.is_zero(), "backoff base must be non-zero");
+        assert!(cap.as_nanos() >= base.as_nanos(), "backoff cap below base");
+        LockBackoff {
+            rng: SimRng::new(seed),
+            base,
+            cap,
+            attempt: 0,
+        }
+    }
+
+    /// The next delay: full jitter over an exponentially growing window
+    /// (`base .. base * 2^attempt`, capped).
+    pub fn next_delay(&mut self) -> SimDuration {
+        let exp = self.attempt.min(16);
+        self.attempt = self.attempt.saturating_add(1);
+        let window = self
+            .base
+            .as_nanos()
+            .saturating_mul(1u64 << exp)
+            .min(self.cap.as_nanos());
+        SimDuration::from_nanos(self.rng.gen_range(self.base.as_nanos()..window + 1))
+    }
+
+    /// Resets the attempt counter after a successful acquisition.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Attempts since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
 }
 
 /// Outcome of a per-replica read-lock CAS attempt.
@@ -139,12 +287,7 @@ impl LockTable {
             }
         } else {
             WrLockOutcome::Partial {
-                undo: GroupOp::Cas {
-                    offset: self.word_offset(id),
-                    compare: WRITER_BIT | owner,
-                    swap: 0,
-                    execute: winners,
-                },
+                undo: WrUndo::new(id, owner, winners),
             }
         }
     }
@@ -335,12 +478,16 @@ mod tests {
             locks.wr_lock(&mut group.client, ctx, 5, 42).unwrap()
         });
         let ack = ack_of(&mut sim, &mut group, gen);
-        let WrLockOutcome::Partial { undo } = locks.interpret_wr_lock(&ack, 5, 42) else {
+        let WrLockOutcome::Partial { mut undo } = locks.interpret_wr_lock(&ack, 5, 42) else {
             panic!("expected partial outcome, got {ack:?}");
         };
-        // Execute the undo: replicas 0 and 2 release.
-        let gen2 = drive(&mut sim, |ctx| group.client.issue(ctx, undo).unwrap());
-        ack_of(&mut sim, &mut group, gen2);
+        assert_eq!(undo.remaining().0, 0b101, "replicas 0 and 2 won");
+        // Drive the undo: replicas 0 and 2 release in one round here.
+        let gen2 = drive(&mut sim, |ctx| {
+            undo.issue(&locks, &mut group.client, ctx).unwrap()
+        });
+        let ack2 = ack_of(&mut sim, &mut group, gen2);
+        assert!(undo.absorb(&ack2), "clean undo completes in one round");
         for n in [NodeId(1), NodeId(3)] {
             assert_eq!(
                 sim.model.fab.mem(n).read_vec(addr, 8).unwrap(),
@@ -353,6 +500,104 @@ mod tests {
             sim.model.fab.mem(NodeId(2)).read_vec(addr, 8).unwrap(),
             (WRITER_BIT | 999).to_le_bytes()
         );
+    }
+
+    /// Regression for the lock-word leak: when the undo gCAS itself
+    /// partially fails (a replica fault mid-undo corrupts a winner's word),
+    /// the one-shot undo of the original protocol left that winner held
+    /// forever. `WrUndo` must keep re-issuing until every surviving winner
+    /// is observably free.
+    #[test]
+    fn undo_retries_until_every_replica_released() {
+        let (mut sim, mut group, locks) = setup();
+        let layout = *group.client.layout();
+        let addr = layout.shared_base + locks.word_offset(9);
+        // Replica 1 is taken by a racing owner so the acquisition is
+        // partial (winners: replicas 0 and 2).
+        sim.model
+            .fab
+            .mem(NodeId(2))
+            .write_durable(addr, &(WRITER_BIT | 999).to_le_bytes())
+            .unwrap();
+        let gen = drive(&mut sim, |ctx| {
+            locks.wr_lock(&mut group.client, ctx, 9, 42).unwrap()
+        });
+        let ack = ack_of(&mut sim, &mut group, gen);
+        let WrLockOutcome::Partial { mut undo } = locks.interpret_wr_lock(&ack, 9, 42) else {
+            panic!("expected partial outcome, got {ack:?}");
+        };
+        // Fault injection mid-undo: winner replica 2's word is torn to a
+        // foreign value before the undo gCAS arrives, so its release leg
+        // fails while replica 0's succeeds.
+        sim.model
+            .fab
+            .mem(NodeId(3))
+            .write_durable(addr, &(WRITER_BIT | 666).to_le_bytes())
+            .unwrap();
+        let gen2 = drive(&mut sim, |ctx| {
+            undo.issue(&locks, &mut group.client, ctx).unwrap()
+        });
+        let ack2 = ack_of(&mut sim, &mut group, gen2);
+        assert!(!undo.absorb(&ack2), "faulted winner must stay pending");
+        assert_eq!(undo.remaining().0, 0b100, "only replica 2 still held");
+        // The fault heals: recovery restores the owner's word from the
+        // durable medium. The retry loop must now release it.
+        sim.model
+            .fab
+            .mem(NodeId(3))
+            .write_durable(addr, &(WRITER_BIT | 42).to_le_bytes())
+            .unwrap();
+        let gen3 = drive(&mut sim, |ctx| {
+            undo.issue(&locks, &mut group.client, ctx).unwrap()
+        });
+        let ack3 = ack_of(&mut sim, &mut group, gen3);
+        assert!(undo.absorb(&ack3), "retry must complete the release");
+        for n in [NodeId(1), NodeId(3)] {
+            assert_eq!(
+                sim.model.fab.mem(n).read_vec(addr, 8).unwrap(),
+                0u64.to_le_bytes(),
+                "every surviving winner must return to free on {n}"
+            );
+        }
+    }
+
+    /// A winner released out-of-band (word already zero) leaves the undo
+    /// set without another CAS round.
+    #[test]
+    fn undo_absorbs_already_free_words() {
+        let mut undo = WrUndo::new(0, 7, ExecuteMap::none().with(0).with(2));
+        let ack = GroupAck {
+            gen: 1,
+            result_map: vec![0, 5, WRITER_BIT | 7],
+        };
+        assert!(undo.absorb(&ack), "free + matched both count as released");
+        assert!(undo.is_done());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let delays = |seed| {
+            let mut b = LockBackoff::new(seed);
+            (0..12).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(delays(7), delays(7), "same seed, same schedule");
+        assert_ne!(delays(7), delays(8), "different seeds desynchronize");
+        let mut b = LockBackoff::new(3);
+        let cap = SimDuration::from_micros(64);
+        let base = SimDuration::from_micros(1);
+        let mut max_seen = SimDuration::ZERO;
+        for _ in 0..64 {
+            let d = b.next_delay();
+            assert!(d.as_nanos() >= base.as_nanos() && d.as_nanos() <= cap.as_nanos());
+            max_seen = max_seen.max(d);
+        }
+        assert!(
+            max_seen.as_nanos() > 4 * base.as_nanos(),
+            "window must grow beyond the base"
+        );
+        assert_eq!(b.attempts(), 64);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
     }
 
     #[test]

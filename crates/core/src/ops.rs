@@ -33,6 +33,22 @@ impl ExecuteMap {
         self.0 |= 1 << idx;
         self
     }
+
+    /// Returns a copy with position `idx` deselected.
+    pub fn without(mut self, idx: u32) -> Self {
+        self.0 &= !(1 << idx);
+        self
+    }
+
+    /// True when no replica is selected.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of selected replicas.
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
 }
 
 impl fmt::Display for ExecuteMap {
@@ -128,6 +144,12 @@ impl GroupAck {
             .all(|(_, &orig)| orig == compare)
     }
 
+    /// For a gCAS: the original word observed on one replica (zero for
+    /// non-CAS ops or out-of-range positions).
+    pub fn cas_observed(&self, replica: u32) -> u64 {
+        self.result_map.get(replica as usize).copied().unwrap_or(0)
+    }
+
     /// Replicas (by chain position) whose CAS leg matched `compare`.
     pub fn cas_winners(&self, compare: u64, execute: ExecuteMap) -> ExecuteMap {
         let mut won = ExecuteMap::none();
@@ -151,6 +173,16 @@ mod tests {
         assert!(!m.contains(3));
         let n = ExecuteMap::none().with(1);
         assert!(!n.contains(0) && n.contains(1));
+    }
+
+    #[test]
+    fn execute_map_set_ops() {
+        let m = ExecuteMap::all(3).without(1);
+        assert!(m.contains(0) && !m.contains(1) && m.contains(2));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!(ExecuteMap::none().is_empty());
+        assert_eq!(ExecuteMap::all(64).len(), 64);
     }
 
     #[test]

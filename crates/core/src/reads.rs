@@ -14,10 +14,11 @@
 //! any number of concurrent reads as an ack-driven state machine.
 
 use crate::group::GroupClient;
-use crate::lock::{LockTable, RdLockOutcome};
+use crate::lock::{LockBackoff, LockTable, RdLockOutcome};
 use crate::ops::GroupAck;
 use netsim::NodeId;
 use rnicsim::{wqe_flags, CqId, NicCtx, Opcode, QpId, Wqe};
+use simcore::SimTime;
 use std::collections::HashMap;
 
 /// Maximum bytes of one locked read.
@@ -65,6 +66,14 @@ pub struct ReplicaReader {
     /// gCAS generation → read token.
     gen_to_token: HashMap<u64, u64>,
     next_token: u64,
+    /// Jittered retry pacing for contended lock CASes. Immediate retries
+    /// phase-lock with other contenders under churn (the reader/writer
+    /// livelock); spaced retries let a writer's CAS land in a gap.
+    backoff: LockBackoff,
+    /// Lock retries waiting out their backoff delay, in arrival order.
+    deferred: Vec<(SimTime, u64)>,
+    /// Total lock-CAS retries (diagnostics).
+    pub lock_retries: u64,
 }
 
 impl ReplicaReader {
@@ -99,7 +108,16 @@ impl ReplicaReader {
             pending: HashMap::new(),
             gen_to_token: HashMap::new(),
             next_token: 0,
+            backoff: LockBackoff::new(0x5EED ^ client_node.0 as u64),
+            deferred: Vec::new(),
+            lock_retries: 0,
         }
+    }
+
+    /// Replaces the retry backoff (e.g. to desynchronize several readers
+    /// sharing one client node with distinct seeds).
+    pub fn set_backoff(&mut self, backoff: LockBackoff) {
+        self.backoff = backoff;
     }
 
     /// Reads currently in flight.
@@ -187,26 +205,25 @@ impl ReplicaReader {
                 Phase::Locking { expected } => {
                     match self.locks.interpret_rd_lock(ack, st.replica, expected) {
                         RdLockOutcome::Acquired => {
+                            self.backoff.reset();
                             st.phase = Phase::Reading;
                             self.post_data_read(ctx, token);
                         }
                         RdLockOutcome::Retry { observed } => {
+                            // Re-read: the next compare is the value the
+                            // word actually held, not the stale expectation.
                             st.phase = Phase::Locking { expected: observed };
-                            let gen = self
-                                .locks
-                                .rd_lock(client, ctx, st.lock_id, st.replica, observed)
-                                .expect("lock retry issue");
-                            self.gen_to_token.insert(gen, token);
+                            let due = ctx.now.saturating_add(self.backoff.next_delay());
+                            self.deferred.push((due, token));
                         }
                         RdLockOutcome::WriterHeld { .. } => {
-                            // Writer active: retry from scratch (it will
-                            // release; the chain guarantees progress).
+                            // Writer active: it will release to zero, so
+                            // retry from scratch — after a jittered delay,
+                            // so churning readers do not phase-lock against
+                            // the writer's own retries.
                             st.phase = Phase::Locking { expected: 0 };
-                            let gen = self
-                                .locks
-                                .rd_lock(client, ctx, st.lock_id, st.replica, 0)
-                                .expect("lock retry issue");
-                            self.gen_to_token.insert(gen, token);
+                            let due = ctx.now.saturating_add(self.backoff.next_delay());
+                            self.deferred.push((due, token));
                         }
                     }
                 }
@@ -239,7 +256,9 @@ impl ReplicaReader {
         }
 
         // Data READ completions.
-        for cqe in ctx.poll_cq(self.client_node, self.cq, 64) {
+        let cqes = ctx.poll_cq(self.client_node, self.cq, 64);
+        let idle = group_acks.is_empty() && cqes.is_empty();
+        for cqe in cqes {
             assert_eq!(cqe.status, rnicsim::CqeStatus::Success, "{cqe:?}");
             let token = cqe.wr_id;
             let st = self.pending.get_mut(&token).expect("pending read");
@@ -258,6 +277,29 @@ impl ReplicaReader {
                 .expect("unlock issue");
             self.gen_to_token.insert(gen, token);
         }
+
+        // Deferred lock retries whose backoff elapsed. An idle pump (no
+        // acks, no completions) means the fabric drained while we waited:
+        // further wall-clock delay cannot be observed, so fire them now.
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let (due, token) = self.deferred[i];
+            if due <= ctx.now || idle {
+                self.deferred.swap_remove(i);
+                let st = &self.pending[&token];
+                let Phase::Locking { expected } = st.phase else {
+                    unreachable!("deferred retry outside the lock phase");
+                };
+                self.lock_retries += 1;
+                let gen = self
+                    .locks
+                    .rd_lock(client, ctx, st.lock_id, st.replica, expected)
+                    .expect("lock retry issue");
+                self.gen_to_token.insert(gen, token);
+            } else {
+                i += 1;
+            }
+        }
         done
     }
 }
@@ -268,7 +310,7 @@ mod tests {
     use crate::config::GroupConfig;
     use crate::group::HyperLoopGroup;
     use crate::harness::{drive, fabric_sim, FabricSim};
-    use crate::lock::WrLockOutcome;
+    use crate::lock::{WrLockOutcome, WrUndo, WRITER_BIT};
     use crate::ops::GroupOp;
     use netsim::FabricConfig;
     use rnicsim::{NicConfig, Payload};
@@ -392,6 +434,118 @@ mod tests {
         });
         let done = settle_reads(&mut sim, &mut group, &mut reader);
         assert_eq!(done.len(), 1, "reader starved after writer release");
+    }
+
+    /// Livelock regression: a writer retrying `wr_lock` against sustained
+    /// reader churn on the same lock word must reach acquisition. Before
+    /// the jittered [`LockBackoff`], every contender retried on the ack
+    /// instant and the writer's CAS never observed a free word.
+    #[test]
+    fn writer_acquires_through_sustained_reader_churn() {
+        let (mut sim, mut group, mut reader, locks) = setup();
+        const LOCK: u32 = 2;
+        const OWNER: u64 = 7;
+        let total_churn = 60u64;
+        let mut backoff = LockBackoff::new(11);
+        let mut begun = 0u64;
+        let mut completed = 0u64;
+        let mut writer_gen: Option<u64> = None;
+        let mut undo: Option<(WrUndo, u64)> = None;
+        let mut writer_due = simcore::SimTime::ZERO;
+        let mut attempts = 0u32;
+        let mut acquired = false;
+
+        for _ in 0..600 {
+            if acquired {
+                break;
+            }
+            // Keep up to three locked reads in flight while churn lasts,
+            // round-robin over the replicas.
+            drive(&mut sim, |ctx| {
+                while begun < total_churn && reader.in_flight() < 3 {
+                    reader.begin(&mut group.client, ctx, (begun % 3) as u32, LOCK, 0, 32);
+                    begun += 1;
+                }
+            });
+            let now = sim.queue.now();
+            if writer_gen.is_none() && undo.is_none() && (now >= writer_due || sim.queue.is_empty())
+            {
+                attempts += 1;
+                writer_gen = Some(drive(&mut sim, |ctx| {
+                    locks.wr_lock(&mut group.client, ctx, LOCK, OWNER).unwrap()
+                }));
+            }
+            sim.run();
+            let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
+            completed +=
+                drive(&mut sim, |ctx| reader.pump(&mut group.client, ctx, &acks)).len() as u64;
+            for ack in &acks {
+                if writer_gen == Some(ack.gen) {
+                    writer_gen = None;
+                    match locks.interpret_wr_lock(ack, LOCK, OWNER) {
+                        WrLockOutcome::Acquired => acquired = true,
+                        WrLockOutcome::Busy { .. } => {
+                            writer_due = sim.queue.now().saturating_add(backoff.next_delay());
+                        }
+                        WrLockOutcome::Partial { undo: u } => {
+                            let gen = drive(&mut sim, |ctx| {
+                                u.issue(&locks, &mut group.client, ctx).unwrap()
+                            });
+                            undo = Some((u, gen));
+                        }
+                    }
+                } else if let Some((mut u, ugen)) = undo {
+                    if ack.gen == ugen {
+                        if u.absorb(ack) {
+                            undo = None;
+                            writer_due = sim.queue.now().saturating_add(backoff.next_delay());
+                        } else {
+                            let gen = drive(&mut sim, |ctx| {
+                                u.issue(&locks, &mut group.client, ctx).unwrap()
+                            });
+                            undo = Some((u, gen));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            acquired,
+            "writer livelocked under reader churn (attempts={attempts})"
+        );
+        assert!(attempts >= 2, "the writer must actually have contended");
+        let layout = *group.client.layout();
+        let addr = layout.shared_base + locks.word_offset(LOCK);
+        for n in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert_eq!(
+                sim.model.fab.mem(n).read_vec(addr, 8).unwrap(),
+                (WRITER_BIT | OWNER).to_le_bytes(),
+                "writer must hold the word group-wide on {n}"
+            );
+        }
+        // Release; every remaining churn read must then complete.
+        drive(&mut sim, |ctx| {
+            locks
+                .wr_unlock(&mut group.client, ctx, LOCK, OWNER)
+                .unwrap()
+        });
+        for _ in 0..600 {
+            drive(&mut sim, |ctx| {
+                while begun < total_churn && reader.in_flight() < 3 {
+                    reader.begin(&mut group.client, ctx, (begun % 3) as u32, LOCK, 0, 32);
+                    begun += 1;
+                }
+            });
+            sim.run();
+            let acks = drive(&mut sim, |ctx| group.client.poll(ctx));
+            completed +=
+                drive(&mut sim, |ctx| reader.pump(&mut group.client, ctx, &acks)).len() as u64;
+            if completed == total_churn {
+                break;
+            }
+        }
+        assert_eq!(completed, total_churn, "reads starved after release");
+        assert_eq!(sim.model.fab.stats().errors, 0);
     }
 
     #[test]

@@ -1,0 +1,1369 @@
+//! Multi-key replicated transactions across shards.
+//!
+//! [`TxnManager`] drives [`Txn`]s — buffered multi-key read/write sets
+//! spanning shards — through one of two commit paths behind the same API
+//! ([`CommitMode`]):
+//!
+//! * **Locking** (paper §5): acquire gCAS write locks on every read *and*
+//!   write site in global `(shard, lock)` order (deadlock-free by total
+//!   order), validate read versions, apply the buffered writes as durable
+//!   gWRITEs, release. Partial acquisitions are undone with the retrying
+//!   [`WrUndo`] protocol; contended acquisitions back off with a seeded
+//!   jittered [`LockBackoff`] and retry up to a bounded attempt count.
+//! * **Optimistic** (FDB-style): lock only the write sites, validate each
+//!   buffered read's observed version as a conflict range with a no-op
+//!   gCAS on the version word, then apply. A read whose version moved
+//!   aborts the transaction (the caller re-reads and retries). Safe for
+//!   read-modify-write shapes (read site == write site, so validation runs
+//!   under the write lock); reads of never-written sites keep a small
+//!   validate-to-apply window that the Locking mode closes.
+//!
+//! Each lock id owns an 8-byte *version word* ([`TxnLayout`]) bumped by
+//! every committed writer; versions are the conflict-detection currency on
+//! the read side, lock words on the write side. Everything is ack-driven
+//! and asynchronous: call [`TxnManager::pump`] with the shard acks each
+//! driver tick, exactly like the reader and migration state machines. The
+//! manager emits [`Probe::TxnBegin`]..[`Probe::TxnAbort`] lifecycle probes
+//! so `simaudit`'s txn auditor can verify atomicity, isolation and lock
+//! hygiene online.
+
+use crate::group::GroupError;
+use crate::lock::{LockBackoff, LockTable, WrLockOutcome, WrUndo, WRITER_BIT};
+use crate::ops::{ExecuteMap, GroupAck, GroupOp};
+use crate::shard::{ShardAck, ShardId, ShardSet};
+use crate::transport::GroupTransport;
+use rnicsim::{NicCtx, Payload};
+use simcore::{Audit, MetricsRegistry, Probe, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// How a transaction's buffered operations reach the replicas at commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMode {
+    /// Two-phase locking over the read ∪ write sites (paper §5), acquired
+    /// in global key order.
+    Locking,
+    /// Lock the write sites only; validate the read set's observed
+    /// versions FDB-style before applying.
+    Optimistic,
+}
+
+/// One lockable unit: a lock word (and its paired version word) on one
+/// shard. Ordering is the global acquisition order (shard first, then
+/// lock id) that makes the locking path deadlock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnSite {
+    /// The shard whose shared region holds the words.
+    pub shard: ShardId,
+    /// Lock id within the shard's [`TxnLayout`].
+    pub lock: u32,
+}
+
+/// Where the transaction control words live in every shard's shared
+/// region: a [`LockTable`] of lock words plus one 8-byte version word per
+/// lock id. The layout is identical on every shard (the symmetric-layout
+/// invariant, one level up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnLayout {
+    locks: LockTable,
+    versions_offset: u64,
+}
+
+impl TxnLayout {
+    /// A layout with explicit lock table and version array base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `versions_offset` is not 8-byte aligned.
+    pub fn new(locks: LockTable, versions_offset: u64) -> Self {
+        assert_eq!(versions_offset % 8, 0, "version words must be aligned");
+        TxnLayout {
+            locks,
+            versions_offset,
+        }
+    }
+
+    /// The conventional layout: `count` lock words at `region_offset`,
+    /// version words immediately after.
+    pub fn standard(region_offset: u64, count: u32) -> Self {
+        let locks = LockTable::new(region_offset, count);
+        TxnLayout::new(locks, region_offset + count as u64 * 8)
+    }
+
+    /// The lock table.
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Number of lock (and version) words per shard.
+    pub fn lock_count(&self) -> u32 {
+        self.locks.count()
+    }
+
+    /// Shared-region offset of lock `id`'s version word.
+    pub fn version_offset(&self, id: u32) -> u64 {
+        assert!(id < self.locks.count(), "lock id {id} out of range");
+        self.versions_offset + id as u64 * 8
+    }
+}
+
+/// A transaction being assembled: buffered reads (with the version each
+/// observed) and buffered writes. Build it with [`TxnManager::begin`],
+/// submit with [`TxnManager::commit`].
+#[derive(Debug)]
+pub struct Txn {
+    id: u64,
+    reads: BTreeMap<TxnSite, u64>,
+    writes: Vec<(TxnSite, u64, Payload)>,
+}
+
+impl Txn {
+    /// The transaction's id (assigned at [`TxnManager::begin`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Records a read of `site` that observed `version` (the conflict
+    /// range). The first recorded version wins — re-reads within one
+    /// transaction are repeatable.
+    pub fn read(&mut self, site: TxnSite, version: u64) {
+        self.reads.entry(site).or_insert(version);
+    }
+
+    /// Buffers a write of `data` at shared-region `offset`, covered by
+    /// `site`'s lock. Nothing reaches the replicas until commit. Offsets
+    /// must lie inside the target shard's shared region — an out-of-range
+    /// write is a caller bug and panics at apply time.
+    pub fn write(&mut self, site: TxnSite, offset: u64, data: Payload) {
+        self.writes.push((site, offset, data));
+    }
+
+    /// Number of distinct read sites recorded.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of buffered writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+/// Terminal state of a submitted transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TxnOutcome {
+    /// Every buffered write is durable on every replica of every touched
+    /// shard; versions bumped; locks released.
+    Committed,
+    /// No buffered write reached any replica; locks released. Re-read and
+    /// retry.
+    Aborted,
+}
+
+/// The multi-shard issue surface the transaction layer runs on. Both
+/// [`ShardSet`] and app-level sharded stores implement it, so the same
+/// commit protocol drives raw transports and full storage engines.
+pub trait TxnTransports {
+    /// Number of shards.
+    fn txn_shard_count(&self) -> u32;
+    /// Replication group size of one shard.
+    fn txn_group_size(&self, shard: ShardId) -> u32;
+    /// True if the shard can take another op right now.
+    fn txn_can_issue(&self, shard: ShardId) -> bool;
+    /// Issues one group op on one shard, returning its generation.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::WindowFull`] when the shard has no room (the manager
+    /// retries next pump) or [`GroupError::OutOfRange`] for bad offsets.
+    fn txn_issue(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        shard: ShardId,
+        op: GroupOp,
+    ) -> Result<u64, GroupError>;
+}
+
+impl<T: GroupTransport> TxnTransports for ShardSet<T> {
+    fn txn_shard_count(&self) -> u32 {
+        self.shard_count()
+    }
+
+    fn txn_group_size(&self, shard: ShardId) -> u32 {
+        self.shard(shard).group_size()
+    }
+
+    fn txn_can_issue(&self, shard: ShardId) -> bool {
+        self.can_issue_on(shard)
+    }
+
+    fn txn_issue(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        shard: ShardId,
+        op: GroupOp,
+    ) -> Result<u64, GroupError> {
+        self.issue_on(ctx, shard, op)
+    }
+}
+
+/// One lock release in flight, driven with the retrying [`WrUndo`]
+/// protocol until the word is observably free on every replica.
+#[derive(Debug)]
+struct ReleaseLeg {
+    site: TxnSite,
+    undo: WrUndo,
+    gen: Option<u64>,
+    done: bool,
+}
+
+/// One read-version check in flight (no-op gCAS on the version word).
+#[derive(Debug)]
+struct ValidateLeg {
+    site: TxnSite,
+    observed: u64,
+    gen: Option<u64>,
+    done: bool,
+}
+
+/// One commit-time gWRITE in flight (buffered data or a version bump).
+#[derive(Debug)]
+struct ApplyLeg {
+    shard: ShardId,
+    op: GroupOp,
+    /// `Some(lock)` for data writes (probed as [`Probe::TxnWrite`] at ack
+    /// time); `None` for version bumps.
+    probe_lock: Option<u32>,
+    gen: Option<u64>,
+    done: bool,
+}
+
+#[derive(Debug)]
+enum RunPhase {
+    /// Acquiring `lock_sites[idx]` (sequential, global order).
+    Acquire { idx: usize, gen: Option<u64> },
+    /// Undoing a partial acquisition of `lock_sites[idx]`.
+    Undo {
+        idx: usize,
+        undo: WrUndo,
+        gen: Option<u64>,
+    },
+    /// Releasing everything held after a failed acquisition; retry (after
+    /// backoff) or abort when drained.
+    Rollback { legs: Vec<ReleaseLeg>, retry: bool },
+    /// Checking every buffered read's version.
+    Validate {
+        legs: Vec<ValidateLeg>,
+        failed: bool,
+    },
+    /// Writing the buffered data + version bumps.
+    Apply { legs: Vec<ApplyLeg> },
+    /// Releasing the held locks; then committed/aborted.
+    Release { legs: Vec<ReleaseLeg>, commit: bool },
+}
+
+#[derive(Debug)]
+struct TxnRun {
+    txn: Txn,
+    /// Sorted, deduplicated acquisition order.
+    lock_sites: Vec<TxnSite>,
+    held: BTreeSet<TxnSite>,
+    attempts: u32,
+    begun: bool,
+    /// Waiting out a backoff delay (woken by the deferred queue).
+    parked: bool,
+    backoff: LockBackoff,
+    /// Version-word values this commit installs, applied to the manager's
+    /// cache on commit.
+    new_versions: Vec<(TxnSite, u64)>,
+    phase: RunPhase,
+}
+
+/// What an ack dispatch decided the run does next (computed inside the
+/// phase match, executed after it to keep the borrows disjoint).
+enum Next {
+    Keep,
+    Acquire(usize),
+    Validate,
+    Apply,
+    Release(bool),
+    RetryOrAbort,
+    Park,
+    Finish(bool),
+    BeginUndo(usize, WrUndo),
+}
+
+/// Drives transactions to commit or abort over a sharded transport. See
+/// the module docs for the protocol; see [`TxnManager::pump`] for the
+/// driving contract.
+#[derive(Debug)]
+pub struct TxnManager {
+    layout: TxnLayout,
+    mode: CommitMode,
+    seed: u64,
+    max_lock_attempts: u32,
+    next_id: u64,
+    /// Per-site version cache: what this client last installed. Advances
+    /// only at commit (`finish`), never from in-flight validation acks —
+    /// the cache must stay in lockstep with the client-visible values, or
+    /// a fresh version paired with a stale read validates cleanly and
+    /// commits a lost update.
+    versions: HashMap<TxnSite, u64>,
+    active: BTreeMap<u64, TxnRun>,
+    /// `(shard, gen)` → owning transaction.
+    gen_map: HashMap<(u32, u64), u64>,
+    /// Parked transactions and their wake deadlines.
+    deferred: Vec<(SimTime, u64)>,
+    audit: Audit,
+    /// Transactions submitted via [`TxnManager::commit`].
+    pub started: u64,
+    /// Transactions that reached [`TxnOutcome::Committed`].
+    pub committed: u64,
+    /// Transactions that reached [`TxnOutcome::Aborted`].
+    pub aborted: u64,
+    /// Lock acquisition rounds retried after contention.
+    pub lock_retries: u64,
+}
+
+impl TxnManager {
+    /// A manager over `layout` words, committing via `mode`. `seed` drives
+    /// the deterministic backoff jitter.
+    pub fn new(layout: TxnLayout, mode: CommitMode, seed: u64) -> Self {
+        TxnManager {
+            layout,
+            mode,
+            seed,
+            max_lock_attempts: 8,
+            next_id: 0,
+            versions: HashMap::new(),
+            active: BTreeMap::new(),
+            gen_map: HashMap::new(),
+            deferred: Vec::new(),
+            audit: Audit::disabled(),
+            started: 0,
+            committed: 0,
+            aborted: 0,
+            lock_retries: 0,
+        }
+    }
+
+    /// Installs the audit tap fed with the txn lifecycle probes.
+    pub fn set_audit(&mut self, audit: Audit) {
+        self.audit = audit;
+    }
+
+    /// Bounds the lock acquisition rounds before a contended transaction
+    /// aborts (default 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_max_lock_attempts(&mut self, n: u32) {
+        assert!(n > 0, "at least one acquisition attempt is required");
+        self.max_lock_attempts = n;
+    }
+
+    /// The commit path in use.
+    pub fn mode(&self) -> CommitMode {
+        self.mode
+    }
+
+    /// The control-word layout.
+    pub fn layout(&self) -> &TxnLayout {
+        &self.layout
+    }
+
+    /// The cached version of `site` — record this with [`Txn::read`] when
+    /// reading the data the site covers.
+    pub fn version(&self, site: TxnSite) -> u64 {
+        self.versions.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Transactions submitted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Starts assembling a transaction.
+    pub fn begin(&mut self) -> Txn {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.started += 1;
+        Txn {
+            id,
+            reads: BTreeMap::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Submits a transaction for commit; drive it with
+    /// [`TxnManager::pump`] until its id appears in the returned outcomes.
+    pub fn commit(&mut self, txn: Txn) -> u64 {
+        let id = txn.id;
+        let mut sites: BTreeSet<TxnSite> = txn.writes.iter().map(|w| w.0).collect();
+        if self.mode == CommitMode::Locking {
+            sites.extend(txn.reads.keys().copied());
+        }
+        let run = TxnRun {
+            lock_sites: sites.into_iter().collect(),
+            held: BTreeSet::new(),
+            attempts: 0,
+            begun: false,
+            parked: false,
+            backoff: LockBackoff::new(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            new_versions: Vec::new(),
+            phase: RunPhase::Acquire { idx: 0, gen: None },
+            txn,
+        };
+        self.active.insert(id, run);
+        id
+    }
+
+    /// The lock-word owner id for a transaction (never zero, never
+    /// colliding with [`WRITER_BIT`]).
+    fn owner(id: u64) -> u64 {
+        let owner = id + 1;
+        assert!(owner & WRITER_BIT == 0, "txn id overflows the owner space");
+        owner
+    }
+
+    /// One driver tick: dispatch this tick's shard acks to their
+    /// transactions, wake parked transactions whose backoff expired (or
+    /// immediately when the tick is idle, so an empty event queue cannot
+    /// strand them), and issue whatever each phase is missing. Returns the
+    /// transactions that finished this tick.
+    pub fn pump<S: TxnTransports>(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        shards: &mut S,
+        acks: &[ShardAck],
+    ) -> Vec<(u64, TxnOutcome)> {
+        let now = ctx.now;
+        let mut finished = Vec::new();
+        for sa in acks {
+            let key = (sa.shard.0, sa.ack.gen);
+            if let Some(id) = self.gen_map.remove(&key) {
+                self.on_ack(now, shards, id, sa.shard, &sa.ack, &mut finished);
+            }
+        }
+        let idle = acks.is_empty();
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let (due, id) = self.deferred[i];
+            if due <= now || idle {
+                self.deferred.swap_remove(i);
+                if let Some(run) = self.active.get_mut(&id) {
+                    run.parked = false;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            self.step(ctx, shards, id, &mut finished);
+        }
+        finished
+    }
+
+    /// Snapshots the transaction counters into `reg`:
+    /// `{prefix}.{started,committed,aborted,lock_retries}` counters plus
+    /// an `{prefix}.in_flight` gauge. Idempotent re-export.
+    pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter_set(&format!("{prefix}.started"), self.started);
+        reg.counter_set(&format!("{prefix}.committed"), self.committed);
+        reg.counter_set(&format!("{prefix}.aborted"), self.aborted);
+        reg.counter_set(&format!("{prefix}.lock_retries"), self.lock_retries);
+        reg.set_gauge(&format!("{prefix}.in_flight"), self.active.len() as f64);
+    }
+
+    // ---- transitions --------------------------------------------------
+
+    fn release_legs<S: TxnTransports>(&self, shards: &S, run: &TxnRun) -> Vec<ReleaseLeg> {
+        let owner = Self::owner(run.txn.id);
+        run.held
+            .iter()
+            .map(|&site| ReleaseLeg {
+                site,
+                undo: WrUndo::new(
+                    site.lock,
+                    owner,
+                    ExecuteMap::all(shards.txn_group_size(site.shard)),
+                ),
+                gen: None,
+                done: false,
+            })
+            .collect()
+    }
+
+    /// Locks are all held: move to read validation (or skip ahead when
+    /// there is nothing to check). Returns false when the run finished.
+    fn enter_validate(
+        &mut self,
+        now: SimTime,
+        run: &mut TxnRun,
+        shards: &impl TxnTransports,
+        finished: &mut Vec<(u64, TxnOutcome)>,
+    ) -> bool {
+        let legs: Vec<ValidateLeg> = run
+            .txn
+            .reads
+            .iter()
+            .map(|(&site, &observed)| ValidateLeg {
+                site,
+                observed,
+                gen: None,
+                done: false,
+            })
+            .collect();
+        if legs.is_empty() {
+            return self.enter_apply(now, run, shards, finished);
+        }
+        run.phase = RunPhase::Validate {
+            legs,
+            failed: false,
+        };
+        true
+    }
+
+    /// Reads validated: stage the buffered writes plus one version bump
+    /// per written site.
+    fn enter_apply(
+        &mut self,
+        now: SimTime,
+        run: &mut TxnRun,
+        shards: &impl TxnTransports,
+        finished: &mut Vec<(u64, TxnOutcome)>,
+    ) -> bool {
+        let mut legs: Vec<ApplyLeg> = run
+            .txn
+            .writes
+            .iter()
+            .map(|(site, offset, data)| ApplyLeg {
+                shard: site.shard,
+                op: GroupOp::Write {
+                    offset: *offset,
+                    data: data.clone(),
+                    flush: true,
+                },
+                probe_lock: Some(site.lock),
+                gen: None,
+                done: false,
+            })
+            .collect();
+        let mut bumped: BTreeMap<TxnSite, u64> = BTreeMap::new();
+        for (site, _, _) in &run.txn.writes {
+            bumped
+                .entry(*site)
+                .or_insert_with(|| self.version(*site) + 1);
+        }
+        for (&site, &v) in &bumped {
+            legs.push(ApplyLeg {
+                shard: site.shard,
+                op: GroupOp::Write {
+                    offset: self.layout.version_offset(site.lock),
+                    data: Payload::copy_from(&v.to_le_bytes()),
+                    flush: true,
+                },
+                probe_lock: None,
+                gen: None,
+                done: false,
+            });
+        }
+        run.new_versions = bumped.into_iter().collect();
+        if legs.is_empty() {
+            return self.enter_release(now, run, shards, true, finished);
+        }
+        run.phase = RunPhase::Apply { legs };
+        true
+    }
+
+    /// Start releasing every held lock; finish immediately when nothing is
+    /// held.
+    fn enter_release(
+        &mut self,
+        now: SimTime,
+        run: &mut TxnRun,
+        shards: &impl TxnTransports,
+        commit: bool,
+        finished: &mut Vec<(u64, TxnOutcome)>,
+    ) -> bool {
+        let legs = self.release_legs(shards, run);
+        if legs.is_empty() {
+            self.finish(now, run, commit, finished);
+            return false;
+        }
+        run.phase = RunPhase::Release { legs, commit };
+        true
+    }
+
+    /// An acquisition round failed (busy or undone partial): roll back the
+    /// held locks, then retry after backoff or abort once the attempt
+    /// budget is spent.
+    fn begin_retry_or_abort(
+        &mut self,
+        now: SimTime,
+        run: &mut TxnRun,
+        shards: &impl TxnTransports,
+        finished: &mut Vec<(u64, TxnOutcome)>,
+    ) -> bool {
+        run.attempts += 1;
+        let retry = run.attempts < self.max_lock_attempts;
+        let legs = self.release_legs(shards, run);
+        if legs.is_empty() {
+            if retry {
+                self.park(now, run);
+                return true;
+            }
+            self.finish(now, run, false, finished);
+            return false;
+        }
+        run.phase = RunPhase::Rollback { legs, retry };
+        true
+    }
+
+    /// Schedule the next acquisition round after a jittered backoff delay.
+    fn park(&mut self, now: SimTime, run: &mut TxnRun) {
+        run.parked = true;
+        run.phase = RunPhase::Acquire { idx: 0, gen: None };
+        self.lock_retries += 1;
+        self.deferred
+            .push((now.saturating_add(run.backoff.next_delay()), run.txn.id));
+    }
+
+    fn finish(
+        &mut self,
+        now: SimTime,
+        run: &TxnRun,
+        commit: bool,
+        finished: &mut Vec<(u64, TxnOutcome)>,
+    ) {
+        debug_assert!(run.held.is_empty(), "finishing with locks held");
+        if commit {
+            for &(site, v) in &run.new_versions {
+                self.versions.insert(site, v);
+            }
+            self.committed += 1;
+            self.audit.probe(
+                now,
+                Probe::TxnCommit {
+                    txn: run.txn.id,
+                    writes: run.txn.writes.len() as u64,
+                },
+            );
+            finished.push((run.txn.id, TxnOutcome::Committed));
+        } else {
+            self.aborted += 1;
+            self.audit.probe(now, Probe::TxnAbort { txn: run.txn.id });
+            finished.push((run.txn.id, TxnOutcome::Aborted));
+        }
+    }
+
+    // ---- ack dispatch -------------------------------------------------
+
+    fn on_ack<S: TxnTransports>(
+        &mut self,
+        now: SimTime,
+        shards: &S,
+        id: u64,
+        shard: ShardId,
+        ack: &GroupAck,
+        finished: &mut Vec<(u64, TxnOutcome)>,
+    ) {
+        let Some(mut run) = self.active.remove(&id) else {
+            return;
+        };
+        let owner = Self::owner(id);
+        let next = match &mut run.phase {
+            RunPhase::Acquire { idx, gen } => {
+                *gen = None;
+                let i = *idx;
+                let site = run.lock_sites[i];
+                debug_assert_eq!(site.shard, shard, "lock ack from the wrong shard");
+                match self.layout.locks.interpret_wr_lock(ack, site.lock, owner) {
+                    WrLockOutcome::Acquired => {
+                        self.audit.probe(
+                            now,
+                            Probe::TxnLock {
+                                txn: id,
+                                shard: site.shard.0,
+                                lock: site.lock,
+                            },
+                        );
+                        run.held.insert(site);
+                        if i + 1 == run.lock_sites.len() {
+                            Next::Validate
+                        } else {
+                            Next::Acquire(i + 1)
+                        }
+                    }
+                    WrLockOutcome::Busy { .. } => Next::RetryOrAbort,
+                    WrLockOutcome::Partial { undo } => Next::BeginUndo(i, undo),
+                }
+            }
+            RunPhase::Undo { undo, gen, .. } => {
+                *gen = None;
+                if undo.absorb(ack) {
+                    Next::RetryOrAbort
+                } else {
+                    Next::Keep
+                }
+            }
+            RunPhase::Rollback { legs, retry } => {
+                let retry = *retry;
+                if let Some(leg) = legs
+                    .iter_mut()
+                    .find(|l| l.gen == Some(ack.gen) && l.site.shard == shard)
+                {
+                    leg.gen = None;
+                    if leg.undo.absorb(ack) {
+                        leg.done = true;
+                        self.audit.probe(
+                            now,
+                            Probe::TxnUnlock {
+                                txn: id,
+                                shard: leg.site.shard.0,
+                                lock: leg.site.lock,
+                            },
+                        );
+                        run.held.remove(&leg.site);
+                    }
+                }
+                if legs.iter().all(|l| l.done) {
+                    if retry {
+                        Next::Park
+                    } else {
+                        Next::Finish(false)
+                    }
+                } else {
+                    Next::Keep
+                }
+            }
+            RunPhase::Validate { legs, failed } => {
+                if let Some(leg) = legs
+                    .iter_mut()
+                    .find(|l| l.gen == Some(ack.gen) && l.site.shard == shard)
+                {
+                    leg.gen = None;
+                    leg.done = true;
+                    let actual = ack.cas_observed(0);
+                    // Mismatch aborts, but must NOT correct the version
+                    // cache: `actual` may belong to a concurrent commit
+                    // whose values are not client-visible yet. Advancing
+                    // the cache here lets the next transaction pair the
+                    // new version with a stale read — a torn (value,
+                    // version) pair that validates cleanly and commits a
+                    // lost update. The cache advances only in `finish`,
+                    // when the bumping commit's values install.
+                    if actual != leg.observed {
+                        *failed = true;
+                    }
+                }
+                if legs.iter().all(|l| l.done) {
+                    if *failed {
+                        Next::Release(false)
+                    } else {
+                        Next::Apply
+                    }
+                } else {
+                    Next::Keep
+                }
+            }
+            RunPhase::Apply { legs } => {
+                if let Some(leg) = legs
+                    .iter_mut()
+                    .find(|l| l.gen == Some(ack.gen) && l.shard == shard)
+                {
+                    leg.gen = None;
+                    leg.done = true;
+                    if let Some(lock) = leg.probe_lock {
+                        self.audit.probe(
+                            now,
+                            Probe::TxnWrite {
+                                txn: id,
+                                shard: shard.0,
+                                lock,
+                            },
+                        );
+                    }
+                }
+                if legs.iter().all(|l| l.done) {
+                    Next::Release(true)
+                } else {
+                    Next::Keep
+                }
+            }
+            RunPhase::Release { legs, commit } => {
+                let commit = *commit;
+                if let Some(leg) = legs
+                    .iter_mut()
+                    .find(|l| l.gen == Some(ack.gen) && l.site.shard == shard)
+                {
+                    leg.gen = None;
+                    if leg.undo.absorb(ack) {
+                        leg.done = true;
+                        self.audit.probe(
+                            now,
+                            Probe::TxnUnlock {
+                                txn: id,
+                                shard: leg.site.shard.0,
+                                lock: leg.site.lock,
+                            },
+                        );
+                        run.held.remove(&leg.site);
+                    }
+                }
+                if legs.iter().all(|l| l.done) {
+                    Next::Finish(commit)
+                } else {
+                    Next::Keep
+                }
+            }
+        };
+        let keep = match next {
+            Next::Keep => true,
+            Next::Acquire(i) => {
+                run.phase = RunPhase::Acquire { idx: i, gen: None };
+                true
+            }
+            Next::BeginUndo(i, undo) => {
+                run.phase = RunPhase::Undo {
+                    idx: i,
+                    undo,
+                    gen: None,
+                };
+                true
+            }
+            Next::Validate => self.enter_validate(now, &mut run, shards, finished),
+            Next::Apply => self.enter_apply(now, &mut run, shards, finished),
+            Next::Release(commit) => self.enter_release(now, &mut run, shards, commit, finished),
+            Next::RetryOrAbort => self.begin_retry_or_abort(now, &mut run, shards, finished),
+            Next::Park => {
+                self.park(now, &mut run);
+                true
+            }
+            Next::Finish(commit) => {
+                self.finish(now, &run, commit, finished);
+                false
+            }
+        };
+        if keep {
+            self.active.insert(id, run);
+        }
+    }
+
+    // ---- issuance -----------------------------------------------------
+
+    /// Issues `op` on `shard` for `id`, recording the generation. Window
+    /// pressure leaves the slot empty for the next pump; anything else is
+    /// a layout bug.
+    fn issue_for<S: TxnTransports>(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        shards: &mut S,
+        id: u64,
+        shard: ShardId,
+        op: GroupOp,
+    ) -> Option<u64> {
+        if !shards.txn_can_issue(shard) {
+            return None;
+        }
+        match shards.txn_issue(ctx, shard, op) {
+            Ok(gen) => {
+                self.gen_map.insert((shard.0, gen), id);
+                Some(gen)
+            }
+            Err(GroupError::WindowFull) => None,
+            Err(e) => panic!("txn {id} issue on {shard} failed: {e}"),
+        }
+    }
+
+    fn step<S: TxnTransports>(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        shards: &mut S,
+        id: u64,
+        finished: &mut Vec<(u64, TxnOutcome)>,
+    ) {
+        let Some(mut run) = self.active.remove(&id) else {
+            return;
+        };
+        if run.parked {
+            self.active.insert(id, run);
+            return;
+        }
+        if !run.begun {
+            run.begun = true;
+            self.audit.probe(ctx.now, Probe::TxnBegin { txn: id });
+            if run.lock_sites.is_empty()
+                && !self.enter_validate(ctx.now, &mut run, shards, finished)
+            {
+                return;
+            }
+        }
+        let owner = Self::owner(id);
+        // Collect what the phase is missing, then issue (two passes keep
+        // the phase borrow and the issue borrow disjoint).
+        let mut wanted: Vec<(ShardId, GroupOp)> = Vec::new();
+        match &run.phase {
+            RunPhase::Acquire { idx, gen } => {
+                if gen.is_none() {
+                    let site = run.lock_sites[*idx];
+                    wanted.push((
+                        site.shard,
+                        GroupOp::Cas {
+                            offset: self.layout.locks.word_offset(site.lock),
+                            compare: 0,
+                            swap: WRITER_BIT | owner,
+                            execute: ExecuteMap::all(shards.txn_group_size(site.shard)),
+                        },
+                    ));
+                }
+            }
+            RunPhase::Undo { idx, undo, gen } => {
+                if gen.is_none() {
+                    wanted.push((run.lock_sites[*idx].shard, undo.op(&self.layout.locks)));
+                }
+            }
+            RunPhase::Rollback { legs, .. } | RunPhase::Release { legs, .. } => {
+                for leg in legs.iter().filter(|l| !l.done && l.gen.is_none()) {
+                    wanted.push((leg.site.shard, leg.undo.op(&self.layout.locks)));
+                }
+            }
+            RunPhase::Validate { legs, .. } => {
+                for leg in legs.iter().filter(|l| !l.done && l.gen.is_none()) {
+                    wanted.push((
+                        leg.site.shard,
+                        GroupOp::Cas {
+                            offset: self.layout.version_offset(leg.site.lock),
+                            compare: leg.observed,
+                            swap: leg.observed,
+                            execute: ExecuteMap::none().with(0),
+                        },
+                    ));
+                }
+            }
+            RunPhase::Apply { legs } => {
+                for leg in legs.iter().filter(|l| !l.done && l.gen.is_none()) {
+                    wanted.push((leg.shard, leg.op.clone()));
+                }
+            }
+        }
+        let mut issued: Vec<Option<u64>> = Vec::with_capacity(wanted.len());
+        for (shard, op) in wanted {
+            issued.push(self.issue_for(ctx, shards, id, shard, op));
+        }
+        // Write the generations back into the phase, in the same order the
+        // first pass walked it.
+        let mut it = issued.into_iter();
+        match &mut run.phase {
+            RunPhase::Acquire { gen, .. } | RunPhase::Undo { gen, .. } => {
+                if gen.is_none() {
+                    if let Some(g) = it.next() {
+                        *gen = g;
+                    }
+                }
+            }
+            RunPhase::Rollback { legs, .. } | RunPhase::Release { legs, .. } => {
+                for leg in legs.iter_mut().filter(|l| !l.done && l.gen.is_none()) {
+                    match it.next() {
+                        Some(g) => leg.gen = g,
+                        None => break,
+                    }
+                }
+            }
+            RunPhase::Validate { legs, .. } => {
+                for leg in legs.iter_mut().filter(|l| !l.done && l.gen.is_none()) {
+                    match it.next() {
+                        Some(g) => leg.gen = g,
+                        None => break,
+                    }
+                }
+            }
+            RunPhase::Apply { legs } => {
+                for leg in legs.iter_mut().filter(|l| !l.done && l.gen.is_none()) {
+                    match it.next() {
+                        Some(g) => leg.gen = g,
+                        None => break,
+                    }
+                }
+            }
+        }
+        self.active.insert(id, run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GroupConfig;
+    use crate::group::{GroupClient, HyperLoopGroup};
+    use crate::harness::{drive, fabric_sim, FabricSim};
+    use crate::shard::AckJoin;
+    use netsim::{FabricConfig, NodeId};
+    use rnicsim::NicConfig;
+    use simcore::Simulation;
+
+    const CLIENT: NodeId = NodeId(0);
+
+    /// Per-shard replica nodes and shared-region base.
+    type ShardInfo = Vec<(Vec<NodeId>, u64)>;
+
+    /// One client node plus `n_shards` disjoint 2-replica chains behind a
+    /// [`ShardSet`]. Returns each shard's replica nodes and shared base.
+    fn setup(n_shards: u32) -> (Simulation<FabricSim>, ShardSet<GroupClient>, ShardInfo) {
+        let mut sim = fabric_sim(
+            1 + 2 * n_shards,
+            64 << 20,
+            NicConfig::default(),
+            FabricConfig::default(),
+            31,
+        );
+        let mut clients = Vec::new();
+        let mut info = Vec::new();
+        for s in 0..n_shards {
+            let nodes = vec![NodeId(1 + 2 * s), NodeId(2 + 2 * s)];
+            let group = drive(&mut sim, |ctx| {
+                HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
+            });
+            sim.run();
+            info.push((nodes, group.client.layout().shared_base));
+            clients.push(group.client);
+        }
+        (sim, ShardSet::with_hash_router(clients), info)
+    }
+
+    fn layout() -> TxnLayout {
+        TxnLayout::standard(1024, 16)
+    }
+
+    /// Pump until every submitted transaction finishes.
+    fn drive_txns(
+        sim: &mut Simulation<FabricSim>,
+        shards: &mut ShardSet<GroupClient>,
+        mgr: &mut TxnManager,
+    ) -> Vec<(u64, TxnOutcome)> {
+        let mut done = Vec::new();
+        for _ in 0..400 {
+            sim.run();
+            let fin = drive(sim, |ctx| {
+                let acks = shards.poll(ctx);
+                mgr.pump(ctx, shards, &acks)
+            });
+            done.extend(fin);
+            if mgr.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(mgr.in_flight(), 0, "transactions wedged");
+        done
+    }
+
+    fn word_at(sim: &mut Simulation<FabricSim>, node: NodeId, addr: u64) -> u64 {
+        u64::from_le_bytes(
+            sim.model
+                .fab
+                .mem(node)
+                .read_vec(addr, 8)
+                .unwrap()
+                .try_into()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn layout_places_versions_after_locks() {
+        let l = layout();
+        assert_eq!(l.lock_count(), 16);
+        assert_eq!(l.locks().word_offset(0), 1024);
+        assert_eq!(l.version_offset(0), 1024 + 16 * 8);
+        assert_eq!(l.version_offset(1) - l.version_offset(0), 8);
+    }
+
+    #[test]
+    fn locking_commit_spans_shards() {
+        let (mut sim, mut shards, info) = setup(2);
+        let audit = Audit::standard();
+        let mut mgr = TxnManager::new(layout(), CommitMode::Locking, 7);
+        mgr.set_audit(audit.clone());
+
+        let s0 = TxnSite {
+            shard: ShardId(0),
+            lock: 2,
+        };
+        let s1 = TxnSite {
+            shard: ShardId(1),
+            lock: 2,
+        };
+        let mut t = mgr.begin();
+        t.read(s0, mgr.version(s0));
+        t.write(s0, 4096, Payload::copy_from(b"alpha"));
+        t.write(s1, 4096, Payload::copy_from(b"bravo"));
+        let id = mgr.commit(t);
+
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done, vec![(id, TxnOutcome::Committed)]);
+        assert_eq!(mgr.committed, 1);
+        assert_eq!(mgr.aborted, 0);
+
+        // Both shards' replicas carry their write.
+        for (si, bytes) in [(0usize, b"alpha"), (1, b"bravo")] {
+            let (nodes, base) = &info[si];
+            for &n in nodes {
+                assert_eq!(
+                    sim.model.fab.mem(n).read_vec(base + 4096, 5).unwrap(),
+                    bytes,
+                    "shard {si} replica {n} missing txn write"
+                );
+            }
+        }
+        // Lock words free, versions bumped, on every replica.
+        let l = layout();
+        for (si, site) in [(0usize, s0), (1, s1)] {
+            let (nodes, base) = &info[si];
+            for &n in nodes {
+                assert_eq!(
+                    word_at(&mut sim, n, base + l.locks().word_offset(site.lock)),
+                    0,
+                    "lock leaked on shard {si} replica {n}"
+                );
+                assert_eq!(
+                    word_at(&mut sim, n, base + l.version_offset(site.lock)),
+                    1,
+                    "version not bumped on shard {si} replica {n}"
+                );
+            }
+            assert_eq!(mgr.version(site), 1);
+        }
+        assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
+    }
+
+    #[test]
+    fn optimistic_conflict_aborts_then_retry_commits() {
+        let (mut sim, mut shards, _) = setup(2);
+        let audit = Audit::standard();
+        let mut mgr = TxnManager::new(layout(), CommitMode::Optimistic, 9);
+        mgr.set_audit(audit.clone());
+        let site = TxnSite {
+            shard: ShardId(0),
+            lock: 3,
+        };
+
+        // A and B both read version 0 of the same site (the classic
+        // read-modify-write race).
+        let mut a = mgr.begin();
+        a.read(site, mgr.version(site));
+        a.write(site, 8192, Payload::copy_from(b"AAAA"));
+        let mut b = mgr.begin();
+        b.read(site, mgr.version(site));
+        b.write(site, 8192, Payload::copy_from(b"BBBB"));
+
+        // A commits first and bumps the version.
+        let ida = mgr.commit(a);
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done, vec![(ida, TxnOutcome::Committed)]);
+
+        // B's conflict range moved: validation must abort it.
+        let idb = mgr.commit(b);
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done, vec![(idb, TxnOutcome::Aborted)]);
+        assert_eq!(mgr.aborted, 1);
+        // The failed validation corrected the cached version.
+        assert_eq!(mgr.version(site), 1);
+
+        // Retry with a fresh read: commits.
+        let mut b2 = mgr.begin();
+        b2.read(site, mgr.version(site));
+        b2.write(site, 8192, Payload::copy_from(b"BBBB"));
+        let idb2 = mgr.commit(b2);
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done, vec![(idb2, TxnOutcome::Committed)]);
+        assert_eq!(mgr.committed, 2);
+        assert_eq!(mgr.version(site), 2);
+        assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
+    }
+
+    #[test]
+    fn contended_locking_txns_serialize_via_backoff() {
+        let (mut sim, mut shards, info) = setup(1);
+        let audit = Audit::standard();
+        let mut mgr = TxnManager::new(layout(), CommitMode::Locking, 3);
+        mgr.set_audit(audit.clone());
+        mgr.set_max_lock_attempts(16);
+        let site = TxnSite {
+            shard: ShardId(0),
+            lock: 5,
+        };
+
+        let mut a = mgr.begin();
+        a.write(site, 2048, Payload::copy_from(b"AAAA"));
+        let mut b = mgr.begin();
+        b.write(site, 2048, Payload::copy_from(b"BBBB"));
+        let ida = mgr.commit(a);
+        let idb = mgr.commit(b);
+
+        let mut done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        done.sort();
+        assert_eq!(
+            done,
+            vec![(ida, TxnOutcome::Committed), (idb, TxnOutcome::Committed)]
+        );
+        assert!(mgr.lock_retries >= 1, "loser must have retried");
+        let (nodes, base) = &info[0];
+        let bytes = sim
+            .model
+            .fab
+            .mem(nodes[0])
+            .read_vec(base + 2048, 4)
+            .unwrap();
+        assert!(
+            bytes == b"AAAA" || bytes == b"BBBB",
+            "final value must be one full write: {bytes:?}"
+        );
+        assert_eq!(
+            word_at(&mut sim, nodes[0], base + layout().locks().word_offset(5)),
+            0
+        );
+        assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
+    }
+
+    #[test]
+    fn foreign_holder_exhausts_attempts_and_aborts_clean() {
+        let (mut sim, mut shards, info) = setup(1);
+        let audit = Audit::standard();
+        let mut mgr = TxnManager::new(layout(), CommitMode::Locking, 5);
+        mgr.set_audit(audit.clone());
+        mgr.set_max_lock_attempts(2);
+        let site = TxnSite {
+            shard: ShardId(0),
+            lock: 7,
+        };
+        // A foreign owner holds the lock on every replica, forever.
+        let (nodes, base) = info[0].clone();
+        let addr = base + layout().locks().word_offset(site.lock);
+        for &n in &nodes {
+            sim.model
+                .fab
+                .mem(n)
+                .write_durable(addr, &(WRITER_BIT | 999).to_le_bytes())
+                .unwrap();
+        }
+
+        let mut t = mgr.begin();
+        t.write(site, 2048, Payload::copy_from(b"nope"));
+        let id = mgr.commit(t);
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done, vec![(id, TxnOutcome::Aborted)]);
+        assert_eq!(mgr.aborted, 1);
+        // No residue: the buffered write never reached the replicas.
+        assert_eq!(
+            sim.model
+                .fab
+                .mem(nodes[0])
+                .read_vec(base + 2048, 4)
+                .unwrap(),
+            vec![0; 4]
+        );
+        // The foreign word is untouched.
+        assert_eq!(word_at(&mut sim, nodes[0], addr), WRITER_BIT | 999);
+        assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
+    }
+
+    #[test]
+    fn partial_acquisition_is_undone_on_every_replica() {
+        let (mut sim, mut shards, info) = setup(1);
+        let audit = Audit::standard();
+        let mut mgr = TxnManager::new(layout(), CommitMode::Locking, 11);
+        mgr.set_audit(audit.clone());
+        mgr.set_max_lock_attempts(2);
+        let site = TxnSite {
+            shard: ShardId(0),
+            lock: 4,
+        };
+        // Poison replica 1 only: acquisitions go partial (replica 0 wins).
+        let (nodes, base) = info[0].clone();
+        let addr = base + layout().locks().word_offset(site.lock);
+        sim.model
+            .fab
+            .mem(nodes[1])
+            .write_durable(addr, &(WRITER_BIT | 999).to_le_bytes())
+            .unwrap();
+
+        let mut t = mgr.begin();
+        t.write(site, 2048, Payload::copy_from(b"nope"));
+        let id = mgr.commit(t);
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done, vec![(id, TxnOutcome::Aborted)]);
+        assert!(mgr.lock_retries >= 1);
+        // The winner replica's word returned to free after every undo.
+        assert_eq!(
+            word_at(&mut sim, nodes[0], addr),
+            0,
+            "partial winner must be released"
+        );
+        assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
+    }
+
+    #[test]
+    fn read_only_txn_commits_without_writes() {
+        let (mut sim, mut shards, _) = setup(1);
+        let audit = Audit::standard();
+        let mut mgr = TxnManager::new(layout(), CommitMode::Optimistic, 13);
+        mgr.set_audit(audit.clone());
+        let site = TxnSite {
+            shard: ShardId(0),
+            lock: 1,
+        };
+        let mut t = mgr.begin();
+        t.read(site, mgr.version(site));
+        let id = mgr.commit(t);
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done, vec![(id, TxnOutcome::Committed)]);
+        assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
+    }
+
+    #[test]
+    fn issue_many_joins_across_shards_and_is_all_or_nothing() {
+        let (mut sim, mut shards, _) = setup(2);
+        let op = |v: u8| GroupOp::Write {
+            offset: 16384,
+            data: Payload::filled(v, 64),
+            flush: true,
+        };
+        let mut join = drive(&mut sim, |ctx| {
+            shards
+                .issue_many(ctx, vec![(ShardId(0), op(1)), (ShardId(1), op(2))])
+                .unwrap()
+        });
+        assert_eq!(join.pending(), 2);
+        assert!(!join.is_done());
+        sim.run();
+        let acks = drive(&mut sim, |ctx| shards.poll(ctx));
+        for a in &acks {
+            join.absorb(a);
+        }
+        assert!(join.is_done());
+
+        // All-or-nothing: 17 legs on one shard exceed its window (16), so
+        // nothing at all is issued.
+        let before = shards.issued();
+        let err = drive(&mut sim, |ctx| {
+            shards
+                .issue_many(ctx, (0..17).map(|i| (ShardId(0), op(i as u8))))
+                .unwrap_err()
+        });
+        assert_eq!(err, GroupError::WindowFull);
+        assert_eq!(shards.issued(), before, "rejected batch must issue nothing");
+
+        // Foreign acks are ignored by a join.
+        let mut other = AckJoin::new();
+        other.track(ShardId(0), 99999);
+        assert!(!other.absorb(&ShardAck {
+            shard: ShardId(1),
+            ack: GroupAck {
+                gen: 99999,
+                result_map: vec![],
+            },
+        }));
+        assert!(!other.is_done());
+    }
+}

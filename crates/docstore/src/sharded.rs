@@ -12,10 +12,45 @@
 
 use crate::store::{CompletedTx, DocError, ReplicatedDocStore};
 use crate::Document;
-use hyperloop::shard::{HashRouter, ShardId, ShardRouter};
+use hyperloop::shard::{AckJoin, HashRouter, ShardId, ShardRouter};
 use hyperloop::GroupTransport;
 use rnicsim::NicCtx;
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// An in-flight multi-document update: a join over the per-shard
+/// transactions of one [`ShardedDocStore::write_many`] batch. Feed it the
+/// completions from [`ShardedDocStore::poll`]; it is done when every
+/// document's pipeline has fully committed on its shard.
+#[derive(Debug, Default)]
+pub struct MultiUpdate {
+    join: AckJoin,
+    txs: Vec<(ShardId, u64)>,
+}
+
+impl MultiUpdate {
+    /// Absorbs one polled completion; returns true if it belonged to this
+    /// batch.
+    pub fn absorb(&mut self, shard: ShardId, tx: &CompletedTx) -> bool {
+        self.join.absorb_key(shard, tx.tx_seq)
+    }
+
+    /// True once every document in the batch has committed.
+    pub fn is_done(&self) -> bool {
+        self.join.is_done()
+    }
+
+    /// Documents still in their shard pipelines.
+    pub fn pending(&self) -> usize {
+        self.join.pending()
+    }
+
+    /// The `(shard, tx_seq)` pairs the batch submitted, in submission
+    /// (shard) order.
+    pub fn txs(&self) -> &[(ShardId, u64)] {
+        &self.txs
+    }
+}
 
 /// A sharded replicated document store (client/primary side).
 pub struct ShardedDocStore<T> {
@@ -113,6 +148,60 @@ impl<T: GroupTransport> ShardedDocStore<T> {
         let shard = self.shard_of(collection);
         let tx = self.shards[shard.0 as usize].write(ctx, doc)?;
         Ok((shard, tx))
+    }
+
+    /// Submits one multi-document update: every `(collection, document)`
+    /// pair starts its transactional pipeline on its owning shard, and the
+    /// returned [`MultiUpdate`] joins their completions. Validation is
+    /// all-then-submit: *every* document is checked against its shard's
+    /// geometry and queue room before *any* is submitted, so a rejected
+    /// batch leaves no partial work in any pipeline. Submission walks the
+    /// batch in shard order (the same total order the transaction layer
+    /// acquires locks in), keeping cross-batch shard touch order
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`DocError`] if any document fails validation or any owning shard
+    /// lacks room for its share of the batch — in which case nothing was
+    /// submitted anywhere.
+    pub fn write_many(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        updates: Vec<(u64, Document)>,
+    ) -> Result<MultiUpdate, DocError> {
+        // Validate all...
+        let mut demand: BTreeMap<ShardId, usize> = BTreeMap::new();
+        let mut routed: Vec<(ShardId, Document)> = Vec::with_capacity(updates.len());
+        for (collection, doc) in updates {
+            let shard = self.shard_of(collection);
+            let store = &self.shards[shard.0 as usize];
+            if doc.id >= store.config().capacity {
+                return Err(DocError::IdOutOfRange);
+            }
+            if doc.encoded_len() as u64 > store.config().max_doc {
+                return Err(DocError::DocTooLarge);
+            }
+            *demand.entry(shard).or_insert(0) += 1;
+            routed.push((shard, doc));
+        }
+        for (&shard, &n) in &demand {
+            if !self.shards[shard.0 as usize].can_accept(n) {
+                return Err(DocError::Busy);
+            }
+        }
+        // ...then submit, in shard order (stable: within a shard, batch
+        // order is preserved).
+        routed.sort_by_key(|(shard, _)| *shard);
+        let mut batch = MultiUpdate::default();
+        for (shard, doc) in routed {
+            let tx = self.shards[shard.0 as usize]
+                .write(ctx, doc)
+                .expect("validated above");
+            batch.join.track(shard, tx);
+            batch.txs.push((shard, tx));
+        }
+        Ok(batch)
     }
 
     /// Processes acks on every shard; returns committed transactions
@@ -321,6 +410,67 @@ mod tests {
         assert_eq!(done.len(), 2);
         let shards: std::collections::HashSet<u32> = done.iter().map(|(s, _)| s.0).collect();
         assert_eq!(shards.len(), 2, "commits came from both shards");
+    }
+
+    #[test]
+    fn write_many_commits_on_every_shard_and_joins() {
+        let (mut sim, mut store) = setup(2);
+        // Four documents across collections guaranteed to span both shards.
+        let c0 = 0u64;
+        let mut c1 = 1u64;
+        while store.shard_of(c0) == store.shard_of(c1) {
+            c1 += 1;
+        }
+        let batch = vec![
+            (c0, Document::with_field(1, "f", vec![1; 32])),
+            (c1, Document::with_field(2, "f", vec![2; 32])),
+            (c0, Document::with_field(3, "f", vec![3; 32])),
+            (c1, Document::with_field(4, "f", vec![4; 32])),
+        ];
+        let mut mu = drive(&mut sim, |ctx| store.write_many(ctx, batch).unwrap());
+        assert_eq!(mu.pending(), 4);
+        assert_eq!(mu.txs().len(), 4);
+        // Submission order is shard order.
+        let shard_seq: Vec<u32> = mu.txs().iter().map(|(s, _)| s.0).collect();
+        let mut sorted = shard_seq.clone();
+        sorted.sort();
+        assert_eq!(shard_seq, sorted, "write_many must submit in shard order");
+
+        for _ in 0..64 {
+            sim.run();
+            for (shard, tx) in drive(&mut sim, |ctx| store.poll(ctx)) {
+                assert!(mu.absorb(shard, &tx), "unexpected completion");
+            }
+            if mu.is_done() {
+                break;
+            }
+        }
+        assert!(mu.is_done(), "multi-doc update never joined");
+        for (c, id) in [(c0, 1u64), (c1, 2), (c0, 3), (c1, 4)] {
+            assert!(store.read(c, id).is_some(), "doc {id} missing");
+        }
+    }
+
+    #[test]
+    fn write_many_validates_all_before_submitting_any() {
+        let (mut sim, mut store) = setup(2);
+        // A batch with one invalid document submits nothing anywhere.
+        let batch = vec![
+            (0u64, Document::with_field(1, "f", vec![1; 32])),
+            (1u64, Document::with_field(2, "f", vec![9; 4096])), // too large
+        ];
+        let err = drive(&mut sim, |ctx| store.write_many(ctx, batch).unwrap_err());
+        assert_eq!(err, DocError::DocTooLarge);
+        assert_eq!(store.active_txs(), 0, "rejected batch left partial work");
+
+        // A batch overflowing one shard's pipeline is rejected whole.
+        let big: Vec<(u64, Document)> = (0..33)
+            .map(|i| (0u64, Document::with_field(i, "f", vec![1; 16])))
+            .collect();
+        let err = drive(&mut sim, |ctx| store.write_many(ctx, big).unwrap_err());
+        assert_eq!(err, DocError::Busy);
+        assert_eq!(store.active_txs(), 0, "rejected batch left partial work");
+        assert!(store.is_empty());
     }
 
     #[test]

@@ -242,6 +242,12 @@ impl<T: GroupTransport> ReplicatedDocStore<T> {
         self.active.len()
     }
 
+    /// True if the pipeline has room for `n` more transactions (a
+    /// `write` of each would not return [`DocError::Busy`]).
+    pub fn can_accept(&self, n: usize) -> bool {
+        self.active.len() + n <= self.max_queued
+    }
+
     /// The store's WAL driver (read-only: layout, ring cursors, copy
     /// sizing for migration).
     pub fn wal(&self) -> &ReplicatedWal {

@@ -20,10 +20,10 @@
 
 pub mod sharded;
 
-pub use sharded::ShardedKv;
+pub use sharded::{KvTxn, ShardedKv, TXN_LOCKS};
 
 use hyperloop::wal::{recover_unapplied, ReplicatedWal, WalError, WalLayout};
-use hyperloop::GroupTransport;
+use hyperloop::{GroupAck, GroupTransport};
 use rnicsim::{NicCtx, RdmaFabric};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -242,18 +242,39 @@ impl<T: GroupTransport> ReplicatedKv<T> {
         applied
     }
 
-    /// Collects transport completions; returns finished puts.
+    /// Collects transport completions; returns finished puts. Acks the
+    /// store does not recognise (ops issued directly on the transport by a
+    /// co-resident layer, e.g. the transaction manager) are dropped — use
+    /// [`ReplicatedKv::poll_raw`] to receive them instead.
     pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<CompletedPut> {
+        self.poll_raw(ctx).0
+    }
+
+    /// Collects transport completions, splitting them into finished puts
+    /// and *foreign* acks: completions of ops the store itself never issued
+    /// (generation unknown to both the put and checkpoint maps). Layers
+    /// that share the transport — the transaction manager issues lock and
+    /// apply ops on the same replication chain — consume the foreign half;
+    /// without this split those acks would be silently dropped and the
+    /// sharing layer would wedge.
+    pub fn poll_raw(&mut self, ctx: &mut NicCtx<'_>) -> (Vec<CompletedPut>, Vec<GroupAck>) {
         let acks = self.transport.poll(ctx);
         let mut done = Vec::new();
+        let mut foreign = Vec::new();
         for ack in acks {
             if let Some((key, tx_id)) = self.pending_puts.remove(&ack.gen) {
                 done.push(CompletedPut { key, tx_id });
-            } else {
-                self.pending_checkpoint.remove(&ack.gen);
+            } else if self.pending_checkpoint.remove(&ack.gen).is_none() {
+                foreign.push(ack);
             }
         }
-        done
+        (done, foreign)
+    }
+
+    /// Installs a transactionally committed value into the memtable (the
+    /// replica-side bytes were already applied by the commit protocol).
+    pub(crate) fn install(&mut self, key: u64, value: Vec<u8>) {
+        self.memtable.insert(key, value);
     }
 
     /// Reads a key from one replica's *database region* (checkpointed state

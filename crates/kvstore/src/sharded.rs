@@ -8,15 +8,55 @@
 //! bench comes from.
 
 use crate::{CompletedPut, KvError, ReplicatedKv};
-use hyperloop::shard::{HashRouter, ShardId, ShardRouter};
-use hyperloop::GroupTransport;
-use rnicsim::NicCtx;
+use hyperloop::shard::{HashRouter, ShardAck, ShardId, ShardRouter};
+use hyperloop::txn::{CommitMode, Txn, TxnLayout, TxnManager, TxnOutcome, TxnSite, TxnTransports};
+use hyperloop::{GroupError, GroupOp, GroupTransport};
+use rnicsim::{NicCtx, Payload};
+use simcore::Audit;
+use std::collections::HashMap;
 use std::fmt;
+
+/// Lock (and version) words per shard for the transaction layer. Keys are
+/// striped onto lock ids (`key % TXN_LOCKS`), so unrelated keys may share a
+/// lock — a false conflict, never a missed one.
+pub const TXN_LOCKS: u32 = 64;
+
+/// A multi-key transaction being assembled against a [`ShardedKv`]: the
+/// protocol-level read/write sets plus the staged memtable values that are
+/// installed only if the commit succeeds. Build with [`ShardedKv::txn`],
+/// populate with [`ShardedKv::txn_get`] / [`ShardedKv::txn_put`], submit
+/// with [`ShardedKv::txn_commit`].
+#[derive(Debug)]
+pub struct KvTxn {
+    inner: Txn,
+    staged: Vec<(u64, Vec<u8>)>,
+}
+
+impl KvTxn {
+    /// The transaction's id.
+    pub fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    /// Number of staged writes.
+    pub fn write_count(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+/// Transaction machinery riding on a [`ShardedKv`]: the protocol state
+/// machine plus the per-transaction staged values awaiting commit.
+struct TxnState {
+    mgr: TxnManager,
+    staged: HashMap<u64, Vec<(u64, Vec<u8>)>>,
+    acks: Vec<ShardAck>,
+}
 
 /// A sharded replicated KV store (client/primary side).
 pub struct ShardedKv<T> {
     shards: Vec<ReplicatedKv<T>>,
     router: Box<dyn ShardRouter + Send>,
+    txns: Option<TxnState>,
 }
 
 impl<T: fmt::Debug> fmt::Debug for ShardedKv<T> {
@@ -36,7 +76,11 @@ impl<T: GroupTransport> ShardedKv<T> {
     /// Panics if `shards` is empty.
     pub fn new(shards: Vec<ReplicatedKv<T>>, router: Box<dyn ShardRouter + Send>) -> Self {
         assert!(!shards.is_empty(), "sharded store needs at least one shard");
-        ShardedKv { shards, router }
+        ShardedKv {
+            shards,
+            router,
+            txns: None,
+        }
     }
 
     /// Builds the sharded store with the default [`HashRouter`].
@@ -108,10 +152,19 @@ impl<T: GroupTransport> ShardedKv<T> {
     }
 
     /// Collects completions from every shard, tagged with their shard.
+    /// When transactions are enabled, acks belonging to the transaction
+    /// layer are set aside for the next [`ShardedKv::pump_txns`] instead of
+    /// being dropped.
     pub fn poll(&mut self, ctx: &mut NicCtx<'_>) -> Vec<(ShardId, CompletedPut)> {
         let mut done = Vec::new();
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            done.extend(shard.poll(ctx).into_iter().map(|p| (ShardId(i as u32), p)));
+        for (i, store) in self.shards.iter_mut().enumerate() {
+            let shard = ShardId(i as u32);
+            let (puts, foreign) = store.poll_raw(ctx);
+            done.extend(puts.into_iter().map(|p| (shard, p)));
+            if let Some(st) = self.txns.as_mut() {
+                st.acks
+                    .extend(foreign.into_iter().map(|ack| ShardAck { shard, ack }));
+            }
         }
         done
     }
@@ -129,6 +182,183 @@ impl<T: GroupTransport> ShardedKv<T> {
     /// Sum of WAL records appended but not yet checkpointed.
     pub fn wal_backlog(&self) -> usize {
         self.shards.iter().map(|s| s.wal_backlog()).sum()
+    }
+
+    // --- Multi-key transactions -------------------------------------------
+
+    /// Enables multi-key transactions with the given commit path and
+    /// deterministic backoff seed. The lock and version words live in every
+    /// shard's control area, right after the WAL head pointer — space the
+    /// WAL never touches — so transactions and plain puts coexist on the
+    /// same chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are already enabled, or if the control area
+    /// is too small for [`TXN_LOCKS`] lock + version words.
+    pub fn enable_txns(&mut self, mode: CommitMode, seed: u64) {
+        assert!(self.txns.is_none(), "transactions already enabled");
+        let layout = TxnLayout::standard(16, TXN_LOCKS);
+        let control = self.shards[0].config().control_size;
+        assert!(
+            layout.version_offset(TXN_LOCKS - 1) + 8 <= control,
+            "control area ({control} B) too small for {TXN_LOCKS} txn words"
+        );
+        self.txns = Some(TxnState {
+            mgr: TxnManager::new(layout, mode, seed),
+            staged: HashMap::new(),
+            acks: Vec::new(),
+        });
+    }
+
+    /// Attaches an auditor to the transaction manager (lifecycle probes:
+    /// begin/lock/write/commit/abort).
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are not enabled.
+    pub fn set_txn_audit(&mut self, audit: Audit) {
+        self.txn_state().mgr.set_audit(audit);
+    }
+
+    /// The transaction manager (counters, mode, cached versions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are not enabled.
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.txns.as_ref().expect("transactions not enabled").mgr
+    }
+
+    /// The transaction manager, mutably (tuning knobs such as
+    /// [`TxnManager::set_max_lock_attempts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are not enabled.
+    pub fn txn_manager_mut(&mut self) -> &mut TxnManager {
+        &mut self.txn_state().mgr
+    }
+
+    fn txn_state(&mut self) -> &mut TxnState {
+        self.txns.as_mut().expect("transactions not enabled")
+    }
+
+    /// The lock site covering `key`: its owning shard and lock stripe.
+    pub fn txn_site(&self, key: u64) -> TxnSite {
+        TxnSite {
+            shard: self.route(key),
+            lock: (key % TXN_LOCKS as u64) as u32,
+        }
+    }
+
+    /// Begins a new transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are not enabled.
+    pub fn txn(&mut self) -> KvTxn {
+        KvTxn {
+            inner: self.txn_state().mgr.begin(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// Transactional read of `key`: returns the value as seen by `txn`
+    /// (its own staged write if present, else the memtable) and records
+    /// the key's current version in the transaction's conflict range.
+    pub fn txn_get(&mut self, txn: &mut KvTxn, key: u64) -> Option<Vec<u8>> {
+        let site = self.txn_site(key);
+        let version = self.txn_state().mgr.version(site);
+        txn.inner.read(site, version);
+        if let Some((_, v)) = txn.staged.iter().rev().find(|(k, _)| *k == key) {
+            return Some(v.clone());
+        }
+        self.get(key).map(|v| v.to_vec())
+    }
+
+    /// Transactional write: buffers `value` for `key`. Nothing reaches the
+    /// replicas or the memtable until the transaction commits. The durable
+    /// bytes go straight to the key's database slot under the commit
+    /// protocol's locks (not through the WAL — the slot write is itself
+    /// flushed, so recovery sees committed transactional data).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError`] on geometry violations.
+    pub fn txn_put(&mut self, txn: &mut KvTxn, key: u64, value: Vec<u8>) -> Result<(), KvError> {
+        let store = &self.shards[self.route(key).0 as usize];
+        if key >= store.config().capacity {
+            return Err(KvError::KeyOutOfRange);
+        }
+        if value.len() as u64 > store.config().max_value {
+            return Err(KvError::ValueTooLarge);
+        }
+        let slot = store.wal().layout().db_offset + key * store.config().slot_size();
+        let mut slot_bytes = (value.len() as u32).to_le_bytes().to_vec();
+        slot_bytes.extend_from_slice(&value);
+        let site = self.txn_site(key);
+        txn.inner.write(site, slot, Payload::copy_from(&slot_bytes));
+        txn.staged.push((key, value));
+        Ok(())
+    }
+
+    /// Submits `txn` for commit; the outcome arrives from
+    /// [`ShardedKv::pump_txns`]. Staged values are installed into the
+    /// memtables only if the commit protocol succeeds.
+    pub fn txn_commit(&mut self, txn: KvTxn) -> u64 {
+        let st = self.txn_state();
+        let id = st.mgr.commit(txn.inner);
+        st.staged.insert(id, txn.staged);
+        id
+    }
+
+    /// Drives in-flight transactions one tick: consumes the foreign acks
+    /// gathered by [`ShardedKv::poll`], steps the commit state machines,
+    /// and installs committed staged values into the owning memtables.
+    /// Call each driver tick after `poll`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are not enabled.
+    pub fn pump_txns(&mut self, ctx: &mut NicCtx<'_>) -> Vec<(u64, TxnOutcome)> {
+        let mut st = self.txns.take().expect("transactions not enabled");
+        let acks = std::mem::take(&mut st.acks);
+        let done = st.mgr.pump(ctx, self, &acks);
+        for (id, outcome) in &done {
+            let staged = st.staged.remove(id).unwrap_or_default();
+            if *outcome == TxnOutcome::Committed {
+                for (key, value) in staged {
+                    let shard = self.route(key);
+                    self.shards[shard.0 as usize].install(key, value);
+                }
+            }
+        }
+        self.txns = Some(st);
+        done
+    }
+}
+
+impl<T: GroupTransport> TxnTransports for ShardedKv<T> {
+    fn txn_shard_count(&self) -> u32 {
+        self.shard_count()
+    }
+
+    fn txn_group_size(&self, shard: ShardId) -> u32 {
+        self.shards[shard.0 as usize].transport.group_size()
+    }
+
+    fn txn_can_issue(&self, shard: ShardId) -> bool {
+        self.shards[shard.0 as usize].transport.can_issue()
+    }
+
+    fn txn_issue(
+        &mut self,
+        ctx: &mut NicCtx<'_>,
+        shard: ShardId,
+        op: GroupOp,
+    ) -> Result<u64, GroupError> {
+        self.shards[shard.0 as usize].transport.issue(ctx, op)
     }
 }
 
@@ -301,6 +531,168 @@ mod tests {
         });
         sim.run();
         assert_eq!(drive(&mut sim, |ctx| kv.poll(ctx)).len(), 17);
+    }
+
+    /// Pumps until every submitted transaction reaches an outcome.
+    fn drive_txn(
+        sim: &mut Simulation<FabricSim>,
+        kv: &mut ShardedKv<hyperloop::GroupClient>,
+    ) -> Vec<(u64, TxnOutcome)> {
+        let mut out = Vec::new();
+        for _ in 0..400 {
+            sim.run();
+            let fin = drive(sim, |ctx| {
+                kv.poll(ctx);
+                kv.pump_txns(ctx)
+            });
+            out.extend(fin);
+            if kv.txn_manager().in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(kv.txn_manager().in_flight(), 0, "transactions wedged");
+        out
+    }
+
+    #[test]
+    fn txn_commit_spans_shards_atomically() {
+        let (mut sim, mut kv) = setup(2);
+        kv.enable_txns(CommitMode::Locking, 17);
+        let audit = simcore::Audit::standard();
+        kv.set_txn_audit(audit.clone());
+
+        // Two keys on different shards.
+        let (mut a, mut b) = (0u64, 1u64);
+        while kv.route(a) == kv.route(b) {
+            b += 1;
+        }
+        if kv.route(a) > kv.route(b) {
+            std::mem::swap(&mut a, &mut b);
+        }
+
+        let mut t = kv.txn();
+        assert_eq!(kv.txn_get(&mut t, a), None);
+        kv.txn_put(&mut t, a, b"left".to_vec()).unwrap();
+        kv.txn_put(&mut t, b, b"right".to_vec()).unwrap();
+        // Read-your-writes inside the transaction; memtable untouched.
+        assert_eq!(kv.txn_get(&mut t, a).as_deref(), Some(&b"left"[..]));
+        assert_eq!(kv.get(a), None);
+        let id = kv.txn_commit(t);
+
+        let done = drive_txn(&mut sim, &mut kv);
+        assert_eq!(done, vec![(id, TxnOutcome::Committed)]);
+        assert_eq!(kv.get(a), Some(&b"left"[..]));
+        assert_eq!(kv.get(b), Some(&b"right"[..]));
+        // Committed bytes are already durable in every replica's database
+        // region (txn applies write slots directly, no checkpoint needed).
+        for (key, val) in [(a, &b"left"[..]), (b, &b"right"[..])] {
+            let shard = kv.route(key);
+            let node = NodeId(1 + 2 * shard.0);
+            let base = kv.shard(shard).transport.layout().shared_base;
+            let got = drive(&mut sim, |ctx| {
+                kv.shard(shard).replica_get(ctx.fab, node, base, key)
+            });
+            assert_eq!(got.as_deref(), Some(val), "key {key} not durable");
+        }
+        assert_eq!(audit.violation_count(), 0, "{}", audit.report());
+    }
+
+    #[test]
+    fn txn_geometry_violations_rejected_before_commit() {
+        let (mut sim, mut kv) = setup(1);
+        kv.enable_txns(CommitMode::Locking, 1);
+        let mut t = kv.txn();
+        let cap = kv.shard(ShardId(0)).config().capacity;
+        assert_eq!(
+            kv.txn_put(&mut t, cap, vec![1]).unwrap_err(),
+            KvError::KeyOutOfRange
+        );
+        assert_eq!(
+            kv.txn_put(&mut t, 0, vec![1; 2000]).unwrap_err(),
+            KvError::ValueTooLarge
+        );
+        // Nothing staged: the empty txn still commits cleanly.
+        let id = kv.txn_commit(t);
+        assert_eq!(
+            drive_txn(&mut sim, &mut kv),
+            vec![(id, TxnOutcome::Committed)]
+        );
+    }
+
+    /// The lost-update anomaly: two read-modify-write clients interleaved
+    /// on the plain put path lose one increment; the same interleaving
+    /// through the transaction API keeps both.
+    #[test]
+    fn interleaved_rmw_loses_update_without_txns_and_keeps_it_with() {
+        let counter = |v: Option<&[u8]>| -> u64 {
+            v.map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .unwrap_or(0)
+        };
+
+        // Plain path: both clients read before either writes.
+        let (mut sim, mut kv) = setup(2);
+        let key = 9u64;
+        let c1 = counter(kv.get(key));
+        let c2 = counter(kv.get(key));
+        drive(&mut sim, |ctx| {
+            kv.put(ctx, key, (c1 + 1).to_le_bytes().to_vec()).unwrap();
+            kv.put(ctx, key, (c2 + 1).to_le_bytes().to_vec()).unwrap();
+        });
+        sim.run();
+        drive(&mut sim, |ctx| kv.poll(ctx));
+        assert_eq!(
+            counter(kv.get(key)),
+            1,
+            "plain puts lose one of the two increments"
+        );
+
+        // Transactional path, same interleaving: one commit validates-fails
+        // and retries with a fresh read; no increment is lost.
+        let (mut sim, mut kv) = setup(2);
+        kv.enable_txns(CommitMode::Optimistic, 23);
+        let audit = simcore::Audit::standard();
+        kv.set_txn_audit(audit.clone());
+
+        let mut t1 = kv.txn();
+        let v1 = counter(kv.txn_get(&mut t1, key).as_deref());
+        let mut t2 = kv.txn();
+        let v2 = counter(kv.txn_get(&mut t2, key).as_deref());
+        kv.txn_put(&mut t1, key, (v1 + 1).to_le_bytes().to_vec())
+            .unwrap();
+        kv.txn_put(&mut t2, key, (v2 + 1).to_le_bytes().to_vec())
+            .unwrap();
+        let id1 = kv.txn_commit(t1);
+        let id2 = kv.txn_commit(t2);
+        let mut done = drive_txn(&mut sim, &mut kv);
+        done.sort();
+        // Exactly one of the two conflicting commits aborts.
+        let aborted: Vec<u64> = done
+            .iter()
+            .filter(|(_, o)| *o == TxnOutcome::Aborted)
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(aborted.len(), 1, "one RMW must lose validation: {done:?}");
+        assert!(aborted[0] == id1 || aborted[0] == id2);
+
+        // The loser retries FDB-style: fresh read, fresh commit.
+        let mut retry = kv.txn();
+        let v = counter(kv.txn_get(&mut retry, key).as_deref());
+        kv.txn_put(&mut retry, key, (v + 1).to_le_bytes().to_vec())
+            .unwrap();
+        let rid = kv.txn_commit(retry);
+        assert_eq!(
+            drive_txn(&mut sim, &mut kv),
+            vec![(rid, TxnOutcome::Committed)]
+        );
+
+        assert_eq!(
+            counter(kv.get(key)),
+            2,
+            "txn path must keep both increments"
+        );
+        assert_eq!(kv.txn_manager().committed, 2);
+        assert_eq!(kv.txn_manager().aborted, 1);
+        assert_eq!(audit.violation_count(), 0, "{}", audit.report());
     }
 
     #[test]

@@ -153,6 +153,19 @@ impl ScrambledZipfian {
             inner: Zipfian::new(items),
         }
     }
+
+    /// A scrambled-zipfian chooser with an explicit skew `theta ∈ (0, 1)`
+    /// (contention knob: higher theta concentrates more traffic on fewer
+    /// keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `theta` is outside `(0, 1)`.
+    pub fn with_theta(items: u64, theta: f64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::with_theta(items, theta),
+        }
+    }
 }
 
 impl KeyChooser for ScrambledZipfian {

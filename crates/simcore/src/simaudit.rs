@@ -25,6 +25,11 @@
 //! * **migration** — no in-flight op is lost across a cutover, the pause
 //!   window stays bounded, and every penned op is reissued on the new
 //!   epoch before the migration ends.
+//! * **txn** — committed transactions applied exactly their staged writes,
+//!   aborted transactions left no residue, no write lands without the
+//!   covering lock, no two txns hold the same lock site, and every lock a
+//!   txn acquired is released by the time it finishes (fed by the
+//!   [`Probe::TxnBegin`] .. [`Probe::TxnAbort`] lifecycle probes).
 //!
 //! The second half of the module is streaming health: [`HealthMonitor`]
 //! keeps a sliding window (ring of histograms) of per-shard ack latency,
@@ -171,6 +176,51 @@ pub enum Probe {
         shard: u32,
         /// Maximum allowed issued − acked.
         window: u64,
+    },
+    /// A multi-key transaction began.
+    TxnBegin {
+        /// Transaction id (the txn layer's own counter space).
+        txn: u64,
+    },
+    /// A transaction acquired a write-lock site group-wide.
+    TxnLock {
+        /// Acquiring transaction.
+        txn: u64,
+        /// Shard owning the lock word.
+        shard: u32,
+        /// Lock id within that shard's table.
+        lock: u32,
+    },
+    /// A transaction released a write-lock site.
+    TxnUnlock {
+        /// Releasing transaction.
+        txn: u64,
+        /// Shard owning the lock word.
+        shard: u32,
+        /// Lock id within that shard's table.
+        lock: u32,
+    },
+    /// One buffered write of a transaction was applied (its durable gWRITE
+    /// acknowledged), attributed to the lock site covering the key.
+    TxnWrite {
+        /// Writing transaction.
+        txn: u64,
+        /// Shard the write landed on.
+        shard: u32,
+        /// Lock id covering the written key.
+        lock: u32,
+    },
+    /// A transaction finished committed.
+    TxnCommit {
+        /// The committed transaction.
+        txn: u64,
+        /// Writes the transaction staged (all must have applied).
+        writes: u64,
+    },
+    /// A transaction finished aborted.
+    TxnAbort {
+        /// The aborted transaction.
+        txn: u64,
     },
 }
 
@@ -320,14 +370,16 @@ impl Audit {
         }
     }
 
-    /// The standard auditor set: durability, chain order, flow control
-    /// and migration safety (with the default pause bound).
+    /// The standard auditor set: durability, chain order, flow control,
+    /// migration safety (with the default pause bound) and transactional
+    /// atomicity/isolation.
     pub fn standard() -> Self {
         Audit::new(vec![
             Box::new(DurabilityAuditor),
             Box::new(ChainOrderAuditor::default()),
             Box::new(FlowControlAuditor::default()),
             Box::new(MigrationAuditor::default()),
+            Box::new(TxnAuditor::default()),
         ])
     }
 
@@ -631,19 +683,17 @@ impl Auditor for FlowControlAuditor {
                 shard,
                 depth,
                 capacity,
-            } => {
-                if depth > capacity {
-                    ctx.report(
-                        self.name(),
-                        NO_OP,
-                        at,
-                        format!(
-                            "holding pen overflow on shard {shard}: depth {depth} > capacity {capacity}"
-                        ),
-                    );
-                }
+            } if depth > capacity => {
+                ctx.report(
+                    self.name(),
+                    NO_OP,
+                    at,
+                    format!(
+                        "holding pen overflow on shard {shard}: depth {depth} > capacity {capacity}"
+                    ),
+                );
             }
-            Probe::AckDurability { .. } => {}
+            _ => {}
         }
     }
 }
@@ -779,6 +829,145 @@ impl Auditor for MigrationAuditor {
             if let Some(st) = self.migrating.get_mut(&shard) {
                 st.pen_peak = st.pen_peak.max(depth);
             }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    applied: u64,
+    locks: Vec<(u32, u32)>,
+}
+
+/// Checks transactional atomicity and isolation from the txn lifecycle
+/// probes ([`Probe::TxnBegin`] .. [`Probe::TxnAbort`]):
+///
+/// * a committed txn applied exactly the writes it staged (a dropped write
+///   is blamed on the txn that committed without it);
+/// * an aborted txn applied none — aborts leave no residue;
+/// * a write is applied only while its txn holds the covering lock site,
+///   and no two txns hold the same site at once — so no committed txn can
+///   observe another's partial writes;
+/// * every lock a txn acquired is released by the time it reports
+///   committed or aborted (no lock-word leak).
+#[derive(Debug, Default)]
+pub struct TxnAuditor {
+    /// Lock site → holding txn.
+    held: BTreeMap<(u32, u32), u64>,
+    /// Live txns.
+    txns: BTreeMap<u64, TxnState>,
+}
+
+impl TxnAuditor {
+    fn finish(&mut self, ctx: &mut AuditCtx<'_>, at: SimTime, txn: u64) -> TxnState {
+        let st = self.txns.remove(&txn).unwrap_or_default();
+        for site in &st.locks {
+            ctx.report(
+                "txn",
+                NO_OP,
+                at,
+                format!(
+                    "lock leak: txn {txn} finished still holding lock {} on shard {}",
+                    site.1, site.0
+                ),
+            );
+            self.held.remove(site);
+        }
+        st
+    }
+}
+
+impl Auditor for TxnAuditor {
+    fn name(&self) -> &'static str {
+        "txn"
+    }
+
+    fn on_probe(&mut self, ctx: &mut AuditCtx<'_>, at: SimTime, probe: &Probe) {
+        match *probe {
+            Probe::TxnBegin { txn } => {
+                let reused = self.txns.insert(txn, TxnState::default()).is_some();
+                if reused {
+                    ctx.report("txn", NO_OP, at, format!("txn id {txn} reused while live"));
+                }
+            }
+            Probe::TxnLock { txn, shard, lock } => {
+                let site = (shard, lock);
+                if let Some(&holder) = self.held.get(&site) {
+                    ctx.report(
+                        "txn",
+                        NO_OP,
+                        at,
+                        format!(
+                            "isolation: txn {txn} acquired lock {lock} on shard {shard} \
+                             already held by txn {holder}"
+                        ),
+                    );
+                }
+                self.held.insert(site, txn);
+                self.txns.entry(txn).or_default().locks.push(site);
+            }
+            Probe::TxnUnlock { txn, shard, lock } => {
+                let site = (shard, lock);
+                let st = self.txns.entry(txn).or_default();
+                match st.locks.iter().position(|s| *s == site) {
+                    Some(i) => {
+                        st.locks.swap_remove(i);
+                        self.held.remove(&site);
+                    }
+                    None => ctx.report(
+                        "txn",
+                        NO_OP,
+                        at,
+                        format!("txn {txn} released lock {lock} on shard {shard} it never held"),
+                    ),
+                }
+            }
+            Probe::TxnWrite { txn, shard, lock } => {
+                let site = (shard, lock);
+                let st = self.txns.entry(txn).or_default();
+                st.applied += 1;
+                if !st.locks.contains(&site) {
+                    ctx.report(
+                        "txn",
+                        NO_OP,
+                        at,
+                        format!(
+                            "isolation: txn {txn} applied a write to shard {shard} without \
+                             holding lock {lock}"
+                        ),
+                    );
+                }
+            }
+            Probe::TxnCommit { txn, writes } => {
+                let st = self.finish(ctx, at, txn);
+                if st.applied != writes {
+                    ctx.report(
+                        "txn",
+                        NO_OP,
+                        at,
+                        format!(
+                            "atomicity: txn {txn} committed with {} of {writes} staged \
+                             write(s) applied",
+                            st.applied
+                        ),
+                    );
+                }
+            }
+            Probe::TxnAbort { txn } => {
+                let st = self.finish(ctx, at, txn);
+                if st.applied != 0 {
+                    ctx.report(
+                        "txn",
+                        NO_OP,
+                        at,
+                        format!(
+                            "atomicity: aborted txn {txn} left residue — {} write(s) applied",
+                            st.applied
+                        ),
+                    );
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -1623,5 +1812,192 @@ mod tests {
         let json = crate::simtrace::chrome_trace_json(&tracer.events());
         assert!(json.contains("\"name\":\"health_breach\""));
         assert!(json.contains("\"shard\":2"));
+    }
+
+    /// Drives one well-formed txn through the probe lifecycle.
+    fn run_clean_txn(a: &Audit, txn: u64, shard: u32, lock: u32) {
+        a.probe(SimTime::from_nanos(0), Probe::TxnBegin { txn });
+        a.probe(SimTime::from_nanos(10), Probe::TxnLock { txn, shard, lock });
+        a.probe(
+            SimTime::from_nanos(20),
+            Probe::TxnWrite { txn, shard, lock },
+        );
+        a.probe(
+            SimTime::from_nanos(30),
+            Probe::TxnUnlock { txn, shard, lock },
+        );
+        a.probe(SimTime::from_nanos(40), Probe::TxnCommit { txn, writes: 1 });
+    }
+
+    /// A clean commit and a clean abort raise nothing.
+    #[test]
+    fn txn_auditor_accepts_clean_lifecycle() {
+        let a = Audit::standard();
+        run_clean_txn(&a, 7, 0, 3);
+        a.probe(SimTime::from_nanos(50), Probe::TxnBegin { txn: 8 });
+        a.probe(
+            SimTime::from_nanos(60),
+            Probe::TxnLock {
+                txn: 8,
+                shard: 1,
+                lock: 3,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(70),
+            Probe::TxnUnlock {
+                txn: 8,
+                shard: 1,
+                lock: 3,
+            },
+        );
+        a.probe(SimTime::from_nanos(80), Probe::TxnAbort { txn: 8 });
+        assert_eq!(a.violation_count(), 0, "report:\n{}", a.report());
+    }
+
+    /// Mutation: drop one write of a committed txn — the auditor must
+    /// blame the exact txn id.
+    #[test]
+    fn txn_auditor_detects_dropped_write() {
+        let a = Audit::standard();
+        a.probe(SimTime::from_nanos(0), Probe::TxnBegin { txn: 42 });
+        a.probe(
+            SimTime::from_nanos(10),
+            Probe::TxnLock {
+                txn: 42,
+                shard: 0,
+                lock: 1,
+            },
+        );
+        // Staged two writes, applied only one.
+        a.probe(
+            SimTime::from_nanos(20),
+            Probe::TxnWrite {
+                txn: 42,
+                shard: 0,
+                lock: 1,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(30),
+            Probe::TxnUnlock {
+                txn: 42,
+                shard: 0,
+                lock: 1,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(40),
+            Probe::TxnCommit { txn: 42, writes: 2 },
+        );
+        let vs = a.violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].auditor, "txn");
+        assert!(vs[0].detail.contains("atomicity"));
+        assert!(vs[0].detail.contains("txn 42"), "detail: {}", vs[0].detail);
+        assert!(vs[0].detail.contains("1 of 2"));
+    }
+
+    /// Mutation: leak one lock past commit — reported as a lock leak
+    /// naming the txn and site.
+    #[test]
+    fn txn_auditor_detects_leaked_lock() {
+        let a = Audit::standard();
+        a.probe(SimTime::from_nanos(0), Probe::TxnBegin { txn: 9 });
+        a.probe(
+            SimTime::from_nanos(10),
+            Probe::TxnLock {
+                txn: 9,
+                shard: 2,
+                lock: 5,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(20),
+            Probe::TxnCommit { txn: 9, writes: 0 },
+        );
+        let vs = a.violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].auditor, "txn");
+        assert!(vs[0].detail.contains("lock leak"));
+        assert!(vs[0].detail.contains("txn 9"));
+        assert!(vs[0].detail.contains("lock 5 on shard 2"));
+        // The leaked site is reclaimed: a later txn can use it cleanly.
+        run_clean_txn(&a, 10, 2, 5);
+        assert_eq!(a.violation_count(), 1);
+    }
+
+    /// Mutation: an aborted txn that already applied a write leaves
+    /// residue.
+    #[test]
+    fn txn_auditor_detects_abort_residue() {
+        let a = Audit::standard();
+        a.probe(SimTime::from_nanos(0), Probe::TxnBegin { txn: 3 });
+        a.probe(
+            SimTime::from_nanos(10),
+            Probe::TxnLock {
+                txn: 3,
+                shard: 0,
+                lock: 0,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(20),
+            Probe::TxnWrite {
+                txn: 3,
+                shard: 0,
+                lock: 0,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(30),
+            Probe::TxnUnlock {
+                txn: 3,
+                shard: 0,
+                lock: 0,
+            },
+        );
+        a.probe(SimTime::from_nanos(40), Probe::TxnAbort { txn: 3 });
+        let vs = a.violations();
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("residue"));
+        assert!(vs[0].detail.contains("txn 3"));
+    }
+
+    /// Mutation: two txns holding the same lock site at once is an
+    /// isolation violation; a write without the covering lock likewise.
+    #[test]
+    fn txn_auditor_detects_double_hold_and_unlocked_write() {
+        let a = Audit::standard();
+        a.probe(SimTime::from_nanos(0), Probe::TxnBegin { txn: 1 });
+        a.probe(SimTime::from_nanos(1), Probe::TxnBegin { txn: 2 });
+        a.probe(
+            SimTime::from_nanos(10),
+            Probe::TxnLock {
+                txn: 1,
+                shard: 0,
+                lock: 7,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(20),
+            Probe::TxnLock {
+                txn: 2,
+                shard: 0,
+                lock: 7,
+            },
+        );
+        a.probe(
+            SimTime::from_nanos(30),
+            Probe::TxnWrite {
+                txn: 1,
+                shard: 3,
+                lock: 9,
+            },
+        );
+        let vs = a.violations();
+        assert_eq!(vs.len(), 2);
+        assert!(vs[0].detail.contains("already held by txn 1"));
+        assert!(vs[1].detail.contains("without"));
     }
 }

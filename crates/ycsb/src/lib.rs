@@ -15,6 +15,11 @@
 //! Keys are 32-byte strings derived from a u64 index; values are 1024-byte
 //! payloads (the paper's record shape). The generator is deterministic
 //! given a seed.
+//!
+//! Beyond the core set, [`Workload::Transfer`] (50% read / 50% two-key
+//! transfer between distinct zipfian accounts) exercises multi-key
+//! transactions: each [`Operation::Transfer`] must move value between two
+//! keys atomically, potentially across shards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +73,18 @@ pub enum Operation {
         /// Number of records to scan.
         len: u64,
     },
+    /// Atomically move `amount` between two accounts (the multi-key
+    /// transfer workload). The two keys are distinct and may live on
+    /// different shards — serving this correctly requires a multi-key
+    /// transaction.
+    Transfer {
+        /// Debited key index.
+        from: u64,
+        /// Credited key index.
+        to: u64,
+        /// Units moved.
+        amount: u64,
+    },
 }
 
 impl Operation {
@@ -79,6 +96,15 @@ impl Operation {
             | Operation::Insert { key, .. }
             | Operation::ReadModifyWrite { key, .. }
             | Operation::Scan { key, .. } => *key,
+            Operation::Transfer { from, .. } => *from,
+        }
+    }
+
+    /// Every key the operation touches (two for transfers, one otherwise).
+    pub fn keys(&self) -> Vec<u64> {
+        match self {
+            Operation::Transfer { from, to, .. } => vec![*from, *to],
+            other => vec![other.key()],
         }
     }
 
@@ -86,7 +112,10 @@ impl Operation {
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            Operation::Update { .. } | Operation::Insert { .. } | Operation::ReadModifyWrite { .. }
+            Operation::Update { .. }
+                | Operation::Insert { .. }
+                | Operation::ReadModifyWrite { .. }
+                | Operation::Transfer { .. }
         )
     }
 
@@ -98,6 +127,7 @@ impl Operation {
             Operation::Insert { .. } => "insert",
             Operation::ReadModifyWrite { .. } => "rmw",
             Operation::Scan { .. } => "scan",
+            Operation::Transfer { .. } => "transfer",
         }
     }
 }
@@ -117,6 +147,9 @@ pub enum Workload {
     E,
     /// 50% read / 50% read-modify-write, zipfian.
     F,
+    /// 50% read / 50% two-key transfer, zipfian (the multi-key
+    /// transaction workload; not part of the standard core set).
+    Transfer,
 }
 
 impl Workload {
@@ -129,15 +162,17 @@ impl Workload {
         Workload::F,
     ];
 
-    /// Operation mix as (read, update, insert, rmw, scan) percentages.
-    pub fn mix(&self) -> (u32, u32, u32, u32, u32) {
+    /// Operation mix as (read, update, insert, rmw, scan, transfer)
+    /// percentages.
+    pub fn mix(&self) -> (u32, u32, u32, u32, u32, u32) {
         match self {
-            Workload::A => (50, 50, 0, 0, 0),
-            Workload::B => (95, 5, 0, 0, 0),
-            Workload::C => (100, 0, 0, 0, 0),
-            Workload::D => (95, 0, 5, 0, 0),
-            Workload::E => (0, 0, 5, 0, 95),
-            Workload::F => (50, 0, 0, 50, 0),
+            Workload::A => (50, 50, 0, 0, 0, 0),
+            Workload::B => (95, 5, 0, 0, 0, 0),
+            Workload::C => (100, 0, 0, 0, 0, 0),
+            Workload::D => (95, 0, 5, 0, 0, 0),
+            Workload::E => (0, 0, 5, 0, 95, 0),
+            Workload::F => (50, 0, 0, 50, 0, 0),
+            Workload::Transfer => (50, 0, 0, 0, 0, 50),
         }
     }
 }
@@ -209,13 +244,39 @@ impl Generator {
         seed: u64,
         value_len: usize,
     ) -> Self {
+        Self::build(workload, record_count, seed, value_len, None)
+    }
+
+    /// A generator with an explicit zipfian skew `theta ∈ (0, 1)` — the
+    /// contention knob: higher theta concentrates requests on fewer hot
+    /// keys. Ignored by workload D (latest distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_count == 0` or `theta` is outside `(0, 1)`.
+    pub fn with_theta(workload: Workload, record_count: u64, seed: u64, theta: f64) -> Self {
+        Self::build(workload, record_count, seed, VALUE_LEN, Some(theta))
+    }
+
+    fn build(
+        workload: Workload,
+        record_count: u64,
+        seed: u64,
+        value_len: usize,
+        theta: Option<f64>,
+    ) -> Self {
         assert!(record_count > 0, "empty keyspace");
         assert!(value_len > 0, "empty values");
         let mut rng = SimRng::new(seed);
-        let chooser = match workload {
-            Workload::D => Chooser::Latest(Latest::new(record_count)),
-            _ => Chooser::Zipf(ScrambledZipfian::new(record_count)),
+        let chooser = match (workload, theta) {
+            (Workload::D, _) => Chooser::Latest(Latest::new(record_count)),
+            (_, Some(t)) => Chooser::Zipf(ScrambledZipfian::with_theta(record_count, t)),
+            (_, None) => Chooser::Zipf(ScrambledZipfian::new(record_count)),
         };
+        assert!(
+            workload != Workload::Transfer || record_count > 1,
+            "transfers need at least two keys"
+        );
         let scan_len = UniformKeys::new(MAX_SCAN_LEN);
         let _ = &mut rng;
         Generator {
@@ -249,7 +310,7 @@ impl Generator {
 
     /// Draws the next operation.
     pub fn next_op(&mut self) -> Operation {
-        let (read, update, insert, rmw, _scan) = self.workload.mix();
+        let (read, update, insert, rmw, scan, _transfer) = self.workload.mix();
         let roll = self.rng.gen_range(0..100) as u32;
         if roll < read {
             Operation::Read {
@@ -265,10 +326,20 @@ impl Generator {
             let key = self.chooser.next(&mut self.rng);
             let value = self.value();
             Operation::ReadModifyWrite { key, value }
-        } else {
+        } else if roll < read + update + insert + rmw + scan {
             let key = self.chooser.next(&mut self.rng);
             let len = self.scan_len.next_key(&mut self.rng) + 1;
             Operation::Scan { key, len }
+        } else {
+            // Two *distinct* zipfian accounts: the hot-key skew is what
+            // makes the transfer workload contentious.
+            let from = self.chooser.next(&mut self.rng);
+            let mut to = self.chooser.next(&mut self.rng);
+            while to == from {
+                to = self.chooser.next(&mut self.rng);
+            }
+            let amount = self.rng.gen_range(1..100);
+            Operation::Transfer { from, to, amount }
         }
     }
 }
@@ -422,6 +493,36 @@ mod tests {
         assert_eq!(k.len(), KEY_LEN);
         assert!(std::str::from_utf8(&k).is_ok());
         assert_ne!(key_bytes(1), key_bytes(2));
+    }
+
+    #[test]
+    fn transfer_workload_mix_and_distinct_keys() {
+        let n = 50_000;
+        let c = mix_of(Workload::Transfer, n);
+        assert!((frac(&c, "read", n) - 0.5).abs() < 0.02);
+        assert!((frac(&c, "transfer", n) - 0.5).abs() < 0.02);
+        let mut g = Generator::new(Workload::Transfer, 100, 17);
+        for _ in 0..10_000 {
+            if let Operation::Transfer { from, to, amount } = g.next_op() {
+                assert_ne!(from, to, "transfer endpoints must differ");
+                assert!(from < g.record_count() && to < g.record_count());
+                assert!((1..100).contains(&amount));
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_reports_both_keys() {
+        let op = Operation::Transfer {
+            from: 3,
+            to: 9,
+            amount: 5,
+        };
+        assert!(op.is_write());
+        assert_eq!(op.kind(), "transfer");
+        assert_eq!(op.key(), 3);
+        assert_eq!(op.keys(), vec![3, 9]);
+        assert_eq!(Operation::Read { key: 7 }.keys(), vec![7]);
     }
 
     #[test]
