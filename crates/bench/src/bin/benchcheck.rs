@@ -22,6 +22,22 @@
 //! stay at or below `txn.started`, and so must their sum — a commit
 //! attempt resolves exactly once.
 //!
+//! The same scenarios get the txnscope observability gate. The
+//! `txn.abort_causes.*` counters form a closed three-key set that must sum
+//! to `txn.aborted` exactly — every abort carries exactly one root cause.
+//! The `txn.contention.*` roll-up is a closed eight-key set, and any
+//! scenario that started at least one transaction **must** carry it: a
+//! txnmix run whose contention block went missing is a report that can
+//! silently hide a pathological lock fight. Per-site detail keys must
+//! match the `txn.contention.site.s<shard>.l<lock>.<field>` grammar with
+//! fields drawn from the same closed set, and false conflicts (distinct
+//! keys colliding in one stripe) can never exceed conflicts, globally or
+//! per site. Scenarios carrying a `txn_breakdown` block must tile like
+//! stage attribution does: per-phase mean contributions sum to the mean
+//! end-to-end commit latency within 1 ns. An `abort_causes` block must
+//! use the same closed cause set, sum to its own `total`, and agree with
+//! the `txn.aborted` counter.
+//!
 //! Every scenario must also carry a `host` block — the wall-clock
 //! self-profile of the simulator ([`simcore::hostprof`]) — with a *closed*
 //! key set (unknown keys fail, so schema drift is caught on both sides),
@@ -142,6 +158,202 @@ fn check_txn_counters(counters: &JsonValue) -> Result<(), String> {
         return Err(format!(
             "txn.committed={committed} + txn.aborted={aborted} exceeds txn.started={started}"
         ));
+    }
+    Ok(())
+}
+
+/// The three abort root causes — the closed set mirrored from
+/// `hyperloop::txn::AbortCause::label`.
+const ABORT_CAUSES: [&str; 3] = ["lock_conflict", "validation_failed", "backoff_exhausted"];
+
+/// The per-site contention fields; the global roll-up adds
+/// `contended_sites` on top of these.
+const CONTENTION_FIELDS: [&str; 7] = [
+    "attempts",
+    "cas_failures",
+    "conflicts",
+    "false_conflicts",
+    "wait_ns",
+    "backoff_retries",
+    "queue_depth_hwm",
+];
+
+/// `txn.contention.site.` suffix grammar: `s<digits>.l<digits>.<field>`
+/// with the field drawn from [`CONTENTION_FIELDS`].
+fn valid_site_key(rest: &str) -> bool {
+    let Some(rest) = rest.strip_prefix('s') else {
+        return false;
+    };
+    let Some(dot) = rest.find('.') else {
+        return false;
+    };
+    let (shard, rest) = rest.split_at(dot);
+    if shard.is_empty() || !shard.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let Some(rest) = rest[1..].strip_prefix('l') else {
+        return false;
+    };
+    let Some(dot) = rest.find('.') else {
+        return false;
+    };
+    let (lock, field) = rest.split_at(dot);
+    if lock.is_empty() || !lock.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    CONTENTION_FIELDS.contains(&&field[1..])
+}
+
+/// The txnscope gate over registry counters: abort-cause counters form a
+/// closed set summing to `txn.aborted`; a scenario that started at least
+/// one transaction must carry the whole `txn.contention.*` roll-up (a
+/// missing contention block can hide a lock fight); site keys follow the
+/// `s<shard>.l<lock>.<field>` grammar; and false conflicts never exceed
+/// conflicts, globally or per site.
+fn check_txn_observability(counters: &JsonValue) -> Result<(), String> {
+    let Some(started) = counters.get("txn.started").and_then(|v| v.as_u64()) else {
+        return Ok(());
+    };
+    let aborted = counters
+        .get("txn.aborted")
+        .and_then(|v| v.as_u64())
+        .ok_or("txn.started present but txn.aborted missing")?;
+    let mut cause_sum = 0u64;
+    for cause in ABORT_CAUSES {
+        let key = format!("txn.abort_causes.{cause}");
+        let n = counters
+            .get(&key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("txn.started present but {key} missing"))?;
+        cause_sum += n;
+    }
+    if cause_sum != aborted {
+        return Err(format!(
+            "txn.abort_causes.* sum to {cause_sum} but txn.aborted={aborted} — \
+             an abort escaped root-cause attribution"
+        ));
+    }
+    for k in ["parks", "delay_ns"] {
+        counters
+            .get(&format!("txn.backoff.{k}"))
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("txn.started present but txn.backoff.{k} missing"))?;
+    }
+    if started > 0 {
+        for f in CONTENTION_FIELDS.iter().chain(&["contended_sites"]) {
+            counters
+                .get(&format!("txn.contention.{f}"))
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| {
+                    format!("txn.started={started} > 0 but txn.contention.{f} is absent")
+                })?;
+        }
+    }
+    let Some(fields) = counters.as_obj() else {
+        return Ok(());
+    };
+    for (k, _) in fields {
+        if let Some(rest) = k.strip_prefix("txn.abort_causes.") {
+            if !ABORT_CAUSES.contains(&rest) {
+                return Err(format!("{k} is outside the closed abort-cause set"));
+            }
+        } else if let Some(rest) = k.strip_prefix("txn.backoff.") {
+            if !matches!(rest, "parks" | "delay_ns") {
+                return Err(format!("{k} is outside the closed backoff key set"));
+            }
+        } else if let Some(rest) = k.strip_prefix("txn.contention.site.") {
+            if !valid_site_key(rest) {
+                return Err(format!(
+                    "{k} does not match txn.contention.site.s<shard>.l<lock>.<field>"
+                ));
+            }
+        } else if let Some(rest) = k.strip_prefix("txn.contention.") {
+            if !CONTENTION_FIELDS.contains(&rest) && rest != "contended_sites" {
+                return Err(format!("{k} is outside the closed contention key set"));
+            }
+        }
+    }
+    // False conflicts are a subset of conflicts by construction; a report
+    // claiming otherwise mislabeled a real collision.
+    for (k, v) in fields {
+        let Some(base) = k.strip_suffix(".false_conflicts") else {
+            continue;
+        };
+        if !base.starts_with("txn.contention") {
+            continue;
+        }
+        let Some(fc) = v.as_u64() else { continue };
+        let conflicts_key = format!("{base}.conflicts");
+        let conflicts = counters
+            .get(&conflicts_key)
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| format!("{k} has no sibling {conflicts_key}"))?;
+        if fc > conflicts {
+            return Err(format!("{k}={fc} exceeds {conflicts_key}={conflicts}"));
+        }
+    }
+    Ok(())
+}
+
+/// A `txn_breakdown` block must tile like stage attribution: the sum of
+/// per-phase mean contributions equals the mean end-to-end commit
+/// latency, within 1 ns.
+fn check_txn_breakdown(att: &JsonValue) -> Result<(), String> {
+    let mean = att.get("mean_e2e_ns").and_then(|v| v.as_f64());
+    let sum = att.get("phase_mean_sum_ns").and_then(|v| v.as_f64());
+    let (Some(mean), Some(sum)) = (mean, sum) else {
+        return Err("txn_breakdown lacks mean_e2e_ns/phase_mean_sum_ns".into());
+    };
+    if !mean.is_finite() || !sum.is_finite() {
+        return Err("txn_breakdown means are non-finite".into());
+    }
+    if (mean - sum).abs() > 1.0 {
+        return Err(format!(
+            "txn phase means do not tile e2e: mean_e2e_ns={mean} vs phase_mean_sum_ns={sum}"
+        ));
+    }
+    Ok(())
+}
+
+/// An `abort_causes` block: closed cause set plus `total`, causes sum to
+/// `total`, and `total` agrees with the `txn.aborted` registry counter
+/// when the scenario carries one.
+fn check_abort_causes(ac: &JsonValue, counters: Option<&JsonValue>) -> Result<(), String> {
+    let fields = ac.as_obj().ok_or("abort_causes is not an object")?;
+    let mut sum = 0u64;
+    let mut total = None;
+    for (k, v) in fields {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| format!("abort_causes.{k} is not a non-negative integer"))?;
+        if k == "total" {
+            total = Some(n);
+        } else if ABORT_CAUSES.contains(&k.as_str()) {
+            sum += n;
+        } else {
+            return Err(format!("abort_causes.{k} is outside the closed key set"));
+        }
+    }
+    for cause in ABORT_CAUSES {
+        if ac.get(cause).is_none() {
+            return Err(format!("abort_causes.{cause} is missing"));
+        }
+    }
+    let total = total.ok_or("abort_causes.total is missing")?;
+    if sum != total {
+        return Err(format!(
+            "abort_causes sum to {sum} but abort_causes.total={total}"
+        ));
+    }
+    if let Some(aborted) = counters
+        .and_then(|c| c.get("txn.aborted"))
+        .and_then(|v| v.as_u64())
+    {
+        if total != aborted {
+            return Err(format!(
+                "abort_causes.total={total} disagrees with txn.aborted={aborted}"
+            ));
+        }
     }
     Ok(())
 }
@@ -406,6 +618,7 @@ fn check_file(
                 check_numbers(c, "metrics.counters", true).map_err(|m| fail(path, name, &m))?;
                 check_shard_monotonicity(c).map_err(|m| fail(path, name, &m))?;
                 check_txn_counters(c).map_err(|m| fail(path, name, &m))?;
+                check_txn_observability(c).map_err(|m| fail(path, name, &m))?;
                 // The audit total rides in the registry snapshot too — a
                 // report without a health block still cannot hide one.
                 if let Some(v) = c.get("audit.violations").and_then(|v| v.as_u64()) {
@@ -430,6 +643,13 @@ fn check_file(
         }
         if let Some(att) = s.get("stage_attribution") {
             check_attribution(att).map_err(|m| fail(path, name, &m))?;
+        }
+        if let Some(att) = s.get("txn_breakdown") {
+            check_txn_breakdown(att).map_err(|m| fail(path, name, &m))?;
+        }
+        if let Some(ac) = s.get("abort_causes") {
+            let counters = s.get("metrics").and_then(|m| m.get("counters"));
+            check_abort_causes(ac, counters).map_err(|m| fail(path, name, &m))?;
         }
         if let Some(base) = baseline {
             if let (Some(expected), Some(got)) = (

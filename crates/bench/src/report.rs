@@ -10,7 +10,7 @@
 
 use simcore::jsonw::JsonWriter;
 use simcore::simaudit::HealthSummary;
-use simcore::simprof::StageAttribution;
+use simcore::simprof::{StageAttribution, TxnAttribution};
 use simcore::{HostStats, LatencySummary, MetricsRegistry, SimDuration};
 use std::path::{Path, PathBuf};
 
@@ -77,6 +77,8 @@ pub struct Scenario {
     host: Option<HostStats>,
     metrics: Option<MetricsRegistry>,
     attribution: Option<StageAttribution>,
+    txn_breakdown: Option<TxnAttribution>,
+    abort_causes: Option<Vec<(String, u64)>>,
 }
 
 impl Scenario {
@@ -149,6 +151,23 @@ impl Scenario {
     /// `stage_attribution` block in the scenario JSON.
     pub fn stage_attribution(mut self, att: StageAttribution) -> Self {
         self.attribution = Some(att);
+        self
+    }
+
+    /// Attaches the run's transaction-phase attribution (per-phase latency
+    /// aggregates folded from the txn trace spans; phase means tile the
+    /// mean commit latency). Serialized as a `txn_breakdown` block.
+    pub fn txn_breakdown(mut self, att: TxnAttribution) -> Self {
+        self.txn_breakdown = Some(att);
+        self
+    }
+
+    /// Attaches the run's abort root-cause tally (`(label, count)` pairs
+    /// in the normative cause order; counts sum to the run's aborted
+    /// total). Serialized as an `abort_causes` block with a trailing
+    /// `total`.
+    pub fn abort_causes(mut self, causes: Vec<(String, u64)>) -> Self {
+        self.abort_causes = Some(causes);
         self
     }
 }
@@ -330,6 +349,21 @@ impl Report {
             if let Some(att) = &s.attribution {
                 w.begin_obj_field("stage_attribution");
                 att.write_fields(&mut w);
+                w.end_obj();
+            }
+            if let Some(att) = &s.txn_breakdown {
+                w.begin_obj_field("txn_breakdown");
+                att.write_fields(&mut w);
+                w.end_obj();
+            }
+            if let Some(causes) = &s.abort_causes {
+                w.begin_obj_field("abort_causes");
+                let mut total = 0u64;
+                for (label, n) in causes {
+                    w.field_u64(label, *n);
+                    total += n;
+                }
+                w.field_u64("total", total);
                 w.end_obj();
             }
             w.end_obj();

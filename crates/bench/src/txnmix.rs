@@ -25,8 +25,10 @@ use hyperloop::{GroupConfig, HyperLoopGroup, ReplicaHandle, ShardId};
 use kvstore::{KvConfig, KvTxn, ReplicatedKv, ShardedKv};
 use netsim::NodeId;
 use simcore::simaudit::op_id_base;
+use simcore::simprof::{txn_chrome_trace_with_counters, txn_folded_stacks, CounterSample};
 use simcore::{
-    Audit, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry, SimTime, Tracer,
+    Audit, CounterSampler, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry,
+    SimTime, TraceEvent, Tracer, TxnAttribution,
 };
 use std::collections::HashMap;
 use testbed::cluster::drive;
@@ -51,6 +53,10 @@ pub struct TxnMixOpts {
     pub records: u64,
     /// Root seed.
     pub seed: u64,
+    /// Capture causal traces on the observed arm: txn phase spans, op
+    /// parent tags and sampled `txn.*` counter tracks. Observational only
+    /// — the simulated timeline is byte-identical either way.
+    pub trace: bool,
 }
 
 impl Default for TxnMixOpts {
@@ -63,6 +69,7 @@ impl Default for TxnMixOpts {
             theta: 0.9,
             records: 256,
             seed: 0x7A317,
+            trace: false,
         }
     }
 }
@@ -92,6 +99,14 @@ pub struct TxnMixResult {
     pub violations: u64,
     /// Host-side (wall-clock) statistics with the observability tax.
     pub host: HostStats,
+    /// Captured trace events (txn phase spans, op tags, transport events);
+    /// empty unless [`TxnMixOpts::trace`] was set.
+    pub events: Vec<TraceEvent>,
+    /// Sampled `txn.*` counter-track points; empty unless traced.
+    pub samples: Vec<CounterSample>,
+    /// Abort root-cause tally, `(label, count)` in the normative cause
+    /// order; counts sum to `aborted`.
+    pub abort_causes: Vec<(String, u64)>,
 }
 
 impl TxnMixResult {
@@ -200,7 +215,13 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
     } else {
         Audit::disabled()
     };
-    let tracer = Tracer::disabled().with_audit(audit.clone());
+    let traced = opts.trace && observed;
+    let tracer = if traced {
+        Tracer::enabled(1 << 18)
+    } else {
+        Tracer::disabled()
+    }
+    .with_audit(audit.clone());
     cluster.set_tracer(tracer.clone());
 
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
@@ -231,6 +252,11 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
     let mut kv = ShardedKv::with_hash_router(stores);
     kv.enable_txns(mode, opts.seed ^ 0x7);
     kv.set_txn_audit(audit.clone());
+    // The txn manager shares the cluster tracer: phase spans and op tags
+    // land in the same buffer as the transport events (and feed the
+    // phase-pairing auditor even when the buffer itself is disabled).
+    kv.set_txn_tracer(tracer.clone());
+    let mut sampler = CounterSampler::with_prefixes(&["txn."]);
 
     let mut sim = cluster.into_sim();
     sim.run(); // drain group wiring
@@ -294,6 +320,13 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
             kv.poll(ctx);
             kv.pump_txns(ctx)
         });
+        if traced {
+            // Host-side sampling of the txn counters into Perfetto
+            // counter tracks — never touches the simulated timeline.
+            let mut scratch = MetricsRegistry::new();
+            kv.txn_manager().export_into(&mut scratch, "txn");
+            sampler.sample(sim.now(), &scratch);
+        }
         if done.is_empty() {
             idle_ticks += 1;
             assert!(
@@ -368,6 +401,13 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
         audit_json: audit.to_json(),
         violations: audit.violation_count(),
         host: meter.finish(committed, sim.now().since(SimTime::ZERO), sim.queue.stats()),
+        events: tracer.events(),
+        samples: sampler.samples().to_vec(),
+        abort_causes: mgr
+            .abort_cause_counts()
+            .iter()
+            .map(|&(label, n)| (label.to_string(), n))
+            .collect(),
     }
 }
 
@@ -388,6 +428,7 @@ pub fn txnmix(rep: &mut Report, quick: bool) {
             let opts = TxnMixOpts {
                 txns: if quick { 192 } else { 512 },
                 theta,
+                trace: rep.profile_enabled(),
                 ..TxnMixOpts::default()
             };
             let r = run_txnmix(mode, opts);
@@ -409,7 +450,7 @@ pub fn txnmix(rep: &mut Report, quick: bool) {
                 r.mean_span,
             ));
             let name = format!("txnmix/{label}/theta{theta}");
-            let sc = Scenario::new(name.clone())
+            let mut sc = Scenario::new(name.clone())
                 .system("HyperLoop")
                 .seed(opts.seed)
                 .config("mode", label)
@@ -425,13 +466,29 @@ pub fn txnmix(rep: &mut Report, quick: bool) {
                 .gauge("lock_retries", r.lock_retries as f64)
                 .gauge("mean_span", r.mean_span)
                 .host(r.host.clone())
-                .metrics(r.registry.clone());
+                .metrics(r.registry.clone())
+                .abort_causes(r.abort_causes.clone());
+            if opts.trace {
+                sc = sc.txn_breakdown(TxnAttribution::from_events(&r.events));
+            }
             rep.scenario(sc);
             rep.write_trace(
                 &format!("AUDIT_txnmix_{label}_theta{theta}.json"),
                 &r.audit_json,
             )
             .expect("trace sink writable");
+            if opts.trace {
+                rep.write_trace(
+                    &format!("TXNTRACE_txnmix_{label}_theta{theta}.json"),
+                    &txn_chrome_trace_with_counters(&r.events, &r.samples),
+                )
+                .expect("trace sink writable");
+                rep.write_trace(
+                    &format!("FOLDED_txn_txnmix_{label}_theta{theta}.txt"),
+                    &txn_folded_stacks(&r.events),
+                )
+                .expect("trace sink writable");
+            }
         }
     }
 }
@@ -496,6 +553,82 @@ mod tests {
         let r = run_txnmix_once(CommitMode::Optimistic, opts, true);
         assert_eq!(r.committed, 512);
         assert_eq!(r.violations, 0, "{}", r.audit_json);
+    }
+
+    #[test]
+    fn txn_breakdown_tiles_commit_latency_in_both_modes() {
+        for mode in [CommitMode::Locking, CommitMode::Optimistic] {
+            let opts = TxnMixOpts {
+                trace: true,
+                ..quick_opts(0.9)
+            };
+            let r = run_txnmix_once(mode, opts, true);
+            let att = TxnAttribution::from_events(&r.events);
+            assert!(att.txns > 0, "{mode:?}: no complete txns folded");
+            assert_eq!(att.truncated, 0, "{mode:?}: unpaired phase spans");
+            assert!(att.linked_ops > 0, "{mode:?}: no parent-tagged ops");
+            let diff = (att.mean_e2e_ns() - att.phase_mean_sum_ns()).abs();
+            assert!(
+                diff <= 1.0,
+                "{mode:?}: phase means must tile mean commit latency (off {diff} ns)"
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_is_observer_only() {
+        let base = run_txnmix_once(CommitMode::Locking, quick_opts(0.9), true);
+        let traced = run_txnmix_once(
+            CommitMode::Locking,
+            TxnMixOpts {
+                trace: true,
+                ..quick_opts(0.9)
+            },
+            true,
+        );
+        assert_eq!(base.latency.p99, traced.latency.p99);
+        assert_eq!(base.committed, traced.committed);
+        assert_eq!(base.aborted, traced.aborted);
+        assert_eq!(base.abort_causes, traced.abort_causes);
+        assert_eq!(
+            base.audit_json, traced.audit_json,
+            "tracing must not perturb the timeline"
+        );
+    }
+
+    #[test]
+    fn traced_artifacts_are_byte_identical_for_same_seed() {
+        let opts = TxnMixOpts {
+            trace: true,
+            ..quick_opts(0.9)
+        };
+        let a = run_txnmix_once(CommitMode::Locking, opts, true);
+        let b = run_txnmix_once(CommitMode::Locking, opts, true);
+        assert_eq!(
+            txn_chrome_trace_with_counters(&a.events, &a.samples),
+            txn_chrome_trace_with_counters(&b.events, &b.samples),
+            "txn chrome trace must be deterministic"
+        );
+        assert_eq!(
+            txn_folded_stacks(&a.events),
+            txn_folded_stacks(&b.events),
+            "folded txn stacks must be deterministic"
+        );
+        assert!(!a.samples.is_empty(), "counter tracks must be sampled");
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn abort_causes_sum_to_aborted_in_both_modes() {
+        for mode in [CommitMode::Locking, CommitMode::Optimistic] {
+            let r = run_txnmix(mode, quick_opts(0.99));
+            let total: u64 = r.abort_causes.iter().map(|(_, n)| n).sum();
+            assert_eq!(
+                total, r.aborted,
+                "{mode:?}: causes {:?} must sum to aborted {}",
+                r.abort_causes, r.aborted
+            );
+        }
     }
 
     #[test]

@@ -147,6 +147,8 @@ pub struct LockBackoff {
     base: SimDuration,
     cap: SimDuration,
     attempt: u32,
+    retries: u64,
+    delay_ns: u64,
 }
 
 impl LockBackoff {
@@ -172,6 +174,8 @@ impl LockBackoff {
             base,
             cap,
             attempt: 0,
+            retries: 0,
+            delay_ns: 0,
         }
     }
 
@@ -185,10 +189,16 @@ impl LockBackoff {
             .as_nanos()
             .saturating_mul(1u64 << exp)
             .min(self.cap.as_nanos());
-        SimDuration::from_nanos(self.rng.gen_range(self.base.as_nanos()..window + 1))
+        let d = SimDuration::from_nanos(self.rng.gen_range(self.base.as_nanos()..window + 1));
+        self.retries += 1;
+        self.delay_ns += d.as_nanos();
+        d
     }
 
-    /// Resets the attempt counter after a successful acquisition.
+    /// Resets the attempt counter after a successful acquisition. The
+    /// lifetime counters ([`LockBackoff::retries`],
+    /// [`LockBackoff::total_delay_ns`]) keep accumulating — they are the
+    /// metric trail, not per-round state.
     pub fn reset(&mut self) {
         self.attempt = 0;
     }
@@ -196,6 +206,16 @@ impl LockBackoff {
     /// Attempts since the last reset.
     pub fn attempts(&self) -> u32 {
         self.attempt
+    }
+
+    /// Lifetime count of delays handed out (never reset).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Lifetime sum of handed-out delay nanoseconds (never reset).
+    pub fn total_delay_ns(&self) -> u64 {
+        self.delay_ns
     }
 }
 
@@ -598,6 +618,13 @@ mod tests {
         assert_eq!(b.attempts(), 64);
         b.reset();
         assert_eq!(b.attempts(), 0);
+        // The lifetime metric trail survives resets.
+        assert_eq!(b.retries(), 64);
+        assert!(b.total_delay_ns() >= 64 * base.as_nanos());
+        let before = b.total_delay_ns();
+        let d = b.next_delay();
+        assert_eq!(b.retries(), 65);
+        assert_eq!(b.total_delay_ns(), before + d.as_nanos());
     }
 
     #[test]

@@ -33,7 +33,11 @@ use crate::ops::{ExecuteMap, GroupAck, GroupOp};
 use crate::shard::{ShardAck, ShardId, ShardSet};
 use crate::transport::GroupTransport;
 use rnicsim::{NicCtx, Payload};
-use simcore::{Audit, MetricsRegistry, Probe, SimTime};
+use simcore::simtrace::{
+    txn_op_id, NO_NODE, TXN_PHASE_ACQUIRE, TXN_PHASE_APPLY, TXN_PHASE_BACKOFF, TXN_PHASE_RELEASE,
+    TXN_PHASE_ROLLBACK, TXN_PHASE_UNDO, TXN_PHASE_VALIDATE,
+};
+use simcore::{Audit, MetricsRegistry, Probe, SimTime, TraceKind, Tracer};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// How a transaction's buffered operations reach the replicas at commit.
@@ -114,6 +118,11 @@ pub struct Txn {
     id: u64,
     reads: BTreeMap<TxnSite, u64>,
     writes: Vec<(TxnSite, u64, Payload)>,
+    /// App-level key that motivated each touched site (see
+    /// [`Txn::tag_key`]). Feeds the false-conflict meter: two txns
+    /// contending on one site with *different* keys is a stripe collision,
+    /// not a data conflict.
+    keys: BTreeMap<TxnSite, u64>,
 }
 
 impl Txn {
@@ -146,6 +155,15 @@ impl Txn {
     pub fn write_count(&self) -> usize {
         self.writes.len()
     }
+
+    /// Tags `site` with the app-level key whose access routed to it. The
+    /// first tag per site wins (matching [`Txn::read`] repeatability).
+    /// Optional — untagged sites simply stay invisible to the
+    /// false-conflict meter, since same-key vs stripe-collision cannot be
+    /// told apart without the key.
+    pub fn tag_key(&mut self, site: TxnSite, key: u64) {
+        self.keys.entry(site).or_insert(key);
+    }
 }
 
 /// Terminal state of a submitted transaction.
@@ -157,6 +175,76 @@ pub enum TxnOutcome {
     /// No buffered write reached any replica; locks released. Re-read and
     /// retry.
     Aborted,
+}
+
+/// Why a transaction aborted — the single normative abort-cause list.
+///
+/// Classification is deterministic:
+///
+/// * an abort out of the Validate phase is [`AbortCause::ValidationFailed`]
+///   for the first mismatching read leg (ack-dispatch order, which is
+///   deterministic);
+/// * an abort out of the acquisition path is [`AbortCause::LockConflict`]
+///   when the final failed round observed the lock held by a *live*
+///   transaction of this manager (the conflict is attributable to a site
+///   and a holder);
+/// * otherwise the attempt budget drained against a foreign/stale holder
+///   or partial-acquisition churn: [`AbortCause::BackoffExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Lock acquisition lost to a live conflicting holder at `site`.
+    LockConflict {
+        /// The contended lock site.
+        site: TxnSite,
+    },
+    /// A buffered read's version word moved between read and validation.
+    ValidationFailed {
+        /// The read site whose version moved.
+        site: TxnSite,
+        /// The app-level key tagged on the site, when known.
+        key: Option<u64>,
+        /// The version the validating gCAS observed.
+        observed: u64,
+        /// The version the transaction read.
+        expected: u64,
+    },
+    /// The bounded retry budget drained without an attributable live
+    /// conflict (foreign holder, partial-acquisition churn).
+    BackoffExhausted,
+}
+
+impl AbortCause {
+    /// Stable snake_case label used in metric names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AbortCause::LockConflict { .. } => "lock_conflict",
+            AbortCause::ValidationFailed { .. } => "validation_failed",
+            AbortCause::BackoffExhausted => "backoff_exhausted",
+        }
+    }
+}
+
+/// Per-stripe lock contention telemetry, keyed by [`TxnSite`] in the
+/// manager's contention table. Purely observational — the counters are
+/// updated from acquisition acks and park decisions the state machine
+/// takes anyway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteContention {
+    /// Acquisition CAS rounds observed (acks, successful or not).
+    pub attempts: u64,
+    /// Rounds that failed to acquire (busy or partial).
+    pub cas_failures: u64,
+    /// Rounds that observed the word held by some owner (busy).
+    pub conflicts: u64,
+    /// Busy rounds where both contenders' key tags are known and differ:
+    /// two distinct keys hashing to one stripe, not a data conflict.
+    pub false_conflicts: u64,
+    /// Backoff nanoseconds charged to this site (the loser parked here).
+    pub wait_ns: u64,
+    /// Backoff rounds charged to this site.
+    pub backoff_retries: u64,
+    /// High-water mark of transactions simultaneously waiting on the site.
+    pub queue_hwm: u64,
 }
 
 /// The multi-shard issue surface the transaction layer runs on. Both
@@ -276,6 +364,18 @@ struct TxnRun {
     /// cache on commit.
     new_versions: Vec<(TxnSite, u64)>,
     phase: RunPhase,
+    /// The phase code currently *open in the trace*. Tracked separately
+    /// from `phase`: chained empty-leg transitions (validate → apply →
+    /// release in one call stack) leave `phase` stale mid-delegation,
+    /// while every transition must still emit its End/Begin pair.
+    cur_phase: u8,
+    /// Set at the first failing validation leg; wins the abort-cause
+    /// classification in `finish`.
+    abort_cause: Option<AbortCause>,
+    /// Site of the last failed acquisition round and whether the observed
+    /// holder was a live transaction of this manager (attributable
+    /// conflict) — the lock-side abort-cause evidence.
+    last_conflict: Option<(TxnSite, bool)>,
 }
 
 /// What an ack dispatch decided the run does next (computed inside the
@@ -314,6 +414,14 @@ pub struct TxnManager {
     /// Parked transactions and their wake deadlines.
     deferred: Vec<(SimTime, u64)>,
     audit: Audit,
+    /// Receives the txn phase spans and op tags (disabled by default —
+    /// purely observational, never feeds back into the protocol).
+    tracer: Tracer,
+    /// Per-stripe lock contention telemetry.
+    contention: BTreeMap<TxnSite, SiteContention>,
+    /// Transactions currently waiting (lost a round, not yet acquired) per
+    /// site; feeds the queue-depth high-water mark.
+    waiting: BTreeMap<TxnSite, BTreeSet<u64>>,
     /// Transactions submitted via [`TxnManager::commit`].
     pub started: u64,
     /// Transactions that reached [`TxnOutcome::Committed`].
@@ -322,6 +430,16 @@ pub struct TxnManager {
     pub aborted: u64,
     /// Lock acquisition rounds retried after contention.
     pub lock_retries: u64,
+    /// Aborts classified [`AbortCause::LockConflict`].
+    pub abort_lock_conflict: u64,
+    /// Aborts classified [`AbortCause::ValidationFailed`].
+    pub abort_validation_failed: u64,
+    /// Aborts classified [`AbortCause::BackoffExhausted`].
+    pub abort_backoff_exhausted: u64,
+    /// Backoff parks taken (one per [`LockBackoff::next_delay`] draw).
+    pub backoff_parks: u64,
+    /// Total backoff nanoseconds scheduled across all parks.
+    pub backoff_delay_ns: u64,
 }
 
 impl TxnManager {
@@ -339,16 +457,90 @@ impl TxnManager {
             gen_map: HashMap::new(),
             deferred: Vec::new(),
             audit: Audit::disabled(),
+            tracer: Tracer::disabled(),
+            contention: BTreeMap::new(),
+            waiting: BTreeMap::new(),
             started: 0,
             committed: 0,
             aborted: 0,
             lock_retries: 0,
+            abort_lock_conflict: 0,
+            abort_validation_failed: 0,
+            abort_backoff_exhausted: 0,
+            backoff_parks: 0,
+            backoff_delay_ns: 0,
         }
     }
 
     /// Installs the audit tap fed with the txn lifecycle probes.
     pub fn set_audit(&mut self, audit: Audit) {
         self.audit = audit;
+    }
+
+    /// Installs the tracer that receives [`TraceKind::TxnPhaseBegin`]/
+    /// [`TraceKind::TxnPhaseEnd`] spans and [`TraceKind::TxnOp`] tags.
+    /// Observational only: with or without a tracer the manager issues the
+    /// same ops in the same order.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The per-site contention table (see [`SiteContention`]).
+    pub fn contention(&self) -> &BTreeMap<TxnSite, SiteContention> {
+        &self.contention
+    }
+
+    /// `(label, count)` snapshot of the abort-cause counters, in the
+    /// normative label order. The counts always sum to
+    /// [`TxnManager::aborted`].
+    pub fn abort_cause_counts(&self) -> [(&'static str, u64); 3] {
+        [
+            ("lock_conflict", self.abort_lock_conflict),
+            ("validation_failed", self.abort_validation_failed),
+            ("backoff_exhausted", self.abort_backoff_exhausted),
+        ]
+    }
+
+    /// Numeric commit-mode code carried in trace payloads (see
+    /// `simcore::simtrace::txn_mode_label`).
+    fn mode_code(&self) -> u8 {
+        match self.mode {
+            CommitMode::Locking => 0,
+            CommitMode::Optimistic => 1,
+        }
+    }
+
+    /// Closes the open phase span and opens `phase` at `now` (End then
+    /// Begin at the same timestamp; the trace's stable sort preserves the
+    /// emission order). No-op when the phase is unchanged.
+    fn set_phase(&self, now: SimTime, run: &mut TxnRun, phase: u8) {
+        if run.cur_phase == phase {
+            return;
+        }
+        let id = run.txn.id;
+        let oid = txn_op_id(id);
+        let mode = self.mode_code();
+        self.tracer.emit(
+            now,
+            NO_NODE,
+            oid,
+            TraceKind::TxnPhaseEnd {
+                txn: id,
+                mode,
+                phase: run.cur_phase,
+            },
+        );
+        self.tracer.emit(
+            now,
+            NO_NODE,
+            oid,
+            TraceKind::TxnPhaseBegin {
+                txn: id,
+                mode,
+                phase,
+            },
+        );
+        run.cur_phase = phase;
     }
 
     /// Bounds the lock acquisition rounds before a contended transaction
@@ -392,6 +584,7 @@ impl TxnManager {
             id,
             reads: BTreeMap::new(),
             writes: Vec::new(),
+            keys: BTreeMap::new(),
         }
     }
 
@@ -412,6 +605,9 @@ impl TxnManager {
             backoff: LockBackoff::new(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             new_versions: Vec::new(),
             phase: RunPhase::Acquire { idx: 0, gen: None },
+            cur_phase: TXN_PHASE_ACQUIRE,
+            abort_cause: None,
+            last_conflict: None,
             txn,
         };
         self.active.insert(id, run);
@@ -446,6 +642,8 @@ impl TxnManager {
             }
         }
         let idle = acks.is_empty();
+        let tracer = self.tracer.clone();
+        let mode = self.mode_code();
         let mut i = 0;
         while i < self.deferred.len() {
             let (due, id) = self.deferred[i];
@@ -453,6 +651,30 @@ impl TxnManager {
                 self.deferred.swap_remove(i);
                 if let Some(run) = self.active.get_mut(&id) {
                     run.parked = false;
+                    // The backoff span ends here; the next acquisition
+                    // round opens at the wake timestamp.
+                    let oid = txn_op_id(id);
+                    tracer.emit(
+                        now,
+                        NO_NODE,
+                        oid,
+                        TraceKind::TxnPhaseEnd {
+                            txn: id,
+                            mode,
+                            phase: run.cur_phase,
+                        },
+                    );
+                    tracer.emit(
+                        now,
+                        NO_NODE,
+                        oid,
+                        TraceKind::TxnPhaseBegin {
+                            txn: id,
+                            mode,
+                            phase: TXN_PHASE_ACQUIRE,
+                        },
+                    );
+                    run.cur_phase = TXN_PHASE_ACQUIRE;
                 }
             } else {
                 i += 1;
@@ -466,14 +688,70 @@ impl TxnManager {
     }
 
     /// Snapshots the transaction counters into `reg`:
-    /// `{prefix}.{started,committed,aborted,lock_retries}` counters plus
-    /// an `{prefix}.in_flight` gauge. Idempotent re-export.
+    ///
+    /// * `{prefix}.{started,committed,aborted,lock_retries}` counters plus
+    ///   an `{prefix}.in_flight` gauge;
+    /// * `{prefix}.abort_causes.{lock_conflict,validation_failed,backoff_exhausted}`
+    ///   (always summing to `{prefix}.aborted`);
+    /// * `{prefix}.backoff.{parks,delay_ns}` — the [`LockBackoff`] draws
+    ///   taken on behalf of parked transactions;
+    /// * `{prefix}.contention.*` — whole-manager sums (plus `queue_depth_hwm`
+    ///   max and a `contended_sites` count) over the per-site table, and
+    ///   `{prefix}.contention.site.s<shard>.l<lock>.<field>` detail for
+    ///   each site that saw at least one failed CAS round.
+    ///
+    /// Idempotent re-export: every value is `counter_set`, not added.
     pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
         reg.counter_set(&format!("{prefix}.started"), self.started);
         reg.counter_set(&format!("{prefix}.committed"), self.committed);
         reg.counter_set(&format!("{prefix}.aborted"), self.aborted);
         reg.counter_set(&format!("{prefix}.lock_retries"), self.lock_retries);
         reg.set_gauge(&format!("{prefix}.in_flight"), self.active.len() as f64);
+        reg.counter_set(
+            &format!("{prefix}.abort_causes.lock_conflict"),
+            self.abort_lock_conflict,
+        );
+        reg.counter_set(
+            &format!("{prefix}.abort_causes.validation_failed"),
+            self.abort_validation_failed,
+        );
+        reg.counter_set(
+            &format!("{prefix}.abort_causes.backoff_exhausted"),
+            self.abort_backoff_exhausted,
+        );
+        reg.counter_set(&format!("{prefix}.backoff.parks"), self.backoff_parks);
+        reg.counter_set(&format!("{prefix}.backoff.delay_ns"), self.backoff_delay_ns);
+        let mut total = SiteContention::default();
+        let mut contended = 0u64;
+        for (site, c) in &self.contention {
+            total.attempts += c.attempts;
+            total.cas_failures += c.cas_failures;
+            total.conflicts += c.conflicts;
+            total.false_conflicts += c.false_conflicts;
+            total.wait_ns += c.wait_ns;
+            total.backoff_retries += c.backoff_retries;
+            total.queue_hwm = total.queue_hwm.max(c.queue_hwm);
+            if c.cas_failures > 0 {
+                contended += 1;
+                let sp = format!("{prefix}.contention.site.s{}.l{}", site.shard.0, site.lock);
+                reg.counter_set(&format!("{sp}.attempts"), c.attempts);
+                reg.counter_set(&format!("{sp}.cas_failures"), c.cas_failures);
+                reg.counter_set(&format!("{sp}.conflicts"), c.conflicts);
+                reg.counter_set(&format!("{sp}.false_conflicts"), c.false_conflicts);
+                reg.counter_set(&format!("{sp}.wait_ns"), c.wait_ns);
+                reg.counter_set(&format!("{sp}.backoff_retries"), c.backoff_retries);
+                reg.counter_set(&format!("{sp}.queue_depth_hwm"), c.queue_hwm);
+            }
+        }
+        let cp = format!("{prefix}.contention");
+        reg.counter_set(&format!("{cp}.attempts"), total.attempts);
+        reg.counter_set(&format!("{cp}.cas_failures"), total.cas_failures);
+        reg.counter_set(&format!("{cp}.conflicts"), total.conflicts);
+        reg.counter_set(&format!("{cp}.false_conflicts"), total.false_conflicts);
+        reg.counter_set(&format!("{cp}.wait_ns"), total.wait_ns);
+        reg.counter_set(&format!("{cp}.backoff_retries"), total.backoff_retries);
+        reg.counter_set(&format!("{cp}.queue_depth_hwm"), total.queue_hwm);
+        reg.counter_set(&format!("{cp}.contended_sites"), contended);
     }
 
     // ---- transitions --------------------------------------------------
@@ -504,6 +782,7 @@ impl TxnManager {
         shards: &impl TxnTransports,
         finished: &mut Vec<(u64, TxnOutcome)>,
     ) -> bool {
+        self.set_phase(now, run, TXN_PHASE_VALIDATE);
         let legs: Vec<ValidateLeg> = run
             .txn
             .reads
@@ -534,6 +813,7 @@ impl TxnManager {
         shards: &impl TxnTransports,
         finished: &mut Vec<(u64, TxnOutcome)>,
     ) -> bool {
+        self.set_phase(now, run, TXN_PHASE_APPLY);
         let mut legs: Vec<ApplyLeg> = run
             .txn
             .writes
@@ -587,6 +867,7 @@ impl TxnManager {
         commit: bool,
         finished: &mut Vec<(u64, TxnOutcome)>,
     ) -> bool {
+        self.set_phase(now, run, TXN_PHASE_RELEASE);
         let legs = self.release_legs(shards, run);
         if legs.is_empty() {
             self.finish(now, run, commit, finished);
@@ -617,17 +898,27 @@ impl TxnManager {
             self.finish(now, run, false, finished);
             return false;
         }
+        self.set_phase(now, run, TXN_PHASE_ROLLBACK);
         run.phase = RunPhase::Rollback { legs, retry };
         true
     }
 
     /// Schedule the next acquisition round after a jittered backoff delay.
     fn park(&mut self, now: SimTime, run: &mut TxnRun) {
+        self.set_phase(now, run, TXN_PHASE_BACKOFF);
         run.parked = true;
         run.phase = RunPhase::Acquire { idx: 0, gen: None };
         self.lock_retries += 1;
-        self.deferred
-            .push((now.saturating_add(run.backoff.next_delay()), run.txn.id));
+        let delay = run.backoff.next_delay();
+        self.backoff_parks += 1;
+        self.backoff_delay_ns += delay.as_nanos();
+        // Charge the wait to the site that lost the round, when known.
+        if let Some((site, _)) = run.last_conflict {
+            let c = self.contention.entry(site).or_default();
+            c.wait_ns += delay.as_nanos();
+            c.backoff_retries += 1;
+        }
+        self.deferred.push((now.saturating_add(delay), run.txn.id));
     }
 
     fn finish(
@@ -638,6 +929,26 @@ impl TxnManager {
         finished: &mut Vec<(u64, TxnOutcome)>,
     ) {
         debug_assert!(run.held.is_empty(), "finishing with locks held");
+        // The txn is leaving every wait queue it ever joined.
+        for site in &run.lock_sites {
+            if let Some(w) = self.waiting.get_mut(site) {
+                w.remove(&run.txn.id);
+                if w.is_empty() {
+                    self.waiting.remove(site);
+                }
+            }
+        }
+        // Close the trace: the span that is open at finish time ends here.
+        self.tracer.emit(
+            now,
+            NO_NODE,
+            txn_op_id(run.txn.id),
+            TraceKind::TxnPhaseEnd {
+                txn: run.txn.id,
+                mode: self.mode_code(),
+                phase: run.cur_phase,
+            },
+        );
         if commit {
             for &(site, v) in &run.new_versions {
                 self.versions.insert(site, v);
@@ -653,9 +964,67 @@ impl TxnManager {
             finished.push((run.txn.id, TxnOutcome::Committed));
         } else {
             self.aborted += 1;
+            // Root-cause classification, in normative precedence order: a
+            // validation mismatch recorded on the run wins; else a lock
+            // conflict whose final failed round saw a live holder; else
+            // the budget drained without an attributable live conflict.
+            let cause = run.abort_cause.unwrap_or(match run.last_conflict {
+                Some((site, true)) => AbortCause::LockConflict { site },
+                _ => AbortCause::BackoffExhausted,
+            });
+            match cause {
+                AbortCause::LockConflict { .. } => self.abort_lock_conflict += 1,
+                AbortCause::ValidationFailed { .. } => self.abort_validation_failed += 1,
+                AbortCause::BackoffExhausted => self.abort_backoff_exhausted += 1,
+            }
             self.audit.probe(now, Probe::TxnAbort { txn: run.txn.id });
             finished.push((run.txn.id, TxnOutcome::Aborted));
         }
+    }
+
+    // ---- contention telemetry -----------------------------------------
+
+    /// A lock round won `site`: leave its wait queue.
+    fn note_lock_acquired(&mut self, id: u64, site: TxnSite) {
+        if let Some(w) = self.waiting.get_mut(&site) {
+            w.remove(&id);
+            if w.is_empty() {
+                self.waiting.remove(&site);
+            }
+        }
+    }
+
+    /// A lock round lost `site` to `holder`'s word. Updates the conflict
+    /// and false-conflict meters and the wait queue; returns whether the
+    /// holder is a live transaction of this manager.
+    fn note_lock_busy(&mut self, id: u64, site: TxnSite, holder: u64, my_key: Option<u64>) -> bool {
+        let holder_txn = if holder & WRITER_BIT != 0 {
+            // Lock-word owner ids are `txn id + 1` (see `owner`).
+            (holder & !WRITER_BIT).checked_sub(1)
+        } else {
+            None
+        };
+        // `id`'s run is out of `active` while its ack dispatches, so a
+        // holder lookup can never alias the loser itself.
+        let live = holder_txn.is_some_and(|t| self.active.contains_key(&t));
+        let holder_key = holder_txn
+            .and_then(|t| self.active.get(&t))
+            .and_then(|r| r.txn.keys.get(&site).copied());
+        // Same stripe, both keys known, keys differ: a stripe collision
+        // (false conflict), not a data conflict.
+        let false_conflict = live && matches!((my_key, holder_key), (Some(a), Some(b)) if a != b);
+        let c = self.contention.entry(site).or_default();
+        c.cas_failures += 1;
+        c.conflicts += 1;
+        if false_conflict {
+            c.false_conflicts += 1;
+        }
+        let w = self.waiting.entry(site).or_default();
+        w.insert(id);
+        let depth = w.len() as u64;
+        let c = self.contention.entry(site).or_default();
+        c.queue_hwm = c.queue_hwm.max(depth);
+        live
     }
 
     // ---- ack dispatch -------------------------------------------------
@@ -679,8 +1048,10 @@ impl TxnManager {
                 let i = *idx;
                 let site = run.lock_sites[i];
                 debug_assert_eq!(site.shard, shard, "lock ack from the wrong shard");
+                self.contention.entry(site).or_default().attempts += 1;
                 match self.layout.locks.interpret_wr_lock(ack, site.lock, owner) {
                     WrLockOutcome::Acquired => {
+                        self.note_lock_acquired(id, site);
                         self.audit.probe(
                             now,
                             Probe::TxnLock {
@@ -696,8 +1067,20 @@ impl TxnManager {
                             Next::Acquire(i + 1)
                         }
                     }
-                    WrLockOutcome::Busy { .. } => Next::RetryOrAbort,
-                    WrLockOutcome::Partial { undo } => Next::BeginUndo(i, undo),
+                    WrLockOutcome::Busy { holder } => {
+                        let live =
+                            self.note_lock_busy(id, site, holder, run.txn.keys.get(&site).copied());
+                        run.last_conflict = Some((site, live));
+                        Next::RetryOrAbort
+                    }
+                    WrLockOutcome::Partial { undo } => {
+                        // A partial acquisition is a failed CAS round but
+                        // not an attributable conflict: the replicas
+                        // disagreed, no single live holder beat us.
+                        self.contention.entry(site).or_default().cas_failures += 1;
+                        run.last_conflict = Some((site, false));
+                        Next::BeginUndo(i, undo)
+                    }
                 }
             }
             RunPhase::Undo { undo, gen, .. } => {
@@ -756,6 +1139,16 @@ impl TxnManager {
                     // when the bumping commit's values install.
                     if actual != leg.observed {
                         *failed = true;
+                        // The first mismatching leg (ack order, which is
+                        // deterministic) names the abort cause.
+                        if run.abort_cause.is_none() {
+                            run.abort_cause = Some(AbortCause::ValidationFailed {
+                                site: leg.site,
+                                key: run.txn.keys.get(&leg.site).copied(),
+                                observed: actual,
+                                expected: leg.observed,
+                            });
+                        }
                     }
                 }
                 if legs.iter().all(|l| l.done) {
@@ -826,6 +1219,7 @@ impl TxnManager {
                 true
             }
             Next::BeginUndo(i, undo) => {
+                self.set_phase(now, &mut run, TXN_PHASE_UNDO);
                 run.phase = RunPhase::Undo {
                     idx: i,
                     undo,
@@ -870,6 +1264,12 @@ impl TxnManager {
         match shards.txn_issue(ctx, shard, op) {
             Ok(gen) => {
                 self.gen_map.insert((shard.0, gen), id);
+                // Tag the op with its parent txn so attribution can group
+                // txn-issued gCAS/gWRITE traffic apart from bare ops. The
+                // tag sorts after the transport's own issue event (same
+                // timestamp; the trace sort is stable).
+                self.tracer
+                    .emit(ctx.now, NO_NODE, gen, TraceKind::TxnOp { txn: id });
                 Some(gen)
             }
             Err(GroupError::WindowFull) => None,
@@ -894,6 +1294,16 @@ impl TxnManager {
         if !run.begun {
             run.begun = true;
             self.audit.probe(ctx.now, Probe::TxnBegin { txn: id });
+            self.tracer.emit(
+                ctx.now,
+                NO_NODE,
+                txn_op_id(id),
+                TraceKind::TxnPhaseBegin {
+                    txn: id,
+                    mode: self.mode_code(),
+                    phase: TXN_PHASE_ACQUIRE,
+                },
+            );
             if run.lock_sites.is_empty()
                 && !self.enter_validate(ctx.now, &mut run, shards, finished)
             {
@@ -1167,6 +1577,10 @@ mod tests {
         let done = drive_txns(&mut sim, &mut shards, &mut mgr);
         assert_eq!(done, vec![(idb, TxnOutcome::Aborted)]);
         assert_eq!(mgr.aborted, 1);
+        // Root cause: the read's conflict range moved.
+        assert_eq!(mgr.abort_validation_failed, 1);
+        assert_eq!(mgr.abort_lock_conflict, 0);
+        assert_eq!(mgr.abort_backoff_exhausted, 0);
         // The failed validation corrected the cached version.
         assert_eq!(mgr.version(site), 1);
 
@@ -1208,6 +1622,18 @@ mod tests {
             vec![(ida, TxnOutcome::Committed), (idb, TxnOutcome::Committed)]
         );
         assert!(mgr.lock_retries >= 1, "loser must have retried");
+        // The contention profiler saw the fight over the stripe.
+        assert!(mgr.backoff_parks >= 1);
+        assert!(mgr.backoff_delay_ns > 0);
+        let c = *mgr.contention().get(&site).expect("contended site tracked");
+        assert!(c.attempts >= 3, "winner + loser rounds: {c:?}");
+        assert!(c.cas_failures >= 1 && c.conflicts >= 1, "{c:?}");
+        assert!(c.wait_ns > 0 && c.backoff_retries >= 1, "{c:?}");
+        assert!(c.queue_hwm >= 1, "{c:?}");
+        assert_eq!(
+            c.false_conflicts, 0,
+            "untagged keys must never count as false conflicts"
+        );
         let (nodes, base) = &info[0];
         let bytes = sim
             .model
@@ -1254,6 +1680,12 @@ mod tests {
         let done = drive_txns(&mut sim, &mut shards, &mut mgr);
         assert_eq!(done, vec![(id, TxnOutcome::Aborted)]);
         assert_eq!(mgr.aborted, 1);
+        // A foreign holder is not a live transaction of this manager, so
+        // the abort attributes to the drained retry budget.
+        assert_eq!(mgr.abort_backoff_exhausted, 1);
+        assert_eq!(mgr.abort_lock_conflict, 0);
+        let total: u64 = mgr.abort_cause_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, mgr.aborted, "causes must sum to aborted");
         // No residue: the buffered write never reached the replicas.
         assert_eq!(
             sim.model
@@ -1318,6 +1750,56 @@ mod tests {
         let id = mgr.commit(t);
         let done = drive_txns(&mut sim, &mut shards, &mut mgr);
         assert_eq!(done, vec![(id, TxnOutcome::Committed)]);
+        assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
+    }
+
+    #[test]
+    fn traced_phases_pair_and_tile_commit_latency() {
+        let (mut sim, mut shards, _) = setup(2);
+        let audit = Audit::standard();
+        let tracer = Tracer::enabled(1 << 14).with_audit(audit.clone());
+        let mut mgr = TxnManager::new(layout(), CommitMode::Locking, 21);
+        mgr.set_audit(audit.clone());
+        mgr.set_tracer(tracer.clone());
+        mgr.set_max_lock_attempts(16);
+        let site = TxnSite {
+            shard: ShardId(0),
+            lock: 6,
+        };
+        let other = TxnSite {
+            shard: ShardId(1),
+            lock: 9,
+        };
+
+        // A contended pair (the loser walks the backoff phase) plus a
+        // read-modify-write on the other shard.
+        let mut a = mgr.begin();
+        a.write(site, 2048, Payload::copy_from(b"AAAA"));
+        let mut b = mgr.begin();
+        b.write(site, 2048, Payload::copy_from(b"BBBB"));
+        let mut c = mgr.begin();
+        c.read(other, mgr.version(other));
+        c.write(other, 4096, Payload::copy_from(b"CCCC"));
+        mgr.commit(a);
+        mgr.commit(b);
+        mgr.commit(c);
+        let done = drive_txns(&mut sim, &mut shards, &mut mgr);
+        assert_eq!(done.len(), 3);
+        assert!(done.iter().all(|(_, o)| *o == TxnOutcome::Committed));
+
+        let events = tracer.events();
+        let att = simcore::TxnAttribution::from_events(&events);
+        assert_eq!(att.txns, 3);
+        assert_eq!(att.truncated, 0, "all spans must pair Begin/End");
+        assert!(att.linked_ops > 0, "txn ops must carry parent tags");
+        // The tiling contract: per-phase means sum to the mean commit
+        // latency, within float rounding of a nanosecond.
+        let diff = (att.mean_e2e_ns() - att.phase_mean_sum_ns()).abs();
+        assert!(diff <= 1.0, "phase means must tile e2e (off by {diff} ns)");
+        for phase in ["acquire", "apply", "release", "backoff"] {
+            assert!(att.phases.contains_key(phase), "missing phase {phase}");
+        }
+        // The phase-pairing auditor watched every emission.
         assert_eq!(audit.violation_count(), 0, "report:\n{}", audit.report());
     }
 

@@ -12,7 +12,7 @@ use hyperloop::shard::{HashRouter, ShardAck, ShardId, ShardRouter};
 use hyperloop::txn::{CommitMode, Txn, TxnLayout, TxnManager, TxnOutcome, TxnSite, TxnTransports};
 use hyperloop::{GroupError, GroupOp, GroupTransport};
 use rnicsim::{NicCtx, Payload};
-use simcore::Audit;
+use simcore::{Audit, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -221,6 +221,17 @@ impl<T: GroupTransport> ShardedKv<T> {
         self.txn_state().mgr.set_audit(audit);
     }
 
+    /// Attaches a tracer to the transaction manager: phase spans
+    /// (acquire/validate/apply/release/…) per transaction plus parent-txn
+    /// tags on every op the commit protocol issues. Observational only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are not enabled.
+    pub fn set_txn_tracer(&mut self, tracer: Tracer) {
+        self.txn_state().mgr.set_tracer(tracer);
+    }
+
     /// The transaction manager (counters, mode, cached versions).
     ///
     /// # Panics
@@ -271,6 +282,7 @@ impl<T: GroupTransport> ShardedKv<T> {
         let site = self.txn_site(key);
         let version = self.txn_state().mgr.version(site);
         txn.inner.read(site, version);
+        txn.inner.tag_key(site, key);
         if let Some((_, v)) = txn.staged.iter().rev().find(|(k, _)| *k == key) {
             return Some(v.clone());
         }
@@ -299,6 +311,7 @@ impl<T: GroupTransport> ShardedKv<T> {
         slot_bytes.extend_from_slice(&value);
         let site = self.txn_site(key);
         txn.inner.write(site, slot, Payload::copy_from(&slot_bytes));
+        txn.inner.tag_key(site, key);
         txn.staged.push((key, value));
         Ok(())
     }
@@ -595,6 +608,53 @@ mod tests {
             assert_eq!(got.as_deref(), Some(val), "key {key} not durable");
         }
         assert_eq!(audit.violation_count(), 0, "{}", audit.report());
+    }
+
+    #[test]
+    fn stripe_collisions_are_metered_as_false_conflicts() {
+        let (mut sim, mut kv) = setup(2);
+        kv.enable_txns(CommitMode::Locking, 23);
+        kv.txn_manager_mut().set_max_lock_attempts(16);
+
+        // Same-key contention: a true conflict, never a false one.
+        let k = 0u64;
+        let mut t1 = kv.txn();
+        kv.txn_put(&mut t1, k, b"one".to_vec()).unwrap();
+        let mut t2 = kv.txn();
+        kv.txn_put(&mut t2, k, b"two".to_vec()).unwrap();
+        kv.txn_commit(t1);
+        kv.txn_commit(t2);
+        let done = drive_txn(&mut sim, &mut kv);
+        assert!(done.iter().all(|(_, o)| *o == TxnOutcome::Committed));
+        let site = kv.txn_site(k);
+        let c = *kv.txn_manager().contention().get(&site).expect("metered");
+        assert!(c.conflicts >= 1, "{c:?}");
+        assert_eq!(c.false_conflicts, 0, "same key is a true conflict: {c:?}");
+
+        // Distinct keys engineered onto one stripe: adding multiples of
+        // TXN_LOCKS keeps the lock id; walk until the route matches too.
+        let k1 = 1u64;
+        let mut k2 = k1 + TXN_LOCKS as u64;
+        while kv.route(k2) != kv.route(k1) {
+            k2 += TXN_LOCKS as u64;
+        }
+        assert_ne!(k1, k2);
+        assert_eq!(kv.txn_site(k1), kv.txn_site(k2), "engineered collision");
+        let mut t1 = kv.txn();
+        kv.txn_put(&mut t1, k1, b"aaa".to_vec()).unwrap();
+        let mut t2 = kv.txn();
+        kv.txn_put(&mut t2, k2, b"bbb".to_vec()).unwrap();
+        kv.txn_commit(t1);
+        kv.txn_commit(t2);
+        let done = drive_txn(&mut sim, &mut kv);
+        assert!(done.iter().all(|(_, o)| *o == TxnOutcome::Committed));
+        let site = kv.txn_site(k1);
+        let c = *kv.txn_manager().contention().get(&site).expect("metered");
+        assert!(c.conflicts >= 1, "{c:?}");
+        assert!(
+            c.false_conflicts >= 1 && c.false_conflicts <= c.conflicts,
+            "distinct keys on one stripe must meter false conflicts: {c:?}"
+        );
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use model::{Model, Outbox, Simulation};
 pub use queue::{EventQueue, QueueStats};
 pub use rng::SimRng;
 pub use simaudit::{Audit, Auditor, HealthMonitor, HealthState, Probe, SloConfig, Violation};
-pub use simprof::{CounterSampler, StageAttribution};
+pub use simprof::{CounterSampler, StageAttribution, TxnAttribution};
 pub use simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
 pub use stats::{Counter, Histogram, LatencySummary};
 pub use time::{SimDuration, SimTime};
@@ -91,7 +91,7 @@ pub mod prelude {
     pub use crate::queue::{EventQueue, QueueStats};
     pub use crate::rng::SimRng;
     pub use crate::simaudit::{Audit, HealthMonitor, HealthState, Probe, SloConfig};
-    pub use crate::simprof::{CounterSampler, StageAttribution};
+    pub use crate::simprof::{CounterSampler, StageAttribution, TxnAttribution};
     pub use crate::simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
     pub use crate::stats::{Counter, Histogram, LatencySummary};
     pub use crate::time::{SimDuration, SimTime};

@@ -60,7 +60,9 @@
 //! ```
 
 use crate::jsonw::JsonWriter;
-use crate::simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer, NO_NODE, NO_OP};
+use crate::simtrace::{
+    txn_phase_label, MetricsRegistry, TraceEvent, TraceKind, Tracer, NO_NODE, NO_OP,
+};
 use crate::stats::Histogram;
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -849,13 +851,18 @@ struct TxnState {
 ///   and no two txns hold the same site at once — so no committed txn can
 ///   observe another's partial writes;
 /// * every lock a txn acquired is released by the time it reports
-///   committed or aborted (no lock-word leak).
+///   committed or aborted (no lock-word leak);
+/// * txn phase spans pair up: every [`TraceKind::TxnPhaseBegin`] closes
+///   with a matching [`TraceKind::TxnPhaseEnd`] before the next opens, so
+///   downstream phase attribution tiles without guesswork.
 #[derive(Debug, Default)]
 pub struct TxnAuditor {
     /// Lock site → holding txn.
     held: BTreeMap<(u32, u32), u64>,
     /// Live txns.
     txns: BTreeMap<u64, TxnState>,
+    /// Txn → phase code of its currently open trace span.
+    phase: BTreeMap<u64, u8>,
 }
 
 impl TxnAuditor {
@@ -880,6 +887,48 @@ impl TxnAuditor {
 impl Auditor for TxnAuditor {
     fn name(&self) -> &'static str {
         "txn"
+    }
+
+    fn on_event(&mut self, ctx: &mut AuditCtx<'_>, ev: &TraceEvent) {
+        match ev.kind {
+            TraceKind::TxnPhaseBegin { txn, phase, .. } => {
+                if let Some(open) = self.phase.insert(txn, phase) {
+                    ctx.report(
+                        "txn",
+                        ev.op,
+                        ev.at,
+                        format!(
+                            "phase pairing: txn {txn} opened {} while {} is still open",
+                            txn_phase_label(phase),
+                            txn_phase_label(open)
+                        ),
+                    );
+                }
+            }
+            TraceKind::TxnPhaseEnd { txn, phase, .. } => match self.phase.remove(&txn) {
+                Some(open) if open == phase => {}
+                Some(open) => ctx.report(
+                    "txn",
+                    ev.op,
+                    ev.at,
+                    format!(
+                        "phase pairing: txn {txn} closed {} but {} is open",
+                        txn_phase_label(phase),
+                        txn_phase_label(open)
+                    ),
+                ),
+                None => ctx.report(
+                    "txn",
+                    ev.op,
+                    ev.at,
+                    format!(
+                        "phase pairing: txn {txn} closed {} with no span open",
+                        txn_phase_label(phase)
+                    ),
+                ),
+            },
+            _ => {}
+        }
     }
 
     fn on_probe(&mut self, ctx: &mut AuditCtx<'_>, at: SimTime, probe: &Probe) {

@@ -21,8 +21,8 @@
 
 use crate::jsonw::JsonWriter;
 use crate::simtrace::{
-    breakdown_from_sorted, ts_us, write_chrome_events, MetricsRegistry, TraceEvent, TraceKind,
-    NO_OP,
+    breakdown_from_sorted, ts_us, txn_mode_label, txn_phase_label, write_chrome_events,
+    MetricsRegistry, TraceEvent, TraceKind, NO_OP,
 };
 use crate::stats::Histogram;
 use crate::time::{SimDuration, SimTime};
@@ -31,6 +31,11 @@ use std::collections::BTreeMap;
 /// Synthetic Perfetto process id hosting all counter tracks (far above any
 /// real node id, so it sorts to its own process group in the UI).
 pub const COUNTER_PID: u64 = 9_999;
+
+/// Synthetic Perfetto process id hosting the per-transaction phase tracks
+/// (one `tid` per txn), directly below [`COUNTER_PID`] so transactions and
+/// metrics group next to each other in the UI.
+pub const TXN_PID: u64 = 9_998;
 
 /// Aggregate latency of one stage kind across all ops in a stream.
 #[derive(Debug, Clone, Default)]
@@ -421,6 +426,329 @@ pub fn per_op_histogram(
     h
 }
 
+/// One transaction's phase windows, gathered from its
+/// [`TraceKind::TxnPhaseBegin`]/[`TraceKind::TxnPhaseEnd`] events.
+#[derive(Debug, Clone)]
+struct TxnPhaseStream {
+    mode: u8,
+    /// `(at, is_begin, phase)` in time order (stable, emission-tie order).
+    evs: Vec<(SimTime, bool, u8)>,
+}
+
+/// Groups a stream's txn phase events by txn id, each txn's events
+/// time-sorted (stable). The txn id comes from the event payload, never
+/// from [`TraceEvent::op`], so op-id reuse can't fold foreign events in.
+fn txn_phase_streams(events: &[TraceEvent]) -> BTreeMap<u64, TxnPhaseStream> {
+    let mut map: BTreeMap<u64, TxnPhaseStream> = BTreeMap::new();
+    for e in events {
+        let (txn, is_begin, mode, phase) = match e.kind {
+            TraceKind::TxnPhaseBegin { txn, mode, phase } => (txn, true, mode, phase),
+            TraceKind::TxnPhaseEnd { txn, mode, phase } => (txn, false, mode, phase),
+            _ => continue,
+        };
+        map.entry(txn)
+            .or_insert_with(|| TxnPhaseStream {
+                mode,
+                evs: Vec::new(),
+            })
+            .evs
+            .push((e.at, is_begin, phase));
+    }
+    for s in map.values_mut() {
+        s.evs.sort_by_key(|&(at, _, _)| at);
+    }
+    map
+}
+
+/// Parent-txn links for txn-issued ops: op id → txn id, gathered from
+/// [`TraceKind::TxnOp`] tag events. Lets attribution split a stream into
+/// txn-issued ops (lock/validate gCAS, apply gWRITE) and bare ops.
+pub fn txn_op_links(events: &[TraceEvent]) -> BTreeMap<u64, u64> {
+    let mut map = BTreeMap::new();
+    for e in events {
+        if let TraceKind::TxnOp { txn } = e.kind {
+            map.insert(e.op, txn);
+        }
+    }
+    map
+}
+
+/// Per-phase latency attribution aggregated over every complete
+/// transaction in a trace stream — the txn-level sibling of
+/// [`StageAttribution`].
+///
+/// Folds [`TraceKind::TxnPhaseBegin`]/[`TraceKind::TxnPhaseEnd`] events.
+/// Each txn's consecutive events bound consecutive windows that tile its
+/// `[first begin, last end]` lifetime exactly (phase changes emit End and
+/// Begin at the same instant), so the same tiling identity as
+/// [`StageAttribution`] holds:
+///
+/// ```text
+/// sum over phases of total_ns  ==  sum over txns of e2e_ns        (exact)
+/// sum over phases of (total_ns / txns)  ==  mean commit latency   (±1 ns)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TxnAttribution {
+    /// Complete transactions folded in.
+    pub txns: u64,
+    /// Transactions without a well-formed `[Begin … End]` stream (still in
+    /// flight at capture end, or span evicted by ring overflow), excluded
+    /// from the fold so the tiling invariant holds.
+    pub truncated: u64,
+    /// Distinct ops carrying a [`TraceKind::TxnOp`] parent-txn tag in the
+    /// stream (txn-issued gCAS/gWRITE traffic, as opposed to bare ops).
+    pub linked_ops: u64,
+    /// End-to-end (begin→outcome) latency distribution over folded txns.
+    pub e2e: Histogram,
+    /// Exact sum of end-to-end nanoseconds over the folded txns.
+    pub e2e_total_ns: u64,
+    /// Per-phase aggregates, phase-label-ordered.
+    pub phases: BTreeMap<String, StageAgg>,
+    /// Phase-signature → txn count (signature = Begin phases joined `;`).
+    pub paths: BTreeMap<String, u64>,
+}
+
+impl TxnAttribution {
+    /// Folds every transaction with a well-formed phase stream in
+    /// `events`: at least one Begin/End pair, opening on a Begin and
+    /// closing on an End. Malformed streams count as `truncated` and are
+    /// excluded.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut att = TxnAttribution {
+            linked_ops: txn_op_links(events).len() as u64,
+            ..TxnAttribution::default()
+        };
+        for (_txn, stream) in txn_phase_streams(events) {
+            let evs = &stream.evs;
+            let well_formed = evs.len() >= 2 && evs.first().unwrap().1 && !evs.last().unwrap().1;
+            if !well_formed {
+                att.truncated += 1;
+                continue;
+            }
+            att.txns += 1;
+            let e2e = evs.last().unwrap().0.since(evs.first().unwrap().0);
+            att.e2e.record(e2e);
+            att.e2e_total_ns += e2e.as_nanos();
+            let mut sig = String::new();
+            // Every adjacent event pair is one window; windows tile the
+            // txn lifetime by construction. A Begin-opened window is time
+            // spent *in* that phase; an End-opened window is the gap to
+            // the next phase, zero-length under the emission contract and
+            // attributed to the phase just ended if it ever isn't.
+            for w in evs.windows(2) {
+                let (at0, is_begin, phase) = w[0];
+                let dur = w[1].0.since(at0);
+                let label = txn_phase_label(phase);
+                let agg = att.phases.entry(label.to_string()).or_default();
+                agg.total_ns += dur.as_nanos();
+                if is_begin {
+                    agg.count += 1;
+                    agg.hist.record(dur);
+                    if !sig.is_empty() {
+                        sig.push(';');
+                    }
+                    sig.push_str(label);
+                }
+            }
+            *att.paths.entry(sig).or_insert(0) += 1;
+        }
+        att
+    }
+
+    /// Mean commit latency (begin→outcome) in ns over the folded txns.
+    pub fn mean_e2e_ns(&self) -> f64 {
+        if self.txns == 0 {
+            return 0.0;
+        }
+        self.e2e_total_ns as f64 / self.txns as f64
+    }
+
+    /// Sum of per-phase mean contributions in ns: each phase's total over
+    /// the *txn* count. Equals [`TxnAttribution::mean_e2e_ns`] exactly
+    /// (same numerator, same denominator) — the tiling invariant.
+    pub fn phase_mean_sum_ns(&self) -> f64 {
+        if self.txns == 0 {
+            return 0.0;
+        }
+        self.phases
+            .values()
+            .map(|a| a.total_ns as f64 / self.txns as f64)
+            .sum()
+    }
+
+    /// The most frequent phase signature and the fraction of txns that
+    /// took it. Ties break to the lexicographically-first signature.
+    pub fn dominant_path(&self) -> Option<(&str, f64)> {
+        let (sig, &n) = self
+            .paths
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))?;
+        Some((sig.as_str(), n as f64 / self.txns.max(1) as f64))
+    }
+
+    /// Writes the breakdown as fields of an already-open JSON object,
+    /// mirroring [`StageAttribution::write_fields`].
+    pub fn write_fields(&self, w: &mut JsonWriter) {
+        w.field_u64("txns", self.txns);
+        w.field_u64("truncated", self.truncated);
+        w.field_u64("linked_ops", self.linked_ops);
+        w.field_u64("e2e_total_ns", self.e2e_total_ns);
+        w.field_f64("mean_e2e_ns", self.mean_e2e_ns());
+        w.field_f64("phase_mean_sum_ns", self.phase_mean_sum_ns());
+        let s = self.e2e.summary();
+        w.begin_obj_field("e2e");
+        w.field_u64("count", s.count);
+        w.field_u64("mean_ns", s.mean.as_nanos());
+        w.field_u64("p50_ns", s.p50.as_nanos());
+        w.field_u64("p99_ns", s.p99.as_nanos());
+        w.field_u64("max_ns", s.max.as_nanos());
+        w.end_obj();
+        w.begin_obj_field("phases");
+        for (label, agg) in &self.phases {
+            w.begin_obj_field(label);
+            w.field_u64("count", agg.count);
+            w.field_u64("total_ns", agg.total_ns);
+            w.field_f64("mean_ns", agg.total_ns as f64 / agg.count.max(1) as f64);
+            w.field_u64("p99_ns", agg.hist.p99().as_nanos());
+            w.field_f64(
+                "share",
+                agg.total_ns as f64 / self.e2e_total_ns.max(1) as f64,
+            );
+            w.end_obj();
+        }
+        w.end_obj();
+        if let Some((sig, share)) = self.dominant_path() {
+            w.begin_obj_field("dominant_path");
+            w.field_str("signature", sig);
+            w.field_f64("share", share);
+            w.end_obj();
+        }
+    }
+
+    /// The breakdown as a standalone JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        self.write_fields(&mut w);
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// Renders a stream's txn phase windows in the flamegraph collapsed-stack
+/// format, one `txn;<mode>;<phase> total_ns` line per (mode, phase) pair,
+/// summed over all well-formed txns and sorted. Byte-identical for
+/// same-seed runs.
+pub fn txn_folded_stacks(events: &[TraceEvent]) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (_txn, stream) in txn_phase_streams(events) {
+        let evs = &stream.evs;
+        if evs.len() < 2 || !evs.first().unwrap().1 || evs.last().unwrap().1 {
+            continue;
+        }
+        for w in evs.windows(2) {
+            let (at0, _, phase) = w[0];
+            let dur = w[1].0.since(at0).as_nanos();
+            let key = format!(
+                "txn;{};{}",
+                txn_mode_label(stream.mode),
+                txn_phase_label(phase)
+            );
+            *folded.entry(key).or_insert(0) += dur;
+        }
+    }
+    let mut out = String::new();
+    for (k, v) in &folded {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Exports a trace stream as Chrome trace-event JSON with first-class
+/// transaction tracks: the op span/instant stream of
+/// [`chrome_trace_json`](crate::simtrace::chrome_trace_json) (txn phase
+/// events excluded — they get spans, not instants), one track per txn
+/// (`pid` = [`TXN_PID`], `tid` = txn id, one `"X"` span per phase
+/// window), and the sampled counter tracks under [`COUNTER_PID`]. Fully
+/// deterministic — byte-identical for identical inputs.
+pub fn txn_chrome_trace_with_counters(events: &[TraceEvent], samples: &[CounterSample]) -> String {
+    let is_txn_phase = |e: &TraceEvent| {
+        matches!(
+            e.kind,
+            TraceKind::TxnPhaseBegin { .. } | TraceKind::TxnPhaseEnd { .. }
+        )
+    };
+    let ops: Vec<TraceEvent> = events
+        .iter()
+        .filter(|e| !is_txn_phase(e))
+        .copied()
+        .collect();
+    let streams = txn_phase_streams(events);
+
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.begin_arr_field("traceEvents");
+    write_chrome_events(&mut w, &ops);
+    if !streams.is_empty() {
+        w.begin_obj();
+        w.field_str("ph", "M");
+        w.field_u64("pid", TXN_PID);
+        w.field_str("name", "process_name");
+        w.begin_obj_field("args");
+        w.field_str("name", "transactions");
+        w.end_obj();
+        w.end_obj();
+    }
+    for (txn, stream) in &streams {
+        for win in stream.evs.windows(2) {
+            let (at0, is_begin, phase) = win[0];
+            if !is_begin {
+                continue; // End→Begin gaps are zero-length; skip.
+            }
+            w.begin_obj();
+            w.field_str("ph", "X");
+            w.field_str("name", txn_phase_label(phase));
+            w.field_u64("pid", TXN_PID);
+            w.field_u64("tid", *txn);
+            w.field_f64("ts", ts_us(at0));
+            w.field_f64("dur", ts_us(win[1].0) - ts_us(at0));
+            w.begin_obj_field("args");
+            w.field_u64("txn", *txn);
+            w.field_str("mode", txn_mode_label(stream.mode));
+            w.end_obj();
+            w.end_obj();
+        }
+    }
+    if !samples.is_empty() {
+        w.begin_obj();
+        w.field_str("ph", "M");
+        w.field_u64("pid", COUNTER_PID);
+        w.field_str("name", "process_name");
+        w.begin_obj_field("args");
+        w.field_str("name", "metrics");
+        w.end_obj();
+        w.end_obj();
+    }
+    for s in samples {
+        w.begin_obj();
+        w.field_str("ph", "C");
+        w.field_str("name", &s.track);
+        w.field_u64("pid", COUNTER_PID);
+        w.field_f64("ts", ts_us(s.at));
+        w.begin_obj_field("args");
+        w.field_f64("value", s.value);
+        w.end_obj();
+        w.end_obj();
+    }
+    w.end_arr();
+    w.field_str("displayTimeUnit", "ns");
+    w.end_obj();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,5 +927,130 @@ mod tests {
         let h = per_op_histogram(&stream(), |bd| Some(bd.total()));
         assert_eq!(h.count(), 3);
         assert_eq!(h.max(), SimDuration::from_nanos(800));
+    }
+
+    fn txn_ev(ns: u64, txn: u64, begin: bool, phase: u8) -> TraceEvent {
+        let kind = if begin {
+            TraceKind::TxnPhaseBegin {
+                txn,
+                mode: 1,
+                phase,
+            }
+        } else {
+            TraceKind::TxnPhaseEnd {
+                txn,
+                mode: 1,
+                phase,
+            }
+        };
+        ev(
+            ns,
+            crate::simtrace::NO_NODE,
+            crate::simtrace::txn_op_id(txn),
+            kind,
+        )
+    }
+
+    /// Two optimistic txns: one clean acquire→validate→apply→release, one
+    /// with a backoff round in the middle. Phases are contiguous (End and
+    /// next Begin share a timestamp), like the emitter guarantees.
+    fn txn_stream() -> Vec<TraceEvent> {
+        use crate::simtrace::*;
+        let mut evs = Vec::new();
+        // txn 0: 100ns acquire, 50ns validate, 30ns apply, 20ns release.
+        for (t0, t1, p) in [
+            (0u64, 100u64, TXN_PHASE_ACQUIRE),
+            (100, 150, TXN_PHASE_VALIDATE),
+            (150, 180, TXN_PHASE_APPLY),
+            (180, 200, TXN_PHASE_RELEASE),
+        ] {
+            evs.push(txn_ev(t0, 0, true, p));
+            evs.push(txn_ev(t1, 0, false, p));
+        }
+        // txn 1: acquire 40ns, backoff 60ns, acquire 40ns, release 10ns.
+        for (t0, t1, p) in [
+            (1000u64, 1040u64, TXN_PHASE_ACQUIRE),
+            (1040, 1100, TXN_PHASE_BACKOFF),
+            (1100, 1140, TXN_PHASE_ACQUIRE),
+            (1140, 1150, TXN_PHASE_RELEASE),
+        ] {
+            evs.push(txn_ev(t0, 1, true, p));
+            evs.push(txn_ev(t1, 1, false, p));
+        }
+        // A txn-issued op tag plus an op event, to exercise the link map.
+        evs.push(ev(5, 0, 77, TraceKind::OpIssue));
+        evs.push(ev(6, 0, 77, TraceKind::TxnOp { txn: 0 }));
+        evs.push(ev(90, 0, 77, TraceKind::OpAck));
+        evs
+    }
+
+    #[test]
+    fn txn_attribution_tiles_commit_latency_exactly() {
+        let att = TxnAttribution::from_events(&txn_stream());
+        assert_eq!(att.txns, 2);
+        assert_eq!(att.truncated, 0);
+        assert_eq!(att.linked_ops, 1);
+        // e2e: 200 + 150.
+        assert_eq!(att.e2e_total_ns, 350);
+        let phase_total: u64 = att.phases.values().map(|a| a.total_ns).sum();
+        assert_eq!(phase_total, att.e2e_total_ns);
+        assert!((att.phase_mean_sum_ns() - att.mean_e2e_ns()).abs() <= 1.0);
+        // txn 1's two acquire rounds fold into one phase row.
+        assert_eq!(att.phases["acquire"].count, 3);
+        assert_eq!(att.phases["acquire"].total_ns, 180);
+        assert_eq!(att.phases["backoff"].total_ns, 60);
+        let (sig, share) = att.dominant_path().unwrap();
+        assert_eq!(sig, "acquire;backoff;acquire;release");
+        assert!((share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn txn_attribution_excludes_in_flight_txns() {
+        let mut evs = txn_stream();
+        // txn 9 still in a phase at capture end: Begin without End.
+        evs.push(txn_ev(9000, 9, true, crate::simtrace::TXN_PHASE_ACQUIRE));
+        let att = TxnAttribution::from_events(&evs);
+        assert_eq!(att.txns, 2);
+        assert_eq!(att.truncated, 1);
+        let phase_total: u64 = att.phases.values().map(|a| a.total_ns).sum();
+        assert_eq!(phase_total, att.e2e_total_ns);
+    }
+
+    #[test]
+    fn txn_folded_stacks_are_rooted_and_sorted() {
+        let evs = txn_stream();
+        let a = txn_folded_stacks(&evs);
+        assert_eq!(a, txn_folded_stacks(&evs));
+        let lines: Vec<&str> = a.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert!(lines.iter().all(|l| l.starts_with("txn;optimistic;")));
+        assert!(a.contains("txn;optimistic;acquire 180\n"), "got:\n{a}");
+        assert!(a.contains("txn;optimistic;backoff 60\n"));
+    }
+
+    #[test]
+    fn txn_chrome_trace_has_per_txn_tracks_and_is_deterministic() {
+        let evs = txn_stream();
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("txn.contention.conflicts", 4);
+        let mut s = CounterSampler::with_prefixes(&["txn."]);
+        s.sample(SimTime::from_nanos(500), &reg);
+
+        let a = txn_chrome_trace_with_counters(&evs, s.samples());
+        assert_eq!(a, txn_chrome_trace_with_counters(&evs, s.samples()));
+        assert!(a.contains("\"name\":\"transactions\""));
+        assert!(a.contains(&format!("\"pid\":{TXN_PID}")));
+        // Both txns own a track; phase spans carry mode + txn args.
+        assert!(a.contains("\"tid\":0"));
+        assert!(a.contains("\"tid\":1"));
+        assert!(a.contains("\"name\":\"backoff\""));
+        assert!(a.contains("\"mode\":\"optimistic\""));
+        assert!(a.contains("\"name\":\"txn.contention.conflicts\""));
+        // Txn phase events are rendered as spans only, not op instants.
+        assert!(!a.contains("\"name\":\"txn_phase_begin\""));
+        // The tagged op's instant stream survives untouched.
+        assert!(a.contains("\"name\":\"txn_op\""));
     }
 }

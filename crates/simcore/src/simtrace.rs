@@ -52,6 +52,63 @@ pub const NO_OP: u64 = u64::MAX;
 /// Sentinel node id for events not tied to a node.
 pub const NO_NODE: u32 = u32::MAX;
 
+/// Base of the transaction-id op space. Transaction ids are small integers
+/// (0, 1, 2, …) in a counter space of their own, while op ids carry the
+/// `shard | epoch | seq` encoding of `simaudit::op_id_base` — the two
+/// would collide in a shared trace stream. Txn-scoped events therefore
+/// carry [`txn_op_id`]`(txn)` in [`TraceEvent::op`]: bit 62 is far above
+/// any real shard encoding, so the two id spaces stay disjoint.
+pub const TXN_OP_BASE: u64 = 1 << 62;
+
+/// The trace-stream op id parenting all of transaction `txn`'s phase
+/// events (see [`TXN_OP_BASE`]).
+pub fn txn_op_id(txn: u64) -> u64 {
+    TXN_OP_BASE | txn
+}
+
+/// Phase codes carried by [`TraceKind::TxnPhaseBegin`] /
+/// [`TraceKind::TxnPhaseEnd`]. The taxonomy mirrors the commit state
+/// machine in `hyperloop::txn`: lock acquisition, partial-acquisition
+/// undo, held-lock rollback, read validation, buffered-write apply, lock
+/// release, plus the parked backoff wait between acquisition rounds.
+pub const TXN_PHASE_ACQUIRE: u8 = 0;
+/// Undoing a partially acquired lock (some replicas swapped, some not).
+pub const TXN_PHASE_UNDO: u8 = 1;
+/// Releasing every held lock after a failed acquisition round.
+pub const TXN_PHASE_ROLLBACK: u8 = 2;
+/// Checking every buffered read's version word.
+pub const TXN_PHASE_VALIDATE: u8 = 3;
+/// Writing the buffered data and version bumps.
+pub const TXN_PHASE_APPLY: u8 = 4;
+/// Releasing the held locks on the way to commit or abort.
+pub const TXN_PHASE_RELEASE: u8 = 5;
+/// Parked on the jittered backoff delay between acquisition rounds.
+pub const TXN_PHASE_BACKOFF: u8 = 6;
+
+/// Stable snake_case name of a transaction phase code.
+pub fn txn_phase_label(code: u8) -> &'static str {
+    match code {
+        TXN_PHASE_ACQUIRE => "acquire",
+        TXN_PHASE_UNDO => "undo",
+        TXN_PHASE_ROLLBACK => "rollback",
+        TXN_PHASE_VALIDATE => "validate",
+        TXN_PHASE_APPLY => "apply",
+        TXN_PHASE_RELEASE => "release",
+        TXN_PHASE_BACKOFF => "backoff",
+        _ => "unknown",
+    }
+}
+
+/// Stable label of a commit-mode code carried by txn phase events
+/// (`0` = locking, `1` = optimistic).
+pub fn txn_mode_label(code: u8) -> &'static str {
+    match code {
+        0 => "locking",
+        1 => "optimistic",
+        _ => "unknown",
+    }
+}
+
 /// What happened, with the per-kind payload.
 ///
 /// Every variant is `Copy` and fixed-size so the ring buffer stays flat.
@@ -177,6 +234,39 @@ pub enum TraceKind {
         /// New state code ([`crate::simaudit::HealthState::code`]).
         state: u8,
     },
+    /// A transaction entered a commit-pipeline phase. The event's
+    /// [`TraceEvent::op`] is [`txn_op_id`]`(txn)`, so all of one txn's
+    /// phase events share a single parent id in the stream. Consecutive
+    /// Begin/End pairs tile the txn's lifetime exactly: a phase change
+    /// emits the old phase's End and the new phase's Begin at the same
+    /// instant.
+    TxnPhaseBegin {
+        /// Transaction id (the manager's own counter space).
+        txn: u64,
+        /// Commit-mode code (see [`txn_mode_label`]).
+        mode: u8,
+        /// Phase code (see [`txn_phase_label`]).
+        phase: u8,
+    },
+    /// A transaction left a commit-pipeline phase (see
+    /// [`TraceKind::TxnPhaseBegin`]).
+    TxnPhaseEnd {
+        /// Transaction id.
+        txn: u64,
+        /// Commit-mode code.
+        mode: u8,
+        /// Phase code.
+        phase: u8,
+    },
+    /// A group op (lock gCAS, validate gCAS, apply gWRITE, …) was issued
+    /// on behalf of a transaction. The event's [`TraceEvent::op`] is the
+    /// *op's* id (the client generation), and the payload names the
+    /// parent txn — the link that lets attribution group txn-issued ops
+    /// apart from bare ops.
+    TxnOp {
+        /// Parent transaction id.
+        txn: u64,
+    },
 }
 
 impl TraceKind {
@@ -203,6 +293,9 @@ impl TraceKind {
             TraceKind::MigrateCutover { .. } => "migrate_cutover",
             TraceKind::MigrateEnd { .. } => "migrate_end",
             TraceKind::HealthBreach { .. } => "health_breach",
+            TraceKind::TxnPhaseBegin { .. } => "txn_phase_begin",
+            TraceKind::TxnPhaseEnd { .. } => "txn_phase_end",
+            TraceKind::TxnOp { .. } => "txn_op",
         }
     }
 
@@ -256,6 +349,13 @@ impl TraceKind {
                 w.field_u64("shard", shard as u64);
                 w.field_u64("state", state as u64);
             }
+            TraceKind::TxnPhaseBegin { txn, mode, phase }
+            | TraceKind::TxnPhaseEnd { txn, mode, phase } => {
+                w.field_u64("txn", txn);
+                w.field_str("mode", txn_mode_label(mode));
+                w.field_str("phase", txn_phase_label(phase));
+            }
+            TraceKind::TxnOp { txn } => w.field_u64("txn", txn),
         }
     }
 }

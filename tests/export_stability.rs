@@ -193,3 +193,95 @@ fn exporting_twice_is_idempotent() {
         assert_eq!(twice.counter(&format!("health.shard{s}.acks")), Some(4));
     }
 }
+
+/// The transaction manager's export follows the same discipline. A
+/// contended two-shard workload populates the txnscope counters — abort
+/// causes, backoff draws, per-stripe contention — and exporting the same
+/// manager twice must leave the registry byte-identical: every
+/// `txn.contention.*` / `txn.abort_causes.*` value is `counter_set`,
+/// never added.
+#[test]
+fn txn_observability_export_is_idempotent() {
+    use hyperloop_repro::hyperloop::harness::{drive as hl_drive, fabric_sim};
+    use hyperloop_repro::hyperloop::txn::CommitMode;
+    use hyperloop_repro::kvstore::{KvConfig, ReplicatedKv, ShardedKv};
+    use hyperloop_repro::netsim::FabricConfig;
+    use hyperloop_repro::rnicsim::NicConfig;
+
+    let n_shards = 2u32;
+    let mut sim = fabric_sim(
+        1 + 2 * n_shards,
+        64 << 20,
+        NicConfig::default(),
+        FabricConfig::default(),
+        29,
+    );
+    let mut stores = Vec::new();
+    for s in 0..n_shards {
+        let nodes = [NodeId(1 + 2 * s), NodeId(2 + 2 * s)];
+        let group = hl_drive(&mut sim, |ctx| {
+            HyperLoopGroup::setup(ctx, CLIENT, &nodes, GroupConfig::default())
+        });
+        sim.run();
+        stores.push(ReplicatedKv::new(group.client, KvConfig::default()));
+    }
+    let mut kv = ShardedKv::with_hash_router(stores);
+    kv.enable_txns(CommitMode::Locking, 23);
+
+    // Two transactions fight over one key so conflicts, parks, and
+    // (eventually) per-site contention detail all exist in the snapshot.
+    let k = 0u64;
+    let mut t1 = kv.txn();
+    kv.txn_put(&mut t1, k, b"one".to_vec()).unwrap();
+    let mut t2 = kv.txn();
+    kv.txn_put(&mut t2, k, b"two".to_vec()).unwrap();
+    kv.txn_commit(t1);
+    kv.txn_commit(t2);
+    for _ in 0..400 {
+        sim.run();
+        hl_drive(&mut sim, |ctx| {
+            kv.poll(ctx);
+            kv.pump_txns(ctx)
+        });
+        if kv.txn_manager().in_flight() == 0 {
+            break;
+        }
+    }
+    assert_eq!(kv.txn_manager().in_flight(), 0, "transactions wedged");
+
+    let mgr = kv.txn_manager();
+    let mut once = MetricsRegistry::new();
+    mgr.export_into(&mut once, "txn");
+    let mut twice = MetricsRegistry::new();
+    mgr.export_into(&mut twice, "txn");
+    mgr.export_into(&mut twice, "txn");
+    assert_eq!(
+        canonicalize_report(&once.to_json()).expect("canonicalize once"),
+        canonicalize_report(&twice.to_json()).expect("canonicalize twice"),
+        "exporting the transaction manager twice changed the registry"
+    );
+
+    // Pin the txnscope key names with set semantics: the contended run
+    // metered the stripe fight, and the abort-cause counters tile the
+    // abort total even after the double export.
+    assert_eq!(twice.counter("txn.started"), Some(2));
+    assert!(twice.counter("txn.contention.attempts").unwrap() >= 2);
+    assert!(twice.counter("txn.contention.cas_failures").unwrap() >= 1);
+    assert!(twice.counter("txn.contention.conflicts").unwrap() >= 1);
+    assert_eq!(twice.counter("txn.contention.false_conflicts"), Some(0));
+    assert!(twice.counter("txn.contention.contended_sites").unwrap() >= 1);
+    assert!(twice.counter("txn.backoff.parks").unwrap() >= 1);
+    let aborted = twice.counter("txn.aborted").unwrap();
+    let causes: u64 = [
+        "txn.abort_causes.lock_conflict",
+        "txn.abort_causes.validation_failed",
+        "txn.abort_causes.backoff_exhausted",
+    ]
+    .iter()
+    .map(|k| twice.counter(k).unwrap())
+    .sum();
+    assert_eq!(causes, aborted, "abort causes must tile txn.aborted");
+    // In-flight is instantaneous state: gauge side only.
+    assert_eq!(twice.gauge("txn.in_flight"), Some(0.0));
+    assert_eq!(twice.counter("txn.in_flight"), None);
+}
