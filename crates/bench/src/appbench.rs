@@ -13,8 +13,10 @@ use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, HyperLoopGroup};
 use kvstore::{KvConfig, ReplicatedKv};
 use netsim::NodeId;
+use simcore::simaudit::{HealthSummary, SeriesSummary};
 use simcore::{
-    Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry, SimDuration, SimTime,
+    HealthMonitor, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry, SimDuration,
+    SimTime, SloConfig,
 };
 use testbed::{Cluster, ClusterConfig, ProcRef};
 use ycsb::{Generator, Workload};
@@ -57,11 +59,13 @@ fn run_cluster_until_done(
     driver: ProcRef,
     is_hl: bool,
     kv: bool,
+    health: &HealthMonitor,
 ) -> Histogram {
     let cap = SimTime::from_secs(1200);
     loop {
         let next = sim.now() + SimDuration::from_millis(20);
         sim.run_until(next);
+        health.tick(sim.now());
         let done = match (kv, is_hl) {
             (true, true) => sim.model.app_mut::<KvDriver<GroupClient>>(driver).is_done(),
             (true, false) => sim.model.app_mut::<KvDriver<NaiveClient>>(driver).is_done(),
@@ -131,8 +135,17 @@ pub fn run_fig11_arm(
     kind: SystemKind,
     writes: u64,
     seed: u64,
-) -> (LatencySummary, MetricsRegistry, HostStats) {
+) -> (
+    LatencySummary,
+    MetricsRegistry,
+    HostStats,
+    HealthSummary,
+    SeriesSummary,
+) {
     let meter = HostMeter::start();
+    // Observer-only per-shard SLO health: the driver records issue/ack
+    // edges and the run loop ticks the monitor on its poll cadence.
+    let health = HealthMonitor::new(SloConfig::default());
     let mut cluster = app_cluster(seed, 96);
     let client_node = NodeId(0);
     let pace = SimDuration::from_micros(300);
@@ -153,7 +166,7 @@ pub fn run_fig11_arm(
             install_group_maintenance(&mut cluster, group.replicas, SimDuration::from_nanos(400));
             let ack_cq = group.client.ack_cq();
             let store = ReplicatedKv::new(group.client, kv_config());
-            let d = KvDriver::new(store, gen, writes, 50, pace);
+            let d = KvDriver::new(store, gen, writes, 50, pace).with_health(health.clone(), 0);
             let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
             cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
             (p, true)
@@ -177,17 +190,24 @@ pub fn run_fig11_arm(
             );
             let ack_cq = chain.client.ack_cq();
             let store = ReplicatedKv::new(chain.client, kv_config());
-            let d = KvDriver::new(store, gen, writes, 50, pace);
+            let d = KvDriver::new(store, gen, writes, 50, pace).with_health(health.clone(), 0);
             let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
             cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
             (p, false)
         }
     };
     let mut sim = cluster.into_sim();
-    let hist = run_cluster_until_done(&mut sim, driver, is_hl, true);
-    let registry = cluster_snapshot(&sim, &hist);
+    let hist = run_cluster_until_done(&mut sim, driver, is_hl, true, &health);
+    let mut registry = cluster_snapshot(&sim, &hist);
+    health.export_into(&mut registry, "health");
     let host = meter.finish(writes, sim.now().since(SimTime::ZERO), sim.queue.stats());
-    (hist.summary(), registry, host)
+    (
+        hist.summary(),
+        registry,
+        host,
+        health.summary(),
+        health.series(),
+    )
 }
 
 /// Figure 11: replicated RocksDB update latency, three systems.
@@ -201,7 +221,7 @@ pub fn fig11(rep: &mut Report, quick: bool) {
         SystemKind::NaivePolling,
         SystemKind::HyperLoop,
     ] {
-        let (s, reg, host) = run_fig11_arm(kind, writes, 0xF11);
+        let (s, reg, host, health, series) = run_fig11_arm(kind, writes, 0xF11);
         rep.line(latency_row(kind.label(), &s));
         rep.scenario(
             Scenario::new(format!("fig11/ycsb-a/{}", kind.label()))
@@ -211,6 +231,8 @@ pub fn fig11(rep: &mut Report, quick: bool) {
                 .config("workload", "YCSB-A")
                 .config("writes", writes)
                 .latency(&s)
+                .health(health)
+                .series(series)
                 .host(host)
                 .metrics(reg),
         );
@@ -242,8 +264,15 @@ pub fn run_fig12_arm(
     workload: Workload,
     ops: u64,
     seed: u64,
-) -> (LatencySummary, MetricsRegistry, HostStats) {
+) -> (
+    LatencySummary,
+    MetricsRegistry,
+    HostStats,
+    HealthSummary,
+    SeriesSummary,
+) {
     let meter = HostMeter::start();
+    let health = HealthMonitor::new(SloConfig::default());
     let mut cluster = app_cluster(seed, 96);
     let client_node = NodeId(0);
     let stack = SimDuration::from_micros(150);
@@ -264,7 +293,7 @@ pub fn run_fig12_arm(
         install_group_maintenance(&mut cluster, group.replicas, SimDuration::from_nanos(400));
         let ack_cq = group.client.ack_cq();
         let store = ReplicatedDocStore::new(group.client, doc_config(), 1);
-        let d = DocDriver::new(store, gen, ops, 50, stack, pace);
+        let d = DocDriver::new(store, gen, ops, 50, stack, pace).with_health(health.clone(), 0);
         let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
         cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
         (p, true)
@@ -287,16 +316,23 @@ pub fn run_fig12_arm(
         // application is asynchronous (paper §5.2 description of vanilla
         // replication).
         store.set_mode(docstore::WriteMode::AppendOnly);
-        let d = DocDriver::new(store, gen, ops, 50, stack, pace);
+        let d = DocDriver::new(store, gen, ops, 50, stack, pace).with_health(health.clone(), 0);
         let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(d));
         cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
         (p, false)
     };
     let mut sim = cluster.into_sim();
-    let hist = run_cluster_until_done(&mut sim, driver, is_hl, false);
-    let registry = cluster_snapshot(&sim, &hist);
+    let hist = run_cluster_until_done(&mut sim, driver, is_hl, false, &health);
+    let mut registry = cluster_snapshot(&sim, &hist);
+    health.export_into(&mut registry, "health");
     let host = meter.finish(ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
-    (hist.summary(), registry, host)
+    (
+        hist.summary(),
+        registry,
+        host,
+        health.summary(),
+        health.series(),
+    )
 }
 
 /// Figure 12: replicated MongoDB latency across YCSB workloads.
@@ -317,8 +353,8 @@ pub fn fig12(rep: &mut Report, quick: bool) {
     ));
     for (wi, w) in Workload::PAPER_SET.into_iter().enumerate() {
         let seed = 0xF12 + 101 * wi as u64;
-        let (nat, nat_reg, nat_host) = run_fig12_arm(false, w, ops, seed);
-        let (hl, hl_reg, hl_host) = run_fig12_arm(true, w, ops, seed);
+        let (nat, nat_reg, nat_host, nat_health, nat_series) = run_fig12_arm(false, w, ops, seed);
+        let (hl, hl_reg, hl_host, hl_health, hl_series) = run_fig12_arm(true, w, ops, seed);
         let mean_cut = 100.0 * (1.0 - hl.mean.as_micros_f64() / nat.mean.as_micros_f64().max(1e-9));
         let gap_nat = nat.p99.as_micros_f64() - nat.mean.as_micros_f64();
         let gap_hl = hl.p99.as_micros_f64() - hl.mean.as_micros_f64();
@@ -335,9 +371,9 @@ pub fn fig12(rep: &mut Report, quick: bool) {
             mean_cut,
             gap_cut,
         ));
-        for (label, s, reg, host) in [
-            ("native", &nat, nat_reg, nat_host),
-            ("HyperLoop", &hl, hl_reg, hl_host),
+        for (label, s, reg, host, health, series) in [
+            ("native", &nat, nat_reg, nat_host, nat_health, nat_series),
+            ("HyperLoop", &hl, hl_reg, hl_host, hl_health, hl_series),
         ] {
             rep.scenario(
                 Scenario::new(format!("fig12/{w}/{label}"))
@@ -347,6 +383,8 @@ pub fn fig12(rep: &mut Report, quick: bool) {
                     .config("workload", w.to_string())
                     .config("ops", ops)
                     .latency(s)
+                    .health(health)
+                    .series(series)
                     .host(host)
                     .metrics(reg),
             );
@@ -382,6 +420,8 @@ pub fn ablations(rep: &mut Report, quick: bool) {
             .config("payload_bytes", 1024u64)
             .config("flush", flush)
             .latency(&r.latency)
+            .health(r.health.clone())
+            .series(r.series.clone())
             .host(r.host.clone())
             .metrics(r.registry.clone()),
         );
@@ -393,17 +433,21 @@ pub fn ablations(rep: &mut Report, quick: bool) {
         "replicas", "chain p50", "fan-out p50"
     ));
     for gs in [3u32, 5, 7] {
-        let (chain, chain_host) =
+        let (chain, chain_host, chain_tel) =
             crate::fanout_ablation::chain_write_latency(gs, if quick { 200 } else { 800 });
-        let (fan, fan_host) =
+        let (fan, fan_host, _fan_tel) =
             crate::fanout_ablation::fanout_write_latency(gs, if quick { 200 } else { 800 });
         rep.line(format!("{:<8} {:>14} {:>14}", gs, us(chain), us(fan)));
         // Two runs, one scenario: fold their host meters into one block.
+        // The health/series blocks come from the chain arm (the paper's
+        // default topology); the fan-out arm's telemetry is equivalent.
         rep.scenario(
             Scenario::new(format!("ablation/fanout/g{gs}"))
                 .config("group_size", gs)
                 .gauge("chain_p50_ns", chain.as_nanos() as f64)
                 .gauge("fanout_p50_ns", fan.as_nanos() as f64)
+                .health(chain_tel.health)
+                .series(chain_tel.series)
                 .host(chain_host.merged(&fan_host)),
         );
     }
@@ -414,7 +458,8 @@ pub fn ablations(rep: &mut Report, quick: bool) {
         "serving replicas", "8KB reads/s", "aggregate"
     ));
     for n in [1u32, 2, 3] {
-        let (rps, host) = crate::fanout_ablation::read_scaling(n, if quick { 1000 } else { 4000 });
+        let (rps, host, tel) =
+            crate::fanout_ablation::read_scaling(n, if quick { 1000 } else { 4000 });
         rep.line(format!(
             "{:<18} {:>12.0} {:>7.1} Gbps",
             n,
@@ -426,6 +471,8 @@ pub fn ablations(rep: &mut Report, quick: bool) {
                 .config("serving_replicas", n)
                 .config("read_bytes", 8192u64)
                 .gauge("reads_per_sec", rps)
+                .health(tel.health)
+                .series(tel.series)
                 .host(host),
         );
     }
@@ -460,6 +507,8 @@ pub fn ablations(rep: &mut Report, quick: bool) {
                     .config("hogs_per_node", hogs)
                     .config("payload_bytes", 1024u64)
                     .latency(&r.latency)
+                    .health(r.health.clone())
+                    .series(r.series.clone())
                     .host(r.host.clone())
                     .metrics(r.registry.clone()),
             );

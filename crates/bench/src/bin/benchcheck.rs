@@ -43,6 +43,20 @@
 //! key set (unknown keys fail, so schema drift is caught on both sides),
 //! finite positive rates, and a queue invariant (`pushed >= popped`).
 //!
+//! Scenarios produced by the quick-figures sweeps (`shardscale/*`,
+//! `migrate/*`, `hostperf/*`, `txnmix/*`) must carry the tailscope blocks
+//! — `tail` (tail-latency exemplars + root-cause attribution) and `series`
+//! (windowed telemetry) — and any scenario carrying them is validated:
+//! both blocks use closed key sets; the seven `tail.causes.*` counters sum
+//! exactly to `tail.tail_ops` (exactly one cause per tail op); every
+//! exemplar's `e2e_ns` is at or beyond the population `tail.p99_ns` and
+//! strictly above `tail.median_e2e_ns` (ties at the quantile are tail ops
+//! — see the `simcore::tailprof` module docs for the rationale), its
+//! `excess_ns` equals `e2e_ns − median_e2e_ns`, and its per-stage excess
+//! rows plus `residual_ns` tile `excess_ns` to within 1 ns; exemplars are
+//! ordered slowest first; and every series shard's sample timestamps are
+//! strictly monotonic.
+//!
 //! With `--baseline`, every checked scenario that shares a name with a
 //! baseline scenario must keep its `ops_per_sec` gauge within 25% of the
 //! baseline value (the simulator is deterministic, so a real regression —
@@ -50,6 +64,15 @@
 //! carrying a `stage_attribution` block must also tile: the sum of
 //! per-stage mean contributions has to equal the mean end-to-end latency
 //! to within 1 ns.
+//!
+//! `--baseline` also soft-gates tail latency per scenario: a scenario
+//! whose `latency.p99_ns` reaches 1.5× the same-name baseline p99 **warns**
+//! to stderr, and one that reaches 3× **fails**. The simulator is
+//! deterministic, so a p99 excursion is a real regression, but tail
+//! percentiles of short quick-mode runs move more under legitimate code
+//! changes than means do — hence the wider band than the throughput gate.
+//! This paragraph is the single normative statement of those thresholds;
+//! DESIGN.md and README.md defer to it.
 //!
 //! With `--host-baseline`, `host.ops_per_sec` is gated too. Host
 //! throughput (unlike sim throughput) moves with machine load, so the gate
@@ -403,6 +426,266 @@ fn check_health(h: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
+/// The seven tail root causes in precedence order — the closed set
+/// mirrored from `simcore::tailprof::CAUSE_LABELS`.
+const TAIL_CAUSES: [&str; 7] = [
+    "migration_pause",
+    "txn_backoff",
+    "lock_wait",
+    "replica_straggler",
+    "queue_wait",
+    "flow_control_stall",
+    "residual",
+];
+
+/// Reads a signed nanosecond field. The writer emits negative excesses as
+/// JSON integers, which the reader parses back as F64 — accept both.
+fn signed_ns(obj: &JsonValue, key: &str) -> Option<f64> {
+    match obj.get(key)? {
+        JsonValue::U64(u) => Some(*u as f64),
+        JsonValue::F64(f) if f.is_finite() => Some(*f),
+        _ => None,
+    }
+}
+
+/// The tailscope `tail` block: closed key sets at every level, causes
+/// summing exactly to the tail-op count, exemplars at-or-beyond the p99
+/// (and above the median) ordered slowest first, and the excess-tiling
+/// contract (stage excess rows plus the residual tile `e2e − median_e2e`
+/// within 1 ns).
+fn check_tail(t: &JsonValue) -> Result<(), String> {
+    const KEYS: [&str; 6] = [
+        "ops",
+        "tail_ops",
+        "p99_ns",
+        "median_e2e_ns",
+        "causes",
+        "exemplars",
+    ];
+    let fields = t.as_obj().ok_or("tail is not an object")?;
+    for (k, _) in fields {
+        if !KEYS.contains(&k.as_str()) {
+            return Err(format!("tail.{k} is outside the closed key set"));
+        }
+    }
+    let mut nums = [0u64; 4];
+    for (i, k) in ["ops", "tail_ops", "p99_ns", "median_e2e_ns"]
+        .into_iter()
+        .enumerate()
+    {
+        nums[i] = t
+            .get(k)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("tail.{k} is not a non-negative integer"))?;
+    }
+    let [ops, tail_ops, p99_ns, median_e2e_ns] = nums;
+    if tail_ops > ops {
+        return Err(format!("tail.tail_ops={tail_ops} exceeds tail.ops={ops}"));
+    }
+    let causes = t.get("causes").ok_or("tail.causes is missing")?;
+    let cause_fields = causes.as_obj().ok_or("tail.causes is not an object")?;
+    let mut cause_sum = 0u64;
+    for (k, v) in cause_fields {
+        if !TAIL_CAUSES.contains(&k.as_str()) {
+            return Err(format!("tail.causes.{k} is outside the closed cause set"));
+        }
+        cause_sum += v
+            .as_u64()
+            .ok_or_else(|| format!("tail.causes.{k} is not a non-negative integer"))?;
+    }
+    for c in TAIL_CAUSES {
+        if causes.get(c).is_none() {
+            return Err(format!("tail.causes.{c} is missing"));
+        }
+    }
+    if cause_sum != tail_ops {
+        return Err(format!(
+            "tail.causes.* sum to {cause_sum} but tail.tail_ops={tail_ops} — \
+             a tail op escaped root-cause attribution"
+        ));
+    }
+    let exemplars = t
+        .get("exemplars")
+        .and_then(|v| v.as_arr())
+        .ok_or("tail.exemplars is not an array")?;
+    if exemplars.len() as u64 > tail_ops {
+        return Err(format!(
+            "tail carries {} exemplars for {tail_ops} tail ops",
+            exemplars.len()
+        ));
+    }
+    const EX_KEYS: [&str; 9] = [
+        "op",
+        "shard",
+        "start_ns",
+        "e2e_ns",
+        "excess_ns",
+        "cause",
+        "cause_arg",
+        "stages",
+        "residual_ns",
+    ];
+    let mut prev_e2e = u64::MAX;
+    for (i, ex) in exemplars.iter().enumerate() {
+        let what = format!("tail.exemplars[{i}]");
+        let ex_fields = ex
+            .as_obj()
+            .ok_or_else(|| format!("{what} is not an object"))?;
+        for (k, _) in ex_fields {
+            if !EX_KEYS.contains(&k.as_str()) {
+                return Err(format!("{what}.{k} is outside the closed key set"));
+            }
+        }
+        for k in ["op", "shard", "start_ns", "e2e_ns", "cause_arg"] {
+            ex.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{what}.{k} is not a non-negative integer"))?;
+        }
+        let e2e = ex.get("e2e_ns").and_then(|v| v.as_u64()).unwrap();
+        if e2e < p99_ns {
+            return Err(format!("{what}.e2e_ns={e2e} is below tail.p99_ns={p99_ns}"));
+        }
+        if e2e <= median_e2e_ns {
+            return Err(format!(
+                "{what}.e2e_ns={e2e} does not exceed tail.median_e2e_ns={median_e2e_ns}"
+            ));
+        }
+        if e2e > prev_e2e {
+            return Err(format!("{what} is out of slowest-first order"));
+        }
+        prev_e2e = e2e;
+        let cause = ex
+            .get("cause")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{what}.cause is not a string"))?;
+        if !TAIL_CAUSES.contains(&cause) {
+            return Err(format!(
+                "{what}.cause {cause:?} is outside the closed cause set"
+            ));
+        }
+        let excess = signed_ns(ex, "excess_ns")
+            .ok_or_else(|| format!("{what}.excess_ns is not a finite number"))?;
+        let residual = signed_ns(ex, "residual_ns")
+            .ok_or_else(|| format!("{what}.residual_ns is not a finite number"))?;
+        let expect_excess = e2e as f64 - median_e2e_ns as f64;
+        if (excess - expect_excess).abs() > 1.0 {
+            return Err(format!(
+                "{what}.excess_ns={excess} but e2e_ns − median_e2e_ns = {expect_excess}"
+            ));
+        }
+        let stages = ex
+            .get("stages")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| format!("{what}.stages is not an array"))?;
+        let mut explained = 0.0f64;
+        for (j, st) in stages.iter().enumerate() {
+            let swhat = format!("{what}.stages[{j}]");
+            let st_fields = st
+                .as_obj()
+                .ok_or_else(|| format!("{swhat} is not an object"))?;
+            for (k, _) in st_fields {
+                if !matches!(
+                    k.as_str(),
+                    "label" | "actual_ns" | "median_ns" | "excess_ns"
+                ) {
+                    return Err(format!("{swhat}.{k} is outside the closed key set"));
+                }
+            }
+            st.get("label")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("{swhat}.label is not a string"))?;
+            for k in ["actual_ns", "median_ns"] {
+                st.get(k)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| format!("{swhat}.{k} is not a non-negative integer"))?;
+            }
+            explained += signed_ns(st, "excess_ns")
+                .ok_or_else(|| format!("{swhat}.excess_ns is not a finite number"))?;
+        }
+        if (explained + residual - excess).abs() > 1.0 {
+            return Err(format!(
+                "{what} stage excesses ({explained}) + residual ({residual}) \
+                 do not tile excess_ns ({excess})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The tailscope `series` block: closed key sets, strictly monotonic
+/// per-shard sample timestamps, and finite sample values.
+fn check_series(se: &JsonValue) -> Result<(), String> {
+    let fields = se.as_obj().ok_or("series is not an object")?;
+    for (k, _) in fields {
+        if !matches!(k.as_str(), "bucket_ns" | "shards") {
+            return Err(format!("series.{k} is outside the closed key set"));
+        }
+    }
+    se.get("bucket_ns")
+        .and_then(|v| v.as_u64())
+        .ok_or("series.bucket_ns is not a non-negative integer")?;
+    let shards = se
+        .get("shards")
+        .and_then(|v| v.as_arr())
+        .ok_or("series.shards is not an array")?;
+    for sh in shards {
+        let sh_fields = sh.as_obj().ok_or("series.shards[] is not an object")?;
+        for (k, _) in sh_fields {
+            if !matches!(k.as_str(), "shard" | "points") {
+                return Err(format!("series.shards[].{k} is outside the closed key set"));
+            }
+        }
+        let shard = sh
+            .get("shard")
+            .and_then(|v| v.as_u64())
+            .ok_or("series.shards[].shard is not a non-negative integer")?;
+        let points = sh
+            .get("points")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| format!("series shard {shard} points is not an array"))?;
+        let mut prev_t: Option<u64> = None;
+        for (i, p) in points.iter().enumerate() {
+            let what = format!("series shard {shard} point {i}");
+            let p_fields = p
+                .as_obj()
+                .ok_or_else(|| format!("{what} is not an object"))?;
+            for (k, _) in p_fields {
+                if !matches!(
+                    k.as_str(),
+                    "t_ns" | "ops_per_sec" | "p50_ns" | "p99_ns" | "inflight" | "pen"
+                ) {
+                    return Err(format!("{what}.{k} is outside the closed key set"));
+                }
+            }
+            let t = p
+                .get("t_ns")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{what}.t_ns is not a non-negative integer"))?;
+            if let Some(prev) = prev_t {
+                if t <= prev {
+                    return Err(format!(
+                        "{what}.t_ns={t} is not strictly after the previous sample at {prev}"
+                    ));
+                }
+            }
+            prev_t = Some(t);
+            let ops = p
+                .get("ops_per_sec")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{what}.ops_per_sec is not a finite number"))?;
+            if !ops.is_finite() || ops < 0.0 {
+                return Err(format!("{what}.ops_per_sec = {ops} is not finite and >= 0"));
+            }
+            for k in ["p50_ns", "p99_ns", "inflight", "pen"] {
+                p.get(k)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| format!("{what}.{k} is not a non-negative integer"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Requires `key` to be a finite, strictly positive number (U64 or F64).
 fn positive_number(obj: &JsonValue, key: &str) -> Result<f64, String> {
     let v = obj
@@ -536,33 +819,38 @@ fn check_attribution(att: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads `name -> ops_per_sec` from a baseline report. `host` reads the
-/// gauge from the `host` block instead of `gauges`.
-fn load_baseline(path: &str, host: bool) -> Result<BTreeMap<String, f64>, String> {
+/// Loads `name -> <block>.<key>` from a baseline report.
+fn load_metric(path: &str, block: &str, key: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let root = parse(&text).map_err(|e| format!("malformed JSON: {e}"))?;
     let scenarios = root
         .get("scenarios")
         .and_then(|v| v.as_arr())
         .ok_or("no scenarios array")?;
-    let block = if host { "host" } else { "gauges" };
     let mut out = BTreeMap::new();
     for s in scenarios {
-        if let (Some(name), Some(ops)) = (
+        if let (Some(name), Some(v)) = (
             s.get("name").and_then(|v| v.as_str()),
             s.get(block)
-                .and_then(|g| g.get("ops_per_sec"))
+                .and_then(|g| g.get(key))
                 .and_then(|v| v.as_f64()),
         ) {
-            out.insert(name.to_string(), ops);
+            out.insert(name.to_string(), v);
         }
     }
     Ok(out)
 }
 
+/// Loads `name -> ops_per_sec` from a baseline report. `host` reads the
+/// gauge from the `host` block instead of `gauges`.
+fn load_baseline(path: &str, host: bool) -> Result<BTreeMap<String, f64>, String> {
+    load_metric(path, if host { "host" } else { "gauges" }, "ops_per_sec")
+}
+
 fn check_file(
     path: &str,
     baseline: Option<&BTreeMap<String, f64>>,
+    p99_baseline: Option<&BTreeMap<String, f64>>,
     host_baseline: Option<&BTreeMap<String, f64>>,
 ) -> Result<usize, ExitCode> {
     let text = std::fs::read_to_string(path).map_err(|e| {
@@ -641,6 +929,23 @@ fn check_file(
                 }
             }
         }
+        // The tailscope blocks: mandatory on every quick-figures scenario,
+        // validated wherever they appear.
+        let needs_tailscope = ["shardscale/", "migrate/", "hostperf/", "txnmix/"]
+            .iter()
+            .any(|p| name.starts_with(p));
+        if needs_tailscope && s.get("tail").is_none() {
+            return Err(fail(path, name, "scenario has no tail block"));
+        }
+        if needs_tailscope && s.get("series").is_none() {
+            return Err(fail(path, name, "scenario has no series block"));
+        }
+        if let Some(t) = s.get("tail") {
+            check_tail(t).map_err(|m| fail(path, name, &m))?;
+        }
+        if let Some(se) = s.get("series") {
+            check_series(se).map_err(|m| fail(path, name, &m))?;
+        }
         if let Some(att) = s.get("stage_attribution") {
             check_attribution(att).map_err(|m| fail(path, name, &m))?;
         }
@@ -669,6 +974,36 @@ fn check_file(
                              (75% of baseline {expected:.0} ops/s)"
                         ),
                     ));
+                }
+            }
+        }
+        if let Some(base) = p99_baseline {
+            if let (Some(&expected), Some(got)) = (
+                base.get(name),
+                s.get("latency")
+                    .and_then(|l| l.get("p99_ns"))
+                    .and_then(|v| v.as_f64()),
+            ) {
+                if expected > 0.0 {
+                    let fail_at = expected * 3.0;
+                    let warn_at = expected * 1.5;
+                    if got >= fail_at {
+                        return Err(fail(
+                            path,
+                            name,
+                            &format!(
+                                "tail-latency regression in scenario {name:?}, metric \
+                                 latency.p99_ns: measured {got:.0} ns is at or above \
+                                 {fail_at:.0} ns (3x baseline {expected:.0} ns)"
+                            ),
+                        ));
+                    } else if got >= warn_at {
+                        eprintln!(
+                            "benchcheck: {path}: scenario {name:?}: warning: latency.p99_ns \
+                             {got:.0} is at or above 1.5x the baseline {expected:.0} ns \
+                             (soft ceiling {warn_at:.0}); not failing, but the tail is growing"
+                        );
+                    }
                 }
             }
         }
@@ -737,6 +1072,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let p99_baseline = match baseline_path
+        .as_deref()
+        .map(|p| load_metric(p, "latency", "p99_ns"))
+    {
+        None => None,
+        Some(Ok(b)) => {
+            println!("benchcheck: p99 baseline covers {} scenarios", b.len());
+            Some(b)
+        }
+        Some(Err(e)) => {
+            eprintln!("benchcheck: p99 baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let host_baseline = match host_baseline_path
         .as_deref()
         .map(|p| load_baseline(p, true))
@@ -752,7 +1101,12 @@ fn main() -> ExitCode {
         }
     };
     for path in &paths {
-        match check_file(path, baseline.as_ref(), host_baseline.as_ref()) {
+        match check_file(
+            path,
+            baseline.as_ref(),
+            p99_baseline.as_ref(),
+            host_baseline.as_ref(),
+        ) {
             Ok(n) => println!("benchcheck: {path}: ok ({n} scenarios)"),
             Err(code) => return code,
         }

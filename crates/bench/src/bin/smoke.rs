@@ -46,13 +46,15 @@ fn main() {
                 .latency(&r.latency)
                 .gauge("ops_per_sec", r.ops_per_sec())
                 .gauge("replica_cpu", r.replica_cpu)
+                .health(r.health.clone())
+                .series(r.series.clone())
                 .host(r.host.clone())
                 .metrics(r.registry.clone()),
         );
     }
     rep.line("8 KB read scaling:");
     for n in [1u32, 3] {
-        let (rps, host) = read_scaling(n, 1500);
+        let (rps, host, tel) = read_scaling(n, 1500);
         rep.line(format!(
             "  {} serving replica(s): {:.0} reads/s ({:.1} Gbps)",
             n,
@@ -64,6 +66,8 @@ fn main() {
                 .config("serving_replicas", n)
                 .config("read_bytes", 8192u64)
                 .gauge("reads_per_sec", rps)
+                .health(tel.health)
+                .series(tel.series)
                 .host(host),
         );
     }

@@ -4,7 +4,7 @@
 //! measurements are event-precise.
 
 use hyperloop::{GroupAck, GroupOp, GroupTransport};
-use simcore::{Histogram, SimDuration, SimTime};
+use simcore::{HealthMonitor, Histogram, SimDuration, SimTime};
 use std::collections::HashMap;
 use testbed::{Env, HostApp, HostEvent};
 
@@ -28,6 +28,9 @@ pub struct PrimitiveDriver<T> {
     /// loop). Paces the run across background-load cycles.
     pace: SimDuration,
     sent_at: HashMap<u64, SimTime>,
+    /// Health monitor fed every issue/ack (including warm-up), plus the
+    /// shard the feed is attributed to.
+    health: Option<(HealthMonitor, u32)>,
     /// Reused completion buffer: one driver-side allocation for the whole
     /// run instead of a fresh ack vector per poll.
     ack_scratch: Vec<GroupAck>,
@@ -66,11 +69,19 @@ impl<T: GroupTransport + 'static> PrimitiveDriver<T> {
             completed: 0,
             pace,
             sent_at: HashMap::new(),
+            health: None,
             ack_scratch: Vec::new(),
             hist: Histogram::new(),
             started_at: None,
             done_at: None,
         }
+    }
+
+    /// Feeds every issue/ack (including warm-up) to `health`, attributed
+    /// to `shard`.
+    pub fn with_health(mut self, health: HealthMonitor, shard: u32) -> Self {
+        self.health = Some((health, shard));
+        self
     }
 
     /// Completed operation count.
@@ -107,6 +118,9 @@ impl<T: GroupTransport + 'static> PrimitiveDriver<T> {
                 Err(_) => break,
             };
             self.sent_at.insert(gen, now);
+            if let Some((h, shard)) = &self.health {
+                h.record_issue(now, *shard);
+            }
             if self.started_at.is_none() {
                 self.started_at = Some(now);
             }
@@ -135,6 +149,9 @@ impl<T: GroupTransport + 'static> HostApp for PrimitiveDriver<T> {
                 for ack in acks.drain(..) {
                     if let Some(sent) = self.sent_at.remove(&ack.gen) {
                         self.completed += 1;
+                        if let Some((h, shard)) = &self.health {
+                            h.record_ack(now, *shard, now.since(sent));
+                        }
                         if self.completed > self.warmup {
                             self.hist.record(now.since(sent));
                         }
@@ -167,6 +184,9 @@ pub struct KvDriver<T> {
     checkpoint_every: u64,
     issued: u64,
     completed: u64,
+    /// Health monitor fed every issue/ack (including warm-up), plus the
+    /// shard the feed is attributed to.
+    health: Option<(HealthMonitor, u32)>,
     /// Issue timestamps in completion (FIFO) order.
     sent_order: std::collections::VecDeque<SimTime>,
     /// A write that hit back-pressure, retried after checkpointing.
@@ -195,11 +215,19 @@ impl<T: GroupTransport + 'static> KvDriver<T> {
             checkpoint_every: 128,
             issued: 0,
             completed: 0,
+            health: None,
             sent_order: std::collections::VecDeque::new(),
             retry: None,
             hist: Histogram::new(),
             done_at: None,
         }
+    }
+
+    /// Feeds every issue/ack (including warm-up) to `health`, attributed
+    /// to `shard`.
+    pub fn with_health(mut self, health: HealthMonitor, shard: u32) -> Self {
+        self.health = Some((health, shard));
+        self
     }
 
     /// Completed update count.
@@ -220,6 +248,9 @@ impl<T: GroupTransport + 'static> KvDriver<T> {
         match r {
             Ok(_gen) => {
                 self.sent_order.push_back(now);
+                if let Some((h, shard)) = &self.health {
+                    h.record_issue(now, *shard);
+                }
                 self.issued += 1;
                 true
             }
@@ -280,6 +311,9 @@ impl<T: GroupTransport + 'static> HostApp for KvDriver<T> {
                 for _ in 0..finished {
                     let sent = self.sent_order.pop_front().expect("tracked put");
                     self.completed += 1;
+                    if let Some((h, shard)) = &self.health {
+                        h.record_ack(now, *shard, now.since(sent));
+                    }
                     if self.completed > self.warmup {
                         self.hist.record(now.since(sent));
                     }
@@ -323,6 +357,9 @@ pub struct DocDriver<T> {
     pace: SimDuration,
     /// Maximum writes kept in flight (YCSB client threads).
     concurrency: u64,
+    /// Health monitor fed every write issue/ack, plus the shard the feed
+    /// is attributed to.
+    health: Option<(HealthMonitor, u32)>,
     ops_done: u64,
     writes_in_flight: u64,
     /// A write drawn while another was in flight, issued on completion.
@@ -354,6 +391,7 @@ impl<T: GroupTransport + 'static> DocDriver<T> {
             scan_per_doc: SimDuration::from_micros(2),
             pace,
             concurrency: 1,
+            health: None,
             ops_done: 0,
             writes_in_flight: 0,
             pending_write: None,
@@ -380,6 +418,13 @@ impl<T: GroupTransport + 'static> DocDriver<T> {
         self
     }
 
+    /// Feeds every write issue/ack (including warm-up) to `health`,
+    /// attributed to `shard`.
+    pub fn with_health(mut self, health: HealthMonitor, shard: u32) -> Self {
+        self.health = Some((health, shard));
+        self
+    }
+
     /// True once the quota is met and no writes are pending.
     pub fn is_done(&self) -> bool {
         self.ops_done >= self.total_ops && self.writes_in_flight == 0
@@ -393,10 +438,14 @@ impl<T: GroupTransport + 'static> DocDriver<T> {
     }
 
     fn issue_write(&mut self, env: &mut Env<'_>, doc: docstore::Document) -> bool {
+        let now = env.now();
         let r = env.with_fabric(|ctx| self.store.write(ctx, doc.clone()));
         match r {
             Ok(_) => {
                 self.writes_in_flight += 1;
+                if let Some((h, shard)) = &self.health {
+                    h.record_issue(now, *shard);
+                }
                 true
             }
             Err(docstore::DocError::Busy) => {
@@ -465,9 +514,13 @@ impl<T: GroupTransport + 'static> HostApp for DocDriver<T> {
             HostEvent::CqReady(_) => {
                 let done = env.with_fabric(|ctx| self.store.poll(ctx));
                 let completions = done.len();
+                let now = env.now();
                 for tx in done {
                     self.writes_in_flight = self.writes_in_flight.saturating_sub(1);
                     let lat = tx.finished.since(tx.started) + self.stack_cost;
+                    if let Some((h, shard)) = &self.health {
+                        h.record_ack(now, *shard, lat);
+                    }
                     self.ops_done += 1;
                     if self.ops_done > self.warmup {
                         self.hist.record(lat);

@@ -6,11 +6,29 @@ use hyperloop::harness::{drive, fabric_sim};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::{FabricConfig, NodeId};
 use rnicsim::{NicConfig, Payload};
-use simcore::{HostMeter, HostStats, SimDuration, SimTime};
+use simcore::simaudit::{HealthSummary, SeriesSummary};
+use simcore::{HealthMonitor, HostMeter, HostStats, SimDuration, SimTime, SloConfig};
+
+/// Health/series telemetry of one ablation run, bundled so the raw loops
+/// can return it next to their headline numbers.
+#[derive(Debug, Clone)]
+pub struct AblationTelemetry {
+    /// Per-shard SLO health (single shard 0 for these single-chain runs).
+    pub health: HealthSummary,
+    /// Windowed telemetry series sampled once per bench-loop iteration.
+    pub series: SeriesSummary,
+}
+
+fn telemetry(health: &HealthMonitor) -> AblationTelemetry {
+    AblationTelemetry {
+        health: health.summary(),
+        series: health.series(),
+    }
+}
 
 /// Median latency of durable 1 KB chain writes over `gs` replicas, plus
-/// the host-side statistics of the run.
-pub fn chain_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
+/// the host-side statistics and telemetry of the run.
+pub fn chain_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats, AblationTelemetry) {
     let meter = HostMeter::start();
     let mut sim = fabric_sim(
         gs + 1,
@@ -32,9 +50,11 @@ pub fn chain_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
         )
     });
     sim.run();
+    let health = HealthMonitor::new(SloConfig::default());
     let mut hist = simcore::Histogram::new();
     for i in 0..ops {
         let t0 = sim.now();
+        health.record_issue(t0, 0);
         drive(&mut sim, |ctx| {
             group
                 .client
@@ -50,16 +70,19 @@ pub fn chain_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
         });
         sim.run();
         drive(&mut sim, |ctx| group.client.poll(ctx));
-        hist.record(sim.now().since(t0));
+        let lat = sim.now().since(t0);
+        hist.record(lat);
+        health.record_ack(sim.now(), 0, lat);
+        health.tick(sim.now());
     }
     let host = meter.finish(ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
-    (hist.p50(), host)
+    (hist.p50(), host, telemetry(&health))
 }
 
 /// Median latency of durable 1 KB fan-out writes over a primary plus
 /// `gs - 1` backups (same total copy count as the chain), plus the
-/// host-side statistics of the run.
-pub fn fanout_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
+/// host-side statistics and telemetry of the run.
+pub fn fanout_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats, AblationTelemetry) {
     let meter = HostMeter::start();
     let backups: Vec<NodeId> = (2..=gs).map(NodeId).collect();
     let mut sim = fabric_sim(
@@ -82,15 +105,20 @@ pub fn fanout_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
         )
     });
     sim.run();
+    let health = HealthMonitor::new(SloConfig::default());
     let mut hist = simcore::Histogram::new();
     for i in 0..ops {
         let t0 = sim.now();
+        health.record_issue(t0, 0);
         drive(&mut sim, |ctx| {
             group.client.write(ctx, (i % 16) * 4096, &[1; 1024], true)
         });
         sim.run();
         drive(&mut sim, |ctx| group.client.poll(ctx));
-        hist.record(sim.now().since(t0));
+        let lat = sim.now().since(t0);
+        hist.record(lat);
+        health.record_ack(sim.now(), 0, lat);
+        health.tick(sim.now());
         if i % 128 == 0 {
             drive(&mut sim, |ctx| {
                 group.primary.replenish(ctx, 128);
@@ -98,7 +126,7 @@ pub fn fanout_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
         }
     }
     let host = meter.finish(ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
-    (hist.p50(), host)
+    (hist.p50(), host, telemetry(&health))
 }
 
 /// Beyond the paper's figures: aggregate read bandwidth when three reader
@@ -107,8 +135,11 @@ pub fn fanout_write_latency(gs: u32, ops: u64) -> (SimDuration, HostStats) {
 /// replica serve reads. Lock-free one-sided reads (the FaRM-style path the
 /// paper also supports); the locked path is exercised by
 /// `hyperloop::reads` tests. Returns reads/sec plus the host-side
-/// statistics of the run.
-pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> (f64, HostStats) {
+/// statistics and telemetry of the run.
+pub fn read_scaling(
+    serving_replicas: u32,
+    total_reads: u64,
+) -> (f64, HostStats, AblationTelemetry) {
     let meter = HostMeter::start();
     use rnicsim::{wqe_flags, Opcode, Wqe};
 
@@ -150,6 +181,8 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> (f64, HostStats)
         }
     }
 
+    let health = HealthMonitor::new(SloConfig::default());
+    let mut sent_at: Vec<SimTime> = vec![SimTime::ZERO; total_reads as usize];
     let t0 = sim.now();
     let mut done = 0u64;
     let mut next = 0u64;
@@ -172,6 +205,8 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> (f64, HostStats)
                             ..Wqe::default()
                         },
                     );
+                    sent_at[next as usize] = ctx.now;
+                    health.record_issue(ctx.now, replica as u32);
                     next += 1;
                     *slots += 1;
                 }
@@ -179,10 +214,16 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> (f64, HostStats)
         });
         sim.run();
         for (c, &cn) in readers.iter().enumerate() {
-            let got = drive(&mut sim, |ctx| ctx.poll_cq(cn, cqs[c], 1024)).len() as u64;
-            outstanding[c] -= got;
-            done += got;
+            let cqes = drive(&mut sim, |ctx| ctx.poll_cq(cn, cqs[c], 1024));
+            outstanding[c] -= cqes.len() as u64;
+            done += cqes.len() as u64;
+            let now = sim.now();
+            for cqe in cqes {
+                let shard = (cqe.wr_id % serving_replicas as u64) as u32;
+                health.record_ack(now, shard, now.since(sent_at[cqe.wr_id as usize]));
+            }
         }
+        health.tick(sim.now());
     }
     assert_eq!(sim.model.fab.stats().errors, 0);
     let host = meter.finish(
@@ -190,5 +231,9 @@ pub fn read_scaling(serving_replicas: u32, total_reads: u64) -> (f64, HostStats)
         sim.now().since(SimTime::ZERO),
         sim.queue.stats(),
     );
-    (total_reads as f64 / sim.now().since(t0).as_secs_f64(), host)
+    (
+        total_reads as f64 / sim.now().since(t0).as_secs_f64(),
+        host,
+        telemetry(&health),
+    )
 }

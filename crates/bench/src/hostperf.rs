@@ -90,18 +90,27 @@ pub fn hostperf(rep: &mut Report, quick: bool) {
             rep.write_trace(&format!("HOST_hostperf_{ops}.txt"), &folded)
                 .expect("write folded stacks");
         }
-        rep.scenario(
-            Scenario::new(format!("hostperf/{ops}"))
-                .system(SystemKind::HyperLoop.label())
-                .seed(opts.seed)
-                .config("primitive", "gWRITE")
-                .config("payload_bytes", 1024u64)
-                .config("ops", ops)
-                .config("window", opts.window)
-                .latency(&r.latency)
-                .gauge("ops_per_sec", r.ops_per_sec())
-                .gauge("replica_cpu", r.replica_cpu)
-                .host(r.host.clone()),
-        );
+        let mut sc = Scenario::new(format!("hostperf/{ops}"))
+            .system(SystemKind::HyperLoop.label())
+            .seed(opts.seed)
+            .config("primitive", "gWRITE")
+            .config("payload_bytes", 1024u64)
+            .config("ops", ops)
+            .config("window", opts.window)
+            .latency(&r.latency)
+            .gauge("ops_per_sec", r.ops_per_sec())
+            .gauge("replica_cpu", r.replica_cpu)
+            .health(r.health.clone())
+            .series(r.series.clone())
+            .host(r.host.clone());
+        if let Some(tr) = &r.trace {
+            rep.write_trace(
+                &format!("TAIL_hostperf_{ops}.json"),
+                &tr.tail.to_artifact_json(&format!("hostperf/{ops}")),
+            )
+            .expect("trace sink writable");
+            sc = sc.tail(tr.tail.clone());
+        }
+        rep.scenario(sc);
     }
 }

@@ -15,9 +15,12 @@ use hyperloop::apps::install_group_maintenance;
 use hyperloop::{GroupClient, GroupConfig, GroupOp, HyperLoopGroup};
 use netsim::NodeId;
 use rnicsim::Payload;
+use simcore::simaudit::{HealthSummary, SeriesSummary};
 use simcore::simprof::{CounterSample, CounterSampler, StageAttribution};
+use simcore::tailprof::TailProfile;
 use simcore::{
-    HostMeter, HostStats, LatencySummary, MetricsRegistry, SimDuration, SimTime, TraceEvent, Tracer,
+    HealthMonitor, HostMeter, HostStats, LatencySummary, MetricsRegistry, SimDuration, SimTime,
+    SloConfig, TraceEvent, Tracer,
 };
 use std::rc::Rc;
 use testbed::{Cluster, ClusterConfig, ProcRef};
@@ -109,10 +112,13 @@ pub struct MicroTrace {
     pub dropped: u64,
     /// Ops evicted whole by ring overflow.
     pub dropped_ops: u64,
-    /// Counter-track samples taken on the watchdog cadence.
+    /// Counter-track samples taken on the watchdog cadence (cluster
+    /// counters plus the health monitor's `series.*` tracks).
     pub samples: Vec<CounterSample>,
     /// Per-stage latency attribution folded over every complete op.
     pub attribution: StageAttribution,
+    /// Tail-latency profile folded over the same trace ring.
+    pub tail: TailProfile,
 }
 
 /// Result of one microbenchmark run.
@@ -131,6 +137,11 @@ pub struct MicroResult {
     /// (fabric/NVM/scheduler/link counters plus the op-latency histogram
     /// under `bench.op_latency`).
     pub registry: MetricsRegistry,
+    /// Health/SLO summary of the run (violations left at zero; micro runs
+    /// carry no audit handle).
+    pub health: HealthSummary,
+    /// Windowed telemetry series sampled on the watchdog cadence.
+    pub series: SeriesSummary,
     /// Trace-derived profiling artifacts ([`MicroOpts::trace`] runs only).
     pub trace: Option<MicroTrace>,
     /// Host-side (wall-clock) statistics of the run: simulator ops/sec,
@@ -225,6 +236,13 @@ fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroR
     } else {
         None
     };
+    // Observer-only: recording/ticking never feeds the event queue or the
+    // RNG, and is on regardless of tracing, so traced and untraced runs
+    // carry identical health and series blocks.
+    let health = HealthMonitor::new(SloConfig::default());
+    if let Some(t) = &tracer {
+        health.set_tracer(t.clone());
+    }
     let (driver_proc, data_procs, is_hl): (ProcRef, Vec<ProcRef>, bool) = match kind {
         SystemKind::HyperLoop => {
             let mut group = cluster.setup_fabric(|ctx| {
@@ -246,7 +264,8 @@ fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroR
                 opts.window,
                 opts.warmup,
                 opts.pace,
-            );
+            )
+            .with_health(health.clone(), 0);
             let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(driver));
             cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
             (p, maint, true)
@@ -279,7 +298,8 @@ fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroR
                 opts.window,
                 opts.warmup,
                 opts.pace,
-            );
+            )
+            .with_health(health.clone(), 0);
             let p = cluster.add_app(client_node, ProcKind::Polling, Box::new(driver));
             cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_nanos(300));
             (p, chain.replica_procs, false)
@@ -295,6 +315,7 @@ fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroR
     loop {
         let next = sim.now() + SimDuration::from_millis(20);
         sim.run_until(next);
+        health.tick(sim.now());
         if let Some(s) = sampler.as_mut() {
             let mut reg = MetricsRegistry::new();
             sim.model.export_into(&mut reg, "cluster");
@@ -358,20 +379,29 @@ fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroR
     registry.set_gauge("bench.replica_cpu", replica_cpu);
     registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
 
+    // Stop the host meter before folding trace artifacts: the attribution
+    // and tail folds are post-run analysis, not simulation work, and must
+    // not be charged to the measured arm's wall clock (or the
+    // observability tax would bill fold time as tracing overhead).
+    let host = meter.finish(opts.ops, sim_total, sim.queue.stats());
+
+    let series = health.series();
     let trace = tracer.map(|t| {
         let events = t.events();
         let dropped = t.dropped();
         let attribution = StageAttribution::from_events(&events);
+        let tail = TailProfile::from_events(&events);
+        let mut samples = sampler.map(|s| s.samples().to_vec()).unwrap_or_default();
+        samples.extend(series.counter_samples());
         MicroTrace {
             events,
             dropped,
             dropped_ops: t.dropped_ops(),
-            samples: sampler.map(|s| s.samples().to_vec()).unwrap_or_default(),
+            samples,
             attribution,
+            tail,
         }
     });
-
-    let host = meter.finish(opts.ops, sim_total, sim.queue.stats());
 
     MicroResult {
         latency: hist.summary(),
@@ -379,6 +409,8 @@ fn run_primitive_once(kind: SystemKind, plan: OpPlan, opts: MicroOpts) -> MicroR
         ops: opts.ops,
         replica_cpu,
         registry,
+        health: health.summary(),
+        series,
         trace,
         host,
     }

@@ -18,8 +18,9 @@ use hyperloop::{
 };
 use netsim::NodeId;
 use rnicsim::Payload;
-use simcore::simaudit::{op_id_base, HealthSummary, Probe};
+use simcore::simaudit::{op_id_base, HealthSummary, Probe, SeriesSummary};
 use simcore::simprof::{chrome_trace_with_counters, CounterSampler};
+use simcore::tailprof::TailProfile;
 use simcore::{
     Audit, HealthMonitor, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry,
     SimDuration, SimRng, SimTime, SloConfig, Tracer,
@@ -91,6 +92,12 @@ pub struct MigrateResult {
     /// Audit/health summary: invariant violations (expected zero) plus
     /// per-shard SLO states and breach counts.
     pub health: HealthSummary,
+    /// Windowed telemetry series sampled at every health tick (always on,
+    /// so traced and untraced arms carry identical points).
+    pub series: SeriesSummary,
+    /// Tail-latency exemplars and root-cause attribution, folded from the
+    /// trace ring ([`MigrateOpts::trace`] arms only).
+    pub tail: Option<TailProfile>,
     /// The audit's structured violation report (deterministic JSON).
     pub audit_json: String,
     /// Chrome trace JSON with op spans *and* the sampled counter tracks
@@ -183,7 +190,7 @@ fn run_migrate_once(n_shards: u32, opts: MigrateOpts, observed: bool) -> Migrate
         Tracer::disabled().with_audit(audit.clone())
     };
     cluster.set_tracer(tracer.clone());
-    let mut health = HealthMonitor::new(SloConfig::default());
+    let health = HealthMonitor::new(SloConfig::default());
     health.set_tracer(tracer.clone());
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
@@ -290,6 +297,11 @@ fn run_migrate_once(n_shards: u32, opts: MigrateOpts, observed: bool) -> Migrate
                     Ok(()) => {
                         penned.push((key, sim.now()));
                         health.record_issue(sim.now(), mig_shard.0);
+                        health.record_pen_depth(
+                            sim.now(),
+                            mig_shard.0,
+                            set.pen_len(mig_shard) as u64,
+                        );
                         audit.probe(
                             sim.now(),
                             Probe::PenDepth {
@@ -392,6 +404,28 @@ fn run_migrate_once(n_shards: u32, opts: MigrateOpts, observed: bool) -> Migrate
     health.export_into(&mut registry, "health");
     let mut health_summary = health.summary();
     health_summary.violations = audit.violation_count();
+    let series = health.series();
+
+    // Stop the host meter before folding trace artifacts: attribution and
+    // tail folds are post-run analysis, not simulation work, and must not be
+    // charged to the measured arm's wall clock.
+    let host = meter.finish(opts.ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
+
+    // Fold the tail profile and merge the series counter tracks into the
+    // chrome export on traced arms; the timeline itself never changes.
+    let (chrome_trace, tail) = match sampler {
+        Some(s) => {
+            let events = tracer.events();
+            let tail = TailProfile::from_events(&events);
+            let mut samples = s.samples().to_vec();
+            samples.extend(series.counter_samples());
+            (
+                Some(chrome_trace_with_counters(&events, &samples)),
+                Some(tail),
+            )
+        }
+        None => (None, None),
+    };
 
     MigrateResult {
         shards: n_shards,
@@ -406,9 +440,11 @@ fn run_migrate_once(n_shards: u32, opts: MigrateOpts, observed: bool) -> Migrate
         epoch,
         registry,
         health: health_summary,
+        series,
+        tail,
         audit_json: audit.to_json(),
-        chrome_trace: sampler.map(|s| chrome_trace_with_counters(&tracer.events(), s.samples())),
-        host: meter.finish(opts.ops, sim.now().since(SimTime::ZERO), sim.queue.stats()),
+        chrome_trace,
+        host,
     }
 }
 
@@ -442,33 +478,41 @@ pub fn migrate(rep: &mut Report, quick: bool) {
             rep.write_trace(&format!("AUDIT_migrate_{n}.json"), &r.audit_json)
                 .expect("trace sink writable");
         }
-        rep.scenario(
-            Scenario::new(format!("migrate/{n}"))
-                .system("HyperLoop")
-                .seed(opts.seed)
-                .config("shards", n)
-                .config("replicas_per_shard", opts.replicas_per_shard)
-                .config("window", opts.window)
-                .config("ops", opts.ops)
-                .config("payload_bytes", opts.payload)
-                .config("penned", r.penned)
-                .config("epoch_after", r.epoch)
-                .latency(&r.latency)
-                .gauge("ops_per_sec", r.ops_per_sec())
-                .gauge("pause_us", r.pause.as_secs_f64() * 1e6)
-                .gauge("window_tput_ratio", r.dip)
-                .gauge("copy_bytes", r.copy_bytes as f64)
-                .gauge("replayed_ranges", r.replayed as f64)
-                // The exported migration.* counters, surfaced as
-                // first-class scenario measurements so downstream tooling
-                // does not have to dig through the registry snapshot.
-                .gauge("migration.pause_ns", r.pause.as_nanos() as f64)
-                .gauge("migration.copy_bytes", r.copy_bytes as f64)
-                .gauge("migration.replayed", r.replayed as f64)
-                .health(r.health.clone())
-                .host(r.host.clone())
-                .metrics(r.registry.clone()),
-        );
+        let mut sc = Scenario::new(format!("migrate/{n}"))
+            .system("HyperLoop")
+            .seed(opts.seed)
+            .config("shards", n)
+            .config("replicas_per_shard", opts.replicas_per_shard)
+            .config("window", opts.window)
+            .config("ops", opts.ops)
+            .config("payload_bytes", opts.payload)
+            .config("penned", r.penned)
+            .config("epoch_after", r.epoch)
+            .latency(&r.latency)
+            .gauge("ops_per_sec", r.ops_per_sec())
+            .gauge("pause_us", r.pause.as_secs_f64() * 1e6)
+            .gauge("window_tput_ratio", r.dip)
+            .gauge("copy_bytes", r.copy_bytes as f64)
+            .gauge("replayed_ranges", r.replayed as f64)
+            // The exported migration.* counters, surfaced as
+            // first-class scenario measurements so downstream tooling
+            // does not have to dig through the registry snapshot.
+            .gauge("migration.pause_ns", r.pause.as_nanos() as f64)
+            .gauge("migration.copy_bytes", r.copy_bytes as f64)
+            .gauge("migration.replayed", r.replayed as f64)
+            .health(r.health.clone())
+            .series(r.series.clone())
+            .host(r.host.clone())
+            .metrics(r.registry.clone());
+        if let Some(tail) = &r.tail {
+            rep.write_trace(
+                &format!("TAIL_migrate_{n}.json"),
+                &tail.to_artifact_json(&format!("migrate/{n}")),
+            )
+            .expect("trace sink writable");
+            sc = sc.tail(tail.clone());
+        }
+        rep.scenario(sc);
     }
 }
 
@@ -524,9 +568,11 @@ mod tests {
         assert_eq!(a.replayed, b.replayed);
         assert_eq!(a.copy_bytes, b.copy_bytes);
         assert_eq!(a.latency.p99, b.latency.p99);
-        // Same seed → byte-identical audit and health output.
+        // Same seed → byte-identical audit, health, and series output.
         assert_eq!(a.audit_json, b.audit_json);
         assert_eq!(a.health, b.health);
         assert_eq!(a.health.to_json(), b.health.to_json());
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.series.to_json(), b.series.to_json());
     }
 }

@@ -13,7 +13,8 @@ use baseline::{NaiveChain, NaiveClient, NaiveConfig, NaiveCosts};
 use cpusched::{ProcKind, SchedConfig};
 use docstore::{DocConfig, ReplicatedDocStore, WriteMode};
 use netsim::NodeId;
-use simcore::{Histogram, HostMeter, HostStats, SimDuration, SimTime};
+use simcore::simaudit::{HealthSummary, SeriesSummary};
+use simcore::{HealthMonitor, Histogram, HostMeter, HostStats, SimDuration, SimTime, SloConfig};
 use testbed::{Cluster, ClusterConfig, ProcRef};
 use ycsb::{Generator, Workload};
 
@@ -30,6 +31,10 @@ pub struct Fig2Point {
     pub ctx_per_sec: f64,
     /// Host-side (wall-clock) statistics of the run.
     pub host: HostStats,
+    /// Per-replica-set SLO health (each set tracked as its own shard).
+    pub health: HealthSummary,
+    /// Windowed telemetry series sampled on the run-loop cadence.
+    pub series: SeriesSummary,
 }
 
 /// The per-op CPU profile of a MongoDB-like replica: command parsing, BSON
@@ -73,6 +78,9 @@ pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64
         },
     );
 
+    // Observer-only SLO health: each replica set is tracked as its own
+    // shard, so the series block shows the per-set contention signature.
+    let health = HealthMonitor::new(SloConfig::default());
     let mut drivers: Vec<ProcRef> = Vec::new();
     for set in 0..replica_sets {
         // Rotate the chain across the servers (primary placement balance).
@@ -103,7 +111,8 @@ pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64
             SimDuration::from_micros(150),
             SimDuration::ZERO, // closed loop: YCSB at full throttle
         )
-        .with_concurrency(8); // YCSB client threads per set
+        .with_concurrency(8) // YCSB client threads per set
+        .with_health(health.clone(), set);
         let p = cluster.add_app(client_node, ProcKind::EventDriven, Box::new(d));
         cluster.bind_cq(p, client_node, ack_cq, SimDuration::from_micros(1));
         drivers.push(p);
@@ -114,6 +123,7 @@ pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64
     loop {
         let next = sim.now() + SimDuration::from_millis(50);
         sim.run_until(next);
+        health.tick(sim.now());
         let all_done = drivers
             .iter()
             .all(|&p| sim.model.app_mut::<DocDriver<NaiveClient>>(p).is_done());
@@ -144,6 +154,8 @@ pub fn run_fig2_point(replica_sets: u32, cores: u32, ops_per_set: u64, seed: u64
         latency: pooled.summary(),
         ctx_per_sec: ctx as f64 / elapsed,
         host,
+        health: health.summary(),
+        series: health.series(),
     }
 }
 
@@ -176,6 +188,8 @@ fn report_points(rep: &mut Report, fig: &str, seed: u64, points: &[Fig2Point], v
                 .config("cores", p.cores)
                 .latency(&p.latency)
                 .gauge("ctx_per_sec", p.ctx_per_sec)
+                .health(p.health.clone())
+                .series(p.series.clone())
                 .host(p.host.clone()),
         );
     }

@@ -9,8 +9,9 @@
 //! serializes all scenarios with [`simcore::jsonw::JsonWriter`].
 
 use simcore::jsonw::JsonWriter;
-use simcore::simaudit::HealthSummary;
+use simcore::simaudit::{HealthSummary, SeriesSummary};
 use simcore::simprof::{StageAttribution, TxnAttribution};
+use simcore::tailprof::TailProfile;
 use simcore::{HostStats, LatencySummary, MetricsRegistry, SimDuration};
 use std::path::{Path, PathBuf};
 
@@ -74,11 +75,13 @@ pub struct Scenario {
     latency: Option<LatencySummary>,
     gauges: Vec<(String, f64)>,
     health: Option<HealthSummary>,
+    series: Option<SeriesSummary>,
     host: Option<HostStats>,
     metrics: Option<MetricsRegistry>,
     attribution: Option<StageAttribution>,
     txn_breakdown: Option<TxnAttribution>,
     abort_causes: Option<Vec<(String, u64)>>,
+    tail: Option<TailProfile>,
 }
 
 impl Scenario {
@@ -128,6 +131,15 @@ impl Scenario {
         self
     }
 
+    /// Attaches the run's windowed telemetry series (per-shard
+    /// throughput, p50/p99, occupancy and pen depth sampled at
+    /// [`simcore::HealthMonitor::tick`] boundaries). Serialized as a
+    /// `series` block in the scenario JSON.
+    pub fn series(mut self, s: SeriesSummary) -> Self {
+        self.series = Some(s);
+        self
+    }
+
     /// Attaches the run's host-side (wall-clock) statistics: simulator
     /// ops/sec, events/sec, allocation volume and the observability tax.
     /// Serialized as a `host` block in the scenario JSON. Unlike every
@@ -168,6 +180,16 @@ impl Scenario {
     /// `total`.
     pub fn abort_causes(mut self, causes: Vec<(String, u64)>) -> Self {
         self.abort_causes = Some(causes);
+        self
+    }
+
+    /// Attaches the run's tail-latency profile (exact population
+    /// quantiles, closed-sum cause counters, slowest exemplars with
+    /// their excess breakdowns). Serialized as a `tail` block in the
+    /// scenario JSON; span-tree detail goes to the `TAIL_*.json`
+    /// artifact instead.
+    pub fn tail(mut self, t: TailProfile) -> Self {
+        self.tail = Some(t);
         self
     }
 }
@@ -322,6 +344,11 @@ impl Report {
                 h.write_fields(&mut w);
                 w.end_obj();
             }
+            if let Some(series) = &s.series {
+                w.begin_obj_field("series");
+                series.write_fields(&mut w);
+                w.end_obj();
+            }
             if let Some(h) = &s.host {
                 w.begin_obj_field("host");
                 h.write_fields(&mut w);
@@ -364,6 +391,11 @@ impl Report {
                     total += n;
                 }
                 w.field_u64("total", total);
+                w.end_obj();
+            }
+            if let Some(tail) = &s.tail {
+                w.begin_obj_field("tail");
+                tail.write_fields(&mut w);
                 w.end_obj();
             }
             w.end_obj();

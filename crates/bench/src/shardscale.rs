@@ -18,8 +18,9 @@ use crate::report::{us, Report, Scenario};
 use hyperloop::{GroupConfig, GroupOp, HyperLoopGroup, ShardId, ShardSet};
 use netsim::NodeId;
 use rnicsim::Payload;
-use simcore::simaudit::{op_id_base, HealthSummary, Probe};
+use simcore::simaudit::{op_id_base, HealthSummary, Probe, SeriesSummary};
 use simcore::simprof::{folded_stacks, CounterSampler, StageAttribution};
+use simcore::tailprof::TailProfile;
 use simcore::{
     Audit, HealthMonitor, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry,
     SimDuration, SimRng, SimTime, SloConfig, Tracer,
@@ -70,6 +71,8 @@ impl Default for ShardScaleOpts {
 pub struct ShardScaleTrace {
     /// Per-stage latency attribution over every completed op, all shards.
     pub attribution: StageAttribution,
+    /// Tail-latency profile folded over the same trace ring.
+    pub tail: TailProfile,
     /// Flamegraph collapsed-stack text (deterministic for a given seed).
     pub folded: String,
     /// Chrome trace JSON with interleaved counter tracks.
@@ -94,6 +97,8 @@ pub struct ShardScaleResult {
     /// Audit/health summary: invariant violations (expected zero) plus
     /// per-shard SLO states and breach counts.
     pub health: HealthSummary,
+    /// Windowed per-shard telemetry series sampled on the bench cadence.
+    pub series: SeriesSummary,
     /// The audit's structured violation report (deterministic JSON).
     pub audit_json: String,
     /// Trace-derived artifacts ([`ShardScaleOpts::trace`] arms only).
@@ -179,7 +184,7 @@ fn run_shardscale_once(n_shards: u32, opts: ShardScaleOpts, observed: bool) -> S
         Tracer::disabled().with_audit(audit.clone())
     };
     cluster.set_tracer(tracer.clone());
-    let mut health = HealthMonitor::new(SloConfig::default());
+    let health = HealthMonitor::new(SloConfig::default());
     health.set_tracer(tracer.clone());
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
@@ -325,23 +330,30 @@ fn run_shardscale_once(n_shards: u32, opts: ShardScaleOpts, observed: bool) -> S
     let mut health_summary = health.summary();
     health_summary.violations = audit.violation_count();
 
+    // Stop the host meter before folding trace artifacts: attribution,
+    // tail and flamegraph folds are post-run analysis, not simulation
+    // work, and must not be charged to the measured arm's wall clock.
+    let host = meter.finish(opts.ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
+
+    let series = health.series();
     let trace = opts.trace.then(|| {
         let t = &tracer;
         let events = t.events();
         let attribution = StageAttribution::from_events(&events);
+        let tail = TailProfile::from_events(&events);
         let folded = folded_stacks(&events, &format!("shardscale/{n_shards}"));
-        let chrome = simcore::simprof::chrome_trace_with_counters(
-            &events,
-            sampler.as_ref().map_or(&[][..], |s| s.samples()),
-        );
+        let mut samples = sampler
+            .as_ref()
+            .map_or(Vec::new(), |s| s.samples().to_vec());
+        samples.extend(series.counter_samples());
+        let chrome = simcore::simprof::chrome_trace_with_counters(&events, &samples);
         ShardScaleTrace {
             attribution,
+            tail,
             folded,
             chrome,
         }
     });
-
-    let host = meter.finish(opts.ops, sim.now().since(SimTime::ZERO), sim.queue.stats());
 
     ShardScaleResult {
         shards: n_shards,
@@ -351,6 +363,7 @@ fn run_shardscale_once(n_shards: u32, opts: ShardScaleOpts, observed: bool) -> S
         per_shard_acked,
         registry,
         health: health_summary,
+        series,
         audit_json: audit.to_json(),
         trace,
         host,
@@ -398,19 +411,27 @@ pub fn shardscale(rep: &mut Report, quick: bool) {
             .gauge("ops_per_sec", tput)
             .gauge("speedup", tput / base_tput)
             .health(r.health.clone())
+            .series(r.series.clone())
             .host(r.host.clone())
             .metrics(r.registry.clone());
         for (s, &acked) in r.per_shard_acked.iter().enumerate() {
             sc = sc.config(&format!("shard{s}_ops"), acked);
         }
         if let Some(tr) = &r.trace {
-            sc = sc.stage_attribution(tr.attribution.clone());
+            sc = sc
+                .stage_attribution(tr.attribution.clone())
+                .tail(tr.tail.clone());
             rep.write_trace(&format!("TRACE_shardscale_{n}.json"), &tr.chrome)
                 .expect("trace sink writable");
             rep.write_trace(&format!("FOLDED_shardscale_{n}.txt"), &tr.folded)
                 .expect("trace sink writable");
             rep.write_trace(&format!("AUDIT_shardscale_{n}.json"), &r.audit_json)
                 .expect("trace sink writable");
+            rep.write_trace(
+                &format!("TAIL_shardscale_{n}.json"),
+                &tr.tail.to_artifact_json(&format!("shardscale/{n}")),
+            )
+            .expect("trace sink writable");
         }
         rep.scenario(sc);
     }

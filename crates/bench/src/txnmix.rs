@@ -24,11 +24,12 @@ use hyperloop::txn::{CommitMode, TxnOutcome};
 use hyperloop::{GroupConfig, HyperLoopGroup, ReplicaHandle, ShardId};
 use kvstore::{KvConfig, KvTxn, ReplicatedKv, ShardedKv};
 use netsim::NodeId;
-use simcore::simaudit::op_id_base;
+use simcore::simaudit::{op_id_base, HealthSummary, SeriesSummary};
 use simcore::simprof::{txn_chrome_trace_with_counters, txn_folded_stacks, CounterSample};
+use simcore::tailprof::TailProfile;
 use simcore::{
-    Audit, CounterSampler, Histogram, HostMeter, HostStats, LatencySummary, MetricsRegistry,
-    SimTime, TraceEvent, Tracer, TxnAttribution,
+    Audit, CounterSampler, HealthMonitor, Histogram, HostMeter, HostStats, LatencySummary,
+    MetricsRegistry, SimTime, SloConfig, TraceEvent, Tracer, TxnAttribution,
 };
 use std::collections::HashMap;
 use testbed::cluster::drive;
@@ -107,6 +108,15 @@ pub struct TxnMixResult {
     /// Abort root-cause tally, `(label, count)` in the normative cause
     /// order; counts sum to `aborted`.
     pub abort_causes: Vec<(String, u64)>,
+    /// Per-shard SLO health over logical-transaction latency, each txn
+    /// tracked against its primary key's shard.
+    pub health: HealthSummary,
+    /// Windowed telemetry series sampled at every health tick (always on,
+    /// so traced and untraced arms carry identical points).
+    pub series: SeriesSummary,
+    /// Tail-latency exemplars and root-cause attribution, folded from the
+    /// trace ring (traced arms only).
+    pub tail: Option<TailProfile>,
 }
 
 impl TxnMixResult {
@@ -160,6 +170,15 @@ fn submit(kv: &mut ShardedKv<hyperloop::GroupClient>, op: &MixOp, f_base: u64) -
         }
     }
     kv.txn_commit(t)
+}
+
+/// The shard a logical transaction is tracked against for SLO health:
+/// the routed shard of its primary (first-read) key.
+fn primary_shard(kv: &ShardedKv<hyperloop::GroupClient>, op: &MixOp, f_base: u64) -> u32 {
+    match op {
+        MixOp::Read(k) | MixOp::Rmw(k, _) => kv.route(f_base + k).0,
+        MixOp::Transfer(from, _, _) => kv.route(*from).0,
+    }
 }
 
 /// Distinct shards `op` touches.
@@ -223,6 +242,12 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
     }
     .with_audit(audit.clone());
     cluster.set_tracer(tracer.clone());
+    // Per-shard SLO health is always on (observer-only): logical
+    // transactions count against their primary key's shard, so the txnmix
+    // scenarios carry the same health + series blocks as the other figure
+    // runners, identical whether or not the trace buffer is kept.
+    let health = HealthMonitor::new(SloConfig::default());
+    health.set_tracer(tracer.clone());
 
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
@@ -311,8 +336,10 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
         // Fill the concurrency window with fresh logical transactions.
         while outstanding.len() < opts.concurrency && submitted < opts.txns {
             let op = next_op(&mut fgen, &mut tgen);
+            let shard = primary_shard(&kv, &op, f_base);
             let id = submit(&mut kv, &op, f_base);
             outstanding.insert(id, (op, sim.now(), 0));
+            health.record_issue(sim.now(), shard);
             submitted += 1;
         }
         sim.run();
@@ -342,7 +369,9 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
             let (op, t0, attempts) = outstanding.remove(&id).expect("unknown txn completed");
             match outcome {
                 TxnOutcome::Committed => {
-                    hist.record(sim.now().since(t0));
+                    let lat = sim.now().since(t0);
+                    hist.record(lat);
+                    health.record_ack(sim.now(), primary_shard(&kv, &op, f_base), lat);
                     span_sum += span_of(&kv, &op, f_base);
                     committed += 1;
                 }
@@ -357,6 +386,7 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
                 }
             }
         }
+        health.tick(sim.now());
         // Keep every chain's pre-posted descriptor runway topped up.
         drive(&mut sim, |ctx| {
             for s in 0..opts.shards as usize {
@@ -388,6 +418,23 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
     registry.merge_histogram("bench.txn_latency", &hist);
     registry.set_gauge("bench.elapsed_secs", elapsed.as_secs_f64());
     audit.export_into(&mut registry, "audit");
+    health.export_into(&mut registry, "health");
+    let mut health_summary = health.summary();
+    health_summary.violations = audit.violation_count();
+    let series = health.series();
+
+    // Stop the host meter before folding trace artifacts: attribution and
+    // tail folds are post-run analysis, not simulation work, and must not be
+    // charged to the measured arm's wall clock.
+    let host = meter.finish(committed, sim.now().since(SimTime::ZERO), sim.queue.stats());
+
+    let events = tracer.events();
+    let tail = traced.then(|| TailProfile::from_events(&events));
+    let mut samples = sampler.samples().to_vec();
+    if traced {
+        // Series counter tracks ride along in the Perfetto export.
+        samples.extend(series.counter_samples());
+    }
 
     TxnMixResult {
         mode,
@@ -400,14 +447,17 @@ fn run_txnmix_once(mode: CommitMode, opts: TxnMixOpts, observed: bool) -> TxnMix
         registry,
         audit_json: audit.to_json(),
         violations: audit.violation_count(),
-        host: meter.finish(committed, sim.now().since(SimTime::ZERO), sim.queue.stats()),
-        events: tracer.events(),
-        samples: sampler.samples().to_vec(),
+        host,
+        events,
+        samples,
         abort_causes: mgr
             .abort_cause_counts()
             .iter()
             .map(|&(label, n)| (label.to_string(), n))
             .collect(),
+        health: health_summary,
+        series,
+        tail,
     }
 }
 
@@ -465,11 +515,21 @@ pub fn txnmix(rep: &mut Report, quick: bool) {
                 .gauge("abort_ratio", r.abort_ratio())
                 .gauge("lock_retries", r.lock_retries as f64)
                 .gauge("mean_span", r.mean_span)
+                .health(r.health.clone())
+                .series(r.series.clone())
                 .host(r.host.clone())
                 .metrics(r.registry.clone())
                 .abort_causes(r.abort_causes.clone());
             if opts.trace {
                 sc = sc.txn_breakdown(TxnAttribution::from_events(&r.events));
+            }
+            if let Some(tail) = &r.tail {
+                rep.write_trace(
+                    &format!("TAIL_txnmix_{label}_theta{theta}.json"),
+                    &tail.to_artifact_json(&name),
+                )
+                .expect("trace sink writable");
+                sc = sc.tail(tail.clone());
             }
             rep.scenario(sc);
             rep.write_trace(
@@ -594,6 +654,10 @@ mod tests {
             base.audit_json, traced.audit_json,
             "tracing must not perturb the timeline"
         );
+        // Health and the windowed series are trace-independent.
+        assert_eq!(base.health, traced.health);
+        assert_eq!(base.series, traced.series);
+        assert_eq!(base.series.to_json(), traced.series.to_json());
     }
 
     #[test]

@@ -140,6 +140,12 @@ impl JsonWriter {
         self.out.push_str(&v.to_string());
     }
 
+    /// Writes a signed integer field (negative values carry the sign).
+    pub fn field_i64(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+    }
+
     /// Writes a float field (`null` for non-finite values).
     pub fn field_f64(&mut self, k: &str, v: f64) {
         self.key(k);
@@ -161,6 +167,12 @@ impl JsonWriter {
 
     /// Writes an unsigned integer array element.
     pub fn u64_elem(&mut self, v: u64) {
+        self.comma();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a signed integer array element.
+    pub fn i64_elem(&mut self, v: i64) {
         self.comma();
         self.out.push_str(&v.to_string());
     }

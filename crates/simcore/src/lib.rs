@@ -18,7 +18,10 @@
 //! * [`simprof`] — critical-path aggregation over trace streams, folded
 //!   flamegraph stacks and Perfetto counter tracks.
 //! * [`simaudit`] — online invariant auditors over the trace stream plus
-//!   streaming per-shard health/SLO tracking.
+//!   streaming per-shard health/SLO tracking and windowed telemetry series.
+//! * [`tailprof`] — tail-latency exemplars over the trace ring: ops past
+//!   the population p99 with per-stage excess breakdowns and a normative
+//!   single-cause root-cause classification.
 //! * [`hostprof`] — wall-clock self-profiling of the simulator itself:
 //!   scoped host timers with folded-stack export, allocation counters and
 //!   the per-run `host` statistics block (never perturbs the sim timeline).
@@ -71,16 +74,21 @@ pub mod simaudit;
 pub mod simprof;
 pub mod simtrace;
 pub mod stats;
+pub mod tailprof;
 pub mod time;
 
 pub use hostprof::{HostMeter, HostProf, HostStats};
 pub use model::{Model, Outbox, Simulation};
 pub use queue::{EventQueue, QueueStats};
 pub use rng::SimRng;
-pub use simaudit::{Audit, Auditor, HealthMonitor, HealthState, Probe, SloConfig, Violation};
+pub use simaudit::{
+    Audit, Auditor, HealthMonitor, HealthState, MetricSeries, Probe, SeriesPoint, SeriesSummary,
+    SloConfig, Violation,
+};
 pub use simprof::{CounterSampler, StageAttribution, TxnAttribution};
 pub use simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
 pub use stats::{Counter, Histogram, LatencySummary};
+pub use tailprof::{TailCause, TailExemplar, TailProfile};
 pub use time::{SimDuration, SimTime};
 
 /// One-stop imports for simulation code.
@@ -90,9 +98,10 @@ pub mod prelude {
     pub use crate::model::{Model, Outbox, Simulation};
     pub use crate::queue::{EventQueue, QueueStats};
     pub use crate::rng::SimRng;
-    pub use crate::simaudit::{Audit, HealthMonitor, HealthState, Probe, SloConfig};
+    pub use crate::simaudit::{Audit, HealthMonitor, HealthState, Probe, SeriesSummary, SloConfig};
     pub use crate::simprof::{CounterSampler, StageAttribution, TxnAttribution};
     pub use crate::simtrace::{MetricsRegistry, TraceEvent, TraceKind, Tracer};
     pub use crate::stats::{Counter, Histogram, LatencySummary};
+    pub use crate::tailprof::{TailCause, TailProfile};
     pub use crate::time::{SimDuration, SimTime};
 }

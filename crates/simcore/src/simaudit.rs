@@ -1103,6 +1103,15 @@ struct ShardTrack {
     issued: u64,
     last_progress: SimTime,
     breaches: u64,
+    /// First time the shard was seen (throughput interval anchor).
+    born: SimTime,
+    /// Latest holding-pen depth reported via
+    /// [`HealthMonitor::record_pen_depth`].
+    pen: u64,
+    /// `(time, cumulative acks)` of the previous series sample.
+    last_sample: Option<(SimTime, u64)>,
+    /// Windowed telemetry ring, oldest point evicted past the cap.
+    series: VecDeque<SeriesPoint>,
 }
 
 impl ShardTrack {
@@ -1115,6 +1124,10 @@ impl ShardTrack {
             issued: 0,
             last_progress: at,
             breaches: 0,
+            born: at,
+            pen: 0,
+            last_sample: None,
+            series: VecDeque::new(),
         }
     }
 
@@ -1201,6 +1214,127 @@ impl HealthSummary {
     }
 }
 
+/// One sampled point of a shard's windowed telemetry series, taken at a
+/// [`HealthMonitor::tick`] boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// Sample time (the tick time).
+    pub at: SimTime,
+    /// Acks per second over the interval since the previous point.
+    pub ops_per_sec: f64,
+    /// Sliding-window ack-latency p50 at sample time.
+    pub p50: SimDuration,
+    /// Sliding-window ack-latency p99 at sample time.
+    pub p99: SimDuration,
+    /// Window occupancy: ops issued but not yet acked at sample time.
+    pub inflight: u64,
+    /// Latest holding-pen depth reported via
+    /// [`HealthMonitor::record_pen_depth`] (0 when never reported).
+    pub pen: u64,
+}
+
+/// One shard's windowed telemetry series (time-ascending, strictly
+/// increasing timestamps; the ring evicts the oldest point past the cap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSeries {
+    /// Shard index.
+    pub shard: u32,
+    /// The sampled points, oldest first.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Serialisable `series` block for bench reports: per-shard windowed
+/// telemetry sampled at [`HealthMonitor::tick`] boundaries — the substrate
+/// an SLO-driven placement planner watches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesSummary {
+    /// The monitor's sliding-window bucket width (context for readers).
+    pub bucket: SimDuration,
+    /// Per-shard series, shard-ordered.
+    pub shards: Vec<MetricSeries>,
+}
+
+impl SeriesSummary {
+    /// Writes the block as fields of an already-open JSON object.
+    pub fn write_fields(&self, w: &mut JsonWriter) {
+        w.field_u64("bucket_ns", self.bucket.as_nanos());
+        w.begin_arr_field("shards");
+        for s in &self.shards {
+            w.begin_obj();
+            w.field_u64("shard", s.shard as u64);
+            w.begin_arr_field("points");
+            for p in &s.points {
+                w.begin_obj();
+                w.field_u64("t_ns", p.at.as_nanos());
+                w.field_f64("ops_per_sec", p.ops_per_sec);
+                w.field_u64("p50_ns", p.p50.as_nanos());
+                w.field_u64("p99_ns", p.p99.as_nanos());
+                w.field_u64("inflight", p.inflight);
+                w.field_u64("pen", p.pen);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_arr();
+    }
+
+    /// The block as a standalone JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        self.write_fields(&mut w);
+        w.end_obj();
+        w.finish()
+    }
+
+    /// The series as Perfetto counter-track samples
+    /// (`series.shard{N}.{ops_per_sec,p99_ns,inflight,pen}`), ready to
+    /// append to a [`crate::simprof::chrome_trace_with_counters`] export.
+    pub fn counter_samples(&self) -> Vec<crate::simprof::CounterSample> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            for p in &s.points {
+                for (key, value) in [
+                    ("ops_per_sec", p.ops_per_sec),
+                    ("p99_ns", p.p99.as_nanos() as f64),
+                    ("inflight", p.inflight as f64),
+                    ("pen", p.pen as f64),
+                ] {
+                    out.push(crate::simprof::CounterSample {
+                        at: p.at,
+                        track: format!("series.shard{}.{key}", s.shard),
+                        value,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Default cap on retained series points per shard; the ring evicts the
+/// oldest point beyond it.
+pub const SERIES_CAP: usize = 512;
+
+#[derive(Debug)]
+struct HealthInner {
+    slo: SloConfig,
+    tracer: Tracer,
+    shards: BTreeMap<u32, ShardTrack>,
+    events: Vec<HealthEvent>,
+    series_cap: usize,
+}
+
+impl HealthInner {
+    fn track(&mut self, shard: u32, at: SimTime) -> &mut ShardTrack {
+        let buckets = self.slo.buckets;
+        self.shards
+            .entry(shard)
+            .or_insert_with(|| ShardTrack::new(buckets, at))
+    }
+}
+
 /// Streaming per-shard health monitor.
 ///
 /// Benches feed it issues and acks ([`HealthMonitor::record_issue`],
@@ -1209,13 +1343,18 @@ impl HealthSummary {
 /// [`SloConfig`] over a sliding window (ring of histograms) and emits
 /// every state transition as a [`TraceKind::HealthBreach`] instant
 /// through the attached tracer — Perfetto shows breaches inline with the
-/// op spans and counter tracks.
-#[derive(Debug)]
+/// op spans and counter tracks. Each tick also samples one
+/// [`SeriesPoint`] per shard (throughput, window p50/p99, occupancy, pen
+/// depth) into a bounded [`MetricSeries`] ring.
+///
+/// The monitor is a cheaply clonable shared handle (like [`Tracer`] and
+/// [`Audit`]): drivers embedded in the simulated cluster record
+/// issues/acks through their clone while the bench loop ticks and
+/// summarises through another. It is a pure observer — it never feeds
+/// the event queue or the RNG.
+#[derive(Debug, Clone)]
 pub struct HealthMonitor {
-    slo: SloConfig,
-    tracer: Tracer,
-    shards: BTreeMap<u32, ShardTrack>,
-    events: Vec<HealthEvent>,
+    inner: Rc<RefCell<HealthInner>>,
 }
 
 impl HealthMonitor {
@@ -1227,58 +1366,65 @@ impl HealthMonitor {
             "health bucket width must be non-zero"
         );
         HealthMonitor {
-            slo,
-            tracer: Tracer::disabled(),
-            shards: BTreeMap::new(),
-            events: Vec::new(),
+            inner: Rc::new(RefCell::new(HealthInner {
+                slo,
+                tracer: Tracer::disabled(),
+                shards: BTreeMap::new(),
+                events: Vec::new(),
+                series_cap: SERIES_CAP,
+            })),
         }
     }
 
     /// Attaches a tracer; subsequent state transitions emit
     /// [`TraceKind::HealthBreach`] instants through it.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
     }
 
     /// The configured SLO thresholds.
-    pub fn slo(&self) -> &SloConfig {
-        &self.slo
-    }
-
-    fn track(&mut self, shard: u32, at: SimTime) -> &mut ShardTrack {
-        let buckets = self.slo.buckets;
-        self.shards
-            .entry(shard)
-            .or_insert_with(|| ShardTrack::new(buckets, at))
+    pub fn slo(&self) -> SloConfig {
+        self.inner.borrow().slo
     }
 
     /// Records one issued op on `shard` (for stall detection).
-    pub fn record_issue(&mut self, at: SimTime, shard: u32) {
-        self.track(shard, at).issued += 1;
+    pub fn record_issue(&self, at: SimTime, shard: u32) {
+        self.inner.borrow_mut().track(shard, at).issued += 1;
     }
 
     /// Records one acked op on `shard` with its end-to-end latency.
-    pub fn record_ack(&mut self, at: SimTime, shard: u32, latency: SimDuration) {
-        let idx = at.as_nanos() / self.slo.bucket.as_nanos();
-        let tr = self.track(shard, at);
+    pub fn record_ack(&self, at: SimTime, shard: u32, latency: SimDuration) {
+        let mut inner = self.inner.borrow_mut();
+        let idx = at.as_nanos() / inner.slo.bucket.as_nanos();
+        let tr = inner.track(shard, at);
         tr.acks += 1;
         tr.last_progress = at;
         tr.overall.record(latency);
         tr.record(idx, latency);
     }
 
+    /// Records `shard`'s current holding-pen depth; the latest value is
+    /// sampled into the shard's series at the next [`HealthMonitor::tick`].
+    pub fn record_pen_depth(&self, at: SimTime, shard: u32, depth: u64) {
+        self.inner.borrow_mut().track(shard, at).pen = depth;
+    }
+
     /// Re-evaluates every shard's state at `at`, recording transitions
-    /// and emitting breach instants. Call on the bench sampling cadence.
-    pub fn tick(&mut self, at: SimTime) {
-        let cur_idx = at.as_nanos() / self.slo.bucket.as_nanos();
+    /// and emitting breach instants, then samples one series point per
+    /// shard. Call on the bench sampling cadence. Repeated ticks at the
+    /// same instant re-evaluate state but sample no duplicate point, so
+    /// per-shard series timestamps are strictly increasing.
+    pub fn tick(&self, at: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        let cur_idx = at.as_nanos() / inner.slo.bucket.as_nanos();
+        let (slo, series_cap) = (inner.slo, inner.series_cap);
         let mut transitions = Vec::new();
-        for (&shard, tr) in &mut self.shards {
-            let next = if tr.issued > tr.acks && at.since(tr.last_progress) > self.slo.stall_after {
+        for (&shard, tr) in &mut inner.shards {
+            let next = if tr.issued > tr.acks && at.since(tr.last_progress) > slo.stall_after {
                 HealthState::Stalled
             } else {
                 let win = tr.window(cur_idx);
-                if !win.is_empty() && (win.p99() > self.slo.p99_max || win.p50() > self.slo.p50_max)
-                {
+                if !win.is_empty() && (win.p99() > slo.p99_max || win.p50() > slo.p50_max) {
                     HealthState::Degraded
                 } else {
                     HealthState::Healthy
@@ -1296,9 +1442,27 @@ impl HealthMonitor {
                 });
                 tr.state = next;
             }
+            let (prev_at, prev_acks) = tr.last_sample.unwrap_or((tr.born, 0));
+            if at > prev_at {
+                let win = tr.window(cur_idx);
+                let ops_per_sec =
+                    (tr.acks - prev_acks) as f64 / at.since(prev_at).as_secs_f64().max(1e-12);
+                tr.last_sample = Some((at, tr.acks));
+                if tr.series.len() >= series_cap {
+                    tr.series.pop_front();
+                }
+                tr.series.push_back(SeriesPoint {
+                    at,
+                    ops_per_sec,
+                    p50: win.p50(),
+                    p99: win.p99(),
+                    inflight: tr.issued.saturating_sub(tr.acks),
+                    pen: tr.pen,
+                });
+            }
         }
         for t in transitions {
-            self.tracer.emit(
+            inner.tracer.emit(
                 t.at,
                 NO_NODE,
                 NO_OP,
@@ -1307,19 +1471,21 @@ impl HealthMonitor {
                     state: t.to.code(),
                 },
             );
-            self.events.push(t);
+            inner.events.push(t);
         }
     }
 
     /// All recorded state transitions, in detection order.
-    pub fn events(&self) -> &[HealthEvent] {
-        &self.events
+    pub fn events(&self) -> Vec<HealthEvent> {
+        self.inner.borrow().events.clone()
     }
 
     /// Current state of `shard` ([`HealthState::Healthy`] if the shard
     /// has never been seen).
     pub fn state(&self, shard: u32) -> HealthState {
-        self.shards
+        self.inner
+            .borrow()
+            .shards
             .get(&shard)
             .map_or(HealthState::Healthy, |t| t.state)
     }
@@ -1327,8 +1493,9 @@ impl HealthMonitor {
     /// Snapshot of the health block (with `violations` left at zero for
     /// the caller to fill from its [`Audit`] handle).
     pub fn summary(&self) -> HealthSummary {
+        let inner = self.inner.borrow();
         let mut out = HealthSummary::default();
-        for (&shard, tr) in &self.shards {
+        for (&shard, tr) in &inner.shards {
             out.breaches += tr.breaches;
             out.shards.push(ShardHealth {
                 shard,
@@ -1342,13 +1509,31 @@ impl HealthMonitor {
         out
     }
 
+    /// Snapshot of the windowed telemetry series of every shard (the
+    /// `series` block of bench reports).
+    pub fn series(&self) -> SeriesSummary {
+        let inner = self.inner.borrow();
+        SeriesSummary {
+            bucket: inner.slo.bucket,
+            shards: inner
+                .shards
+                .iter()
+                .map(|(&shard, tr)| MetricSeries {
+                    shard,
+                    points: tr.series.iter().cloned().collect(),
+                })
+                .collect(),
+        }
+    }
+
     /// Snapshots health state into a registry under `prefix` using only
     /// absolute writes, so re-export is idempotent:
     /// `{prefix}.breaches` plus per-shard `state` (gauge, numeric code),
     /// `acks`, `breaches`, `p50_ns` and `p99_ns`.
     pub fn export_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let inner = self.inner.borrow();
         let mut total = 0;
-        for (&shard, tr) in &self.shards {
+        for (&shard, tr) in &inner.shards {
             total += tr.breaches;
             reg.set_gauge(
                 &format!("{prefix}.shard{shard}.state"),
@@ -1750,7 +1935,7 @@ mod tests {
         assert!(t2.audit().is_enabled());
     }
 
-    fn acked(h: &mut HealthMonitor, ns: u64, shard: u32, lat_ns: u64) {
+    fn acked(h: &HealthMonitor, ns: u64, shard: u32, lat_ns: u64) {
         h.record_issue(SimTime::from_nanos(ns.saturating_sub(lat_ns)), shard);
         h.record_ack(
             SimTime::from_nanos(ns),
@@ -1771,18 +1956,18 @@ mod tests {
 
     #[test]
     fn health_monitor_classifies_and_recovers() {
-        let mut h = HealthMonitor::new(test_slo());
+        let h = HealthMonitor::new(test_slo());
         let tracer = Tracer::enabled(64);
         h.set_tracer(tracer.clone());
 
-        acked(&mut h, 1000, 0, 100);
+        acked(&h, 1000, 0, 100);
         h.tick(SimTime::from_nanos(1000));
         assert_eq!(h.state(0), HealthState::Healthy);
         assert!(h.events().is_empty());
 
         // Latency blows the p50 SLO: Degraded, with a breach instant.
-        acked(&mut h, 2000, 0, 800);
-        acked(&mut h, 2100, 0, 800);
+        acked(&h, 2000, 0, 800);
+        acked(&h, 2100, 0, 800);
         h.tick(SimTime::from_nanos(2200));
         assert_eq!(h.state(0), HealthState::Degraded);
         assert_eq!(h.events().len(), 1);
@@ -1802,7 +1987,7 @@ mod tests {
         );
 
         // The window slides past the slow acks: recovery to Healthy.
-        acked(&mut h, 9000, 0, 100);
+        acked(&h, 9000, 0, 100);
         h.tick(SimTime::from_nanos(9000));
         assert_eq!(h.state(0), HealthState::Healthy);
         assert_eq!(h.events().len(), 2);
@@ -1820,10 +2005,10 @@ mod tests {
 
     #[test]
     fn health_export_and_summary_are_idempotent_and_deterministic() {
-        let mut h = HealthMonitor::new(test_slo());
-        acked(&mut h, 1000, 0, 100);
-        acked(&mut h, 1100, 1, 800);
-        acked(&mut h, 1200, 1, 800);
+        let h = HealthMonitor::new(test_slo());
+        acked(&h, 1000, 0, 100);
+        acked(&h, 1100, 1, 800);
+        acked(&h, 1200, 1, 800);
         h.tick(SimTime::from_nanos(1300));
         assert_eq!(h.state(1), HealthState::Degraded);
 
@@ -1852,15 +2037,142 @@ mod tests {
 
     #[test]
     fn health_breach_instant_survives_chrome_export() {
-        let mut h = HealthMonitor::new(test_slo());
+        let h = HealthMonitor::new(test_slo());
         let tracer = Tracer::enabled(16);
         h.set_tracer(tracer.clone());
-        acked(&mut h, 1000, 2, 800);
-        acked(&mut h, 1050, 2, 800);
+        acked(&h, 1000, 2, 800);
+        acked(&h, 1050, 2, 800);
         h.tick(SimTime::from_nanos(1100));
         let json = crate::simtrace::chrome_trace_json(&tracer.events());
         assert!(json.contains("\"name\":\"health_breach\""));
         assert!(json.contains("\"shard\":2"));
+    }
+
+    /// The sliding-window ring must actually evict old samples: with no
+    /// new acks at all, a degraded shard turns healthy once the window
+    /// slides past the slow samples.
+    #[test]
+    fn health_window_evicts_old_samples() {
+        let h = HealthMonitor::new(test_slo());
+        acked(&h, 1000, 0, 800);
+        acked(&h, 1100, 0, 800);
+        h.tick(SimTime::from_nanos(1200));
+        assert_eq!(h.state(0), HealthState::Degraded);
+
+        // No new acks, issued == acks (no stall): only ring eviction can
+        // change the verdict. 4 buckets × 1000 ns have slid past t=1100.
+        h.tick(SimTime::from_nanos(9000));
+        assert_eq!(h.state(0), HealthState::Healthy);
+
+        // The overall histogram still remembers the slow acks — only the
+        // *window* evicted.
+        let s = h.summary();
+        assert_eq!(s.shards[0].acks, 2);
+        assert!(s.shards[0].p50 >= SimDuration::from_nanos(700));
+    }
+
+    /// A full degraded→healthy→degraded cycle records each edge exactly
+    /// once, no matter how many ticks happen while a state holds.
+    #[test]
+    fn recovery_cycle_emits_each_edge_exactly_once() {
+        let h = HealthMonitor::new(test_slo());
+        acked(&h, 1000, 0, 800);
+        acked(&h, 1100, 0, 800);
+        for ns in [1200, 1300, 1400] {
+            h.tick(SimTime::from_nanos(ns));
+        }
+        assert_eq!(h.events().len(), 1, "degrade edge emitted once");
+
+        acked(&h, 9000, 0, 100);
+        for ns in [9100, 9200, 9300] {
+            h.tick(SimTime::from_nanos(ns));
+        }
+        assert_eq!(h.events().len(), 2, "recovery edge emitted once");
+
+        acked(&h, 10_000, 0, 800);
+        acked(&h, 10_100, 0, 800);
+        for ns in [10_200, 10_300] {
+            h.tick(SimTime::from_nanos(ns));
+        }
+        let evs = h.events();
+        assert_eq!(evs.len(), 3, "second degrade edge emitted once");
+        let edges: Vec<(HealthState, HealthState)> = evs.iter().map(|e| (e.from, e.to)).collect();
+        assert_eq!(
+            edges,
+            vec![
+                (HealthState::Healthy, HealthState::Degraded),
+                (HealthState::Degraded, HealthState::Healthy),
+                (HealthState::Healthy, HealthState::Degraded),
+            ]
+        );
+        assert_eq!(
+            h.summary().shards[0].breaches,
+            2,
+            "only degrade edges count"
+        );
+    }
+
+    /// Every tick samples one series point per shard; timestamps are
+    /// strictly increasing even under same-instant re-ticks, and pen
+    /// depth and occupancy ride along.
+    #[test]
+    fn tick_samples_series_with_strict_timestamps() {
+        let h = HealthMonitor::new(test_slo());
+        h.record_issue(SimTime::from_nanos(500), 0);
+        acked(&h, 1000, 0, 100);
+        h.record_pen_depth(SimTime::from_nanos(1100), 0, 3);
+        h.tick(SimTime::from_nanos(2000));
+        h.tick(SimTime::from_nanos(2000)); // same instant: no new point
+        acked(&h, 3000, 0, 100);
+        h.tick(SimTime::from_nanos(4000));
+
+        let s = h.series();
+        assert_eq!(s.bucket, test_slo().bucket);
+        assert_eq!(s.shards.len(), 1);
+        let pts = &s.shards[0].points;
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].at < pts[1].at, "strictly increasing timestamps");
+        assert_eq!(pts[0].inflight, 1, "one op issued, never acked");
+        assert_eq!(pts[0].pen, 3);
+        // First interval is anchored at the shard's first-seen time
+        // (500 ns): 1 ack over 1.5 µs.
+        assert!((pts[0].ops_per_sec - 1.0 / 1.5e-6).abs() < 1.0);
+        // Second interval: 1 ack over 2 µs.
+        assert!((pts[1].ops_per_sec - 1.0 / 2.0e-6).abs() < 1.0);
+
+        let json = s.to_json();
+        for key in [
+            "bucket_ns",
+            "t_ns",
+            "ops_per_sec",
+            "p50_ns",
+            "p99_ns",
+            "inflight",
+            "pen",
+        ] {
+            assert!(json.contains(key), "series json missing {key}: {json}");
+        }
+        let tracks = s.counter_samples();
+        assert!(tracks
+            .iter()
+            .any(|c| c.track == "series.shard0.ops_per_sec"));
+        assert!(tracks.iter().any(|c| c.track == "series.shard0.pen"));
+    }
+
+    /// The series ring is bounded: past the cap the oldest point goes.
+    #[test]
+    fn series_ring_evicts_oldest_points() {
+        let h = HealthMonitor::new(test_slo());
+        acked(&h, 100, 0, 50);
+        let total = SERIES_CAP + 40;
+        for i in 0..total {
+            h.tick(SimTime::from_nanos(1000 * (i as u64 + 1)));
+        }
+        let pts = &h.series().shards[0].points[..];
+        assert_eq!(pts.len(), SERIES_CAP);
+        // The first 40 points were evicted.
+        assert_eq!(pts[0].at, SimTime::from_nanos(1000 * 41));
+        assert!(pts.windows(2).all(|w| w[0].at < w[1].at));
     }
 
     /// Drives one well-formed txn through the probe lifecycle.

@@ -201,7 +201,7 @@ impl StageAttribution {
 
 /// Strips the `@nNODE` suffix off a stage label (`"wait_release@n2"` →
 /// `"wait_release"`).
-fn stage_kind(label: &str) -> &str {
+pub(crate) fn stage_kind(label: &str) -> &str {
     label.rsplit_once("@n").map_or(label, |(k, _)| k)
 }
 
@@ -209,7 +209,7 @@ fn stage_kind(label: &str) -> &str {
 /// (stable, so ties keep emission order — same contract as
 /// `simtrace::events_for`). Bulk folds over every op are O(n log n) this
 /// way instead of O(ops × n) re-filtering.
-fn events_by_op(events: &[TraceEvent]) -> BTreeMap<u64, Vec<TraceEvent>> {
+pub(crate) fn events_by_op(events: &[TraceEvent]) -> BTreeMap<u64, Vec<TraceEvent>> {
     let mut map: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
     for e in events {
         if e.op != NO_OP {
@@ -228,7 +228,7 @@ fn events_by_op(events: &[TraceEvent]) -> BTreeMap<u64, Vec<TraceEvent>> {
 /// with descriptor-fetch events emitted long before the client issues the
 /// op; those are setup cost, not op latency, and are cut here. Returns
 /// `None` when the stream never captured the op's issue or its ack.
-fn issue_ack_window(evs: &[TraceEvent]) -> Option<&[TraceEvent]> {
+pub(crate) fn issue_ack_window(evs: &[TraceEvent]) -> Option<&[TraceEvent]> {
     let first = evs
         .iter()
         .position(|e| matches!(e.kind, TraceKind::OpIssue))?;
@@ -429,16 +429,16 @@ pub fn per_op_histogram(
 /// One transaction's phase windows, gathered from its
 /// [`TraceKind::TxnPhaseBegin`]/[`TraceKind::TxnPhaseEnd`] events.
 #[derive(Debug, Clone)]
-struct TxnPhaseStream {
-    mode: u8,
+pub(crate) struct TxnPhaseStream {
+    pub(crate) mode: u8,
     /// `(at, is_begin, phase)` in time order (stable, emission-tie order).
-    evs: Vec<(SimTime, bool, u8)>,
+    pub(crate) evs: Vec<(SimTime, bool, u8)>,
 }
 
 /// Groups a stream's txn phase events by txn id, each txn's events
 /// time-sorted (stable). The txn id comes from the event payload, never
 /// from [`TraceEvent::op`], so op-id reuse can't fold foreign events in.
-fn txn_phase_streams(events: &[TraceEvent]) -> BTreeMap<u64, TxnPhaseStream> {
+pub(crate) fn txn_phase_streams(events: &[TraceEvent]) -> BTreeMap<u64, TxnPhaseStream> {
     let mut map: BTreeMap<u64, TxnPhaseStream> = BTreeMap::new();
     for e in events {
         let (txn, is_begin, mode, phase) = match e.kind {

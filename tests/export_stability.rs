@@ -62,7 +62,7 @@ fn exporting_twice_is_idempotent() {
     let audit = Audit::standard();
     let tracer = Tracer::disabled().with_audit(audit.clone());
     cluster.set_tracer(tracer.clone());
-    let mut health = HealthMonitor::new(SloConfig::default());
+    let health = HealthMonitor::new(SloConfig::default());
     let groups: Vec<HyperLoopGroup> = cluster.setup_fabric(|ctx| {
         chains
             .iter()
